@@ -1,0 +1,73 @@
+// Command idldp-client simulates a population of survey respondents: each
+// user perturbs her answer locally with the toy IDUE mechanism and the
+// batch of perturbed reports is streamed to an idldp-server. Only
+// randomized data leaves the process.
+//
+// Usage:
+//
+//	idldp-client [-addr 127.0.0.1:7070] [-n 10000] [-seed 1] [-batch]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"idldp/internal/agg"
+	"idldp/internal/budget"
+	"idldp/internal/core"
+	"idldp/internal/dist"
+	"idldp/internal/rng"
+	"idldp/internal/transport"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7070", "server address")
+		n     = flag.Int("n", 10000, "number of simulated users")
+		seed  = flag.Uint64("seed", 1, "population seed")
+		batch = flag.Bool("batch", true, "aggregate locally and ship one batch frame")
+	)
+	flag.Parse()
+	if err := run(*addr, *n, *seed, *batch); err != nil {
+		fmt.Fprintln(os.Stderr, "idldp-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, n int, seed uint64, batch bool) error {
+	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client, err := transport.Dial(ctx, addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// Simulated truth: HIV rare, common ailments frequent.
+	pop := dist.NewSampler(dist.PMF{0.02, 0.38, 0.30, 0.18, 0.12})
+	r := rng.New(seed)
+	if batch {
+		local := agg.New(engine.M())
+		for u := 0; u < n; u++ {
+			local.Add(engine.PerturbItem(pop.Draw(r), r.SplitN(u)))
+		}
+		if err := client.SendBatch(local); err != nil {
+			return err
+		}
+	} else {
+		for u := 0; u < n; u++ {
+			if err := client.SendReport(engine.PerturbItem(pop.Draw(r), r.SplitN(u))); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("sent %d perturbed reports to %s\n", n, addr)
+	return nil
+}

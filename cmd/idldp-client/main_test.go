@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"idldp/internal/transport"
+)
+
+func TestRunSendsBatch(t *testing.T) {
+	srv, err := transport.Serve("127.0.0.1:0", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := run(srv.Addr(), 500, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, n := srv.Snapshot(); n == 500 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, n := srv.Snapshot()
+	t.Fatalf("server aggregated %d reports, want 500", n)
+}
+
+func TestRunStreamsReports(t *testing.T) {
+	srv, err := transport.Serve("127.0.0.1:0", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := run(srv.Addr(), 50, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, n := srv.Snapshot(); n == 50 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("streamed reports not aggregated")
+}
+
+func TestRunNoServer(t *testing.T) {
+	if err := run("127.0.0.1:1", 10, 1, true); err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+}

@@ -1,0 +1,99 @@
+// Command idldp-gen generates the simulated datasets to disk, in either
+// gob (fast reload) or the FIMI transaction text format used by the real
+// Kosarak/Retail releases.
+//
+// Usage:
+//
+//	idldp-gen -dataset kosarak|retail|msnbc -out sets.gob [-format gob|txt] [-users N] [-seed S] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"idldp/internal/dataset"
+)
+
+func main() {
+	var (
+		ds     = flag.String("dataset", "kosarak", "kosarak, retail, or msnbc")
+		out    = flag.String("out", "", "output path (required)")
+		format = flag.String("format", "gob", "gob or txt")
+		users  = flag.Int("users", 0, "override user count (0 = config default)")
+		seed   = flag.Uint64("seed", 0, "override generator seed (0 = config default)")
+		full   = flag.Bool("full", false, "use the published full-scale sizes")
+	)
+	flag.Parse()
+	if err := run(*ds, *out, *format, *users, *seed, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "idldp-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ds, out, format string, users int, seed uint64, full bool) error {
+	if out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	var data *dataset.SetValued
+	switch ds {
+	case "kosarak":
+		c := dataset.DefaultKosarak()
+		if full {
+			c = c.FullScale()
+		}
+		if users > 0 {
+			c.Users = users
+		}
+		if seed != 0 {
+			c.Seed = seed
+		}
+		data = dataset.Kosarak(c)
+	case "retail":
+		c := dataset.DefaultRetail()
+		if full {
+			c = c.FullScale()
+		}
+		if users > 0 {
+			c.Users = users
+		}
+		if seed != 0 {
+			c.Seed = seed
+		}
+		data = dataset.Retail(c)
+	case "msnbc":
+		c := dataset.DefaultMSNBC()
+		if full {
+			c = c.FullScale()
+		}
+		if users > 0 {
+			c.Users = users
+		}
+		if seed != 0 {
+			c.Seed = seed
+		}
+		data = dataset.MSNBC(c)
+	default:
+		return fmt.Errorf("unknown dataset %q", ds)
+	}
+	switch format {
+	case "gob":
+		if err := dataset.SaveSets(out, data); err != nil {
+			return err
+		}
+	case "txt":
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dataset.WriteTransactions(f, data); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	fmt.Printf("wrote %s: %d users, %d items, mean set size %.2f\n",
+		out, data.N(), data.M, data.MeanSetSize())
+	return nil
+}

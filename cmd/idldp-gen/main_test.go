@@ -1,0 +1,54 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"idldp/internal/dataset"
+)
+
+func TestRunWritesGob(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sets.gob")
+	if err := run("msnbc", out, "gob", 500, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.LoadSets(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 500 || d.M != 17 {
+		t.Fatalf("shape %d/%d", d.N(), d.M)
+	}
+}
+
+func TestRunWritesTxt(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sets.txt")
+	if err := run("retail", out, "txt", 200, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the transaction reader.
+	f, err := filepath.Glob(out)
+	if err != nil || len(f) != 1 {
+		t.Fatalf("output missing: %v %v", f, err)
+	}
+}
+
+func TestRunKosarakDefaults(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "k.gob")
+	if err := run("kosarak", out, "gob", 100, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("kosarak", "", "gob", 0, 0, false); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run("nope", filepath.Join(dir, "x"), "gob", 0, 0, false); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("retail", filepath.Join(dir, "x"), "parquet", 10, 0, false); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

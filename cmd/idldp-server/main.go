@@ -1,0 +1,76 @@
+// Command idldp-server runs a TCP aggregation server: it accepts
+// perturbed reports (or pre-summed batches) from idldp-client processes,
+// aggregates them, and on SIGINT/SIGTERM prints the calibrated frequency
+// estimates for the toy health-survey configuration.
+//
+// Usage:
+//
+//	idldp-server [-addr 127.0.0.1:7070] [-duration 30s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"idldp/internal/budget"
+	"idldp/internal/core"
+	"idldp/internal/transport"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		duration = flag.Duration("duration", 0, "stop after this long (0 = until signal)")
+	)
+	flag.Parse()
+	if err := run(*addr, *duration); err != nil {
+		fmt.Fprintln(os.Stderr, "idldp-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, duration time.Duration) error {
+	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
+	if err != nil {
+		return err
+	}
+	srv, err := transport.Serve(addr, engine.M())
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("aggregating %d-bit reports on %s (toy health survey, eps = ln4/ln6)\n",
+		engine.M(), srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	if duration > 0 {
+		select {
+		case <-stop:
+		case <-time.After(duration):
+		}
+	} else {
+		<-stop
+	}
+
+	counts, n := srv.Snapshot()
+	if n == 0 {
+		fmt.Println("no reports received")
+		return nil
+	}
+	est, err := engine.EstimateSingle(counts, int(n))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collected %d reports; estimated frequencies:\n", n)
+	names := []string{"HIV", "flu", "headache", "stomachache", "toothache"}
+	for i, e := range est {
+		fmt.Printf("  %-12s %8.0f\n", names[i], math.Max(e, 0))
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunStopsAfterDuration(t *testing.T) {
+	done := make(chan error, 1)
+	go func() { done <- run("127.0.0.1:0", 100*time.Millisecond) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not stop after its duration")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	if err := run("256.0.0.1:bad", time.Millisecond); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -1,0 +1,90 @@
+// Medical survey: the paper's Table II scenario end to end, comparing
+// IDUE under MinID-LDP against the RAPPOR and OUE baselines under plain
+// LDP at the same (minimum) budget.
+//
+// A health organization surveys n users over {HIV, flu, headache,
+// stomachache, toothache}; HIV answers need stronger protection
+// (ε = ln 4) than the common ailments (ε = ln 6). Plain-LDP mechanisms
+// must run everything at ln 4; IDUE discriminates and wins on utility.
+//
+// Run: go run ./examples/medical-survey
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idldp/internal/budget"
+	"idldp/internal/collect"
+	"idldp/internal/core"
+	"idldp/internal/dist"
+	"idldp/internal/estimate"
+	"idldp/internal/exp"
+	"idldp/internal/mech"
+	"idldp/internal/rng"
+)
+
+const n = 100000
+
+func main() {
+	// Reproduce Table II analytically first.
+	table, err := exp.TableII()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table.Render())
+
+	// Then empirically: simulate the survey under all three mechanisms.
+	asgn := budget.ToyExample()
+	pop := dist.NewSampler(dist.PMF{0.02, 0.38, 0.30, 0.18, 0.12})
+	items := pop.DrawN(rng.New(7), n)
+	truth := make([]float64, 5)
+	for _, x := range items {
+		truth[x]++
+	}
+
+	// Average several collection runs: a single run's total squared error
+	// is itself a noisy statistic.
+	const reps = 8
+	run := func(name string, u *mech.UE) {
+		var se float64
+		for rep := 0; rep < reps; rep++ {
+			a, err := collect.RunSingle(items, u.Bits(), u.PerturbItem, collect.Options{Seed: uint64(11 + rep)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			est, err := a.Estimate(u.A, u.B, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s, err := estimate.TotalSquaredError(est, truth)
+			if err != nil {
+				log.Fatal(err)
+			}
+			se += s / reps
+		}
+		th, err := estimate.TotalTheoreticalMSE(n, truth, u.A, u.B)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s empirical total MSE (%d runs) %12.0f   theoretical %12.0f\n", name, reps, se, th)
+	}
+
+	rappor, err := core.NewBaselineUE(core.RAPPOR, asgn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("RAPPOR", rappor)
+	oue, err := core.NewBaselineUE(core.OUE, asgn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("OUE", oue)
+	engine, err := core.New(core.Config{Budgets: asgn, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("IDUE", engine.UE())
+
+	fmt.Println("\nIDUE protects HIV at ε=ln4 exactly while relaxing the rest — lower total error at the same worst-case protection.")
+}

@@ -1,0 +1,55 @@
+// Quickstart: single-item frequency estimation under MinID-LDP.
+//
+// Five survey categories with two privacy levels (HIV strictest), 30k
+// simulated respondents, and a server that recovers the category
+// frequencies from the perturbed reports.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"idldp"
+)
+
+func main() {
+	// Item 0 (HIV) is highly sensitive: budget ln4. The rest get ln6.
+	client, err := idldp.NewClient(idldp.Config{
+		DomainSize: 5,
+		Levels:     idldp.Levels{Eps: []float64{math.Log(4), math.Log(6)}},
+		LevelOf:    []int{0, 1, 1, 1, 1},
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mechanism satisfies MinID-LDP; realized plain-LDP budget: %.3f (Lemma 1 bound: %.3f)\n",
+		client.RealizedLDPBudget(), math.Log(6))
+
+	// Simulate 30k users: category u%5, each perturbing locally.
+	server := client.NewServer()
+	truth := make([]float64, 5)
+	const n = 30000
+	for u := 0; u < n; u++ {
+		item := u % 5
+		truth[item]++
+		report := client.ReportItem(item, uint64(u)) // only this leaves the device
+		if err := server.Collect(report); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	est, err := server.Estimates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %10s %10s %8s\n", "category", "true", "estimated", "error")
+	names := []string{"HIV", "flu", "headache", "stomach", "tooth"}
+	for i := range truth {
+		fmt.Printf("%-12s %10.0f %10.0f %7.1f%%\n",
+			names[i], truth[i], est[i], 100*math.Abs(est[i]-truth[i])/truth[i])
+	}
+}

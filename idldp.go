@@ -1,0 +1,229 @@
+// Package idldp is a from-scratch Go implementation of Input-Discriminative
+// Local Differential Privacy (Gu, Li, Xiong, Cao — "Providing
+// Input-Discriminative Protection for Local Differential Privacy",
+// ICDE 2020): the ID-LDP / MinID-LDP privacy notions, the IDUE mechanism
+// for single-item frequency estimation, and the IDUE-PS mechanism for
+// item-set data via the Padding-and-Sampling protocol.
+//
+// The package is a thin facade over the internal subsystems. Typical use:
+//
+//	levels := idldp.Levels{Eps: []float64{math.Log(4), math.Log(6)}, Prop: []float64{0.2, 0.8}}
+//	client, err := idldp.NewClient(idldp.Config{DomainSize: 100, Levels: levels, Seed: 1})
+//	// user side
+//	report := client.ReportItem(42, userSeed)
+//	// server side
+//	server := client.NewServer()
+//	server.Collect(report)
+//	estimates, err := server.Estimates()
+//
+// Baseline LDP mechanisms (RAPPOR, OUE, GRR), privacy accounting, leakage
+// bounds, dataset generators and the experiment harness that regenerates
+// every table and figure of the paper live under internal/ and are
+// exercised by cmd/idldp-bench and the examples.
+package idldp
+
+import (
+	"fmt"
+	"io"
+
+	"idldp/internal/budget"
+	"idldp/internal/core"
+	"idldp/internal/opt"
+	"idldp/internal/rng"
+)
+
+// Model selects the optimization program used to pick the perturbation
+// probabilities (§V-D of the paper).
+type Model = opt.Model
+
+// The three optimization models: Opt0 is the non-convex worst-case
+// program (best utility), Opt1 and Opt2 the convex RAPPOR- and
+// OUE-structured relaxations (cheaper, near-optimal).
+const (
+	Opt0 = opt.Opt0
+	Opt1 = opt.Opt1
+	Opt2 = opt.Opt2
+)
+
+// Levels describes the privacy levels: Eps[i] is the budget of level i
+// (smaller = more protection) and Prop[i] the fraction of the domain
+// assigned to it.
+type Levels struct {
+	Eps  []float64
+	Prop []float64
+}
+
+// Config configures a Client.
+type Config struct {
+	// DomainSize is the number of distinct items m.
+	DomainSize int
+	// Levels declares the privacy levels. Items are assigned randomly by
+	// proportion, seeded by Seed, unless LevelOf is set.
+	Levels Levels
+	// LevelOf optionally pins each item to a level explicitly
+	// (len == DomainSize); Prop is then ignored.
+	LevelOf []int
+	// Notion selects the ID-LDP instantiation: "min" (default), "avg",
+	// or "max".
+	Notion string
+	// Model selects the optimization program (default Opt0).
+	Model Model
+	// PaddingLength enables item-set reports via Padding-and-Sampling
+	// with the given ℓ. Zero means single-item reports only.
+	PaddingLength int
+	// Seed drives level assignment and the non-convex solver.
+	Seed uint64
+}
+
+// Client is the user-side half of the protocol: it perturbs raw inputs
+// into reports that are safe to upload.
+type Client struct {
+	engine *core.Engine
+}
+
+// NewClient validates the configuration, solves the perturbation
+// probabilities, and verifies the resulting mechanism satisfies the
+// configured notion.
+func NewClient(cfg Config) (*Client, error) {
+	if cfg.DomainSize <= 0 {
+		return nil, fmt.Errorf("idldp: DomainSize must be positive, got %d", cfg.DomainSize)
+	}
+	var asgn *budget.Assignment
+	var err error
+	if cfg.LevelOf != nil {
+		if len(cfg.LevelOf) != cfg.DomainSize {
+			return nil, fmt.Errorf("idldp: LevelOf has %d entries for domain %d", len(cfg.LevelOf), cfg.DomainSize)
+		}
+		asgn, err = budget.FromLevels(cfg.LevelOf, cfg.Levels.Eps)
+	} else {
+		spec := budget.Spec{Eps: cfg.Levels.Eps, Prop: cfg.Levels.Prop}
+		asgn, err = budget.Assign(cfg.DomainSize, spec, rng.New(cfg.Seed))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("idldp: %w", err)
+	}
+	n, err := core.NotionByName(cfg.Notion)
+	if err != nil {
+		return nil, fmt.Errorf("idldp: %w", err)
+	}
+	engine, err := core.New(core.Config{
+		Budgets:       asgn,
+		Notion:        n,
+		Model:         cfg.Model,
+		PaddingLength: cfg.PaddingLength,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("idldp: %w", err)
+	}
+	return &Client{engine: engine}, nil
+}
+
+// SaveParams serializes the client's solved mechanism definition as JSON.
+// Deployments distribute this file so every device and the server share
+// byte-identical parameters instead of re-solving (the opt0 program is
+// randomized).
+func (c *Client) SaveParams(w io.Writer) error {
+	return c.engine.Save().WriteJSON(w)
+}
+
+// NewClientFromParams rebuilds a client from parameters written by
+// SaveParams, re-verifying the privacy constraints on load.
+func NewClientFromParams(r io.Reader) (*Client, error) {
+	sp, err := core.ReadSavedParams(r)
+	if err != nil {
+		return nil, fmt.Errorf("idldp: %w", err)
+	}
+	engine, err := core.NewFromSaved(sp)
+	if err != nil {
+		return nil, fmt.Errorf("idldp: %w", err)
+	}
+	return &Client{engine: engine}, nil
+}
+
+// Report is one perturbed upload: the packed bits of the unary-encoded,
+// randomized response.
+type Report struct {
+	Words []uint64
+	Bits  int
+}
+
+// ReportItem perturbs a single-item input (Algorithm 1). seed derives the
+// user's private randomness; distinct users must use distinct seeds.
+func (c *Client) ReportItem(item int, seed uint64) Report {
+	v := c.engine.PerturbItem(item, rng.New(seed))
+	return Report{Words: v.Words(), Bits: v.Len()}
+}
+
+// ReportSet perturbs an item-set input (Algorithm 3). The client must
+// have been configured with a positive PaddingLength.
+func (c *Client) ReportSet(set []int, seed uint64) Report {
+	v := c.engine.PerturbSet(set, rng.New(seed))
+	return Report{Words: v.Words(), Bits: v.Len()}
+}
+
+// DomainSize returns m.
+func (c *Client) DomainSize() int { return c.engine.M() }
+
+// RealizedLDPBudget returns the plain-LDP budget the mechanism provides
+// (bounded by Lemma 1: min{max E, 2 min E}).
+func (c *Client) RealizedLDPBudget() float64 { return c.engine.RealizedLDPBudget() }
+
+// SetBudget returns the Eq. (17) combined budget of an item-set.
+func (c *Client) SetBudget(set []int) float64 { return c.engine.SetBudget(set) }
+
+// Engine exposes the underlying engine for advanced use (benchmarks,
+// experiment harness).
+func (c *Client) Engine() *core.Engine { return c.engine }
+
+// NewServer returns the server-side half sharing this client's solved
+// parameters.
+func (c *Client) NewServer() *Server {
+	e := c.engine
+	bits := e.M()
+	if e.PaddingLength() > 0 {
+		bits += e.PaddingLength()
+	}
+	return &Server{engine: e, counts: make([]int64, bits)}
+}
+
+// Server aggregates reports and produces calibrated frequency estimates.
+// It is not safe for concurrent use; see internal/agg.Concurrent and
+// internal/transport for concurrent and networked deployments.
+type Server struct {
+	engine *core.Engine
+	counts []int64
+	n      int
+}
+
+// Collect accumulates one report.
+func (s *Server) Collect(r Report) error {
+	if r.Bits != len(s.counts) {
+		return fmt.Errorf("idldp: report has %d bits, server expects %d", r.Bits, len(s.counts))
+	}
+	for wi, w := range r.Words {
+		for b := 0; b < 64; b++ {
+			if w&(1<<uint(b)) != 0 {
+				i := wi*64 + b
+				if i >= r.Bits {
+					return fmt.Errorf("idldp: report has padding bits set")
+				}
+				s.counts[i]++
+			}
+		}
+	}
+	s.n++
+	return nil
+}
+
+// N returns the number of reports collected.
+func (s *Server) N() int { return s.n }
+
+// Estimates returns the unbiased frequency estimates ĉ_i for all m items
+// (Eq. 8; scaled by ℓ in item-set mode).
+func (s *Server) Estimates() ([]float64, error) {
+	if s.engine.PaddingLength() > 0 {
+		return s.engine.EstimateSet(s.counts, s.n)
+	}
+	return s.engine.EstimateSingle(s.counts, s.n)
+}

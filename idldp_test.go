@@ -1,0 +1,193 @@
+package idldp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func toyConfig() Config {
+	return Config{
+		DomainSize: 5,
+		Levels:     Levels{Eps: []float64{math.Log(4), math.Log(6)}},
+		LevelOf:    []int{0, 1, 1, 1, 1},
+		Seed:       1,
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	c := toyConfig()
+	c.LevelOf = []int{0, 1}
+	if _, err := NewClient(c); err == nil {
+		t.Error("short LevelOf accepted")
+	}
+	c = toyConfig()
+	c.Notion = "median"
+	if _, err := NewClient(c); err == nil {
+		t.Error("unknown notion accepted")
+	}
+	c = Config{
+		DomainSize: 10,
+		Levels:     Levels{Eps: []float64{1, 2}, Prop: []float64{0.5, 0.6}},
+	}
+	if _, err := NewClient(c); err == nil {
+		t.Error("bad proportions accepted")
+	}
+}
+
+func TestNotionsAccepted(t *testing.T) {
+	for _, n := range []string{"", "min", "avg", "max"} {
+		c := toyConfig()
+		c.Notion = n
+		if _, err := NewClient(c); err != nil {
+			t.Errorf("notion %q rejected: %v", n, err)
+		}
+	}
+}
+
+func TestSingleItemEndToEnd(t *testing.T) {
+	client, err := NewClient(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.DomainSize() != 5 {
+		t.Fatalf("DomainSize=%d", client.DomainSize())
+	}
+	server := client.NewServer()
+	const n = 30000
+	truth := make([]float64, 5)
+	for u := 0; u < n; u++ {
+		item := u % 5
+		truth[item]++
+		if err := server.Collect(client.ReportItem(item, uint64(u))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if server.N() != n {
+		t.Fatalf("N=%d", server.N())
+	}
+	est, err := server.Estimates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(est[i]-truth[i]) > 0.15*truth[i]+200 {
+			t.Errorf("item %d estimate %v truth %v", i, est[i], truth[i])
+		}
+	}
+}
+
+func TestItemSetEndToEnd(t *testing.T) {
+	c := toyConfig()
+	c.PaddingLength = 2
+	client, err := NewClient(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := client.NewServer()
+	const n = 40000
+	truth := make([]float64, 5)
+	for u := 0; u < n; u++ {
+		set := []int{u % 5, (u + 2) % 5}
+		for _, i := range set {
+			truth[i]++
+		}
+		if err := server.Collect(client.ReportSet(set, uint64(u))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := server.Estimates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != 5 {
+		t.Fatalf("estimates cover %d items, want 5", len(est))
+	}
+	for i := range truth {
+		if math.Abs(est[i]-truth[i]) > 0.25*truth[i]+800 {
+			t.Errorf("item %d estimate %v truth %v", i, est[i], truth[i])
+		}
+	}
+	// Eq. (17) set budget of a mixed pair exceeds the strictest item's.
+	if b := client.SetBudget([]int{0, 1}); b < math.Log(4) {
+		t.Errorf("set budget %v below min item budget", b)
+	}
+}
+
+func TestServerCollectErrors(t *testing.T) {
+	client, err := NewClient(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := client.NewServer()
+	if err := server.Collect(Report{Words: []uint64{0}, Bits: 9}); err == nil {
+		t.Error("wrong bit count accepted")
+	}
+	if err := server.Collect(Report{Words: []uint64{1 << 40}, Bits: 5}); err == nil {
+		t.Error("padding bits accepted")
+	}
+}
+
+func TestRealizedBudgetWithinLemma1(t *testing.T) {
+	client, err := NewClient(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 1: min{max E, 2 min E} = min{ln6, ln16} = ln6.
+	if got := client.RealizedLDPBudget(); got > math.Log(6)+1e-6 {
+		t.Errorf("realized budget %v exceeds ln6", got)
+	}
+}
+
+func TestSaveLoadParamsFacade(t *testing.T) {
+	orig, err := NewClient(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewClientFromParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical mechanism → identical reports for the same user seed.
+	r1 := orig.ReportItem(3, 42)
+	r2 := loaded.ReportItem(3, 42)
+	for i := range r1.Words {
+		if r1.Words[i] != r2.Words[i] {
+			t.Fatal("loaded client produces different reports")
+		}
+	}
+	if _, err := NewClientFromParams(strings.NewReader("{")); err == nil {
+		t.Fatal("malformed params accepted")
+	}
+}
+
+func TestRandomAssignmentPath(t *testing.T) {
+	client, err := NewClient(Config{
+		DomainSize: 50,
+		Levels:     Levels{Eps: []float64{1, 2, 4}, Prop: []float64{0.1, 0.2, 0.7}},
+		Model:      Opt1,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := client.ReportItem(7, 11)
+	if r.Bits != 50 {
+		t.Fatalf("report bits %d", r.Bits)
+	}
+	// Same user seed → identical report (determinism contract).
+	r2 := client.ReportItem(7, 11)
+	for i := range r.Words {
+		if r.Words[i] != r2.Words[i] {
+			t.Fatal("reports differ for same seed")
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package idldp
+
+// Cross-module integration tests: full pipelines over the simulated
+// datasets, sequential-composition accounting across survey rounds, and
+// heavy-hitter identification on IDUE estimates.
+
+import (
+	"math"
+	"testing"
+
+	"idldp/internal/budget"
+	"idldp/internal/collect"
+	"idldp/internal/core"
+	"idldp/internal/dataset"
+	"idldp/internal/estimate"
+	"idldp/internal/multidim"
+	"idldp/internal/notion"
+	"idldp/internal/opt"
+	"idldp/internal/ps"
+	"idldp/internal/rng"
+)
+
+// TestPipelineOnAllSimulatedDatasets runs the complete item-set protocol
+// (solve → perturb → aggregate → calibrate) on each simulated real-world
+// dataset and checks the top items are recovered with plausible error.
+func TestPipelineOnAllSimulatedDatasets(t *testing.T) {
+	datasets := map[string]*dataset.SetValued{}
+	k := dataset.DefaultKosarak()
+	k.Users = 8000
+	k.Pages = 500
+	kos := dataset.Kosarak(k)
+	red, err := kos.TopM(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasets["kosarak"] = red
+	r := dataset.DefaultRetail()
+	r.Users = 8000
+	r.Items = 500
+	ret := dataset.Retail(r)
+	red, err = ret.TopM(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasets["retail"] = red
+	m := dataset.DefaultMSNBC()
+	m.Users = 8000
+	datasets["msnbc"] = dataset.MSNBC(m)
+
+	for name, data := range datasets {
+		t.Run(name, func(t *testing.T) {
+			asgn, err := budget.Assign(data.M, budget.Default(2), rng.New(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ell, err := ps.ChooseEll(data.Sets, ps.EllConfig{Eps: 0.5, MaxSize: 24, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := core.New(core.Config{Budgets: asgn, Model: opt.Opt1, PaddingLength: ell, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := collect.RunSets(data.Sets, e.SetMech().Bits(), e.PerturbSet, collect.Options{Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := e.EstimateSet(a.Counts(), data.N())
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := data.TrueCounts()
+			top, err := estimate.TopK(truth, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, i := range top {
+				if truth[i] == 0 {
+					continue
+				}
+				rel := math.Abs(est[i]-truth[i]) / truth[i]
+				if rel > 0.9 {
+					t.Errorf("%s (ell=%d): top item %d estimate %v truth %v (rel err %.2f)",
+						name, ell, i, est[i], truth[i], rel)
+				}
+			}
+		})
+	}
+}
+
+// TestTwoRoundCompositionImprovesEstimates splits a per-item budget set
+// across two survey rounds (Theorem 2), combines the rounds by inverse
+// variance, and checks the combined estimate beats either single round
+// while the accountant confirms the declared total spend.
+func TestTwoRoundCompositionImprovesEstimates(t *testing.T) {
+	const mSize, n = 8, 60000
+	full, err := budget.Assign(mSize, budget.Default(3), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round budgets: 60% and 40% of each item's budget.
+	mkRound := func(frac float64, seed uint64) (*core.Engine, *budget.Assignment) {
+		levelOf := make([]int, mSize)
+		for i := range levelOf {
+			levelOf[i] = full.LevelOf(i)
+		}
+		eps := full.LevelEpsAll()
+		for l := range eps {
+			eps[l] *= frac
+		}
+		asgn, err := budget.FromLevels(levelOf, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.New(core.Config{Budgets: asgn, Model: opt.Opt1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, asgn
+	}
+	e1, a1 := mkRound(0.6, 1)
+	e2, a2 := mkRound(0.4, 2)
+
+	acct := notion.NewAccountant(mSize)
+	if err := acct.Spend(a1.PerItem()); err != nil {
+		t.Fatal(err)
+	}
+	if err := acct.Spend(a2.PerItem()); err != nil {
+		t.Fatal(err)
+	}
+	for i, tot := range acct.TotalPerInput() {
+		if math.Abs(tot-full.EpsOf(i)) > 1e-9 {
+			t.Fatalf("item %d composed budget %v != declared %v", i, tot, full.EpsOf(i))
+		}
+	}
+
+	items := make([]int, n)
+	truth := make([]float64, mSize)
+	for u := range items {
+		items[u] = u % mSize
+		truth[u%mSize]++
+	}
+	runRound := func(e *core.Engine, seed uint64) ([]float64, []float64) {
+		a, err := collect.RunSingle(items, e.M(), e.PerturbItem, collect.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := e.EstimateSingle(a.Counts(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ue := e.UE()
+		vars := make([]float64, mSize)
+		for i := range vars {
+			vars[i] = estimate.TheoreticalMSE(n, truth[i], ue.A[i], ue.B[i])
+		}
+		return est, vars
+	}
+	est1, v1 := runRound(e1, 11)
+	est2, v2 := runRound(e2, 22)
+	combined, err := multidim.CombineRounds([][]float64{est1, est2}, [][]float64{v1, v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := func(est []float64) float64 {
+		s, err := estimate.TotalSquaredError(est, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if se(combined) >= se(est1) || se(combined) >= se(est2) {
+		t.Errorf("combined SE %v not below rounds (%v, %v)", se(combined), se(est1), se(est2))
+	}
+}
+
+// TestHeavyHittersOnIDUE runs heavy-hitter identification end to end on
+// IDUE estimates and checks precision/recall against ground truth.
+func TestHeavyHittersOnIDUE(t *testing.T) {
+	const mSize, n = 30, 80000
+	asgn, err := budget.Assign(mSize, budget.Default(2), rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.New(core.Config{Budgets: asgn, Model: opt.Opt1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three clear heavy hitters (items 0-2), the rest spread thin.
+	items := make([]int, n)
+	truth := make([]float64, mSize)
+	r := rng.New(8)
+	for u := range items {
+		var x int
+		switch {
+		case u%10 < 3:
+			x = u % 3 // 10% each on items 0..2
+		default:
+			x = 3 + r.IntN(mSize-3)
+		}
+		items[u] = x
+		truth[x]++
+	}
+	a, err := collect.RunSingle(items, mSize, e.PerturbItem, collect.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.EstimateSingle(a.Counts(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ue := e.UE()
+	hh, err := estimate.HeavyHitters(est, n, ue.A, ue.B, 1, estimate.HeavyHitterConfig{Threshold: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, rec := estimate.PrecisionRecall(hh, truth, 5000)
+	if prec < 0.99 || rec < 0.99 {
+		t.Errorf("precision %v recall %v; heavy hitters %v", prec, rec, hh)
+	}
+}

@@ -1,0 +1,182 @@
+// Package bitvec implements the compact bit vectors used for unary
+// encoding. A report in the UE family of mechanisms (RAPPOR, OUE, IDUE) is
+// an m-bit vector; with m up to tens of thousands of items and millions of
+// users, packing 64 bits per word matters for both memory and the
+// aggregation hot loop.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vector is a fixed-length bit vector. The zero value is an empty vector
+// of length 0; use New to create one of a given length.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns an all-zero vector of length n. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// OneHot returns a vector of length n with only bit i set — the unary
+// encoding v_i of Eq. (6) in the paper. It panics if i is out of range.
+func OneHot(n, i int) *Vector {
+	v := New(n)
+	v.Set(i)
+	return v
+}
+
+// FromBools builds a vector from a bool slice (useful in tests).
+func FromBools(bs []bool) *Vector {
+	v := New(len(bs))
+	for i, b := range bs {
+		if b {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Len returns the number of bits.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// SetBool sets bit i to b.
+func (v *Vector) SetBool(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	w := New(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+// Equal reports whether v and o have the same length and bits.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ones returns the indices of all set bits in ascending order.
+func (v *Vector) Ones() []int {
+	out := make([]int, 0, v.Count())
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// AccumulateInto adds each bit of v into counts: counts[i] += bit(i).
+// counts must have length at least v.Len(). This is the aggregation hot
+// path on the server side (summation step of the frequency-estimation
+// protocol).
+func (v *Vector) AccumulateInto(counts []int64) {
+	if len(counts) < v.n {
+		panic("bitvec: counts shorter than vector")
+	}
+	for wi, w := range v.words {
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			counts[base+b]++
+			w &= w - 1
+		}
+	}
+}
+
+// Words exposes the raw backing words (little-endian bit order within a
+// word). The slice must not be modified; it is shared with the vector.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// FromWords reconstructs a vector of length n from raw words, as produced
+// by Words. It returns an error if the word count does not match n or a
+// padding bit beyond n is set.
+func FromWords(words []uint64, n int) (*Vector, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("bitvec: negative length %d", n)
+	}
+	want := (n + 63) / 64
+	if len(words) != want {
+		return nil, fmt.Errorf("bitvec: got %d words for length %d, want %d", len(words), n, want)
+	}
+	if n%64 != 0 && want > 0 {
+		mask := ^uint64(0) << uint(n%64)
+		if words[want-1]&mask != 0 {
+			return nil, fmt.Errorf("bitvec: padding bits set beyond length %d", n)
+		}
+	}
+	v := New(n)
+	copy(v.words, words)
+	return v, nil
+}
+
+// String renders the vector as a 0/1 string, lowest index first.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,223 @@
+package bitvec
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	v := New(0)
+	if v.Len() != 0 || v.Count() != 0 {
+		t.Fatal("zero-length vector not empty")
+	}
+}
+
+func TestNewPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if v.Count() != 8 {
+		t.Fatalf("Count=%d want 8", v.Count())
+	}
+	v.Clear(64)
+	if v.Get(64) || v.Count() != 7 {
+		t.Fatal("Clear failed")
+	}
+	v.SetBool(64, true)
+	v.SetBool(0, false)
+	if !v.Get(64) || v.Get(0) {
+		t.Fatal("SetBool failed")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for name, fn := range map[string]func(){
+		"get-neg":  func() { v.Get(-1) },
+		"get-high": func() { v.Get(10) },
+		"set-high": func() { v.Set(10) },
+		"clr-high": func() { v.Clear(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	v := OneHot(100, 37)
+	if v.Count() != 1 || !v.Get(37) {
+		t.Fatal("OneHot wrong")
+	}
+	ones := v.Ones()
+	if len(ones) != 1 || ones[0] != 37 {
+		t.Fatalf("Ones=%v", ones)
+	}
+}
+
+func TestOnesOrder(t *testing.T) {
+	v := New(200)
+	want := []int{3, 64, 65, 190, 199}
+	for _, i := range want {
+		v.Set(i)
+	}
+	if got := v.Ones(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Ones=%v want %v", got, want)
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	v := New(77)
+	v.Set(5)
+	v.Set(76)
+	w := v.Clone()
+	if !v.Equal(w) {
+		t.Fatal("clone not equal")
+	}
+	w.Set(6)
+	if v.Equal(w) {
+		t.Fatal("mutating clone affected equality")
+	}
+	if v.Get(6) {
+		t.Fatal("clone shares storage")
+	}
+	if v.Equal(New(78)) {
+		t.Fatal("different lengths compare equal")
+	}
+}
+
+func TestAccumulateInto(t *testing.T) {
+	v := New(130)
+	v.Set(0)
+	v.Set(64)
+	v.Set(129)
+	counts := make([]int64, 130)
+	v.AccumulateInto(counts)
+	v.AccumulateInto(counts)
+	for i, c := range counts {
+		want := int64(0)
+		if i == 0 || i == 64 || i == 129 {
+			want = 2
+		}
+		if c != want {
+			t.Fatalf("counts[%d]=%d want %d", i, c, want)
+		}
+	}
+}
+
+func TestAccumulatePanicsShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).AccumulateInto(make([]int64, 9))
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	v := New(100)
+	for _, i := range []int{0, 50, 99} {
+		v.Set(i)
+	}
+	w, err := FromWords(v.Words(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(w) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestFromWordsErrors(t *testing.T) {
+	if _, err := FromWords(make([]uint64, 3), 100); err == nil {
+		t.Error("wrong word count accepted")
+	}
+	if _, err := FromWords([]uint64{1 << 40}, 10); err == nil {
+		t.Error("padding bits accepted")
+	}
+	if _, err := FromWords(nil, -1); err == nil {
+		t.Error("negative length accepted")
+	}
+	if v, err := FromWords(nil, 0); err != nil || v.Len() != 0 {
+		t.Error("empty round trip failed")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := New(5)
+	v.Set(1)
+	v.Set(4)
+	if got := v.String(); got != "01001" {
+		t.Fatalf("String=%q", got)
+	}
+}
+
+func TestFromBools(t *testing.T) {
+	bs := []bool{true, false, true, true}
+	v := FromBools(bs)
+	for i, b := range bs {
+		if v.Get(i) != b {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+// Property: round-trip through Words/FromWords preserves any bit pattern,
+// and Count always equals the number of set positions.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%512) + 1
+		r := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+		v := New(n)
+		want := 0
+		for i := 0; i < n; i++ {
+			if r.IntN(2) == 1 {
+				v.Set(i)
+				want++
+			}
+		}
+		if v.Count() != want {
+			return false
+		}
+		w, err := FromWords(v.Words(), n)
+		return err == nil && v.Equal(w) && len(v.Ones()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAccumulateInto(b *testing.B) {
+	v := New(4096)
+	for i := 0; i < 4096; i += 7 {
+		v.Set(i)
+	}
+	counts := make([]int64, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.AccumulateInto(counts)
+	}
+}

@@ -1,0 +1,297 @@
+// Package budget models privacy budgets and privacy levels (§III-A, §VII).
+//
+// The item domain I = {0..m-1} is partitioned into t privacy levels; level
+// i carries a budget ε_i, and every item in level i inherits that budget.
+// A Spec describes the levels (budget values and the proportion of items in
+// each); an Assignment binds a concrete domain of m items to levels, either
+// randomly (as in the paper's experiments) or deterministically.
+package budget
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"idldp/internal/rng"
+)
+
+// Spec describes t privacy levels: Eps[i] is the budget of level i and
+// Prop[i] the fraction of items assigned to it. Levels are kept in the
+// order given (conventionally ascending budget: most sensitive first).
+type Spec struct {
+	Eps  []float64
+	Prop []float64
+}
+
+// Validate checks that the spec has matching, non-empty slices, positive
+// finite budgets, and proportions that are non-negative and sum to 1.
+func (s Spec) Validate() error {
+	if len(s.Eps) == 0 {
+		return fmt.Errorf("budget: spec has no levels")
+	}
+	if len(s.Eps) != len(s.Prop) {
+		return fmt.Errorf("budget: %d budgets but %d proportions", len(s.Eps), len(s.Prop))
+	}
+	var sum float64
+	for i := range s.Eps {
+		if s.Eps[i] <= 0 || math.IsInf(s.Eps[i], 0) || math.IsNaN(s.Eps[i]) {
+			return fmt.Errorf("budget: level %d has invalid budget %v", i, s.Eps[i])
+		}
+		if s.Prop[i] < 0 || math.IsNaN(s.Prop[i]) {
+			return fmt.Errorf("budget: level %d has invalid proportion %v", i, s.Prop[i])
+		}
+		sum += s.Prop[i]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("budget: proportions sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// T returns the number of levels.
+func (s Spec) T() int { return len(s.Eps) }
+
+// Default returns the paper's default setting (§VII): four levels with
+// budgets {ε, 1.2ε, 2ε, 4ε} and item proportions {5%, 5%, 5%, 85%}.
+func Default(eps float64) Spec {
+	return Spec{
+		Eps:  []float64{eps, 1.2 * eps, 2 * eps, 4 * eps},
+		Prop: []float64{0.05, 0.05, 0.05, 0.85},
+	}
+}
+
+// WithProportions returns the default four budget values {ε,1.2ε,2ε,4ε}
+// with caller-chosen proportions, for the Fig. 4(a) sweep over budget
+// distributions.
+func WithProportions(eps float64, prop []float64) Spec {
+	return Spec{Eps: []float64{eps, 1.2 * eps, 2 * eps, 4 * eps}, Prop: prop}
+}
+
+// Exponential returns the Fig. 4(b) twenty-level setting generalized to t
+// levels: budget values uniformly spaced in [ε, 4ε] and proportions
+// exponentially proportional to the budget (Prop_i ∝ e^{ε_i}).
+func Exponential(eps float64, t int) Spec {
+	if t < 1 {
+		panic("budget: Exponential requires t >= 1")
+	}
+	s := Spec{Eps: make([]float64, t), Prop: make([]float64, t)}
+	var sum float64
+	for i := 0; i < t; i++ {
+		if t == 1 {
+			s.Eps[i] = eps
+		} else {
+			s.Eps[i] = eps + 3*eps*float64(i)/float64(t-1)
+		}
+		s.Prop[i] = math.Exp(s.Eps[i])
+		sum += s.Prop[i]
+	}
+	for i := range s.Prop {
+		s.Prop[i] /= sum
+	}
+	return s
+}
+
+// Uniform returns a single-level spec: every item carries budget eps. An
+// Assignment built from it reduces MinID-LDP to plain ε-LDP.
+func Uniform(eps float64) Spec {
+	return Spec{Eps: []float64{eps}, Prop: []float64{1}}
+}
+
+// Assignment binds m items to privacy levels.
+type Assignment struct {
+	m       int
+	eps     []float64 // per level
+	levelOf []int     // per item
+	counts  []int     // items per level (m_i)
+}
+
+// Assign randomly assigns each of m items to a level with the spec's
+// proportions (the paper: "privacy budgets for all items are randomly
+// selected ... with a certain budget distribution"). Levels with zero
+// realized items keep their budget; optimization treats them with m_i = 0.
+// A fixed Source makes the assignment reproducible.
+func Assign(m int, s Spec, r *rng.Source) (*Assignment, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("budget: domain size %d must be positive", m)
+	}
+	a := &Assignment{
+		m:       m,
+		eps:     append([]float64(nil), s.Eps...),
+		levelOf: make([]int, m),
+		counts:  make([]int, s.T()),
+	}
+	for i := 0; i < m; i++ {
+		l := r.Choice(s.Prop)
+		a.levelOf[i] = l
+		a.counts[l]++
+	}
+	return a, nil
+}
+
+// AssignBlocks deterministically assigns items to levels in contiguous
+// blocks sized by the spec's proportions (rounded; the last level absorbs
+// the remainder). Deterministic assignments are convenient for unit tests
+// and for the paper's toy example.
+func AssignBlocks(m int, s Spec) (*Assignment, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("budget: domain size %d must be positive", m)
+	}
+	a := &Assignment{
+		m:       m,
+		eps:     append([]float64(nil), s.Eps...),
+		levelOf: make([]int, m),
+		counts:  make([]int, s.T()),
+	}
+	item := 0
+	for l := 0; l < s.T(); l++ {
+		n := int(math.Round(s.Prop[l] * float64(m)))
+		if l == s.T()-1 {
+			n = m - item
+		}
+		for j := 0; j < n && item < m; j++ {
+			a.levelOf[item] = l
+			a.counts[l]++
+			item++
+		}
+	}
+	for ; item < m; item++ { // rounding left a tail: absorb into last level
+		a.levelOf[item] = s.T() - 1
+		a.counts[s.T()-1]++
+	}
+	return a, nil
+}
+
+// FromLevels builds an assignment from an explicit per-item level slice and
+// per-level budgets.
+func FromLevels(levelOf []int, eps []float64) (*Assignment, error) {
+	if len(levelOf) == 0 {
+		return nil, fmt.Errorf("budget: empty domain")
+	}
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("budget: no levels")
+	}
+	a := &Assignment{
+		m:       len(levelOf),
+		eps:     append([]float64(nil), eps...),
+		levelOf: append([]int(nil), levelOf...),
+		counts:  make([]int, len(eps)),
+	}
+	for i, l := range levelOf {
+		if l < 0 || l >= len(eps) {
+			return nil, fmt.Errorf("budget: item %d has level %d out of range [0,%d)", i, l, len(eps))
+		}
+		a.counts[l]++
+	}
+	for i, e := range eps {
+		if e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			return nil, fmt.Errorf("budget: level %d has invalid budget %v", i, e)
+		}
+	}
+	return a, nil
+}
+
+// ToyExample returns the Table II health-survey assignment: five items
+// where item 0 (HIV) has budget ln 4 and the rest have ln 6.
+func ToyExample() *Assignment {
+	a, err := FromLevels([]int{0, 1, 1, 1, 1}, []float64{math.Log(4), math.Log(6)})
+	if err != nil {
+		panic(err) // static input; cannot fail
+	}
+	return a
+}
+
+// M returns the domain size.
+func (a *Assignment) M() int { return a.m }
+
+// T returns the number of levels.
+func (a *Assignment) T() int { return len(a.eps) }
+
+// LevelOf returns the level of item i.
+func (a *Assignment) LevelOf(i int) int { return a.levelOf[i] }
+
+// LevelEps returns the budget of level l.
+func (a *Assignment) LevelEps(l int) float64 { return a.eps[l] }
+
+// LevelEpsAll returns a copy of the per-level budgets.
+func (a *Assignment) LevelEpsAll() []float64 { return append([]float64(nil), a.eps...) }
+
+// LevelCount returns m_l, the number of items in level l.
+func (a *Assignment) LevelCount(l int) int { return a.counts[l] }
+
+// LevelCounts returns a copy of the per-level item counts.
+func (a *Assignment) LevelCounts() []int { return append([]int(nil), a.counts...) }
+
+// EpsOf returns the budget of item i.
+func (a *Assignment) EpsOf(i int) float64 { return a.eps[a.levelOf[i]] }
+
+// PerItem returns the per-item budget vector E = {ε_x}.
+func (a *Assignment) PerItem() []float64 {
+	out := make([]float64, a.m)
+	for i := range out {
+		out[i] = a.eps[a.levelOf[i]]
+	}
+	return out
+}
+
+// Min returns min{E}, the strictest budget — the ε a plain-LDP mechanism
+// must use to satisfy every item's requirement.
+func (a *Assignment) Min() float64 {
+	m := a.eps[0]
+	for _, e := range a.eps[1:] {
+		m = math.Min(m, e)
+	}
+	return m
+}
+
+// Max returns max{E}.
+func (a *Assignment) Max() float64 {
+	m := a.eps[0]
+	for _, e := range a.eps[1:] {
+		m = math.Max(m, e)
+	}
+	return m
+}
+
+// ItemsOf returns the items belonging to level l in ascending order.
+func (a *Assignment) ItemsOf(l int) []int {
+	out := make([]int, 0, a.counts[l])
+	for i, li := range a.levelOf {
+		if li == l {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SortedLevels returns level indices ordered by ascending budget.
+func (a *Assignment) SortedLevels() []int {
+	idx := make([]int, len(a.eps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return a.eps[idx[x]] < a.eps[idx[y]] })
+	return idx
+}
+
+// Extend returns a new assignment over m+extra items where the extra items
+// (the PS protocol's dummy items) are placed in a fresh level with budget
+// epsStar. The paper selects ε* = min{E} (§VI-B).
+func (a *Assignment) Extend(extra int, epsStar float64) (*Assignment, error) {
+	if extra < 0 {
+		return nil, fmt.Errorf("budget: negative extension %d", extra)
+	}
+	levelOf := make([]int, a.m+extra)
+	copy(levelOf, a.levelOf)
+	star := len(a.eps)
+	for i := 0; i < extra; i++ {
+		levelOf[a.m+i] = star
+	}
+	eps := append(append([]float64(nil), a.eps...), epsStar)
+	return FromLevels(levelOf, eps)
+}

@@ -1,0 +1,260 @@
+package budget
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"idldp/internal/rng"
+)
+
+func TestDefaultSpec(t *testing.T) {
+	s := Default(1.5)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 1.8, 3.0, 6.0}
+	for i, e := range want {
+		if math.Abs(s.Eps[i]-e) > 1e-12 {
+			t.Errorf("Eps[%d]=%v want %v", i, s.Eps[i], e)
+		}
+	}
+	if s.Prop[3] != 0.85 {
+		t.Errorf("Prop[3]=%v", s.Prop[3])
+	}
+}
+
+func TestExponentialSpec(t *testing.T) {
+	s := Exponential(1, 20)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.T() != 20 {
+		t.Fatalf("T=%d", s.T())
+	}
+	if s.Eps[0] != 1 || math.Abs(s.Eps[19]-4) > 1e-12 {
+		t.Fatalf("budget range [%v,%v] want [1,4]", s.Eps[0], s.Eps[19])
+	}
+	// Proportions exponentially increasing with budget.
+	for i := 1; i < 20; i++ {
+		if s.Prop[i] <= s.Prop[i-1] {
+			t.Fatalf("proportions not increasing at %d", i)
+		}
+	}
+	if s := Exponential(2, 1); s.Eps[0] != 2 || s.Prop[0] != 1 {
+		t.Fatal("single-level exponential wrong")
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Exponential(1, 0)
+}
+
+func TestUniformSpec(t *testing.T) {
+	a, err := Assign(10, Uniform(2), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Min() != 2 || a.Max() != 2 || a.T() != 1 {
+		t.Fatal("uniform spec wrong")
+	}
+}
+
+func TestSpecValidateErrors(t *testing.T) {
+	cases := map[string]Spec{
+		"empty":       {},
+		"mismatch":    {Eps: []float64{1}, Prop: []float64{0.5, 0.5}},
+		"neg-budget":  {Eps: []float64{-1}, Prop: []float64{1}},
+		"inf-budget":  {Eps: []float64{math.Inf(1)}, Prop: []float64{1}},
+		"neg-prop":    {Eps: []float64{1, 2}, Prop: []float64{-0.5, 1.5}},
+		"sum-not-one": {Eps: []float64{1, 2}, Prop: []float64{0.5, 0.6}},
+		"nan-prop":    {Eps: []float64{1}, Prop: []float64{math.NaN()}},
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestAssignProportions(t *testing.T) {
+	const m = 100000
+	s := Default(1)
+	a, err := Assign(m, s, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != m || a.T() != 4 {
+		t.Fatalf("M=%d T=%d", a.M(), a.T())
+	}
+	total := 0
+	for l := 0; l < 4; l++ {
+		c := a.LevelCount(l)
+		total += c
+		want := s.Prop[l] * m
+		tol := 6 * math.Sqrt(want)
+		if math.Abs(float64(c)-want) > tol {
+			t.Errorf("level %d count %d want ≈%g", l, c, want)
+		}
+	}
+	if total != m {
+		t.Fatalf("counts sum to %d", total)
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	if _, err := Assign(0, Default(1), rng.New(1)); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := Assign(10, Spec{}, rng.New(1)); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestAssignBlocks(t *testing.T) {
+	a, err := AssignBlocks(20, Default(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5% of 20 = 1 item in each of the first three levels, 17 in the last.
+	want := []int{1, 1, 1, 17}
+	for l, w := range want {
+		if a.LevelCount(l) != w {
+			t.Errorf("level %d count %d want %d", l, a.LevelCount(l), w)
+		}
+	}
+	// Blocks are contiguous.
+	if a.LevelOf(0) != 0 || a.LevelOf(1) != 1 || a.LevelOf(2) != 2 || a.LevelOf(3) != 3 || a.LevelOf(19) != 3 {
+		t.Error("blocks not contiguous")
+	}
+	if _, err := AssignBlocks(0, Default(1)); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestFromLevelsAndAccessors(t *testing.T) {
+	a, err := FromLevels([]int{0, 1, 1, 0}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EpsOf(0) != 1 || a.EpsOf(1) != 3 {
+		t.Fatal("EpsOf wrong")
+	}
+	if got := a.PerItem(); len(got) != 4 || got[3] != 1 {
+		t.Fatalf("PerItem=%v", got)
+	}
+	if a.Min() != 1 || a.Max() != 3 {
+		t.Fatal("Min/Max wrong")
+	}
+	items := a.ItemsOf(1)
+	if len(items) != 2 || items[0] != 1 || items[1] != 2 {
+		t.Fatalf("ItemsOf=%v", items)
+	}
+	if c := a.LevelCounts(); c[0] != 2 || c[1] != 2 {
+		t.Fatalf("LevelCounts=%v", c)
+	}
+	if e := a.LevelEpsAll(); e[1] != 3 {
+		t.Fatalf("LevelEpsAll=%v", e)
+	}
+}
+
+func TestFromLevelsErrors(t *testing.T) {
+	if _, err := FromLevels(nil, []float64{1}); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := FromLevels([]int{0}, nil); err == nil {
+		t.Error("no levels accepted")
+	}
+	if _, err := FromLevels([]int{2}, []float64{1, 2}); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+	if _, err := FromLevels([]int{0}, []float64{-1}); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestToyExample(t *testing.T) {
+	a := ToyExample()
+	if a.M() != 5 || a.T() != 2 {
+		t.Fatal("toy example shape wrong")
+	}
+	if math.Abs(a.EpsOf(0)-math.Log(4)) > 1e-12 {
+		t.Errorf("HIV budget %v want ln4", a.EpsOf(0))
+	}
+	for i := 1; i < 5; i++ {
+		if math.Abs(a.EpsOf(i)-math.Log(6)) > 1e-12 {
+			t.Errorf("item %d budget %v want ln6", i, a.EpsOf(i))
+		}
+	}
+}
+
+func TestSortedLevels(t *testing.T) {
+	a, err := FromLevels([]int{0, 1, 2}, []float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.SortedLevels()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedLevels=%v want %v", got, want)
+		}
+	}
+}
+
+func TestExtend(t *testing.T) {
+	a := ToyExample()
+	ext, err := a.Extend(3, a.Min())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.M() != 8 || ext.T() != 3 {
+		t.Fatalf("M=%d T=%d", ext.M(), ext.T())
+	}
+	for i := 5; i < 8; i++ {
+		if ext.EpsOf(i) != a.Min() {
+			t.Errorf("dummy item %d budget %v want %v", i, ext.EpsOf(i), a.Min())
+		}
+	}
+	// Original items keep their budgets.
+	if ext.EpsOf(0) != a.EpsOf(0) || ext.EpsOf(4) != a.EpsOf(4) {
+		t.Error("original budgets changed")
+	}
+	if _, err := a.Extend(-1, 1); err == nil {
+		t.Error("negative extension accepted")
+	}
+}
+
+// Property: for any random assignment, Min <= every item's budget <= Max
+// and level counts sum to m.
+func TestAssignmentInvariants(t *testing.T) {
+	f := func(seed uint64, mRaw uint16) bool {
+		m := int(mRaw%500) + 1
+		a, err := Assign(m, Default(1), rng.New(seed))
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for l := 0; l < a.T(); l++ {
+			sum += a.LevelCount(l)
+		}
+		if sum != m {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			e := a.EpsOf(i)
+			if e < a.Min() || e > a.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

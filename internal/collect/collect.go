@@ -1,0 +1,105 @@
+// Package collect runs the end-to-end collection pipeline of Fig. 2
+// in-process: every user perturbs her input locally (in parallel across
+// worker goroutines, each with its own derived random stream) and the
+// per-worker partial sums are merged into one aggregator. Results are
+// deterministic for a fixed seed regardless of the worker count, because
+// each user draws from a stream derived from her index.
+package collect
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"idldp/internal/agg"
+	"idldp/internal/bitvec"
+	"idldp/internal/rng"
+)
+
+// PerturbItemFunc perturbs one user's single-item input.
+type PerturbItemFunc func(item int, r *rng.Source) *bitvec.Vector
+
+// PerturbSetFunc perturbs one user's item-set input.
+type PerturbSetFunc func(set []int, r *rng.Source) *bitvec.Vector
+
+// Options tunes a collection run.
+type Options struct {
+	// Workers is the number of perturbation goroutines; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Seed derives every user's random stream.
+	Seed uint64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunSingle perturbs and aggregates all single-item users. bits is the
+// report length (the mechanism's bit count).
+func RunSingle(items []int, bits int, perturb PerturbItemFunc, o Options) (*agg.Aggregator, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("collect: report length %d must be positive", bits)
+	}
+	return runUsers(len(items), bits, o, func(u int, r *rng.Source) *bitvec.Vector {
+		return perturb(items[u], r)
+	})
+}
+
+// RunSets perturbs and aggregates all item-set users. bits is the report
+// length m+ℓ.
+func RunSets(sets [][]int, bits int, perturb PerturbSetFunc, o Options) (*agg.Aggregator, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("collect: report length %d must be positive", bits)
+	}
+	return runUsers(len(sets), bits, o, func(u int, r *rng.Source) *bitvec.Vector {
+		return perturb(sets[u], r)
+	})
+}
+
+func runUsers(n, bits int, o Options, report func(u int, r *rng.Source) *bitvec.Vector) (*agg.Aggregator, error) {
+	workers := o.workers()
+	if workers > n && n > 0 {
+		workers = n
+	}
+	total := agg.New(bits)
+	if n == 0 {
+		return total, nil
+	}
+	root := rng.New(o.Seed)
+	locals := make([]*agg.Aggregator, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[w] = fmt.Errorf("collect: worker %d: %v", w, p)
+				}
+			}()
+			local := agg.New(bits)
+			// Static block partition keeps per-user streams stable.
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			for u := lo; u < hi; u++ {
+				local.Add(report(u, root.SplitN(u)))
+			}
+			locals[w] = local
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		if err := total.Merge(locals[w]); err != nil {
+			return nil, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,133 @@
+package collect
+
+import (
+	"math"
+	"testing"
+
+	"idldp/internal/bitvec"
+	"idldp/internal/budget"
+	"idldp/internal/core"
+	"idldp/internal/estimate"
+	"idldp/internal/rng"
+)
+
+func TestRunSingleDeterministicAcrossWorkerCounts(t *testing.T) {
+	e, err := core.New(core.Config{Budgets: budget.ToyExample()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]int, 2000)
+	for i := range items {
+		items[i] = i % 5
+	}
+	run := func(workers int) []int64 {
+		a, err := RunSingle(items, e.M(), e.PerturbItem, Options{Workers: workers, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.N() != 2000 {
+			t.Fatalf("N=%d", a.N())
+		}
+		return a.Counts()
+	}
+	c1, c4, c16 := run(1), run(4), run(16)
+	for i := range c1 {
+		if c1[i] != c4[i] || c1[i] != c16[i] {
+			t.Fatalf("worker count changed results: %v %v %v", c1, c4, c16)
+		}
+	}
+}
+
+func TestRunSingleEstimatesNearTruth(t *testing.T) {
+	e, err := core.New(core.Config{Budgets: budget.ToyExample()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40000
+	items := make([]int, n)
+	truth := make([]float64, 5)
+	for i := range items {
+		items[i] = i % 5
+		truth[i%5]++
+	}
+	a, err := RunSingle(items, e.M(), e.PerturbItem, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.EstimateSingle(a.Counts(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(est[i]-truth[i]) > 0.15*truth[i]+200 {
+			t.Errorf("item %d estimate %v truth %v", i, est[i], truth[i])
+		}
+	}
+}
+
+func TestRunSetsPipeline(t *testing.T) {
+	asgn, err := budget.Assign(8, budget.Default(2), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.New(core.Config{Budgets: asgn, PaddingLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := make([][]int, 10000)
+	truth := make([]float64, 8)
+	for u := range sets {
+		sets[u] = []int{u % 8, (u + 3) % 8}
+		truth[u%8]++
+		truth[(u+3)%8]++
+	}
+	a, err := RunSets(sets, e.SetMech().Bits(), e.PerturbSet, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.EstimateSet(a.Counts(), len(sets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := estimate.TotalSquaredError(est, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loose sanity bound: each estimate within a plausible band of 2500
+	// true count → total squared error far below catastrophic failure.
+	if se > 8e7 {
+		t.Errorf("total squared error %v implausibly large", se)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	a, err := RunSingle(nil, 4, func(int, *rng.Source) *bitvec.Vector {
+		t.Fatal("perturb called for empty input")
+		return nil
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 0 {
+		t.Fatalf("N=%d", a.N())
+	}
+}
+
+func TestRunInvalidBits(t *testing.T) {
+	if _, err := RunSingle([]int{1}, 0, nil, Options{}); err != nil {
+	} else {
+		t.Error("bits=0 accepted")
+	}
+	if _, err := RunSets([][]int{{1}}, -1, nil, Options{}); err == nil {
+		t.Error("bits<0 accepted")
+	}
+}
+
+func TestWorkerPanicSurfacesAsError(t *testing.T) {
+	_, err := RunSingle([]int{1, 2, 3}, 4, func(item int, r *rng.Source) *bitvec.Vector {
+		panic("boom")
+	}, Options{Workers: 2, Seed: 1})
+	if err == nil {
+		t.Fatal("worker panic not surfaced")
+	}
+}

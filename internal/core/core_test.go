@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"idldp/internal/budget"
+	"idldp/internal/notion"
+	"idldp/internal/opt"
+	"idldp/internal/rng"
+)
+
+func toyEngine(t *testing.T, ell int) *Engine {
+	t.Helper()
+	e, err := New(Config{Budgets: budget.ToyExample(), PaddingLength: ell, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil budgets accepted")
+	}
+	if _, err := New(Config{Budgets: budget.ToyExample(), PaddingLength: -1}); err == nil {
+		t.Error("negative padding accepted")
+	}
+	if _, err := New(Config{Budgets: budget.ToyExample(), Model: opt.Model(42)}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestEngineDefaults(t *testing.T) {
+	e := toyEngine(t, 0)
+	if e.M() != 5 || e.PaddingLength() != 0 {
+		t.Fatalf("M=%d ell=%d", e.M(), e.PaddingLength())
+	}
+	if e.SetMech() != nil {
+		t.Fatal("set mechanism built without padding")
+	}
+	p := e.Params()
+	if p.Model != opt.Opt0 {
+		t.Fatalf("default model %v", p.Model)
+	}
+	// Table II parameters.
+	if math.Abs(p.A[0]-0.59) > 0.05 || math.Abs(p.B[1]-0.28) > 0.05 {
+		t.Errorf("params A=%v B=%v far from Table II", p.A, p.B)
+	}
+}
+
+func TestRealizedLDPBudgetWithinLemma1(t *testing.T) {
+	e := toyEngine(t, 0)
+	E := budget.ToyExample().LevelEpsAll()
+	if got, bound := e.RealizedLDPBudget(), notion.MinIDToLDP(E); got > bound+1e-6 {
+		t.Fatalf("realized budget %v exceeds Lemma 1 bound %v", got, bound)
+	}
+}
+
+func TestSingleItemRoundTrip(t *testing.T) {
+	// n users, power-law-ish truth; estimates must land near the truth.
+	asgn, err := budget.Assign(20, budget.Default(2), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Budgets: asgn, Model: opt.Opt1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	r := rng.New(42)
+	a := e.NewAggregator()
+	truth := make([]float64, 20)
+	for u := 0; u < n; u++ {
+		item := u % 20
+		truth[item]++
+		a.Add(e.PerturbItem(item, r))
+	}
+	est, err := e.EstimateSingle(a.Counts(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		// 6σ band from the theoretical per-item variance.
+		ue := e.UE()
+		sd := math.Sqrt(float64(n) * ue.B[i] * (1 - ue.B[i]) / ((ue.A[i] - ue.B[i]) * (ue.A[i] - ue.B[i])))
+		if math.Abs(est[i]-truth[i]) > 6*sd+50 {
+			t.Errorf("item %d estimate %v truth %v (sd %v)", i, est[i], truth[i], sd)
+		}
+	}
+}
+
+func TestSetRoundTrip(t *testing.T) {
+	asgn, err := budget.Assign(10, budget.Default(2), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Budgets: asgn, Model: opt.Opt2, PaddingLength: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SetMech() == nil {
+		t.Fatal("set mechanism missing")
+	}
+	const n = 60000
+	r := rng.New(9)
+	a := e.NewSetAggregator()
+	if a.Bits() != 13 {
+		t.Fatalf("set aggregator bits %d want 13", a.Bits())
+	}
+	truth := make([]float64, 10)
+	for u := 0; u < n; u++ {
+		set := []int{u % 10, (u + 1) % 10}
+		for _, i := range set {
+			truth[i]++
+		}
+		a.Add(e.PerturbSet(set, r))
+	}
+	est, err := e.EstimateSet(a.Counts(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != 10 {
+		t.Fatalf("estimate length %d want 10 (dummies not dropped)", len(est))
+	}
+	for i := range truth {
+		if math.Abs(est[i]-truth[i]) > 0.25*truth[i]+500 {
+			t.Errorf("item %d estimate %v truth %v", i, est[i], truth[i])
+		}
+	}
+}
+
+func TestSetBudgetUsesEpsStarMin(t *testing.T) {
+	e := toyEngine(t, 2)
+	// Singleton of the loosest item: padded with ε* = min E dummies.
+	got := e.SetBudget([]int{1})
+	eta := 0.5
+	want := math.Log(eta*math.Exp(math.Log(6)) + (1-eta)*math.Exp(math.Log(4)))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SetBudget=%v want %v", got, want)
+	}
+}
+
+func TestSingleModePanics(t *testing.T) {
+	e := toyEngine(t, 0)
+	for name, fn := range map[string]func(){
+		"perturb-set": func() { e.PerturbSet([]int{0}, rng.New(1)) },
+		"set-agg":     func() { e.NewSetAggregator() },
+		"set-budget":  func() { e.SetBudget([]int{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	if _, err := e.EstimateSet(nil, 0); err == nil {
+		t.Error("EstimateSet without padding accepted")
+	}
+}
+
+func TestLeakageBounds(t *testing.T) {
+	e := toyEngine(t, 0)
+	// Item 0 (ε = ln4): bound is min{ln4, 2·ln4} = ln4.
+	b := e.LeakageBounds(0)
+	if math.Abs(b.Upper-4) > 1e-9 {
+		t.Errorf("item 0 upper leakage %v want 4", b.Upper)
+	}
+	// Item 1 (ε = ln6): bound is min{ln6, 2·ln4 = ln16} = ln6.
+	b = e.LeakageBounds(1)
+	if math.Abs(b.Upper-6) > 1e-9 {
+		t.Errorf("item 1 upper leakage %v want 6", b.Upper)
+	}
+}
+
+func TestTheoreticalTotalMSE(t *testing.T) {
+	e := toyEngine(t, 0)
+	truth := []float64{100, 200, 300, 200, 200}
+	got, err := e.TheoreticalTotalMSE(truth, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table II reports [8.68n, 8.86n] for the paper's two-decimal
+	// parameters; our solver's exact optimum can land somewhat lower at a
+	// specific truth vector. Require the same ballpark and strictly below
+	// the OUE baseline's 9.9n.
+	if got < 7.8*1000 || got > 9.0*1000 {
+		t.Errorf("theoretical total MSE %v outside plausible band around Table II", got)
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	asgn := budget.ToyExample()
+	for _, b := range []Baseline{RAPPOR, OUE} {
+		u, err := NewBaselineUE(b, asgn)
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		if u.Bits() != 5 {
+			t.Fatalf("%v bits %d", b, u.Bits())
+		}
+		// Baselines run at ε = min E = ln 4.
+		if got := notion.UELDPBudget(u.A, u.B); math.Abs(got-math.Log(4)) > 1e-9 {
+			t.Errorf("%v realized budget %v want ln4", b, got)
+		}
+		sm, err := NewBaselineSet(b, asgn, 3)
+		if err != nil {
+			t.Fatalf("%v set: %v", b, err)
+		}
+		if sm.Bits() != 8 {
+			t.Fatalf("%v set bits %d", b, sm.Bits())
+		}
+	}
+	if _, err := NewBaselineUE(Baseline(9), asgn); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+	if RAPPOR.String() != "RAPPOR" || OUE.String() != "OUE" || Baseline(9).String() == "" {
+		t.Error("baseline names wrong")
+	}
+}
+
+func TestAllModelsBuildEngines(t *testing.T) {
+	asgn, err := budget.Assign(30, budget.Default(1.5), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []opt.Model{opt.Opt0, opt.Opt1, opt.Opt2} {
+		e, err := New(Config{Budgets: asgn, Model: m, PaddingLength: 2, Seed: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if e.Params().Model != m {
+			t.Errorf("%v: params report model %v", m, e.Params().Model)
+		}
+	}
+}

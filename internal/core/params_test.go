@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"idldp/internal/budget"
+	"idldp/internal/rng"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := toyEngine(t, 3)
+	sp := orig.Save()
+	var buf bytes.Buffer
+	if err := sp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	read, err := ReadSavedParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewFromSaved(read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.M() != orig.M() || loaded.PaddingLength() != orig.PaddingLength() {
+		t.Fatal("shape changed through round trip")
+	}
+	// Identical per-bit parameters → identical reports for the same seed.
+	r1 := orig.PerturbItem(2, rng.New(5))
+	r2 := loaded.PerturbItem(2, rng.New(5))
+	if !r1.Equal(r2) {
+		t.Fatal("loaded engine produces different reports")
+	}
+	// Set mechanism rebuilt as well.
+	if loaded.SetMech() == nil {
+		t.Fatal("set mechanism lost")
+	}
+	if math.Abs(loaded.SetBudget([]int{0, 1})-orig.SetBudget([]int{0, 1})) > 1e-12 {
+		t.Fatal("set budgets diverged")
+	}
+}
+
+func TestNewFromSavedRejectsTampering(t *testing.T) {
+	sp := toyEngine(t, 0).Save()
+	// Inflate the keep probability of the strictest level beyond its
+	// budget: verification must fail.
+	tampered := sp
+	tampered.A = append([]float64(nil), sp.A...)
+	tampered.A[0] = 0.95
+	if _, err := NewFromSaved(tampered); err == nil {
+		t.Fatal("tampered parameters accepted")
+	}
+}
+
+func TestNewFromSavedValidation(t *testing.T) {
+	good := toyEngine(t, 0).Save()
+	bad := good
+	bad.Notion = "median"
+	if _, err := NewFromSaved(bad); err == nil {
+		t.Error("unknown notion accepted")
+	}
+	bad = good
+	bad.A = bad.A[:1]
+	if _, err := NewFromSaved(bad); err == nil {
+		t.Error("level mismatch accepted")
+	}
+	bad = good
+	bad.LevelOf = []int{9}
+	if _, err := NewFromSaved(bad); err == nil {
+		t.Error("bad level map accepted")
+	}
+}
+
+func TestReadSavedParamsMalformed(t *testing.T) {
+	if _, err := ReadSavedParams(strings.NewReader("not json")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestNotionByName(t *testing.T) {
+	for _, name := range []string{"", "min", "avg", "max"} {
+		if _, err := NotionByName(name); err != nil {
+			t.Errorf("%q rejected: %v", name, err)
+		}
+	}
+	if _, err := NotionByName("median"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestSaveCapturesAssignment(t *testing.T) {
+	asgn, err := budget.Assign(12, budget.Default(1.5), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Budgets: asgn, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := e.Save()
+	if len(sp.LevelOf) != 12 || len(sp.LevelEps) != 4 {
+		t.Fatalf("saved shape %d/%d", len(sp.LevelOf), len(sp.LevelEps))
+	}
+	for i, l := range sp.LevelOf {
+		if l != asgn.LevelOf(i) {
+			t.Fatal("level map changed")
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package dataset provides the workloads of the evaluation section (§VII):
+// the two synthetic single-item datasets (Power-law and Uniform) exactly as
+// described, and simulated stand-ins for the three public datasets
+// (Kosarak, Retail, MSNBC) whose published statistics drive the generators.
+// The environment is offline, so the real downloads are replaced by seeded
+// synthetic equivalents that match the frequency skew and set-size
+// distributions the figures depend on; see DESIGN.md §2.6 for the
+// substitution rationale.
+package dataset
+
+import (
+	"fmt"
+
+	"idldp/internal/dist"
+	"idldp/internal/rng"
+)
+
+// SingleItem is a dataset where each user holds exactly one item from
+// {0..M-1}.
+type SingleItem struct {
+	Items []int
+	M     int
+}
+
+// N returns the number of users.
+func (d *SingleItem) N() int { return len(d.Items) }
+
+// TrueCounts returns the ground-truth frequency c*_i of every item
+// (Eq. 1).
+func (d *SingleItem) TrueCounts() []float64 {
+	out := make([]float64, d.M)
+	for _, x := range d.Items {
+		out[x]++
+	}
+	return out
+}
+
+// Validate checks every item is in range.
+func (d *SingleItem) Validate() error {
+	if d.M <= 0 {
+		return fmt.Errorf("dataset: domain size %d must be positive", d.M)
+	}
+	for u, x := range d.Items {
+		if x < 0 || x >= d.M {
+			return fmt.Errorf("dataset: user %d holds item %d outside [0,%d)", u, x, d.M)
+		}
+	}
+	return nil
+}
+
+// SetValued is a dataset where each user holds a set of distinct items
+// from {0..M-1}. Empty sets are allowed (the PS protocol pads them).
+type SetValued struct {
+	Sets [][]int
+	M    int
+}
+
+// N returns the number of users.
+func (d *SetValued) N() int { return len(d.Sets) }
+
+// TrueCounts returns the ground-truth frequency c*_i of every item: the
+// number of users whose set contains i (Eq. 1).
+func (d *SetValued) TrueCounts() []float64 {
+	out := make([]float64, d.M)
+	for _, s := range d.Sets {
+		for _, i := range s {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Validate checks every set holds distinct in-range items.
+func (d *SetValued) Validate() error {
+	if d.M <= 0 {
+		return fmt.Errorf("dataset: domain size %d must be positive", d.M)
+	}
+	for u, s := range d.Sets {
+		seen := make(map[int]bool, len(s))
+		for _, i := range s {
+			if i < 0 || i >= d.M {
+				return fmt.Errorf("dataset: user %d holds item %d outside [0,%d)", u, i, d.M)
+			}
+			if seen[i] {
+				return fmt.Errorf("dataset: user %d holds duplicate item %d", u, i)
+			}
+			seen[i] = true
+		}
+	}
+	return nil
+}
+
+// MeanSetSize returns the average items per user.
+func (d *SetValued) MeanSetSize() float64 {
+	if len(d.Sets) == 0 {
+		return 0
+	}
+	var total int
+	for _, s := range d.Sets {
+		total += len(s)
+	}
+	return float64(total) / float64(len(d.Sets))
+}
+
+// FirstItems projects the dataset to single-item form by keeping each
+// user's first item, as the paper does to obtain the single-item Kosarak
+// variant for Fig. 4(a). Users with empty sets are dropped.
+func (d *SetValued) FirstItems() *SingleItem {
+	items := make([]int, 0, len(d.Sets))
+	for _, s := range d.Sets {
+		if len(s) > 0 {
+			items = append(items, s[0])
+		}
+	}
+	return &SingleItem{Items: items, M: d.M}
+}
+
+// TopM restricts the dataset to the m most frequent items, relabelled
+// 0..m-1 in descending frequency order; other items are dropped from every
+// set. LDP frequency-estimation papers evaluate UE-family mechanisms on
+// such reduced domains because report length is linear in the domain size.
+func (d *SetValued) TopM(m int) (*SetValued, error) {
+	if m <= 0 || m > d.M {
+		return nil, fmt.Errorf("dataset: TopM(%d) out of range [1,%d]", m, d.M)
+	}
+	counts := d.TrueCounts()
+	idx := make([]int, d.M)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection of the m most frequent (stable by index on ties).
+	sortByCountDesc(idx, counts)
+	remap := make(map[int]int, m)
+	for newID, oldID := range idx[:m] {
+		remap[oldID] = newID
+	}
+	out := &SetValued{Sets: make([][]int, len(d.Sets)), M: m}
+	for u, s := range d.Sets {
+		var ns []int
+		for _, i := range s {
+			if ni, ok := remap[i]; ok {
+				ns = append(ns, ni)
+			}
+		}
+		out.Sets[u] = ns
+	}
+	return out, nil
+}
+
+func sortByCountDesc(idx []int, counts []float64) {
+	// Simple insertion-free approach: sort.Slice equivalent without
+	// importing sort in two places — keep it explicit and stable.
+	quicksortDesc(idx, counts, 0, len(idx)-1)
+}
+
+func quicksortDesc(idx []int, counts []float64, lo, hi int) {
+	for lo < hi {
+		p := partitionDesc(idx, counts, lo, hi)
+		if p-lo < hi-p {
+			quicksortDesc(idx, counts, lo, p-1)
+			lo = p + 1
+		} else {
+			quicksortDesc(idx, counts, p+1, hi)
+			hi = p - 1
+		}
+	}
+}
+
+func less(idx []int, counts []float64, a, b int) bool {
+	// Descending by count, ascending by index on ties.
+	if counts[idx[a]] != counts[idx[b]] {
+		return counts[idx[a]] > counts[idx[b]]
+	}
+	return idx[a] < idx[b]
+}
+
+func partitionDesc(idx []int, counts []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	idx[mid], idx[hi] = idx[hi], idx[mid]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if less(idx, counts, i, hi) {
+			idx[i], idx[store] = idx[store], idx[i]
+			store++
+		}
+	}
+	idx[store], idx[hi] = idx[hi], idx[store]
+	return store
+}
+
+// PowerLawSingle generates the paper's Power-law synthetic dataset: n
+// users each drawing one item from a power-law with the given exponent
+// over {0..m-1} (defaults in §VII: n = 100000, m = 100, α = 2).
+func PowerLawSingle(n, m int, alpha float64, seed uint64) *SingleItem {
+	s := dist.NewSampler(dist.PowerLaw(m, alpha))
+	r := rng.New(seed)
+	return &SingleItem{Items: s.DrawN(r, n), M: m}
+}
+
+// UniformSingle generates the paper's Uniform synthetic dataset: n users
+// each drawing one item uniformly from {0..m-1} (§VII: n = 100000,
+// m = 1000).
+func UniformSingle(n, m int, seed uint64) *SingleItem {
+	s := dist.NewSampler(dist.Uniform(m))
+	r := rng.New(seed)
+	return &SingleItem{Items: s.DrawN(r, n), M: m}
+}
+
+// genSets draws n item-sets: user u's set size comes from sizeOf and its
+// members are distinct draws from the popularity sampler.
+func genSets(n, m int, pop *dist.Sampler, sizeOf func(*rng.Source) int, seed uint64) *SetValued {
+	r := rng.New(seed)
+	sets := make([][]int, n)
+	for u := range sets {
+		size := sizeOf(r)
+		if size > m {
+			size = m
+		}
+		seen := make(map[int]bool, size)
+		set := make([]int, 0, size)
+		// Rejection sampling of distinct items; bail out to sequential
+		// fill if the popularity mass is too concentrated to make
+		// progress (only reachable for tiny domains).
+		for attempts := 0; len(set) < size && attempts < 50*size+100; attempts++ {
+			i := pop.Draw(r)
+			if !seen[i] {
+				seen[i] = true
+				set = append(set, i)
+			}
+		}
+		for i := 0; len(set) < size && i < m; i++ {
+			if !seen[i] {
+				seen[i] = true
+				set = append(set, i)
+			}
+		}
+		sets[u] = set
+	}
+	return &SetValued{Sets: sets, M: m}
+}

@@ -1,0 +1,47 @@
+package dataset
+
+import "testing"
+
+func BenchmarkKosarakGenerate(b *testing.B) {
+	cfg := DefaultKosarak()
+	cfg.Users = 10000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		Kosarak(cfg)
+	}
+}
+
+func BenchmarkRetailGenerate(b *testing.B) {
+	cfg := DefaultRetail()
+	cfg.Users = 10000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		Retail(cfg)
+	}
+}
+
+func BenchmarkTopM(b *testing.B) {
+	cfg := DefaultKosarak()
+	cfg.Users = 20000
+	d := Kosarak(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.TopM(128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrueCounts(b *testing.B) {
+	cfg := DefaultRetail()
+	cfg.Users = 20000
+	d := Retail(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.TrueCounts()
+	}
+}

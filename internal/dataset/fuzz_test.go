@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTransactions exercises the FIMI text parser with arbitrary
+// input: it must never panic, and anything it accepts must validate and
+// survive a write/read round trip.
+func FuzzReadTransactions(f *testing.F) {
+	f.Add("# m=5\n1 2 3\n\n0 4\n")
+	f.Add("1 5\n0\n")
+	f.Add("# m=zz\n1\n")
+	f.Add("")
+	f.Add("9999999999999999999999\n")
+	f.Add("# m=3\n-1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadTransactions(bytes.NewBufferString(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTransactions(&buf, d); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadTransactions(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.N() != d.N() || back.M != d.M {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", back.N(), back.M, d.N(), d.M)
+		}
+	})
+}

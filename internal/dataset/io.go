@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// SaveSets writes a set-valued dataset in gob format.
+func SaveSets(path string, d *SetValued) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := gob.NewEncoder(w).Encode(d); err != nil {
+		return fmt.Errorf("dataset: encoding %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("dataset: flushing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadSets reads a set-valued dataset written by SaveSets and validates it.
+func LoadSets(path string) (*SetValued, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	var d SetValued
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&d); err != nil {
+		return nil, fmt.Errorf("dataset: decoding %s: %w", path, err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// WriteTransactions writes the dataset in the FIMI transaction text format
+// used by the real Kosarak/Retail releases: one space-separated line of
+// item ids per user. A leading "# m=<domain>" comment records the domain.
+func WriteTransactions(w io.Writer, d *SetValued) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# m=%d\n", d.M); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	for _, s := range d.Sets {
+		for j, i := range s {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return fmt.Errorf("dataset: %w", err)
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(i)); err != nil {
+				return fmt.Errorf("dataset: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTransactions parses the FIMI transaction text format. If the leading
+// "# m=<domain>" comment is absent, the domain is 1 + the largest item id.
+func ReadTransactions(r io.Reader) (*SetValued, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	d := &SetValued{}
+	maxItem := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(text, "#") {
+			if m, ok := strings.CutPrefix(text, "# m="); ok {
+				v, err := strconv.Atoi(strings.TrimSpace(m))
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d: bad domain comment: %w", line, err)
+				}
+				d.M = v
+			}
+			continue
+		}
+		var set []int
+		if text != "" {
+			for _, tok := range strings.Fields(text) {
+				v, err := strconv.Atoi(tok)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d: bad item %q: %w", line, tok, err)
+				}
+				if v > maxItem {
+					maxItem = v
+				}
+				set = append(set, v)
+			}
+		}
+		d.Sets = append(d.Sets, set)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	if d.M == 0 {
+		d.M = maxItem + 1
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,129 @@
+// Package estimate implements the server-side frequency-estimation
+// protocol (§V-C): calibration of raw bit counts into unbiased item-count
+// estimates (Eq. 8, generalized for PS by the factor ℓ), the theoretical
+// MSE of the estimator (Eq. 9), and the error metrics the evaluation
+// section reports (total MSE over all items and over the top-k frequent
+// items).
+package estimate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Calibrate converts collected bit counts into unbiased frequency
+// estimates: ĉ_i = scale · (c_i - n·b_i)/(a_i - b_i). scale is 1 for
+// single-item input and the padding length ℓ under Padding-and-Sampling.
+// It returns an error on mismatched lengths or a degenerate a_i = b_i.
+func Calibrate(counts []int64, n int, a, b []float64, scale float64) ([]float64, error) {
+	if len(counts) != len(a) || len(a) != len(b) {
+		return nil, fmt.Errorf("estimate: mismatched lengths counts=%d a=%d b=%d", len(counts), len(a), len(b))
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("estimate: scale %v must be positive", scale)
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		d := a[i] - b[i]
+		if d == 0 {
+			return nil, fmt.Errorf("estimate: a[%d] == b[%d] == %v, estimator undefined", i, i, a[i])
+		}
+		out[i] = scale * (float64(c) - float64(n)*b[i]) / d
+	}
+	return out, nil
+}
+
+// TheoreticalMSE returns the Eq. (9) mean squared error of the estimator
+// for one item: n·b(1-b)/(a-b)² + c*·(1-a-b)/(a-b), where c* is the true
+// count of the item.
+func TheoreticalMSE(n int, trueCount, a, b float64) float64 {
+	d := a - b
+	return float64(n)*b*(1-b)/(d*d) + trueCount*(1-a-b)/d
+}
+
+// TotalTheoreticalMSE sums Eq. (9) over all items.
+func TotalTheoreticalMSE(n int, trueCounts []float64, a, b []float64) (float64, error) {
+	if len(trueCounts) != len(a) || len(a) != len(b) {
+		return 0, fmt.Errorf("estimate: mismatched lengths counts=%d a=%d b=%d", len(trueCounts), len(a), len(b))
+	}
+	var sum float64
+	for i, c := range trueCounts {
+		sum += TheoreticalMSE(n, c, a[i], b[i])
+	}
+	return sum, nil
+}
+
+// TheoreticalMSEPS returns the per-item variance of the PS-scaled
+// estimator ĉ_i = ℓ(c_i - n·b)/(a - b). Under Padding-and-Sampling the
+// pre-perturbation bit is itself Bernoulli (the user may or may not sample
+// item i), so the report bit is Bernoulli(p) with p = b + (c_s/n)(a-b),
+// where c_s is the expected number of users whose sampled item is i
+// (c_s = E[c*_i]/ℓ for items held by c*_i users at sampling rate 1/ℓ).
+// The formula Var = ℓ²·n·p(1-p)/(a-b)² is exact when users are
+// homogeneous in their sampling probability for item i and a good
+// approximation otherwise.
+func TheoreticalMSEPS(n int, sampledCount, a, b float64, ell int) float64 {
+	d := a - b
+	l := float64(ell)
+	p := b + sampledCount/float64(n)*d
+	return l * l * float64(n) * p * (1 - p) / (d * d)
+}
+
+// TotalSquaredError returns Σ_i (est_i - truth_i)², the empirical total
+// MSE of one run — what the evaluation figures plot.
+func TotalSquaredError(est, truth []float64) (float64, error) {
+	if len(est) != len(truth) {
+		return 0, fmt.Errorf("estimate: got %d estimates for %d true counts", len(est), len(truth))
+	}
+	var sum float64
+	for i := range est {
+		d := est[i] - truth[i]
+		sum += d * d
+	}
+	return sum, nil
+}
+
+// TopK returns the indices of the k largest values in truth, in
+// descending value order. Ties break toward the smaller index. It returns
+// an error if k is out of range.
+func TopK(truth []float64, k int) ([]int, error) {
+	if k < 0 || k > len(truth) {
+		return nil, fmt.Errorf("estimate: k=%d out of range [0,%d]", k, len(truth))
+	}
+	idx := make([]int, len(truth))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return truth[idx[x]] > truth[idx[y]] })
+	return idx[:k], nil
+}
+
+// SquaredErrorAt returns Σ_{i∈idx} (est_i - truth_i)², the error restricted
+// to chosen items — the "MSE of top 5 frequent items" panels of Fig. 5.
+func SquaredErrorAt(est, truth []float64, idx []int) (float64, error) {
+	if len(est) != len(truth) {
+		return 0, fmt.Errorf("estimate: got %d estimates for %d true counts", len(est), len(truth))
+	}
+	var sum float64
+	for _, i := range idx {
+		if i < 0 || i >= len(est) {
+			return 0, fmt.Errorf("estimate: index %d out of range [0,%d)", i, len(est))
+		}
+		d := est[i] - truth[i]
+		sum += d * d
+	}
+	return sum, nil
+}
+
+// CalibrateGRR converts GRR report counts into unbiased estimates using
+// the Eq. (3) estimator with p and q: ĉ_i = (c_i - n·q)/(p - q).
+func CalibrateGRR(counts []int64, n int, p, q float64) ([]float64, error) {
+	if p == q {
+		return nil, fmt.Errorf("estimate: p == q == %v, estimator undefined", p)
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = (float64(c) - float64(n)*q) / (p - q)
+	}
+	return out, nil
+}

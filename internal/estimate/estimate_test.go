@@ -1,0 +1,174 @@
+package estimate
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCalibrateKnown(t *testing.T) {
+	// n=100 users, b=0.2, a=0.7: raw count 40 → (40-20)/0.5 = 40.
+	got, err := Calibrate([]int64{40}, 100, []float64{0.7}, []float64{0.2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-40) > 1e-12 {
+		t.Fatalf("got %v want 40", got[0])
+	}
+	// With PS scale 3 the estimate triples.
+	got, err = Calibrate([]int64{40}, 100, []float64{0.7}, []float64{0.2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-120) > 1e-12 {
+		t.Fatalf("got %v want 120", got[0])
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := Calibrate([]int64{1}, 10, []float64{0.5, 0.6}, []float64{0.1}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Calibrate([]int64{1}, 10, []float64{0.5}, []float64{0.5}, 1); err == nil {
+		t.Error("a == b accepted")
+	}
+	if _, err := Calibrate([]int64{1}, 10, []float64{0.5}, []float64{0.1}, 0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}
+
+func TestTheoreticalMSETableII(t *testing.T) {
+	n := 1000
+	// RAPPOR at ε=ln4: a=2/3, b=1/3 → Var = 2n exactly (Table II).
+	if got := TheoreticalMSE(n, 100, 2.0/3, 1.0/3); math.Abs(got-2*float64(n)) > 1e-9 {
+		t.Errorf("RAPPOR MSE %v want %v", got, 2*n)
+	}
+	// OUE at ε=ln4: a=1/2, b=0.2 → Var = 16n/9 + c_i (Table II: 1.78n+c_i).
+	c := 123.0
+	want := 16*float64(n)/9 + c
+	if got := TheoreticalMSE(n, c, 0.5, 0.2); math.Abs(got-want) > 1e-9 {
+		t.Errorf("OUE MSE %v want %v", got, want)
+	}
+}
+
+func TestTotalTheoreticalMSE(t *testing.T) {
+	n := 100
+	a := []float64{0.5, 0.5}
+	b := []float64{0.2, 0.2}
+	tc := []float64{10, 20}
+	got, err := TotalTheoreticalMSE(n, tc, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TheoreticalMSE(n, 10, 0.5, 0.2) + TheoreticalMSE(n, 20, 0.5, 0.2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if _, err := TotalTheoreticalMSE(n, tc, a[:1], b); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestTheoreticalMSEPS(t *testing.T) {
+	// With ell=1 and sampled count equal to the true count, the PS formula
+	// reduces to the Bernoulli-mixture variance n·p(1-p)/(a-b)².
+	n, cs, a, b := 1000, 100.0, 0.5, 0.2
+	p := b + cs/float64(n)*(a-b)
+	want := float64(n) * p * (1 - p) / ((a - b) * (a - b))
+	if got := TheoreticalMSEPS(n, cs, a, b, 1); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Scale with ell²: ell=4 gives 16× the ell=1 value.
+	if got := TheoreticalMSEPS(n, cs, a, b, 4); math.Abs(got-16*want) > 1e-9 {
+		t.Fatalf("ell scaling wrong: %v want %v", got, 16*want)
+	}
+}
+
+func TestTotalSquaredError(t *testing.T) {
+	got, err := TotalSquaredError([]float64{1, 2, 3}, []float64{1, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 13 {
+		t.Fatalf("got %v want 13", got)
+	}
+	if _, err := TotalSquaredError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	truth := []float64{5, 1, 9, 9, 3}
+	got, err := TopK(truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ties break toward smaller index: 2 before 3.
+	want := []int{2, 3, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopK=%v want %v", got, want)
+	}
+	if _, err := TopK(truth, 6); err == nil {
+		t.Error("k > len accepted")
+	}
+	if _, err := TopK(truth, -1); err == nil {
+		t.Error("k < 0 accepted")
+	}
+	if got, _ := TopK(truth, 0); len(got) != 0 {
+		t.Error("k = 0 not empty")
+	}
+}
+
+func TestSquaredErrorAt(t *testing.T) {
+	est := []float64{1, 2, 3}
+	truth := []float64{0, 2, 5}
+	got, err := SquaredErrorAt(est, truth, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("got %v want 5", got)
+	}
+	if _, err := SquaredErrorAt(est, truth, []int{3}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := SquaredErrorAt(est[:1], truth, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCalibrateGRR(t *testing.T) {
+	got, err := CalibrateGRR([]int64{30}, 100, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-50) > 1e-12 {
+		t.Fatalf("got %v want 50", got[0])
+	}
+	if _, err := CalibrateGRR([]int64{1}, 10, 0.3, 0.3); err == nil {
+		t.Error("p == q accepted")
+	}
+}
+
+// Property: calibration inverts the expected-count map exactly. For any
+// parameters and true count c, E[raw] = c·a + (n-c)·b, and calibrating
+// E[raw] recovers c — the Theorem 3 unbiasedness identity.
+func TestCalibrationInvertsExpectationProperty(t *testing.T) {
+	f := func(cRaw, nRaw uint16, aRaw, bRaw float64) bool {
+		n := int(nRaw)%10000 + 1
+		c := float64(int(cRaw) % (n + 1))
+		a := 0.5 + math.Mod(math.Abs(aRaw), 0.49)
+		b := 0.01 + math.Mod(math.Abs(bRaw), 0.4)
+		if math.IsNaN(a) || math.IsNaN(b) || b >= a {
+			return true
+		}
+		expRaw := c*a + (float64(n)-c)*b
+		// Calibrate takes integer counts; verify on the exact real value.
+		est := (expRaw - float64(n)*b) / (a - b)
+		return math.Abs(est-c) < 1e-6*(1+c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

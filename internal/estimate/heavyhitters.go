@@ -1,0 +1,94 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Heavy-hitter identification on calibrated estimates — the paper lists
+// heavy hitter estimation as future work (§VIII); this implements the
+// natural protocol on top of IDUE's unbiased estimator: rank items by
+// estimate and keep those whose lower confidence bound clears a frequency
+// threshold, using the Eq. (9) variance for per-item confidence widths.
+
+// HeavyHitter is one identified item with its confidence interval.
+type HeavyHitter struct {
+	Item     int
+	Estimate float64
+	// Low and High bound the true count at the configured confidence.
+	Low, High float64
+}
+
+// HeavyHitterConfig tunes identification.
+type HeavyHitterConfig struct {
+	// Threshold is the minimum true count of interest.
+	Threshold float64
+	// Z is the normal quantile for the confidence width (e.g. 1.96 for
+	// 95%); zero defaults to 1.96.
+	Z float64
+}
+
+// HeavyHitters returns the items whose estimate's lower confidence bound
+// reaches the threshold, ordered by descending estimate. n is the number
+// of reports; a and b the per-bit mechanism parameters; scale the PS
+// factor ℓ (1 for single-item).
+func HeavyHitters(est []float64, n int, a, b []float64, scale float64, cfg HeavyHitterConfig) ([]HeavyHitter, error) {
+	if len(est) != len(a) || len(a) != len(b) {
+		return nil, fmt.Errorf("estimate: mismatched lengths est=%d a=%d b=%d", len(est), len(a), len(b))
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("estimate: scale %v must be positive", scale)
+	}
+	if cfg.Z == 0 {
+		cfg.Z = 1.96
+	}
+	if cfg.Z < 0 {
+		return nil, fmt.Errorf("estimate: negative z %v", cfg.Z)
+	}
+	var out []HeavyHitter
+	for i, e := range est {
+		// Conservative per-item standard deviation: the n·b(1-b)/(a-b)²
+		// noise floor of Eq. (9), scaled by the PS factor.
+		d := a[i] - b[i]
+		if d <= 0 {
+			return nil, fmt.Errorf("estimate: a[%d] <= b[%d]", i, i)
+		}
+		sd := scale * math.Sqrt(float64(n)*b[i]*(1-b[i])/(d*d))
+		hh := HeavyHitter{Item: i, Estimate: e, Low: e - cfg.Z*sd, High: e + cfg.Z*sd}
+		if hh.Low >= cfg.Threshold {
+			out = append(out, hh)
+		}
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x].Estimate > out[y].Estimate })
+	return out, nil
+}
+
+// PrecisionRecall scores identified heavy hitters against the ground
+// truth: items whose true count reaches the threshold. It returns
+// (precision, recall); both are 1 when the identified set exactly matches
+// the true heavy hitters, and precision is reported as 1 for an empty
+// identification (no false positives).
+func PrecisionRecall(identified []HeavyHitter, truth []float64, threshold float64) (precision, recall float64) {
+	trueSet := map[int]bool{}
+	for i, c := range truth {
+		if c >= threshold {
+			trueSet[i] = true
+		}
+	}
+	hits := 0
+	for _, hh := range identified {
+		if trueSet[hh.Item] {
+			hits++
+		}
+	}
+	precision = 1
+	if len(identified) > 0 {
+		precision = float64(hits) / float64(len(identified))
+	}
+	recall = 1
+	if len(trueSet) > 0 {
+		recall = float64(hits) / float64(len(trueSet))
+	}
+	return precision, recall
+}

@@ -1,0 +1,109 @@
+package estimate
+
+import (
+	"testing"
+)
+
+func uniformParams(m int, a, b float64) ([]float64, []float64) {
+	as := make([]float64, m)
+	bs := make([]float64, m)
+	for i := range as {
+		as[i], bs[i] = a, b
+	}
+	return as, bs
+}
+
+func TestHeavyHittersIdentifiesClearWinners(t *testing.T) {
+	// Items 0 and 1 far above threshold, the rest at zero.
+	est := []float64{5000, 4000, 50, -30, 10}
+	a, b := uniformParams(5, 0.5, 0.2)
+	hh, err := HeavyHitters(est, 10000, a, b, 1, HeavyHitterConfig{Threshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hh) != 2 || hh[0].Item != 0 || hh[1].Item != 1 {
+		t.Fatalf("heavy hitters %v", hh)
+	}
+	if hh[0].Low >= hh[0].Estimate || hh[0].High <= hh[0].Estimate {
+		t.Fatal("confidence interval does not bracket the estimate")
+	}
+}
+
+func TestHeavyHittersRespectsConfidence(t *testing.T) {
+	// An estimate barely above threshold fails once the confidence width
+	// is accounted for.
+	est := []float64{1050}
+	a, b := uniformParams(1, 0.5, 0.2)
+	hh, err := HeavyHitters(est, 100000, a, b, 1, HeavyHitterConfig{Threshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hh) != 0 {
+		t.Fatalf("marginal item identified: %v", hh)
+	}
+	// With z = 0 (no confidence margin) it passes.
+	hh, err = HeavyHitters(est, 100000, a, b, 1, HeavyHitterConfig{Threshold: 1000, Z: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hh) != 1 {
+		t.Fatalf("z≈0 should identify the item: %v", hh)
+	}
+}
+
+func TestHeavyHittersScale(t *testing.T) {
+	// The PS scale widens the interval by ℓ.
+	est := []float64{3000}
+	a, b := uniformParams(1, 0.5, 0.2)
+	one, err := HeavyHitters(est, 10000, a, b, 1, HeavyHitterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := HeavyHitters(est, 10000, a, b, 4, HeavyHitterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || len(four) != 1 {
+		t.Fatal("item lost")
+	}
+	if (four[0].High-four[0].Low)/(one[0].High-one[0].Low) < 3.9 {
+		t.Fatalf("scale-4 interval not ≈4× wider: %v vs %v", four[0], one[0])
+	}
+}
+
+func TestHeavyHittersErrors(t *testing.T) {
+	a, b := uniformParams(2, 0.5, 0.2)
+	if _, err := HeavyHitters([]float64{1}, 10, a, b, 1, HeavyHitterConfig{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := HeavyHitters([]float64{1, 2}, 10, a, b, 0, HeavyHitterConfig{}); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := HeavyHitters([]float64{1, 2}, 10, a, b, 1, HeavyHitterConfig{Z: -1}); err == nil {
+		t.Error("negative z accepted")
+	}
+	bad := []float64{0.1, 0.5}
+	if _, err := HeavyHitters([]float64{1, 2}, 10, bad, b, 1, HeavyHitterConfig{}); err == nil {
+		t.Error("a <= b accepted")
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	truth := []float64{100, 90, 5, 80, 0}
+	// True heavy hitters at threshold 50: items 0, 1, 3.
+	identified := []HeavyHitter{{Item: 0}, {Item: 1}, {Item: 2}}
+	p, r := PrecisionRecall(identified, truth, 50)
+	if p != 2.0/3 || r != 2.0/3 {
+		t.Fatalf("p=%v r=%v want 2/3", p, r)
+	}
+	// Empty identification: perfect precision, zero recall.
+	p, r = PrecisionRecall(nil, truth, 50)
+	if p != 1 || r != 0 {
+		t.Fatalf("empty: p=%v r=%v", p, r)
+	}
+	// No true heavy hitters: recall is 1 by convention.
+	p, r = PrecisionRecall(nil, truth, 1e9)
+	if p != 1 || r != 1 {
+		t.Fatalf("no-truth: p=%v r=%v", p, r)
+	}
+}

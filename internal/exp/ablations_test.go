@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"testing"
+)
+
+func TestAblationGRRShapes(t *testing.T) {
+	s, err := AblationGRR(1, []int{4, 16, 64}, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grr := s.Curve("GRR")
+	oue := s.Curve("OUE")
+	idue := s.Curve("IDUE-opt0")
+	if grr == nil || oue == nil || idue == nil {
+		t.Fatal("curves missing")
+	}
+	// GRR deteriorates with m and eventually loses to the UE family.
+	if grr[2] <= grr[0] {
+		t.Errorf("GRR MSE not increasing with m: %v", grr)
+	}
+	if grr[2] <= oue[2] {
+		t.Errorf("at m=64 GRR %v should exceed OUE %v", grr[2], oue[2])
+	}
+	// IDUE beats the uniform UE baselines at every m.
+	for xi := range s.X {
+		if idue[xi] >= oue[xi] {
+			t.Errorf("m=%v: IDUE %v not below OUE %v", s.X[xi], idue[xi], oue[xi])
+		}
+	}
+}
+
+func TestAblationNotionOrdering(t *testing.T) {
+	s, err := AblationNotion([]float64{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := s.Curve("MinID-LDP")
+	avg := s.Curve("AvgID-LDP")
+	max := s.Curve("MaxID-LDP")
+	if min == nil || avg == nil || max == nil {
+		t.Fatal("curves missing")
+	}
+	for xi := range s.X {
+		// Looser pair budgets admit lower worst-case MSE:
+		// max <= avg <= min (small tolerance for solver noise).
+		if avg[xi] > min[xi]*1.01 {
+			t.Errorf("eps=%v: AvgID %v above MinID %v", s.X[xi], avg[xi], min[xi])
+		}
+		if max[xi] > avg[xi]*1.01 {
+			t.Errorf("eps=%v: MaxID %v above AvgID %v", s.X[xi], max[xi], avg[xi])
+		}
+	}
+}
+
+func TestAblationModelsOrdering(t *testing.T) {
+	s, err := AblationModels(1, []float64{0.4, 0.85}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt0 := s.Curve("opt0")
+	opt1 := s.Curve("opt1")
+	opt2 := s.Curve("opt2")
+	oue := s.Curve("OUE")
+	for xi := range s.X {
+		if opt0[xi] > opt1[xi]+1e-9 || opt0[xi] > opt2[xi]+1e-9 {
+			t.Errorf("share=%v: opt0 %v worse than a convex model (%v, %v)",
+				s.X[xi], opt0[xi], opt1[xi], opt2[xi])
+		}
+		if opt0[xi] >= oue[xi] {
+			t.Errorf("share=%v: opt0 %v not below OUE %v", s.X[xi], opt0[xi], oue[xi])
+		}
+	}
+}
+
+func TestAblationDirect(t *testing.T) {
+	tab, err := AblationDirect(3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(tab.Rows))
+	}
+	var direct, grr float64
+	if _, err := fmtSscan(tab.Rows[0][1], &direct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tab.Rows[1][1], &grr); err != nil {
+		t.Fatal(err)
+	}
+	// The direct optimum is never worse than GRR at min E (GRR is in its
+	// feasible region).
+	if direct > grr+1e-6 {
+		t.Errorf("direct %v worse than GRR %v", direct, grr)
+	}
+}

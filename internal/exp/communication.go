@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"fmt"
+
+	"idldp/internal/budget"
+	"idldp/internal/core"
+	"idldp/internal/mech"
+	"idldp/internal/notion"
+	"idldp/internal/opt"
+	"idldp/internal/rng"
+)
+
+// AblationCommunication compares the mechanism families on the two axes a
+// deployment cares about: per-user report size (bytes on the wire) and
+// per-item estimator variance, as the domain grows. The UE family (and
+// hence IDUE) pays O(m) communication for the best utility at large m;
+// GRR is O(1) but its variance blows up with m; OLH is O(1) at OUE-grade
+// variance but costs O(m·n) server-side decoding.
+func AblationCommunication(eps float64, ms []int, n int, seed uint64) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Ablation: communication vs utility (eps=%g, n=%d)", eps, n),
+		Header: []string{
+			"m", "mechanism", "report bytes", "per-item variance",
+		},
+	}
+	for _, m := range ms {
+		asgn, err := budget.Assign(m, budget.Default(eps), rng.New(seed))
+		if err != nil {
+			return nil, err
+		}
+		minE := asgn.Min()
+		add := func(name string, bytes int, variance float64) {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", m), name,
+				fmt.Sprintf("%d", bytes),
+				fmt.Sprintf("%.4g", variance),
+			})
+		}
+		g, err := mech.NewGRR(minE, m)
+		if err != nil {
+			return nil, err
+		}
+		// One category index: 8 bytes.
+		add("GRR", 8, g.TheoreticalMSE(n, float64(n)/float64(m)))
+		o, err := mech.NewOLH(minE, m)
+		if err != nil {
+			return nil, err
+		}
+		// Hash seed + value: 16 bytes.
+		add("OLH", 16, o.TheoreticalVar(n))
+		oue, err := core.NewBaselineUE(core.OUE, asgn)
+		if err != nil {
+			return nil, err
+		}
+		ueBytes := (m + 7) / 8
+		add("OUE", ueBytes, uePerItemVar(oue, n))
+		e, err := core.New(core.Config{Budgets: asgn, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		add("IDUE-opt0", ueBytes, uePerItemVar(e.UE(), n))
+	}
+	return t, nil
+}
+
+// uePerItemVar returns the mean per-item noise-floor variance
+// n·b(1-b)/(a-b)² of a UE mechanism.
+func uePerItemVar(u *mech.UE, n int) float64 {
+	var sum float64
+	for k := range u.A {
+		d := u.A[k] - u.B[k]
+		sum += float64(n) * u.B[k] * (1 - u.B[k]) / (d * d)
+	}
+	return sum / float64(len(u.A))
+}
+
+// AblationPolicyGraph quantifies the §IV-C gain from an incomplete policy
+// graph: worst-case objective under the complete MinID graph vs a policy
+// where the loose levels need no mutual indistinguishability from the
+// strict one, swept over ε.
+func AblationPolicyGraph(epsValues []float64, seed uint64) (*Series, error) {
+	s := &Series{
+		Title:  "Ablation: incomplete policy graph (§IV-C) vs complete MinID",
+		XLabel: "eps", YLabel: "worst-case objective (per user)",
+		X:     epsValues,
+		Names: []string{"complete", "incomplete"},
+		Y:     [][]float64{make([]float64, len(epsValues)), make([]float64, len(epsValues))},
+	}
+	incompleteGraph, err := notion.NewPolicyGraph(notion.MinID{}, 3, [][2]int{{1, 2}})
+	if err != nil {
+		return nil, err
+	}
+	for xi, eps := range epsValues {
+		levels := []float64{eps, 4 * eps, 4 * eps}
+		counts := []int{5, 45, 50}
+		complete, err := opt.SolveOpt1(levels, counts, notion.MinID{})
+		if err != nil {
+			return nil, err
+		}
+		incomplete, err := opt.SolveOpt1(levels, counts, incompleteGraph)
+		if err != nil {
+			return nil, err
+		}
+		s.Y[0][xi] = complete.Objective
+		s.Y[1][xi] = incomplete.Objective
+	}
+	return s, nil
+}

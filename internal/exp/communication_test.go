@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblationCommunication(t *testing.T) {
+	tab, err := AblationCommunication(1, []int{8, 64}, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 { // 4 mechanisms × 2 domain sizes
+		t.Fatalf("rows %d want 8", len(tab.Rows))
+	}
+	// Locate rows: GRR stays at 8 bytes, OUE grows with m.
+	byKey := map[string][]string{}
+	for _, row := range tab.Rows {
+		byKey[row[0]+"/"+row[1]] = row
+	}
+	if byKey["8/GRR"][2] != "8" || byKey["64/GRR"][2] != "8" {
+		t.Error("GRR report size should be constant")
+	}
+	small, _ := strconv.Atoi(byKey["8/OUE"][2])
+	large, _ := strconv.Atoi(byKey["64/OUE"][2])
+	if large <= small {
+		t.Error("OUE report size should grow with m")
+	}
+	// GRR variance grows with m; OLH variance does not.
+	grrS, _ := strconv.ParseFloat(byKey["8/GRR"][3], 64)
+	grrL, _ := strconv.ParseFloat(byKey["64/GRR"][3], 64)
+	if grrL <= grrS {
+		t.Error("GRR variance should grow with m")
+	}
+	olhS, _ := strconv.ParseFloat(byKey["8/OLH"][3], 64)
+	olhL, _ := strconv.ParseFloat(byKey["64/OLH"][3], 64)
+	if olhL != olhS {
+		t.Error("OLH variance should be domain-independent")
+	}
+	// IDUE's mean variance beats OUE's at every m (it relaxes the loose
+	// levels).
+	for _, m := range []string{"8", "64"} {
+		oue, _ := strconv.ParseFloat(byKey[m+"/OUE"][3], 64)
+		idue, _ := strconv.ParseFloat(byKey[m+"/IDUE-opt0"][3], 64)
+		if idue >= oue {
+			t.Errorf("m=%s: IDUE variance %v not below OUE %v", m, idue, oue)
+		}
+	}
+}
+
+func TestAblationPolicyGraph(t *testing.T) {
+	s, err := AblationPolicyGraph([]float64{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete := s.Curve("complete")
+	incomplete := s.Curve("incomplete")
+	for xi := range s.X {
+		if incomplete[xi] >= complete[xi] {
+			t.Errorf("eps=%v: incomplete policy %v not better than complete %v",
+				s.X[xi], incomplete[xi], complete[xi])
+		}
+	}
+}

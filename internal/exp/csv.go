@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the series as CSV (header: xlabel, then curve names) for
+// external plotting tools.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{s.XLabel}, s.Names...)); err != nil {
+		return fmt.Errorf("exp: %w", err)
+	}
+	for xi, x := range s.X {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for c := range s.Names {
+			row = append(row, strconv.FormatFloat(s.Y[c][xi], 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("exp: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("exp: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV emits the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("exp: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("exp: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("exp: %w", err)
+	}
+	return nil
+}

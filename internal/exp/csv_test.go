@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSeriesWriteCSV(t *testing.T) {
+	s := &Series{
+		XLabel: "eps",
+		X:      []float64{1, 2},
+		Names:  []string{"A", "B"},
+		Y:      [][]float64{{10, 20}, {30, 40}},
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "eps,A,B" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "1,10,30" || lines[2] != "2,20,40" {
+		t.Fatalf("rows %v", lines[1:])
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := &Table{
+		Header: []string{"x", "y"},
+		Rows:   [][]string{{"a", "1"}, {"b", "2"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "x,y\na,1\nb,2" {
+		t.Fatalf("csv %q", got)
+	}
+}
+
+func TestAblationAdaptiveEll(t *testing.T) {
+	c := DefaultFig5("msnbc")
+	c.MSNBC.Users = 4000
+	c.Ells = []int{1, 2, 3, 4, 5, 6}
+	tab, chosen, err := AblationAdaptiveEll(c, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen < 1 || chosen > 6 {
+		t.Fatalf("chosen ell %d outside sweep", chosen)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	// The chosen ℓ's MSE should not be catastrophically worse than the
+	// sweep's best (the selector targets the neighborhood of the optimum).
+	var chosenMSE, bestMSE float64
+	bestMSE = -1
+	for _, row := range tab.Rows {
+		var ell int
+		var mse float64
+		if _, err := fmtSscan(row[0], &mse); err == nil {
+			ell = int(mse)
+		}
+		if _, err := fmtSscan(row[1], &mse); err != nil {
+			t.Fatal(err)
+		}
+		if ell == chosen {
+			chosenMSE = mse
+		}
+		if bestMSE < 0 || mse < bestMSE {
+			bestMSE = mse
+		}
+	}
+	if chosenMSE > 10*bestMSE {
+		t.Errorf("chosen ell MSE %v far above sweep best %v", chosenMSE, bestMSE)
+	}
+	bad := c
+	bad.Dataset = "nope"
+	if _, _, err := AblationAdaptiveEll(bad, 0.5); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,248 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscanf(s, "%f", v) }
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"xx", "y"}, {"1", "2"}},
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "bbbb") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	// Title + header + rule + two rows.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSeriesRenderAndCurve(t *testing.T) {
+	s := &Series{
+		Title: "fig", XLabel: "eps", YLabel: "mse",
+		X:     []float64{1, 2},
+		Names: []string{"A", "B"},
+		Y:     [][]float64{{10, 20}, {30, 40}},
+	}
+	out := s.Render()
+	if !strings.Contains(out, "eps") || !strings.Contains(out, "30") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	if c := s.Curve("B"); c == nil || c[1] != 40 {
+		t.Fatalf("Curve(B)=%v", c)
+	}
+	if s.Curve("missing") != nil {
+		t.Fatal("missing curve not nil")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	tab, err := TableI([]float64{1, 1.2, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.Render()
+	for _, want := range []string{"LDP", "PLDP", "Geo-Ind", "MinID-LDP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %s:\n%s", want, out)
+		}
+	}
+	// One MinID row per distinct level: 4 + 3 fixed rows.
+	if len(tab.Rows) != 7 {
+		t.Fatalf("want 7 rows, got %d", len(tab.Rows))
+	}
+	if _, err := TableI(nil); err == nil {
+		t.Error("empty budget set accepted")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	tab, err := TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(tab.Rows))
+	}
+	out := tab.Render()
+	// RAPPOR row reproduces Table II exactly: flips 0.33, total 10n.
+	if !strings.Contains(out, "RAPPOR") || !strings.Contains(out, "10.00n") {
+		t.Errorf("RAPPOR row wrong:\n%s", out)
+	}
+	// OUE row: 9.89n ≈ paper's 9.9n.
+	if !strings.Contains(out, "9.89n") {
+		t.Errorf("OUE row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "IDUE") || !strings.Contains(out, "MinID-LDP") {
+		t.Errorf("IDUE row missing:\n%s", out)
+	}
+}
+
+func TestTableIILeakage(t *testing.T) {
+	tab, err := TableIILeakage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("want 5 rows, got %d", len(tab.Rows))
+	}
+	// Realized upper bound must not exceed the Table I bound on any row.
+	for _, row := range tab.Rows {
+		var bound, realized float64
+		if _, err := fmtSscan(row[2], &bound); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[3], &realized); err != nil {
+			t.Fatal(err)
+		}
+		if realized > bound*(1+1e-6) {
+			t.Errorf("item %s realized %v exceeds bound %v", row[0], realized, bound)
+		}
+	}
+}
+
+func TestFig3SmallShapes(t *testing.T) {
+	c := DefaultFig3("powerlaw")
+	c.N, c.M = 3000, 20
+	c.EpsValues = []float64{1, 2}
+	s, err := Fig3(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Names) != 10 || len(s.X) != 2 {
+		t.Fatalf("shape %dx%d", len(s.Names), len(s.X))
+	}
+	// The paper's headline, on the deterministic theoretical curves (the
+	// empirical ones carry single-run noise at this tiny scale): IDUE
+	// (opt0) beats RAPPOR and OUE at every ε.
+	for xi := range s.X {
+		idueTh := s.Curve("MinLDP-opt0-th")[xi]
+		rapporTh := s.Curve("RAPPOR-th")[xi]
+		oueTh := s.Curve("OUE-th")[xi]
+		if idueTh >= rapporTh {
+			t.Errorf("eps=%v: IDUE theory %v not better than RAPPOR theory %v", s.X[xi], idueTh, rapporTh)
+		}
+		if idueTh >= oueTh {
+			t.Errorf("eps=%v: IDUE theory %v not better than OUE theory %v", s.X[xi], idueTh, oueTh)
+		}
+		// Empirical values track theory within single-run noise.
+		idue := s.Curve("MinLDP-opt0")[xi]
+		if idue <= 0 || idueTh <= 0 {
+			t.Errorf("eps=%v: non-positive MSE", s.X[xi])
+		}
+		if ratio := idue / idueTh; ratio < 0.2 || ratio > 5 {
+			t.Errorf("eps=%v: empirical %v vs theoretical %v diverge", s.X[xi], idue, idueTh)
+		}
+	}
+	if _, err := Fig3(Fig3Config{Dataset: "nope", N: 10, M: 5, EpsValues: []float64{1}}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestFig3PaperScaleConfig(t *testing.T) {
+	c := DefaultFig3("uniform").PaperScale()
+	if c.N != 100000 || c.M != 1000 {
+		t.Fatalf("paper scale %+v", c)
+	}
+	if c := DefaultFig3("powerlaw").PaperScale(); c.M != 100 {
+		t.Fatalf("paper scale %+v", c)
+	}
+}
+
+func TestFig4aSmall(t *testing.T) {
+	c := DefaultFig4a()
+	c.Kosarak.Users = 4000
+	c.Kosarak.Pages = 300
+	c.TopM = 24
+	c.EpsValues = []float64{1, 2}
+	s, err := Fig4a(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Names) != 5 {
+		t.Fatalf("names=%v", s.Names)
+	}
+	// Skewed-distribution IDUE must beat the uniform-distribution IDUE or
+	// at least the baselines on average (statistical, so compare sums).
+	var skew, rappor float64
+	for xi := range s.X {
+		skew += s.Y[2][xi]
+		rappor += s.Y[0][xi]
+	}
+	if skew > rappor {
+		t.Errorf("IDUE skewed %v worse than RAPPOR %v in total", skew, rappor)
+	}
+}
+
+func TestFig4bSmall(t *testing.T) {
+	c := DefaultFig4b()
+	c.Retail.Users = 3000
+	c.Retail.Items = 300
+	c.TopM = 24
+	c.EpsValues = []float64{2, 4}
+	c.Ell = 3
+	s, err := Fig4b(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Names) != 4 || len(s.X) != 2 {
+		t.Fatalf("shape %dx%d", len(s.Names), len(s.X))
+	}
+	for xi := range s.X {
+		for ci := range s.Names {
+			if s.Y[ci][xi] <= 0 {
+				t.Errorf("curve %s at eps=%v non-positive", s.Names[ci], s.X[xi])
+			}
+		}
+	}
+}
+
+func TestFig5Small(t *testing.T) {
+	c := DefaultFig5("msnbc")
+	c.MSNBC.Users = 4000
+	c.Ells = []int{1, 3, 5}
+	res, err := Fig5(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Total.X) != 3 || len(res.TopK.X) != 3 {
+		t.Fatal("wrong x axis")
+	}
+	for xi := range res.Total.X {
+		for ci := range res.Total.Names {
+			if res.Total.Y[ci][xi] < 0 || math.IsNaN(res.Total.Y[ci][xi]) {
+				t.Errorf("total curve %d invalid at %d", ci, xi)
+			}
+			if res.TopK.Y[ci][xi] > res.Total.Y[ci][xi]*1.001 {
+				t.Errorf("top-k MSE exceeds total MSE for curve %d", ci)
+			}
+		}
+	}
+	if _, err := Fig5(Fig5Config{Dataset: "nope", Ells: []int{1}, Eps: 1, TopK: 1}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestFig5RetailSmall(t *testing.T) {
+	c := DefaultFig5("retail")
+	c.Retail.Users = 2000
+	c.Retail.Items = 200
+	c.TopM = 16
+	c.Ells = []int{2, 4}
+	res, err := Fig5(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Total.Curve("IDUE-PS"); got == nil || len(got) != 2 {
+		t.Fatalf("IDUE-PS curve missing: %v", got)
+	}
+}

@@ -1,0 +1,293 @@
+package exp
+
+import (
+	"fmt"
+
+	"idldp/internal/budget"
+	"idldp/internal/collect"
+	"idldp/internal/core"
+	"idldp/internal/dataset"
+	"idldp/internal/estimate"
+	"idldp/internal/mech"
+	"idldp/internal/opt"
+	"idldp/internal/ps"
+	"idldp/internal/rng"
+)
+
+// runSingleUE collects one (or reps averaged) runs of a single-item
+// mechanism and returns the empirical total squared error against truth.
+func runSingleUE(items []int, truth []float64, u *mech.UE, seed uint64, reps int) (float64, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	var total float64
+	for rep := 0; rep < reps; rep++ {
+		a, err := collect.RunSingle(items, u.Bits(), u.PerturbItem, collect.Options{Seed: seed + uint64(rep)})
+		if err != nil {
+			return 0, err
+		}
+		est, err := a.Estimate(u.A, u.B, 1)
+		if err != nil {
+			return 0, err
+		}
+		se, err := estimate.TotalSquaredError(est, truth)
+		if err != nil {
+			return 0, err
+		}
+		total += se
+	}
+	return total / float64(reps), nil
+}
+
+// runSet collects runs of a PS set mechanism; it returns the empirical
+// total squared error over all real items and over the given top-item
+// subset.
+func runSet(sets [][]int, truth []float64, sm *ps.SetMech, top []int, seed uint64, reps int) (totalSE, topSE float64, err error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	for rep := 0; rep < reps; rep++ {
+		a, err := collect.RunSets(sets, sm.Bits(), sm.Perturb, collect.Options{Seed: seed + uint64(rep)})
+		if err != nil {
+			return 0, 0, err
+		}
+		est, err := a.Estimate(sm.UE.A, sm.UE.B, float64(sm.Ell))
+		if err != nil {
+			return 0, 0, err
+		}
+		est = est[:sm.M]
+		se, err := estimate.TotalSquaredError(est, truth)
+		if err != nil {
+			return 0, 0, err
+		}
+		tse, err := estimate.SquaredErrorAt(est, truth, top)
+		if err != nil {
+			return 0, 0, err
+		}
+		totalSE += se
+		topSE += tse
+	}
+	return totalSE / float64(reps), topSE / float64(reps), nil
+}
+
+// Fig3Config parameterizes the synthetic single-item experiment (Fig. 3).
+// The paper uses N = 100000 with M = 100 (power-law, α = 2) and M = 1000
+// (uniform); defaults are CI-scaled.
+type Fig3Config struct {
+	Dataset   string // "powerlaw" or "uniform"
+	N, M      int
+	Alpha     float64
+	EpsValues []float64
+	Reps      int
+	Seed      uint64
+}
+
+// DefaultFig3 returns a CI-sized configuration for the named synthetic
+// dataset.
+func DefaultFig3(ds string) Fig3Config {
+	c := Fig3Config{
+		Dataset:   ds,
+		N:         20000,
+		Alpha:     2,
+		EpsValues: []float64{1, 1.5, 2, 2.5, 3},
+		Reps:      1,
+		Seed:      3,
+	}
+	if ds == "uniform" {
+		c.M = 200
+	} else {
+		c.M = 100
+	}
+	return c
+}
+
+// PaperScale returns the configuration with the paper's N and M.
+func (c Fig3Config) PaperScale() Fig3Config {
+	c.N = 100000
+	if c.Dataset == "uniform" {
+		c.M = 1000
+	} else {
+		c.M = 100
+	}
+	return c
+}
+
+// Fig3 regenerates one panel of Fig. 3: empirical and theoretical total
+// MSE vs ε for RAPPOR, OUE, and IDUE under the three optimization models,
+// with the default budget levels {ε, 1.2ε, 2ε, 4ε} at proportions
+// {5%, 5%, 5%, 85%}.
+func Fig3(c Fig3Config) (*Series, error) {
+	var data *dataset.SingleItem
+	switch c.Dataset {
+	case "powerlaw":
+		data = dataset.PowerLawSingle(c.N, c.M, c.Alpha, c.Seed)
+	case "uniform":
+		data = dataset.UniformSingle(c.N, c.M, c.Seed)
+	default:
+		return nil, fmt.Errorf("exp: unknown synthetic dataset %q", c.Dataset)
+	}
+	truth := data.TrueCounts()
+	names := []string{
+		"RAPPOR", "RAPPOR-th", "OUE", "OUE-th",
+		"MinLDP-opt0", "MinLDP-opt0-th",
+		"MinLDP-opt1", "MinLDP-opt1-th",
+		"MinLDP-opt2", "MinLDP-opt2-th",
+	}
+	s := &Series{
+		Title:  fmt.Sprintf("Fig. 3 (%s): total MSE vs eps (n=%d, m=%d)", c.Dataset, c.N, c.M),
+		XLabel: "eps", YLabel: "total MSE",
+		X:     c.EpsValues,
+		Names: names,
+		Y:     make([][]float64, len(names)),
+	}
+	for i := range s.Y {
+		s.Y[i] = make([]float64, len(c.EpsValues))
+	}
+	set := func(name string, xi int, v float64) {
+		for i, n := range names {
+			if n == name {
+				s.Y[i][xi] = v
+				return
+			}
+		}
+	}
+	for xi, eps := range c.EpsValues {
+		asgn, err := budget.Assign(c.M, budget.Default(eps), rng.New(c.Seed+uint64(xi)))
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range []core.Baseline{core.RAPPOR, core.OUE} {
+			u, err := core.NewBaselineUE(b, asgn)
+			if err != nil {
+				return nil, err
+			}
+			se, err := runSingleUE(data.Items, truth, u, c.Seed+uint64(100*xi), c.Reps)
+			if err != nil {
+				return nil, err
+			}
+			th, err := estimate.TotalTheoreticalMSE(c.N, truth, u.A, u.B)
+			if err != nil {
+				return nil, err
+			}
+			set(b.String(), xi, se)
+			set(b.String()+"-th", xi, th)
+		}
+		for _, model := range []opt.Model{opt.Opt0, opt.Opt1, opt.Opt2} {
+			e, err := core.New(core.Config{Budgets: asgn, Model: model, Seed: c.Seed})
+			if err != nil {
+				return nil, err
+			}
+			se, err := runSingleUE(data.Items, truth, e.UE(), c.Seed+uint64(100*xi+int(model)+1), c.Reps)
+			if err != nil {
+				return nil, err
+			}
+			th, err := e.TheoreticalTotalMSE(truth, c.N)
+			if err != nil {
+				return nil, err
+			}
+			set("MinLDP-"+model.String(), xi, se)
+			set("MinLDP-"+model.String()+"-th", xi, th)
+		}
+	}
+	return s, nil
+}
+
+// Fig4aConfig parameterizes the Kosarak single-item budget-distribution
+// sweep (Fig. 4a).
+type Fig4aConfig struct {
+	Kosarak   dataset.KosarakConfig
+	TopM      int // reduce the page domain to the TopM most clicked pages
+	EpsValues []float64
+	// Distributions are the level-proportion vectors to sweep; the paper
+	// uses {5,5,5,85}, {10,10,10,70} and {25,25,25,25} percent.
+	Distributions [][]float64
+	Reps          int
+	Seed          uint64
+}
+
+// DefaultFig4a returns the CI-sized configuration with the paper's three
+// budget distributions.
+func DefaultFig4a() Fig4aConfig {
+	return Fig4aConfig{
+		Kosarak:   dataset.DefaultKosarak(),
+		TopM:      128,
+		EpsValues: []float64{1, 1.5, 2, 2.5, 3},
+		Distributions: [][]float64{
+			{0.05, 0.05, 0.05, 0.85},
+			{0.10, 0.10, 0.10, 0.70},
+			{0.25, 0.25, 0.25, 0.25},
+		},
+		Reps: 1,
+		Seed: 4,
+	}
+}
+
+// Fig4a regenerates Fig. 4(a): MSE vs ε on the single-item Kosarak
+// projection (each user's first item) for RAPPOR, OUE and IDUE under each
+// budget distribution.
+func Fig4a(c Fig4aConfig) (*Series, error) {
+	sets := dataset.Kosarak(c.Kosarak)
+	reduced, err := sets.TopM(c.TopM)
+	if err != nil {
+		return nil, err
+	}
+	single := reduced.FirstItems()
+	truth := single.TrueCounts()
+	names := []string{"RAPPOR", "OUE"}
+	for _, d := range c.Distributions {
+		names = append(names, fmt.Sprintf("IDUE %v", propsPercent(d)))
+	}
+	s := &Series{
+		Title:  fmt.Sprintf("Fig. 4(a) Kosarak single-item: total MSE vs eps (n=%d, m=%d)", single.N(), c.TopM),
+		XLabel: "eps", YLabel: "total MSE",
+		X: c.EpsValues, Names: names, Y: make([][]float64, len(names)),
+	}
+	for i := range s.Y {
+		s.Y[i] = make([]float64, len(c.EpsValues))
+	}
+	for xi, eps := range c.EpsValues {
+		// Baselines depend only on min{E} = eps, not on the distribution.
+		base, err := budget.Assign(c.TopM, budget.Default(eps), rng.New(c.Seed))
+		if err != nil {
+			return nil, err
+		}
+		for bi, b := range []core.Baseline{core.RAPPOR, core.OUE} {
+			u, err := core.NewBaselineUE(b, base)
+			if err != nil {
+				return nil, err
+			}
+			se, err := runSingleUE(single.Items, truth, u, c.Seed+uint64(31*xi+bi), c.Reps)
+			if err != nil {
+				return nil, err
+			}
+			s.Y[bi][xi] = se
+		}
+		for di, d := range c.Distributions {
+			asgn, err := budget.Assign(c.TopM, budget.WithProportions(eps, d), rng.New(c.Seed+uint64(di)))
+			if err != nil {
+				return nil, err
+			}
+			e, err := core.New(core.Config{Budgets: asgn, Model: opt.Opt0, Seed: c.Seed})
+			if err != nil {
+				return nil, err
+			}
+			se, err := runSingleUE(single.Items, truth, e.UE(), c.Seed+uint64(97*xi+di), c.Reps)
+			if err != nil {
+				return nil, err
+			}
+			s.Y[2+di][xi] = se
+		}
+	}
+	return s, nil
+}
+
+func propsPercent(p []float64) string {
+	out := "["
+	for i, v := range p {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.0f%%", 100*v)
+	}
+	return out + "]"
+}

@@ -1,0 +1,196 @@
+package exp
+
+import (
+	"fmt"
+
+	"idldp/internal/budget"
+	"idldp/internal/core"
+	"idldp/internal/dataset"
+	"idldp/internal/estimate"
+	"idldp/internal/opt"
+	"idldp/internal/rng"
+)
+
+// Fig4bConfig parameterizes the Retail item-set budget sweep (Fig. 4b):
+// RAPPOR-PS and OUE-PS at ε = min{E} versus IDUE-PS with t = 4 default
+// levels and t = 20 exponential levels.
+type Fig4bConfig struct {
+	Retail    dataset.RetailConfig
+	TopM      int
+	Ell       int // padding length
+	EpsValues []float64
+	Reps      int
+	Seed      uint64
+}
+
+// DefaultFig4b returns a CI-sized configuration.
+func DefaultFig4b() Fig4bConfig {
+	return Fig4bConfig{
+		Retail:    dataset.DefaultRetail(),
+		TopM:      128,
+		Ell:       4,
+		EpsValues: []float64{1, 2, 3, 4, 5, 6},
+		Reps:      1,
+		Seed:      5,
+	}
+}
+
+// Fig4b regenerates Fig. 4(b): total MSE vs ε on the Retail item-set
+// dataset for RAPPOR-PS, OUE-PS, IDUE-PS (t=4), and IDUE-PS (t=20).
+func Fig4b(c Fig4bConfig) (*Series, error) {
+	data := dataset.Retail(c.Retail)
+	reduced, err := data.TopM(c.TopM)
+	if err != nil {
+		return nil, err
+	}
+	truth := reduced.TrueCounts()
+	names := []string{"RAPPOR-PS", "OUE-PS", "IDUE-PS (t=4)", "IDUE-PS (t=20)"}
+	s := &Series{
+		Title:  fmt.Sprintf("Fig. 4(b) Retail item-set: total MSE vs eps (n=%d, m=%d, ell=%d)", reduced.N(), c.TopM, c.Ell),
+		XLabel: "eps", YLabel: "total MSE",
+		X: c.EpsValues, Names: names, Y: make([][]float64, len(names)),
+	}
+	for i := range s.Y {
+		s.Y[i] = make([]float64, len(c.EpsValues))
+	}
+	for xi, eps := range c.EpsValues {
+		base, err := budget.Assign(c.TopM, budget.Default(eps), rng.New(c.Seed))
+		if err != nil {
+			return nil, err
+		}
+		for bi, b := range []core.Baseline{core.RAPPOR, core.OUE} {
+			sm, err := core.NewBaselineSet(b, base, c.Ell)
+			if err != nil {
+				return nil, err
+			}
+			se, _, err := runSet(reduced.Sets, truth, sm, nil, c.Seed+uint64(41*xi+bi), c.Reps)
+			if err != nil {
+				return nil, err
+			}
+			s.Y[bi][xi] = se
+		}
+		specs := []budget.Spec{budget.Default(eps), budget.Exponential(eps, 20)}
+		for si, spec := range specs {
+			asgn, err := budget.Assign(c.TopM, spec, rng.New(c.Seed+uint64(si)))
+			if err != nil {
+				return nil, err
+			}
+			e, err := core.New(core.Config{Budgets: asgn, Model: opt.Opt0, PaddingLength: c.Ell, Seed: c.Seed})
+			if err != nil {
+				return nil, err
+			}
+			se, _, err := runSet(reduced.Sets, truth, e.SetMech(), nil, c.Seed+uint64(61*xi+si), c.Reps)
+			if err != nil {
+				return nil, err
+			}
+			s.Y[2+si][xi] = se
+		}
+	}
+	return s, nil
+}
+
+// Fig5Config parameterizes the padding-length sweep (Fig. 5) on either
+// the Retail or MSNBC dataset.
+type Fig5Config struct {
+	Dataset string // "retail" or "msnbc"
+	Retail  dataset.RetailConfig
+	MSNBC   dataset.MSNBCConfig
+	TopM    int // ignored for msnbc (its domain is already 17)
+	Eps     float64
+	Ells    []int
+	TopK    int
+	Reps    int
+	Seed    uint64
+}
+
+// DefaultFig5 returns a CI-sized configuration for the named dataset.
+func DefaultFig5(ds string) Fig5Config {
+	return Fig5Config{
+		Dataset: ds,
+		Retail:  dataset.DefaultRetail(),
+		MSNBC:   dataset.DefaultMSNBC(),
+		TopM:    128,
+		Eps:     2,
+		Ells:    []int{1, 2, 3, 4, 5, 6},
+		TopK:    5,
+		Reps:    1,
+		Seed:    6,
+	}
+}
+
+// Fig5Result carries the two panels of one Fig. 5 column: total MSE over
+// all items and MSE over the top-k frequent items, both against ℓ.
+type Fig5Result struct {
+	Total *Series
+	TopK  *Series
+}
+
+// Fig5 regenerates one column of Fig. 5: RAPPOR-PS, OUE-PS and IDUE-PS
+// swept over the padding length ℓ at fixed ε.
+func Fig5(c Fig5Config) (*Fig5Result, error) {
+	var data *dataset.SetValued
+	switch c.Dataset {
+	case "retail":
+		full := dataset.Retail(c.Retail)
+		reduced, err := full.TopM(c.TopM)
+		if err != nil {
+			return nil, err
+		}
+		data = reduced
+	case "msnbc":
+		data = dataset.MSNBC(c.MSNBC)
+	default:
+		return nil, fmt.Errorf("exp: unknown set dataset %q", c.Dataset)
+	}
+	truth := data.TrueCounts()
+	top, err := estimate.TopK(truth, c.TopK)
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"RAPPOR-PS", "OUE-PS", "IDUE-PS"}
+	mk := func(panel string) *Series {
+		s := &Series{
+			Title:  fmt.Sprintf("Fig. 5 (%s, %s): MSE vs padding length (n=%d, m=%d, eps=%g)", c.Dataset, panel, data.N(), data.M, c.Eps),
+			XLabel: "ell", YLabel: "MSE",
+			Names: names, Y: make([][]float64, len(names)),
+		}
+		for _, ell := range c.Ells {
+			s.X = append(s.X, float64(ell))
+		}
+		for i := range s.Y {
+			s.Y[i] = make([]float64, len(c.Ells))
+		}
+		return s
+	}
+	res := &Fig5Result{Total: mk("all items"), TopK: mk(fmt.Sprintf("top %d items", c.TopK))}
+
+	asgn, err := budget.Assign(data.M, budget.Default(c.Eps), rng.New(c.Seed))
+	if err != nil {
+		return nil, err
+	}
+	for xi, ell := range c.Ells {
+		for bi, b := range []core.Baseline{core.RAPPOR, core.OUE} {
+			sm, err := core.NewBaselineSet(b, asgn, ell)
+			if err != nil {
+				return nil, err
+			}
+			tot, topSE, err := runSet(data.Sets, truth, sm, top, c.Seed+uint64(71*xi+bi), c.Reps)
+			if err != nil {
+				return nil, err
+			}
+			res.Total.Y[bi][xi] = tot
+			res.TopK.Y[bi][xi] = topSE
+		}
+		e, err := core.New(core.Config{Budgets: asgn, Model: opt.Opt0, PaddingLength: ell, Seed: c.Seed})
+		if err != nil {
+			return nil, err
+		}
+		tot, topSE, err := runSet(data.Sets, truth, e.SetMech(), top, c.Seed+uint64(83*xi), c.Reps)
+		if err != nil {
+			return nil, err
+		}
+		res.Total.Y[2][xi] = tot
+		res.TopK.Y[2][xi] = topSE
+	}
+	return res, nil
+}

@@ -1,0 +1,94 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (§VII): Table I (leakage bounds), Table II (toy example),
+// Fig. 3 (empirical vs theoretical MSE on synthetic data), Fig. 4
+// (budget-distribution sweeps on Kosarak and Retail), and Fig. 5 (padding
+// length sweeps on Retail and MSNBC). Each experiment returns a Table or
+// Series that renders as an aligned text table, and is exposed through
+// cmd/idldp-bench and the root-level benchmarks.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Series is a figure: a shared x-axis and one y-column per named curve.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Names  []string
+	Y      [][]float64 // Y[curve][point]
+}
+
+// Render formats the series as an aligned table of columns, one row per x.
+func (s *Series) Render() string {
+	t := &Table{Title: fmt.Sprintf("%s  (y: %s)", s.Title, s.YLabel)}
+	t.Header = append([]string{s.XLabel}, s.Names...)
+	for xi, x := range s.X {
+		row := []string{fmt.Sprintf("%.3g", x)}
+		for c := range s.Names {
+			row = append(row, fmt.Sprintf("%.4g", s.Y[c][xi]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t.Render()
+}
+
+// Curve returns the y-values of the named curve, or nil if absent.
+func (s *Series) Curve(name string) []float64 {
+	for i, n := range s.Names {
+		if n == name {
+			return s.Y[i]
+		}
+	}
+	return nil
+}

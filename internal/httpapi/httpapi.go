@@ -1,0 +1,130 @@
+// Package httpapi exposes the collection pipeline over HTTP/JSON — the
+// REST counterpart of the raw-TCP transport, for clients that cannot
+// speak gob (browsers, mobile SDKs). Endpoints:
+//
+//	POST /v1/report    {"words": [..], "bits": n}        one perturbed report
+//	POST /v1/batch     {"counts": [..], "n": k}          pre-summed batch
+//	GET  /v1/estimates                                    calibrated estimates
+//	GET  /v1/status                                       {"reports": k, "bits": m}
+//
+// As with the TCP transport, only perturbed data crosses the wire; the
+// server is untrusted with raw inputs by construction.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"idldp/internal/agg"
+	"idldp/internal/bitvec"
+)
+
+// Estimator calibrates aggregated counts; satisfied by closures over
+// core.Engine or raw parameter slices.
+type Estimator func(counts []int64, n int) ([]float64, error)
+
+// Handler serves the collection API for an m-bit report domain.
+type Handler struct {
+	bits     int
+	sink     *agg.Concurrent
+	estimate Estimator
+	mux      *http.ServeMux
+}
+
+// New returns a handler for m-bit reports calibrated by est.
+func New(bits int, est Estimator) (*Handler, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("httpapi: report length %d must be positive", bits)
+	}
+	if est == nil {
+		return nil, fmt.Errorf("httpapi: estimator is required")
+	}
+	h := &Handler{bits: bits, sink: agg.NewConcurrent(bits), estimate: est, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /v1/report", h.handleReport)
+	h.mux.HandleFunc("POST /v1/batch", h.handleBatch)
+	h.mux.HandleFunc("GET /v1/estimates", h.handleEstimates)
+	h.mux.HandleFunc("GET /v1/status", h.handleStatus)
+	return h, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// reportBody is the POST /v1/report payload.
+type reportBody struct {
+	Words []uint64 `json:"words"`
+	Bits  int      `json:"bits"`
+}
+
+// batchBody is the POST /v1/batch payload.
+type batchBody struct {
+	Counts []int64 `json:"counts"`
+	N      int64   `json:"n"`
+}
+
+func (h *Handler) handleReport(w http.ResponseWriter, r *http.Request) {
+	var body reportBody
+	if err := decodeJSON(w, r, &body); err != nil {
+		return
+	}
+	v, err := bitvec.FromWords(body.Words, body.Bits)
+	if err != nil || v.Len() != h.bits {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("report must have %d bits", h.bits))
+		return
+	}
+	h.sink.Add(v)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var body batchBody
+	if err := decodeJSON(w, r, &body); err != nil {
+		return
+	}
+	if err := h.sink.AddCounts(body.Counts, body.N); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (h *Handler) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	counts, n := h.sink.Snapshot()
+	if n == 0 {
+		httpError(w, http.StatusConflict, "no reports collected yet")
+		return
+	}
+	est, err := h.estimate(counts, int(n))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"estimates": est, "reports": n})
+}
+
+func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {
+	_, n := h.sink.Snapshot()
+	writeJSON(w, map[string]any{"reports": n, "bits": h.bits})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return err
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

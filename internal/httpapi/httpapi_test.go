@@ -1,0 +1,181 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"idldp/internal/budget"
+	"idldp/internal/core"
+	"idldp/internal/rng"
+)
+
+func newServer(t *testing.T) (*httptest.Server, *core.Engine) {
+	t.Helper()
+	e, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(e.M(), e.EstimateSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, e
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, func([]int64, int) ([]float64, error) { return nil, nil }); err == nil {
+		t.Error("bits=0 accepted")
+	}
+	if _, err := New(5, nil); err == nil {
+		t.Error("nil estimator accepted")
+	}
+}
+
+func TestReportAndEstimates(t *testing.T) {
+	srv, e := newServer(t)
+	r := rng.New(2)
+	const n = 8000
+	truth := make([]float64, 5)
+	for u := 0; u < n; u++ {
+		item := u % 5
+		truth[item]++
+		v := e.PerturbItem(item, r)
+		resp := postJSON(t, srv.URL+"/v1/report", reportBody{Words: v.Words(), Bits: v.Len()})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("report status %d", resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/estimates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Estimates []float64 `json:"estimates"`
+		Reports   int64     `json:"reports"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Reports != n || len(out.Estimates) != 5 {
+		t.Fatalf("reports=%d estimates=%d", out.Reports, len(out.Estimates))
+	}
+	for i := range truth {
+		if math.Abs(out.Estimates[i]-truth[i]) > 0.3*truth[i]+300 {
+			t.Errorf("item %d estimate %v truth %v", i, out.Estimates[i], truth[i])
+		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv, _ := newServer(t)
+	resp := postJSON(t, srv.URL+"/v1/batch", batchBody{Counts: []int64{5, 4, 3, 2, 1}, N: 10})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	st, err := http.Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var status struct {
+		Reports int64 `json:"reports"`
+		Bits    int   `json:"bits"`
+	}
+	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Reports != 10 || status.Bits != 5 {
+		t.Fatalf("status %+v", status)
+	}
+}
+
+func TestRejectsMalformedRequests(t *testing.T) {
+	srv, _ := newServer(t)
+	cases := []struct {
+		path string
+		body string
+		want int
+	}{
+		{"/v1/report", `{"words":[1],"bits":9}`, http.StatusBadRequest},
+		{"/v1/report", `{"words":[1],"bits":5,"extra":1}`, http.StatusBadRequest},
+		{"/v1/report", `not json`, http.StatusBadRequest},
+		{"/v1/batch", `{"counts":[1,2],"n":5}`, http.StatusBadRequest},
+		{"/v1/batch", `{"counts":[9,0,0,0,0],"n":5}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(srv.URL+c.path, "application/json", bytes.NewBufferString(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %q: status %d want %d", c.path, c.body, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestEstimatesBeforeReports(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, err := http.Get(srv.URL + "/v1/estimates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d want 409", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, err := http.Get(srv.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/report status %d want 405", resp.StatusCode)
+	}
+}
+
+func TestEstimatorErrorSurfaces(t *testing.T) {
+	h, err := New(3, func([]int64, int) ([]float64, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	postJSON(t, srv.URL+"/v1/batch", batchBody{Counts: []int64{1, 1, 1}, N: 2})
+	resp, err := http.Get(srv.URL + "/v1/estimates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d want 500", resp.StatusCode)
+	}
+}

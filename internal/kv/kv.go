@@ -1,0 +1,207 @@
+// Package kv extends input-discriminative protection to key–value data,
+// the data type of PrivKV (Ye et al., S&P 2019 — the paper's reference
+// [8] for LDP beyond categorical items). Each user holds a set of
+// ⟨key, value⟩ pairs with values in [-1, 1]; the server estimates, per
+// key, both the frequency (how many users hold the key) and the mean
+// value among holders.
+//
+// The mechanism follows PrivKV's structure with the paper's
+// discrimination idea applied to keys: every user samples one key
+// uniformly from the key dictionary (input-independent, so the sampled
+// index is safe to reveal) and reports a randomized ⟨presence, value⟩
+// pair. The presence bit flips with the key's level-specific (a_k, b_k)
+// solved by the same opt programs as IDUE, so sensitive keys get stricter
+// protection; the value is discretized to ±1 and flipped at the value
+// budget. Per report, the spend on the sampled key is its presence budget
+// plus the value budget (Theorem 2 composition); all other keys are
+// untouched.
+package kv
+
+import (
+	"fmt"
+	"math"
+
+	"idldp/internal/budget"
+	"idldp/internal/notion"
+	"idldp/internal/opt"
+	"idldp/internal/rng"
+)
+
+// Pair is one key–value datum; Value must be in [-1, 1].
+type Pair struct {
+	Key   int
+	Value float64
+}
+
+// Config configures a key–value collector.
+type Config struct {
+	// Budgets assigns every key its presence-bit privacy budget.
+	Budgets *budget.Assignment
+	// ValueEps is the budget of the value perturbation (uniform across
+	// keys).
+	ValueEps float64
+	// Model selects the optimization program for the presence bits.
+	Model opt.Model
+	// Seed drives the solver.
+	Seed uint64
+}
+
+// Collector perturbs pair sets and estimates per-key frequency and mean.
+type Collector struct {
+	cfg    Config
+	a, b   []float64 // per-key presence probabilities
+	valueP float64   // Pr(keep discretized value sign)
+}
+
+// New solves the presence-bit probabilities for the key budgets and
+// validates the configuration.
+func New(cfg Config) (*Collector, error) {
+	if cfg.Budgets == nil {
+		return nil, fmt.Errorf("kv: Config.Budgets is required")
+	}
+	if cfg.ValueEps <= 0 {
+		return nil, fmt.Errorf("kv: value budget %v must be positive", cfg.ValueEps)
+	}
+	asgn := cfg.Budgets
+	params, err := opt.Solve(cfg.Model, asgn.LevelEpsAll(), asgn.LevelCounts(), notion.MinID{}, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	if err := notion.VerifyUE(params.A, params.B, asgn.LevelEpsAll(), notion.MinID{}, 1e-6); err != nil {
+		return nil, fmt.Errorf("kv: solved parameters fail verification: %w", err)
+	}
+	m := asgn.M()
+	c := &Collector{
+		cfg:    cfg,
+		a:      make([]float64, m),
+		b:      make([]float64, m),
+		valueP: math.Exp(cfg.ValueEps) / (math.Exp(cfg.ValueEps) + 1),
+	}
+	for i := 0; i < m; i++ {
+		l := asgn.LevelOf(i)
+		c.a[i], c.b[i] = params.A[l], params.B[l]
+	}
+	return c, nil
+}
+
+// M returns the key-domain size.
+func (c *Collector) M() int { return c.cfg.Budgets.M() }
+
+// Report is one user's upload: the uniformly sampled key (safe to reveal
+// — the choice is input-independent), the randomized presence bit, and
+// the randomized ±1 value (meaningful only when Present).
+type Report struct {
+	Key     int
+	Present bool
+	Value   float64
+}
+
+// Perturb produces one user's report from her pair set. Keys must be
+// distinct and in range; values are clamped to [-1, 1].
+func (c *Collector) Perturb(pairs []Pair, r *rng.Source) (Report, error) {
+	m := c.M()
+	byKey := make(map[int]float64, len(pairs))
+	for _, p := range pairs {
+		if p.Key < 0 || p.Key >= m {
+			return Report{}, fmt.Errorf("kv: key %d out of range [0,%d)", p.Key, m)
+		}
+		if _, dup := byKey[p.Key]; dup {
+			return Report{}, fmt.Errorf("kv: duplicate key %d", p.Key)
+		}
+		byKey[p.Key] = math.Max(-1, math.Min(1, p.Value))
+	}
+	key := r.IntN(m)
+	value, held := byKey[key]
+
+	present := r.Bernoulli(c.b[key])
+	if held {
+		present = r.Bernoulli(c.a[key])
+	}
+	rep := Report{Key: key, Present: present}
+	if present {
+		// Holders discretize their value to ±1 preserving the mean;
+		// non-holders whose presence bit flipped on emit a symmetric
+		// random sign, which cancels in the mean calibration. Both then
+		// flip the sign with probability 1-valueP.
+		sign := -1.0
+		if held && r.Bernoulli((1+value)/2) {
+			sign = 1
+		}
+		if !held && r.Bernoulli(0.5) {
+			sign = 1
+		}
+		if !r.Bernoulli(c.valueP) {
+			sign = -sign
+		}
+		rep.Value = sign
+	}
+	return rep, nil
+}
+
+// Aggregate accumulates reports: per key, how many users sampled it, how
+// many of those reported presence, and the sum of reported values.
+type Aggregate struct {
+	m        int
+	sampled  []int64
+	present  []int64
+	valueSum []float64
+	n        int64
+}
+
+// NewAggregate returns an empty aggregate for the collector's domain.
+func (c *Collector) NewAggregate() *Aggregate {
+	m := c.M()
+	return &Aggregate{
+		m:        m,
+		sampled:  make([]int64, m),
+		present:  make([]int64, m),
+		valueSum: make([]float64, m),
+	}
+}
+
+// Add accumulates one report.
+func (g *Aggregate) Add(rep Report) error {
+	if rep.Key < 0 || rep.Key >= g.m {
+		return fmt.Errorf("kv: report key %d out of range [0,%d)", rep.Key, g.m)
+	}
+	g.sampled[rep.Key]++
+	if rep.Present {
+		g.present[rep.Key]++
+		g.valueSum[rep.Key] += rep.Value
+	}
+	g.n++
+	return nil
+}
+
+// N returns the number of reports.
+func (g *Aggregate) N() int64 { return g.n }
+
+// Estimates returns, per key, the estimated holder count and mean value.
+//
+// Among the sampled_k users who drew key k, the holders H_k report
+// presence at rate a_k and the rest at b_k, so
+// Ĥ_k = (present_k − sampled_k·b_k)/(a_k − b_k); scaling by the sampling
+// factor n/sampled_k (≈ m) gives the holder count. The value votes carry
+// E[sum] = Ĥ_k·v̄_k·(2·valueP − 1) — flipped-on non-holders contribute
+// zero-mean noise — so v̄_k = sum/(Ĥ_k·(2·valueP − 1)), clamped to
+// [-1, 1].
+func (c *Collector) Estimates(g *Aggregate) (freq, mean []float64, err error) {
+	if g.m != c.M() {
+		return nil, nil, fmt.Errorf("kv: aggregate domain %d does not match collector %d", g.m, c.M())
+	}
+	freq = make([]float64, g.m)
+	mean = make([]float64, g.m)
+	for k := 0; k < g.m; k++ {
+		if g.sampled[k] == 0 {
+			continue
+		}
+		d := c.a[k] - c.b[k]
+		heldSampled := (float64(g.present[k]) - float64(g.sampled[k])*c.b[k]) / d
+		freq[k] = heldSampled * float64(g.n) / float64(g.sampled[k])
+		denom := heldSampled * (2*c.valueP - 1)
+		if math.Abs(denom) > 1e-9 {
+			mean[k] = math.Max(-1, math.Min(1, g.valueSum[k]/denom))
+		}
+	}
+	return freq, mean, nil
+}

@@ -1,0 +1,174 @@
+package kv
+
+import (
+	"math"
+	"testing"
+
+	"idldp/internal/budget"
+	"idldp/internal/opt"
+	"idldp/internal/rng"
+)
+
+func collector(t *testing.T, m int) *Collector {
+	t.Helper()
+	asgn, err := budget.Assign(m, budget.Default(2), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Budgets: asgn, ValueEps: 1.5, Model: opt.Opt1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	asgn := budget.ToyExample()
+	if _, err := New(Config{ValueEps: 1}); err == nil {
+		t.Error("nil budgets accepted")
+	}
+	if _, err := New(Config{Budgets: asgn, ValueEps: 0}); err == nil {
+		t.Error("zero value budget accepted")
+	}
+	if _, err := New(Config{Budgets: asgn, ValueEps: 1, Model: opt.Model(9)}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestPerturbValidation(t *testing.T) {
+	c := collector(t, 5)
+	r := rng.New(2)
+	if _, err := c.Perturb([]Pair{{Key: 5}}, r); err == nil {
+		t.Error("out-of-range key accepted")
+	}
+	if _, err := c.Perturb([]Pair{{Key: 1}, {Key: 1}}, r); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	rep, err := c.Perturb(nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Key < 0 || rep.Key >= 5 {
+		t.Fatalf("empty set report key %d", rep.Key)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	c := collector(t, 4)
+	g := c.NewAggregate()
+	if err := g.Add(Report{Key: 4}); err == nil {
+		t.Error("out-of-range report accepted")
+	}
+	other := collector(t, 3)
+	if _, _, err := other.Estimates(g); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+}
+
+func TestFrequencyAndMeanRecovery(t *testing.T) {
+	const m, n = 8, 400000
+	c := collector(t, m)
+	root := rng.New(7)
+
+	// Ground truth: key k held by (k+1)/10 of users with mean value
+	// v_k = -0.8 + 0.2k.
+	holdProb := make([]float64, m)
+	meanVal := make([]float64, m)
+	for k := 0; k < m; k++ {
+		holdProb[k] = float64(k+1) / 10
+		meanVal[k] = -0.8 + 0.2*float64(k)
+	}
+	trueFreq := make([]float64, m)
+	g := c.NewAggregate()
+	for u := 0; u < n; u++ {
+		ur := root.SplitN(u)
+		var pairs []Pair
+		for k := 0; k < m; k++ {
+			if ur.Bernoulli(holdProb[k]) {
+				trueFreq[k]++
+				// Value v_k ± uniform noise inside [-1, 1].
+				v := meanVal[k] + 0.2*(2*ur.Float64()-1)
+				pairs = append(pairs, Pair{Key: k, Value: v})
+			}
+		}
+		rep, err := c.Perturb(pairs, ur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.N() != n {
+		t.Fatalf("N=%d", g.N())
+	}
+	freq, mean, err := c.Estimates(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < m; k++ {
+		if relErr := math.Abs(freq[k]-trueFreq[k]) / trueFreq[k]; relErr > 0.25 {
+			t.Errorf("key %d freq %v truth %v (rel %v)", k, freq[k], trueFreq[k], relErr)
+		}
+		if math.Abs(mean[k]-meanVal[k]) > 0.2 {
+			t.Errorf("key %d mean %v truth %v", k, mean[k], meanVal[k])
+		}
+	}
+}
+
+func TestSampledKeyIsInputIndependent(t *testing.T) {
+	// The sampled key must be uniform regardless of the user's pairs —
+	// that is what makes revealing it safe.
+	c := collector(t, 6)
+	r := rng.New(9)
+	counts := make([]float64, 6)
+	pairs := []Pair{{Key: 2, Value: 1}} // user holds only key 2
+	const n = 120000
+	for i := 0; i < n; i++ {
+		rep, err := c.Perturb(pairs, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[rep.Key]++
+	}
+	for k, cnt := range counts {
+		p := cnt / n
+		tol := 5 * math.Sqrt((1.0/6)*(5.0/6)/n)
+		if math.Abs(p-1.0/6) > tol {
+			t.Errorf("key %d sampled at rate %v want 1/6 ± %v", k, p, tol)
+		}
+	}
+}
+
+func TestValuesClamped(t *testing.T) {
+	c := collector(t, 3)
+	r := rng.New(4)
+	for i := 0; i < 200; i++ {
+		rep, err := c.Perturb([]Pair{{Key: 0, Value: 5}, {Key: 1, Value: -7}}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Present && rep.Value != 1 && rep.Value != -1 {
+			t.Fatalf("reported value %v not in {-1, +1}", rep.Value)
+		}
+	}
+}
+
+func TestSensitiveKeysGetStricterProtection(t *testing.T) {
+	// The per-key presence parameters must honor the key budgets: the
+	// strictest level's realized bound stays within its ε.
+	asgn := budget.ToyExample()
+	c, err := New(Config{Budgets: asgn, ValueEps: 1, Model: opt.Opt0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 0 (ε = ln4): presence-bit self bound a(1-b)/(b(1-a)) <= 4.
+	bound := c.a[0] * (1 - c.b[0]) / (c.b[0] * (1 - c.a[0]))
+	if bound > 4+1e-6 {
+		t.Errorf("sensitive key presence bound %v exceeds 4", bound)
+	}
+	// Loose keys flip less: larger gap a-b than the sensitive key.
+	if c.a[1]-c.b[1] <= c.a[0]-c.b[0] {
+		t.Error("loose keys not less noisy than the sensitive key")
+	}
+}

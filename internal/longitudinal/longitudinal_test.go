@@ -1,0 +1,110 @@
+package longitudinal
+
+import (
+	"math"
+	"testing"
+
+	"idldp/internal/agg"
+	"idldp/internal/budget"
+	"idldp/internal/opt"
+	"idldp/internal/rng"
+)
+
+func collector(t *testing.T) *Collector {
+	t.Helper()
+	c, err := New(Config{Budgets: budget.ToyExample(), InstEps: 2, Model: opt.Opt1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Budgets: budget.ToyExample(), InstEps: 0}); err == nil {
+		t.Error("zero instantaneous budget accepted")
+	}
+	if _, err := New(Config{InstEps: 1}); err == nil {
+		t.Error("nil budgets accepted")
+	}
+}
+
+func TestEffectiveProbabilitiesOrdering(t *testing.T) {
+	c := collector(t)
+	for k := 0; k < c.M(); k++ {
+		if !(0 < c.effB[k] && c.effB[k] < c.effA[k] && c.effA[k] < 1) {
+			t.Fatalf("bit %d effective probs (%v, %v) invalid", k, c.effA[k], c.effB[k])
+		}
+	}
+}
+
+func TestRoundEstimatesUnbiased(t *testing.T) {
+	c := collector(t)
+	const n = 60000
+	root := rng.New(5)
+	truth := make([]float64, c.M())
+	states := make([]*UserState, n)
+	for u := 0; u < n; u++ {
+		item := u % c.M()
+		truth[item]++
+		states[u] = c.NewUserState(item, root.SplitN(u))
+	}
+	// Three rounds: each round's estimates individually track the truth.
+	for round := 0; round < 3; round++ {
+		a := agg.New(c.M())
+		for u, s := range states {
+			a.Add(c.Report(s, root.SplitN(1000000+round*n+u)))
+		}
+		est, err := c.Estimate(a.Counts(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range truth {
+			if math.Abs(est[i]-truth[i]) > 0.25*truth[i]+700 {
+				t.Errorf("round %d item %d estimate %v truth %v", round, i, est[i], truth[i])
+			}
+		}
+	}
+}
+
+func TestMemoizationBoundsLongitudinalLeakage(t *testing.T) {
+	// The memoized vector is fixed: averaging many rounds converges to
+	// the instantaneous expectation of the *permanent* vector, not to the
+	// raw input. Verify that the per-round reports of one user are
+	// consistent with their permanent state (the adversary learns the
+	// memoized vector at best).
+	c := collector(t)
+	r := rng.New(9)
+	s := c.NewUserState(0, r)
+	const rounds = 4000
+	ones := make([]float64, c.M())
+	for round := 0; round < rounds; round++ {
+		y := c.Report(s, r)
+		for k := 0; k < c.M(); k++ {
+			if y.Get(k) {
+				ones[k]++
+			}
+		}
+	}
+	for k := 0; k < c.M(); k++ {
+		want := c.instB
+		if s.permanent.Get(k) {
+			want = c.instA
+		}
+		got := ones[k] / rounds
+		tol := 5 * math.Sqrt(want*(1-want)/rounds)
+		if math.Abs(got-want) > tol {
+			t.Errorf("bit %d round-average %v want %v ± %v", k, got, want, tol)
+		}
+	}
+}
+
+func TestBudgets(t *testing.T) {
+	c := collector(t)
+	// Permanent bound respects Lemma 1 for the toy budgets.
+	if got := c.PermanentLDPBudget(); got > math.Log(6)+1e-6 {
+		t.Errorf("permanent budget %v exceeds ln6", got)
+	}
+	if c.RoundLDPBudget() != 2 {
+		t.Errorf("round budget %v want 2", c.RoundLDPBudget())
+	}
+}

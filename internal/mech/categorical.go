@@ -1,0 +1,85 @@
+package mech
+
+import (
+	"fmt"
+	"math"
+
+	"idldp/internal/rng"
+)
+
+// RR is Warner's binary Randomized Response (§III-C): the genuine answer
+// is reported with probability P = e^ε/(e^ε+1) and the opposite answer
+// otherwise.
+type RR struct {
+	Eps float64
+	P   float64
+}
+
+// NewRR returns a binary randomized-response mechanism at budget eps.
+func NewRR(eps float64) (*RR, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("mech: RR budget %v must be positive", eps)
+	}
+	return &RR{Eps: eps, P: math.Exp(eps) / (math.Exp(eps) + 1)}, nil
+}
+
+// Perturb reports the (possibly flipped) answer.
+func (m *RR) Perturb(truth bool, r *rng.Source) bool {
+	if r.Bernoulli(m.P) {
+		return truth
+	}
+	return !truth
+}
+
+// GRR is Generalized Randomized Response over m categories (§III-C): the
+// true category is reported with probability P = e^ε/(e^ε+m-1) and each
+// other category with probability Q = 1/(e^ε+m-1).
+type GRR struct {
+	M    int
+	Eps  float64
+	P, Q float64
+}
+
+// NewGRR returns a generalized randomized-response mechanism over m
+// categories at budget eps.
+func NewGRR(eps float64, m int) (*GRR, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("mech: GRR budget %v must be positive", eps)
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("mech: GRR needs at least 2 categories, got %d", m)
+	}
+	den := math.Exp(eps) + float64(m) - 1
+	return &GRR{M: m, Eps: eps, P: math.Exp(eps) / den, Q: 1 / den}, nil
+}
+
+// Perturb reports a category for true input x in [0, M).
+func (m *GRR) Perturb(x int, r *rng.Source) int {
+	if x < 0 || x >= m.M {
+		panic(fmt.Sprintf("mech: GRR input %d out of range [0,%d)", x, m.M))
+	}
+	if r.Bernoulli(m.P - m.Q) {
+		// With probability p-q report the truth outright; otherwise report
+		// a uniform category. The mixture reproduces (p, q) exactly and
+		// avoids an O(M) draw.
+		return x
+	}
+	return r.IntN(m.M)
+}
+
+// Matrix returns the explicit perturbation matrix P[x][y] = Pr(y|x),
+// useful for verifying the mechanism against a privacy notion.
+func (m *GRR) Matrix() [][]float64 {
+	P := make([][]float64, m.M)
+	for x := range P {
+		P[x] = make([]float64, m.M)
+		for y := range P[x] {
+			if x == y {
+				P[x][y] = m.P
+			} else {
+				P[x][y] = m.Q
+			}
+		}
+	}
+	return P
+}

@@ -1,0 +1,110 @@
+package mech
+
+import (
+	"math"
+	"testing"
+
+	"idldp/internal/notion"
+	"idldp/internal/rng"
+)
+
+func TestRRTruthProbability(t *testing.T) {
+	m, err := NewRR(math.Log(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.P-0.75) > 1e-12 {
+		t.Fatalf("P=%v want 0.75", m.P)
+	}
+	r := rng.New(4)
+	const n = 100000
+	kept := 0
+	for i := 0; i < n; i++ {
+		if m.Perturb(true, r) {
+			kept++
+		}
+	}
+	f := float64(kept) / n
+	if math.Abs(f-0.75) > 5*math.Sqrt(0.75*0.25/n) {
+		t.Fatalf("empirical truth rate %v", f)
+	}
+}
+
+func TestRRErrors(t *testing.T) {
+	if _, err := NewRR(0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+}
+
+func TestGRRParameters(t *testing.T) {
+	eps := 1.5
+	m, err := NewGRR(eps, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.P/m.Q-math.Exp(eps)) > 1e-9 {
+		t.Fatalf("p/q=%v want e^%v", m.P/m.Q, eps)
+	}
+	if math.Abs(m.P+9*m.Q-1) > 1e-12 {
+		t.Fatal("probabilities do not sum to 1")
+	}
+}
+
+func TestGRRMatrixSatisfiesLDP(t *testing.T) {
+	eps := 1.1
+	m, err := NewGRR(eps, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	P := m.Matrix()
+	E := make([]float64, 6)
+	for i := range E {
+		E[i] = eps
+	}
+	if err := notion.VerifyMatrix(P, E, notion.MinID{}, 1e-9); err != nil {
+		t.Fatalf("GRR matrix rejected: %v", err)
+	}
+	if got := notion.MatrixLDPBudget(P); math.Abs(got-eps) > 1e-9 {
+		t.Fatalf("realized budget %v want %v", got, eps)
+	}
+}
+
+func TestGRRPerturbDistribution(t *testing.T) {
+	m, err := NewGRR(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	const n = 200000
+	counts := make([]float64, 4)
+	for i := 0; i < n; i++ {
+		counts[m.Perturb(2, r)]++
+	}
+	for y := 0; y < 4; y++ {
+		want := m.Q
+		if y == 2 {
+			want = m.P
+		}
+		got := counts[y] / n
+		tol := 5 * math.Sqrt(want*(1-want)/n)
+		if math.Abs(got-want) > tol {
+			t.Errorf("output %d rate %v want %v ± %v", y, got, want, tol)
+		}
+	}
+}
+
+func TestGRRErrors(t *testing.T) {
+	if _, err := NewGRR(0, 5); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewGRR(1, 1); err == nil {
+		t.Error("m=1 accepted")
+	}
+	m, _ := NewGRR(1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range input accepted")
+		}
+	}()
+	m.Perturb(3, rng.New(1))
+}

@@ -1,0 +1,46 @@
+package mech
+
+import (
+	"fmt"
+
+	"idldp/internal/rng"
+)
+
+// GRRCollect runs the full GRR frequency-estimation protocol over a
+// population of single-item users: each user reports one perturbed
+// category, the server tallies reports per category. The returned counts
+// feed estimate.CalibrateGRR. The paper (§III-C) notes GRR's utility
+// deteriorates as the domain grows, since p = e^ε/(e^ε+m-1) shrinks with
+// m — the ablation benchmarks quantify that against the UE family.
+func (m *GRR) Collect(items []int, seed uint64) ([]int64, error) {
+	counts := make([]int64, m.M)
+	root := rng.New(seed)
+	for u, x := range items {
+		if x < 0 || x >= m.M {
+			return nil, fmt.Errorf("mech: user %d holds item %d outside [0,%d)", u, x, m.M)
+		}
+		counts[m.Perturb(x, root.SplitN(u))]++
+	}
+	return counts, nil
+}
+
+// TheoreticalMSE returns the Eq. (9)-style per-item estimator variance of
+// GRR: with report probability p for the truth and q otherwise, the
+// calibrated estimator (c_i - n·q)/(p - q) has variance
+// n·q(1-q)/(p-q)² + c*_i(1-p-q)/(p-q).
+func (m *GRR) TheoreticalMSE(n int, trueCount float64) float64 {
+	d := m.P - m.Q
+	return float64(n)*m.Q*(1-m.Q)/(d*d) + trueCount*(1-m.P-m.Q)/d
+}
+
+// TotalTheoreticalMSE sums TheoreticalMSE over all categories.
+func (m *GRR) TotalTheoreticalMSE(n int, trueCounts []float64) (float64, error) {
+	if len(trueCounts) != m.M {
+		return 0, fmt.Errorf("mech: %d true counts for %d categories", len(trueCounts), m.M)
+	}
+	var sum float64
+	for _, c := range trueCounts {
+		sum += m.TheoreticalMSE(n, c)
+	}
+	return sum, nil
+}

@@ -1,0 +1,102 @@
+package mech
+
+import (
+	"math"
+	"testing"
+
+	"idldp/internal/estimate"
+)
+
+func TestGRRCollectEstimatesNearTruth(t *testing.T) {
+	g, err := NewGRR(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60000
+	items := make([]int, n)
+	truth := make([]float64, 8)
+	for u := range items {
+		items[u] = u % 8
+		truth[u%8]++
+	}
+	counts, err := g.Collect(items, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("reports %d want %d", total, n)
+	}
+	est, err := estimate.CalibrateGRR(counts, n, g.P, g.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		sd := math.Sqrt(g.TheoreticalMSE(n, truth[i]))
+		if math.Abs(est[i]-truth[i]) > 6*sd {
+			t.Errorf("item %d estimate %v truth %v (sd %v)", i, est[i], truth[i], sd)
+		}
+	}
+}
+
+func TestGRRCollectRejectsBadItem(t *testing.T) {
+	g, _ := NewGRR(1, 4)
+	if _, err := g.Collect([]int{0, 4}, 1); err == nil {
+		t.Fatal("out-of-range item accepted")
+	}
+	if _, err := g.Collect([]int{-1}, 1); err == nil {
+		t.Fatal("negative item accepted")
+	}
+}
+
+func TestGRRTheoreticalMSEDeterioratesWithDomain(t *testing.T) {
+	// §III-C: GRR's utility degrades as m grows at fixed ε.
+	const n = 10000
+	prev := 0.0
+	for _, m := range []int{4, 16, 64, 256} {
+		g, err := NewGRR(1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := make([]float64, m)
+		for i := range truth {
+			truth[i] = float64(n) / float64(m)
+		}
+		mse, err := g.TotalTheoreticalMSE(n, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mse <= prev {
+			t.Fatalf("GRR MSE not increasing with m: %v at m=%d after %v", mse, m, prev)
+		}
+		prev = mse
+	}
+}
+
+func TestGRRTotalTheoreticalMSELengthCheck(t *testing.T) {
+	g, _ := NewGRR(1, 4)
+	if _, err := g.TotalTheoreticalMSE(10, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestGRRCollectDeterministic(t *testing.T) {
+	g, _ := NewGRR(1, 5)
+	items := []int{0, 1, 2, 3, 4, 0, 1}
+	a, err := g.Collect(items, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Collect(items, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different counts")
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package mech implements the local perturbation mechanisms of the paper:
+// the Unary-Encoding family (basic RAPPOR, OUE, and the paper's
+// Input-Discriminative Unary Encoding, Algorithm 1) plus the categorical
+// baselines Randomized Response and Generalized Randomized Response
+// (§III-C). All UE-family mechanisms share one representation — per-bit
+// Bernoulli keep/flip probabilities — which is exactly what makes IDUE
+// input-discriminative: bits of different privacy levels get different
+// parameters.
+package mech
+
+import (
+	"fmt"
+	"math"
+
+	"idldp/internal/bitvec"
+	"idldp/internal/budget"
+	"idldp/internal/opt"
+	"idldp/internal/rng"
+)
+
+// UE is a Unary-Encoding mechanism over m bits. Bit k of the encoded
+// input is reported as 1 with probability A[k] if it is set and with
+// probability B[k] if it is clear:
+//
+//	Pr(y[k]=1 | x[k]=1) = A[k],   Pr(y[k]=1 | x[k]=0) = B[k].
+//
+// Uniform A and B give RAPPOR/OUE; per-level values give IDUE.
+type UE struct {
+	A, B []float64
+}
+
+// NewUE builds a UE mechanism from explicit per-bit probabilities. It
+// returns an error unless 0 < B[k] <= A[k] < 1 for every bit (the paper's
+// standing assumption a_k >= b_k, §V-B).
+func NewUE(a, b []float64) (*UE, error) {
+	if len(a) == 0 || len(a) != len(b) {
+		return nil, fmt.Errorf("mech: need equal non-zero parameter lengths, got %d and %d", len(a), len(b))
+	}
+	for k := range a {
+		if !(0 < b[k] && b[k] <= a[k] && a[k] < 1) {
+			return nil, fmt.Errorf("mech: bit %d has invalid probabilities a=%v b=%v", k, a[k], b[k])
+		}
+	}
+	return &UE{A: append([]float64(nil), a...), B: append([]float64(nil), b...)}, nil
+}
+
+// NewRAPPOR returns the basic (one-time) RAPPOR mechanism over m bits at
+// budget eps: a = e^{ε/2}/(e^{ε/2}+1), b = 1-a.
+func NewRAPPOR(eps float64, m int) (*UE, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("mech: RAPPOR budget %v must be positive", eps)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("mech: domain size %d must be positive", m)
+	}
+	p := math.Exp(eps/2) / (math.Exp(eps/2) + 1)
+	a := make([]float64, m)
+	b := make([]float64, m)
+	for k := range a {
+		a[k], b[k] = p, 1-p
+	}
+	return &UE{A: a, B: b}, nil
+}
+
+// NewOUE returns the Optimized Unary Encoding mechanism over m bits at
+// budget eps: a = 1/2, b = 1/(e^ε+1).
+func NewOUE(eps float64, m int) (*UE, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("mech: OUE budget %v must be positive", eps)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("mech: domain size %d must be positive", m)
+	}
+	q := 1 / (math.Exp(eps) + 1)
+	a := make([]float64, m)
+	b := make([]float64, m)
+	for k := range a {
+		a[k], b[k] = 0.5, q
+	}
+	return &UE{A: a, B: b}, nil
+}
+
+// NewIDUE expands solved per-level parameters into a per-bit IDUE
+// mechanism using the level assignment: every item inherits the (a, b) of
+// its privacy level.
+func NewIDUE(p opt.LevelParams, asgn *budget.Assignment) (*UE, error) {
+	if len(p.A) != asgn.T() || len(p.B) != asgn.T() {
+		return nil, fmt.Errorf("mech: %d-level parameters for a %d-level assignment", len(p.A), asgn.T())
+	}
+	m := asgn.M()
+	a := make([]float64, m)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		l := asgn.LevelOf(i)
+		a[i], b[i] = p.A[l], p.B[l]
+	}
+	return NewUE(a, b)
+}
+
+// Bits returns the report length m.
+func (u *UE) Bits() int { return len(u.A) }
+
+// Perturb applies Algorithm 1 to an encoded input vector, drawing each
+// output bit independently. The input must have exactly Bits() bits.
+func (u *UE) Perturb(x *bitvec.Vector, r *rng.Source) *bitvec.Vector {
+	if x.Len() != len(u.A) {
+		panic(fmt.Sprintf("mech: input has %d bits, mechanism has %d", x.Len(), len(u.A)))
+	}
+	y := bitvec.New(x.Len())
+	for k := 0; k < x.Len(); k++ {
+		p := u.B[k]
+		if x.Get(k) {
+			p = u.A[k]
+		}
+		if r.Bernoulli(p) {
+			y.Set(k)
+		}
+	}
+	return y
+}
+
+// PerturbItem encodes single-item input i as the one-hot vector v_i
+// (Eq. 6) and perturbs it.
+func (u *UE) PerturbItem(i int, r *rng.Source) *bitvec.Vector {
+	return u.Perturb(bitvec.OneHot(len(u.A), i), r)
+}
+
+// FlipProbabilities reports, for bit k, the probability of flipping a set
+// bit (1→0) and a clear bit (0→1) — the presentation used by Table II.
+func (u *UE) FlipProbabilities(k int) (oneToZero, zeroToOne float64) {
+	return 1 - u.A[k], u.B[k]
+}

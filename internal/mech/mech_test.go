@@ -1,0 +1,186 @@
+package mech
+
+import (
+	"math"
+	"testing"
+
+	"idldp/internal/bitvec"
+	"idldp/internal/budget"
+	"idldp/internal/notion"
+	"idldp/internal/opt"
+	"idldp/internal/rng"
+)
+
+func TestNewUEValidation(t *testing.T) {
+	if _, err := NewUE(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewUE([]float64{0.5}, []float64{0.2, 0.3}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewUE([]float64{0.2}, []float64{0.5}); err == nil {
+		t.Error("a < b accepted")
+	}
+	if _, err := NewUE([]float64{1}, []float64{0.5}); err == nil {
+		t.Error("a = 1 accepted")
+	}
+	if _, err := NewUE([]float64{0.5}, []float64{0}); err == nil {
+		t.Error("b = 0 accepted")
+	}
+	u, err := NewUE([]float64{0.5, 0.7}, []float64{0.2, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Bits() != 2 {
+		t.Fatalf("Bits=%d", u.Bits())
+	}
+}
+
+func TestNewUECopiesInputs(t *testing.T) {
+	a := []float64{0.5}
+	b := []float64{0.2}
+	u, err := NewUE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a[0] = 0.9
+	if u.A[0] != 0.5 {
+		t.Fatal("UE aliases caller slice")
+	}
+}
+
+func TestRAPPORParameters(t *testing.T) {
+	eps := math.Log(4)
+	u, err := NewRAPPOR(eps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table II: flip probability 1/3 on both bit values.
+	for k := 0; k < 5; k++ {
+		oneToZero, zeroToOne := u.FlipProbabilities(k)
+		if math.Abs(oneToZero-1.0/3) > 1e-9 || math.Abs(zeroToOne-1.0/3) > 1e-9 {
+			t.Fatalf("bit %d flip probs (%v,%v) want (1/3,1/3)", k, oneToZero, zeroToOne)
+		}
+	}
+	if b := notion.UELDPBudget(u.A, u.B); math.Abs(b-eps) > 1e-9 {
+		t.Fatalf("realized budget %v want %v", b, eps)
+	}
+}
+
+func TestOUEParameters(t *testing.T) {
+	eps := math.Log(4)
+	u, err := NewOUE(eps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table II: flip probs 0.5 (set bits) and 0.2 (clear bits).
+	oneToZero, zeroToOne := u.FlipProbabilities(0)
+	if math.Abs(oneToZero-0.5) > 1e-9 || math.Abs(zeroToOne-0.2) > 1e-9 {
+		t.Fatalf("flip probs (%v,%v) want (0.5,0.2)", oneToZero, zeroToOne)
+	}
+	if b := notion.UELDPBudget(u.A, u.B); math.Abs(b-eps) > 1e-9 {
+		t.Fatalf("realized budget %v want %v", b, eps)
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewRAPPOR(0, 5); err == nil {
+		t.Error("RAPPOR eps=0 accepted")
+	}
+	if _, err := NewRAPPOR(1, 0); err == nil {
+		t.Error("RAPPOR m=0 accepted")
+	}
+	if _, err := NewOUE(-1, 5); err == nil {
+		t.Error("OUE eps<0 accepted")
+	}
+	if _, err := NewOUE(1, -2); err == nil {
+		t.Error("OUE m<0 accepted")
+	}
+}
+
+func TestNewIDUEExpandsLevels(t *testing.T) {
+	asgn := budget.ToyExample() // item 0 level 0, items 1-4 level 1
+	p := opt.LevelParams{A: []float64{0.59, 0.67}, B: []float64{0.33, 0.28}}
+	u, err := NewIDUE(p, asgn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.A[0] != 0.59 || u.B[0] != 0.33 {
+		t.Errorf("item 0 params (%v,%v)", u.A[0], u.B[0])
+	}
+	for i := 1; i < 5; i++ {
+		if u.A[i] != 0.67 || u.B[i] != 0.28 {
+			t.Errorf("item %d params (%v,%v)", i, u.A[i], u.B[i])
+		}
+	}
+}
+
+func TestNewIDUELevelMismatch(t *testing.T) {
+	asgn := budget.ToyExample()
+	p := opt.LevelParams{A: []float64{0.5}, B: []float64{0.2}}
+	if _, err := NewIDUE(p, asgn); err == nil {
+		t.Fatal("level-count mismatch accepted")
+	}
+}
+
+func TestPerturbBitMarginals(t *testing.T) {
+	// Empirical per-bit output rates must match (a, b).
+	a := []float64{0.8, 0.6}
+	b := []float64{0.3, 0.1}
+	u, err := NewUE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	x := bitvec.OneHot(2, 0) // bit 0 set, bit 1 clear
+	const n = 200000
+	var c0, c1 int
+	for i := 0; i < n; i++ {
+		y := u.Perturb(x, r)
+		if y.Get(0) {
+			c0++
+		}
+		if y.Get(1) {
+			c1++
+		}
+	}
+	check := func(got int, p float64, name string) {
+		f := float64(got) / n
+		tol := 5 * math.Sqrt(p*(1-p)/n)
+		if math.Abs(f-p) > tol {
+			t.Errorf("%s rate %v want %v ± %v", name, f, p, tol)
+		}
+	}
+	check(c0, 0.8, "set bit")
+	check(c1, 0.1, "clear bit")
+}
+
+func TestPerturbItemOneHot(t *testing.T) {
+	u, err := NewOUE(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := u.PerturbItem(3, rng.New(1))
+	if y.Len() != 10 {
+		t.Fatalf("output length %d", y.Len())
+	}
+}
+
+func TestPerturbLengthPanics(t *testing.T) {
+	u, _ := NewOUE(1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	u.Perturb(bitvec.New(4), rng.New(1))
+}
+
+func TestPerturbDeterministicGivenSeed(t *testing.T) {
+	u, _ := NewRAPPOR(1, 20)
+	y1 := u.PerturbItem(5, rng.New(7))
+	y2 := u.PerturbItem(5, rng.New(7))
+	if !y1.Equal(y2) {
+		t.Fatal("same seed produced different reports")
+	}
+}

@@ -1,0 +1,112 @@
+package mech
+
+import (
+	"math"
+	"testing"
+
+	"idldp/internal/rng"
+)
+
+func TestNewOLHParameters(t *testing.T) {
+	eps := math.Log(3)
+	o, err := NewOLH(eps, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.G != 4 { // ceil(e^ln3)+1 = 4
+		t.Fatalf("G=%d want 4", o.G)
+	}
+	// GRR over G categories: p/q' = e^eps with q' = (1-p)/(G-1).
+	qPrime := (1 - o.P) / float64(o.G-1)
+	if math.Abs(o.P/qPrime-3) > 1e-9 {
+		t.Fatalf("p/q = %v want 3", o.P/qPrime)
+	}
+}
+
+func TestNewOLHErrors(t *testing.T) {
+	if _, err := NewOLH(0, 10); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewOLH(1, 1); err == nil {
+		t.Error("m=1 accepted")
+	}
+}
+
+func TestOLHHashDeterministicAndSpread(t *testing.T) {
+	o, _ := NewOLH(1, 1000)
+	if o.Hash(7, 42) != o.Hash(7, 42) {
+		t.Fatal("hash not deterministic")
+	}
+	// Values spread across the range over many items.
+	counts := make([]int, o.G)
+	for x := 0; x < 1000; x++ {
+		counts[o.Hash(7, x)]++
+	}
+	for v, c := range counts {
+		want := 1000 / o.G
+		if c < want/3 || c > want*3 {
+			t.Errorf("hash value %d hit %d times, want ≈%d", v, c, want)
+		}
+	}
+}
+
+func TestOLHEndToEndUnbiased(t *testing.T) {
+	const m, n = 20, 120000
+	o, err := NewOLH(1.5, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	truth := make([]float64, m)
+	reports := make([]OLHReport, n)
+	for u := 0; u < n; u++ {
+		x := u % m
+		truth[x]++
+		reports[u] = o.Perturb(x, uint64(u)*2654435761+1, r)
+	}
+	counts := o.Aggregate(reports)
+	est, err := o.Estimate(counts, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := math.Sqrt(o.TheoreticalVar(n))
+	for i := range truth {
+		if math.Abs(est[i]-truth[i]) > 6*sd {
+			t.Errorf("item %d estimate %v truth %v (sd %v)", i, est[i], truth[i], sd)
+		}
+	}
+}
+
+func TestOLHVarianceMatchesOUE(t *testing.T) {
+	// OLH's asymptotic variance 4e^ε/(e^ε-1)²·n matches OUE's; check the
+	// exact formula is within 25% of it for moderate ε.
+	for _, eps := range []float64{1, 2, 3} {
+		o, err := NewOLH(eps, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 10000
+		asym := 4 * math.Exp(eps) / math.Pow(math.Exp(eps)-1, 2) * float64(n)
+		got := o.TheoreticalVar(n)
+		if got < asym*0.7 || got > asym*1.35 {
+			t.Errorf("eps=%v: var %v vs asymptotic %v", eps, got, asym)
+		}
+	}
+}
+
+func TestOLHEstimateErrors(t *testing.T) {
+	o, _ := NewOLH(1, 10)
+	if _, err := o.Estimate(make([]int64, 9), 100); err == nil {
+		t.Error("wrong count length accepted")
+	}
+}
+
+func TestOLHPerturbPanics(t *testing.T) {
+	o, _ := NewOLH(1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	o.Perturb(10, 1, rng.New(1))
+}

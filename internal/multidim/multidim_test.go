@@ -1,0 +1,237 @@
+package multidim
+
+import (
+	"math"
+	"testing"
+
+	"idldp/internal/budget"
+	"idldp/internal/notion"
+	"idldp/internal/opt"
+	"idldp/internal/rng"
+)
+
+func attrs(t *testing.T, d, m int, eps float64) []Attribute {
+	t.Helper()
+	out := make([]Attribute, d)
+	for ai := range out {
+		asgn, err := budget.Assign(m, budget.Default(eps), rng.New(uint64(ai+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[ai] = Attribute{Name: string(rune('a' + ai)), Budgets: asgn}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("no attributes accepted")
+	}
+	if _, err := New(Config{Attributes: []Attribute{{Name: "x"}}}); err == nil {
+		t.Error("nil budgets accepted")
+	}
+}
+
+func TestSplitScalesBudgets(t *testing.T) {
+	d := 4
+	c, err := New(Config{Attributes: attrs(t, d, 10, 2), Strategy: Split, Model: opt.Opt1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.D() != d {
+		t.Fatalf("D=%d", c.D())
+	}
+	// Per-attribute realized LDP budget is bounded by Lemma 1 applied to
+	// the scaled budgets: min{max E, 2 min E}/d.
+	for ai := 0; ai < d; ai++ {
+		e := c.Engine(ai)
+		bound := notion.MinIDToLDP([]float64{2.0 / 4, 2.4 / 4, 4.0 / 4, 8.0 / 4})
+		if got := e.RealizedLDPBudget(); got > bound+1e-6 {
+			t.Errorf("attr %d realized %v exceeds scaled Lemma 1 bound %v", ai, got, bound)
+		}
+	}
+	// Composed per-input budget across d reports is within the declared
+	// assignment: d · (scaled budget) = original.
+	acct := notion.NewAccountant(10)
+	orig := attrs(t, 1, 10, 2)[0].Budgets
+	for ai := 0; ai < d; ai++ {
+		scaled := make([]float64, 10)
+		for i := range scaled {
+			scaled[i] = orig.EpsOf(i) / float64(d)
+		}
+		if err := acct.Spend(scaled); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := acct.TotalPerInput()
+	for i := range total {
+		if math.Abs(total[i]-orig.EpsOf(i)) > 1e-9 {
+			t.Fatalf("composed budget %v != declared %v", total[i], orig.EpsOf(i))
+		}
+	}
+}
+
+func TestPerturbShapes(t *testing.T) {
+	c, err := New(Config{Attributes: attrs(t, 3, 8, 2), Strategy: Split, Model: opt.Opt1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Perturb([]int{1, 2, 3}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ai := 0; ai < 3; ai++ {
+		if rep.Bits[ai] == nil || rep.Lens[ai] != 8 {
+			t.Fatalf("attribute %d missing under Split", ai)
+		}
+	}
+	if _, err := c.Perturb([]int{1, 2}, rng.New(5)); err == nil {
+		t.Error("short record accepted")
+	}
+
+	cs, err := New(Config{Attributes: attrs(t, 3, 8, 2), Strategy: Sample, Model: opt.Opt1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = cs.Perturb([]int{1, 2, 3}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reported := 0
+	for ai := 0; ai < 3; ai++ {
+		if rep.Bits[ai] != nil {
+			reported++
+		}
+	}
+	if reported != 1 {
+		t.Fatalf("Sample reported %d attributes, want 1", reported)
+	}
+}
+
+func runPipeline(t *testing.T, strat Strategy, d, m, n int) (est [][]float64, truth [][]float64, a *Aggregator) {
+	t.Helper()
+	c, err := New(Config{Attributes: attrs(t, d, m, 2), Strategy: strat, Model: opt.Opt1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a = c.NewAggregator()
+	truth = make([][]float64, d)
+	for ai := range truth {
+		truth[ai] = make([]float64, m)
+	}
+	root := rng.New(77)
+	record := make([]int, d)
+	for u := 0; u < n; u++ {
+		for ai := range record {
+			record[ai] = (u + ai) % m
+			truth[ai][record[ai]]++
+		}
+		rep, err := c.Perturb(record, root.SplitN(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err = a.Estimates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est, truth, a
+}
+
+func TestSplitPipelineRecoversTruth(t *testing.T) {
+	est, truth, _ := runPipeline(t, Split, 2, 6, 30000)
+	for ai := range truth {
+		for i := range truth[ai] {
+			if math.Abs(est[ai][i]-truth[ai][i]) > 0.3*truth[ai][i]+800 {
+				t.Errorf("attr %d item %d estimate %v truth %v", ai, i, est[ai][i], truth[ai][i])
+			}
+		}
+	}
+}
+
+func TestSamplePipelineRecoversTruth(t *testing.T) {
+	est, truth, _ := runPipeline(t, Sample, 3, 6, 60000)
+	for ai := range truth {
+		for i := range truth[ai] {
+			if math.Abs(est[ai][i]-truth[ai][i]) > 0.3*truth[ai][i]+1500 {
+				t.Errorf("attr %d item %d estimate %v truth %v", ai, i, est[ai][i], truth[ai][i])
+			}
+		}
+	}
+}
+
+func TestSampleBeatsSplitForManyAttributes(t *testing.T) {
+	// The standard result: with many attributes, sampling at full budget
+	// beats splitting the budget d ways. Compare theoretical MSE at d=6.
+	const d, m, n = 6, 8, 60000
+	truth := make([]float64, m)
+	for i := range truth {
+		truth[i] = float64(n) / float64(m)
+	}
+	build := func(s Strategy) float64 {
+		c, err := New(Config{Attributes: attrs(t, d, m, 2), Strategy: s, Model: opt.Opt1, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := c.NewAggregator()
+		mse, err := a.TheoreticalAttrMSE(0, truth, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mse
+	}
+	split, sample := build(Split), build(Sample)
+	if sample >= split {
+		t.Fatalf("sample MSE %v not below split MSE %v at d=%d", sample, split, d)
+	}
+}
+
+func TestAggregatorAddErrors(t *testing.T) {
+	c, err := New(Config{Attributes: attrs(t, 2, 5, 2), Strategy: Split, Model: opt.Opt1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.NewAggregator()
+	if err := a.Add(Report{Bits: make([][]uint64, 3), Lens: make([]int, 3)}); err == nil {
+		t.Error("wrong attribute count accepted")
+	}
+	if err := a.Add(Report{Bits: [][]uint64{{1}, nil}, Lens: []int{9, 0}}); err == nil {
+		t.Error("bad word length accepted")
+	}
+}
+
+func TestCombineRounds(t *testing.T) {
+	// Two rounds with variances 1 and 3: weights 3/4 and 1/4.
+	got, err := CombineRounds(
+		[][]float64{{4}, {8}},
+		[][]float64{{1}, {3}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (4.0/1 + 8.0/3) / (1 + 1.0/3)
+	if math.Abs(got[0]-want) > 1e-12 {
+		t.Fatalf("combined %v want %v", got[0], want)
+	}
+	if _, err := CombineRounds(nil, nil); err == nil {
+		t.Error("no rounds accepted")
+	}
+	if _, err := CombineRounds([][]float64{{1}}, [][]float64{{1}, {2}}); err == nil {
+		t.Error("mismatched rounds accepted")
+	}
+	if _, err := CombineRounds([][]float64{{1}}, [][]float64{{0}}); err == nil {
+		t.Error("zero variance accepted")
+	}
+	if _, err := CombineRounds([][]float64{{1}, {1, 2}}, [][]float64{{1}, {1}}); err == nil {
+		t.Error("ragged rounds accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Split.String() != "split" || Sample.String() != "sample" || Strategy(9).String() == "" {
+		t.Fatal("strategy names wrong")
+	}
+}

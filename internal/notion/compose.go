@@ -1,0 +1,63 @@
+package notion
+
+import "fmt"
+
+// Accountant tracks cumulative privacy spending across a sequence of
+// mechanisms applied to the same input domain, per the sequential
+// composition theorems: Theorem 1 for LDP (budgets add) and Theorem 2 for
+// MinID-LDP (budgets add input-wise).
+type Accountant struct {
+	perInput []float64 // cumulative ε_x per input
+	steps    int
+}
+
+// NewAccountant returns an accountant over a domain of size m with zero
+// spending. It panics if m <= 0.
+func NewAccountant(m int) *Accountant {
+	if m <= 0 {
+		panic("notion: accountant domain must be positive")
+	}
+	return &Accountant{perInput: make([]float64, m)}
+}
+
+// SpendUniform records a mechanism satisfying eps-LDP (the same budget for
+// every input).
+func (a *Accountant) SpendUniform(eps float64) error {
+	if eps < 0 {
+		return fmt.Errorf("notion: negative budget %v", eps)
+	}
+	for i := range a.perInput {
+		a.perInput[i] += eps
+	}
+	a.steps++
+	return nil
+}
+
+// Spend records a mechanism satisfying E-MinID-LDP with per-input budgets
+// E. Budgets accumulate input-wise (Theorem 2).
+func (a *Accountant) Spend(E []float64) error {
+	if len(E) != len(a.perInput) {
+		return fmt.Errorf("notion: budget set size %d does not match domain %d", len(E), len(a.perInput))
+	}
+	for i, e := range E {
+		if e < 0 {
+			return fmt.Errorf("notion: negative budget %v at input %d", e, i)
+		}
+		a.perInput[i] += e
+	}
+	a.steps++
+	return nil
+}
+
+// Steps returns how many mechanisms have been composed.
+func (a *Accountant) Steps() int { return a.steps }
+
+// TotalPerInput returns the cumulative per-input budget set of the
+// composed mechanism — the (Σ E_i) of Theorem 2.
+func (a *Accountant) TotalPerInput() []float64 {
+	return append([]float64(nil), a.perInput...)
+}
+
+// TotalLDP returns the plain-LDP budget of the composition via Lemma 1:
+// min{max Σ E, 2 min Σ E}.
+func (a *Accountant) TotalLDP() float64 { return MinIDToLDP(a.perInput) }

@@ -1,0 +1,93 @@
+package notion
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeakageBounds is a prior–posterior privacy-leakage interval from Table I:
+// bounds on Pr(x)/Pr(x|y) that hold for every output y. Values below 1
+// mean the adversary's belief in x can grow by at most 1/Lower; values
+// above 1 mean it can shrink by at most Upper.
+type LeakageBounds struct {
+	Lower, Upper float64
+}
+
+// LDPLeakage returns the Table I bounds for ε-LDP: [e^{-ε}, e^{ε}].
+func LDPLeakage(eps float64) LeakageBounds {
+	return LeakageBounds{Lower: math.Exp(-eps), Upper: math.Exp(eps)}
+}
+
+// PLDPLeakage returns the Table I bounds for personalized LDP with a user
+// budget ε_u: [e^{-ε_u}, e^{ε_u}].
+func PLDPLeakage(epsU float64) LeakageBounds {
+	return LDPLeakage(epsU)
+}
+
+// GeoIndLeakage returns the Table I bounds for geo-indistinguishability:
+// Σ_{x'} Pr(x') e^{∓ε·d(x,x')}. prior is the prior over inputs and dists
+// the distances d(x, x') from the fixed input x to every input x'.
+func GeoIndLeakage(eps float64, prior, dists []float64) (LeakageBounds, error) {
+	if len(prior) != len(dists) {
+		return LeakageBounds{}, fmt.Errorf("notion: %d priors but %d distances", len(prior), len(dists))
+	}
+	var lo, hi, sum float64
+	for i, p := range prior {
+		if p < 0 || dists[i] < 0 {
+			return LeakageBounds{}, fmt.Errorf("notion: negative prior or distance at %d", i)
+		}
+		sum += p
+		lo += p * math.Exp(-eps*dists[i])
+		hi += p * math.Exp(eps*dists[i])
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return LeakageBounds{}, fmt.Errorf("notion: prior sums to %v, want 1", sum)
+	}
+	return LeakageBounds{Lower: lo, Upper: hi}, nil
+}
+
+// MinIDLeakage returns the Table I bounds for E-MinID-LDP at input x with
+// budget epsX: [e^{-min{ε_x, 2 min E}}, e^{min{ε_x, 2 min E}}]. The second
+// term is the Lemma 1 global bound.
+func MinIDLeakage(epsX float64, E []float64) LeakageBounds {
+	if len(E) == 0 {
+		panic("notion: empty budget set")
+	}
+	mn := E[0]
+	for _, e := range E[1:] {
+		mn = math.Min(mn, e)
+	}
+	b := math.Min(epsX, 2*mn)
+	return LeakageBounds{Lower: math.Exp(-b), Upper: math.Exp(b)}
+}
+
+// EmpiricalLeakage computes the exact prior–posterior ratio interval
+// realized by a perturbation matrix at input x under a prior, by Eq. (5):
+// Pr(x)/Pr(x|y) = Σ_{x'} Pr(x') P[x'][y] / P[x][y], minimized and
+// maximized over outputs y with P[x][y] > 0. It is used in tests to show
+// the Table I bounds are honored by concrete mechanisms.
+func EmpiricalLeakage(P [][]float64, prior []float64, x int) (LeakageBounds, error) {
+	if len(P) == 0 || x < 0 || x >= len(P) {
+		return LeakageBounds{}, fmt.Errorf("notion: input %d out of range", x)
+	}
+	if len(prior) != len(P) {
+		return LeakageBounds{}, fmt.Errorf("notion: %d priors but %d matrix rows", len(prior), len(P))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for y := range P[x] {
+		if P[x][y] == 0 {
+			continue
+		}
+		var py float64
+		for xp := range P {
+			py += prior[xp] * P[xp][y]
+		}
+		r := py / P[x][y]
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	if math.IsInf(lo, 1) {
+		return LeakageBounds{}, fmt.Errorf("notion: input %d has no possible output", x)
+	}
+	return LeakageBounds{Lower: lo, Upper: hi}, nil
+}

@@ -1,0 +1,145 @@
+package notion
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLDPLeakageBounds(t *testing.T) {
+	b := LDPLeakage(1)
+	if math.Abs(b.Lower-math.Exp(-1)) > 1e-12 || math.Abs(b.Upper-math.E) > 1e-12 {
+		t.Fatalf("bounds %+v", b)
+	}
+	p := PLDPLeakage(2)
+	if math.Abs(p.Upper-math.Exp(2)) > 1e-12 {
+		t.Fatalf("PLDP bounds %+v", p)
+	}
+}
+
+func TestMinIDLeakage(t *testing.T) {
+	// ε_x larger than 2 min E: the Lemma 1 term binds.
+	E := []float64{1, 4, 6}
+	b := MinIDLeakage(4, E)
+	if math.Abs(b.Upper-math.Exp(2)) > 1e-12 {
+		t.Fatalf("upper %v want e^2", b.Upper)
+	}
+	// ε_x below 2 min E: the input's own budget binds.
+	b = MinIDLeakage(1.5, E)
+	if math.Abs(b.Upper-math.Exp(1.5)) > 1e-12 {
+		t.Fatalf("upper %v want e^1.5", b.Upper)
+	}
+	if math.Abs(b.Lower*b.Upper-1) > 1e-12 {
+		t.Fatal("bounds not reciprocal")
+	}
+}
+
+func TestGeoIndLeakage(t *testing.T) {
+	prior := []float64{0.5, 0.5}
+	dists := []float64{0, 2}
+	b, err := GeoIndLeakage(1, prior, dists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLo := 0.5 + 0.5*math.Exp(-2)
+	wantHi := 0.5 + 0.5*math.Exp(2)
+	if math.Abs(b.Lower-wantLo) > 1e-12 || math.Abs(b.Upper-wantHi) > 1e-12 {
+		t.Fatalf("bounds %+v want [%g,%g]", b, wantLo, wantHi)
+	}
+}
+
+func TestGeoIndLeakageErrors(t *testing.T) {
+	if _, err := GeoIndLeakage(1, []float64{1}, []float64{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := GeoIndLeakage(1, []float64{0.5, 0.6}, []float64{0, 1}); err == nil {
+		t.Error("non-normalized prior accepted")
+	}
+	if _, err := GeoIndLeakage(1, []float64{1.5, -0.5}, []float64{0, 1}); err == nil {
+		t.Error("negative prior accepted")
+	}
+}
+
+func TestEmpiricalLeakageWithinTableIBounds(t *testing.T) {
+	// A GRR mechanism at budget ε must realize leakage within the LDP
+	// Table I interval for any prior.
+	eps := 1.3
+	P := grrMatrix(5, eps)
+	prior := []float64{0.4, 0.3, 0.1, 0.1, 0.1}
+	want := LDPLeakage(eps)
+	for x := 0; x < 5; x++ {
+		got, err := EmpiricalLeakage(P, prior, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Lower < want.Lower-1e-12 || got.Upper > want.Upper+1e-12 {
+			t.Errorf("input %d leakage [%g,%g] outside Table I [%g,%g]",
+				x, got.Lower, got.Upper, want.Lower, want.Upper)
+		}
+	}
+}
+
+func TestEmpiricalLeakageErrors(t *testing.T) {
+	P := grrMatrix(3, 1)
+	if _, err := EmpiricalLeakage(P, []float64{1}, 0); err == nil {
+		t.Error("prior length mismatch accepted")
+	}
+	if _, err := EmpiricalLeakage(P, []float64{0.3, 0.3, 0.4}, 5); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+	if _, err := EmpiricalLeakage(nil, nil, 0); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	zero := [][]float64{{0, 0}}
+	if _, err := EmpiricalLeakage(zero, []float64{1}, 0); err == nil {
+		t.Error("input with no possible output accepted")
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	a := NewAccountant(3)
+	if err := a.SpendUniform(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := a.TotalPerInput()
+	want := []float64{1.5, 2.5, 3.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("TotalPerInput=%v want %v", got, want)
+		}
+	}
+	if a.Steps() != 2 {
+		t.Fatalf("Steps=%d", a.Steps())
+	}
+	// Lemma 1 on the composed budget set: min{3.5, 2*1.5} = 3.
+	if l := a.TotalLDP(); math.Abs(l-3) > 1e-12 {
+		t.Fatalf("TotalLDP=%v want 3", l)
+	}
+}
+
+func TestAccountantErrors(t *testing.T) {
+	a := NewAccountant(2)
+	if err := a.Spend([]float64{1}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if err := a.Spend([]float64{-1, 1}); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if err := a.SpendUniform(-0.1); err == nil {
+		t.Error("negative uniform budget accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for m=0")
+		}
+	}()
+	NewAccountant(0)
+}
+
+func TestUniformNotionName(t *testing.T) {
+	if (Uniform{Eps: 1.5}).Name() == "" {
+		t.Fatal("empty name")
+	}
+}

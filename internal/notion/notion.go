@@ -1,0 +1,220 @@
+// Package notion formalizes the privacy notions of the paper (§III, §IV):
+// plain ε-LDP (Definition 1), Input-Discriminative LDP (Definition 2) with
+// its instantiations MinID-LDP (Definition 3), AvgID-LDP and MaxID-LDP, the
+// Lemma 1 conversions between MinID-LDP and LDP, the prior–posterior
+// leakage bounds of Table I, and sequential-composition accounting
+// (Theorems 1 and 2).
+//
+// The package also verifies that concrete mechanisms comply: either from
+// the closed-form Unary-Encoding constraint of Eq. (7) or from an explicit
+// perturbation matrix via Definition 2 directly.
+package notion
+
+import (
+	"fmt"
+	"math"
+)
+
+// Notion maps the budgets of a pair of inputs to the indistinguishability
+// budget r(ε_x, ε_x') of that pair (Definition 2). Implementations must be
+// symmetric: PairBudget(a, b) == PairBudget(b, a).
+type Notion interface {
+	// PairBudget returns r(epsX, epsY), the bound on
+	// ln Pr(M(x)=y)/Pr(M(x')=y) for the pair.
+	PairBudget(epsX, epsY float64) float64
+	// Name identifies the notion in logs and experiment tables.
+	Name() string
+}
+
+// MinID is MinID-LDP (Definition 3): r(ε, ε') = min{ε, ε'}. The pair is
+// protected at the stricter of the two inputs' requirements.
+type MinID struct{}
+
+// PairBudget implements Notion.
+func (MinID) PairBudget(a, b float64) float64 { return math.Min(a, b) }
+
+// Name implements Notion.
+func (MinID) Name() string { return "MinID-LDP" }
+
+// AvgID is AvgID-LDP (§IV-C): r(ε, ε') = (ε + ε')/2.
+type AvgID struct{}
+
+// PairBudget implements Notion.
+func (AvgID) PairBudget(a, b float64) float64 { return (a + b) / 2 }
+
+// Name implements Notion.
+func (AvgID) Name() string { return "AvgID-LDP" }
+
+// MaxID is the loosest instantiation: r(ε, ε') = max{ε, ε'}. It is
+// included as a comparator; it does not protect the stricter input of a
+// pair at its own level.
+type MaxID struct{}
+
+// PairBudget implements Notion.
+func (MaxID) PairBudget(a, b float64) float64 { return math.Max(a, b) }
+
+// Name implements Notion.
+func (MaxID) Name() string { return "MaxID-LDP" }
+
+// Uniform is plain ε-LDP viewed as an ID-LDP instance: every pair gets the
+// same budget Eps regardless of the inputs' own budgets.
+type Uniform struct{ Eps float64 }
+
+// PairBudget implements Notion.
+func (u Uniform) PairBudget(a, b float64) float64 { return u.Eps }
+
+// Name implements Notion.
+func (u Uniform) Name() string { return fmt.Sprintf("%g-LDP", u.Eps) }
+
+// MinIDToLDP implements the forward direction of Lemma 1: a mechanism
+// satisfying E-MinID-LDP also satisfies ε-LDP with
+// ε = min{max E, 2·min E}. It panics on an empty budget set.
+func MinIDToLDP(E []float64) float64 {
+	if len(E) == 0 {
+		panic("notion: empty budget set")
+	}
+	mn, mx := E[0], E[0]
+	for _, e := range E[1:] {
+		mn = math.Min(mn, e)
+		mx = math.Max(mx, e)
+	}
+	return math.Min(mx, 2*mn)
+}
+
+// LDPBudgetForMinID implements the reverse direction of Lemma 1: the ε a
+// plain-LDP mechanism must satisfy so that it also satisfies E-MinID-LDP,
+// namely ε = min E.
+func LDPBudgetForMinID(E []float64) float64 {
+	if len(E) == 0 {
+		panic("notion: empty budget set")
+	}
+	mn := E[0]
+	for _, e := range E[1:] {
+		mn = math.Min(mn, e)
+	}
+	return mn
+}
+
+// UEPairBound returns the exact worst-case log probability ratio
+// ln(a_i(1-b_j)/(b_i(1-a_j))) of distinguishing unary-encoded inputs i and
+// j, per the derivation above Eq. (7). It requires a_k >= b_k.
+func UEPairBound(ai, bi, aj, bj float64) float64 {
+	return math.Log(ai*(1-bj)) - math.Log(bi*(1-aj))
+}
+
+// VerifyUE checks that per-bit Bernoulli parameters (a, b) satisfy the
+// given notion for the per-bit budgets eps, using the closed-form UE
+// constraint of Eq. (7): for all pairs (i, j),
+// a_i(1-b_j)/(b_i(1-a_j)) <= exp(r(ε_i, ε_j)).
+// slack is an absolute tolerance in log space (useful for numerically
+// solved parameters); pass 0 for a strict check.
+func VerifyUE(a, b, eps []float64, n Notion, slack float64) error {
+	if len(a) != len(b) || len(a) != len(eps) {
+		return fmt.Errorf("notion: mismatched lengths a=%d b=%d eps=%d", len(a), len(b), len(eps))
+	}
+	for k := range a {
+		if !(0 < b[k] && b[k] <= a[k] && a[k] < 1) {
+			return fmt.Errorf("notion: bit %d has invalid probabilities a=%v b=%v (need 0<b<=a<1)", k, a[k], b[k])
+		}
+	}
+	lp, _ := n.(LevelPairer)
+	for i := range a {
+		for j := range a {
+			var bound float64
+			if lp != nil {
+				// Indices are treated as level identities for notions
+				// that discriminate by level (incomplete policy graphs).
+				bound = lp.LevelPairBudget(i, j, eps[i], eps[j])
+			} else {
+				bound = n.PairBudget(eps[i], eps[j])
+			}
+			got := UEPairBound(a[i], b[i], a[j], b[j])
+			if got > bound+slack {
+				return fmt.Errorf("notion: pair (%d,%d) leaks %.6f > r=%.6f under %s",
+					i, j, got, bound, n.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// UELDPBudget returns the (plain) LDP budget actually realized by per-bit
+// UE parameters: max over pairs of UEPairBound. For uniform parameters it
+// reduces to ln(p(1-q)/((1-p)q)), the familiar UE budget.
+func UELDPBudget(a, b []float64) float64 {
+	worst := math.Inf(-1)
+	for i := range a {
+		for j := range a {
+			worst = math.Max(worst, UEPairBound(a[i], b[i], a[j], b[j]))
+		}
+	}
+	return worst
+}
+
+// VerifyMatrix checks Definition 2 directly on an explicit row-stochastic
+// perturbation matrix P, where P[x][y] = Pr(M(x) = y): for every pair of
+// inputs and every output, P[x][y]/P[x'][y] <= exp(r(ε_x, ε_x')).
+// Zero entries are allowed only if the matching entry in the other row is
+// also zero.
+func VerifyMatrix(P [][]float64, eps []float64, n Notion, slack float64) error {
+	if len(P) != len(eps) {
+		return fmt.Errorf("notion: %d matrix rows but %d budgets", len(P), len(eps))
+	}
+	for x, row := range P {
+		var sum float64
+		for y, p := range row {
+			if p < 0 || math.IsNaN(p) {
+				return fmt.Errorf("notion: P[%d][%d] = %v invalid", x, y, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("notion: row %d sums to %v, want 1", x, sum)
+		}
+	}
+	for x := range P {
+		for xp := range P {
+			if len(P[x]) != len(P[xp]) {
+				return fmt.Errorf("notion: ragged matrix rows %d and %d", x, xp)
+			}
+			bound := math.Exp(n.PairBudget(eps[x], eps[xp]) + slack)
+			for y := range P[x] {
+				px, pxp := P[x][y], P[xp][y]
+				if pxp == 0 {
+					if px != 0 {
+						return fmt.Errorf("notion: output %d possible under input %d but not %d", y, x, xp)
+					}
+					continue
+				}
+				if px/pxp > bound {
+					return fmt.Errorf("notion: P[%d][%d]/P[%d][%d] = %.6f exceeds e^r = %.6f under %s",
+						x, y, xp, y, px/pxp, bound, n.Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MatrixLDPBudget returns the plain LDP budget realized by an explicit
+// perturbation matrix: the max over pairs and outputs of the log ratio.
+// It returns +Inf if some output is possible under one input but not
+// another.
+func MatrixLDPBudget(P [][]float64) float64 {
+	worst := 0.0
+	for x := range P {
+		for xp := range P {
+			for y := range P[x] {
+				px, pxp := P[x][y], P[xp][y]
+				switch {
+				case px == 0 && pxp == 0:
+				case pxp == 0:
+					return math.Inf(1)
+				default:
+					worst = math.Max(worst, math.Log(px/pxp))
+				}
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,268 @@
+package notion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairBudgets(t *testing.T) {
+	cases := []struct {
+		n    Notion
+		a, b float64
+		want float64
+	}{
+		{MinID{}, 1, 3, 1},
+		{MinID{}, 3, 1, 1},
+		{AvgID{}, 1, 3, 2},
+		{MaxID{}, 1, 3, 3},
+		{Uniform{Eps: 0.7}, 1, 3, 0.7},
+	}
+	for _, c := range cases {
+		if got := c.n.PairBudget(c.a, c.b); got != c.want {
+			t.Errorf("%s.PairBudget(%g,%g)=%g want %g", c.n.Name(), c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPairBudgetSymmetry(t *testing.T) {
+	notions := []Notion{MinID{}, AvgID{}, MaxID{}, Uniform{Eps: 1}}
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		for _, n := range notions {
+			if n.PairBudget(a, b) != n.PairBudget(b, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinIDToLDP(t *testing.T) {
+	// Lemma 1: ε = min{max E, 2 min E}.
+	cases := []struct {
+		E    []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1}, 1},     // uniform: reduces to ε
+		{[]float64{1, 1.5}, 1.5},    // max < 2 min
+		{[]float64{1, 4}, 2},        // 2 min < max
+		{[]float64{0.5, 10, 20}, 1}, // strongly skewed
+		{[]float64{2}, 2},           // single level
+	}
+	for _, c := range cases {
+		if got := MinIDToLDP(c.E); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MinIDToLDP(%v)=%g want %g", c.E, got, c.want)
+		}
+	}
+}
+
+func TestLDPBudgetForMinID(t *testing.T) {
+	if got := LDPBudgetForMinID([]float64{3, 1, 2}); got != 1 {
+		t.Fatalf("got %g want 1", got)
+	}
+}
+
+func TestEmptyBudgetPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"to-ldp":  func() { MinIDToLDP(nil) },
+		"for-min": func() { LDPBudgetForMinID(nil) },
+		"leak":    func() { MinIDLeakage(1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVerifyUERAPPOR(t *testing.T) {
+	// RAPPOR with ε: a = e^{ε/2}/(e^{ε/2}+1), b = 1-a satisfies ε-LDP and
+	// hence E-MinID-LDP for E with min = ε.
+	eps := math.Log(4)
+	p := math.Exp(eps/2) / (math.Exp(eps/2) + 1)
+	m := 5
+	a := make([]float64, m)
+	b := make([]float64, m)
+	E := make([]float64, m)
+	for i := range a {
+		a[i], b[i] = p, 1-p
+		E[i] = eps
+	}
+	if err := VerifyUE(a, b, E, MinID{}, 1e-9); err != nil {
+		t.Fatalf("RAPPOR rejected: %v", err)
+	}
+	if got := UELDPBudget(a, b); math.Abs(got-eps) > 1e-9 {
+		t.Fatalf("UELDPBudget=%g want %g", got, eps)
+	}
+	// Raising one item's requirement (smaller budget) must fail.
+	E[0] = eps / 2
+	if err := VerifyUE(a, b, E, MinID{}, 1e-9); err == nil {
+		t.Fatal("stricter budget accepted")
+	}
+}
+
+func TestVerifyUEOUE(t *testing.T) {
+	// OUE: a = 1/2, b = 1/(e^ε+1); its UE budget is exactly ε.
+	eps := 1.7
+	m := 4
+	a := make([]float64, m)
+	b := make([]float64, m)
+	E := make([]float64, m)
+	for i := range a {
+		a[i], b[i], E[i] = 0.5, 1/(math.Exp(eps)+1), eps
+	}
+	if err := VerifyUE(a, b, E, MinID{}, 1e-9); err != nil {
+		t.Fatalf("OUE rejected: %v", err)
+	}
+	if got := UELDPBudget(a, b); math.Abs(got-eps) > 1e-9 {
+		t.Fatalf("UELDPBudget=%g want %g", got, eps)
+	}
+}
+
+func TestVerifyUEPaperToyExample(t *testing.T) {
+	// Table II IDUE parameters: (a,b) = (0.59, 0.33) for the sensitive item
+	// and (0.67, 0.28) for the rest, with ε = (ln4, ln6).
+	a := []float64{0.59, 0.67, 0.67, 0.67, 0.67}
+	b := []float64{0.33, 0.28, 0.28, 0.28, 0.28}
+	E := []float64{math.Log(4), math.Log(6), math.Log(6), math.Log(6), math.Log(6)}
+	if err := VerifyUE(a, b, E, MinID{}, 1e-6); err != nil {
+		t.Fatalf("paper's Table II parameters rejected: %v", err)
+	}
+}
+
+func TestVerifyUEErrors(t *testing.T) {
+	if err := VerifyUE([]float64{0.5}, []float64{0.2, 0.2}, []float64{1}, MinID{}, 0); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if err := VerifyUE([]float64{0.2}, []float64{0.5}, []float64{1}, MinID{}, 0); err == nil {
+		t.Error("a < b accepted")
+	}
+	if err := VerifyUE([]float64{1.0}, []float64{0.5}, []float64{1}, MinID{}, 0); err == nil {
+		t.Error("a = 1 accepted")
+	}
+	if err := VerifyUE([]float64{0.5}, []float64{0}, []float64{1}, MinID{}, 0); err == nil {
+		t.Error("b = 0 accepted")
+	}
+}
+
+func grrMatrix(m int, eps float64) [][]float64 {
+	p := math.Exp(eps) / (math.Exp(eps) + float64(m) - 1)
+	q := 1 / (math.Exp(eps) + float64(m) - 1)
+	P := make([][]float64, m)
+	for x := range P {
+		P[x] = make([]float64, m)
+		for y := range P[x] {
+			if x == y {
+				P[x][y] = p
+			} else {
+				P[x][y] = q
+			}
+		}
+	}
+	return P
+}
+
+func TestVerifyMatrixGRR(t *testing.T) {
+	eps := 1.2
+	P := grrMatrix(4, eps)
+	E := []float64{eps, eps, eps, eps}
+	if err := VerifyMatrix(P, E, MinID{}, 1e-9); err != nil {
+		t.Fatalf("GRR rejected: %v", err)
+	}
+	if got := MatrixLDPBudget(P); math.Abs(got-eps) > 1e-9 {
+		t.Fatalf("MatrixLDPBudget=%g want %g", got, eps)
+	}
+	// Tighten one input's budget: must fail.
+	E[0] = eps / 2
+	if err := VerifyMatrix(P, E, MinID{}, 1e-9); err == nil {
+		t.Fatal("tightened budget accepted")
+	}
+}
+
+func TestVerifyMatrixErrors(t *testing.T) {
+	if err := VerifyMatrix([][]float64{{1}}, []float64{1, 2}, MinID{}, 0); err == nil {
+		t.Error("row/budget mismatch accepted")
+	}
+	if err := VerifyMatrix([][]float64{{0.5, 0.4}}, []float64{1}, MinID{}, 0); err == nil {
+		t.Error("non-stochastic row accepted")
+	}
+	if err := VerifyMatrix([][]float64{{-0.5, 1.5}}, []float64{1}, MinID{}, 0); err == nil {
+		t.Error("negative entry accepted")
+	}
+	// Asymmetric support: y=1 impossible under x=1 but possible under x=0.
+	P := [][]float64{{0.5, 0.5}, {1, 0}}
+	if err := VerifyMatrix(P, []float64{1, 1}, MinID{}, 0); err == nil {
+		t.Error("asymmetric support accepted")
+	}
+	if !math.IsInf(MatrixLDPBudget(P), 1) {
+		t.Error("asymmetric support should have infinite budget")
+	}
+	ragged := [][]float64{{1}, {0.5, 0.5}}
+	if err := VerifyMatrix(ragged, []float64{1, 1}, MinID{}, 0); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+// Property (Lemma 1 forward): any UE parameterization satisfying min{E}-LDP
+// also satisfies E-MinID-LDP.
+func TestLemma1ForwardProperty(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		// Construct a uniform UE mechanism with budget exactly minE.
+		minE := 0.5 + float64(seedA%300)/100 // in [0.5, 3.5)
+		E := []float64{minE, minE * 1.5, minE * 3, minE * 1.01}
+		// RAPPOR structure at budget minE.
+		p := math.Exp(minE/2) / (math.Exp(minE/2) + 1)
+		a := []float64{p, p, p, p}
+		b := []float64{1 - p, 1 - p, 1 - p, 1 - p}
+		if UELDPBudget(a, b) > minE+1e-9 {
+			return false
+		}
+		return VerifyUE(a, b, E, MinID{}, 1e-9) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Lemma 1 backward): any UE parameterization satisfying
+// E-MinID-LDP satisfies ε-LDP with ε = min{max E, 2 min E}.
+func TestLemma1BackwardProperty(t *testing.T) {
+	f := func(s1, s2, s3 uint64) bool {
+		// Random per-level parameters scaled until they satisfy MinID-LDP.
+		E := []float64{0.5 + float64(s1%200)/100, 0.8 + float64(s2%300)/100, 1 + float64(s3%400)/100}
+		// Build opt1-style parameters: τ_i = min_j r(i,j)/2 guarantees
+		// τ_i + τ_j <= r(i,j), i.e. MinID-LDP holds.
+		tau := make([]float64, 3)
+		for i := range tau {
+			m := math.Inf(1)
+			for j := range tau {
+				m = math.Min(m, math.Min(E[i], E[j]))
+			}
+			tau[i] = m / 2
+		}
+		a := make([]float64, 3)
+		b := make([]float64, 3)
+		for i := range a {
+			a[i] = math.Exp(tau[i]) / (math.Exp(tau[i]) + 1)
+			b[i] = 1 - a[i]
+		}
+		if VerifyUE(a, b, E, MinID{}, 1e-9) != nil {
+			return false
+		}
+		return UELDPBudget(a, b) <= MinIDToLDP(E)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

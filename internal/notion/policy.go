@@ -1,0 +1,104 @@
+package notion
+
+import (
+	"fmt"
+	"math"
+)
+
+// §IV-C ("Additional Gain from Incomplete Privacy Policy Graph"): when
+// some pairs of inputs do not need to be indistinguishable — a secret
+// policy in the sense of Blowfish privacy — MinID-LDP's utility gain can
+// exceed the Lemma 1 factor of two, because inputs need not all be
+// indistinguishable from the strictest one. PolicyGraph materializes such
+// an incomplete graph at privacy-level granularity: an absent edge means
+// "no indistinguishability requirement for this pair".
+
+// PolicyGraph is an ID-LDP notion over privacy levels with an explicit
+// (possibly incomplete) edge set. Present edges get the base notion's
+// pair budget; absent edges are unconstrained (+Inf). Self-edges (i, i)
+// are always present: an input must remain deniable against itself being
+// known, matching Definition 2's ∀x,x' quantifier restricted by policy.
+type PolicyGraph struct {
+	base  Notion
+	t     int
+	edges map[[2]int]bool
+}
+
+// NewPolicyGraph builds a policy over t levels with the given undirected
+// edges (pairs of level indices) required to be indistinguishable, on top
+// of the base notion (typically MinID). Self-edges are implicit.
+func NewPolicyGraph(base Notion, t int, edges [][2]int) (*PolicyGraph, error) {
+	if base == nil {
+		return nil, fmt.Errorf("notion: policy graph needs a base notion")
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("notion: policy graph needs at least one level")
+	}
+	g := &PolicyGraph{base: base, t: t, edges: make(map[[2]int]bool, len(edges)+t)}
+	for i := 0; i < t; i++ {
+		g.edges[[2]int{i, i}] = true
+	}
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= t || e[1] < 0 || e[1] >= t {
+			return nil, fmt.Errorf("notion: edge %v out of range [0,%d)", e, t)
+		}
+		g.edges[norm(e)] = true
+	}
+	return g, nil
+}
+
+// Complete returns the fully connected policy over t levels — equivalent
+// to using the base notion directly.
+func Complete(base Notion, t int) *PolicyGraph {
+	var edges [][2]int
+	for i := 0; i < t; i++ {
+		for j := i + 1; j < t; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	g, err := NewPolicyGraph(base, t, edges)
+	if err != nil {
+		panic(err) // construction is static; cannot fail
+	}
+	return g
+}
+
+func norm(e [2]int) [2]int {
+	if e[0] > e[1] {
+		return [2]int{e[1], e[0]}
+	}
+	return e
+}
+
+// T returns the level count.
+func (g *PolicyGraph) T() int { return g.t }
+
+// HasEdge reports whether levels i and j must be indistinguishable.
+func (g *PolicyGraph) HasEdge(i, j int) bool { return g.edges[norm([2]int{i, j})] }
+
+// PairBudget implements Notion; without level identities it must be
+// conservative and defer to the base notion (used only if a PolicyGraph
+// is passed where level indices are unavailable).
+func (g *PolicyGraph) PairBudget(a, b float64) float64 { return g.base.PairBudget(a, b) }
+
+// LevelPairBudget returns the required indistinguishability of levels
+// i and j given their budgets: the base notion's value on present edges,
+// +Inf (unconstrained) on absent ones.
+func (g *PolicyGraph) LevelPairBudget(i, j int, epsI, epsJ float64) float64 {
+	if !g.HasEdge(i, j) {
+		return math.Inf(1)
+	}
+	return g.base.PairBudget(epsI, epsJ)
+}
+
+// Name implements Notion.
+func (g *PolicyGraph) Name() string {
+	return fmt.Sprintf("policy(%s, %d edges)", g.base.Name(), len(g.edges)-g.t)
+}
+
+// LevelPairer is the optional interface the optimization layer checks
+// for: notions that discriminate by level identity, not just by budget
+// values.
+type LevelPairer interface {
+	LevelPairBudget(i, j int, epsI, epsJ float64) float64
+}

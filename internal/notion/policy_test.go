@@ -1,0 +1,100 @@
+package notion
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewPolicyGraphValidation(t *testing.T) {
+	if _, err := NewPolicyGraph(nil, 3, nil); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewPolicyGraph(MinID{}, 0, nil); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := NewPolicyGraph(MinID{}, 2, [][2]int{{0, 2}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestPolicyGraphEdges(t *testing.T) {
+	g, err := NewPolicyGraph(MinID{}, 3, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("declared edge missing or not symmetric")
+	}
+	if g.HasEdge(1, 2) || g.HasEdge(0, 2) {
+		t.Error("undeclared edge present")
+	}
+	for i := 0; i < 3; i++ {
+		if !g.HasEdge(i, i) {
+			t.Errorf("self edge %d missing", i)
+		}
+	}
+	if g.T() != 3 {
+		t.Errorf("T=%d", g.T())
+	}
+	if g.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestPolicyGraphLevelPairBudget(t *testing.T) {
+	g, err := NewPolicyGraph(MinID{}, 3, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.LevelPairBudget(0, 1, 1, 2); got != 1 {
+		t.Errorf("present edge budget %v want 1", got)
+	}
+	if got := g.LevelPairBudget(1, 2, 2, 3); !math.IsInf(got, 1) {
+		t.Errorf("absent edge budget %v want +Inf", got)
+	}
+	if got := g.LevelPairBudget(2, 2, 3, 3); got != 3 {
+		t.Errorf("self edge budget %v want 3", got)
+	}
+	// PairBudget (identity-free) falls back to the base notion.
+	if got := g.PairBudget(1, 2); got != 1 {
+		t.Errorf("fallback budget %v want 1", got)
+	}
+}
+
+func TestCompleteEquivalentToBase(t *testing.T) {
+	g := Complete(MinID{}, 4)
+	eps := []float64{1, 1.5, 2, 4}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := (MinID{}).PairBudget(eps[i], eps[j])
+			if got := g.LevelPairBudget(i, j, eps[i], eps[j]); got != want {
+				t.Errorf("(%d,%d): %v want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestVerifyUERespectsPolicy(t *testing.T) {
+	// Two levels, NO edge between them: each level only needs to satisfy
+	// its self constraint 2τ_i <= ε_i, so parameters that would violate
+	// the cross constraint under plain MinID are acceptable.
+	eps := []float64{1, 4}
+	tau := []float64{0.5, 2} // 2τ_i = ε_i exactly; cross pair leaks 2.5 > 1
+	a := make([]float64, 2)
+	b := make([]float64, 2)
+	for i := range a {
+		u := math.Exp(tau[i])
+		a[i] = u / (u + 1)
+		b[i] = 1 - a[i]
+	}
+	if err := VerifyUE(a, b, eps, MinID{}, 1e-9); err == nil {
+		t.Fatal("cross-pair violation not caught under complete MinID")
+	}
+	g, err := NewPolicyGraph(MinID{}, 2, nil) // self edges only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyUE(a, b, eps, g, 1e-9); err != nil {
+		t.Fatalf("incomplete policy rejected valid parameters: %v", err)
+	}
+}

@@ -1,0 +1,195 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinCon is the linear inequality constraint Coef·x <= RHS. The barrier
+// solver requires a strictly feasible interior (Coef·x < RHS).
+type LinCon struct {
+	Coef []float64
+	RHS  float64
+}
+
+// Slack returns RHS - Coef·x; positive inside the feasible region.
+func (c LinCon) Slack(x []float64) float64 { return c.RHS - Dot(c.Coef, x) }
+
+// Separable is a separable convex objective Σ_i f_i(x_i). Eval returns
+// the value and the first and second derivatives of f_i at xi. Both
+// paper programs (Eqs. 12, 13) are separable, which keeps the Newton
+// Hessian a diagonal-plus-rank-k matrix.
+type Separable interface {
+	Eval(i int, xi float64) (f, df, ddf float64)
+	Dim() int
+}
+
+// BarrierOptions tunes the interior-point solve. The zero value is
+// replaced by sensible defaults.
+type BarrierOptions struct {
+	TStart    float64 // initial barrier weight (default 1)
+	Mu        float64 // barrier weight multiplier per outer step (default 20)
+	OuterTol  float64 // duality-gap style target m/t (default 1e-9)
+	NewtonTol float64 // Newton decrement threshold (default 1e-10)
+	MaxNewton int     // Newton iterations per outer step (default 100)
+	MaxOuter  int     // outer iterations (default 60)
+}
+
+func (o BarrierOptions) withDefaults() BarrierOptions {
+	if o.TStart <= 0 {
+		o.TStart = 1
+	}
+	if o.Mu <= 1 {
+		o.Mu = 20
+	}
+	if o.OuterTol <= 0 {
+		o.OuterTol = 1e-9
+	}
+	if o.NewtonTol <= 0 {
+		o.NewtonTol = 1e-10
+	}
+	if o.MaxNewton <= 0 {
+		o.MaxNewton = 100
+	}
+	if o.MaxOuter <= 0 {
+		o.MaxOuter = 60
+	}
+	return o
+}
+
+// MinimizeBarrier minimizes the separable convex objective subject to
+// linear inequality constraints using a log-barrier interior-point method
+// with damped Newton steps. x0 must be strictly feasible. The returned
+// point is feasible and within the duality-gap tolerance of the optimum.
+func MinimizeBarrier(obj Separable, cons []LinCon, x0 []float64, opts BarrierOptions) ([]float64, error) {
+	o := opts.withDefaults()
+	n := obj.Dim()
+	if len(x0) != n {
+		return nil, fmt.Errorf("opt: x0 has %d entries, objective has dim %d", len(x0), n)
+	}
+	for k, c := range cons {
+		if len(c.Coef) != n {
+			return nil, fmt.Errorf("opt: constraint %d has %d coefficients, want %d", k, len(c.Coef), n)
+		}
+		if c.Slack(x0) <= 0 {
+			return nil, fmt.Errorf("opt: x0 violates constraint %d (slack %g)", k, c.Slack(x0))
+		}
+	}
+	x := append([]float64(nil), x0...)
+	t := o.TStart
+	grad := make([]float64, n)
+	for outer := 0; outer < o.MaxOuter; outer++ {
+		if err := newtonCenter(obj, cons, x, t, o, grad); err != nil {
+			return nil, fmt.Errorf("opt: centering at t=%g: %w", t, err)
+		}
+		if float64(len(cons))/t < o.OuterTol {
+			return x, nil
+		}
+		t *= o.Mu
+	}
+	return x, nil
+}
+
+// newtonCenter runs damped Newton on φ(x) = t f(x) − Σ log(slack_k) in
+// place, stopping when the Newton decrement is small.
+func newtonCenter(obj Separable, cons []LinCon, x []float64, t float64, o BarrierOptions, grad []float64) error {
+	n := len(x)
+	for iter := 0; iter < o.MaxNewton; iter++ {
+		// Gradient and Hessian of φ.
+		h := NewMatrix(n, n)
+		var fval float64
+		for i := 0; i < n; i++ {
+			f, df, ddf := obj.Eval(i, x[i])
+			fval += f
+			grad[i] = t * df
+			h.Add(i, i, t*ddf)
+		}
+		for _, c := range cons {
+			s := c.Slack(x)
+			if s <= 0 {
+				return fmt.Errorf("iterate left feasible region")
+			}
+			inv := 1 / s
+			for i, ci := range c.Coef {
+				if ci == 0 {
+					continue
+				}
+				grad[i] += ci * inv
+				for j, cj := range c.Coef {
+					if cj != 0 {
+						h.Add(i, j, ci*cj*inv*inv)
+					}
+				}
+			}
+		}
+		step, err := SolveLinear(h, negate(grad))
+		if err != nil {
+			// Hessian singular (e.g. all-zero objective rows): fall back
+			// to a ridge-regularized solve.
+			for i := 0; i < n; i++ {
+				h.Add(i, i, 1e-9)
+			}
+			step, err = SolveLinear(h, negate(grad))
+			if err != nil {
+				return err
+			}
+		}
+		decr := -Dot(grad, step) // λ² = -gᵀΔ for Newton step
+		if decr/2 < o.NewtonTol {
+			return nil
+		}
+		// Backtracking line search: stay strictly feasible, Armijo on φ.
+		alpha := 1.0
+		phi0 := fval*t - logBarrier(cons, x)
+		for alpha > 1e-14 {
+			cand := append([]float64(nil), x...)
+			AXPY(alpha, step, cand)
+			if feasible(cons, cand) {
+				phi := objValue(obj, cand)*t - logBarrier(cons, cand)
+				if phi <= phi0-0.25*alpha*decr {
+					copy(x, cand)
+					break
+				}
+			}
+			alpha /= 2
+		}
+		if alpha <= 1e-14 {
+			return nil // no further progress possible at this scale
+		}
+	}
+	return nil
+}
+
+func negate(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = -x
+	}
+	return out
+}
+
+func feasible(cons []LinCon, x []float64) bool {
+	for _, c := range cons {
+		if c.Slack(x) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func logBarrier(cons []LinCon, x []float64) float64 {
+	var s float64
+	for _, c := range cons {
+		s += math.Log(c.Slack(x))
+	}
+	return s
+}
+
+func objValue(obj Separable, x []float64) float64 {
+	var s float64
+	for i, xi := range x {
+		f, _, _ := obj.Eval(i, xi)
+		s += f
+	}
+	return s
+}

@@ -1,0 +1,194 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"idldp/internal/notion"
+	"idldp/internal/rng"
+)
+
+// This file implements the direct formulation the paper describes and
+// rejects for large domains (§V-A): optimize a full |D|×|D| perturbation
+// matrix P under the |D|³ privacy constraints. It is practical only for
+// tiny domains — which is exactly its role here: an ablation comparator
+// that quantifies how close IDUE gets to the unconstrained-structure
+// optimum, and how the direct approach collapses as |D| grows.
+
+// Invert returns the inverse of a square matrix via LU solves against the
+// identity columns.
+func Invert(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("opt: matrix %dx%d not square", a.Rows, a.Cols)
+	}
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for col := 0; col < n; col++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[col] = 1
+		x, err := SolveLinear(a, e)
+		if err != nil {
+			return nil, err
+		}
+		for row := 0; row < n; row++ {
+			inv.Set(row, col, x[row])
+		}
+	}
+	return inv, nil
+}
+
+// DirectObjective evaluates the worst-case per-user total estimation
+// variance of a row-stochastic perturbation matrix with the unbiased
+// matrix-inversion estimator: each report y contributes the column
+// w_y with W·Pᵀ = I, and the objective is
+// max_x Σ_{i,y} P[x][y]·W[i][y]² − 1. It returns +Inf if P is singular.
+func DirectObjective(P [][]float64) float64 {
+	m := len(P)
+	a := NewMatrix(m, m)
+	for x := range P {
+		for y := range P[x] {
+			a.Set(x, y, P[x][y])
+		}
+	}
+	inv, err := Invert(a)
+	if err != nil {
+		return math.Inf(1)
+	}
+	// W[i][y] = (P^{-1})[y][i].
+	worst := math.Inf(-1)
+	for x := 0; x < m; x++ {
+		var sum float64
+		for y := 0; y < m; y++ {
+			var colSq float64
+			for i := 0; i < m; i++ {
+				w := inv.At(y, i)
+				colSq += w * w
+			}
+			sum += P[x][y] * colSq
+		}
+		worst = math.Max(worst, sum-1)
+	}
+	return worst
+}
+
+// GRRMatrix returns the GRR perturbation matrix over m categories at
+// budget eps — the natural seed and baseline for the direct formulation.
+func GRRMatrix(eps float64, m int) [][]float64 {
+	den := math.Exp(eps) + float64(m) - 1
+	p, q := math.Exp(eps)/den, 1/den
+	P := make([][]float64, m)
+	for x := range P {
+		P[x] = make([]float64, m)
+		for y := range P[x] {
+			if x == y {
+				P[x][y] = p
+			} else {
+				P[x][y] = q
+			}
+		}
+	}
+	return P
+}
+
+// SolveDirect optimizes the full perturbation matrix for a tiny domain
+// whose per-input budgets are eps, under the given notion, by penalized
+// Nelder–Mead over a row-softmax parameterization. It returns the matrix
+// and its DirectObjective value. Domains beyond ~6 inputs are rejected:
+// the point of this solver is the small-domain ablation, and the paper's
+// complexity argument (|D|² variables, |D|³ constraints) is exactly why.
+func SolveDirect(eps []float64, n notion.Notion, seed uint64) ([][]float64, float64, error) {
+	m := len(eps)
+	if m < 2 {
+		return nil, 0, fmt.Errorf("opt: direct formulation needs at least 2 inputs")
+	}
+	if m > 6 {
+		return nil, 0, fmt.Errorf("opt: direct formulation limited to 6 inputs (got %d); use IDUE", m)
+	}
+	for i, e := range eps {
+		if e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			return nil, 0, fmt.Errorf("opt: input %d has invalid budget %v", i, e)
+		}
+	}
+	r := pairBudgets(eps, n)
+
+	toMatrix := func(z []float64) [][]float64 {
+		P := make([][]float64, m)
+		for x := 0; x < m; x++ {
+			P[x] = make([]float64, m)
+			var sum float64
+			for y := 0; y < m; y++ {
+				v := math.Exp(z[x*m+y])
+				P[x][y] = v
+				sum += v
+			}
+			for y := 0; y < m; y++ {
+				P[x][y] /= sum
+			}
+		}
+		return P
+	}
+	penalized := func(lambda float64) func([]float64) float64 {
+		return func(z []float64) float64 {
+			P := toMatrix(z)
+			obj := DirectObjective(P)
+			if math.IsInf(obj, 1) {
+				return 1e30
+			}
+			var pen float64
+			for x := 0; x < m; x++ {
+				for xp := 0; xp < m; xp++ {
+					for y := 0; y < m; y++ {
+						v := math.Log(P[x][y]) - math.Log(P[xp][y]) - r[x][xp]
+						if v > 0 {
+							pen += v * v
+						}
+					}
+				}
+			}
+			return obj + lambda*pen
+		}
+	}
+
+	minE := eps[0]
+	for _, e := range eps[1:] {
+		minE = math.Min(minE, e)
+	}
+	grr := GRRMatrix(minE, m)
+	seedZ := make([]float64, m*m)
+	for x := 0; x < m; x++ {
+		for y := 0; y < m; y++ {
+			seedZ[x*m+y] = math.Log(grr[x][y])
+		}
+	}
+	best := grr
+	bestObj := DirectObjective(grr)
+	src := rng.New(seed)
+	starts := [][]float64{seedZ}
+	for k := 0; k < 2; k++ {
+		j := append([]float64(nil), seedZ...)
+		for i := range j {
+			j[i] += 0.2 * src.NormFloat64()
+		}
+		starts = append(starts, j)
+	}
+	for _, z0 := range starts {
+		z := z0
+		for _, lambda := range []float64{1e4, 1e7} {
+			z, _ = NelderMead(penalized(lambda), z, NelderMeadOptions{MaxIter: 1200 * len(z)})
+		}
+		P := toMatrix(z)
+		if notion.VerifyMatrix(P, eps, n, 1e-6) != nil {
+			continue
+		}
+		if obj := DirectObjective(P); obj < bestObj {
+			best, bestObj = P, obj
+		}
+	}
+	if err := notion.VerifyMatrix(best, eps, n, 1e-6); err != nil {
+		return nil, 0, fmt.Errorf("opt: direct solution failed verification: %w", err)
+	}
+	return best, bestObj, nil
+}

@@ -1,0 +1,153 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinearKnown(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  →  x = 1, y = 3.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveLinear(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x=%v want [1 3]", x)
+	}
+}
+
+func TestSolveLinearPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("x=%v want [3 2]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestSolveLinearShapeErrors(t *testing.T) {
+	if _, err := SolveLinear(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := SolveLinear(NewMatrix(2, 2), []float64{1}); err == nil {
+		t.Error("wrong rhs length accepted")
+	}
+}
+
+func TestSolveLinearDoesNotMutate(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	before := append([]float64(nil), a.Data...)
+	b := []float64{1, 1}
+	if _, err := SolveLinear(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if a.Data[i] != before[i] {
+			t.Fatal("matrix mutated")
+		}
+	}
+}
+
+// Property: for random well-conditioned diagonally dominant systems,
+// A·x ≈ b after solving.
+func TestSolveLinearResidualProperty(t *testing.T) {
+	f := func(entries [16]float64, rhs [4]float64) bool {
+		n := 4
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				v := math.Mod(math.Abs(entries[i*n+j]), 1)
+				if math.IsNaN(v) {
+					v = 0.5
+				}
+				a.Set(i, j, v)
+				rowSum += v
+			}
+			a.Add(i, i, rowSum+1) // diagonally dominant → nonsingular
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = math.Mod(rhs[i], 100)
+			if math.IsNaN(b[i]) {
+				b[i] = 1
+			}
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var got float64
+			for j := 0; j < n; j++ {
+				got += a.At(i, j) * x[j]
+			}
+			if math.Abs(got-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Fatalf("Dot=%v", d)
+	}
+	if n := Norm2([]float64{3, 4}); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("Norm2=%v", n)
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Fatalf("AXPY=%v", y)
+	}
+}
+
+func TestVectorOpsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dot":  func() { Dot([]float64{1}, []float64{1, 2}) },
+		"axpy": func() { AXPY(1, []float64{1}, []float64{1, 2}) },
+		"neg":  func() { NewMatrix(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

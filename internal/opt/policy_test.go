@@ -1,0 +1,73 @@
+package opt
+
+import (
+	"testing"
+
+	"idldp/internal/notion"
+)
+
+// TestIncompletePolicyGainExceedsLemma1 reproduces the §IV-C claim: with
+// an incomplete policy graph the utility gain over complete MinID-LDP can
+// exceed the factor-of-two Lemma 1 bound, because loose levels need not
+// be indistinguishable from the strictest one.
+func TestIncompletePolicyGainExceedsLemma1(t *testing.T) {
+	eps := []float64{1, 4, 4}
+	counts := []int{2, 49, 49}
+	complete, err := SolveOpt1(eps, counts, notion.MinID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Policy: the two loose levels must be mutually indistinguishable,
+	// but neither needs indistinguishability from the strict level.
+	g, err := notion.NewPolicyGraph(notion.MinID{}, 3, [][2]int{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := SolveOpt1(eps, counts, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.Objective >= complete.Objective {
+		t.Fatalf("incomplete policy %v not better than complete %v",
+			relaxed.Objective, complete.Objective)
+	}
+	// Under the complete graph the loose levels are capped at
+	// τ = ε_min = 1 (τ_1 + τ_j <= 1 with τ_1 > 0, so τ_j < 1 — the
+	// Lemma 1 "at most twice" effect vs RAPPOR's τ = ε/2). Under the
+	// incomplete graph they reach τ = 2 (their own ε/2), beating the cap.
+	if relaxed.Objective > complete.Objective*0.7 {
+		t.Errorf("gain too small: relaxed %v vs complete %v",
+			relaxed.Objective, complete.Objective)
+	}
+	// All three models handle the policy and satisfy its constraints.
+	for _, m := range []Model{Opt0, Opt1, Opt2} {
+		p, err := Solve(m, eps, counts, g, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := notion.VerifyUE(p.A, p.B, eps, g, 1e-6); err != nil {
+			t.Errorf("%v violates policy: %v", m, err)
+		}
+	}
+}
+
+// TestPolicySelfEdgesStillEnforced checks that dropping cross edges never
+// drops the per-input deniability requirement 2τ_i <= ε_i.
+func TestPolicySelfEdgesStillEnforced(t *testing.T) {
+	eps := []float64{1, 2}
+	counts := []int{1, 1}
+	g, err := notion.NewPolicyGraph(notion.MinID{}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := SolveOpt1(eps, counts, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self constraint: a_i(1-b_i)/(b_i(1-a_i)) <= e^{ε_i}.
+	for i := range eps {
+		if got := notion.UEPairBound(p.A[i], p.B[i], p.A[i], p.B[i]); got > eps[i]+1e-6 {
+			t.Errorf("level %d self bound %v exceeds ε=%v", i, got, eps[i])
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"idldp/internal/notion"
+	"idldp/internal/rng"
+)
+
+// Model selects which of the paper's three optimization programs picks the
+// per-level perturbation probabilities (§V-D).
+type Model int
+
+const (
+	// Opt0 is the worst-case program of Eq. (10): free (a_i, b_i),
+	// non-convex, solved by penalized multi-start Nelder–Mead. Its
+	// feasible region contains the opt1 and opt2 solutions, so the result
+	// is never worse than either.
+	Opt0 Model = iota
+	// Opt1 is the RAPPOR-structured convex program of Eq. (12): a+b = 1.
+	Opt1
+	// Opt2 is the OUE-structured convex program of Eq. (13): a = 1/2.
+	Opt2
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case Opt0:
+		return "opt0"
+	case Opt1:
+		return "opt1"
+	case Opt2:
+		return "opt2"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// LevelParams is a solved perturbation parameterization: per privacy level
+// i, bits of items in that level are kept with probability A[i] when set
+// and flipped on with probability B[i] when clear.
+type LevelParams struct {
+	A, B []float64
+	// Objective is the Eq. (10) worst-case total-MSE objective of the
+	// parameters (per user; multiply by n for the worst-case MSE bound).
+	Objective float64
+	// Model records which program produced the parameters.
+	Model Model
+}
+
+// WorstCaseObjective evaluates the Eq. (10) objective
+// Σ_i m_i b_i(1-b_i)/(a_i-b_i)² + max_i (1-a_i-b_i)/(a_i-b_i)
+// for per-level parameters with level item-counts m. It returns +Inf for
+// degenerate parameters (a <= b or outside (0,1)).
+func WorstCaseObjective(a, b []float64, counts []int) float64 {
+	var sum float64
+	worst := math.Inf(-1)
+	for i := range a {
+		if !(0 < b[i] && b[i] < a[i] && a[i] < 1) {
+			return math.Inf(1)
+		}
+		d := a[i] - b[i]
+		sum += float64(counts[i]) * b[i] * (1 - b[i]) / (d * d)
+		worst = math.Max(worst, (1-a[i]-b[i])/d)
+	}
+	return sum + worst
+}
+
+// pairBudgets materializes r(ε_i, ε_j) for every level pair. Notions that
+// implement notion.LevelPairer (incomplete policy graphs, §IV-C)
+// discriminate by level identity; an entry of +Inf means the pair is
+// unconstrained and the solvers drop the corresponding constraint.
+func pairBudgets(eps []float64, n notion.Notion) [][]float64 {
+	t := len(eps)
+	lp, _ := n.(notion.LevelPairer)
+	r := make([][]float64, t)
+	for i := range r {
+		r[i] = make([]float64, t)
+		for j := range r[i] {
+			if lp != nil {
+				r[i][j] = lp.LevelPairBudget(i, j, eps[i], eps[j])
+			} else {
+				r[i][j] = n.PairBudget(eps[i], eps[j])
+			}
+		}
+	}
+	return r
+}
+
+func validateProblem(eps []float64, counts []int) error {
+	if len(eps) == 0 {
+		return fmt.Errorf("opt: no privacy levels")
+	}
+	if len(counts) != len(eps) {
+		return fmt.Errorf("opt: %d level counts for %d levels", len(counts), len(eps))
+	}
+	for i, e := range eps {
+		if e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("opt: level %d has invalid budget %v", i, e)
+		}
+		if counts[i] < 0 {
+			return fmt.Errorf("opt: level %d has negative item count", i)
+		}
+	}
+	return nil
+}
+
+// opt1Objective is Σ m_i e^{τ_i}/(e^{τ_i}-1)² with analytic derivatives.
+type opt1Objective struct{ weights []float64 }
+
+func (o opt1Objective) Dim() int { return len(o.weights) }
+
+func (o opt1Objective) Eval(i int, tau float64) (f, df, ddf float64) {
+	m := o.weights[i]
+	u := math.Exp(tau)
+	d := u - 1
+	f = m * u / (d * d)
+	df = -m * u * (u + 1) / (d * d * d)
+	ddf = m * u * (u*u + 4*u + 1) / (d * d * d * d)
+	return f, df, ddf
+}
+
+// SolveOpt1 solves the Eq. (12) program: minimize Σ m_i e^{τ_i}/(e^{τ_i}-1)²
+// subject to τ_i + τ_j <= r(ε_i, ε_j), τ_i > 0, then maps back to the
+// RAPPOR structure a_i = e^{τ_i}/(e^{τ_i}+1), b_i = 1-a_i.
+func SolveOpt1(eps []float64, counts []int, n notion.Notion) (LevelParams, error) {
+	if err := validateProblem(eps, counts); err != nil {
+		return LevelParams{}, err
+	}
+	t := len(eps)
+	r := pairBudgets(eps, n)
+	weights := make([]float64, t)
+	for i, c := range counts {
+		weights[i] = float64(c)
+	}
+	var cons []LinCon
+	for i := 0; i < t; i++ {
+		for j := i; j < t; j++ {
+			if math.IsInf(r[i][j], 1) {
+				continue // pair unconstrained under an incomplete policy
+			}
+			coef := make([]float64, t)
+			coef[i]++
+			coef[j]++
+			cons = append(cons, LinCon{Coef: coef, RHS: r[i][j]})
+		}
+		// τ_i >= δ keeps zero-weight coordinates away from the pole at 0.
+		lo := make([]float64, t)
+		lo[i] = -1
+		cons = append(cons, LinCon{Coef: lo, RHS: -1e-6})
+	}
+	x0 := make([]float64, t)
+	for i := 0; i < t; i++ {
+		m := math.Inf(1)
+		for j := 0; j < t; j++ {
+			m = math.Min(m, r[i][j])
+		}
+		x0[i] = math.Max(0.45*m, 2.1e-6)
+	}
+	tau, err := MinimizeBarrier(opt1Objective{weights: weights}, cons, x0, BarrierOptions{})
+	if err != nil {
+		return LevelParams{}, fmt.Errorf("opt1: %w", err)
+	}
+	p := LevelParams{A: make([]float64, t), B: make([]float64, t), Model: Opt1}
+	for i, ti := range tau {
+		u := math.Exp(ti)
+		p.A[i] = u / (u + 1)
+		p.B[i] = 1 - p.A[i]
+	}
+	p.Objective = WorstCaseObjective(p.A, p.B, counts)
+	return p, nil
+}
+
+// opt2Objective is Σ m_i b_i(1-b_i)/(0.5-b_i)² with analytic derivatives.
+type opt2Objective struct{ weights []float64 }
+
+func (o opt2Objective) Dim() int { return len(o.weights) }
+
+func (o opt2Objective) Eval(i int, b float64) (f, df, ddf float64) {
+	m := o.weights[i]
+	s := 0.5 - b
+	f = m * (0.25/(s*s) - 1)
+	df = 0.5 * m / (s * s * s)
+	ddf = 1.5 * m / (s * s * s * s)
+	return f, df, ddf
+}
+
+// SolveOpt2 solves the Eq. (13) program: minimize Σ m_i b_i(1-b_i)/(0.5-b_i)²
+// subject to e^{r(ε_i,ε_j)}·b_i + b_j >= 1 and 0 < b_i < 0.5, under the
+// OUE structure a_i = 1/2.
+func SolveOpt2(eps []float64, counts []int, n notion.Notion) (LevelParams, error) {
+	if err := validateProblem(eps, counts); err != nil {
+		return LevelParams{}, err
+	}
+	t := len(eps)
+	r := pairBudgets(eps, n)
+	weights := make([]float64, t)
+	for i, c := range counts {
+		weights[i] = float64(c)
+	}
+	var cons []LinCon
+	for i := 0; i < t; i++ {
+		for j := 0; j < t; j++ {
+			if math.IsInf(r[i][j], 1) {
+				continue // pair unconstrained under an incomplete policy
+			}
+			// e^{r_ij} b_i + b_j >= 1  ⇔  -e^{r_ij} b_i - b_j <= -1.
+			coef := make([]float64, t)
+			coef[i] -= math.Exp(r[i][j])
+			coef[j]--
+			cons = append(cons, LinCon{Coef: coef, RHS: -1})
+		}
+		hi := make([]float64, t)
+		hi[i] = 1
+		cons = append(cons, LinCon{Coef: hi, RHS: 0.5 - 1e-9})
+		lo := make([]float64, t)
+		lo[i] = -1
+		cons = append(cons, LinCon{Coef: lo, RHS: -1e-9})
+	}
+	minE := eps[0]
+	for _, e := range eps[1:] {
+		minE = math.Min(minE, e)
+	}
+	x0 := make([]float64, t)
+	for i := range x0 {
+		x0[i] = 1 / (math.Exp(0.95*minE) + 1)
+	}
+	b, err := MinimizeBarrier(opt2Objective{weights: weights}, cons, x0, BarrierOptions{})
+	if err != nil {
+		return LevelParams{}, fmt.Errorf("opt2: %w", err)
+	}
+	p := LevelParams{A: make([]float64, t), B: append([]float64(nil), b...), Model: Opt2}
+	for i := range p.A {
+		p.A[i] = 0.5
+	}
+	p.Objective = WorstCaseObjective(p.A, p.B, counts)
+	return p, nil
+}
+
+// maxViolation returns the largest log-space violation of the Eq. (7)
+// privacy constraints over all level pairs (negative when strictly
+// feasible).
+func maxViolation(a, b []float64, r [][]float64) float64 {
+	worst := math.Inf(-1)
+	for i := range a {
+		for j := range a {
+			if math.IsInf(r[i][j], 1) {
+				continue
+			}
+			v := math.Log(a[i]*(1-b[j])) - math.Log(b[i]*(1-a[j])) - r[i][j]
+			worst = math.Max(worst, v)
+		}
+	}
+	return worst
+}
+
+// SolveOpt0 solves the Eq. (10) worst-case program with free (a_i, b_i).
+// The search runs penalized Nelder–Mead in an unconstrained logistic
+// parameterization (a = σ(u), b = a·σ(v)) from multiple seeds (the opt1
+// and opt2 solutions plus jitters), then keeps the best feasible
+// candidate. The result is guaranteed no worse than opt1 and opt2 on the
+// worst-case objective.
+func SolveOpt0(eps []float64, counts []int, n notion.Notion, seed uint64) (LevelParams, error) {
+	if err := validateProblem(eps, counts); err != nil {
+		return LevelParams{}, err
+	}
+	t := len(eps)
+	r := pairBudgets(eps, n)
+
+	p1, err1 := SolveOpt1(eps, counts, n)
+	p2, err2 := SolveOpt2(eps, counts, n)
+	if err1 != nil && err2 != nil {
+		return LevelParams{}, fmt.Errorf("opt0: both convex seeds failed: %v; %v", err1, err2)
+	}
+
+	// Track the best feasible candidate (with a strict tolerance).
+	const feasTol = 1e-9
+	best := LevelParams{Objective: math.Inf(1), Model: Opt0}
+	consider := func(a, b []float64) {
+		if maxViolation(a, b, r) > feasTol {
+			return
+		}
+		obj := WorstCaseObjective(a, b, counts)
+		if obj < best.Objective {
+			best = LevelParams{
+				A:         append([]float64(nil), a...),
+				B:         append([]float64(nil), b...),
+				Objective: obj,
+				Model:     Opt0,
+			}
+		}
+	}
+	var seeds [][]float64
+	if err1 == nil {
+		consider(p1.A, p1.B)
+		seeds = append(seeds, paramsToZ(p1.A, p1.B))
+	}
+	if err2 == nil {
+		consider(p2.A, p2.B)
+		seeds = append(seeds, paramsToZ(p2.A, p2.B))
+	}
+
+	penalized := func(lambda float64) func([]float64) float64 {
+		return func(z []float64) float64 {
+			a, b := zToParams(z, t)
+			obj := WorstCaseObjective(a, b, counts)
+			if math.IsInf(obj, 1) {
+				return 1e30
+			}
+			var pen float64
+			for i := range a {
+				for j := range a {
+					v := math.Log(a[i]*(1-b[j])) - math.Log(b[i]*(1-a[j])) - r[i][j]
+					if v > 0 {
+						pen += v * v
+					}
+				}
+			}
+			return obj + lambda*pen
+		}
+	}
+
+	src := rng.New(seed)
+	jittered := make([][]float64, 0, len(seeds))
+	for _, s := range seeds {
+		z := append([]float64(nil), s...)
+		for i := range z {
+			z[i] += 0.3 * src.NormFloat64()
+		}
+		jittered = append(jittered, z)
+	}
+	seeds = append(seeds, jittered...)
+
+	// Search effort scales down for many levels: at large t the convex
+	// seeds are already near-optimal and high-dimensional Nelder–Mead
+	// buys little per evaluation.
+	iterPerDim := 1500
+	lambdas := []float64{1e4, 1e7}
+	if t > 8 {
+		iterPerDim = 300
+	}
+	for _, z0 := range seeds {
+		z := z0
+		for _, lambda := range lambdas {
+			z, _ = NelderMead(penalized(lambda), z, NelderMeadOptions{MaxIter: iterPerDim * len(z)})
+		}
+		a, b := zToParams(z, t)
+		consider(a, b)
+		// If mildly infeasible, pull toward the best-known feasible point.
+		if maxViolation(a, b, r) > feasTol && best.A != nil {
+			for theta := 0.999; theta > 0.5; theta *= 0.98 {
+				ab := blend(best.A, a, 1-theta, theta)
+				bb := blend(best.B, b, 1-theta, theta)
+				if maxViolation(ab, bb, r) <= feasTol {
+					consider(ab, bb)
+					break
+				}
+			}
+		}
+	}
+	if best.A == nil {
+		return LevelParams{}, fmt.Errorf("opt0: no feasible candidate found")
+	}
+	return best, nil
+}
+
+// paramsToZ maps (a, b) per level to the unconstrained search vector
+// z = (u_1..u_t, v_1..v_t) with a = σ(u), b = a·σ(v).
+func paramsToZ(a, b []float64) []float64 {
+	t := len(a)
+	z := make([]float64, 2*t)
+	for i := range a {
+		z[i] = logit(a[i])
+		z[t+i] = logit(b[i] / a[i])
+	}
+	return z
+}
+
+// zToParams inverts paramsToZ.
+func zToParams(z []float64, t int) (a, b []float64) {
+	a = make([]float64, t)
+	b = make([]float64, t)
+	for i := 0; i < t; i++ {
+		a[i] = sigmoid(z[i])
+		b[i] = a[i] * sigmoid(z[t+i])
+	}
+	return a, b
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func logit(p float64) float64 { return math.Log(p / (1 - p)) }
+
+// Solve dispatches to the selected model. seed only affects Opt0.
+func Solve(m Model, eps []float64, counts []int, n notion.Notion, seed uint64) (LevelParams, error) {
+	switch m {
+	case Opt0:
+		return SolveOpt0(eps, counts, n, seed)
+	case Opt1:
+		return SolveOpt1(eps, counts, n)
+	case Opt2:
+		return SolveOpt2(eps, counts, n)
+	default:
+		return LevelParams{}, fmt.Errorf("opt: unknown model %v", m)
+	}
+}

@@ -1,0 +1,63 @@
+package opt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"idldp/internal/notion"
+)
+
+// Property: the opt1 objective is monotone — uniformly scaling all
+// budgets up never makes the worst-case objective worse (more budget, no
+// less utility).
+func TestOpt1MonotoneInBudgetProperty(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		base := 0.5 + float64(s1%200)/100
+		ratio := 1.1 + float64(s2%100)/50 // scale in [1.1, 3.1)
+		eps := []float64{base, 1.5 * base, 3 * base}
+		counts := []int{2, 3, 5}
+		lo, err := SolveOpt1(eps, counts, notion.MinID{})
+		if err != nil {
+			return false
+		}
+		scaled := []float64{eps[0] * ratio, eps[1] * ratio, eps[2] * ratio}
+		hi, err := SolveOpt1(scaled, counts, notion.MinID{})
+		if err != nil {
+			return false
+		}
+		return hi.Objective <= lo.Objective+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding edges to a policy graph never improves the objective
+// (constraints only accumulate).
+func TestPolicyMonotoneInEdgesProperty(t *testing.T) {
+	f := func(s1 uint64) bool {
+		base := 0.5 + float64(s1%200)/100
+		eps := []float64{base, 2 * base, 4 * base}
+		counts := []int{2, 3, 5}
+		sparse, err := notion.NewPolicyGraph(notion.MinID{}, 3, [][2]int{{0, 1}})
+		if err != nil {
+			return false
+		}
+		dense, err := notion.NewPolicyGraph(notion.MinID{}, 3, [][2]int{{0, 1}, {0, 2}, {1, 2}})
+		if err != nil {
+			return false
+		}
+		pSparse, err := SolveOpt1(eps, counts, sparse)
+		if err != nil {
+			return false
+		}
+		pDense, err := SolveOpt1(eps, counts, dense)
+		if err != nil {
+			return false
+		}
+		return pSparse.Objective <= pDense.Objective+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package ps
+
+import (
+	"fmt"
+	"math"
+
+	"idldp/internal/mech"
+	"idldp/internal/rng"
+)
+
+// The paper leaves choosing a good padding length ℓ as future work
+// (§VII-B: "how to determine a good ℓ for set-valued data will be our
+// future work"). ChooseEll implements the standard private two-phase
+// approach from the Padding-and-Sampling literature: spend a small slice
+// of the privacy budget learning the set-size distribution with GRR over
+// capped sizes, then pick the percentile that balances truncation bias
+// (ℓ too small) against variance inflation (ℓ too large). Sequential
+// composition (Theorem 2) accounts for the two phases.
+
+// EllConfig tunes the private padding-length selection.
+type EllConfig struct {
+	// Eps is the budget slice spent on size estimation (e.g. 10% of the
+	// total; the remainder goes to the main IDUE-PS phase).
+	Eps float64
+	// MaxSize caps the reported set size; larger sets report MaxSize.
+	MaxSize int
+	// Percentile of the estimated size distribution to select, in (0, 1].
+	// The SVIM protocol's choice of 0.9 is the default when zero.
+	Percentile float64
+	// Seed derives the users' randomness for the estimation phase.
+	Seed uint64
+}
+
+// ChooseEll privately estimates the distribution of |x| over the
+// population and returns the smallest ℓ whose estimated CDF reaches the
+// configured percentile. The reported sizes are perturbed with GRR at
+// cfg.Eps, so the procedure satisfies cfg.Eps-LDP and composes with the
+// main collection phase by Theorem 2.
+func ChooseEll(sets [][]int, cfg EllConfig) (int, error) {
+	if cfg.Eps <= 0 {
+		return 0, fmt.Errorf("ps: estimation budget %v must be positive", cfg.Eps)
+	}
+	if cfg.MaxSize < 1 {
+		return 0, fmt.Errorf("ps: MaxSize %d must be at least 1", cfg.MaxSize)
+	}
+	if cfg.Percentile == 0 {
+		cfg.Percentile = 0.9
+	}
+	if cfg.Percentile <= 0 || cfg.Percentile > 1 {
+		return 0, fmt.Errorf("ps: percentile %v outside (0,1]", cfg.Percentile)
+	}
+	if len(sets) == 0 {
+		return 0, fmt.Errorf("ps: no users")
+	}
+	// Sizes live in {0..MaxSize}: MaxSize+1 GRR categories.
+	g, err := mech.NewGRR(cfg.Eps, cfg.MaxSize+1)
+	if err != nil {
+		return 0, fmt.Errorf("ps: %w", err)
+	}
+	counts := make([]int64, cfg.MaxSize+1)
+	root := rng.New(cfg.Seed)
+	for u, s := range sets {
+		size := len(s)
+		if size > cfg.MaxSize {
+			size = cfg.MaxSize
+		}
+		counts[g.Perturb(size, root.SplitN(u))]++
+	}
+	// Calibrate into unbiased size-frequency estimates and clamp the
+	// (noisy, possibly negative) values for the CDF walk.
+	n := float64(len(sets))
+	est := make([]float64, len(counts))
+	var total float64
+	for i, c := range counts {
+		v := (float64(c) - n*g.Q) / (g.P - g.Q)
+		if v < 0 {
+			v = 0
+		}
+		est[i] = v
+		total += v
+	}
+	if total <= 0 {
+		return 1, nil // degenerate noise: fall back to the minimum length
+	}
+	var cum float64
+	for size := 0; size <= cfg.MaxSize; size++ {
+		cum += est[size]
+		if cum/total >= cfg.Percentile {
+			return int(math.Max(float64(size), 1)), nil
+		}
+	}
+	return cfg.MaxSize, nil
+}

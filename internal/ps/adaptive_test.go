@@ -1,0 +1,110 @@
+package ps
+
+import (
+	"testing"
+
+	"idldp/internal/rng"
+)
+
+func sizedSets(sizes []int, m int) [][]int {
+	sets := make([][]int, len(sizes))
+	for u, size := range sizes {
+		s := make([]int, size)
+		for i := range s {
+			s[i] = i
+		}
+		_ = m
+		sets[u] = s
+	}
+	return sets
+}
+
+func TestChooseEllRecoversPercentile(t *testing.T) {
+	// 95% of users hold 3 items, 5% hold 9: the CDF jumps to 0.95 at
+	// size 3, so the default 90th percentile selects 3 with margin, and
+	// the 99th selects 9.
+	r := rng.New(1)
+	sizes := make([]int, 50000)
+	for u := range sizes {
+		if r.Bernoulli(0.05) {
+			sizes[u] = 9
+		} else {
+			sizes[u] = 3
+		}
+	}
+	sets := sizedSets(sizes, 10)
+	ell, err := ChooseEll(sets, EllConfig{Eps: 2, MaxSize: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ell != 3 {
+		t.Fatalf("p90 ell=%d want 3", ell)
+	}
+	ell99, err := ChooseEll(sets, EllConfig{Eps: 2, MaxSize: 12, Percentile: 0.99, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ell99 != 9 {
+		t.Fatalf("p99 ell=%d want 9", ell99)
+	}
+}
+
+func TestChooseEllCapsAtMaxSize(t *testing.T) {
+	sets := sizedSets([]int{20, 20, 20, 20}, 25)
+	ell, err := ChooseEll(sets, EllConfig{Eps: 4, MaxSize: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ell > 5 {
+		t.Fatalf("ell=%d exceeds MaxSize", ell)
+	}
+}
+
+func TestChooseEllMinimumOne(t *testing.T) {
+	// All-empty sets must still yield a usable (>= 1) padding length.
+	sets := sizedSets(make([]int, 1000), 5)
+	ell, err := ChooseEll(sets, EllConfig{Eps: 4, MaxSize: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ell < 1 {
+		t.Fatalf("ell=%d below 1", ell)
+	}
+}
+
+func TestChooseEllValidation(t *testing.T) {
+	sets := sizedSets([]int{1}, 3)
+	cases := map[string]EllConfig{
+		"eps":        {Eps: 0, MaxSize: 5},
+		"maxsize":    {Eps: 1, MaxSize: 0},
+		"percentile": {Eps: 1, MaxSize: 5, Percentile: 1.5},
+	}
+	for name, cfg := range cases {
+		if _, err := ChooseEll(sets, cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+	if _, err := ChooseEll(nil, EllConfig{Eps: 1, MaxSize: 5}); err == nil {
+		t.Error("empty population accepted")
+	}
+}
+
+func TestChooseEllDeterministic(t *testing.T) {
+	r := rng.New(3)
+	sizes := make([]int, 5000)
+	for u := range sizes {
+		sizes[u] = 1 + r.IntN(6)
+	}
+	sets := sizedSets(sizes, 8)
+	a, err := ChooseEll(sets, EllConfig{Eps: 1, MaxSize: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChooseEll(sets, EllConfig{Eps: 1, MaxSize: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed gave %d and %d", a, b)
+	}
+}

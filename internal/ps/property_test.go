@@ -1,0 +1,78 @@
+package ps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"idldp/internal/rng"
+)
+
+// Property: for any set and padding length, the sampling probabilities of
+// Lemma 2 form a distribution — real items at η/|x| each, dummies at
+// (1-η)/ℓ each, total mass 1.
+func TestSampleProbMassProperty(t *testing.T) {
+	f := func(seed uint64, sizeRaw, ellRaw uint8) bool {
+		r := rng.New(seed)
+		m := 20
+		size := int(sizeRaw) % (m + 1)
+		ell := int(ellRaw)%8 + 1
+		x := r.SampleWithoutReplacement(m, size)
+		var total float64
+		for id := 0; id < m+ell; id++ {
+			p := SampleProb(x, m, ell, id)
+			if p < 0 || p > 1 {
+				return false
+			}
+			total += p
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Eq. 17): the combined set budget always lies between the
+// minimum of {item budgets ∪ ε*} and the maximum, and equals the single
+// item's budget for singletons at ℓ = 1.
+func TestSetBudgetBoundsProperty(t *testing.T) {
+	f := func(seed uint64, sizeRaw, ellRaw uint8) bool {
+		r := rng.New(seed)
+		m := 12
+		eps := make([]float64, m)
+		for i := range eps {
+			eps[i] = 0.5 + 4*r.Float64()
+		}
+		epsOf := func(i int) float64 { return eps[i] }
+		star := 0.5
+		size := int(sizeRaw) % (m + 1)
+		ell := int(ellRaw)%6 + 1
+		x := r.SampleWithoutReplacement(m, size)
+		got := SetBudget(x, epsOf, star, ell)
+		lo, hi := star, star
+		for _, i := range x {
+			lo = math.Min(lo, eps[i])
+			hi = math.Max(hi, eps[i])
+		}
+		if len(x) >= ell {
+			// No dummies involved: bounds come from the items alone.
+			lo, hi = math.Inf(1), math.Inf(-1)
+			for _, i := range x {
+				lo = math.Min(lo, eps[i])
+				hi = math.Max(hi, eps[i])
+			}
+		}
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetBudgetSingletonEllOne(t *testing.T) {
+	eps := func(i int) float64 { return 2.5 }
+	if got := SetBudget([]int{3}, eps, 1, 1); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("singleton budget %v want 2.5", got)
+	}
+}

@@ -1,0 +1,58 @@
+package ps
+
+import (
+	"testing"
+
+	"idldp/internal/mech"
+	"idldp/internal/rng"
+)
+
+func BenchmarkSample(b *testing.B) {
+	r := rng.New(1)
+	set := []int{3, 17, 256, 900, 1023}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sample(set, 1024, 8, r)
+	}
+}
+
+func BenchmarkSetMechPerturb(b *testing.B) {
+	u, err := mech.NewOUE(2, 1032)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm, err := NewSetMech(u, 1024, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	set := []int{3, 17, 256, 900, 1023}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm.Perturb(set, r)
+	}
+}
+
+func BenchmarkChooseEll(b *testing.B) {
+	r := rng.New(3)
+	sets := make([][]int, 10000)
+	for u := range sets {
+		size := r.Geometric(0.2)
+		if size > 30 {
+			size = 30
+		}
+		s := make([]int, size)
+		for i := range s {
+			s[i] = i
+		}
+		sets[u] = s
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ChooseEll(sets, EllConfig{Eps: 1, MaxSize: 32, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,347 @@
+package ps
+
+import (
+	"math"
+	"testing"
+
+	"idldp/internal/bitvec"
+	"idldp/internal/budget"
+	"idldp/internal/mech"
+	"idldp/internal/notion"
+	"idldp/internal/opt"
+	"idldp/internal/rng"
+)
+
+func TestSampleMembership(t *testing.T) {
+	r := rng.New(1)
+	m, ell := 10, 3
+	for _, x := range [][]int{{}, {4}, {1, 2}, {1, 2, 3}, {0, 1, 2, 3, 4, 5}} {
+		for i := 0; i < 200; i++ {
+			got := Sample(x, m, ell, r)
+			if got < 0 || got >= m+ell {
+				t.Fatalf("sample %d out of range", got)
+			}
+			if got < m {
+				found := false
+				for _, xi := range x {
+					if xi == got {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("sampled real item %d not in set %v", got, x)
+				}
+			} else if len(x) >= ell {
+				t.Fatalf("sampled dummy %d though |x| >= ell", got)
+			}
+		}
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	r := rng.New(42)
+	m, ell := 6, 4
+	x := []int{0, 3} // |x| = 2 < ell = 4: η = 1/2
+	const n = 200000
+	counts := make([]float64, m+ell)
+	for i := 0; i < n; i++ {
+		counts[Sample(x, m, ell, r)]++
+	}
+	for id := 0; id < m+ell; id++ {
+		want := SampleProb(x, m, ell, id)
+		got := counts[id] / n
+		tol := 5*math.Sqrt(want*(1-want)/n) + 1e-9
+		if math.Abs(got-want) > tol {
+			t.Errorf("id %d rate %v want %v ± %v", id, got, want, tol)
+		}
+	}
+	// Per Lemma 2: real items each at η/|x| = 1/4, dummies at (1-η)/ℓ = 1/8.
+	if p := SampleProb(x, m, ell, 0); math.Abs(p-0.25) > 1e-12 {
+		t.Errorf("real prob %v want 0.25", p)
+	}
+	if p := SampleProb(x, m, ell, m); math.Abs(p-0.125) > 1e-12 {
+		t.Errorf("dummy prob %v want 0.125", p)
+	}
+	if p := SampleProb(x, m, ell, 1); p != 0 {
+		t.Errorf("absent item prob %v want 0", p)
+	}
+}
+
+func TestSampleTruncation(t *testing.T) {
+	// |x| > ell: uniform over x, never a dummy.
+	r := rng.New(9)
+	x := []int{0, 1, 2, 3, 4}
+	const n = 100000
+	counts := make([]float64, 5)
+	for i := 0; i < n; i++ {
+		s := Sample(x, 5, 2, r)
+		if s >= 5 {
+			t.Fatal("dummy sampled during truncation")
+		}
+		counts[s]++
+	}
+	for i, c := range counts {
+		got := c / n
+		if math.Abs(got-0.2) > 5*math.Sqrt(0.2*0.8/n) {
+			t.Errorf("item %d rate %v want 0.2", i, got)
+		}
+	}
+}
+
+func TestSampleEmptySet(t *testing.T) {
+	r := rng.New(3)
+	for i := 0; i < 100; i++ {
+		s := Sample(nil, 5, 2, r)
+		if s < 5 || s >= 7 {
+			t.Fatalf("empty set sampled %d, want a dummy", s)
+		}
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	r := rng.New(1)
+	for name, fn := range map[string]func(){
+		"ell-zero":  func() { Sample([]int{0}, 5, 0, r) },
+		"oob":       func() { Sample([]int{5}, 5, 2, r) },
+		"negative":  func() { Sample([]int{-1}, 5, 2, r) },
+		"duplicate": func() { Sample([]int{1, 1}, 5, 2, r) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEta(t *testing.T) {
+	cases := []struct {
+		size, ell int
+		want      float64
+	}{
+		{0, 3, 0}, {1, 3, 1.0 / 3}, {3, 3, 1}, {6, 3, 1}, {2, 4, 0.5},
+	}
+	for _, c := range cases {
+		if got := Eta(c.size, c.ell); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eta(%d,%d)=%v want %v", c.size, c.ell, got, c.want)
+		}
+	}
+}
+
+func TestSetBudgetEq17(t *testing.T) {
+	epsOf := func(i int) float64 { return []float64{1, 2, 3}[i] }
+	star := 1.0
+	// |x| = 2, ℓ = 2: η = 1, ε_x = ln((e¹+e²)/2).
+	got := SetBudget([]int{0, 1}, epsOf, star, 2)
+	want := math.Log((math.E + math.Exp(2)) / 2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v want %v", got, want)
+	}
+	// |x| = 1, ℓ = 2: η = 1/2, ε_x = ln(e³/2 + e¹/2).
+	got = SetBudget([]int{2}, epsOf, star, 2)
+	want = math.Log(math.Exp(3)/2 + math.Exp(1)/2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v want %v", got, want)
+	}
+	// Empty set: ε_x = ε*.
+	if got := SetBudget(nil, epsOf, star, 2); math.Abs(got-star) > 1e-12 {
+		t.Errorf("empty-set budget %v want %v", got, star)
+	}
+}
+
+func TestSetBudgetAtLeastMin(t *testing.T) {
+	// §VII: ε_x >= min{ε_i}_{i∈x} (convexity of exp); with ε* = min E it
+	// also holds for padded sets.
+	epsOf := func(i int) float64 { return []float64{1, 1.5, 2, 4}[i] }
+	for _, x := range [][]int{{0}, {0, 1}, {1, 2, 3}, {0, 1, 2, 3}} {
+		min := math.Inf(1)
+		for _, i := range x {
+			min = math.Min(min, epsOf(i))
+		}
+		got := SetBudget(x, epsOf, 1, 3)
+		if got < math.Min(min, 1)-1e-12 {
+			t.Errorf("set %v budget %v below min item budget", x, got)
+		}
+	}
+}
+
+func TestNewSetMechValidation(t *testing.T) {
+	u, _ := mech.NewOUE(1, 7)
+	if _, err := NewSetMech(u, 5, 2); err != nil {
+		t.Fatalf("valid mech rejected: %v", err)
+	}
+	if _, err := NewSetMech(u, 5, 3); err == nil {
+		t.Error("bit mismatch accepted")
+	}
+	if _, err := NewSetMech(u, 0, 7); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewSetMech(u, 7, 0); err == nil {
+		t.Error("ell=0 accepted")
+	}
+}
+
+func TestSetMechPerturbShape(t *testing.T) {
+	u, _ := mech.NewOUE(2, 8)
+	s, err := NewSetMech(u, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	y := s.Perturb([]int{0, 4}, r)
+	if y.Len() != 8 {
+		t.Fatalf("report length %d want 8", y.Len())
+	}
+	if s.Bits() != 8 {
+		t.Fatalf("Bits=%d", s.Bits())
+	}
+}
+
+// buildIDUEPS builds an IDUE-PS mechanism for the toy budgets over a small
+// domain, mirroring how core assembles it: solve IDUE levels, extend to
+// dummies at ε* = min E.
+func buildIDUEPS(t *testing.T, m, ell int) (*SetMech, *budget.Assignment) {
+	t.Helper()
+	levels := []float64{math.Log(4), math.Log(6)}
+	levelOf := make([]int, m)
+	for i := 1; i < m; i++ {
+		levelOf[i] = 1
+	}
+	asgn, err := budget.FromLevels(levelOf, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := opt.SolveOpt0(asgn.LevelEpsAll(), asgn.LevelCounts(), notion.MinID{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dummy items carry ε* = min E = level 0's budget and reuse its params.
+	ext, err := asgn.Extend(ell, asgn.Min())
+	if err != nil {
+		t.Fatal(err)
+	}
+	extParams := opt.LevelParams{
+		A: append(append([]float64(nil), params.A...), params.A[0]),
+		B: append(append([]float64(nil), params.B...), params.B[0]),
+	}
+	u, err := mech.NewIDUE(extParams, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewSetMech(u, m, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm, asgn
+}
+
+// TestTheorem4 exhaustively verifies that IDUE-PS satisfies MinID-LDP with
+// the Eq. (17) set budgets: for every pair of item-sets over a small
+// domain and every possible output, Pr(y|x)/Pr(y|x') <= e^{min(ε_x,ε_x')}.
+func TestTheorem4(t *testing.T) {
+	const m, ell = 3, 2
+	sm, asgn := buildIDUEPS(t, m, ell)
+	star := asgn.Min()
+	epsOf := func(i int) float64 { return asgn.EpsOf(i) }
+
+	// All subsets of {0,1,2}.
+	var sets [][]int
+	for mask := 0; mask < 1<<m; mask++ {
+		var s []int
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, i)
+			}
+		}
+		sets = append(sets, s)
+	}
+	// All outputs over m+ell bits.
+	bits := m + ell
+	for _, x := range sets {
+		epsX := SetBudget(x, epsOf, star, ell)
+		for _, xp := range sets {
+			epsXP := SetBudget(xp, epsOf, star, ell)
+			bound := math.Exp(math.Min(epsX, epsXP))
+			for out := 0; out < 1<<bits; out++ {
+				y := bitvec.New(bits)
+				for k := 0; k < bits; k++ {
+					if out&(1<<k) != 0 {
+						y.Set(k)
+					}
+				}
+				pX := sm.OutputProb(x, y)
+				pXP := sm.OutputProb(xp, y)
+				if pXP == 0 {
+					if pX != 0 {
+						t.Fatalf("output %v possible for %v but not %v", y, x, xp)
+					}
+					continue
+				}
+				if ratio := pX / pXP; ratio > bound*(1+1e-9) {
+					t.Fatalf("sets %v vs %v output %v: ratio %v > bound %v",
+						x, xp, y, ratio, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestOutputProbNormalized checks Σ_y Pr(y|x) = 1 for the analytic output
+// distribution.
+func TestOutputProbNormalized(t *testing.T) {
+	const m, ell = 3, 2
+	sm, _ := buildIDUEPS(t, m, ell)
+	bits := m + ell
+	for _, x := range [][]int{{}, {1}, {0, 2}, {0, 1, 2}} {
+		var total float64
+		for out := 0; out < 1<<bits; out++ {
+			y := bitvec.New(bits)
+			for k := 0; k < bits; k++ {
+				if out&(1<<k) != 0 {
+					y.Set(k)
+				}
+			}
+			total += sm.OutputProb(x, y)
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("set %v output probs sum to %v", x, total)
+		}
+	}
+}
+
+// TestOutputProbMatchesEmpirical cross-checks the analytic OutputProb
+// against Monte Carlo for one set and output.
+func TestOutputProbMatchesEmpirical(t *testing.T) {
+	const m, ell = 3, 2
+	sm, _ := buildIDUEPS(t, m, ell)
+	x := []int{0, 2}
+	y := bitvec.New(m + ell)
+	y.Set(0)
+	want := sm.OutputProb(x, y)
+	r := rng.New(11)
+	const n = 300000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if sm.Perturb(x, r).Equal(y) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	tol := 5 * math.Sqrt(want*(1-want)/n)
+	if math.Abs(got-want) > tol {
+		t.Errorf("empirical %v analytic %v ± %v", got, want, tol)
+	}
+}
+
+func TestOutputProbPanics(t *testing.T) {
+	sm, _ := buildIDUEPS(t, 3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sm.OutputProb([]int{0}, bitvec.New(3))
+}

@@ -1,0 +1,78 @@
+package rng
+
+// Alias is a Walker alias table for O(1) sampling from a fixed discrete
+// distribution. Building costs O(k); every draw costs one uniform and one
+// comparison. It is the workhorse behind the synthetic dataset generators,
+// which draw hundreds of thousands of items from skewed popularity
+// distributions.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table for the (unnormalized) weights. It panics
+// if weights is empty, contains a negative entry, or sums to zero.
+func NewAlias(weights []float64) *Alias {
+	k := len(weights)
+	if k == 0 {
+		panic("rng: NewAlias of empty weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: weights sum to zero")
+	}
+	a := &Alias{prob: make([]float64, k), alias: make([]int, k)}
+	scaled := make([]float64, k)
+	small := make([]int, 0, k)
+	large := make([]int, 0, k)
+	for i, w := range weights {
+		scaled[i] = w * float64(k) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[l] = scaled[l]
+		a.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, g := range large {
+		a.prob[g] = 1
+		a.alias[g] = g
+	}
+	for _, l := range small {
+		// Only reached through floating point round-off; treat as full.
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	return a
+}
+
+// K returns the number of categories.
+func (a *Alias) K() int { return len(a.prob) }
+
+// Draw returns a category index sampled from the table's distribution.
+func (a *Alias) Draw(s *Source) int {
+	i := s.IntN(len(a.prob))
+	if s.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

@@ -1,0 +1,180 @@
+// Package rng provides the deterministic randomness substrate used by every
+// randomized component in this repository: Bernoulli trials for bit
+// perturbation, weighted categorical sampling for workload generation, and
+// reservoir/partial-shuffle sampling for the Padding-and-Sampling protocol.
+//
+// All randomness flows through a Source so that experiments, tests and
+// benchmarks are reproducible from a single seed. Derived streams (Split)
+// let concurrent workers draw independent, stable sub-streams.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+)
+
+// Source is a seeded pseudo-random source. It wraps math/rand/v2's PCG
+// generator and adds the sampling primitives the rest of the repository
+// needs. A Source is not safe for concurrent use; use Split to hand each
+// goroutine its own stream.
+type Source struct {
+	r *rand.Rand
+	// seeds retained so Split can derive independent streams.
+	s1, s2 uint64
+}
+
+// New returns a Source seeded with the given value. Two Sources created
+// with the same seed produce identical streams.
+func New(seed uint64) *Source {
+	// Mix the single user seed into two PCG words using splitmix64 so that
+	// nearby seeds (0, 1, 2, ...) yield unrelated streams.
+	s1 := splitmix64(seed)
+	s2 := splitmix64(s1)
+	return &Source{r: rand.New(rand.NewPCG(s1, s2)), s1: s1, s2: s2}
+}
+
+// Split derives an independent Source identified by label. Splitting the
+// same parent with the same label always yields the same child stream,
+// regardless of how much the parent has been consumed.
+func (s *Source) Split(label string) *Source {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	return New(s.s1 ^ splitmix64(s.s2^h.Sum64()))
+}
+
+// SplitN derives the i-th of a family of independent child Sources. It is
+// the integer-labelled counterpart of Split, used to give each simulated
+// user or worker goroutine its own stream.
+func (s *Source) SplitN(i int) *Source {
+	return New(s.s1 ^ splitmix64(s.s2+uint64(i)*0x9e3779b97f4a7c15+1))
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// NormFloat64 returns a standard normal variate.
+func (s *Source) NormFloat64() float64 { return s.r.NormFloat64() }
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) IntN(n int) int { return s.r.IntN(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (s *Source) Uint64() uint64 { return s.r.Uint64() }
+
+// Bernoulli reports true with probability p. Values of p outside [0, 1]
+// are clamped, so Bernoulli(1.2) is always true and Bernoulli(-0.1) false.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.r.Float64() < p
+}
+
+// Geometric returns a sample from the geometric distribution on {1, 2, ...}
+// with success probability p (mean 1/p). It panics if p is not in (0, 1].
+func (s *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric requires p in (0, 1]")
+	}
+	if p == 1 {
+		return 1
+	}
+	u := s.r.Float64()
+	// Inverse CDF: ceil(ln(1-u) / ln(1-p)).
+	k := int(math.Ceil(math.Log1p(-u) / math.Log1p(-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// LogNormal returns exp(mu + sigma*Z) for standard normal Z.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*s.r.NormFloat64())
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// SampleWithoutReplacement returns k distinct values drawn uniformly from
+// [0, n). It panics if k > n or either argument is negative. The result is
+// in random order.
+func (s *Source) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("rng: SampleWithoutReplacement requires 0 <= k <= n")
+	}
+	if k == 0 {
+		return nil
+	}
+	// Partial Fisher–Yates over a dense index array. For k much smaller
+	// than n a map-based virtual swap avoids the O(n) allocation.
+	if n > 4096 && k*8 < n {
+		chosen := make(map[int]int, k)
+		out := make([]int, k)
+		for i := 0; i < k; i++ {
+			j := i + s.r.IntN(n-i)
+			vj, ok := chosen[j]
+			if !ok {
+				vj = j
+			}
+			vi, ok := chosen[i]
+			if !ok {
+				vi = i
+			}
+			out[i] = vj
+			chosen[j] = vi
+		}
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.r.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// Choice returns an index drawn with probability proportional to
+// weights[i]. It panics if weights is empty or sums to a non-positive
+// value. For repeated draws from the same weights build an Alias sampler.
+func (s *Source) Choice(weights []float64) int {
+	if len(weights) == 0 {
+		panic("rng: Choice of empty weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: weights sum to zero")
+	}
+	u := s.r.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

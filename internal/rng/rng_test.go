@@ -1,0 +1,315 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNearbySeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws", same)
+	}
+}
+
+func TestSplitStableAndIndependent(t *testing.T) {
+	p := New(7)
+	c1 := p.Split("workers")
+	// Consume the parent; the derived stream must not change.
+	for i := 0; i < 10; i++ {
+		p.Uint64()
+	}
+	c2 := New(7).Split("workers")
+	for i := 0; i < 50; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatal("Split is not stable under parent consumption")
+		}
+	}
+	a := New(7).Split("a").Uint64()
+	b := New(7).Split("b").Uint64()
+	if a == b {
+		t.Fatal("differently-labelled splits coincide")
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	p := New(3)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		v := p.SplitN(i).Uint64()
+		if seen[v] {
+			t.Fatalf("SplitN(%d) collided", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	for _, p := range []float64{0.1, 0.33, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if s.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		// 5-sigma band around p.
+		tol := 5 * math.Sqrt(p*(1-p)/n)
+		if math.Abs(got-p) > tol {
+			t.Errorf("Bernoulli(%g): mean %g outside ±%g", p, got, tol)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(5)
+	const n = 100000
+	p := 0.25
+	var sum float64
+	for i := 0; i < n; i++ {
+		k := s.Geometric(p)
+		if k < 1 {
+			t.Fatalf("Geometric returned %d < 1", k)
+		}
+		sum += float64(k)
+	}
+	mean := sum / n
+	want := 1 / p
+	sd := math.Sqrt((1-p)/(p*p)) / math.Sqrt(n)
+	if math.Abs(mean-want) > 6*sd {
+		t.Errorf("Geometric mean %g, want %g ± %g", mean, want, 6*sd)
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p=0")
+		}
+	}()
+	New(1).Geometric(0)
+}
+
+func TestGeometricOne(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10; i++ {
+		if s.Geometric(1) != 1 {
+			t.Fatal("Geometric(1) != 1")
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	s := New(9)
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 1}, {10, 10}, {10, 5}, {10000, 3}, {10000, 9999}} {
+		got := s.SampleWithoutReplacement(tc.n, tc.k)
+		if len(got) != tc.k {
+			t.Fatalf("n=%d k=%d: got %d values", tc.n, tc.k, len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= tc.n {
+				t.Fatalf("value %d out of range [0,%d)", v, tc.n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate value %d (n=%d k=%d)", v, tc.n, tc.k)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Each of the n items should appear in a k-sample with probability k/n.
+	s := New(77)
+	const n, k, trials = 20, 5, 40000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range s.SampleWithoutReplacement(n, k) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * k / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("item %d drawn %d times, want ≈%g", i, c, want)
+		}
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	New(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestChoiceDistribution(t *testing.T) {
+	s := New(21)
+	w := []float64{1, 2, 3, 4}
+	const n = 100000
+	counts := make([]float64, len(w))
+	for i := 0; i < n; i++ {
+		counts[s.Choice(w)]++
+	}
+	for i, wi := range w {
+		p := wi / 10
+		got := counts[i] / n
+		tol := 5 * math.Sqrt(p*(1-p)/n)
+		if math.Abs(got-p) > tol {
+			t.Errorf("Choice index %d: freq %g want %g ± %g", i, got, p, tol)
+		}
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { New(1).Choice(nil) },
+		"zero":     func() { New(1).Choice([]float64{0, 0}) },
+		"negative": func() { New(1).Choice([]float64{1, -1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	s := New(33)
+	w := []float64{0.5, 0, 2.5, 7}
+	a := NewAlias(w)
+	if a.K() != len(w) {
+		t.Fatalf("K=%d want %d", a.K(), len(w))
+	}
+	const n = 200000
+	counts := make([]float64, len(w))
+	for i := 0; i < n; i++ {
+		counts[a.Draw(s)]++
+	}
+	for i, wi := range w {
+		p := wi / 10
+		got := counts[i] / n
+		tol := 5*math.Sqrt(p*(1-p)/n) + 1e-9
+		if math.Abs(got-p) > tol {
+			t.Errorf("alias index %d: freq %g want %g ± %g", i, got, p, tol)
+		}
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category drawn %v times", counts[1])
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a := NewAlias([]float64{3})
+	s := New(1)
+	for i := 0; i < 10; i++ {
+		if a.Draw(s) != 0 {
+			t.Fatal("single-category alias returned nonzero")
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for name, w := range map[string][]float64{
+		"empty": nil, "zero": {0, 0}, "negative": {1, -2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			NewAlias(w)
+		}()
+	}
+}
+
+// Property: Choice always returns a valid index with positive weight.
+func TestChoiceValidIndexProperty(t *testing.T) {
+	s := New(55)
+	f := func(raw []float64) bool {
+		w := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			w = append(w, math.Abs(v))
+		}
+		var total float64
+		for _, v := range w {
+			total += v
+		}
+		if len(w) == 0 || total <= 0 {
+			return true // precondition not met; skip
+		}
+		i := s.Choice(w)
+		return i >= 0 && i < len(w) && w[i] > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(13)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 1000; i++ {
+		if s.LogNormal(1, 0.5) <= 0 {
+			t.Fatal("LogNormal produced non-positive value")
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package transport implements a minimal network deployment of the
+// collection pipeline: users (clients) stream perturbed reports to an
+// aggregation server over TCP as gob-encoded frames. Only perturbed data
+// ever crosses the wire, matching the paper's threat model — the server
+// is untrusted and never sees raw inputs.
+//
+// The wire protocol is a gob stream of Frame values per connection. A
+// frame carries either one report (the packed words of a bit vector) or a
+// pre-summed batch (per-bit counts plus a user count), which lets heavy
+// clients aggregate locally and ship O(m) bytes total.
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"idldp/internal/agg"
+	"idldp/internal/bitvec"
+)
+
+// FrameKind discriminates the payload of a Frame.
+type FrameKind uint8
+
+const (
+	// FrameReport carries one perturbed report.
+	FrameReport FrameKind = 1
+	// FrameBatch carries a pre-summed batch of reports.
+	FrameBatch FrameKind = 2
+)
+
+// Frame is the wire message.
+type Frame struct {
+	Kind   FrameKind
+	Words  []uint64 // FrameReport: packed bit vector
+	Bits   int      // FrameReport: vector length
+	Counts []int64  // FrameBatch: per-bit counts
+	N      int64    // FrameBatch: number of users summed
+}
+
+// Server accepts report streams and aggregates them.
+type Server struct {
+	lis  net.Listener
+	sink *agg.Concurrent
+	bits int
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts an aggregation server for m-bit reports on addr (use
+// "127.0.0.1:0" for an ephemeral port).
+func Serve(addr string, bits int) (*Server, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("transport: report length %d must be positive", bits)
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	s := &Server{
+		lis:   lis,
+		sink:  agg.NewConcurrent(bits),
+		bits:  bits,
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var f Frame
+		if err := dec.Decode(&f); err != nil {
+			return // EOF or malformed stream ends the connection
+		}
+		switch f.Kind {
+		case FrameReport:
+			v, err := bitvec.FromWords(f.Words, f.Bits)
+			if err != nil || v.Len() != s.bits {
+				return
+			}
+			s.sink.Add(v)
+		case FrameBatch:
+			if s.sink.AddCounts(f.Counts, f.N) != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Snapshot returns the current aggregated per-bit counts and user count.
+func (s *Server) Snapshot() (counts []int64, n int64) { return s.sink.Snapshot() }
+
+// Estimate calibrates the current state into frequency estimates.
+func (s *Server) Estimate(a, b []float64, scale float64) ([]float64, error) {
+	return s.sink.Estimate(a, b, scale)
+}
+
+// Close stops accepting, closes live connections and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.lis.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client streams reports to a Server.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// Dial connects to an aggregation server.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn)}, nil
+}
+
+// SendReport ships one perturbed report.
+func (c *Client) SendReport(v *bitvec.Vector) error {
+	return c.enc.Encode(Frame{Kind: FrameReport, Words: v.Words(), Bits: v.Len()})
+}
+
+// SendBatch ships a locally aggregated batch.
+func (c *Client) SendBatch(a *agg.Aggregator) error {
+	return c.enc.Encode(Frame{Kind: FrameBatch, Counts: a.Counts(), N: a.N()})
+}
+
+// Close closes the connection. The server keeps everything already
+// decoded.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	if err != nil && !errors.Is(err, io.ErrClosedPipe) {
+		return err
+	}
+	return nil
+}

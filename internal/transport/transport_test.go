@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"idldp/internal/agg"
+	"idldp/internal/bitvec"
+	"idldp/internal/budget"
+	"idldp/internal/core"
+	"idldp/internal/rng"
+)
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached before deadline")
+}
+
+func TestServeInvalidBits(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", 0); err == nil {
+		t.Fatal("bits=0 accepted")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(context.Background(), s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := bitvec.New(8)
+	v.Set(1)
+	v.Set(7)
+	for i := 0; i < 10; i++ {
+		if err := c.SendReport(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { _, n := s.Snapshot(); return n == 10 })
+	counts, n := s.Snapshot()
+	if n != 10 || counts[1] != 10 || counts[7] != 10 || counts[0] != 0 {
+		t.Fatalf("counts=%v n=%d", counts, n)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(context.Background(), s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := agg.New(4)
+	for i := 0; i < 100; i++ {
+		v := bitvec.New(4)
+		v.Set(i % 4)
+		local.Add(v)
+	}
+	if err := c.SendBatch(local); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	waitFor(t, func() bool { _, n := s.Snapshot(); return n == 100 })
+	counts, _ := s.Snapshot()
+	for i, want := range []int64{25, 25, 25, 25} {
+		if counts[i] != want {
+			t.Fatalf("counts=%v", counts)
+		}
+	}
+}
+
+func TestManyConcurrentClients(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const clients, per = 8, 50
+	var wg sync.WaitGroup
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			c, err := Dial(context.Background(), s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < per; i++ {
+				v := bitvec.New(16)
+				v.Set((k + i) % 16)
+				if err := c.SendReport(v); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	waitFor(t, func() bool { _, n := s.Snapshot(); return n == clients*per })
+}
+
+func TestMalformedFrameDropsConnection(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Wrong report length.
+	c, err := Dial(context.Background(), s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := bitvec.New(4)
+	v.Set(0)
+	if err := c.SendReport(v); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// Unknown frame kind.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gob.NewEncoder(conn).Encode(Frame{Kind: 99})
+	conn.Close()
+
+	// Garbage bytes.
+	conn2, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2.Write([]byte("not gob at all"))
+	conn2.Close()
+
+	// Bad batch (negative n).
+	c2, err := Dial(context.Background(), s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.enc.Encode(Frame{Kind: FrameBatch, Counts: make([]int64, 8), N: -5})
+	c2.Close()
+
+	time.Sleep(50 * time.Millisecond)
+	if _, n := s.Snapshot(); n != 0 {
+		t.Fatalf("malformed traffic aggregated: n=%d", n)
+	}
+}
+
+func TestCloseIdempotentAndRefusesNewWork(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second close errored:", err)
+	}
+	if _, err := Dial(context.Background(), s.Addr()); err == nil {
+		// Connection may be accepted by the OS backlog momentarily, but
+		// sends must not aggregate.
+		time.Sleep(20 * time.Millisecond)
+		if _, n := s.Snapshot(); n != 0 {
+			t.Fatal("closed server aggregated reports")
+		}
+	}
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	// Full protocol: IDUE perturbation client-side, calibration
+	// server-side, estimates near truth.
+	e, err := core.New(core.Config{Budgets: budget.ToyExample()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Serve("127.0.0.1:0", e.M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 20000
+	truth := make([]float64, 5)
+	c, err := Dial(context.Background(), s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(77)
+	local := agg.New(e.M())
+	for u := 0; u < n; u++ {
+		item := u % 5
+		truth[item]++
+		local.Add(e.PerturbItem(item, r))
+	}
+	if err := c.SendBatch(local); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	waitFor(t, func() bool { _, got := s.Snapshot(); return got == n })
+
+	ue := e.UE()
+	est, err := s.Estimate(ue.A, ue.B, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(est[i]-truth[i]) > 0.2*truth[i]+200 {
+			t.Errorf("item %d estimate %v truth %v", i, est[i], truth[i])
+		}
+	}
+}
