@@ -8,14 +8,18 @@ package idldp
 // follow.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	"idldp/internal/bitvec"
 	"idldp/internal/budget"
 	"idldp/internal/core"
 	"idldp/internal/exp"
 	"idldp/internal/notion"
 	"idldp/internal/opt"
 	"idldp/internal/rng"
+	"idldp/internal/server"
 )
 
 // BenchmarkTableI regenerates the prior–posterior leakage-bound table.
@@ -272,6 +276,81 @@ func BenchmarkSolveOpt0(b *testing.B) {
 		if _, err := opt.SolveOpt0(eps, counts, notion.MinID{}, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkShardedIngest measures the sharded ingestion runtime under
+// concurrent producers, comparing 1 shard against GOMAXPROCS shards so
+// throughput scaling shows up directly in the ns/op columns. The direct
+// variant ships one frame per report (the HTTP API's path, worker-bound);
+// the batched variant accumulates per-bit counts producer-side first (the
+// TCP transport's path).
+func BenchmarkShardedIngest(b *testing.B) {
+	const m = 1024
+	r := rng.New(9)
+	reports := make([]*bitvec.Vector, 512)
+	for i := range reports {
+		v := bitvec.New(m)
+		for j := 0; j < m; j++ {
+			if r.Bernoulli(0.5) {
+				v.Set(j)
+			}
+		}
+		reports[i] = v
+	}
+	shardCounts := []int{1, runtime.GOMAXPROCS(0)}
+	for i, shards := range shardCounts {
+		if i > 0 && shards == shardCounts[0] {
+			break // single-core machine: the comparison collapses
+		}
+		b.Run(fmt.Sprintf("direct/shards=%d", shards), func(b *testing.B) {
+			s, err := server.New(m, server.WithShards(shards), server.WithQueueDepth(64))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if err := s.Add(reports[i%len(reports)]); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.Run(fmt.Sprintf("batched/shards=%d", shards), func(b *testing.B) {
+			s, err := server.New(m, server.WithShards(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				batcher := s.NewBatcher()
+				i := 0
+				for pb.Next() {
+					if err := batcher.Add(reports[i%len(reports)]); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+				if err := batcher.Flush(); err != nil {
+					b.Error(err)
+				}
+			})
+			b.StopTimer()
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	idldp-server [-addr 127.0.0.1:7070] [-duration 30s]
+//	idldp-server [-addr 127.0.0.1:7070] [-duration 30s] [-shards 0] [-batch-size 256]
 package main
 
 import (
@@ -19,27 +19,31 @@ import (
 
 	"idldp/internal/budget"
 	"idldp/internal/core"
+	"idldp/internal/server"
 	"idldp/internal/transport"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
-		duration = flag.Duration("duration", 0, "stop after this long (0 = until signal)")
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		duration  = flag.Duration("duration", 0, "stop after this long (0 = until signal)")
+		shards    = flag.Int("shards", 0, "ingestion shard workers (0 = GOMAXPROCS)")
+		batchSize = flag.Int("batch-size", 0, "reports per ingestion frame (0 = runtime default)")
 	)
 	flag.Parse()
-	if err := run(*addr, *duration); err != nil {
+	if err := run(*addr, *duration, *shards, *batchSize); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, duration time.Duration) error {
+func run(addr string, duration time.Duration, shards, batchSize int) error {
 	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
 	if err != nil {
 		return err
 	}
-	srv, err := transport.Serve(addr, engine.M())
+	srv, err := transport.Serve(addr, engine.M(),
+		server.WithShards(shards), server.WithBatchSize(batchSize))
 	if err != nil {
 		return err
 	}

@@ -7,7 +7,7 @@ import (
 
 func TestRunStopsAfterDuration(t *testing.T) {
 	done := make(chan error, 1)
-	go func() { done <- run("127.0.0.1:0", 100*time.Millisecond) }()
+	go func() { done <- run("127.0.0.1:0", 100*time.Millisecond, 2, 64) }()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -19,7 +19,7 @@ func TestRunStopsAfterDuration(t *testing.T) {
 }
 
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.0.0.1:bad", time.Millisecond); err == nil {
+	if err := run("256.0.0.1:bad", time.Millisecond, 0, 0); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }

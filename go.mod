@@ -1,0 +1,3 @@
+module idldp
+
+go 1.24

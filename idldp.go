@@ -20,16 +20,39 @@
 // bounds, dataset generators and the experiment harness that regenerates
 // every table and figure of the paper live under internal/ and are
 // exercised by cmd/idldp-bench and the examples.
+//
+// # Sharded ingestion
+//
+// NewServer defaults to a plain in-process accumulator, but production
+// collection — millions of reporting users — runs on the sharded
+// ingestion runtime of internal/server, enabled with options:
+//
+//	server := client.NewServer(idldp.WithShards(0), idldp.WithBatchSize(512))
+//	defer server.Close()
+//
+// WithShards(n) starts n shard workers (0 means GOMAXPROCS), each owning
+// a private aggregator fed over buffered channels with backpressure, so
+// ingestion takes no lock on the hot path; reports are framed into
+// per-bit count batches of WithBatchSize reports before they hit a shard
+// queue. Estimates stays consistent while ingestion continues by merging
+// per-shard snapshots, and is bit-for-bit identical to the single
+// accumulator on the same reports because per-bit counts are
+// order-independent integer sums. The gob-TCP transport
+// (internal/transport) and the HTTP/JSON API (internal/httpapi) feed the
+// same runtime. A sharded Server must be Closed to stop its workers.
 package idldp
 
 import (
 	"fmt"
 	"io"
+	"sync"
 
+	"idldp/internal/bitvec"
 	"idldp/internal/budget"
 	"idldp/internal/core"
 	"idldp/internal/opt"
 	"idldp/internal/rng"
+	"idldp/internal/server"
 )
 
 // Model selects the optimization program used to pick the perturbation
@@ -176,54 +199,182 @@ func (c *Client) SetBudget(set []int) float64 { return c.engine.SetBudget(set) }
 // experiment harness).
 func (c *Client) Engine() *core.Engine { return c.engine }
 
+// ServerOption tunes a Server returned by NewServer.
+type ServerOption func(*serverOptions)
+
+type serverOptions struct {
+	sharded   bool
+	shards    int
+	batchSize int
+}
+
+// WithShards runs the server on the sharded ingestion runtime with n
+// shard workers (n <= 0 selects GOMAXPROCS). A sharded Server must be
+// Closed.
+func WithShards(n int) ServerOption {
+	return func(o *serverOptions) {
+		o.sharded = true
+		o.shards = n
+	}
+}
+
+// WithBatchSize sets how many reports the sharded runtime accumulates
+// into one per-bit count frame before it is shipped to a shard worker
+// (k <= 0 selects the runtime default). It implies WithShards(0) unless
+// WithShards is also given.
+func WithBatchSize(k int) ServerOption {
+	return func(o *serverOptions) {
+		o.sharded = true
+		o.batchSize = k
+	}
+}
+
 // NewServer returns the server-side half sharing this client's solved
-// parameters.
-func (c *Client) NewServer() *Server {
+// parameters. With no options it is a plain single-goroutine accumulator;
+// with WithShards or WithBatchSize it runs on the sharded ingestion
+// runtime (see the package comment) and must be Closed.
+func (c *Client) NewServer(opts ...ServerOption) *Server {
 	e := c.engine
 	bits := e.M()
 	if e.PaddingLength() > 0 {
 		bits += e.PaddingLength()
 	}
-	return &Server{engine: e, counts: make([]int64, bits)}
+	var o serverOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &Server{engine: e, bits: bits}
+	if o.sharded {
+		rt, err := server.New(bits, server.WithShards(o.shards), server.WithBatchSize(o.batchSize))
+		if err != nil {
+			// bits is positive by construction; server.New cannot fail.
+			panic("idldp: " + err.Error())
+		}
+		s.runtime = rt
+		s.batcher = rt.NewBatcher()
+		return s
+	}
+	s.counts = make([]int64, bits)
+	return s
 }
 
 // Server aggregates reports and produces calibrated frequency estimates.
-// It is not safe for concurrent use; see internal/agg.Concurrent and
-// internal/transport for concurrent and networked deployments.
+// A Server is safe for concurrent use, but Collect serializes callers —
+// high-throughput concurrent producers should each hold their own
+// Runtime().NewBatcher() or report through internal/transport /
+// internal/httpapi. In sharded mode aggregation runs on the shard
+// workers and Estimates may be called while collection continues; after
+// Close, Estimates and N keep answering from the drained final state.
 type Server struct {
 	engine *core.Engine
+	bits   int
+
+	mu sync.Mutex
+
+	// Plain mode: accumulate inline.
 	counts []int64
 	n      int
+
+	// Sharded mode: feed the runtime through a batcher.
+	runtime *server.Server
+	batcher *server.Batcher
+	closed  bool
 }
 
-// Collect accumulates one report.
+// Collect accumulates one report. The words are read in place — no
+// allocation per report.
 func (s *Server) Collect(r Report) error {
-	if r.Bits != len(s.counts) {
-		return fmt.Errorf("idldp: report has %d bits, server expects %d", r.Bits, len(s.counts))
+	if r.Bits != s.bits {
+		return fmt.Errorf("idldp: report has %d bits, server expects %d", r.Bits, s.bits)
 	}
-	for wi, w := range r.Words {
-		for b := 0; b < 64; b++ {
-			if w&(1<<uint(b)) != 0 {
-				i := wi*64 + b
-				if i >= r.Bits {
-					return fmt.Errorf("idldp: report has padding bits set")
-				}
-				s.counts[i]++
-			}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		// The batcher would silently buffer the report; the closed runtime
+		// is only noticed at the next flush. Reject up front instead.
+		return fmt.Errorf("idldp: %w", server.ErrClosed)
+	}
+	if s.runtime != nil {
+		if err := s.batcher.AddWords(r.Words, r.Bits); err != nil {
+			return fmt.Errorf("idldp: %w", err)
 		}
+		return nil
+	}
+	if err := bitvec.AccumulateWordsInto(r.Words, r.Bits, s.counts); err != nil {
+		return fmt.Errorf("idldp: %w", err)
 	}
 	s.n++
 	return nil
 }
 
+// snapshot returns the current counts and user total, flushing the
+// pending batch first in sharded mode. After Close the runtime answers
+// from its drained final state. The returned slice is the caller's.
+func (s *Server) snapshot() ([]int64, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.runtime == nil {
+		return append([]int64(nil), s.counts...), s.n, nil
+	}
+	if !s.closed {
+		if err := s.batcher.Flush(); err != nil {
+			return nil, 0, fmt.Errorf("idldp: %w", err)
+		}
+	}
+	counts, n := s.runtime.Snapshot()
+	return counts, int(n), nil
+}
+
 // N returns the number of reports collected.
-func (s *Server) N() int { return s.n }
+func (s *Server) N() int {
+	_, n, err := s.snapshot()
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Shards returns the shard worker count, or 0 for a plain server.
+func (s *Server) Shards() int {
+	if s.runtime == nil {
+		return 0
+	}
+	return s.runtime.Shards()
+}
+
+// Runtime exposes the sharded ingestion runtime so concurrent producers
+// can feed it directly (each with its own Batcher). It returns nil for a
+// plain server.
+func (s *Server) Runtime() *server.Server { return s.runtime }
+
+// Close stops the shard workers of a sharded server after flushing the
+// pending batch; the runtime keeps serving its drained state to
+// Estimates and N. It is a no-op for a plain server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.runtime == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.batcher.Flush(); err != nil {
+		return err
+	}
+	return s.runtime.Close()
+}
 
 // Estimates returns the unbiased frequency estimates ĉ_i for all m items
-// (Eq. 8; scaled by ℓ in item-set mode).
+// (Eq. 8; scaled by ℓ in item-set mode). In sharded mode the estimates
+// are consistent with every report collected so far and identical,
+// bit for bit, to what a plain server would produce from the same
+// reports.
 func (s *Server) Estimates() ([]float64, error) {
-	if s.engine.PaddingLength() > 0 {
-		return s.engine.EstimateSet(s.counts, s.n)
+	counts, n, err := s.snapshot()
+	if err != nil {
+		return nil, err
 	}
-	return s.engine.EstimateSingle(s.counts, s.n)
+	if s.engine.PaddingLength() > 0 {
+		return s.engine.EstimateSet(counts, n)
+	}
+	return s.engine.EstimateSingle(counts, n)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -115,6 +116,136 @@ func TestItemSetEndToEnd(t *testing.T) {
 	// Eq. (17) set budget of a mixed pair exceeds the strictest item's.
 	if b := client.SetBudget([]int{0, 1}); b < math.Log(4) {
 		t.Errorf("set budget %v below min item budget", b)
+	}
+}
+
+// TestShardedServerMatchesPlain proves the facade's sharded mode is
+// lossless: for several shard counts, Estimates are bit-for-bit identical
+// to the plain accumulator fed the same reports.
+func TestShardedServerMatchesPlain(t *testing.T) {
+	client, err := NewClient(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	reports := make([]Report, n)
+	for u := range reports {
+		reports[u] = client.ReportItem(u%5, uint64(u))
+	}
+	plain := client.NewServer()
+	for _, r := range reports {
+		if err := plain.Collect(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := plain.Estimates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4, 16} {
+		sharded := client.NewServer(WithShards(shards), WithBatchSize(33))
+		if got := sharded.Shards(); got != shards {
+			t.Fatalf("Shards() = %d, want %d", got, shards)
+		}
+		if sharded.Runtime() == nil {
+			t.Fatal("sharded server has no runtime")
+		}
+		for _, r := range reports {
+			if err := sharded.Collect(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := sharded.N(); got != n {
+			t.Fatalf("shards=%d: N = %d, want %d", shards, got, n)
+		}
+		got, err := sharded.Estimates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: estimate[%d] = %v, want bit-identical %v", shards, i, got[i], want[i])
+			}
+		}
+		if err := sharded.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+		// Reads keep answering from the drained state after Close.
+		got, err = sharded.Estimates()
+		if err != nil {
+			t.Fatalf("shards=%d: Estimates after Close: %v", shards, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: post-Close estimate[%d] = %v, want %v", shards, i, got[i], want[i])
+			}
+		}
+		if got := sharded.N(); got != n {
+			t.Fatalf("shards=%d: post-Close N = %d, want %d", shards, got, n)
+		}
+	}
+	// A plain server has no runtime and Close is a no-op.
+	if plain.Shards() != 0 || plain.Runtime() != nil {
+		t.Fatal("plain server reports sharding")
+	}
+	if err := plain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A closed sharded server must reject further reports, not buffer
+	// them silently.
+	closed := client.NewServer(WithShards(2))
+	if err := closed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := closed.Collect(reports[0]); err == nil {
+		t.Fatal("Collect after Close accepted a report")
+	}
+}
+
+// TestShardedServerConcurrentUse exercises the documented concurrency
+// contract under -race: several goroutines Collect while another polls
+// Estimates and N mid-stream.
+func TestShardedServerConcurrentUse(t *testing.T) {
+	client, err := NewClient(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := client.NewServer(WithShards(2), WithBatchSize(16))
+	const producers, per = 4, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for u := 0; u < per; u++ {
+				if err := srv.Collect(client.ReportItem(u%5, uint64(p*per+u))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			if _, err := srv.Estimates(); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = srv.N()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := srv.N(); got != producers*per {
+		t.Fatalf("N = %d, want %d", got, producers*per)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -8,7 +8,6 @@ package agg
 
 import (
 	"fmt"
-	"sync"
 
 	"idldp/internal/bitvec"
 	"idldp/internal/estimate"
@@ -84,49 +83,7 @@ func (a *Aggregator) Estimate(pa, pb []float64, scale float64) ([]float64, error
 	return estimate.Calibrate(a.counts, int(a.n), pa, pb, scale)
 }
 
-// Concurrent wraps an Aggregator with a mutex for pipelines where many
-// goroutines feed one shared sink (e.g. the TCP collection server).
-type Concurrent struct {
-	mu sync.Mutex
-	a  *Aggregator
-}
-
-// NewConcurrent returns a locked aggregator for m-bit reports.
-func NewConcurrent(m int) *Concurrent {
-	return &Concurrent{a: New(m)}
-}
-
-// Add accumulates one report under the lock.
-func (c *Concurrent) Add(v *bitvec.Vector) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.a.Add(v)
-}
-
-// AddCounts accumulates a pre-summed batch under the lock.
-func (c *Concurrent) AddCounts(counts []int64, n int64) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.a.AddCounts(counts, n)
-}
-
-// Merge folds a worker-local aggregator in under the lock.
-func (c *Concurrent) Merge(b *Aggregator) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.a.Merge(b)
-}
-
-// Snapshot returns a copy of the underlying aggregator's state.
-func (c *Concurrent) Snapshot() (counts []int64, n int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]int64(nil), c.a.counts...), c.a.n
-}
-
-// Estimate calibrates the current state under the lock.
-func (c *Concurrent) Estimate(pa, pb []float64, scale float64) ([]float64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.a.Estimate(pa, pb, scale)
-}
+// Concurrent pipelines — many goroutines feeding one sink — run on
+// internal/server, which shards per-worker Aggregators behind buffered
+// channels and merges on read instead of serializing every add behind a
+// lock.

@@ -2,7 +2,6 @@ package agg
 
 import (
 	"math"
-	"sync"
 	"testing"
 
 	"idldp/internal/bitvec"
@@ -118,56 +117,5 @@ func TestEstimate(t *testing.T) {
 	}
 }
 
-func TestConcurrentAggregation(t *testing.T) {
-	const workers, per = 8, 500
-	c := NewConcurrent(16)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := New(16)
-			for i := 0; i < per; i++ {
-				local.Add(report(16, (w+i)%16))
-			}
-			if err := c.Merge(local); err != nil {
-				t.Error(err)
-			}
-		}(w)
-	}
-	wg.Wait()
-	counts, n := c.Snapshot()
-	if n != workers*per {
-		t.Fatalf("N=%d want %d", n, workers*per)
-	}
-	var total int64
-	for _, v := range counts {
-		total += v
-	}
-	if total != workers*per {
-		t.Fatalf("total bits %d want %d", total, workers*per)
-	}
-}
-
-func TestConcurrentDirectAdd(t *testing.T) {
-	c := NewConcurrent(4)
-	var wg sync.WaitGroup
-	for i := 0; i < 100; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			c.Add(report(4, 1))
-		}()
-	}
-	wg.Wait()
-	counts, n := c.Snapshot()
-	if n != 100 || counts[1] != 100 {
-		t.Fatalf("n=%d counts=%v", n, counts)
-	}
-	if err := c.AddCounts([]int64{1, 1, 1, 1}, 2); err != nil {
-		t.Fatal(err)
-	}
-	if est, err := c.Estimate([]float64{0.6, 0.6, 0.6, 0.6}, []float64{0.1, 0.1, 0.1, 0.1}, 1); err != nil || len(est) != 4 {
-		t.Fatalf("est=%v err=%v", est, err)
-	}
-}
+// Concurrent aggregation coverage lives in internal/server, which is the
+// sharded pipeline every concurrent deployment now runs on.

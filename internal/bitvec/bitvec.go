@@ -145,6 +145,38 @@ func (v *Vector) AccumulateInto(counts []int64) {
 // word). The slice must not be modified; it is shared with the vector.
 func (v *Vector) Words() []uint64 { return v.words }
 
+// AccumulateWordsInto validates raw words against length n (the same
+// checks as FromWords) and adds each set bit into counts, without
+// materializing a Vector. It is the zero-allocation ingest path for
+// reports that arrive as packed words.
+func AccumulateWordsInto(words []uint64, n int, counts []int64) error {
+	if n < 0 {
+		return fmt.Errorf("bitvec: negative length %d", n)
+	}
+	want := (n + 63) / 64
+	if len(words) != want {
+		return fmt.Errorf("bitvec: got %d words for length %d, want %d", len(words), n, want)
+	}
+	if n%64 != 0 && want > 0 {
+		mask := ^uint64(0) << uint(n%64)
+		if words[want-1]&mask != 0 {
+			return fmt.Errorf("bitvec: padding bits set beyond length %d", n)
+		}
+	}
+	if len(counts) < n {
+		return fmt.Errorf("bitvec: counts has %d entries for length %d", len(counts), n)
+	}
+	for wi, w := range words {
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			counts[base+b]++
+			w &= w - 1
+		}
+	}
+	return nil
+}
+
 // FromWords reconstructs a vector of length n from raw words, as produced
 // by Words. It returns an error if the word count does not match n or a
 // padding bit beyond n is set.

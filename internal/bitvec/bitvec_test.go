@@ -210,6 +210,37 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 }
 
+func TestAccumulateWordsInto(t *testing.T) {
+	v := New(70)
+	for _, i := range []int{0, 63, 64, 69} {
+		v.Set(i)
+	}
+	counts := make([]int64, 70)
+	if err := AccumulateWordsInto(v.Words(), 70, counts); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int64, 70)
+	v.AccumulateInto(want)
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts[%d] = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	// Same validations as FromWords.
+	if err := AccumulateWordsInto(v.Words(), -1, counts); err == nil {
+		t.Error("negative length accepted")
+	}
+	if err := AccumulateWordsInto(v.Words(), 65, counts); err == nil {
+		t.Error("wrong word count accepted")
+	}
+	if err := AccumulateWordsInto([]uint64{0, 1 << 8}, 70, counts); err == nil {
+		t.Error("padding bits accepted")
+	}
+	if err := AccumulateWordsInto(v.Words(), 70, make([]int64, 10)); err == nil {
+		t.Error("short counts accepted")
+	}
+}
+
 func BenchmarkAccumulateInto(b *testing.B) {
 	v := New(4096)
 	for i := 0; i < 4096; i += 7 {

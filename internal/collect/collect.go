@@ -1,9 +1,12 @@
 // Package collect runs the end-to-end collection pipeline of Fig. 2
 // in-process: every user perturbs her input locally (in parallel across
 // worker goroutines, each with its own derived random stream) and the
-// per-worker partial sums are merged into one aggregator. Results are
-// deterministic for a fixed seed regardless of the worker count, because
-// each user draws from a stream derived from her index.
+// reports flow through the sharded ingestion runtime of internal/server —
+// each perturbation worker owns a server.Batcher, shard workers fold the
+// batches, and the drained shard states merge into one aggregator.
+// Results are deterministic for a fixed seed regardless of the worker or
+// shard count, because each user draws from a stream derived from her
+// index and per-bit counts are order-independent integer sums.
 package collect
 
 import (
@@ -14,6 +17,7 @@ import (
 	"idldp/internal/agg"
 	"idldp/internal/bitvec"
 	"idldp/internal/rng"
+	"idldp/internal/server"
 )
 
 // PerturbItemFunc perturbs one user's single-item input.
@@ -69,8 +73,12 @@ func runUsers(n, bits int, o Options, report func(u int, r *rng.Source) *bitvec.
 	if n == 0 {
 		return total, nil
 	}
+	sink, err := server.New(bits, server.WithShards(workers))
+	if err != nil {
+		return nil, fmt.Errorf("collect: %w", err)
+	}
+	defer sink.Close()
 	root := rng.New(o.Seed)
-	locals := make([]*agg.Aggregator, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -82,14 +90,17 @@ func runUsers(n, bits int, o Options, report func(u int, r *rng.Source) *bitvec.
 					errs[w] = fmt.Errorf("collect: worker %d: %v", w, p)
 				}
 			}()
-			local := agg.New(bits)
+			b := sink.NewBatcher()
 			// Static block partition keeps per-user streams stable.
 			lo := w * n / workers
 			hi := (w + 1) * n / workers
 			for u := lo; u < hi; u++ {
-				local.Add(report(u, root.SplitN(u)))
+				if err := b.Add(report(u, root.SplitN(u))); err != nil {
+					errs[w] = err
+					return
+				}
 			}
-			locals[w] = local
+			errs[w] = b.Flush()
 		}(w)
 	}
 	wg.Wait()
@@ -97,9 +108,13 @@ func runUsers(n, bits int, o Options, report func(u int, r *rng.Source) *bitvec.
 		if errs[w] != nil {
 			return nil, errs[w]
 		}
-		if err := total.Merge(locals[w]); err != nil {
-			return nil, err
-		}
+	}
+	counts, users, err := sink.Drain()
+	if err != nil {
+		return nil, fmt.Errorf("collect: %w", err)
+	}
+	if err := total.AddCounts(counts, users); err != nil {
+		return nil, fmt.Errorf("collect: %w", err)
 	}
 	return total, nil
 }

@@ -1,0 +1,137 @@
+// Package dist provides the discrete population distributions that drive
+// every synthetic workload in this repository: hand-written PMFs for the
+// toy surveys, and the parametric families (power-law, uniform, Zipf) the
+// evaluation section's dataset generators are built on (§VII). A Sampler
+// wraps a PMF with a Walker alias table so drawing an item costs O(1)
+// regardless of domain size, which is what makes generating ~10^6-user
+// datasets cheap.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"idldp/internal/rng"
+)
+
+// PMF is a probability mass function over the categories {0..len-1}.
+// Entries are weights; they need not sum to one (NewSampler and Normalize
+// rescale), but must be non-negative with a positive total.
+type PMF []float64
+
+// Validate checks the PMF is usable: non-empty, no negative or non-finite
+// weight, positive total mass.
+func (p PMF) Validate() error {
+	if len(p) == 0 {
+		return fmt.Errorf("dist: empty PMF")
+	}
+	var total float64
+	for i, w := range p {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("dist: weight %d is %v", i, w)
+		}
+		if w < 0 {
+			return fmt.Errorf("dist: negative weight %g at %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return fmt.Errorf("dist: weights sum to %g, need > 0", total)
+	}
+	return nil
+}
+
+// Normalize returns a copy of p scaled to sum to one. It panics if p does
+// not validate.
+func (p PMF) Normalize() PMF {
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
+	var total float64
+	for _, w := range p {
+		total += w
+	}
+	out := make(PMF, len(p))
+	for i, w := range p {
+		out[i] = w / total
+	}
+	return out
+}
+
+// PowerLaw returns the power-law PMF over m items used by the paper's
+// synthetic single-item dataset: P(i) ∝ (i+1)^-alpha (§VII uses α = 2).
+// It panics if m <= 0.
+func PowerLaw(m int, alpha float64) PMF {
+	if m <= 0 {
+		panic(fmt.Sprintf("dist: PowerLaw domain size %d must be positive", m))
+	}
+	p := make(PMF, m)
+	for i := range p {
+		p[i] = math.Pow(float64(i+1), -alpha)
+	}
+	return p.Normalize()
+}
+
+// Uniform returns the uniform PMF over m items. It panics if m <= 0.
+func Uniform(m int) PMF {
+	if m <= 0 {
+		panic(fmt.Sprintf("dist: Uniform domain size %d must be positive", m))
+	}
+	p := make(PMF, m)
+	for i := range p {
+		p[i] = 1 / float64(m)
+	}
+	return p
+}
+
+// Zipf returns the Zipf PMF over m items with skew s and offset v:
+// P(i) ∝ 1/(v+i)^s, the parameterization of math/rand's Zipf generator.
+// It drives the simulated Kosarak and MSNBC popularity curves. It panics
+// if m <= 0 or v+0 is not positive.
+func Zipf(m int, s, v float64) PMF {
+	if m <= 0 {
+		panic(fmt.Sprintf("dist: Zipf domain size %d must be positive", m))
+	}
+	if v <= 0 {
+		panic(fmt.Sprintf("dist: Zipf offset %g must be positive", v))
+	}
+	p := make(PMF, m)
+	for i := range p {
+		p[i] = math.Pow(v+float64(i), -s)
+	}
+	return p.Normalize()
+}
+
+// Sampler draws items from a fixed PMF in O(1) per draw via an alias
+// table. A Sampler is immutable and safe for concurrent use as long as
+// each goroutine supplies its own rng.Source.
+type Sampler struct {
+	pmf   PMF
+	alias *rng.Alias
+}
+
+// NewSampler builds a sampler for the given PMF. It panics if the PMF does
+// not validate.
+func NewSampler(p PMF) *Sampler {
+	norm := p.Normalize() // validates
+	return &Sampler{pmf: norm, alias: rng.NewAlias(norm)}
+}
+
+// K returns the number of categories.
+func (s *Sampler) K() int { return len(s.pmf) }
+
+// PMF returns the normalized probability of each category (shared slice;
+// callers must not mutate it).
+func (s *Sampler) PMF() PMF { return s.pmf }
+
+// Draw returns one item sampled from the distribution.
+func (s *Sampler) Draw(r *rng.Source) int { return s.alias.Draw(r) }
+
+// DrawN returns n independent draws.
+func (s *Sampler) DrawN(r *rng.Source, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = s.alias.Draw(r)
+	}
+	return out
+}

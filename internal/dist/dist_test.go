@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"idldp/internal/rng"
+)
+
+// maxAbsErr draws n samples and returns the largest |empirical - pmf|
+// deviation over all categories.
+func maxAbsErr(t *testing.T, s *Sampler, seed uint64, n int) float64 {
+	t.Helper()
+	counts := make([]float64, s.K())
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		x := s.Draw(r)
+		if x < 0 || x >= s.K() {
+			t.Fatalf("draw %d outside [0,%d)", x, s.K())
+		}
+		counts[x]++
+	}
+	var worst float64
+	for i, c := range counts {
+		if d := math.Abs(c/float64(n) - s.PMF()[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestEmpiricalConvergence(t *testing.T) {
+	const n = 200000
+	// With n = 2e5 the per-category standard error is at most
+	// sqrt(0.25/n) ≈ 1.1e-3; 5e-3 is a ~4.5-sigma tolerance.
+	const tol = 5e-3
+	cases := []struct {
+		name string
+		pmf  PMF
+	}{
+		{"handwritten", PMF{0.02, 0.38, 0.30, 0.18, 0.12}},
+		{"powerlaw", PowerLaw(50, 2)},
+		{"uniform", Uniform(64)},
+		{"zipf", Zipf(40, 1.5, 2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSampler(tc.pmf)
+			if err := math.Abs(sum(s.PMF()) - 1); err > 1e-12 {
+				t.Fatalf("normalized PMF sums to 1%+g", err)
+			}
+			if worst := maxAbsErr(t, s, 42, n); worst > tol {
+				t.Fatalf("max |empirical - pmf| = %g, want <= %g", worst, tol)
+			}
+		})
+	}
+}
+
+func sum(p PMF) float64 {
+	var total float64
+	for _, w := range p {
+		total += w
+	}
+	return total
+}
+
+func TestDeterminism(t *testing.T) {
+	s := NewSampler(Zipf(100, 1.2, 1))
+	a := s.DrawN(rng.New(7), 10000)
+	b := s.DrawN(rng.New(7), 10000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs for the same seed: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := s.DrawN(rng.New(8), 10000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestPMFShapes(t *testing.T) {
+	// Power-law and Zipf must be strictly decreasing; uniform flat.
+	for name, p := range map[string]PMF{"powerlaw": PowerLaw(20, 1.5), "zipf": Zipf(20, 1.5, 2)} {
+		for i := 1; i < len(p); i++ {
+			if p[i] >= p[i-1] {
+				t.Fatalf("%s: pmf[%d]=%g not below pmf[%d]=%g", name, i, p[i], i-1, p[i-1])
+			}
+		}
+	}
+	u := Uniform(8)
+	for i, w := range u {
+		if w != 0.125 {
+			t.Fatalf("uniform[%d] = %g, want 0.125", i, w)
+		}
+	}
+	// PowerLaw(m, 0) degenerates to uniform.
+	for i, w := range PowerLaw(4, 0) {
+		if math.Abs(w-0.25) > 1e-15 {
+			t.Fatalf("PowerLaw(4,0)[%d] = %g, want 0.25", i, w)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []PMF{{}, {-1, 2}, {0, 0}, {math.NaN()}, {math.Inf(1)}}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: %v validated", i, p)
+		}
+	}
+	if err := (PMF{3, 1}).Validate(); err != nil {
+		t.Errorf("unnormalized but valid PMF rejected: %v", err)
+	}
+	mustPanic(t, "NewSampler", func() { NewSampler(PMF{-1}) })
+	mustPanic(t, "PowerLaw", func() { PowerLaw(0, 1) })
+	mustPanic(t, "Uniform", func() { Uniform(-3) })
+	mustPanic(t, "Zipf m", func() { Zipf(0, 1, 1) })
+	mustPanic(t, "Zipf v", func() { Zipf(5, 1, 0) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}

@@ -9,15 +9,22 @@
 //
 // As with the TCP transport, only perturbed data crosses the wire; the
 // server is untrusted with raw inputs by construction.
+//
+// Ingestion runs on the sharded runtime of internal/server. HTTP gives no
+// per-client stream to batch over, so each accepted report is forwarded
+// directly to a shard queue; batching clients should POST /v1/batch.
+// Tune the runtime with server.Option values passed to New, and Close the
+// handler to stop the shard workers.
 package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
-	"idldp/internal/agg"
 	"idldp/internal/bitvec"
+	"idldp/internal/server"
 )
 
 // Estimator calibrates aggregated counts; satisfied by closures over
@@ -27,26 +34,36 @@ type Estimator func(counts []int64, n int) ([]float64, error)
 // Handler serves the collection API for an m-bit report domain.
 type Handler struct {
 	bits     int
-	sink     *agg.Concurrent
+	sink     *server.Server
 	estimate Estimator
 	mux      *http.ServeMux
 }
 
-// New returns a handler for m-bit reports calibrated by est.
-func New(bits int, est Estimator) (*Handler, error) {
+// New returns a handler for m-bit reports calibrated by est. Options tune
+// the sharded ingestion runtime, e.g. server.WithShards.
+func New(bits int, est Estimator, opts ...server.Option) (*Handler, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("httpapi: report length %d must be positive", bits)
 	}
 	if est == nil {
 		return nil, fmt.Errorf("httpapi: estimator is required")
 	}
-	h := &Handler{bits: bits, sink: agg.NewConcurrent(bits), estimate: est, mux: http.NewServeMux()}
+	sink, err := server.New(bits, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: %w", err)
+	}
+	h := &Handler{bits: bits, sink: sink, estimate: est, mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /v1/report", h.handleReport)
 	h.mux.HandleFunc("POST /v1/batch", h.handleBatch)
 	h.mux.HandleFunc("GET /v1/estimates", h.handleEstimates)
 	h.mux.HandleFunc("GET /v1/status", h.handleStatus)
 	return h, nil
 }
+
+// Close stops the ingestion runtime. Ingestion requests after Close are
+// answered with 503; status and estimates keep serving the drained
+// final state.
+func (h *Handler) Close() error { return h.sink.Close() }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
@@ -73,7 +90,10 @@ func (h *Handler) handleReport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("report must have %d bits", h.bits))
 		return
 	}
-	h.sink.Add(v)
+	if err := h.sink.Add(v); err != nil {
+		httpError(w, statusFor(err), err.Error())
+		return
+	}
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -83,7 +103,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := h.sink.AddCounts(body.Counts, body.N); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpError(w, statusFor(err), err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
@@ -106,6 +126,15 @@ func (h *Handler) handleEstimates(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {
 	_, n := h.sink.Snapshot()
 	writeJSON(w, map[string]any{"reports": n, "bits": h.bits})
+}
+
+// statusFor maps ingestion errors to HTTP statuses: a closed runtime is a
+// service condition, anything else a bad request.
+func statusFor(err error) int {
+	if errors.Is(err, server.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {

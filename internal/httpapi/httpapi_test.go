@@ -12,6 +12,7 @@ import (
 	"idldp/internal/budget"
 	"idldp/internal/core"
 	"idldp/internal/rng"
+	"idldp/internal/server"
 )
 
 func newServer(t *testing.T) (*httptest.Server, *core.Engine) {
@@ -20,12 +21,13 @@ func newServer(t *testing.T) (*httptest.Server, *core.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := New(e.M(), e.EstimateSingle)
+	h, err := New(e.M(), e.EstimateSingle, server.WithShards(2), server.WithBatchSize(16))
 	if err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(h)
 	t.Cleanup(srv.Close)
+	t.Cleanup(func() { h.Close() })
 	return srv, e
 }
 
@@ -148,6 +150,45 @@ func TestEstimatesBeforeReports(t *testing.T) {
 	}
 }
 
+func TestClosedHandlerRefusesIngestKeepsReads(t *testing.T) {
+	e, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(e.M(), e.EstimateSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v := e.PerturbItem(0, rng.New(1))
+	resp := postJSON(t, srv.URL+"/v1/report", reportBody{Words: v.Words(), Bits: v.Len()})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("report on closed handler: status %d want 503", resp.StatusCode)
+	}
+	// Reads keep serving the drained state after Close.
+	st, err := http.Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	if st.StatusCode != http.StatusOK {
+		t.Fatalf("status on closed handler: %d want 200", st.StatusCode)
+	}
+	var status struct {
+		Reports int64 `json:"reports"`
+	}
+	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Reports != 0 {
+		t.Fatalf("drained reports = %d, want 0", status.Reports)
+	}
+}
+
 func TestMethodNotAllowed(t *testing.T) {
 	srv, _ := newServer(t)
 	resp, err := http.Get(srv.URL + "/v1/report")
@@ -167,6 +208,7 @@ func TestEstimatorErrorSurfaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer h.Close()
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	postJSON(t, srv.URL+"/v1/batch", batchBody{Counts: []int64{1, 1, 1}, N: 2})

@@ -1,0 +1,358 @@
+// Package server is the sharded, batched ingestion runtime behind every
+// concurrent deployment of the collection pipeline (the gob-TCP transport,
+// the HTTP/JSON API, and the in-process collect harness). It scales the
+// single-goroutine agg.Aggregator to many concurrent producers without
+// putting a lock on the hot path:
+//
+//   - N shard workers (default GOMAXPROCS) each own a private
+//     agg.Aggregator. A shard's state is touched only by its worker
+//     goroutine, so ingestion is lock-free by construction.
+//   - Producers feed shards over buffered channels. A full queue blocks
+//     the producer — backpressure instead of unbounded memory.
+//   - Producers batch: a Batcher accumulates reports into per-bit counts
+//     (word-level popcount via bitvec.AccumulateInto) and ships one frame
+//     per BatchSize reports through the Aggregator.AddCounts path, so the
+//     per-report cost is a few bit operations, no channel send and no
+//     allocation.
+//   - Snapshot pushes a marker through every shard queue and merges the
+//     replies, so reads are consistent with all previously enqueued
+//     ingestion while new reports keep flowing.
+//
+// Because per-bit counts are integer sums, the merged result is invariant
+// to how reports were sharded or batched: Estimates computed from a
+// Snapshot are bit-for-bit identical to a single-goroutine Aggregator fed
+// the same reports in any order.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"idldp/internal/agg"
+	"idldp/internal/bitvec"
+)
+
+// ErrClosed is returned by ingestion calls after Close.
+var ErrClosed = errors.New("server: closed")
+
+// Default tuning: batches of 256 reports amortize the channel send to
+// noise while keeping worst-case staleness per producer small, and a
+// 4-deep queue per shard absorbs bursts without letting queues grow
+// unboundedly ahead of the workers.
+const (
+	DefaultBatchSize  = 256
+	DefaultQueueDepth = 4
+)
+
+type options struct {
+	shards     int
+	batchSize  int
+	queueDepth int
+}
+
+// Option tunes a Server.
+type Option func(*options)
+
+// WithShards sets the number of shard workers. n <= 0 selects
+// runtime.GOMAXPROCS(0).
+func WithShards(n int) Option { return func(o *options) { o.shards = n } }
+
+// WithBatchSize sets how many reports a Batcher accumulates before
+// shipping one frame to a shard. k <= 0 selects DefaultBatchSize.
+func WithBatchSize(k int) Option { return func(o *options) { o.batchSize = k } }
+
+// WithQueueDepth sets the per-shard channel buffer, in frames. d <= 0
+// selects DefaultQueueDepth.
+func WithQueueDepth(d int) Option { return func(o *options) { o.queueDepth = d } }
+
+// shardMsg is one frame on a shard queue: exactly one of a raw report, a
+// pre-summed batch (counts+n), or a snapshot marker.
+type shardMsg struct {
+	report *bitvec.Vector
+	counts []int64
+	n      int64
+	snap   chan<- shardSnap
+}
+
+type shardSnap struct {
+	counts []int64
+	n      int64
+}
+
+type shard struct {
+	ch chan shardMsg
+	a  *agg.Aggregator
+}
+
+// Server is the sharded ingestion runtime for m-bit reports. All methods
+// are safe for concurrent use. Close must be called to stop the shard
+// workers.
+type Server struct {
+	bits      int
+	batchSize int
+	shards    []*shard
+	next      atomic.Uint64 // round-robin shard cursor
+
+	mu     sync.RWMutex // guards closed against in-flight sends
+	closed bool
+	wg     sync.WaitGroup
+	// Final merged state, captured by Close once the workers have
+	// drained, so reads keep answering on a stopped server.
+	finalCounts []int64
+	finalN      int64
+}
+
+// New starts a sharded ingestion runtime for m-bit reports.
+func New(bits int, opts ...Option) (*Server, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("server: report length %d must be positive", bits)
+	}
+	o := options{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.shards <= 0 {
+		o.shards = runtime.GOMAXPROCS(0)
+	}
+	if o.batchSize <= 0 {
+		o.batchSize = DefaultBatchSize
+	}
+	if o.queueDepth <= 0 {
+		o.queueDepth = DefaultQueueDepth
+	}
+	s := &Server{bits: bits, batchSize: o.batchSize, shards: make([]*shard, o.shards)}
+	for i := range s.shards {
+		sh := &shard{ch: make(chan shardMsg, o.queueDepth), a: agg.New(bits)}
+		s.shards[i] = sh
+		s.wg.Add(1)
+		go s.worker(sh)
+	}
+	return s, nil
+}
+
+// worker owns one shard's aggregator; it is the only goroutine that ever
+// touches it, which is what keeps ingestion lock-free.
+func (s *Server) worker(sh *shard) {
+	defer s.wg.Done()
+	for msg := range sh.ch {
+		switch {
+		case msg.snap != nil:
+			msg.snap <- shardSnap{counts: sh.a.Counts(), n: sh.a.N()}
+		case msg.report != nil:
+			sh.a.Add(msg.report)
+		default:
+			// Validated by the producer; an error here is a programming bug.
+			if err := sh.a.AddCounts(msg.counts, msg.n); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// Bits returns the report length m.
+func (s *Server) Bits() int { return s.bits }
+
+// Shards returns the shard worker count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// BatchSize returns the per-Batcher accumulation size.
+func (s *Server) BatchSize() int { return s.batchSize }
+
+// send enqueues a frame on the next shard, blocking when its queue is
+// full (backpressure).
+func (s *Server) send(msg shardMsg) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	sh := s.shards[s.next.Add(1)%uint64(len(s.shards))]
+	sh.ch <- msg
+	return nil
+}
+
+// Add ingests one report directly, bypassing producer-side batching. Use
+// a Batcher when the producer has a stream; Add suits request-per-report
+// surfaces like the HTTP API.
+func (s *Server) Add(v *bitvec.Vector) error {
+	if v.Len() != s.bits {
+		return fmt.Errorf("server: report has %d bits, domain has %d", v.Len(), s.bits)
+	}
+	return s.send(shardMsg{report: v})
+}
+
+// AddCounts ingests a pre-summed batch. The server takes ownership of
+// counts; the caller must not reuse the slice.
+func (s *Server) AddCounts(counts []int64, n int64) error {
+	if err := validateBatch(s.bits, counts, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	return s.send(shardMsg{counts: counts, n: n})
+}
+
+func validateBatch(bits int, counts []int64, n int64) error {
+	if len(counts) != bits {
+		return fmt.Errorf("server: batch has %d bits, domain has %d", len(counts), bits)
+	}
+	if n < 0 {
+		return fmt.Errorf("server: negative user count %d", n)
+	}
+	for i, c := range counts {
+		if c < 0 || c > n {
+			return fmt.Errorf("server: bit %d count %d outside [0,%d]", i, c, n)
+		}
+	}
+	return nil
+}
+
+// Snapshot returns merged per-bit counts and the user count. It is
+// consistent with every frame enqueued before the call on each shard;
+// ingestion continues concurrently. After Close it answers from the
+// drained final state. The returned slice is the caller's to keep.
+func (s *Server) Snapshot() (counts []int64, n int64) {
+	s.mu.RLock()
+	if s.closed {
+		defer s.mu.RUnlock()
+		return append([]int64(nil), s.finalCounts...), s.finalN
+	}
+	// One marker per shard, fanned out before collecting any reply so the
+	// shards quiesce in parallel.
+	reply := make(chan shardSnap, len(s.shards))
+	for _, sh := range s.shards {
+		sh.ch <- shardMsg{snap: reply}
+	}
+	s.mu.RUnlock()
+	counts = make([]int64, s.bits)
+	for range s.shards {
+		ss := <-reply
+		for i, c := range ss.counts {
+			counts[i] += c
+		}
+		n += ss.n
+	}
+	return counts, n
+}
+
+// N returns the number of reports ingested so far (via Snapshot).
+func (s *Server) N() int64 {
+	_, n := s.Snapshot()
+	return n
+}
+
+// Close stops the shard workers after draining their queues and captures
+// the final merged state, which Snapshot keeps serving. Producers must
+// have flushed their Batchers; ingestion calls racing with Close may
+// return ErrClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.wg.Wait()
+	total := agg.New(s.bits)
+	for _, sh := range s.shards {
+		if err := total.Merge(sh.a); err != nil {
+			return err
+		}
+	}
+	s.finalCounts, s.finalN = total.Counts(), total.N()
+	return nil
+}
+
+// Drain stops the runtime and returns the final merged counts.
+func (s *Server) Drain() (counts []int64, n int64, err error) {
+	if err := s.Close(); err != nil {
+		return nil, 0, err
+	}
+	counts, n = s.Snapshot()
+	return counts, n, nil
+}
+
+// Batcher accumulates a producer's reports into per-bit counts and ships
+// them to the server one frame per BatchSize reports. It is the
+// streaming-producer front end: one Batcher per goroutine or connection;
+// a Batcher is NOT safe for concurrent use. Adds touch the server only
+// when a batch fills, so a Close of the server surfaces as ErrClosed at
+// the next full batch or Flush, not on every Add — producers must stop
+// adding once they initiate Close.
+type Batcher struct {
+	s      *Server
+	counts []int64
+	n      int64
+}
+
+// NewBatcher returns an empty batcher feeding s.
+func (s *Server) NewBatcher() *Batcher {
+	return &Batcher{s: s, counts: make([]int64, s.bits)}
+}
+
+// Add accumulates one report, shipping a frame when the batch is full.
+func (b *Batcher) Add(v *bitvec.Vector) error {
+	if v.Len() != b.s.bits {
+		return fmt.Errorf("server: report has %d bits, domain has %d", v.Len(), b.s.bits)
+	}
+	v.AccumulateInto(b.counts)
+	b.n++
+	if b.n >= int64(b.s.batchSize) {
+		return b.Flush()
+	}
+	return nil
+}
+
+// AddWords accumulates one report given as packed words, validating it
+// like bitvec.FromWords but without allocating a vector — the
+// zero-allocation path for reports straight off the wire.
+func (b *Batcher) AddWords(words []uint64, bits int) error {
+	if bits != b.s.bits {
+		return fmt.Errorf("server: report has %d bits, domain has %d", bits, b.s.bits)
+	}
+	if err := bitvec.AccumulateWordsInto(words, bits, b.counts); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	b.n++
+	if b.n >= int64(b.s.batchSize) {
+		return b.Flush()
+	}
+	return nil
+}
+
+// AddCounts folds a pre-summed batch into the pending one.
+func (b *Batcher) AddCounts(counts []int64, n int64) error {
+	if err := validateBatch(b.s.bits, counts, n); err != nil {
+		return err
+	}
+	for i, c := range counts {
+		b.counts[i] += c
+	}
+	b.n += n
+	if b.n >= int64(b.s.batchSize) {
+		return b.Flush()
+	}
+	return nil
+}
+
+// Pending returns the number of reports accumulated but not yet shipped.
+func (b *Batcher) Pending() int64 { return b.n }
+
+// Flush ships the pending batch, if any. Callers must Flush before the
+// server is Closed or Snapshot is expected to see their reports.
+func (b *Batcher) Flush() error {
+	if b.n == 0 {
+		return nil
+	}
+	counts, n := b.counts, b.n
+	b.counts = make([]int64, b.s.bits)
+	b.n = 0
+	return b.s.send(shardMsg{counts: counts, n: n})
+}

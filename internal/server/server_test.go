@@ -1,0 +1,279 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"idldp/internal/agg"
+	"idldp/internal/bitvec"
+	"idldp/internal/estimate"
+	"idldp/internal/rng"
+)
+
+// randomReports draws n random m-bit reports from a fixed seed.
+func randomReports(n, m int, seed uint64) []*bitvec.Vector {
+	r := rng.New(seed)
+	out := make([]*bitvec.Vector, n)
+	for u := range out {
+		v := bitvec.New(m)
+		for i := 0; i < m; i++ {
+			if r.Bernoulli(0.3) {
+				v.Set(i)
+			}
+		}
+		out[u] = v
+	}
+	return out
+}
+
+// TestShardedEquivalence proves the sharded pipeline is lossless: for
+// several shard counts, merged counts and calibrated estimates are
+// bit-for-bit identical to a single-goroutine Aggregator fed the same
+// reports.
+func TestShardedEquivalence(t *testing.T) {
+	const n, m = 5000, 96
+	reports := randomReports(n, m, 1)
+
+	base := agg.New(m)
+	for _, v := range reports {
+		base.Add(v)
+	}
+	wantCounts := base.Counts()
+	pa := make([]float64, m)
+	pb := make([]float64, m)
+	for i := range pa {
+		pa[i], pb[i] = 0.75, 0.25
+	}
+	wantEst, err := base.Estimate(pa, pb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 4, 16} {
+		for _, batch := range []int{1, 7, 256, 10000} {
+			s, err := New(m, WithShards(shards), WithBatchSize(batch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Several producers, each with its own batcher, splitting the
+			// report stream arbitrarily.
+			const producers = 3
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					b := s.NewBatcher()
+					for u := p; u < n; u += producers {
+						var err error
+						if u%2 == 0 {
+							err = b.Add(reports[u])
+						} else {
+							err = b.AddWords(reports[u].Words(), reports[u].Len())
+						}
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					if err := b.Flush(); err != nil {
+						t.Error(err)
+					}
+				}(p)
+			}
+			wg.Wait()
+			counts, got := s.Snapshot()
+			if got != int64(n) {
+				t.Fatalf("shards=%d batch=%d: snapshot n = %d, want %d", shards, batch, got, n)
+			}
+			for i := range counts {
+				if counts[i] != wantCounts[i] {
+					t.Fatalf("shards=%d batch=%d: counts[%d] = %d, want %d", shards, batch, i, counts[i], wantCounts[i])
+				}
+			}
+			est, err := estimate.Calibrate(counts, int(got), pa, pb, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range est {
+				if est[i] != wantEst[i] {
+					t.Fatalf("shards=%d batch=%d: estimate[%d] = %v, want bit-identical %v", shards, batch, i, est[i], wantEst[i])
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestDrainEquivalence checks the terminal read path agrees with the
+// single-goroutine baseline too.
+func TestDrainEquivalence(t *testing.T) {
+	const n, m = 2000, 40
+	reports := randomReports(n, m, 2)
+	base := agg.New(m)
+	for _, v := range reports {
+		base.Add(v)
+	}
+	s, err := New(m, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.NewBatcher()
+	for _, v := range reports {
+		if err := b.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	counts, gotN, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN != base.N() {
+		t.Fatalf("drained n = %d, want %d", gotN, base.N())
+	}
+	want := base.Counts()
+	for i := range counts {
+		if counts[i] != want[i] {
+			t.Fatalf("counts[%d] = %d, want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+// TestConcurrentStress hammers the runtime with concurrent reporters,
+// direct adds, batch frames and mid-stream snapshots. Run under -race it
+// is the data-race proof for the lock-free design; the invariant checks
+// catch torn or lost updates.
+func TestConcurrentStress(t *testing.T) {
+	const m = 64
+	const reporters = 8
+	const perReporter = 2000
+	s, err := New(m, WithShards(4), WithBatchSize(32), WithQueueDepth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < reporters; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := rng.New(uint64(p))
+			b := s.NewBatcher()
+			for u := 0; u < perReporter; u++ {
+				v := bitvec.New(m)
+				for i := 0; i < m; i++ {
+					if r.Bernoulli(0.5) {
+						v.Set(i)
+					}
+				}
+				var err error
+				switch u % 3 {
+				case 0:
+					err = b.Add(v)
+				case 1:
+					err = s.Add(v)
+				default:
+					counts := make([]int64, m)
+					v.AccumulateInto(counts)
+					err = s.AddCounts(counts, 1)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := b.Flush(); err != nil {
+				t.Error(err)
+			}
+		}(p)
+	}
+	// Mid-stream snapshot reader: n must be monotone and counts bounded.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var lastN int64
+		for i := 0; i < 50; i++ {
+			counts, n := s.Snapshot()
+			if n < lastN {
+				t.Errorf("snapshot n went backwards: %d after %d", n, lastN)
+				return
+			}
+			lastN = n
+			for i, c := range counts {
+				if c < 0 || c > n {
+					t.Errorf("counts[%d] = %d outside [0,%d]", i, c, n)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	_, n := s.Snapshot()
+	if want := int64(reporters * perReporter); n != want {
+		t.Fatalf("final n = %d, want %d", n, want)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, got := s.Snapshot(); got != n {
+		t.Fatalf("post-Close snapshot n = %d, want %d", got, n)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) accepted")
+	}
+	s, err := New(8, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Bits() != 8 || s.Shards() != 2 || s.BatchSize() != DefaultBatchSize {
+		t.Fatalf("accessors: bits=%d shards=%d batch=%d", s.Bits(), s.Shards(), s.BatchSize())
+	}
+	if err := s.Add(bitvec.New(9)); err == nil {
+		t.Fatal("wrong-length report accepted")
+	}
+	if err := s.AddCounts(make([]int64, 9), 1); err == nil {
+		t.Fatal("wrong-length batch accepted")
+	}
+	if err := s.AddCounts(make([]int64, 8), -1); err == nil {
+		t.Fatal("negative user count accepted")
+	}
+	if err := s.AddCounts([]int64{5, 0, 0, 0, 0, 0, 0, 0}, 2); err == nil {
+		t.Fatal("count above n accepted")
+	}
+	if err := s.AddCounts(make([]int64, 8), 0); err != nil {
+		t.Fatalf("empty batch rejected: %v", err)
+	}
+	b := s.NewBatcher()
+	if err := b.Add(bitvec.New(3)); err == nil {
+		t.Fatal("batcher accepted wrong-length report")
+	}
+	if err := b.AddWords([]uint64{1}, 3); err == nil {
+		t.Fatal("batcher accepted wrong-length words")
+	}
+	if err := b.AddWords([]uint64{1 << 9}, 8); err == nil {
+		t.Fatal("batcher accepted padding bits")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.Add(bitvec.New(8)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Add after Close: %v", err)
+	}
+	// Reads keep working on a stopped server, serving the drained state.
+	counts, n := s.Snapshot()
+	if len(counts) != 8 || n != 0 {
+		t.Fatalf("Snapshot after Close: counts=%v n=%d", counts, n)
+	}
+}

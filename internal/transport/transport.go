@@ -8,6 +8,12 @@
 // frame carries either one report (the packed words of a bit vector) or a
 // pre-summed batch (per-bit counts plus a user count), which lets heavy
 // clients aggregate locally and ship O(m) bytes total.
+//
+// Ingestion runs on the sharded runtime of internal/server: each
+// connection handler owns a server.Batcher that folds single-report
+// frames into per-bit counts and ships them to a shard worker one frame
+// per batch, so the per-report path takes no lock and the server scales
+// with GOMAXPROCS. Tune it with server.Option values passed to Serve.
 package transport
 
 import (
@@ -21,6 +27,7 @@ import (
 
 	"idldp/internal/agg"
 	"idldp/internal/bitvec"
+	"idldp/internal/server"
 )
 
 // FrameKind discriminates the payload of a Frame.
@@ -42,10 +49,11 @@ type Frame struct {
 	N      int64    // FrameBatch: number of users summed
 }
 
-// Server accepts report streams and aggregates them.
+// Server accepts report streams and aggregates them on the sharded
+// ingestion runtime.
 type Server struct {
 	lis  net.Listener
-	sink *agg.Concurrent
+	sink *server.Server
 	bits int
 
 	mu     sync.Mutex
@@ -55,18 +63,21 @@ type Server struct {
 }
 
 // Serve starts an aggregation server for m-bit reports on addr (use
-// "127.0.0.1:0" for an ephemeral port).
-func Serve(addr string, bits int) (*Server, error) {
-	if bits <= 0 {
-		return nil, fmt.Errorf("transport: report length %d must be positive", bits)
+// "127.0.0.1:0" for an ephemeral port). Options tune the sharded
+// runtime, e.g. server.WithShards and server.WithBatchSize.
+func Serve(addr string, bits int, opts ...server.Option) (*Server, error) {
+	sink, err := server.New(bits, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
 	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
+		sink.Close()
 		return nil, fmt.Errorf("transport: %w", err)
 	}
 	s := &Server{
 		lis:   lis,
-		sink:  agg.NewConcurrent(bits),
+		sink:  sink,
 		bits:  bits,
 		conns: make(map[net.Conn]struct{}),
 	}
@@ -100,7 +111,9 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	batcher := s.sink.NewBatcher()
 	defer func() {
+		_ = batcher.Flush() // ship the partial batch of a finished stream
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -114,13 +127,11 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		switch f.Kind {
 		case FrameReport:
-			v, err := bitvec.FromWords(f.Words, f.Bits)
-			if err != nil || v.Len() != s.bits {
+			if batcher.AddWords(f.Words, f.Bits) != nil {
 				return
 			}
-			s.sink.Add(v)
 		case FrameBatch:
-			if s.sink.AddCounts(f.Counts, f.N) != nil {
+			if batcher.AddCounts(f.Counts, f.N) != nil {
 				return
 			}
 		default:
@@ -130,14 +141,24 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // Snapshot returns the current aggregated per-bit counts and user count.
-func (s *Server) Snapshot() (counts []int64, n int64) { return s.sink.Snapshot() }
+// In-flight frames not yet flushed by their connection handlers are not
+// included. After Close it returns the final drained state.
+func (s *Server) Snapshot() (counts []int64, n int64) {
+	return s.sink.Snapshot()
+}
 
 // Estimate calibrates the current state into frequency estimates.
 func (s *Server) Estimate(a, b []float64, scale float64) ([]float64, error) {
-	return s.sink.Estimate(a, b, scale)
+	counts, n := s.Snapshot()
+	tmp := agg.New(s.bits)
+	if err := tmp.AddCounts(counts, n); err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return tmp.Estimate(a, b, scale)
 }
 
-// Close stops accepting, closes live connections and waits for handlers.
+// Close stops accepting, closes live connections, waits for handlers to
+// flush, and drains the ingestion runtime.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -151,6 +172,9 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if derr := s.sink.Close(); derr != nil {
+		return derr
+	}
 	return err
 }
 

@@ -14,6 +14,7 @@ import (
 	"idldp/internal/budget"
 	"idldp/internal/core"
 	"idldp/internal/rng"
+	"idldp/internal/server"
 )
 
 func waitFor(t *testing.T, cond func() bool) {
@@ -92,7 +93,7 @@ func TestBatchRoundTrip(t *testing.T) {
 }
 
 func TestManyConcurrentClients(t *testing.T) {
-	s, err := Serve("127.0.0.1:0", 16)
+	s, err := Serve("127.0.0.1:0", 16, server.WithShards(4), server.WithBatchSize(8))
 	if err != nil {
 		t.Fatal(err)
 	}
