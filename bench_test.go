@@ -220,28 +220,76 @@ func benchEngine(b *testing.B, m, ell int) *core.Engine {
 	return e
 }
 
-// BenchmarkPerturbItem measures one IDUE report over a 1024-item domain.
+// reportsPerSec adds a reports/s metric so client-side throughput reads
+// directly off the benchmark output instead of inverting ns/op.
+func reportsPerSec(b *testing.B) {
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+// BenchmarkPerturbItem measures one IDUE report over a 1024-item domain:
+// the geometric-skip fast path into a reused buffer (the production
+// shape, 0 allocs/op), the allocating fast path, and the per-bit O(m)
+// reference loop the fast path must beat by ≥3x.
 func BenchmarkPerturbItem(b *testing.B) {
 	e := benchEngine(b, 1024, 0)
-	r := rng.New(2)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.PerturbItem(i%1024, r)
-	}
+	b.Run("fast", func(b *testing.B) {
+		r := rng.New(2)
+		buf := e.NewReport()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.PerturbItemInto(i%1024, r, buf)
+		}
+		reportsPerSec(b)
+	})
+	b.Run("fast-alloc", func(b *testing.B) {
+		r := rng.New(2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.PerturbItem(i%1024, r)
+		}
+		reportsPerSec(b)
+	})
+	b.Run("reference", func(b *testing.B) {
+		r := rng.New(2)
+		u := e.UE()
+		x := bitvec.New(1024)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x.Set(i % 1024)
+			u.PerturbReference(x, r)
+			x.Clear(i % 1024)
+		}
+		reportsPerSec(b)
+	})
 }
 
 // BenchmarkPerturbSet measures one IDUE-PS report over a 1024-item domain
 // with padding length 8.
 func BenchmarkPerturbSet(b *testing.B) {
 	e := benchEngine(b, 1024, 8)
-	r := rng.New(2)
 	set := []int{1, 5, 99, 500, 1023}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.PerturbSet(set, r)
-	}
+	b.Run("fast", func(b *testing.B) {
+		r := rng.New(2)
+		buf := e.NewSetReport()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.PerturbSetInto(set, r, buf)
+		}
+		reportsPerSec(b)
+	})
+	b.Run("fast-alloc", func(b *testing.B) {
+		r := rng.New(2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.PerturbSet(set, r)
+		}
+		reportsPerSec(b)
+	})
 }
 
 // BenchmarkSolveOpt1 measures the convex RAPPOR-structured solve at t=4.

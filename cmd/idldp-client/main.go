@@ -53,17 +53,26 @@ func run(addr string, n int, seed uint64, batch bool) error {
 	// Simulated truth: HIV rare, common ailments frequent.
 	pop := dist.NewSampler(dist.PMF{0.02, 0.38, 0.30, 0.18, 0.12})
 	r := rng.New(seed)
+	// One report buffer and one per-user stream, reused across all n
+	// simulated users: both the local aggregator and the gob encoder
+	// consume the report before the next iteration overwrites it.
+	buf := engine.NewReport()
+	ur := rng.New(0)
 	if batch {
 		local := agg.New(engine.M())
 		for u := 0; u < n; u++ {
-			local.Add(engine.PerturbItem(pop.Draw(r), r.SplitN(u)))
+			r.SplitNInto(u, ur)
+			engine.PerturbItemInto(pop.Draw(r), ur, buf)
+			local.Add(buf)
 		}
 		if err := client.SendBatch(local); err != nil {
 			return err
 		}
 	} else {
 		for u := 0; u < n; u++ {
-			if err := client.SendReport(engine.PerturbItem(pop.Draw(r), r.SplitN(u))); err != nil {
+			r.SplitNInto(u, ur)
+			engine.PerturbItemInto(pop.Draw(r), ur, buf)
+			if err := client.SendReport(buf); err != nil {
 				return err
 			}
 		}

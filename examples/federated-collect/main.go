@@ -59,10 +59,14 @@ func main() {
 			r := rng.New(uint64(100 + p))
 			local := agg.New(engine.M())
 			localTruth := make([]float64, engine.M())
+			buf := engine.NewReport()
+			ur := rng.New(0)
 			for u := 0; u < usersPer; u++ {
 				item := pop.Draw(r)
 				localTruth[item]++
-				local.Add(engine.PerturbItem(item, r.SplitN(u)))
+				r.SplitNInto(u, ur)
+				engine.PerturbItemInto(item, ur, buf)
+				local.Add(buf)
 			}
 			if err := client.SendBatch(local); err != nil {
 				log.Println("send:", err)

@@ -156,12 +156,6 @@ func TestTwoRoundCompositionImprovesEstimates(t *testing.T) {
 		}
 		return est, vars
 	}
-	est1, v1 := runRound(e1, 11)
-	est2, v2 := runRound(e2, 22)
-	combined, err := multidim.CombineRounds([][]float64{est1, est2}, [][]float64{v1, v2})
-	if err != nil {
-		t.Fatal(err)
-	}
 	se := func(est []float64) float64 {
 		s, err := estimate.TotalSquaredError(est, truth)
 		if err != nil {
@@ -169,8 +163,24 @@ func TestTwoRoundCompositionImprovesEstimates(t *testing.T) {
 		}
 		return s
 	}
-	if se(combined) >= se(est1) || se(combined) >= se(est2) {
-		t.Errorf("combined SE %v not below rounds (%v, %v)", se(combined), se(est1), se(est2))
+	// One collection is a noisy draw: inverse-variance combination wins in
+	// expectation, not in every realization. Average a few repetitions so
+	// the assertion tests the expectation, not one sample path.
+	const reps = 5
+	var seCombined, se1, se2 float64
+	for rep := uint64(0); rep < reps; rep++ {
+		est1, v1 := runRound(e1, 11+rep*100)
+		est2, v2 := runRound(e2, 22+rep*100)
+		combined, err := multidim.CombineRounds([][]float64{est1, est2}, [][]float64{v1, v2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seCombined += se(combined)
+		se1 += se(est1)
+		se2 += se(est2)
+	}
+	if seCombined >= se1 || seCombined >= se2 {
+		t.Errorf("mean combined SE %v not below rounds (%v, %v)", seCombined/reps, se1/reps, se2/reps)
 	}
 }
 

@@ -81,6 +81,25 @@ func (v *Vector) check(i int) {
 	}
 }
 
+// Zero clears every bit word-by-word, turning v back into the all-zero
+// vector without allocating. It is the reset step of the buffer-reuse
+// (*Into) perturbation paths, which write each report into a
+// caller-provided vector instead of a fresh one.
+func (v *Vector) Zero() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites v with the bits of o word-by-word. The lengths must
+// match; it panics otherwise.
+func (v *Vector) CopyFrom(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: CopyFrom length mismatch: %d vs %d", v.n, o.n))
+	}
+	copy(v.words, o.words)
+}
+
 // Count returns the number of set bits.
 func (v *Vector) Count() int {
 	c := 0

@@ -252,3 +252,44 @@ func BenchmarkAccumulateInto(b *testing.B) {
 		v.AccumulateInto(counts)
 	}
 }
+
+func TestZero(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		v.Set(i)
+	}
+	v.Zero()
+	if v.Count() != 0 {
+		t.Fatalf("Zero left %d bits set", v.Count())
+	}
+	if v.Len() != 130 {
+		t.Fatalf("Zero changed length to %d", v.Len())
+	}
+	v.Set(129) // still usable after reset
+	if !v.Get(129) {
+		t.Fatal("Set after Zero lost")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := New(70)
+	for _, i := range []int{1, 63, 64, 69} {
+		src.Set(i)
+	}
+	dst := New(70)
+	dst.Set(10) // stale content must be overwritten
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatalf("CopyFrom: got %v want %v", dst, src)
+	}
+	src.Clear(1) // deep copy: later source edits must not show through
+	if !dst.Get(1) {
+		t.Fatal("CopyFrom aliases source words")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom length mismatch did not panic")
+		}
+	}()
+	dst.CopyFrom(New(71))
+}

@@ -7,6 +7,12 @@
 // Results are deterministic for a fixed seed regardless of the worker or
 // shard count, because each user draws from a stream derived from her
 // index and per-bit counts are order-independent integer sums.
+//
+// The *Into entry points run the steady-state loop allocation-free: each
+// worker reuses one report buffer (overwritten per user via the
+// mechanism's *Into perturbation) and one reseedable child rng.Source, so
+// per-user cost is the mechanism's O(t + m·b̄) sparse-flip draws plus a
+// word-level fold into the batcher's counts.
 package collect
 
 import (
@@ -20,11 +26,23 @@ import (
 	"idldp/internal/server"
 )
 
-// PerturbItemFunc perturbs one user's single-item input.
+// PerturbItemFunc perturbs one user's single-item input, allocating the
+// report.
 type PerturbItemFunc func(item int, r *rng.Source) *bitvec.Vector
 
-// PerturbSetFunc perturbs one user's item-set input.
+// PerturbSetFunc perturbs one user's item-set input, allocating the
+// report.
 type PerturbSetFunc func(set []int, r *rng.Source) *bitvec.Vector
+
+// PerturbItemIntoFunc perturbs one user's single-item input into out,
+// overwriting its contents — the allocation-free counterpart of
+// PerturbItemFunc (e.g. mech.UE.PerturbItemInto or
+// core.Engine.PerturbItemInto).
+type PerturbItemIntoFunc func(item int, r *rng.Source, out *bitvec.Vector)
+
+// PerturbSetIntoFunc perturbs one user's item-set input into out,
+// overwriting its contents.
+type PerturbSetIntoFunc func(set []int, r *rng.Source, out *bitvec.Vector)
 
 // Options tunes a collection run.
 type Options struct {
@@ -43,28 +61,60 @@ func (o Options) workers() int {
 }
 
 // RunSingle perturbs and aggregates all single-item users. bits is the
-// report length (the mechanism's bit count).
+// report length (the mechanism's bit count). The perturb callback
+// allocates each report; prefer RunSingleInto for the steady-state
+// allocation-free path.
 func RunSingle(items []int, bits int, perturb PerturbItemFunc, o Options) (*agg.Aggregator, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("collect: report length %d must be positive", bits)
 	}
-	return runUsers(len(items), bits, o, func(u int, r *rng.Source) *bitvec.Vector {
+	return runUsers(len(items), bits, o, func(u int, r *rng.Source, _ *bitvec.Vector) *bitvec.Vector {
 		return perturb(items[u], r)
 	})
 }
 
+// RunSingleInto is RunSingle with a buffer-reusing perturbation: each
+// worker owns one report buffer that perturb overwrites per user, so the
+// per-user loop performs no allocations. For the same seed and callback
+// semantics it aggregates exactly the counts RunSingle would.
+func RunSingleInto(items []int, bits int, perturb PerturbItemIntoFunc, o Options) (*agg.Aggregator, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("collect: report length %d must be positive", bits)
+	}
+	return runUsers(len(items), bits, o, func(u int, r *rng.Source, buf *bitvec.Vector) *bitvec.Vector {
+		perturb(items[u], r, buf)
+		return buf
+	})
+}
+
 // RunSets perturbs and aggregates all item-set users. bits is the report
-// length m+ℓ.
+// length m+ℓ. Prefer RunSetsInto for the allocation-free path.
 func RunSets(sets [][]int, bits int, perturb PerturbSetFunc, o Options) (*agg.Aggregator, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("collect: report length %d must be positive", bits)
 	}
-	return runUsers(len(sets), bits, o, func(u int, r *rng.Source) *bitvec.Vector {
+	return runUsers(len(sets), bits, o, func(u int, r *rng.Source, _ *bitvec.Vector) *bitvec.Vector {
 		return perturb(sets[u], r)
 	})
 }
 
-func runUsers(n, bits int, o Options, report func(u int, r *rng.Source) *bitvec.Vector) (*agg.Aggregator, error) {
+// RunSetsInto is RunSets with a buffer-reusing perturbation (see
+// RunSingleInto).
+func RunSetsInto(sets [][]int, bits int, perturb PerturbSetIntoFunc, o Options) (*agg.Aggregator, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("collect: report length %d must be positive", bits)
+	}
+	return runUsers(len(sets), bits, o, func(u int, r *rng.Source, buf *bitvec.Vector) *bitvec.Vector {
+		perturb(sets[u], r, buf)
+		return buf
+	})
+}
+
+// runUsers drives the worker pool. report receives a per-worker scratch
+// buffer it may (but need not) use as the returned vector; the returned
+// vector is only read before the next call, so reuse is safe — Batcher.Add
+// folds it into per-bit counts immediately and retains nothing.
+func runUsers(n, bits int, o Options, report func(u int, r *rng.Source, buf *bitvec.Vector) *bitvec.Vector) (*agg.Aggregator, error) {
 	workers := o.workers()
 	if workers > n && n > 0 {
 		workers = n
@@ -91,11 +141,16 @@ func runUsers(n, bits int, o Options, report func(u int, r *rng.Source) *bitvec.
 				}
 			}()
 			b := sink.NewBatcher()
+			buf := bitvec.New(bits)
+			ur := rng.New(0)
 			// Static block partition keeps per-user streams stable.
 			lo := w * n / workers
 			hi := (w + 1) * n / workers
 			for u := lo; u < hi; u++ {
-				if err := b.Add(report(u, root.SplitN(u))); err != nil {
+				// Reseed one child source per user instead of allocating
+				// one: the stream is identical to root.SplitN(u).
+				root.SplitNInto(u, ur)
+				if err := b.Add(report(u, ur, buf)); err != nil {
 					errs[w] = err
 					return
 				}

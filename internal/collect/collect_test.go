@@ -131,3 +131,63 @@ func TestWorkerPanicSurfacesAsError(t *testing.T) {
 		t.Fatal("worker panic not surfaced")
 	}
 }
+
+// TestRunSingleIntoMatchesRunSingle pins that the allocation-free path
+// aggregates bit-for-bit the same counts as the allocating path: both
+// feed each user the same derived stream and the same mechanism.
+func TestRunSingleIntoMatchesRunSingle(t *testing.T) {
+	e, err := core.New(core.Config{Budgets: budget.ToyExample()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]int, 3000)
+	for i := range items {
+		items[i] = i % 5
+	}
+	o := Options{Workers: 4, Seed: 21}
+	alloc, err := RunSingle(items, e.M(), e.PerturbItem, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	into, err := RunSingleInto(items, e.M(), e.PerturbItemInto, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.N() != into.N() {
+		t.Fatalf("N: %d vs %d", alloc.N(), into.N())
+	}
+	ca, ci := alloc.Counts(), into.Counts()
+	for i := range ca {
+		if ca[i] != ci[i] {
+			t.Fatalf("bit %d: RunSingle %d != RunSingleInto %d", i, ca[i], ci[i])
+		}
+	}
+}
+
+// TestRunSetsIntoMatchesRunSets is the item-set counterpart.
+func TestRunSetsIntoMatchesRunSets(t *testing.T) {
+	e, err := core.New(core.Config{Budgets: budget.ToyExample(), PaddingLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := make([][]int, 2000)
+	for i := range sets {
+		sets[i] = []int{i % 5, (i + 2) % 5}
+	}
+	bits := e.M() + e.PaddingLength()
+	o := Options{Workers: 3, Seed: 33}
+	alloc, err := RunSets(sets, bits, e.PerturbSet, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	into, err := RunSetsInto(sets, bits, e.PerturbSetInto, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, ci := alloc.Counts(), into.Counts()
+	for i := range ca {
+		if ca[i] != ci[i] {
+			t.Fatalf("bit %d: RunSets %d != RunSetsInto %d", i, ca[i], ci[i])
+		}
+	}
+}

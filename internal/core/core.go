@@ -129,18 +129,52 @@ func (e *Engine) UE() *mech.UE { return e.ue }
 // SetMech returns the IDUE-PS mechanism, or nil in single-item mode.
 func (e *Engine) SetMech() *ps.SetMech { return e.setMech }
 
-// PerturbItem runs Algorithm 1 on a single-item input.
+// PerturbItem runs Algorithm 1 on a single-item input. It allocates the
+// report; PerturbItemInto with a NewReport buffer is the allocation-free
+// variant for report-generation loops.
 func (e *Engine) PerturbItem(item int, r *rng.Source) *bitvec.Vector {
 	return e.ue.PerturbItem(item, r)
 }
 
+// PerturbItemInto runs Algorithm 1 writing the report into out, which
+// must have M() bits (see NewReport).
+func (e *Engine) PerturbItemInto(item int, r *rng.Source, out *bitvec.Vector) {
+	e.ue.PerturbItemInto(item, r, out)
+}
+
 // PerturbSet runs Algorithm 3 on an item-set input. It panics if the
-// engine was built without a padding length.
+// engine was built without a padding length. It allocates the report;
+// PerturbSetInto with a NewSetReport buffer is the allocation-free
+// variant.
 func (e *Engine) PerturbSet(set []int, r *rng.Source) *bitvec.Vector {
 	if e.setMech == nil {
 		panic("core: engine not configured for item-set input (PaddingLength == 0)")
 	}
 	return e.setMech.Perturb(set, r)
+}
+
+// PerturbSetInto runs Algorithm 3 writing the report into out, which must
+// have M()+PaddingLength() bits (see NewSetReport). It panics if the
+// engine was built without a padding length.
+func (e *Engine) PerturbSetInto(set []int, r *rng.Source, out *bitvec.Vector) {
+	if e.setMech == nil {
+		panic("core: engine not configured for item-set input (PaddingLength == 0)")
+	}
+	e.setMech.PerturbInto(set, r, out)
+}
+
+// NewReport returns an m-bit buffer sized for PerturbItemInto. A report
+// buffer may be reused across calls (each call overwrites it) but not
+// shared across goroutines.
+func (e *Engine) NewReport() *bitvec.Vector { return bitvec.New(e.M()) }
+
+// NewSetReport returns an (m+ℓ)-bit buffer sized for PerturbSetInto. It
+// panics in single-item mode.
+func (e *Engine) NewSetReport() *bitvec.Vector {
+	if e.setMech == nil {
+		panic("core: engine not configured for item-set input (PaddingLength == 0)")
+	}
+	return bitvec.New(e.setMech.Bits())
 }
 
 // NewAggregator returns a server-side aggregator for single-item reports.

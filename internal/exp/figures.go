@@ -22,7 +22,7 @@ func runSingleUE(items []int, truth []float64, u *mech.UE, seed uint64, reps int
 	}
 	var total float64
 	for rep := 0; rep < reps; rep++ {
-		a, err := collect.RunSingle(items, u.Bits(), u.PerturbItem, collect.Options{Seed: seed + uint64(rep)})
+		a, err := collect.RunSingleInto(items, u.Bits(), u.PerturbItemInto, collect.Options{Seed: seed + uint64(rep)})
 		if err != nil {
 			return 0, err
 		}
@@ -47,7 +47,7 @@ func runSet(sets [][]int, truth []float64, sm *ps.SetMech, top []int, seed uint6
 		reps = 1
 	}
 	for rep := 0; rep < reps; rep++ {
-		a, err := collect.RunSets(sets, sm.Bits(), sm.Perturb, collect.Options{Seed: seed + uint64(rep)})
+		a, err := collect.RunSetsInto(sets, sm.Bits(), sm.PerturbInto, collect.Options{Seed: seed + uint64(rep)})
 		if err != nil {
 			return 0, 0, err
 		}

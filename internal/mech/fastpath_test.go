@@ -1,0 +1,238 @@
+package mech
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"idldp/internal/bitvec"
+	"idldp/internal/budget"
+	"idldp/internal/opt"
+	"idldp/internal/rng"
+)
+
+// mixedIDUE builds an IDUE over a four-level mixed-budget domain: the
+// shape the sparse-flip fast path exists for (each level one flip run).
+func mixedIDUE(t testing.TB, m int) *UE {
+	t.Helper()
+	asgn, err := budget.Assign(m, budget.Default(1.5), rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-picked per-level parameters with well-separated (a, b) so a
+	// run mix-up would show up immediately in the marginals.
+	p := opt.LevelParams{
+		A: []float64{0.85, 0.75, 0.65, 0.55},
+		B: []float64{0.30, 0.20, 0.10, 0.04},
+	}
+	u, err := NewIDUE(p, asgn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// marginals draws n reports via report (which must write into the given
+// buffer) and returns per-bit set counts.
+func marginals(m, n int, report func(y *bitvec.Vector)) []int64 {
+	counts := make([]int64, m)
+	y := bitvec.New(m)
+	for i := 0; i < n; i++ {
+		report(y)
+		y.AccumulateInto(counts)
+	}
+	return counts
+}
+
+// checkBitFrequencies z-tests each bit's empirical rate against its exact
+// probability and chi-square-tests the whole per-bit vector: the sum of
+// squared z-scores is ~χ²(m), so it must land within a generous band
+// around m. Together they catch both a single wrong bit and a systematic
+// small bias across all bits.
+func checkBitFrequencies(t *testing.T, name string, counts []int64, n int, prob func(k int) float64) {
+	t.Helper()
+	var chi2 float64
+	for k, c := range counts {
+		p := prob(k)
+		f := float64(c) / float64(n)
+		se := math.Sqrt(p * (1 - p) / float64(n))
+		if math.Abs(f-p) > 5.5*se {
+			t.Errorf("%s: bit %d rate %v want %v ± %v", name, k, f, p, 5.5*se)
+		}
+		z := (f - p) / se
+		chi2 += z * z
+	}
+	m := float64(len(counts))
+	if band := 6 * math.Sqrt(2*m); math.Abs(chi2-m) > band {
+		t.Errorf("%s: chi-square %v outside %v ± %v", name, chi2, m, band)
+	}
+}
+
+// TestFastPathMatchesReferenceDistribution is the headline equivalence
+// test: over a mixed four-level budget, both the sparse-flip fast path
+// and the per-bit reference loop must reproduce the exact per-bit output
+// law of Algorithm 1 for a one-hot input.
+func TestFastPathMatchesReferenceDistribution(t *testing.T) {
+	const m, n, item = 96, 120000, 7
+	u := mixedIDUE(t, m)
+	prob := func(k int) float64 {
+		if k == item {
+			return u.A[k]
+		}
+		return u.B[k]
+	}
+	rFast := rng.New(31)
+	fast := marginals(m, n, func(y *bitvec.Vector) { u.PerturbItemInto(item, rFast, y) })
+	rRef := rng.New(62)
+	x := bitvec.OneHot(m, item)
+	ref := marginals(m, n, func(y *bitvec.Vector) { u.perturbReferenceInto(x, rRef, y) })
+	checkBitFrequencies(t, "fast", fast, n, prob)
+	checkBitFrequencies(t, "reference", ref, n, prob)
+}
+
+// TestFastPathMultiBitInput exercises PerturbInto with several set bits
+// spread across levels (the general, non-one-hot encoder input).
+func TestFastPathMultiBitInput(t *testing.T) {
+	const m, n = 96, 120000
+	u := mixedIDUE(t, m)
+	set := map[int]bool{0: true, 17: true, 50: true, 95: true}
+	x := bitvec.New(m)
+	for k := range set {
+		x.Set(k)
+	}
+	prob := func(k int) float64 {
+		if set[k] {
+			return u.A[k]
+		}
+		return u.B[k]
+	}
+	r := rng.New(77)
+	fast := marginals(m, n, func(y *bitvec.Vector) { u.PerturbInto(x, r, y) })
+	checkBitFrequencies(t, "fast multi-bit", fast, n, prob)
+}
+
+// TestFastPathUniformMechanisms covers the single-run shapes (RAPPOR and
+// OUE), where the whole domain is one geometric-skip run.
+func TestFastPathUniformMechanisms(t *testing.T) {
+	const m, n, item = 64, 100000, 3
+	for name, mk := range map[string]func() (*UE, error){
+		"RAPPOR": func() (*UE, error) { return NewRAPPOR(2, m) },
+		"OUE":    func() (*UE, error) { return NewOUE(2, m) },
+	} {
+		u, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prob := func(k int) float64 {
+			if k == item {
+				return u.A[k]
+			}
+			return u.B[k]
+		}
+		r := rng.New(13)
+		fast := marginals(m, n, func(y *bitvec.Vector) { u.PerturbItemInto(item, r, y) })
+		checkBitFrequencies(t, name, fast, n, prob)
+	}
+}
+
+// TestPerturbVariantsShareStreams pins the determinism contract: for one
+// seed, PerturbItem, PerturbItemInto and PerturbInto(OneHot) consume the
+// stream identically and emit the same report.
+func TestPerturbVariantsShareStreams(t *testing.T) {
+	u := mixedIDUE(t, 80)
+	y1 := u.PerturbItem(9, rng.New(5))
+	y2 := bitvec.New(80)
+	u.PerturbItemInto(9, rng.New(5), y2)
+	y3 := bitvec.New(80)
+	u.PerturbInto(bitvec.OneHot(80, 9), rng.New(5), y3)
+	if !y1.Equal(y2) || !y1.Equal(y3) {
+		t.Fatal("Perturb variants diverged for the same seed")
+	}
+	y4 := u.Perturb(bitvec.OneHot(80, 9), rng.New(5))
+	if !y1.Equal(y4) {
+		t.Fatal("Perturb(OneHot) diverged from PerturbItem")
+	}
+}
+
+// TestHandAssembledUEFallsBack checks that a UE built without a
+// constructor (no sampling plan) still perturbs correctly via the
+// reference path.
+func TestHandAssembledUEFallsBack(t *testing.T) {
+	u := &UE{A: []float64{0.8, 0.8, 0.8}, B: []float64{0.2, 0.2, 0.2}}
+	y := bitvec.New(3)
+	const n = 60000
+	var c0 int
+	r := rng.New(3)
+	for i := 0; i < n; i++ {
+		u.PerturbItemInto(0, r, y)
+		if y.Get(0) {
+			c0++
+		}
+	}
+	f := float64(c0) / n
+	if math.Abs(f-0.8) > 5*math.Sqrt(0.8*0.2/n) {
+		t.Fatalf("fallback set-bit rate %v want 0.8", f)
+	}
+}
+
+// TestFastPathConcurrentSharedMechanism shares one UE across goroutines
+// that each own a buffer and source — the collect/server deployment
+// shape. Run under -race this pins the plan's read-only contract.
+func TestFastPathConcurrentSharedMechanism(t *testing.T) {
+	const m, workers, perWorker = 128, 8, 2000
+	u := mixedIDUE(t, m)
+	totals := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w) + 1)
+			y := bitvec.New(m)
+			counts := make([]int64, m)
+			for i := 0; i < perWorker; i++ {
+				u.PerturbItemInto(i%m, r, y)
+				y.AccumulateInto(counts)
+			}
+			totals[w] = counts
+		}(w)
+	}
+	wg.Wait()
+	// Per-worker streams are independent and deterministic: worker w must
+	// reproduce its counts exactly in a serial re-run.
+	for w := 0; w < workers; w++ {
+		r := rng.New(uint64(w) + 1)
+		y := bitvec.New(m)
+		counts := make([]int64, m)
+		for i := 0; i < perWorker; i++ {
+			u.PerturbItemInto(i%m, r, y)
+			y.AccumulateInto(counts)
+		}
+		for k := range counts {
+			if counts[k] != totals[w][k] {
+				t.Fatalf("worker %d bit %d: concurrent %d != serial %d", w, k, totals[w][k], counts[k])
+			}
+		}
+	}
+}
+
+// TestPerturbIntoBufferChecks pins the panic contract for wrong-size
+// buffers and out-of-range items.
+func TestPerturbIntoBufferChecks(t *testing.T) {
+	u := mixedIDUE(t, 16)
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("short buffer", func() { u.PerturbItemInto(0, rng.New(1), bitvec.New(15)) })
+	expectPanic("item out of range", func() { u.PerturbItemInto(16, rng.New(1), bitvec.New(16)) })
+	expectPanic("input length", func() { u.PerturbInto(bitvec.New(15), rng.New(1), bitvec.New(16)) })
+	expectPanic("aliased input/output", func() {
+		v := bitvec.New(16)
+		u.PerturbInto(v, rng.New(1), v)
+	})
+}

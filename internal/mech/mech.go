@@ -6,11 +6,36 @@
 // Bernoulli keep/flip probabilities — which is exactly what makes IDUE
 // input-discriminative: bits of different privacy levels get different
 // parameters.
+//
+// # Cost model
+//
+// A naive UE perturbation draws one Bernoulli per bit: O(m) per report,
+// which for Table-I/II domain sizes (m in the thousands) makes the
+// simulated clients — not aggregation — the bottleneck of every
+// end-to-end figure. The constructors therefore group bits into runs that
+// share one (a, b) pair (privacy levels under IDUE, the whole domain for
+// RAPPOR/OUE) and Perturb* samples the sparse 0→1 flips of each run by
+// geometric skip sampling: the gap between consecutive flips among bits
+// with flip probability b is Geometric(b), so a report costs
+//
+//	O(t + m·b̄ + |x|)
+//
+// expected Bernoulli/geometric draws — t runs, m·b̄ expected flips at the
+// mean zero-bit flip rate b̄ = Σ_l m_l·b_l / m, and one draw per set
+// input bit — instead of m. The *Into variants additionally write into a
+// caller-provided buffer, so steady-state report generation does not
+// allocate at all.
+//
+// PerturbReference keeps the literal per-bit loop of Algorithm 1. It is
+// the executable specification: statistical-equivalence tests compare the
+// fast path's output distribution against it, and a UE value assembled by
+// hand (rather than through a constructor) falls back to it.
 package mech
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"idldp/internal/bitvec"
 	"idldp/internal/budget"
@@ -27,6 +52,20 @@ import (
 // Uniform A and B give RAPPOR/OUE; per-level values give IDUE.
 type UE struct {
 	A, B []float64
+
+	// runs is the sparse-flip sampling plan grouping bits by (a, b) pair.
+	// Built by the constructors; nil (hand-assembled UE) selects the
+	// per-bit reference path. Read-only after construction, so a UE is
+	// safe to share across perturbation goroutines.
+	runs []flipRun
+}
+
+// flipRun is one group of bits sharing a zero-bit flip probability b —
+// a privacy level under IDUE, the whole domain for RAPPOR/OUE.
+type flipRun struct {
+	b     float64
+	ln1mb float64 // log1p(-b), precomputed for GeometricSkipLn
+	pos   []int32 // bit positions of the run, ascending
 }
 
 // NewUE builds a UE mechanism from explicit per-bit probabilities. It
@@ -41,7 +80,27 @@ func NewUE(a, b []float64) (*UE, error) {
 			return nil, fmt.Errorf("mech: bit %d has invalid probabilities a=%v b=%v", k, a[k], b[k])
 		}
 	}
-	return &UE{A: append([]float64(nil), a...), B: append([]float64(nil), b...)}, nil
+	u := &UE{A: append([]float64(nil), a...), B: append([]float64(nil), b...)}
+	u.buildRuns()
+	return u, nil
+}
+
+// buildRuns groups bits by zero-bit flip probability b (set-bit draws use
+// the per-bit A array directly, so only b determines a bit's run),
+// preserving first-appearance order so the fast path's draw sequence is
+// deterministic. Budgets assign each bit one of t levels, so the map
+// stays tiny even for random assignments over large domains.
+func (u *UE) buildRuns() {
+	index := make(map[float64]int, 8)
+	for k, b := range u.B {
+		ri, ok := index[b]
+		if !ok {
+			ri = len(u.runs)
+			index[b] = ri
+			u.runs = append(u.runs, flipRun{b: b, ln1mb: math.Log1p(-b)})
+		}
+		u.runs[ri].pos = append(u.runs[ri].pos, int32(k))
+	}
 }
 
 // NewRAPPOR returns the basic (one-time) RAPPOR mechanism over m bits at
@@ -59,7 +118,7 @@ func NewRAPPOR(eps float64, m int) (*UE, error) {
 	for k := range a {
 		a[k], b[k] = p, 1-p
 	}
-	return &UE{A: a, B: b}, nil
+	return NewUE(a, b)
 }
 
 // NewOUE returns the Optimized Unary Encoding mechanism over m bits at
@@ -77,7 +136,7 @@ func NewOUE(eps float64, m int) (*UE, error) {
 	for k := range a {
 		a[k], b[k] = 0.5, q
 	}
-	return &UE{A: a, B: b}, nil
+	return NewUE(a, b)
 }
 
 // NewIDUE expands solved per-level parameters into a per-bit IDUE
@@ -101,28 +160,133 @@ func NewIDUE(p opt.LevelParams, asgn *budget.Assignment) (*UE, error) {
 func (u *UE) Bits() int { return len(u.A) }
 
 // Perturb applies Algorithm 1 to an encoded input vector, drawing each
-// output bit independently. The input must have exactly Bits() bits.
+// output bit independently. The input must have exactly Bits() bits. It
+// allocates the output; PerturbInto is the buffer-reuse variant.
 func (u *UE) Perturb(x *bitvec.Vector, r *rng.Source) *bitvec.Vector {
+	y := bitvec.New(len(u.A))
+	u.PerturbInto(x, r, y)
+	return y
+}
+
+// PerturbInto writes a perturbation of x into out without allocating.
+// x and out must both have exactly Bits() bits; out's prior contents are
+// discarded. The output distribution is that of Algorithm 1 — bit k of
+// out is 1 with probability A[k] if x[k] is set and B[k] otherwise,
+// independently — realized in O(t + m·b̄ + |x|) expected draws via
+// geometric skip sampling (see the package cost-model doc) rather than
+// one Bernoulli per bit. The draw sequence differs from
+// PerturbReference's, so for a fixed Source seed the two paths emit
+// different (identically distributed) reports.
+func (u *UE) PerturbInto(x *bitvec.Vector, r *rng.Source, out *bitvec.Vector) {
+	if x.Len() != len(u.A) {
+		panic(fmt.Sprintf("mech: input has %d bits, mechanism has %d", x.Len(), len(u.A)))
+	}
+	if x == out {
+		// out is zeroed before x is read, so aliasing would silently
+		// perturb an all-zero input instead of x.
+		panic("mech: PerturbInto input and output must be distinct vectors")
+	}
+	if u.runs == nil {
+		u.perturbReferenceInto(x, r, out)
+		return
+	}
+	u.checkOut(out)
+	out.Zero()
+	// Pass 1: sparse 0→1 flips. Within a run every bit shares b, so the
+	// gaps between flip positions are Geometric(b): jump, flip, repeat.
+	// The skip stream ranges over all of the run's bits including the set
+	// ones; hits on set input bits are discarded (their output is drawn in
+	// pass 2 at probability A[k] instead), which leaves the zero bits'
+	// marginals untouched and independent.
+	for ri := range u.runs {
+		run := &u.runs[ri]
+		for i := r.GeometricSkipLn(run.ln1mb); i < len(run.pos); i += 1 + r.GeometricSkipLn(run.ln1mb) {
+			if k := int(run.pos[i]); !x.Get(k) {
+				out.Set(k)
+			}
+		}
+	}
+	// Pass 2: set bits, in ascending order, at their keep probability.
+	for wi, w := range x.Words() {
+		base := wi * 64
+		for w != 0 {
+			k := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if r.Bernoulli(u.A[k]) {
+				out.Set(k)
+			}
+		}
+	}
+}
+
+// PerturbItem encodes single-item input i as the one-hot vector v_i
+// (Eq. 6) and perturbs it. It allocates the output; PerturbItemInto is
+// the buffer-reuse variant.
+func (u *UE) PerturbItem(i int, r *rng.Source) *bitvec.Vector {
+	y := bitvec.New(len(u.A))
+	u.PerturbItemInto(i, r, y)
+	return y
+}
+
+// PerturbItemInto writes a perturbation of the one-hot encoding of item i
+// into out without allocating or materializing the input vector. For a
+// fixed Source seed it emits exactly the report PerturbInto(OneHot(m, i))
+// would. out must have exactly Bits() bits; its prior contents are
+// discarded.
+func (u *UE) PerturbItemInto(i int, r *rng.Source, out *bitvec.Vector) {
+	if i < 0 || i >= len(u.A) {
+		panic(fmt.Sprintf("mech: item %d out of range [0,%d)", i, len(u.A)))
+	}
+	if u.runs == nil {
+		u.perturbReferenceInto(bitvec.OneHot(len(u.A), i), r, out)
+		return
+	}
+	u.checkOut(out)
+	out.Zero()
+	for ri := range u.runs {
+		run := &u.runs[ri]
+		for j := r.GeometricSkipLn(run.ln1mb); j < len(run.pos); j += 1 + r.GeometricSkipLn(run.ln1mb) {
+			if k := int(run.pos[j]); k != i {
+				out.Set(k)
+			}
+		}
+	}
+	if r.Bernoulli(u.A[i]) {
+		out.Set(i)
+	}
+}
+
+// PerturbReference is the literal per-bit loop of Algorithm 1: one
+// Bernoulli per bit, O(m). It is kept as the executable specification the
+// fast path is tested against, and as the fallback for UE values
+// assembled without a constructor.
+func (u *UE) PerturbReference(x *bitvec.Vector, r *rng.Source) *bitvec.Vector {
 	if x.Len() != len(u.A) {
 		panic(fmt.Sprintf("mech: input has %d bits, mechanism has %d", x.Len(), len(u.A)))
 	}
 	y := bitvec.New(x.Len())
+	u.perturbReferenceInto(x, r, y)
+	return y
+}
+
+func (u *UE) perturbReferenceInto(x *bitvec.Vector, r *rng.Source, out *bitvec.Vector) {
+	u.checkOut(out)
+	out.Zero()
 	for k := 0; k < x.Len(); k++ {
 		p := u.B[k]
 		if x.Get(k) {
 			p = u.A[k]
 		}
 		if r.Bernoulli(p) {
-			y.Set(k)
+			out.Set(k)
 		}
 	}
-	return y
 }
 
-// PerturbItem encodes single-item input i as the one-hot vector v_i
-// (Eq. 6) and perturbs it.
-func (u *UE) PerturbItem(i int, r *rng.Source) *bitvec.Vector {
-	return u.Perturb(bitvec.OneHot(len(u.A), i), r)
+func (u *UE) checkOut(out *bitvec.Vector) {
+	if out.Len() != len(u.A) {
+		panic(fmt.Sprintf("mech: output buffer has %d bits, mechanism has %d", out.Len(), len(u.A)))
+	}
 }
 
 // FlipProbabilities reports, for bit k, the probability of flipping a set

@@ -47,7 +47,23 @@ func Sample(x []int, m, ell int, r *rng.Source) int {
 	}
 }
 
+// validateSet checks range and uniqueness. Small sets (the common case —
+// padding lengths are single digits) use a quadratic scan so the per-report
+// hot path never allocates; only unusually large sets pay for a map.
 func validateSet(x []int, m int) {
+	if len(x) <= 32 {
+		for j, i := range x {
+			if i < 0 || i >= m {
+				panic(fmt.Sprintf("ps: item %d out of range [0,%d)", i, m))
+			}
+			for _, prev := range x[:j] {
+				if prev == i {
+					panic(fmt.Sprintf("ps: duplicate item %d in set", i))
+				}
+			}
+		}
+		return
+	}
 	seen := make(map[int]bool, len(x))
 	for _, i := range x {
 		if i < 0 || i >= m {
@@ -106,10 +122,21 @@ func NewSetMech(u *mech.UE, m, ell int) (*SetMech, error) {
 }
 
 // Perturb runs Algorithm 3 on an item-set: sample one (possibly dummy)
-// item, encode it one-hot over m+ℓ bits, and perturb every bit.
+// item, encode it one-hot over m+ℓ bits, and perturb every bit. It
+// allocates the report; PerturbInto is the buffer-reuse variant.
 func (s *SetMech) Perturb(x []int, r *rng.Source) *bitvec.Vector {
+	y := bitvec.New(s.Bits())
+	s.PerturbInto(x, r, y)
+	return y
+}
+
+// PerturbInto runs Algorithm 3 writing the report into out without
+// allocating: sampling stays index-level (no padded set is materialized)
+// and the perturbation over m+ℓ bits uses the sparse-flip fast path. out
+// must have Bits() bits; its prior contents are discarded.
+func (s *SetMech) PerturbInto(x []int, r *rng.Source, out *bitvec.Vector) {
 	sampled := Sample(x, s.M, s.Ell, r)
-	return s.UE.PerturbItem(sampled, r)
+	s.UE.PerturbItemInto(sampled, r, out)
 }
 
 // Bits returns the report length m+ℓ.

@@ -3,6 +3,7 @@ package ps
 import (
 	"testing"
 
+	"idldp/internal/bitvec"
 	"idldp/internal/mech"
 	"idldp/internal/rng"
 )
@@ -25,13 +26,24 @@ func BenchmarkSetMechPerturb(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	r := rng.New(2)
 	set := []int{3, 17, 256, 900, 1023}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sm.Perturb(set, r)
-	}
+	b.Run("into", func(b *testing.B) {
+		r := rng.New(2)
+		y := bitvec.New(sm.Bits())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sm.PerturbInto(set, r, y)
+		}
+	})
+	b.Run("alloc", func(b *testing.B) {
+		r := rng.New(2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sm.Perturb(set, r)
+		}
+	})
 }
 
 func BenchmarkChooseEll(b *testing.B) {

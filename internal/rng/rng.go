@@ -1,11 +1,15 @@
 // Package rng provides the deterministic randomness substrate used by every
 // randomized component in this repository: Bernoulli trials for bit
-// perturbation, weighted categorical sampling for workload generation, and
+// perturbation, geometric skip sampling for the sparse-flip perturbation
+// fast path, weighted categorical sampling for workload generation, and
 // reservoir/partial-shuffle sampling for the Padding-and-Sampling protocol.
 //
 // All randomness flows through a Source so that experiments, tests and
 // benchmarks are reproducible from a single seed. Derived streams (Split)
-// let concurrent workers draw independent, stable sub-streams.
+// let concurrent workers draw independent, stable sub-streams; SplitNInto
+// and Reseed re-point an existing Source at a derived stream without
+// allocating, which is what keeps per-user report generation
+// allocation-free in the collection hot loops.
 package rng
 
 import (
@@ -19,7 +23,8 @@ import (
 // needs. A Source is not safe for concurrent use; use Split to hand each
 // goroutine its own stream.
 type Source struct {
-	r *rand.Rand
+	r   *rand.Rand
+	pcg *rand.PCG
 	// seeds retained so Split can derive independent streams.
 	s1, s2 uint64
 }
@@ -31,7 +36,17 @@ func New(seed uint64) *Source {
 	// nearby seeds (0, 1, 2, ...) yield unrelated streams.
 	s1 := splitmix64(seed)
 	s2 := splitmix64(s1)
-	return &Source{r: rand.New(rand.NewPCG(s1, s2)), s1: s1, s2: s2}
+	pcg := rand.NewPCG(s1, s2)
+	return &Source{r: rand.New(pcg), pcg: pcg, s1: s1, s2: s2}
+}
+
+// Reseed resets s in place to the stream New(seed) would produce,
+// reusing the existing generator state instead of allocating a new one.
+func (s *Source) Reseed(seed uint64) {
+	s1 := splitmix64(seed)
+	s2 := splitmix64(s1)
+	s.pcg.Seed(s1, s2)
+	s.s1, s.s2 = s1, s2
 }
 
 // Split derives an independent Source identified by label. Splitting the
@@ -48,6 +63,15 @@ func (s *Source) Split(label string) *Source {
 // user or worker goroutine its own stream.
 func (s *Source) SplitN(i int) *Source {
 	return New(s.s1 ^ splitmix64(s.s2+uint64(i)*0x9e3779b97f4a7c15+1))
+}
+
+// SplitNInto resets child in place to the stream SplitN(i) would return.
+// It is the allocation-free variant used by hot loops that derive one
+// stream per simulated user: the caller keeps a single child Source and
+// re-points it at each user's stream. child must not be s itself (the
+// derivation reads s's retained seeds, which Reseed overwrites).
+func (s *Source) SplitNInto(i int, child *Source) {
+	child.Reseed(s.s1 ^ splitmix64(s.s2+uint64(i)*0x9e3779b97f4a7c15+1))
 }
 
 func splitmix64(x uint64) uint64 {
@@ -97,6 +121,44 @@ func (s *Source) Geometric(p float64) int {
 		k = 1
 	}
 	return k
+}
+
+// maxSkip caps GeometricSkip draws so that position arithmetic in callers
+// cannot overflow: any skip this large runs past every real index anyway.
+const maxSkip = math.MaxInt64 / 4
+
+// GeometricSkip returns the number of failures before the first success
+// in i.i.d. Bernoulli(p) trials: P(K=k) = (1-p)^k·p for k >= 0, mean
+// (1-p)/p. It is the gap distribution of skip sampling — instead of one
+// Bernoulli per position, a scan jumps GeometricSkip(p) positions between
+// consecutive successes, visiting only the ~n·p hits. It panics unless p
+// is in (0, 1]. Draws are capped at a value far beyond any real index so
+// callers can add skips to positions without overflow checks.
+func (s *Source) GeometricSkip(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: GeometricSkip requires p in (0, 1]")
+	}
+	return s.GeometricSkipLn(math.Log1p(-p))
+}
+
+// GeometricSkipLn is GeometricSkip with the log already taken: ln1mp must
+// be log1p(-p) = ln(1-p) for the intended success probability p. Hot
+// loops that draw many skips at a fixed p precompute the log once and
+// avoid one transcendental per draw. P(K >= k) = e^{k·ln(1-p)} = (1-p)^k,
+// so floor(E/-ln(1-p)) with E ~ Exp(1) is exactly geometric.
+func (s *Source) GeometricSkipLn(ln1mp float64) int {
+	if ln1mp >= 0 {
+		// ln(1-p) >= 0 means p <= 0: a success never happens. Return the
+		// cap so scan loops run off the end of any real index range.
+		// (p = 1 is the other degenerate: ln1mp = -Inf flows through the
+		// division below and yields skip 0, a success at every trial.)
+		return maxSkip
+	}
+	k := s.r.ExpFloat64() / -ln1mp
+	if k >= maxSkip {
+		return maxSkip
+	}
+	return int(k)
 }
 
 // LogNormal returns exp(mu + sigma*Z) for standard normal Z.

@@ -298,6 +298,10 @@ func (s *Server) NewBatcher() *Batcher {
 }
 
 // Add accumulates one report, shipping a frame when the batch is full.
+// v is folded into the pending counts before Add returns and is never
+// retained, so producers on the allocation-free path may hand Add the
+// same buffer every call (overwriting it between calls with a *Into
+// perturbation).
 func (b *Batcher) Add(v *bitvec.Vector) error {
 	if v.Len() != b.s.bits {
 		return fmt.Errorf("server: report has %d bits, domain has %d", v.Len(), b.s.bits)
