@@ -1,0 +1,142 @@
+// Command idldp-merge is the fleet merger: it polls snapshot frames from
+// several idldp-server processes (gob-TCP) and/or httpapi nodes (HTTP)
+// and merges them into one global aggregate. Per-bit counts are
+// order-independent integer sums, so the merged estimates are bit-for-bit
+// identical to a single collector that ingested every report — scaling
+// out costs nothing statistically.
+//
+// Node specs: "tcp://host:port" or bare "host:port" for idldp-server,
+// "http://host:port" for an httpapi node.
+//
+// Usage:
+//
+//	idldp-merge -nodes tcp://127.0.0.1:7070,tcp://127.0.0.1:7071 [-once]
+//	            [-interval 2s] [-duration 0] [-stale 15s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"idldp/internal/budget"
+	"idldp/internal/core"
+	"idldp/internal/fleet"
+)
+
+func main() {
+	var (
+		nodes    = flag.String("nodes", "", "comma-separated node specs (tcp://host:port or http://host:port)")
+		interval = flag.Duration("interval", 2*time.Second, "poll interval")
+		once     = flag.Bool("once", false, "poll every node once, print the merged state, and exit")
+		duration = flag.Duration("duration", 0, "stop after this long (0 = until signal)")
+		stale    = flag.Duration("stale", 15*time.Second, "report a node stale after this long without a successful poll")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *nodes, *interval, *duration, *stale, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "idldp-merge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, nodes string, interval, duration, stale time.Duration, once bool) error {
+	if nodes == "" {
+		return fmt.Errorf("-nodes is required")
+	}
+	var sources []fleet.Source
+	for _, spec := range strings.Split(nodes, ",") {
+		src, err := fleet.ParseSource(strings.TrimSpace(spec))
+		if err != nil {
+			return err
+		}
+		sources = append(sources, src)
+	}
+	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
+	if err != nil {
+		return err
+	}
+	f, err := fleet.New(engine.M(), sources, fleet.WithStaleAfter(stale))
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	if once {
+		pollErr := f.Poll(ctx)
+		if pollErr != nil {
+			fmt.Fprintln(os.Stderr, "poll:", pollErr)
+		}
+		printState(w, f, engine)
+		if _, n := f.Counts(); n == 0 && pollErr != nil {
+			// Nothing merged and at least one node failed: exit nonzero so
+			// scripts don't mistake a dead fleet for an empty one.
+			return fmt.Errorf("no node reachable: %w", pollErr)
+		}
+		return nil
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if duration > 0 {
+		go func() {
+			select {
+			case <-time.After(duration):
+				cancel()
+			case <-runCtx.Done():
+			}
+		}()
+	}
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-runCtx.Done():
+		}
+	}()
+	f.Run(runCtx, interval, func(err error) { fmt.Fprintln(os.Stderr, "poll:", err) })
+	printState(w, f, engine)
+	return nil
+}
+
+// printState renders the per-node liveness table, the merged total, and
+// the calibrated fleet-wide estimates.
+func printState(w io.Writer, f *fleet.Fleet, engine *core.Engine) {
+	fmt.Fprintf(w, "%-28s %10s %8s %8s %8s  %s\n", "node", "n", "polls", "fails", "resets", "state")
+	for _, st := range f.Status() {
+		state := "ok"
+		switch {
+		case !st.Have:
+			state = "never-seen"
+		case st.Stale:
+			state = "stale"
+		}
+		if st.LastErr != "" {
+			state += " (" + st.LastErr + ")"
+		}
+		fmt.Fprintf(w, "%-28s %10d %8d %8d %8d  %s\n", st.Name, st.N, st.Polls, st.Failures, st.Resets, state)
+	}
+	counts, n := f.Counts()
+	fmt.Fprintf(w, "merged n=%d across %d nodes\n", n, len(f.Status()))
+	if n == 0 {
+		return
+	}
+	est, err := engine.EstimateSingle(counts, int(n))
+	if err != nil {
+		fmt.Fprintln(w, "estimate:", err)
+		return
+	}
+	names := []string{"HIV", "flu", "headache", "stomachache", "toothache"}
+	fmt.Fprintln(w, "fleet-wide estimated frequencies:")
+	for i, e := range est {
+		fmt.Fprintf(w, "  %-12s %8.0f\n", names[i], math.Max(e, 0))
+	}
+}

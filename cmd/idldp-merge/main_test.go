@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"idldp/internal/budget"
+	"idldp/internal/core"
+	"idldp/internal/rng"
+	"idldp/internal/transport"
+)
+
+func TestRunOnceMergesTwoServers(t *testing.T) {
+	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := []int{30, 50}
+	var addrs []string
+	for ni, n := range perNode {
+		srv, err := transport.Serve("127.0.0.1:0", engine.M())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, srv.Addr())
+		c, err := transport.Dial(context.Background(), srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(ni + 1))
+		for u := 0; u < n; u++ {
+			if err := c.SendReport(engine.PerturbItem(u%engine.M(), r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Snapshot flushes the connection batcher before we disconnect.
+		if _, _, _, err := c.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+
+	var out bytes.Buffer
+	specs := "tcp://" + addrs[0] + ", " + addrs[1]
+	if err := run(&out, specs, time.Second, 0, time.Minute, true); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("merged n=%d across 2 nodes", perNode[0]+perNode[1])
+	if !strings.Contains(out.String(), want) {
+		t.Fatalf("output missing %q:\n%s", want, out.String())
+	}
+	if !strings.Contains(out.String(), "fleet-wide estimated frequencies") {
+		t.Fatalf("output missing estimates:\n%s", out.String())
+	}
+}
+
+func TestRunRequiresNodes(t *testing.T) {
+	if err := run(&bytes.Buffer{}, "", time.Second, 0, time.Minute, true); err == nil {
+		t.Fatal("empty -nodes accepted")
+	}
+}
+
+func TestRunRejectsBadSpec(t *testing.T) {
+	if err := run(&bytes.Buffer{}, "gopher://nope", time.Second, 0, time.Minute, true); err == nil {
+		t.Fatal("bad node spec accepted")
+	}
+}
+
+func TestRunOnceDeadFleetExitsNonzero(t *testing.T) {
+	var out bytes.Buffer
+	// Nothing listens on this port; -once against a dead fleet must error.
+	if err := run(&out, "tcp://127.0.0.1:1", time.Second, 0, time.Minute, true); err == nil {
+		t.Fatalf("dead fleet reported success:\n%s", out.String())
+	}
+}

@@ -3,9 +3,16 @@
 // aggregates them, and on SIGINT/SIGTERM prints the calibrated frequency
 // estimates for the toy health-survey configuration.
 //
+// With -checkpoint-dir the server is durable: it resumes from the newest
+// checkpoint in the directory (bit-identical counts — nothing is lost on
+// restart), persists a new frame every -checkpoint-interval, and writes a
+// final frame on shutdown. A fleet of such servers can be merged exactly
+// with idldp-merge.
+//
 // Usage:
 //
 //	idldp-server [-addr 127.0.0.1:7070] [-duration 30s] [-shards 0] [-batch-size 256]
+//	             [-checkpoint-dir DIR] [-checkpoint-interval 10s]
 package main
 
 import (
@@ -25,31 +32,48 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
-		duration  = flag.Duration("duration", 0, "stop after this long (0 = until signal)")
-		shards    = flag.Int("shards", 0, "ingestion shard workers (0 = GOMAXPROCS)")
-		batchSize = flag.Int("batch-size", 0, "reports per ingestion frame (0 = runtime default)")
+		addr         = flag.String("addr", "127.0.0.1:7070", "listen address")
+		duration     = flag.Duration("duration", 0, "stop after this long (0 = until signal)")
+		shards       = flag.Int("shards", 0, "ingestion shard workers (0 = GOMAXPROCS)")
+		batchSize    = flag.Int("batch-size", 0, "reports per ingestion frame (0 = runtime default)")
+		ckptDir      = flag.String("checkpoint-dir", "", "durable checkpoint directory (empty = no durability)")
+		ckptInterval = flag.Duration("checkpoint-interval", 10*time.Second, "time between periodic checkpoints")
 	)
 	flag.Parse()
-	if err := run(*addr, *duration, *shards, *batchSize); err != nil {
+	if err := run(*addr, *duration, *shards, *batchSize, *ckptDir, *ckptInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, duration time.Duration, shards, batchSize int) error {
+func run(addr string, duration time.Duration, shards, batchSize int, ckptDir string, ckptInterval time.Duration) error {
 	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
 	if err != nil {
 		return err
 	}
-	srv, err := transport.Serve(addr, engine.M(),
-		server.WithShards(shards), server.WithBatchSize(batchSize))
+	opts := []server.Option{server.WithShards(shards), server.WithBatchSize(batchSize)}
+	var sink *server.Server
+	var restored int64
+	if ckptDir != "" {
+		opts = append(opts, server.WithCheckpoint(ckptDir, ckptInterval))
+		sink, restored, err = server.Restore(engine.M(), opts...)
+	} else {
+		sink, err = server.New(engine.M(), opts...)
+	}
+	if err != nil {
+		return err
+	}
+	srv, err := transport.ServeSink(addr, sink)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	fmt.Printf("aggregating %d-bit reports on %s (toy health survey, eps = ln4/ln6)\n",
 		engine.M(), srv.Addr())
+	if ckptDir != "" {
+		fmt.Printf("durable: checkpointing to %s every %v (restored %d reports)\n",
+			ckptDir, ckptInterval, restored)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
@@ -67,6 +91,9 @@ func run(addr string, duration time.Duration, shards, batchSize int) error {
 		fmt.Println("no reports received")
 		return nil
 	}
+	st := srv.Stats()
+	fmt.Printf("runtime: %d reports in %d frames over %d shards (%d checkpoints)\n",
+		st.Reports, st.Frames, st.Shards, st.Checkpoints)
 	est, err := engine.EstimateSingle(counts, int(n))
 	if err != nil {
 		return err

@@ -1,13 +1,14 @@
 package main
 
 import (
+	"os"
 	"testing"
 	"time"
 )
 
 func TestRunStopsAfterDuration(t *testing.T) {
 	done := make(chan error, 1)
-	go func() { done <- run("127.0.0.1:0", 100*time.Millisecond, 2, 64) }()
+	go func() { done <- run("127.0.0.1:0", 100*time.Millisecond, 2, 64, "", 0) }()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -19,7 +20,29 @@ func TestRunStopsAfterDuration(t *testing.T) {
 }
 
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.0.0.1:bad", time.Millisecond, 0, 0); err == nil {
+	if err := run("256.0.0.1:bad", time.Millisecond, 0, 0, "", 0); err == nil {
 		t.Fatal("bad address accepted")
+	}
+}
+
+func TestRunDurableWritesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	done := make(chan error, 1)
+	go func() { done <- run("127.0.0.1:0", 100*time.Millisecond, 2, 64, dir, time.Hour) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("durable server did not stop after its duration")
+	}
+	// Graceful shutdown must leave a final checkpoint frame.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no checkpoint frame written on shutdown")
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"idldp/internal/bitvec"
 	"idldp/internal/budget"
@@ -203,9 +204,11 @@ func (c *Client) Engine() *core.Engine { return c.engine }
 type ServerOption func(*serverOptions)
 
 type serverOptions struct {
-	sharded   bool
-	shards    int
-	batchSize int
+	sharded      bool
+	shards       int
+	batchSize    int
+	ckptDir      string
+	ckptInterval time.Duration
 }
 
 // WithShards runs the server on the sharded ingestion runtime with n
@@ -229,11 +232,53 @@ func WithBatchSize(k int) ServerOption {
 	}
 }
 
+// WithCheckpoint makes the server durable: it resumes from the newest
+// checkpoint in dir (bit-identical counts — a restart loses nothing
+// checkpointed), persists a new frame every interval (interval <= 0
+// selects the runtime default) and a final frame on Close. It implies
+// WithShards(0) unless WithShards is also given. Use RestoreServer to
+// observe how many reports were resumed and any restore error; NewServer
+// panics on one.
+func WithCheckpoint(dir string, interval time.Duration) ServerOption {
+	return func(o *serverOptions) {
+		o.sharded = true
+		o.ckptDir = dir
+		o.ckptInterval = interval
+	}
+}
+
 // NewServer returns the server-side half sharing this client's solved
 // parameters. With no options it is a plain single-goroutine accumulator;
 // with WithShards or WithBatchSize it runs on the sharded ingestion
 // runtime (see the package comment) and must be Closed.
 func (c *Client) NewServer(opts ...ServerOption) *Server {
+	s, _, err := c.newServer(opts)
+	if err != nil {
+		// Only reachable with WithCheckpoint (an unusable or corrupt
+		// directory): plain construction cannot fail since bits is
+		// positive by construction. RestoreServer surfaces the error.
+		panic("idldp: " + err.Error())
+	}
+	return s
+}
+
+// RestoreServer is NewServer for durable deployments: it requires
+// WithCheckpoint among opts, resumes from the newest checkpoint in its
+// directory, and returns how many reports the restored state already
+// summarizes (0 for a fresh campaign). Estimates after a restore are
+// bit-for-bit identical to a server that was never interrupted.
+func (c *Client) RestoreServer(opts ...ServerOption) (*Server, int64, error) {
+	var o serverOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.ckptDir == "" {
+		return nil, 0, fmt.Errorf("idldp: RestoreServer requires WithCheckpoint")
+	}
+	return c.newServer(opts)
+}
+
+func (c *Client) newServer(opts []ServerOption) (*Server, int64, error) {
 	e := c.engine
 	bits := e.M()
 	if e.PaddingLength() > 0 {
@@ -245,17 +290,25 @@ func (c *Client) NewServer(opts ...ServerOption) *Server {
 	}
 	s := &Server{engine: e, bits: bits}
 	if o.sharded {
-		rt, err := server.New(bits, server.WithShards(o.shards), server.WithBatchSize(o.batchSize))
+		ropts := []server.Option{server.WithShards(o.shards), server.WithBatchSize(o.batchSize)}
+		var rt *server.Server
+		var restored int64
+		var err error
+		if o.ckptDir != "" {
+			ropts = append(ropts, server.WithCheckpoint(o.ckptDir, o.ckptInterval))
+			rt, restored, err = server.Restore(bits, ropts...)
+		} else {
+			rt, err = server.New(bits, ropts...)
+		}
 		if err != nil {
-			// bits is positive by construction; server.New cannot fail.
-			panic("idldp: " + err.Error())
+			return nil, 0, fmt.Errorf("idldp: %w", err)
 		}
 		s.runtime = rt
 		s.batcher = rt.NewBatcher()
-		return s
+		return s, restored, nil
 	}
 	s.counts = make([]int64, bits)
-	return s
+	return s, 0, nil
 }
 
 // Server aggregates reports and produces calibrated frequency estimates.
@@ -346,6 +399,62 @@ func (s *Server) Shards() int {
 // can feed it directly (each with its own Batcher). It returns nil for a
 // plain server.
 func (s *Server) Runtime() *server.Server { return s.runtime }
+
+// Checkpoint flushes pending reports and writes one durable frame
+// immediately, independent of the periodic interval — e.g. right before
+// a planned handover. It errors unless the server was built with
+// WithCheckpoint.
+func (s *Server) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.runtime == nil {
+		return fmt.Errorf("idldp: Checkpoint requires a WithCheckpoint server")
+	}
+	if !s.closed {
+		if err := s.batcher.Flush(); err != nil {
+			return fmt.Errorf("idldp: %w", err)
+		}
+	}
+	if _, err := s.runtime.CheckpointNow(); err != nil {
+		return fmt.Errorf("idldp: %w", err)
+	}
+	return nil
+}
+
+// ServerStats mirrors the sharded runtime's metrics (see
+// internal/server.Stats) for monitoring: ingest counters, per-shard
+// queue depths, and checkpoint activity.
+type ServerStats struct {
+	Shards         int
+	BatchSize      int
+	Reports        int64
+	Frames         int64
+	QueueDepth     []int
+	Uptime         time.Duration
+	Checkpoints    int64
+	LastCheckpoint time.Time
+}
+
+// Stats returns runtime metrics. For a plain (unsharded) server only
+// Reports is populated.
+func (s *Server) Stats() ServerStats {
+	if s.runtime == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return ServerStats{Reports: int64(s.n)}
+	}
+	st := s.runtime.Stats()
+	return ServerStats{
+		Shards:         st.Shards,
+		BatchSize:      st.BatchSize,
+		Reports:        st.Reports,
+		Frames:         st.Frames,
+		QueueDepth:     st.QueueDepth,
+		Uptime:         st.Uptime,
+		Checkpoints:    st.Checkpoints,
+		LastCheckpoint: st.LastCheckpoint,
+	}
+}
 
 // Close stops the shard workers of a sharded server after flushing the
 // pending batch; the runtime keeps serving its drained state to

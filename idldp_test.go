@@ -322,3 +322,86 @@ func TestRandomAssignmentPath(t *testing.T) {
 		}
 	}
 }
+
+// TestDurableServerRestores exercises the facade durability loop:
+// collect, graceful Close (which writes a final checkpoint), RestoreServer,
+// collect more — estimates must be bit-for-bit what a never-interrupted
+// plain server produces for the same reports.
+func TestDurableServerRestores(t *testing.T) {
+	client, err := NewClient(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	reports := make([]Report, n)
+	for u := range reports {
+		reports[u] = client.ReportItem(u%client.DomainSize(), uint64(u))
+	}
+	plain := client.NewServer()
+	for _, r := range reports {
+		if err := plain.Collect(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := plain.Estimates()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	first, restored, err := client.RestoreServer(WithShards(2), WithCheckpoint(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 0 {
+		t.Fatalf("fresh campaign restored %d reports", restored)
+	}
+	for _, r := range reports[:n/2] {
+		if err := first.Collect(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Explicit mid-campaign checkpoint, then graceful shutdown.
+	if err := first.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st := first.Stats(); st.Checkpoints != 1 || st.Reports != n/2 {
+		t.Fatalf("stats after checkpoint: %+v", st)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, restored, err := client.RestoreServer(WithShards(4), WithCheckpoint(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if restored != n/2 {
+		t.Fatalf("restored %d reports, want %d", restored, n/2)
+	}
+	for _, r := range reports[n/2:] {
+		if err := second.Collect(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := second.Estimates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("estimate %d: restored %v, uninterrupted %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRestoreServerRequiresCheckpoint(t *testing.T) {
+	client, err := NewClient(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.RestoreServer(WithShards(2)); err == nil {
+		t.Fatal("RestoreServer without WithCheckpoint accepted")
+	}
+}

@@ -1,0 +1,347 @@
+// Package fleet is the collector-of-collectors: it polls snapshot
+// frames from several idldp-server processes — over the gob-TCP
+// transport or the HTTP/JSON API — and merges them into one global
+// aggregate. Because ID-LDP per-bit counts are order-independent integer
+// sums and every node's snapshot is cumulative, the merge is *exact*:
+// fleet-wide estimates are bit-for-bit identical to a single collector
+// that ingested every report, with zero statistical cost. This is the
+// step from one-machine sharding (internal/server) to a horizontally
+// scaled deployment.
+//
+// Each node is a Source; TCPSource speaks the transport snapshot frame,
+// HTTPSource polls GET /v1/snapshot. Poll fetches all nodes concurrently
+// and keeps, per node, the newest snapshot plus liveness bookkeeping
+// (last success, consecutive failures, restart detection). A node that
+// stops answering goes Stale but its last snapshot keeps contributing to
+// the merge — counts are cumulative, so stale data is merely old, never
+// wrong.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"idldp/internal/transport"
+)
+
+// Defaults for New options.
+const (
+	DefaultPollTimeout = 5 * time.Second
+	DefaultStaleAfter  = 15 * time.Second
+)
+
+// Snapshot is one node's cumulative aggregate state.
+type Snapshot struct {
+	Bits   int
+	Counts []int64
+	N      int64
+}
+
+// Source fetches snapshots from one collector node.
+type Source interface {
+	// Name identifies the node in Status and error messages.
+	Name() string
+	// Fetch returns the node's current cumulative snapshot.
+	Fetch(ctx context.Context) (Snapshot, error)
+}
+
+// TCPSource polls a gob-TCP aggregation server (internal/transport) with
+// a snapshot-request frame per fetch.
+type TCPSource struct {
+	addr string
+}
+
+// NewTCPSource returns a source for a transport server at addr.
+func NewTCPSource(addr string) *TCPSource { return &TCPSource{addr: addr} }
+
+// Name implements Source.
+func (s *TCPSource) Name() string { return "tcp://" + s.addr }
+
+// Fetch implements Source. Each fetch dials a fresh connection so a node
+// restart never wedges the poller on a dead stream.
+func (s *TCPSource) Fetch(ctx context.Context) (Snapshot, error) {
+	c, err := transport.Dial(ctx, s.addr)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	defer c.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := c.SetDeadline(deadline); err != nil {
+			return Snapshot{}, err
+		}
+	}
+	counts, n, bits, err := c.Snapshot()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return Snapshot{Bits: bits, Counts: counts, N: n}, nil
+}
+
+// HTTPSource polls GET {base}/v1/snapshot on an httpapi node.
+type HTTPSource struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPSource returns a source for an httpapi handler served at base,
+// e.g. "http://10.0.0.7:8080".
+func NewHTTPSource(base string) *HTTPSource {
+	return &HTTPSource{base: strings.TrimRight(base, "/"), client: &http.Client{}}
+}
+
+// Name implements Source.
+func (s *HTTPSource) Name() string { return s.base }
+
+// Fetch implements Source.
+func (s *HTTPSource) Fetch(ctx context.Context) (Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v1/snapshot", nil)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Snapshot{}, fmt.Errorf("snapshot endpoint returned %s", resp.Status)
+	}
+	var body struct {
+		Counts []int64 `json:"counts"`
+		N      int64   `json:"n"`
+		Bits   int     `json:"bits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return Snapshot{}, err
+	}
+	if body.Counts == nil {
+		body.Counts = make([]int64, body.Bits)
+	}
+	return Snapshot{Bits: body.Bits, Counts: body.Counts, N: body.N}, nil
+}
+
+// ParseSource maps a node spec to a Source: "http://…" and "https://…"
+// become HTTPSources, "tcp://host:port" and bare "host:port" become
+// TCPSources.
+func ParseSource(spec string) (Source, error) {
+	switch {
+	case strings.HasPrefix(spec, "http://"), strings.HasPrefix(spec, "https://"):
+		return NewHTTPSource(spec), nil
+	case strings.HasPrefix(spec, "tcp://"):
+		return NewTCPSource(strings.TrimPrefix(spec, "tcp://")), nil
+	case strings.Contains(spec, "://"):
+		return nil, fmt.Errorf("fleet: unsupported scheme in %q", spec)
+	case spec == "":
+		return nil, fmt.Errorf("fleet: empty node spec")
+	default:
+		return NewTCPSource(spec), nil
+	}
+}
+
+// node is the per-source poll state.
+type node struct {
+	src         Source
+	have        bool
+	last        Snapshot
+	lastSuccess time.Time
+	lastErr     error
+	polls       int64
+	failures    int64
+	resets      int64
+}
+
+// Estimator calibrates merged counts, e.g. core.Engine.EstimateSingle.
+type Estimator func(counts []int64, n int) ([]float64, error)
+
+// Option tunes a Fleet.
+type Option func(*Fleet)
+
+// WithPollTimeout bounds each node fetch (default DefaultPollTimeout).
+func WithPollTimeout(d time.Duration) Option { return func(f *Fleet) { f.pollTimeout = d } }
+
+// WithStaleAfter sets how long after its last successful poll a node is
+// reported Stale (default DefaultStaleAfter).
+func WithStaleAfter(d time.Duration) Option { return func(f *Fleet) { f.staleAfter = d } }
+
+// Fleet merges snapshots from a set of collector nodes. All methods are
+// safe for concurrent use.
+type Fleet struct {
+	bits        int
+	pollTimeout time.Duration
+	staleAfter  time.Duration
+
+	mu    sync.Mutex
+	nodes []*node
+}
+
+// New returns a fleet merger for m-bit domains over the given sources.
+func New(bits int, sources []Source, opts ...Option) (*Fleet, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("fleet: report length %d must be positive", bits)
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("fleet: no sources")
+	}
+	f := &Fleet{bits: bits, pollTimeout: DefaultPollTimeout, staleAfter: DefaultStaleAfter}
+	for _, src := range sources {
+		f.nodes = append(f.nodes, &node{src: src})
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	return f, nil
+}
+
+// Bits returns the domain size m.
+func (f *Fleet) Bits() int { return f.bits }
+
+// Poll fetches every node once, concurrently, each fetch bounded by the
+// poll timeout. Nodes that fail keep their previous snapshot; the joined
+// error reports every failure but never hides the successes.
+func (f *Fleet) Poll(ctx context.Context) error {
+	f.mu.Lock()
+	nodes := append([]*node(nil), f.nodes...)
+	f.mu.Unlock()
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, nd := range nodes {
+		wg.Add(1)
+		go func(i int, nd *node) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, f.pollTimeout)
+			defer cancel()
+			snap, err := nd.src.Fetch(cctx)
+			if err == nil && snap.Bits != f.bits {
+				err = fmt.Errorf("node has %d bits, fleet has %d", snap.Bits, f.bits)
+			}
+			if err == nil && len(snap.Counts) != f.bits {
+				err = fmt.Errorf("snapshot has %d counts for %d bits", len(snap.Counts), snap.Bits)
+			}
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			nd.polls++
+			if err != nil {
+				nd.failures++
+				nd.lastErr = err
+				errs[i] = fmt.Errorf("fleet: node %s: %w", nd.src.Name(), err)
+				return
+			}
+			if nd.have && snap.N < nd.last.N {
+				// A cumulative count never decreases; a drop means the node
+				// restarted without restoring its checkpoint. Adopt the
+				// node's authoritative state but surface the reset.
+				nd.resets++
+			}
+			nd.last = snap
+			nd.have = true
+			nd.lastSuccess = time.Now()
+			nd.lastErr = nil
+		}(i, nd)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Counts returns the fleet-wide merged per-bit counts and user count:
+// the sum of every node's newest snapshot. Once all nodes have been
+// polled after ingestion quiesces, the result is bit-for-bit what a
+// single collector ingesting all reports would hold.
+func (f *Fleet) Counts() (counts []int64, n int64) {
+	counts = make([]int64, f.bits)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, nd := range f.nodes {
+		if !nd.have {
+			continue
+		}
+		for i, c := range nd.last.Counts {
+			counts[i] += c
+		}
+		n += nd.last.N
+	}
+	return counts, n
+}
+
+// Estimates calibrates the merged counts with est.
+func (f *Fleet) Estimates(est Estimator) ([]float64, error) {
+	counts, n := f.Counts()
+	if n == 0 {
+		return nil, fmt.Errorf("fleet: no reports merged yet")
+	}
+	return est(counts, int(n))
+}
+
+// NodeStatus is one node's liveness view.
+type NodeStatus struct {
+	// Name is the source's identifier.
+	Name string
+	// Have reports whether any snapshot has ever been fetched.
+	Have bool
+	// N is the newest snapshot's user count.
+	N int64
+	// LastSuccess is when the newest snapshot was fetched (zero if never).
+	LastSuccess time.Time
+	// LastErr is the most recent fetch error, cleared on success.
+	LastErr string
+	// Polls and Failures count fetch attempts and failed attempts.
+	Polls, Failures int64
+	// Resets counts observed cumulative-count regressions — node restarts
+	// without checkpoint restore.
+	Resets int64
+	// Stale is set when the node has no successful poll within the
+	// staleness window.
+	Stale bool
+}
+
+// Status returns the per-node liveness view, in source order.
+func (f *Fleet) Status() []NodeStatus {
+	now := time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]NodeStatus, len(f.nodes))
+	for i, nd := range f.nodes {
+		st := NodeStatus{
+			Name:        nd.src.Name(),
+			Have:        nd.have,
+			N:           nd.last.N,
+			LastSuccess: nd.lastSuccess,
+			Polls:       nd.polls,
+			Failures:    nd.failures,
+			Resets:      nd.resets,
+			Stale:       !nd.have || now.Sub(nd.lastSuccess) > f.staleAfter,
+		}
+		if nd.lastErr != nil {
+			st.LastErr = nd.lastErr.Error()
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Run polls every interval until ctx is done (an immediate first poll,
+// then the ticker). Poll errors are delivered to onErr when non-nil and
+// otherwise dropped — transient node failures are expected in a fleet.
+func (f *Fleet) Run(ctx context.Context, interval time.Duration, onErr func(error)) {
+	report := func(err error) {
+		if err != nil && onErr != nil {
+			onErr(err)
+		}
+	}
+	report(f.Poll(ctx))
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			report(f.Poll(ctx))
+		}
+	}
+}

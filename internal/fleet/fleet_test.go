@@ -1,0 +1,280 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"idldp/internal/agg"
+	"idldp/internal/bitvec"
+	"idldp/internal/budget"
+	"idldp/internal/core"
+	"idldp/internal/httpapi"
+	"idldp/internal/rng"
+	"idldp/internal/server"
+	"idldp/internal/transport"
+)
+
+// startNodes brings up nodeCount collector nodes, alternating gob-TCP
+// and HTTP so every merge test exercises both transports, and returns
+// their fleet sources plus a cleanup-registered teardown.
+func startNodes(t *testing.T, e *core.Engine, nodeCount int) []Source {
+	t.Helper()
+	sources := make([]Source, nodeCount)
+	for i := range sources {
+		if i%2 == 0 {
+			srv, err := transport.Serve("127.0.0.1:0", e.M(), server.WithShards(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close() })
+			sources[i] = NewTCPSource(srv.Addr())
+		} else {
+			h, err := httpapi.New(e.M(), e.EstimateSingle, server.WithShards(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs := httptest.NewServer(h)
+			t.Cleanup(hs.Close)
+			t.Cleanup(func() { h.Close() })
+			sources[i] = NewHTTPSource(hs.URL)
+		}
+	}
+	return sources
+}
+
+// postReport POSTs one report to an httpapi node, returning the status.
+func postReport(t *testing.T, base string, v *bitvec.Vector) int {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"words": v.Words(), "bits": v.Len()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/report", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// sendTo ships one report to a node through its native transport.
+func sendTo(t *testing.T, src Source, v *bitvec.Vector) {
+	t.Helper()
+	switch s := src.(type) {
+	case *TCPSource:
+		c, err := transport.Dial(context.Background(), s.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.SendReport(v); err != nil {
+			t.Fatal(err)
+		}
+		// The snapshot request flushes the connection batcher, so the
+		// report is visible before the connection closes.
+		if _, _, _, err := c.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	case *HTTPSource:
+		resp := postReport(t, s.base, v)
+		if resp != 202 {
+			t.Fatalf("report rejected with status %d", resp)
+		}
+	default:
+		t.Fatalf("unknown source type %T", src)
+	}
+}
+
+// TestFleetMergeEquivalence is the multi-node half of the exactness
+// guarantee: reports partitioned across 2 and 4 nodes (mixed gob-TCP and
+// HTTP), merged by the fleet, must produce per-bit counts — and
+// therefore estimates — bit-for-bit identical to one collector that
+// ingested every report.
+func TestFleetMergeEquivalence(t *testing.T) {
+	e, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 600
+	// Pre-generate the campaign so every topology sees identical reports.
+	reports := make([]*bitvec.Vector, n)
+	r := rng.New(42)
+	ur := rng.New(0)
+	for u := range reports {
+		r.SplitNInto(u, ur)
+		reports[u] = e.PerturbItem(u%e.M(), ur)
+	}
+	single := agg.New(e.M())
+	for _, v := range reports {
+		single.Add(v)
+	}
+	wantCounts := single.Counts()
+	wantEst, err := e.EstimateSingle(wantCounts, int(single.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nodeCount := range []int{2, 4} {
+		t.Run(fmt.Sprintf("nodes=%d", nodeCount), func(t *testing.T) {
+			sources := startNodes(t, e, nodeCount)
+			for u, v := range reports {
+				sendTo(t, sources[u%nodeCount], v)
+			}
+			f, err := New(e.M(), sources, WithPollTimeout(10*time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Poll(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			gotCounts, gotN := f.Counts()
+			if gotN != n {
+				t.Fatalf("merged n = %d, want %d", gotN, n)
+			}
+			for i := range wantCounts {
+				if gotCounts[i] != wantCounts[i] {
+					t.Fatalf("bit %d: merged %d, single-collector %d", i, gotCounts[i], wantCounts[i])
+				}
+			}
+			gotEst, err := f.Estimates(e.EstimateSingle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantEst {
+				if gotEst[i] != wantEst[i] {
+					t.Fatalf("estimate %d: merged %v, single-collector %v", i, gotEst[i], wantEst[i])
+				}
+			}
+			for _, st := range f.Status() {
+				if st.Stale || st.Failures != 0 || st.Resets != 0 {
+					t.Fatalf("healthy node reported unhealthy: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+// failingSource always errors, to drive the liveness bookkeeping.
+type failingSource struct{}
+
+func (failingSource) Name() string                            { return "dead-node" }
+func (failingSource) Fetch(context.Context) (Snapshot, error) { return Snapshot{}, fmt.Errorf("down") }
+
+// staticSource serves a fixed snapshot.
+type staticSource struct{ snap Snapshot }
+
+func (staticSource) Name() string                              { return "static" }
+func (s staticSource) Fetch(context.Context) (Snapshot, error) { return s.snap, nil }
+
+// TestLivenessTracking: a dead node goes stale and reports its error; a
+// live node keeps contributing.
+func TestLivenessTracking(t *testing.T) {
+	live := staticSource{snap: Snapshot{Bits: 4, Counts: []int64{1, 2, 3, 4}, N: 4}}
+	f, err := New(4, []Source{live, failingSource{}}, WithStaleAfter(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Poll(context.Background()); err == nil {
+		t.Fatal("poll with a dead node reported no error")
+	}
+	counts, n := f.Counts()
+	if n != 4 || counts[3] != 4 {
+		t.Fatalf("live node's snapshot lost: counts=%v n=%d", counts, n)
+	}
+	sts := f.Status()
+	if sts[0].Stale || sts[0].Failures != 0 {
+		t.Fatalf("live node: %+v", sts[0])
+	}
+	if !sts[1].Stale || sts[1].Failures != 1 || sts[1].LastErr == "" {
+		t.Fatalf("dead node: %+v", sts[1])
+	}
+}
+
+// TestResetDetection: a node whose cumulative count regresses is flagged.
+func TestResetDetection(t *testing.T) {
+	src := &flipSource{}
+	f, err := New(1, []Source{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := f.Poll(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := f.Status()[0]; st.Resets != 1 {
+		t.Fatalf("Resets = %d, want 1", st.Resets)
+	}
+	if _, n := f.Counts(); n != 2 {
+		t.Fatalf("merged n = %d, want the node's authoritative 2", n)
+	}
+}
+
+// flipSource returns a high count first, then a lower one (simulated
+// restart without restore).
+type flipSource struct{ calls int }
+
+func (s *flipSource) Name() string { return "flip" }
+func (s *flipSource) Fetch(context.Context) (Snapshot, error) {
+	s.calls++
+	if s.calls == 1 {
+		return Snapshot{Bits: 1, Counts: []int64{5}, N: 5}, nil
+	}
+	return Snapshot{Bits: 1, Counts: []int64{2}, N: 2}, nil
+}
+
+// TestBitsMismatchRejected: a node with the wrong domain is an error and
+// never pollutes the merge.
+func TestBitsMismatchRejected(t *testing.T) {
+	bad := staticSource{snap: Snapshot{Bits: 3, Counts: []int64{1, 1, 1}, N: 1}}
+	f, err := New(4, []Source{bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Poll(context.Background()); err == nil {
+		t.Fatal("bits mismatch accepted")
+	}
+	if _, n := f.Counts(); n != 0 {
+		t.Fatalf("mismatched snapshot merged: n=%d", n)
+	}
+}
+
+func TestParseSource(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+		ok   bool
+	}{
+		{"http://10.0.0.7:8080", "http://10.0.0.7:8080", true},
+		{"https://node.example", "https://node.example", true},
+		{"tcp://10.0.0.7:7070", "tcp://10.0.0.7:7070", true},
+		{"10.0.0.7:7070", "tcp://10.0.0.7:7070", true},
+		{"gopher://x", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		src, err := ParseSource(c.spec)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseSource(%q) err = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if err == nil && src.Name() != c.want {
+			t.Errorf("ParseSource(%q).Name() = %q, want %q", c.spec, src.Name(), c.want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, []Source{staticSource{}}); err == nil {
+		t.Fatal("bits=0 accepted")
+	}
+	if _, err := New(4, nil); err == nil {
+		t.Fatal("no sources accepted")
+	}
+}

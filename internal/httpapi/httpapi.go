@@ -6,15 +6,25 @@
 //	POST /v1/batch     {"counts": [..], "n": k}          pre-summed batch
 //	GET  /v1/estimates                                    calibrated estimates
 //	GET  /v1/status                                       {"reports": k, "bits": m}
+//	GET  /v1/snapshot                                     {"counts": [..], "n": k, "bits": m}
+//	GET  /v1/stats                                        runtime metrics (server.Stats)
 //
 // As with the TCP transport, only perturbed data crosses the wire; the
 // server is untrusted with raw inputs by construction.
 //
 // Ingestion runs on the sharded runtime of internal/server. HTTP gives no
-// per-client stream to batch over, so each accepted report is forwarded
-// directly to a shard queue; batching clients should POST /v1/batch.
+// per-client stream to batch over, so the handler keeps a pool of
+// batchers shared across requests: each accepted report is decoded into a
+// pooled buffer and folded into a pooled Batcher via the word-level
+// zero-allocation path (Batcher.AddWords), never materializing a
+// bitvec.Vector. Reads (estimates, status, snapshot) flush every pooled
+// batcher first, so they stay consistent with all accepted reports.
 // Tune the runtime with server.Option values passed to New, and Close the
 // handler to stop the shard workers.
+//
+// The snapshot endpoint is the HTTP face of the fleet protocol: a merge
+// collector (internal/fleet) polls it from several nodes and sums the
+// counts into an exact global aggregate.
 package httpapi
 
 import (
@@ -22,8 +32,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
+	"sync/atomic"
 
-	"idldp/internal/bitvec"
 	"idldp/internal/server"
 )
 
@@ -31,12 +42,33 @@ import (
 // core.Engine or raw parameter slices.
 type Estimator func(counts []int64, n int) ([]float64, error)
 
+// lockedBatcher serializes a pooled Batcher between the request that
+// checked it out and the flush-on-read sweep.
+type lockedBatcher struct {
+	mu sync.Mutex
+	b  *server.Batcher
+}
+
 // Handler serves the collection API for an m-bit report domain.
 type Handler struct {
 	bits     int
 	sink     *server.Server
 	estimate Estimator
 	mux      *http.ServeMux
+
+	closed atomic.Bool
+
+	// Reused request-body buffers for the report fast path.
+	bodies sync.Pool // *reportBody
+
+	// Batcher free list. A plain stack, not a sync.Pool: pool victims
+	// would be evicted by GC while still registered in batchers, growing
+	// the registry without bound. The stack caps the population at the
+	// peak request concurrency; batchers remembers every one ever created
+	// so reads can flush them all.
+	bmu      sync.Mutex
+	free     []*lockedBatcher
+	batchers []*lockedBatcher
 }
 
 // New returns a handler for m-bit reports calibrated by est. Options tune
@@ -45,25 +77,42 @@ func New(bits int, est Estimator, opts ...server.Option) (*Handler, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("httpapi: report length %d must be positive", bits)
 	}
-	if est == nil {
-		return nil, fmt.Errorf("httpapi: estimator is required")
-	}
 	sink, err := server.New(bits, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: %w", err)
 	}
-	h := &Handler{bits: bits, sink: sink, estimate: est, mux: http.NewServeMux()}
+	return NewSink(sink, est)
+}
+
+// NewSink wraps an already-built ingestion runtime — the hook for
+// runtimes constructed with server.Restore. The handler takes ownership
+// of sink: Close closes it.
+func NewSink(sink *server.Server, est Estimator) (*Handler, error) {
+	if est == nil {
+		sink.Close()
+		return nil, fmt.Errorf("httpapi: estimator is required")
+	}
+	h := &Handler{bits: sink.Bits(), sink: sink, estimate: est, mux: http.NewServeMux()}
+	h.bodies.New = func() any { return new(reportBody) }
 	h.mux.HandleFunc("POST /v1/report", h.handleReport)
 	h.mux.HandleFunc("POST /v1/batch", h.handleBatch)
 	h.mux.HandleFunc("GET /v1/estimates", h.handleEstimates)
 	h.mux.HandleFunc("GET /v1/status", h.handleStatus)
+	h.mux.HandleFunc("GET /v1/snapshot", h.handleSnapshot)
+	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
 	return h, nil
 }
 
-// Close stops the ingestion runtime. Ingestion requests after Close are
-// answered with 503; status and estimates keep serving the drained
-// final state.
-func (h *Handler) Close() error { return h.sink.Close() }
+// Close flushes the pooled batchers and stops the ingestion runtime.
+// Ingestion requests after Close are answered with 503; status, snapshot
+// and estimates keep serving the drained final state.
+func (h *Handler) Close() error {
+	if h.closed.Swap(true) {
+		return h.sink.Close()
+	}
+	h.flushAll()
+	return h.sink.Close()
+}
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
@@ -81,20 +130,56 @@ type batchBody struct {
 }
 
 func (h *Handler) handleReport(w http.ResponseWriter, r *http.Request) {
-	var body reportBody
-	if err := decodeJSON(w, r, &body); err != nil {
+	if h.closed.Load() {
+		// Reject up front: a pooled batcher would silently buffer the
+		// report and only notice the closed runtime at the next flush.
+		httpError(w, http.StatusServiceUnavailable, server.ErrClosed.Error())
 		return
 	}
-	v, err := bitvec.FromWords(body.Words, body.Bits)
-	if err != nil || v.Len() != h.bits {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("report must have %d bits", h.bits))
+	body := h.bodies.Get().(*reportBody)
+	defer h.bodies.Put(body)
+	// Reset in place, keeping the words capacity: json.Unmarshal reuses
+	// the backing array, so the steady-state decode allocates nothing.
+	body.Words, body.Bits = body.Words[:0], 0
+	if err := decodeJSON(w, r, body); err != nil {
 		return
 	}
-	if err := h.sink.Add(v); err != nil {
+	lb := h.getBatcher()
+	lb.mu.Lock()
+	err := lb.b.AddWords(body.Words, body.Bits)
+	if err == nil && h.closed.Load() {
+		// Close raced past the up-front check and may already have swept
+		// the batchers; push the report through (or learn the sink is
+		// closed) before acknowledging, so a 202 is never silently lost.
+		err = lb.b.Flush()
+	}
+	lb.mu.Unlock()
+	h.putBatcher(lb)
+	if err != nil {
 		httpError(w, statusFor(err), err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// getBatcher pops a free batcher or registers a new one.
+func (h *Handler) getBatcher() *lockedBatcher {
+	h.bmu.Lock()
+	defer h.bmu.Unlock()
+	if n := len(h.free); n > 0 {
+		lb := h.free[n-1]
+		h.free = h.free[:n-1]
+		return lb
+	}
+	lb := &lockedBatcher{b: h.sink.NewBatcher()}
+	h.batchers = append(h.batchers, lb)
+	return lb
+}
+
+func (h *Handler) putBatcher(lb *lockedBatcher) {
+	h.bmu.Lock()
+	h.free = append(h.free, lb)
+	h.bmu.Unlock()
 }
 
 func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -102,6 +187,8 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := decodeJSON(w, r, &body); err != nil {
 		return
 	}
+	// The sink takes ownership of the counts slice, so the batch path
+	// cannot pool its body; batching clients amortize the cost anyway.
 	if err := h.sink.AddCounts(body.Counts, body.N); err != nil {
 		httpError(w, statusFor(err), err.Error())
 		return
@@ -109,8 +196,29 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusAccepted)
 }
 
+// snapshot returns the runtime state consistent with every accepted
+// report: pooled batchers are flushed first (skipped once closed — the
+// sink then serves its drained final state).
+func (h *Handler) snapshot() (counts []int64, n int64) {
+	if !h.closed.Load() {
+		h.flushAll()
+	}
+	return h.sink.Snapshot()
+}
+
+func (h *Handler) flushAll() {
+	h.bmu.Lock()
+	lbs := append([]*lockedBatcher(nil), h.batchers...)
+	h.bmu.Unlock()
+	for _, lb := range lbs {
+		lb.mu.Lock()
+		_ = lb.b.Flush()
+		lb.mu.Unlock()
+	}
+}
+
 func (h *Handler) handleEstimates(w http.ResponseWriter, r *http.Request) {
-	counts, n := h.sink.Snapshot()
+	counts, n := h.snapshot()
 	if n == 0 {
 		httpError(w, http.StatusConflict, "no reports collected yet")
 		return
@@ -124,8 +232,17 @@ func (h *Handler) handleEstimates(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {
-	_, n := h.sink.Snapshot()
+	_, n := h.snapshot()
 	writeJSON(w, map[string]any{"reports": n, "bits": h.bits})
+}
+
+func (h *Handler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	counts, n := h.snapshot()
+	writeJSON(w, map[string]any{"counts": counts, "n": n, "bits": h.bits})
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.sink.Stats())
 }
 
 // statusFor maps ingestion errors to HTTP statuses: a closed runtime is a

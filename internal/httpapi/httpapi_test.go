@@ -221,3 +221,95 @@ func TestEstimatorErrorSurfaces(t *testing.T) {
 		t.Fatalf("status %d want 500", resp.StatusCode)
 	}
 }
+
+// TestSnapshotEndpoint checks /v1/snapshot, including that reports still
+// sitting in pooled batchers (batch size 16, fewer reports posted) are
+// flushed into the reply.
+func TestSnapshotEndpoint(t *testing.T) {
+	srv, e := newServer(t)
+
+	resp, err := http.Get(srv.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var empty struct {
+		Counts []int64 `json:"counts"`
+		N      int64   `json:"n"`
+		Bits   int     `json:"bits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.N != 0 || empty.Bits != e.M() || len(empty.Counts) != e.M() {
+		t.Fatalf("empty snapshot: %+v", empty)
+	}
+
+	const reports = 7
+	r := rng.New(5)
+	for u := 0; u < reports; u++ {
+		v := e.PerturbItem(u%e.M(), r)
+		resp := postJSON(t, srv.URL+"/v1/report", map[string]any{"words": v.Words(), "bits": v.Len()})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("report %d: status %d", u, resp.StatusCode)
+		}
+	}
+	resp2, err := http.Get(srv.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var snap struct {
+		Counts []int64 `json:"counts"`
+		N      int64   `json:"n"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.N != reports {
+		t.Fatalf("snapshot n = %d, want %d (pooled batchers must flush)", snap.N, reports)
+	}
+	var total int64
+	for _, c := range snap.Counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("snapshot counts all zero after ingesting reports")
+	}
+}
+
+// TestStatsEndpoint checks /v1/stats surfaces the runtime metrics.
+func TestStatsEndpoint(t *testing.T) {
+	srv, e := newServer(t)
+	r := rng.New(6)
+	v := e.PerturbItem(1, r)
+	postJSON(t, srv.URL+"/v1/report", map[string]any{"words": v.Words(), "bits": v.Len()})
+	// Force the pooled batcher to flush so the report is counted.
+	if _, err := http.Get(srv.URL + "/v1/status"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Shards     int     `json:"shards"`
+		BatchSize  int     `json:"batch_size"`
+		Reports    int64   `json:"reports"`
+		Frames     int64   `json:"frames"`
+		QueueDepth []int64 `json:"queue_depth"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 2 || st.BatchSize != 16 {
+		t.Fatalf("stats config echo: %+v", st)
+	}
+	if st.Reports != 1 || st.Frames == 0 {
+		t.Fatalf("stats counters: %+v", st)
+	}
+	if len(st.QueueDepth) != 2 {
+		t.Fatalf("queue depth: %+v", st)
+	}
+}

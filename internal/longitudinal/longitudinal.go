@@ -42,8 +42,9 @@ type Config struct {
 type Collector struct {
 	cfg    Config
 	engine *core.Engine
-	instA  float64 // Pr(report 1 | memoized 1)
-	instB  float64 // Pr(report 1 | memoized 0)
+	inst   *mech.UE // m-bit symmetric instantaneous layer
+	instA  float64  // Pr(report 1 | memoized 1)
+	instB  float64  // Pr(report 1 | memoized 0)
 	effA   []float64
 	effB   []float64
 }
@@ -60,7 +61,10 @@ func New(cfg Config) (*Collector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("longitudinal: %w", err)
 	}
-	instUE, err := mech.NewRAPPOR(cfg.InstEps, 1)
+	// The instantaneous layer is an m-bit symmetric UE applied to the
+	// memoized vector; building it as a mech.UE lets Report ride the
+	// sparse-flip fast path instead of one Bernoulli per bit.
+	instUE, err := mech.NewRAPPOR(cfg.InstEps, engine.M())
 	if err != nil {
 		return nil, fmt.Errorf("longitudinal: %w", err)
 	}
@@ -68,7 +72,7 @@ func New(cfg Config) (*Collector, error) {
 	ue := engine.UE()
 	m := engine.M()
 	c := &Collector{
-		cfg: cfg, engine: engine, instA: p, instB: q,
+		cfg: cfg, engine: engine, inst: instUE, instA: p, instB: q,
 		effA: make([]float64, m), effB: make([]float64, m),
 	}
 	for i := 0; i < m; i++ {
@@ -94,21 +98,24 @@ func (c *Collector) NewUserState(item int, r *rng.Source) *UserState {
 }
 
 // Report produces one round's instantaneous report from the memoized
-// state.
+// state. It allocates the report; ReportInto with a NewReport buffer is
+// the allocation-free variant for per-round report loops.
 func (c *Collector) Report(s *UserState, r *rng.Source) *bitvec.Vector {
-	m := s.permanent.Len()
-	y := bitvec.New(m)
-	for k := 0; k < m; k++ {
-		p := c.instB
-		if s.permanent.Get(k) {
-			p = c.instA
-		}
-		if r.Bernoulli(p) {
-			y.Set(k)
-		}
-	}
+	y := bitvec.New(s.permanent.Len())
+	c.ReportInto(s, r, y)
 	return y
 }
+
+// ReportInto writes one round's instantaneous report into out without
+// allocating, on the sparse-flip fast path. out must have M() bits and
+// be distinct from the memoized state; each call overwrites it, so one
+// buffer serves a whole reporting loop.
+func (c *Collector) ReportInto(s *UserState, r *rng.Source, out *bitvec.Vector) {
+	c.inst.PerturbInto(s.permanent, r, out)
+}
+
+// NewReport returns an m-bit buffer sized for ReportInto.
+func (c *Collector) NewReport() *bitvec.Vector { return bitvec.New(c.engine.M()) }
 
 // Estimate calibrates one round's aggregated bit counts against the
 // effective (permanent ∘ instantaneous) probabilities.

@@ -108,3 +108,26 @@ func TestBudgets(t *testing.T) {
 		t.Errorf("round budget %v want 2", c.RoundLDPBudget())
 	}
 }
+
+// TestReportIntoMatchesReport: with identical seeds the buffered
+// per-round path emits exactly the report of the allocating path, and
+// the loop is allocation-free.
+func TestReportIntoMatchesReport(t *testing.T) {
+	c := collector(t)
+	root := rng.New(21)
+	state := c.NewUserState(1, root)
+	buf := c.NewReport()
+	for round := 0; round < 50; round++ {
+		ra, rb := rng.New(uint64(round+1)), rng.New(uint64(round+1))
+		want := c.Report(state, ra)
+		c.ReportInto(state, rb, buf)
+		if !want.Equal(buf) {
+			t.Fatalf("round %d: ReportInto diverged from Report", round)
+		}
+	}
+	r := rng.New(33)
+	avg := testing.AllocsPerRun(200, func() { c.ReportInto(state, r, buf) })
+	if avg != 0 {
+		t.Fatalf("ReportInto allocates %v per round, want 0", avg)
+	}
+}

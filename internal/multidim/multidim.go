@@ -124,26 +124,64 @@ type Report struct {
 	Lens []int
 }
 
+// ReportBuf holds the per-attribute report buffers PerturbInto writes
+// into: one buffer per goroutine, reused across all its users. It is not
+// safe for concurrent use.
+type ReportBuf struct {
+	vecs []*bitvec.Vector
+	rep  Report
+}
+
+// NewReportBuf returns a buffer sized for this collector's attributes.
+func (c *Collector) NewReportBuf() *ReportBuf {
+	d := len(c.engines)
+	b := &ReportBuf{
+		vecs: make([]*bitvec.Vector, d),
+		rep:  Report{Bits: make([][]uint64, d), Lens: make([]int, d)},
+	}
+	for ai, e := range c.engines {
+		b.vecs[ai] = bitvec.New(e.M())
+	}
+	return b
+}
+
 // Perturb produces one user's report for a record with one value per
-// attribute. r is the user's private randomness.
+// attribute. r is the user's private randomness. It allocates the
+// report; PerturbInto with a NewReportBuf buffer is the allocation-free
+// variant for report-generation loops.
 func (c *Collector) Perturb(record []int, r *rng.Source) (Report, error) {
+	return c.PerturbInto(record, r, c.NewReportBuf())
+}
+
+// PerturbInto writes one user's report into buf on the allocation-free
+// perturbation path. The returned Report aliases buf's storage and is
+// valid until the next PerturbInto on the same buffer — accumulate it
+// (Aggregator.Add) or ship it before reusing buf.
+func (c *Collector) PerturbInto(record []int, r *rng.Source, buf *ReportBuf) (Report, error) {
 	d := len(c.engines)
 	if len(record) != d {
 		return Report{}, fmt.Errorf("multidim: record has %d values for %d attributes", len(record), d)
 	}
-	rep := Report{Bits: make([][]uint64, d), Lens: make([]int, d)}
+	if len(buf.vecs) != d {
+		return Report{}, fmt.Errorf("multidim: buffer built for %d attributes, want %d", len(buf.vecs), d)
+	}
+	rep := buf.rep
+	for ai := range rep.Bits {
+		rep.Bits[ai] = nil
+		rep.Lens[ai] = 0
+	}
 	switch c.cfg.Strategy {
 	case Split:
 		for ai, e := range c.engines {
-			v := e.PerturbItem(record[ai], r)
-			rep.Bits[ai] = v.Words()
-			rep.Lens[ai] = v.Len()
+			e.PerturbItemInto(record[ai], r, buf.vecs[ai])
+			rep.Bits[ai] = buf.vecs[ai].Words()
+			rep.Lens[ai] = buf.vecs[ai].Len()
 		}
 	case Sample:
 		ai := r.IntN(d)
-		v := c.engines[ai].PerturbItem(record[ai], r)
-		rep.Bits[ai] = v.Words()
-		rep.Lens[ai] = v.Len()
+		c.engines[ai].PerturbItemInto(record[ai], r, buf.vecs[ai])
+		rep.Bits[ai] = buf.vecs[ai].Words()
+		rep.Lens[ai] = buf.vecs[ai].Len()
 	default:
 		return Report{}, fmt.Errorf("multidim: unknown strategy %v", c.cfg.Strategy)
 	}
@@ -166,7 +204,9 @@ func (c *Collector) NewAggregator() *Aggregator {
 	return &Aggregator{c: c, per: per}
 }
 
-// Add accumulates one report.
+// Add accumulates one report. The words are read in place on the
+// word-level ingest path (agg.AddWords) — no vector is materialized, so
+// Add composes with PerturbInto into a fully allocation-free loop.
 func (a *Aggregator) Add(rep Report) error {
 	if len(rep.Bits) != len(a.per) {
 		return fmt.Errorf("multidim: report covers %d attributes, want %d", len(rep.Bits), len(a.per))
@@ -179,11 +219,9 @@ func (a *Aggregator) Add(rep Report) error {
 			return fmt.Errorf("multidim: attribute %d report has %d bits, want %d",
 				ai, rep.Lens[ai], a.c.engines[ai].M())
 		}
-		v, err := bitvec.FromWords(words, rep.Lens[ai])
-		if err != nil {
+		if err := a.per[ai].AddWords(words, rep.Lens[ai]); err != nil {
 			return fmt.Errorf("multidim: attribute %d: %w", ai, err)
 		}
-		a.per[ai].Add(v)
 	}
 	a.users++
 	return nil

@@ -235,3 +235,106 @@ func TestStrategyString(t *testing.T) {
 		t.Fatal("strategy names wrong")
 	}
 }
+
+// TestPerturbIntoMatchesPerturb: with identical seeds, the buffered path
+// must emit exactly the reports of the allocating path, for both
+// strategies, and aggregate to identical estimates.
+func TestPerturbIntoMatchesPerturb(t *testing.T) {
+	for _, strat := range []Strategy{Split, Sample} {
+		c, err := New(Config{Attributes: attrs(t, 3, 6, math.Log(5)), Strategy: strat, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggA, aggB := c.NewAggregator(), c.NewAggregator()
+		buf := c.NewReportBuf()
+		const users = 200
+		for u := 0; u < users; u++ {
+			record := []int{u % 6, (u + 1) % 6, (u + 2) % 6}
+			ra, rb := rng.New(uint64(u+1)), rng.New(uint64(u+1))
+			repA, err := c.Perturb(record, ra)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := aggA.Add(repA); err != nil {
+				t.Fatal(err)
+			}
+			repB, err := c.PerturbInto(record, rb, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ai := range repA.Bits {
+				if (repA.Bits[ai] == nil) != (repB.Bits[ai] == nil) {
+					t.Fatalf("strategy %v user %d attr %d: reported-set mismatch", strat, u, ai)
+				}
+				for wi := range repA.Bits[ai] {
+					if repA.Bits[ai][wi] != repB.Bits[ai][wi] {
+						t.Fatalf("strategy %v user %d attr %d word %d: %x != %x",
+							strat, u, ai, wi, repB.Bits[ai][wi], repA.Bits[ai][wi])
+					}
+				}
+			}
+			if err := aggB.Add(repB); err != nil {
+				t.Fatal(err)
+			}
+		}
+		estA, err := aggA.Estimates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		estB, err := aggB.Estimates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ai := range estA {
+			for i := range estA[ai] {
+				if estA[ai][i] != estB[ai][i] {
+					t.Fatalf("strategy %v attr %d item %d: %v != %v", strat, ai, i, estB[ai][i], estA[ai][i])
+				}
+			}
+		}
+	}
+}
+
+// TestPerturbIntoAddLoopIsAllocationFree: the steady-state per-user loop
+// (PerturbInto + Aggregator.Add) must not allocate.
+func TestPerturbIntoAddLoopIsAllocationFree(t *testing.T) {
+	c, err := New(Config{Attributes: attrs(t, 2, 8, math.Log(5)), Strategy: Split, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.NewAggregator()
+	buf := c.NewReportBuf()
+	r := rng.New(11)
+	record := []int{3, 5}
+	avg := testing.AllocsPerRun(200, func() {
+		rep, err := c.PerturbInto(record, r, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("perturb+add loop allocates %v per user, want 0", avg)
+	}
+}
+
+// TestPerturbIntoValidation covers the buffer/record shape checks.
+func TestPerturbIntoValidation(t *testing.T) {
+	c2, err := New(Config{Attributes: attrs(t, 2, 4, math.Log(5)), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := New(Config{Attributes: attrs(t, 3, 4, math.Log(5)), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	if _, err := c2.PerturbInto([]int{1}, r, c2.NewReportBuf()); err == nil {
+		t.Fatal("short record accepted")
+	}
+	if _, err := c2.PerturbInto([]int{1, 2}, r, c3.NewReportBuf()); err == nil {
+		t.Fatal("foreign buffer accepted")
+	}
+}

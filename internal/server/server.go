@@ -22,6 +22,13 @@
 // to how reports were sharded or batched: Estimates computed from a
 // Snapshot are bit-for-bit identical to a single-goroutine Aggregator fed
 // the same reports in any order.
+//
+// The same order-independence makes durability exact: WithCheckpoint
+// periodically persists the merged counts via internal/checkpoint, and
+// Restore rebuilds a runtime whose state — and therefore whose estimates
+// — is bit-for-bit what an uninterrupted collector would hold for the
+// same reports. Stats exposes queue depths and ingest counters for
+// liveness monitoring (the fleet merger builds on both).
 package server
 
 import (
@@ -30,9 +37,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"idldp/internal/agg"
 	"idldp/internal/bitvec"
+	"idldp/internal/checkpoint"
 )
 
 // ErrClosed is returned by ingestion calls after Close.
@@ -45,12 +54,18 @@ var ErrClosed = errors.New("server: closed")
 const (
 	DefaultBatchSize  = 256
 	DefaultQueueDepth = 4
+	// DefaultCheckpointInterval paces the periodic checkpoint loop when
+	// WithCheckpoint is given a non-positive interval.
+	DefaultCheckpointInterval = time.Minute
 )
 
 type options struct {
-	shards     int
-	batchSize  int
-	queueDepth int
+	shards       int
+	batchSize    int
+	queueDepth   int
+	ckptDir      string
+	ckptInterval time.Duration
+	ckptKeep     int
 }
 
 // Option tunes a Server.
@@ -67,6 +82,23 @@ func WithBatchSize(k int) Option { return func(o *options) { o.batchSize = k } }
 // WithQueueDepth sets the per-shard channel buffer, in frames. d <= 0
 // selects DefaultQueueDepth.
 func WithQueueDepth(d int) Option { return func(o *options) { o.queueDepth = d } }
+
+// WithCheckpoint enables durable snapshots: every interval (<= 0 selects
+// DefaultCheckpointInterval) the merged per-shard counts are written
+// atomically to dir as a versioned, CRC-protected frame, and Close
+// writes a final frame after the drain. Restore resumes from the newest
+// valid frame with bit-identical counts — checkpointing is exact because
+// per-bit counts are order-independent integer sums.
+func WithCheckpoint(dir string, interval time.Duration) Option {
+	return func(o *options) {
+		o.ckptDir = dir
+		o.ckptInterval = interval
+	}
+}
+
+// WithCheckpointRetention keeps the newest k checkpoint frames on disk
+// (k <= 0 selects checkpoint.DefaultKeep).
+func WithCheckpointRetention(k int) Option { return func(o *options) { o.ckptKeep = k } }
 
 // shardMsg is one frame on a shard queue: exactly one of a raw report, a
 // pre-summed batch (counts+n), or a snapshot marker.
@@ -96,6 +128,21 @@ type Server struct {
 	shards    []*shard
 	next      atomic.Uint64 // round-robin shard cursor
 
+	start time.Time
+
+	// Runtime metrics (see Stats). reports counts restored reports too —
+	// a restored checkpoint re-enters through the normal ingest path.
+	reports atomic.Int64
+	frames  atomic.Int64
+
+	// Durability (nil/zero without WithCheckpoint).
+	store     *checkpoint.Store
+	ckptStop  chan struct{}
+	ckptDone  chan struct{}
+	ckptOnce  sync.Once
+	ckptSaves atomic.Int64
+	lastCkpt  atomic.Int64 // UnixNano of the newest frame, 0 = none
+
 	mu     sync.RWMutex // guards closed against in-flight sends
 	closed bool
 	wg     sync.WaitGroup
@@ -123,14 +170,117 @@ func New(bits int, opts ...Option) (*Server, error) {
 	if o.queueDepth <= 0 {
 		o.queueDepth = DefaultQueueDepth
 	}
-	s := &Server{bits: bits, batchSize: o.batchSize, shards: make([]*shard, o.shards)}
+	s := &Server{bits: bits, batchSize: o.batchSize, shards: make([]*shard, o.shards), start: time.Now()}
+	if o.ckptDir != "" {
+		// Open the store before starting any worker so a bad directory
+		// fails fast with nothing to tear down.
+		st, err := checkpoint.NewStore(o.ckptDir, o.ckptKeep)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.store = st
+	}
 	for i := range s.shards {
 		sh := &shard{ch: make(chan shardMsg, o.queueDepth), a: agg.New(bits)}
 		s.shards[i] = sh
 		s.wg.Add(1)
 		go s.worker(sh)
 	}
+	if s.store != nil {
+		interval := o.ckptInterval
+		if interval <= 0 {
+			interval = DefaultCheckpointInterval
+		}
+		s.ckptStop, s.ckptDone = make(chan struct{}), make(chan struct{})
+		go s.checkpointLoop(interval)
+	}
 	return s, nil
+}
+
+// Restore builds a Server that resumes from the newest valid checkpoint
+// in the WithCheckpoint directory, returning how many reports the
+// restored state already summarizes (0 when the directory holds no
+// checkpoint yet — a fresh campaign). The restored counts re-enter
+// through the normal batch path, so subsequent Snapshots are bit-for-bit
+// identical to an uninterrupted collector that had ingested the same
+// reports.
+func Restore(bits int, opts ...Option) (*Server, int64, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.ckptDir == "" {
+		return nil, 0, fmt.Errorf("server: Restore requires WithCheckpoint")
+	}
+	snap, ok, err := checkpoint.Latest(o.ckptDir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: %w", err)
+	}
+	if ok && snap.Bits != bits {
+		return nil, 0, fmt.Errorf("server: checkpoint has %d bits, domain has %d", snap.Bits, bits)
+	}
+	s, err := New(bits, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		return s, 0, nil
+	}
+	if err := s.AddCounts(snap.Counts, snap.N); err != nil {
+		s.Close()
+		return nil, 0, fmt.Errorf("server: restoring checkpoint seq %d: %w", snap.Seq, err)
+	}
+	return s, snap.N, nil
+}
+
+// checkpointLoop drives the periodic saves; failures are dropped and
+// retried at the next tick (the previous frame stays valid on disk).
+func (s *Server) checkpointLoop(interval time.Duration) {
+	defer close(s.ckptDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_, _ = s.CheckpointNow()
+		case <-s.ckptStop:
+			return
+		}
+	}
+}
+
+// CheckpointNow snapshots the runtime and writes one checkpoint frame
+// immediately, independent of the periodic interval. It errors if the
+// server was built without WithCheckpoint.
+func (s *Server) CheckpointNow() (checkpoint.Snapshot, error) {
+	if s.store == nil {
+		return checkpoint.Snapshot{}, fmt.Errorf("server: no checkpoint store configured")
+	}
+	counts, n := s.Snapshot()
+	snap, err := s.store.Save(counts, n)
+	if err != nil {
+		return checkpoint.Snapshot{}, err
+	}
+	s.noteCheckpoint(snap)
+	return snap, nil
+}
+
+func (s *Server) noteCheckpoint(snap checkpoint.Snapshot) {
+	s.ckptSaves.Add(1)
+	s.lastCkpt.Store(snap.Time.UnixNano())
+}
+
+// stopCheckpointLoop halts the periodic saver and waits for it to exit.
+// It must run before Close takes the write lock: a tick in flight holds
+// a read lock inside Snapshot and would deadlock against it.
+func (s *Server) stopCheckpointLoop() {
+	if s.ckptStop == nil {
+		return
+	}
+	s.ckptOnce.Do(func() {
+		close(s.ckptStop)
+		<-s.ckptDone
+	})
 }
 
 // worker owns one shard's aggregator; it is the only goroutine that ever
@@ -181,7 +331,12 @@ func (s *Server) Add(v *bitvec.Vector) error {
 	if v.Len() != s.bits {
 		return fmt.Errorf("server: report has %d bits, domain has %d", v.Len(), s.bits)
 	}
-	return s.send(shardMsg{report: v})
+	if err := s.send(shardMsg{report: v}); err != nil {
+		return err
+	}
+	s.reports.Add(1)
+	s.frames.Add(1)
+	return nil
 }
 
 // AddCounts ingests a pre-summed batch. The server takes ownership of
@@ -193,7 +348,17 @@ func (s *Server) AddCounts(counts []int64, n int64) error {
 	if n == 0 {
 		return nil
 	}
-	return s.send(shardMsg{counts: counts, n: n})
+	return s.sendCounts(counts, n)
+}
+
+// sendCounts ships one pre-validated batch frame and bumps the metrics.
+func (s *Server) sendCounts(counts []int64, n int64) error {
+	if err := s.send(shardMsg{counts: counts, n: n}); err != nil {
+		return err
+	}
+	s.reports.Add(n)
+	s.frames.Add(1)
+	return nil
 }
 
 func validateBatch(bits int, counts []int64, n int64) error {
@@ -245,11 +410,61 @@ func (s *Server) N() int64 {
 	return n
 }
 
+// Stats is a point-in-time view of the runtime's health, cheap enough to
+// poll from a metrics endpoint: no shard quiesce, only atomic counter
+// reads and channel lengths.
+type Stats struct {
+	// Shards and BatchSize echo the runtime configuration.
+	Shards    int `json:"shards"`
+	BatchSize int `json:"batch_size"`
+	// Reports counts reports accepted for ingestion (including reports
+	// represented by pre-summed batches and restored checkpoints);
+	// Frames counts the frames they were shipped in. Reports buffered in
+	// producer-side Batchers are counted only once their batch flushes.
+	Reports int64 `json:"reports"`
+	Frames  int64 `json:"frames"`
+	// QueueDepth is the number of frames waiting per shard queue; sustained
+	// full queues mean the workers are the bottleneck (consider load
+	// shedding or more shards).
+	QueueDepth []int `json:"queue_depth"`
+	// Uptime is the time since New; divide Frames/Reports by it for rates.
+	Uptime time.Duration `json:"uptime_ns"`
+	// Checkpoints counts frames written; LastCheckpoint is the newest
+	// frame's timestamp (zero when none or checkpointing is disabled).
+	Checkpoints    int64     `json:"checkpoints"`
+	LastCheckpoint time.Time `json:"last_checkpoint"`
+}
+
+// Stats returns current runtime metrics. It is safe to call concurrently
+// with ingestion and after Close (queue depths read zero once drained).
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Shards:      len(s.shards),
+		BatchSize:   s.batchSize,
+		Reports:     s.reports.Load(),
+		Frames:      s.frames.Load(),
+		QueueDepth:  make([]int, len(s.shards)),
+		Uptime:      time.Since(s.start),
+		Checkpoints: s.ckptSaves.Load(),
+	}
+	for i, sh := range s.shards {
+		st.QueueDepth[i] = len(sh.ch)
+	}
+	if ns := s.lastCkpt.Load(); ns != 0 {
+		st.LastCheckpoint = time.Unix(0, ns)
+	}
+	return st
+}
+
 // Close stops the shard workers after draining their queues and captures
-// the final merged state, which Snapshot keeps serving. Producers must
-// have flushed their Batchers; ingestion calls racing with Close may
-// return ErrClosed.
+// the final merged state, which Snapshot keeps serving; with
+// WithCheckpoint it then writes a final frame so a graceful shutdown
+// loses nothing. Producers must have flushed their Batchers; ingestion
+// calls racing with Close may return ErrClosed.
 func (s *Server) Close() error {
+	// Stop the periodic saver before taking the write lock — a tick in
+	// flight holds a read lock inside Snapshot.
+	s.stopCheckpointLoop()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -267,6 +482,13 @@ func (s *Server) Close() error {
 		}
 	}
 	s.finalCounts, s.finalN = total.Counts(), total.N()
+	if s.store != nil {
+		snap, err := s.store.Save(s.finalCounts, s.finalN)
+		if err != nil {
+			return err
+		}
+		s.noteCheckpoint(snap)
+	}
 	return nil
 }
 
@@ -358,5 +580,5 @@ func (b *Batcher) Flush() error {
 	counts, n := b.counts, b.n
 	b.counts = make([]int64, b.s.bits)
 	b.n = 0
-	return b.s.send(shardMsg{counts: counts, n: n})
+	return b.s.sendCounts(counts, n)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"idldp/internal/agg"
 	"idldp/internal/bitvec"
@@ -275,5 +276,202 @@ func TestValidation(t *testing.T) {
 	counts, n := s.Snapshot()
 	if len(counts) != 8 || n != 0 {
 		t.Fatalf("Snapshot after Close: counts=%v n=%d", counts, n)
+	}
+}
+
+// feedReports pushes reports through a fresh batcher and flushes.
+func feedReports(t *testing.T, s *Server, reports []*bitvec.Vector) {
+	t.Helper()
+	b := s.NewBatcher()
+	for _, v := range reports {
+		if err := b.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointRestoreEquivalence simulates a crash: ingest half the
+// campaign, checkpoint, abandon the runtime without a graceful Close
+// (its workers are deliberately leaked, as in a kill -9), restore into a
+// fresh runtime with a different shard count, ingest the second half,
+// and require counts and estimates bit-for-bit identical to an
+// uninterrupted collector.
+func TestCheckpointRestoreEquivalence(t *testing.T) {
+	const n, m = 4000, 131
+	dir := t.TempDir()
+	reports := randomReports(n, m, 7)
+
+	whole, err := New(m, WithShards(4), WithBatchSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedReports(t, whole, reports)
+	wantCounts, wantN, err := whole.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: half the campaign, one explicit checkpoint, then "kill".
+	first, err := New(m, WithShards(3), WithBatchSize(32), WithCheckpoint(dir, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedReports(t, first, reports[:n/2])
+	if _, err := first.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	// Reports ingested after the last checkpoint are lost in a crash;
+	// prove they do not leak into the restored state.
+	feedReports(t, first, randomReports(100, m, 999))
+	first.stopCheckpointLoop() // the only cleanup a crash test affords
+
+	second, restored, err := Restore(m, WithShards(5), WithBatchSize(128), WithCheckpoint(dir, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != n/2 {
+		t.Fatalf("restored %d reports, want %d", restored, n/2)
+	}
+	feedReports(t, second, reports[n/2:])
+	gotCounts, gotN, err := second.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN != wantN {
+		t.Fatalf("restored run n = %d, want %d", gotN, wantN)
+	}
+	for i := range wantCounts {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatalf("bit %d: restored count %d, want %d", i, gotCounts[i], wantCounts[i])
+		}
+	}
+}
+
+// TestCloseWritesFinalCheckpoint proves a graceful shutdown loses
+// nothing: Restore after Close resumes with every report.
+func TestCloseWritesFinalCheckpoint(t *testing.T) {
+	const n, m = 500, 40
+	dir := t.TempDir()
+	s, err := New(m, WithShards(2), WithCheckpoint(dir, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := randomReports(n, m, 3)
+	feedReports(t, s, reports)
+	wantCounts, wantN, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, restored, err := Restore(m, WithCheckpoint(dir, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if restored != wantN {
+		t.Fatalf("restored %d, want %d", restored, wantN)
+	}
+	gotCounts, gotN := re.Snapshot()
+	if gotN != wantN {
+		t.Fatalf("restored snapshot n = %d, want %d", gotN, wantN)
+	}
+	for i := range wantCounts {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatalf("bit %d: %d != %d", i, gotCounts[i], wantCounts[i])
+		}
+	}
+}
+
+// TestPeriodicCheckpointLoop exercises the interval-driven saver.
+func TestPeriodicCheckpointLoop(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(17, WithCheckpoint(dir, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Add(bitvec.OneHot(17, 3)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no periodic checkpoint within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.LastCheckpoint.IsZero() {
+		t.Fatal("LastCheckpoint not recorded")
+	}
+}
+
+// TestRestoreValidation covers the error paths of Restore.
+func TestRestoreValidation(t *testing.T) {
+	if _, _, err := Restore(8); err == nil {
+		t.Fatal("Restore without WithCheckpoint accepted")
+	}
+	dir := t.TempDir()
+	s, _, err := Restore(8, WithCheckpoint(dir, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Restore(9, WithCheckpoint(dir, time.Hour)); err == nil {
+		t.Fatal("Restore with mismatched bits accepted")
+	}
+}
+
+// TestStats checks the ingest counters and configuration echo.
+func TestStats(t *testing.T) {
+	s, err := New(32, WithShards(2), WithBatchSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Add(bitvec.OneHot(32, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := make([]int64, 32)
+	counts[5] = 4
+	if err := s.AddCounts(counts, 10); err != nil {
+		t.Fatal(err)
+	}
+	b := s.NewBatcher()
+	for i := 0; i < 20; i++ {
+		if err := b.Add(bitvec.OneHot(32, i%32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Shards != 2 || st.BatchSize != 8 {
+		t.Fatalf("config echo: %+v", st)
+	}
+	if st.Reports != 3+10+20 {
+		t.Fatalf("Reports = %d, want 33", st.Reports)
+	}
+	// 3 single-report frames + 1 pre-summed batch + ceil(20/8)=3 batcher
+	// flushes (two full, one partial).
+	if st.Frames != 3+1+3 {
+		t.Fatalf("Frames = %d, want 7", st.Frames)
+	}
+	if len(st.QueueDepth) != 2 {
+		t.Fatalf("QueueDepth = %v", st.QueueDepth)
+	}
+	if st.Uptime <= 0 {
+		t.Fatalf("Uptime = %v", st.Uptime)
+	}
+	if st.Checkpoints != 0 || !st.LastCheckpoint.IsZero() {
+		t.Fatalf("checkpoint stats on checkpoint-free server: %+v", st)
 	}
 }

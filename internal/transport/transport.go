@@ -5,9 +5,12 @@
 // is untrusted and never sees raw inputs.
 //
 // The wire protocol is a gob stream of Frame values per connection. A
-// frame carries either one report (the packed words of a bit vector) or a
-// pre-summed batch (per-bit counts plus a user count), which lets heavy
-// clients aggregate locally and ship O(m) bytes total.
+// frame carries one report (the packed words of a bit vector), a
+// pre-summed batch (per-bit counts plus a user count) — which lets heavy
+// clients aggregate locally and ship O(m) bytes total — or a snapshot
+// request, answered with a snapshot frame holding the server's current
+// merged counts; the fleet merger (internal/fleet) polls these to build
+// an exact cross-node aggregate.
 //
 // Ingestion runs on the sharded runtime of internal/server: each
 // connection handler owns a server.Batcher that folds single-report
@@ -24,6 +27,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"idldp/internal/agg"
 	"idldp/internal/bitvec"
@@ -38,15 +42,21 @@ const (
 	FrameReport FrameKind = 1
 	// FrameBatch carries a pre-summed batch of reports.
 	FrameBatch FrameKind = 2
+	// FrameSnapshotRequest asks the server for its current merged state;
+	// the server replies with a FrameSnapshot on the same connection.
+	FrameSnapshotRequest FrameKind = 3
+	// FrameSnapshot is the server's reply: the merged per-bit counts, the
+	// user count, and the domain size.
+	FrameSnapshot FrameKind = 4
 )
 
 // Frame is the wire message.
 type Frame struct {
 	Kind   FrameKind
 	Words  []uint64 // FrameReport: packed bit vector
-	Bits   int      // FrameReport: vector length
-	Counts []int64  // FrameBatch: per-bit counts
-	N      int64    // FrameBatch: number of users summed
+	Bits   int      // FrameReport: vector length; FrameSnapshot: domain size
+	Counts []int64  // FrameBatch / FrameSnapshot: per-bit counts
+	N      int64    // FrameBatch / FrameSnapshot: number of users summed
 }
 
 // Server accepts report streams and aggregates them on the sharded
@@ -70,6 +80,14 @@ func Serve(addr string, bits int, opts ...server.Option) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
+	return ServeSink(addr, sink)
+}
+
+// ServeSink serves an already-built ingestion runtime — the hook for
+// runtimes constructed with server.Restore (durable collectors that
+// resume mid-campaign). The transport takes ownership of sink: Close
+// closes it, and a failed listen closes it immediately.
+func ServeSink(addr string, sink *server.Server) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		sink.Close()
@@ -78,7 +96,7 @@ func Serve(addr string, bits int, opts ...server.Option) (*Server, error) {
 	s := &Server{
 		lis:   lis,
 		sink:  sink,
-		bits:  bits,
+		bits:  sink.Bits(),
 		conns: make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -120,8 +138,17 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	dec := gob.NewDecoder(conn)
+	var enc *gob.Encoder // lazily created on the first snapshot request
+	// One Frame for the whole stream: gob reuses the slices' backing
+	// arrays once they have grown, so the steady-state decode path — and
+	// the AddWords ingest behind it — allocates nothing per report.
+	var f Frame
 	for {
-		var f Frame
+		// Reset in place, keeping capacity. gob omits zero-valued fields
+		// on encode, so without this a field absent from the next frame
+		// would silently retain the previous frame's value.
+		f.Kind, f.Bits, f.N = 0, 0, 0
+		f.Words, f.Counts = f.Words[:0], f.Counts[:0]
 		if err := dec.Decode(&f); err != nil {
 			return // EOF or malformed stream ends the connection
 		}
@@ -132,6 +159,18 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		case FrameBatch:
 			if batcher.AddCounts(f.Counts, f.N) != nil {
+				return
+			}
+		case FrameSnapshotRequest:
+			// Flush first so the requester's own reports are included.
+			if batcher.Flush() != nil {
+				return
+			}
+			counts, n := s.sink.Snapshot()
+			if enc == nil {
+				enc = gob.NewEncoder(conn)
+			}
+			if enc.Encode(Frame{Kind: FrameSnapshot, Counts: counts, N: n, Bits: s.bits}) != nil {
 				return
 			}
 		default:
@@ -146,6 +185,14 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) Snapshot() (counts []int64, n int64) {
 	return s.sink.Snapshot()
 }
+
+// Stats returns the ingestion runtime's metrics (queue depths, ingest
+// counters, checkpoint activity).
+func (s *Server) Stats() server.Stats { return s.sink.Stats() }
+
+// Runtime exposes the underlying ingestion runtime, e.g. to trigger
+// CheckpointNow on a durable collector.
+func (s *Server) Runtime() *server.Server { return s.sink }
 
 // Estimate calibrates the current state into frequency estimates.
 func (s *Server) Estimate(a, b []float64, scale float64) ([]float64, error) {
@@ -182,6 +229,7 @@ func (s *Server) Close() error {
 type Client struct {
 	conn net.Conn
 	enc  *gob.Encoder
+	dec  *gob.Decoder
 }
 
 // Dial connects to an aggregation server.
@@ -191,7 +239,31 @@ func Dial(ctx context.Context, addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn)}, nil
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// SetDeadline bounds every subsequent read and write on the connection —
+// pollers use it to keep a dead node from blocking Snapshot forever.
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// Snapshot asks the server for its current merged state. The reply is
+// consistent with every frame this client has already sent (the server
+// flushes the connection's batcher before answering).
+func (c *Client) Snapshot() (counts []int64, n int64, bits int, err error) {
+	if err := c.enc.Encode(Frame{Kind: FrameSnapshotRequest}); err != nil {
+		return nil, 0, 0, fmt.Errorf("transport: %w", err)
+	}
+	var f Frame
+	if err := c.dec.Decode(&f); err != nil {
+		return nil, 0, 0, fmt.Errorf("transport: %w", err)
+	}
+	if f.Kind != FrameSnapshot {
+		return nil, 0, 0, fmt.Errorf("transport: unexpected frame kind %d in snapshot reply", f.Kind)
+	}
+	if f.Counts == nil {
+		f.Counts = make([]int64, f.Bits) // defensive: gob omits empty slices
+	}
+	return f.Counts, f.N, f.Bits, nil
 }
 
 // SendReport ships one perturbed report.

@@ -237,3 +237,158 @@ func TestEndToEndOverTCP(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotFrame exercises the snapshot request/reply frames: the
+// reply must include the requester's own unflushed reports and match the
+// server's local snapshot exactly.
+func TestSnapshotFrame(t *testing.T) {
+	const m = 70
+	srv, err := Serve("127.0.0.1:0", m, server.WithBatchSize(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Empty server first.
+	counts, n, bits, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || bits != m || len(counts) != m {
+		t.Fatalf("empty snapshot: n=%d bits=%d len=%d", n, bits, len(counts))
+	}
+
+	// Reports smaller than the batch size stay in the connection batcher
+	// until the snapshot request flushes them.
+	want := make([]int64, m)
+	for i := 0; i < 5; i++ {
+		v := bitvec.OneHot(m, i*7)
+		want[i*7]++
+		if err := c.SendReport(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts, n, _, err = c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("snapshot n = %d, want 5 (own reports must be flushed)", n)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bit %d: %d != %d", i, counts[i], want[i])
+		}
+	}
+	localCounts, localN := srv.Snapshot()
+	if localN != n {
+		t.Fatalf("wire snapshot n=%d, local n=%d", n, localN)
+	}
+	for i := range localCounts {
+		if counts[i] != localCounts[i] {
+			t.Fatalf("bit %d: wire %d, local %d", i, counts[i], localCounts[i])
+		}
+	}
+}
+
+// TestInterleavedFrameKindsReuseSafely interleaves report, batch, and
+// snapshot frames on one connection. The server decodes every frame into
+// one reused Frame value, so any stale-field leakage between kinds would
+// corrupt counts here.
+func TestInterleavedFrameKindsReuseSafely(t *testing.T) {
+	const m = 40
+	srv, err := Serve("127.0.0.1:0", m, server.WithBatchSize(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	want := make([]int64, m)
+	var wantN int64
+	for round := 0; round < 10; round++ {
+		v := bitvec.OneHot(m, round%m)
+		want[round%m]++
+		wantN++
+		if err := c.SendReport(v); err != nil {
+			t.Fatal(err)
+		}
+		local := agg.New(m)
+		for u := 0; u < round+1; u++ {
+			w := bitvec.OneHot(m, (round*3+u)%m)
+			local.Add(w)
+			want[(round*3+u)%m]++
+		}
+		wantN += int64(round + 1)
+		if err := c.SendBatch(local); err != nil {
+			t.Fatal(err)
+		}
+		counts, n, _, err := c.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != wantN {
+			t.Fatalf("round %d: n=%d want %d", round, n, wantN)
+		}
+		for i := range want {
+			if counts[i] != want[i] {
+				t.Fatalf("round %d bit %d: %d != %d", round, i, counts[i], want[i])
+			}
+		}
+	}
+}
+
+// TestServeSinkRestoresDurableCollector runs the full durable-server
+// path over TCP: serve a restored runtime and confirm the snapshot frame
+// carries the pre-crash counts.
+func TestServeSinkRestoresDurableCollector(t *testing.T) {
+	const m = 24
+	dir := t.TempDir()
+	first, err := server.New(m, server.WithCheckpoint(dir, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Add(bitvec.OneHot(m, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Close(); err != nil { // graceful stop writes a final frame
+		t.Fatal(err)
+	}
+
+	sink, restored, err := server.Restore(m, server.WithCheckpoint(dir, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 1 {
+		t.Fatalf("restored %d, want 1", restored)
+	}
+	srv, err := ServeSink("127.0.0.1:0", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	counts, n, _, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || counts[3] != 1 {
+		t.Fatalf("restored snapshot over TCP: n=%d counts[3]=%d", n, counts[3])
+	}
+	if srv.Stats().Reports != 1 {
+		t.Fatalf("Stats.Reports = %d, want 1", srv.Stats().Reports)
+	}
+}
