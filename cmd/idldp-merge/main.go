@@ -8,10 +8,16 @@
 // Node specs: "tcp://host:port" or bare "host:port" for idldp-server,
 // "http://host:port" for an httpapi node.
 //
+// With -stream every poll's merged delta is printed live as it is
+// published (a node restarting without its checkpoint shows up as a
+// "resync" frame rather than corrupting the feed); with -window k the
+// final report additionally answers over the last k polls — "what
+// happened recently" instead of all-time.
+//
 // Usage:
 //
 //	idldp-merge -nodes tcp://127.0.0.1:7070,tcp://127.0.0.1:7071 [-once]
-//	            [-interval 2s] [-duration 0] [-stale 15s]
+//	            [-interval 2s] [-duration 0] [-stale 15s] [-stream] [-window 0]
 package main
 
 import (
@@ -23,32 +29,39 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"idldp/internal/budget"
 	"idldp/internal/core"
 	"idldp/internal/fleet"
+	"idldp/internal/stream"
 )
 
 func main() {
 	var (
-		nodes    = flag.String("nodes", "", "comma-separated node specs (tcp://host:port or http://host:port)")
-		interval = flag.Duration("interval", 2*time.Second, "poll interval")
-		once     = flag.Bool("once", false, "poll every node once, print the merged state, and exit")
-		duration = flag.Duration("duration", 0, "stop after this long (0 = until signal)")
-		stale    = flag.Duration("stale", 15*time.Second, "report a node stale after this long without a successful poll")
+		nodes     = flag.String("nodes", "", "comma-separated node specs (tcp://host:port or http://host:port)")
+		interval  = flag.Duration("interval", 2*time.Second, "poll interval")
+		once      = flag.Bool("once", false, "poll every node once, print the merged state, and exit")
+		duration  = flag.Duration("duration", 0, "stop after this long (0 = until signal)")
+		stale     = flag.Duration("stale", 15*time.Second, "report a node stale after this long without a successful poll")
+		streamOut = flag.Bool("stream", false, "print each merged update as it is published")
+		window    = flag.Int("window", 0, "also report estimates over the last k polls (0 = all-time only)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *nodes, *interval, *duration, *stale, *once); err != nil {
+	if err := run(os.Stdout, *nodes, *interval, *duration, *stale, *once, *streamOut, *window); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-merge:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, nodes string, interval, duration, stale time.Duration, once bool) error {
+func run(w io.Writer, nodes string, interval, duration, stale time.Duration, once, streamOut bool, window int) error {
 	if nodes == "" {
 		return fmt.Errorf("-nodes is required")
+	}
+	if window < 0 {
+		return fmt.Errorf("-window must be non-negative")
 	}
 	var sources []fleet.Source
 	for _, spec := range strings.Split(nodes, ",") {
@@ -67,13 +80,51 @@ func run(w io.Writer, nodes string, interval, duration, stale time.Duration, onc
 		return err
 	}
 
+	// The merged delta stream drives both -stream output and -window
+	// bookkeeping.
+	var win *stream.Window
+	var consumer sync.WaitGroup
+	if streamOut || window > 0 {
+		if window > 0 {
+			if win, err = stream.NewWindow(engine.M(), window); err != nil {
+				return err
+			}
+		}
+		sub, err := f.Subscribe(64)
+		if err != nil {
+			return err
+		}
+		consumer.Add(1)
+		go func() {
+			defer consumer.Done()
+			for d := range sub.C() {
+				if win != nil {
+					_ = win.Push(d)
+				}
+				if streamOut {
+					kind := "delta"
+					if d.Resync {
+						kind = "resync"
+					}
+					fmt.Fprintf(w, "stream: seq=%d %s n=%d (+%d)\n", d.Seq, kind, d.N, d.DN)
+				}
+			}
+		}()
+	}
+	finish := func() {
+		f.Close() // ends the consumer goroutine
+		consumer.Wait()
+		printState(w, f, engine)
+		printWindow(w, win, engine, window)
+	}
+
 	ctx := context.Background()
 	if once {
 		pollErr := f.Poll(ctx)
 		if pollErr != nil {
 			fmt.Fprintln(os.Stderr, "poll:", pollErr)
 		}
-		printState(w, f, engine)
+		finish()
 		if _, n := f.Counts(); n == 0 && pollErr != nil {
 			// Nothing merged and at least one node failed: exit nonzero so
 			// scripts don't mistake a dead fleet for an empty one.
@@ -103,7 +154,7 @@ func run(w io.Writer, nodes string, interval, duration, stale time.Duration, onc
 		}
 	}()
 	f.Run(runCtx, interval, func(err error) { fmt.Fprintln(os.Stderr, "poll:", err) })
-	printState(w, f, engine)
+	finish()
 	return nil
 }
 
@@ -134,8 +185,33 @@ func printState(w io.Writer, f *fleet.Fleet, engine *core.Engine) {
 		fmt.Fprintln(w, "estimate:", err)
 		return
 	}
-	names := []string{"HIV", "flu", "headache", "stomachache", "toothache"}
 	fmt.Fprintln(w, "fleet-wide estimated frequencies:")
+	printEstimates(w, est)
+}
+
+// printWindow renders the sliding-window view when -window is set.
+func printWindow(w io.Writer, win *stream.Window, engine *core.Engine, window int) {
+	if win == nil {
+		return
+	}
+	counts, n := win.Counts()
+	fmt.Fprintf(w, "windowed (last %d polls): n=%d\n", window, n)
+	if n <= 0 {
+		// n < 0 happens transiently when a node reset's negative implied
+		// interval is still inside the window; estimates are undefined
+		// until it ages out.
+		return
+	}
+	est, err := engine.EstimateSingle(counts, int(n))
+	if err != nil {
+		fmt.Fprintln(w, "estimate:", err)
+		return
+	}
+	printEstimates(w, est)
+}
+
+func printEstimates(w io.Writer, est []float64) {
+	names := []string{"HIV", "flu", "headache", "stomachache", "toothache"}
 	for i, e := range est {
 		fmt.Fprintf(w, "  %-12s %8.0f\n", names[i], math.Max(e, 0))
 	}

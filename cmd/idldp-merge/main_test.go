@@ -47,7 +47,7 @@ func TestRunOnceMergesTwoServers(t *testing.T) {
 
 	var out bytes.Buffer
 	specs := "tcp://" + addrs[0] + ", " + addrs[1]
-	if err := run(&out, specs, time.Second, 0, time.Minute, true); err != nil {
+	if err := run(&out, specs, time.Second, 0, time.Minute, true, true, 4); err != nil {
 		t.Fatal(err)
 	}
 	want := fmt.Sprintf("merged n=%d across 2 nodes", perNode[0]+perNode[1])
@@ -60,13 +60,13 @@ func TestRunOnceMergesTwoServers(t *testing.T) {
 }
 
 func TestRunRequiresNodes(t *testing.T) {
-	if err := run(&bytes.Buffer{}, "", time.Second, 0, time.Minute, true); err == nil {
+	if err := run(&bytes.Buffer{}, "", time.Second, 0, time.Minute, true, false, 0); err == nil {
 		t.Fatal("empty -nodes accepted")
 	}
 }
 
 func TestRunRejectsBadSpec(t *testing.T) {
-	if err := run(&bytes.Buffer{}, "gopher://nope", time.Second, 0, time.Minute, true); err == nil {
+	if err := run(&bytes.Buffer{}, "gopher://nope", time.Second, 0, time.Minute, true, false, 0); err == nil {
 		t.Fatal("bad node spec accepted")
 	}
 }
@@ -74,7 +74,51 @@ func TestRunRejectsBadSpec(t *testing.T) {
 func TestRunOnceDeadFleetExitsNonzero(t *testing.T) {
 	var out bytes.Buffer
 	// Nothing listens on this port; -once against a dead fleet must error.
-	if err := run(&out, "tcp://127.0.0.1:1", time.Second, 0, time.Minute, true); err == nil {
+	if err := run(&out, "tcp://127.0.0.1:1", time.Second, 0, time.Minute, true, false, 0); err == nil {
 		t.Fatalf("dead fleet reported success:\n%s", out.String())
+	}
+}
+
+// TestRunOnceWindowAndStreamOutput: with -stream and -window, the merge
+// prints live frames and a windowed estimate section whose single-poll
+// window equals the all-time merge.
+func TestRunOnceWindowAndStreamOutput(t *testing.T) {
+	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.Serve("127.0.0.1:0", engine.M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := transport.Dial(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for u := 0; u < 40; u++ {
+		if err := c.SendReport(engine.PerturbItem(u%engine.M(), r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, err := c.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	var out bytes.Buffer
+	if err := run(&out, srv.Addr(), time.Second, 0, time.Minute, true, true, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"stream: seq=",
+		"merged n=40 across 1 nodes",
+		"windowed (last 3 polls): n=40",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
 	}
 }

@@ -9,16 +9,27 @@
 // final frame on shutdown. A fleet of such servers can be merged exactly
 // with idldp-merge.
 //
+// With -stream the server additionally serves the HTTP API on the given
+// address with live estimates enabled: GET /v1/estimates/stream is a
+// Server-Sent Events feed publishing calibrated estimates every
+// -stream-interval, and GET /v1/estimates?window=k answers over the last
+// k intervals of the -window-interval sliding window. The ingestion
+// runtime is shared — reports arriving over gob-TCP show up on the HTTP
+// stream within one interval.
+//
 // Usage:
 //
 //	idldp-server [-addr 127.0.0.1:7070] [-duration 30s] [-shards 0] [-batch-size 256]
 //	             [-checkpoint-dir DIR] [-checkpoint-interval 10s]
+//	             [-stream 127.0.0.1:8080] [-stream-interval 1s] [-window 60]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,32 +37,40 @@ import (
 
 	"idldp/internal/budget"
 	"idldp/internal/core"
+	"idldp/internal/httpapi"
 	"idldp/internal/server"
 	"idldp/internal/transport"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:7070", "listen address")
-		duration     = flag.Duration("duration", 0, "stop after this long (0 = until signal)")
-		shards       = flag.Int("shards", 0, "ingestion shard workers (0 = GOMAXPROCS)")
-		batchSize    = flag.Int("batch-size", 0, "reports per ingestion frame (0 = runtime default)")
-		ckptDir      = flag.String("checkpoint-dir", "", "durable checkpoint directory (empty = no durability)")
-		ckptInterval = flag.Duration("checkpoint-interval", 10*time.Second, "time between periodic checkpoints")
+		addr           = flag.String("addr", "127.0.0.1:7070", "listen address")
+		duration       = flag.Duration("duration", 0, "stop after this long (0 = until signal)")
+		shards         = flag.Int("shards", 0, "ingestion shard workers (0 = GOMAXPROCS)")
+		batchSize      = flag.Int("batch-size", 0, "reports per ingestion frame (0 = runtime default)")
+		ckptDir        = flag.String("checkpoint-dir", "", "durable checkpoint directory (empty = no durability)")
+		ckptInterval   = flag.Duration("checkpoint-interval", 10*time.Second, "time between periodic checkpoints")
+		streamAddr     = flag.String("stream", "", "HTTP listen address for live estimates + SSE (empty = no HTTP API)")
+		streamInterval = flag.Duration("stream-interval", time.Second, "time between published estimate intervals")
+		window         = flag.Int("window", 60, "sliding-window capacity in stream intervals")
 	)
 	flag.Parse()
-	if err := run(*addr, *duration, *shards, *batchSize, *ckptDir, *ckptInterval); err != nil {
+	if err := run(*addr, *duration, *shards, *batchSize, *ckptDir, *ckptInterval, *streamAddr, *streamInterval, *window); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, duration time.Duration, shards, batchSize int, ckptDir string, ckptInterval time.Duration) error {
+func run(addr string, duration time.Duration, shards, batchSize int, ckptDir string, ckptInterval time.Duration,
+	streamAddr string, streamInterval time.Duration, window int) error {
 	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
 	if err != nil {
 		return err
 	}
 	opts := []server.Option{server.WithShards(shards), server.WithBatchSize(batchSize)}
+	if streamAddr != "" {
+		opts = append(opts, server.WithStream(streamInterval))
+	}
 	var sink *server.Server
 	var restored int64
 	if ckptDir != "" {
@@ -74,6 +93,24 @@ func run(addr string, duration time.Duration, shards, batchSize int, ckptDir str
 		fmt.Printf("durable: checkpointing to %s every %v (restored %d reports)\n",
 			ckptDir, ckptInterval, restored)
 	}
+	var handler *httpapi.Handler
+	if streamAddr != "" {
+		// The HTTP handler rides the same ingestion runtime.
+		h, err := httpapi.NewSinkStreaming(sink, engine.EstimateSingle,
+			httpapi.StreamConfig{Interval: streamInterval, Window: window})
+		if err != nil {
+			return err
+		}
+		handler = h
+		lis, err := net.Listen("tcp", streamAddr)
+		if err != nil {
+			return err
+		}
+		defer lis.Close()
+		go func() { _ = http.Serve(lis, h) }()
+		fmt.Printf("streaming: HTTP API + SSE on http://%s (interval %v, window %d intervals)\n",
+			lis.Addr(), streamInterval, window)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
@@ -86,14 +123,22 @@ func run(addr string, duration time.Duration, shards, batchSize int, ckptDir str
 		<-stop
 	}
 
+	if handler != nil {
+		// Flush the HTTP handler's pooled batchers (and drain the shared
+		// runtime) before the final read, so reports POSTed over HTTP but
+		// not yet framed make it into the printed estimates and the final
+		// checkpoint. Close is idempotent across the handler and the
+		// transport below.
+		_ = handler.Close()
+	}
 	counts, n := srv.Snapshot()
 	if n == 0 {
 		fmt.Println("no reports received")
 		return nil
 	}
 	st := srv.Stats()
-	fmt.Printf("runtime: %d reports in %d frames over %d shards (%d checkpoints)\n",
-		st.Reports, st.Frames, st.Shards, st.Checkpoints)
+	fmt.Printf("runtime: %d reports in %d frames over %d shards (%d checkpoints, %.0f reports/s EWMA)\n",
+		st.Reports, st.Frames, st.Shards, st.Checkpoints, st.ArrivalRate)
 	est, err := engine.EstimateSingle(counts, int(n))
 	if err != nil {
 		return err

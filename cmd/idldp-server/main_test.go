@@ -8,7 +8,7 @@ import (
 
 func TestRunStopsAfterDuration(t *testing.T) {
 	done := make(chan error, 1)
-	go func() { done <- run("127.0.0.1:0", 100*time.Millisecond, 2, 64, "", 0) }()
+	go func() { done <- run("127.0.0.1:0", 100*time.Millisecond, 2, 64, "", 0, "", time.Second, 8) }()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -20,7 +20,7 @@ func TestRunStopsAfterDuration(t *testing.T) {
 }
 
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.0.0.1:bad", time.Millisecond, 0, 0, "", 0); err == nil {
+	if err := run("256.0.0.1:bad", time.Millisecond, 0, 0, "", 0, "", time.Second, 8); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }
@@ -28,7 +28,7 @@ func TestRunBadAddr(t *testing.T) {
 func TestRunDurableWritesCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	done := make(chan error, 1)
-	go func() { done <- run("127.0.0.1:0", 100*time.Millisecond, 2, 64, dir, time.Hour) }()
+	go func() { done <- run("127.0.0.1:0", 100*time.Millisecond, 2, 64, dir, time.Hour, "", time.Second, 8) }()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -44,5 +44,20 @@ func TestRunDurableWritesCheckpoint(t *testing.T) {
 	}
 	if len(entries) == 0 {
 		t.Fatal("no checkpoint frame written on shutdown")
+	}
+}
+
+func TestRunStreamingServesSSE(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", 300*time.Millisecond, 2, 8, "", 0, "127.0.0.1:0", 20*time.Millisecond, 8)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("streaming server did not stop after its duration")
 	}
 }

@@ -40,6 +40,22 @@
 // order-independent integer sums. The gob-TCP transport
 // (internal/transport) and the HTTP/JSON API (internal/httpapi) feed the
 // same runtime. A sharded Server must be Closed to stop its workers.
+//
+// # Streaming estimates
+//
+// With WithStream the server additionally publishes one sparse delta of
+// its aggregate state per interval, and Server.Stream returns a live
+// subscription maintaining calibrated estimates incrementally — exactly
+// (bit for bit) what Estimates would return at the same state, at
+// O(changed bits) per interval — plus sliding/tumbling-window views and
+// live heavy-hitter tracking:
+//
+//	server := client.NewServer(idldp.WithShards(0), idldp.WithStream(time.Second))
+//	st, _ := server.Stream(idldp.StreamConfig{Window: 60, HeavyHitterThreshold: 1000})
+//	for {
+//		up, err := st.Next(ctx) // blocks for the next interval
+//		...
+//	}
 package idldp
 
 import (
@@ -204,11 +220,13 @@ func (c *Client) Engine() *core.Engine { return c.engine }
 type ServerOption func(*serverOptions)
 
 type serverOptions struct {
-	sharded      bool
-	shards       int
-	batchSize    int
-	ckptDir      string
-	ckptInterval time.Duration
+	sharded        bool
+	shards         int
+	batchSize      int
+	ckptDir        string
+	ckptInterval   time.Duration
+	streaming      bool
+	streamInterval time.Duration
 }
 
 // WithShards runs the server on the sharded ingestion runtime with n
@@ -244,6 +262,26 @@ func WithCheckpoint(dir string, interval time.Duration) ServerOption {
 		o.sharded = true
 		o.ckptDir = dir
 		o.ckptInterval = interval
+	}
+}
+
+// WithStream makes the server publish interval deltas of its aggregate
+// state: every interval (<= 0 selects the runtime default of one
+// second) the sparse difference since the previous interval is fanned
+// out to Stream subscribers, which maintain calibrated estimates
+// incrementally — bit-for-bit equal to Estimates at the same state, at
+// O(changed bits) per interval. It implies WithShards(0) unless
+// WithShards is also given. See Server.Stream.
+//
+// Reports still sitting in Collect's producer-side batch are visible to
+// the stream once the batch fills (every WithBatchSize reports) or a
+// read (Estimates, N) forces a flush — size the batch against the
+// publish interval for a low-latency dashboard.
+func WithStream(interval time.Duration) ServerOption {
+	return func(o *serverOptions) {
+		o.sharded = true
+		o.streaming = true
+		o.streamInterval = interval
 	}
 }
 
@@ -291,6 +329,9 @@ func (c *Client) newServer(opts []ServerOption) (*Server, int64, error) {
 	s := &Server{engine: e, bits: bits}
 	if o.sharded {
 		ropts := []server.Option{server.WithShards(o.shards), server.WithBatchSize(o.batchSize)}
+		if o.streaming {
+			ropts = append(ropts, server.WithStream(o.streamInterval))
+		}
 		var rt *server.Server
 		var restored int64
 		var err error
@@ -433,6 +474,10 @@ type ServerStats struct {
 	Uptime         time.Duration
 	Checkpoints    int64
 	LastCheckpoint time.Time
+	// ArrivalRate is the EWMA of the report arrival rate (reports/sec).
+	ArrivalRate float64
+	// StreamSubscribers counts live Stream subscriptions.
+	StreamSubscribers int
 }
 
 // Stats returns runtime metrics. For a plain (unsharded) server only
@@ -445,14 +490,16 @@ func (s *Server) Stats() ServerStats {
 	}
 	st := s.runtime.Stats()
 	return ServerStats{
-		Shards:         st.Shards,
-		BatchSize:      st.BatchSize,
-		Reports:        st.Reports,
-		Frames:         st.Frames,
-		QueueDepth:     st.QueueDepth,
-		Uptime:         st.Uptime,
-		Checkpoints:    st.Checkpoints,
-		LastCheckpoint: st.LastCheckpoint,
+		Shards:            st.Shards,
+		BatchSize:         st.BatchSize,
+		Reports:           st.Reports,
+		Frames:            st.Frames,
+		QueueDepth:        st.QueueDepth,
+		Uptime:            st.Uptime,
+		Checkpoints:       st.Checkpoints,
+		LastCheckpoint:    st.LastCheckpoint,
+		ArrivalRate:       st.ArrivalRate,
+		StreamSubscribers: st.StreamSubscribers,
 	}
 }
 

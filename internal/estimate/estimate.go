@@ -11,6 +11,15 @@ import (
 	"sort"
 )
 
+// CalibrateAt is the Eq. 8 estimator for one item:
+// ĉ = scale · (c - n·b)/(a - b). Calibrate and every incremental path
+// (internal/stream's Updater) funnel through this single expression, so
+// "incremental" and "batch" estimates agree bit for bit — same operations
+// in the same order, no algebraic refactoring that would change rounding.
+func CalibrateAt(c, n int64, a, b, scale float64) float64 {
+	return scale * (float64(c) - float64(n)*b) / (a - b)
+}
+
 // Calibrate converts collected bit counts into unbiased frequency
 // estimates: ĉ_i = scale · (c_i - n·b_i)/(a_i - b_i). scale is 1 for
 // single-item input and the padding length ℓ under Padding-and-Sampling.
@@ -24,11 +33,10 @@ func Calibrate(counts []int64, n int, a, b []float64, scale float64) ([]float64,
 	}
 	out := make([]float64, len(counts))
 	for i, c := range counts {
-		d := a[i] - b[i]
-		if d == 0 {
+		if a[i] == b[i] {
 			return nil, fmt.Errorf("estimate: a[%d] == b[%d] == %v, estimator undefined", i, i, a[i])
 		}
-		out[i] = scale * (float64(c) - float64(n)*b[i]) / d
+		out[i] = CalibrateAt(c, int64(n), a[i], b[i], scale)
 	}
 	return out, nil
 }

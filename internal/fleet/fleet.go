@@ -27,7 +27,9 @@ import (
 	"sync"
 	"time"
 
+	"idldp/internal/stream"
 	"idldp/internal/transport"
+	"idldp/internal/varpack"
 )
 
 // Defaults for New options.
@@ -98,9 +100,11 @@ func NewHTTPSource(base string) *HTTPSource {
 // Name implements Source.
 func (s *HTTPSource) Name() string { return s.base }
 
-// Fetch implements Source.
+// Fetch implements Source. It asks for the varpack-packed payload
+// (?format=packed) and falls back to the plain counts array, which is
+// what an older node ignoring the query parameter returns.
 func (s *HTTPSource) Fetch(ctx context.Context) (Snapshot, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v1/snapshot", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v1/snapshot?format=packed", nil)
 	if err != nil {
 		return Snapshot{}, err
 	}
@@ -113,12 +117,20 @@ func (s *HTTPSource) Fetch(ctx context.Context) (Snapshot, error) {
 		return Snapshot{}, fmt.Errorf("snapshot endpoint returned %s", resp.Status)
 	}
 	var body struct {
+		Packed []byte  `json:"packed"`
 		Counts []int64 `json:"counts"`
 		N      int64   `json:"n"`
 		Bits   int     `json:"bits"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		return Snapshot{}, err
+	}
+	if len(body.Packed) > 0 {
+		counts, err := varpack.Unpack(body.Packed)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		body.Counts = counts
 	}
 	if body.Counts == nil {
 		body.Counts = make([]int64, body.Bits)
@@ -178,6 +190,11 @@ type Fleet struct {
 
 	mu    sync.Mutex
 	nodes []*node
+	// Streaming (nil until the first Subscribe): each Poll publishes the
+	// merged state as a delta; node resets force a full resync frame.
+	pub          *stream.Publisher
+	needResync   bool
+	closedStream bool
 }
 
 // New returns a fleet merger for m-bit domains over the given sources.
@@ -235,8 +252,12 @@ func (f *Fleet) Poll(ctx context.Context) error {
 			if nd.have && snap.N < nd.last.N {
 				// A cumulative count never decreases; a drop means the node
 				// restarted without restoring its checkpoint. Adopt the
-				// node's authoritative state but surface the reset.
+				// node's authoritative state but surface the reset — and
+				// force the next stream publish to be a full resync: the
+				// merged counts just went backwards, which no delta frame
+				// can represent (it would be negative).
 				nd.resets++
+				f.needResync = true
 			}
 			nd.last = snap
 			nd.have = true
@@ -245,7 +266,81 @@ func (f *Fleet) Poll(ctx context.Context) error {
 		}(i, nd)
 	}
 	wg.Wait()
+	f.publish()
 	return errors.Join(errs...)
+}
+
+// publish ships the post-poll merged state to stream subscribers, as a
+// sparse delta normally and as a full resync after a node reset. The
+// publisher's own diffing would also detect the regression, but a reset
+// that happens to keep every merged count non-decreasing (another node
+// grew past the loss) would otherwise smear the restarted node's
+// re-ingested reports into a delta that double-counts them against n;
+// the explicit resync keeps the frame semantics honest.
+func (f *Fleet) publish() {
+	f.mu.Lock()
+	pub := f.pub
+	resync := f.needResync
+	f.needResync = false
+	f.mu.Unlock()
+	if pub == nil {
+		return
+	}
+	counts, n := f.Counts()
+	if resync {
+		_ = pub.Resync(counts, n)
+		return
+	}
+	_ = pub.Publish(counts, n)
+}
+
+// Subscribe registers a consumer of the merged delta stream: every Poll
+// publishes one frame (sparse delta, or full resync after a node
+// reset). The first frame delivered is a resync with the current merged
+// state. Subscriptions follow the drop-and-resync contract of
+// internal/stream and never block polling.
+func (f *Fleet) Subscribe(buf int) (*stream.Sub, error) {
+	// Merged state first (Counts takes f.mu): if this Subscribe creates
+	// the publisher, it is seeded with the current state so the initial
+	// resync is not a spurious zero frame mid-campaign.
+	counts, n := f.Counts()
+	f.mu.Lock()
+	if f.closedStream {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet: stream closed")
+	}
+	created := false
+	if f.pub == nil {
+		pub, err := stream.NewPublisher(f.bits)
+		if err != nil {
+			f.mu.Unlock()
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		f.pub = pub
+		created = true
+	}
+	pub := f.pub
+	f.mu.Unlock()
+	if created {
+		_ = pub.Resync(counts, n)
+	}
+	sub, err := pub.Subscribe(buf)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	return sub, nil
+}
+
+// Close shuts the merged delta stream down, closing every subscriber
+// channel. Polling itself needs no teardown.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	pub := f.pub
+	f.closedStream = true
+	f.mu.Unlock()
+	if pub != nil {
+		pub.Close()
+	}
 }
 
 // Counts returns the fleet-wide merged per-bit counts and user count:

@@ -17,6 +17,7 @@ import (
 	"idldp/internal/httpapi"
 	"idldp/internal/rng"
 	"idldp/internal/server"
+	"idldp/internal/stream"
 	"idldp/internal/transport"
 )
 
@@ -276,5 +277,125 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(4, nil); err == nil {
 		t.Fatal("no sources accepted")
+	}
+}
+
+// seqSource replays a scripted sequence of snapshots, then repeats the
+// last one.
+type seqSource struct {
+	name  string
+	snaps []Snapshot
+	calls int
+}
+
+func (s *seqSource) Name() string { return s.name }
+func (s *seqSource) Fetch(context.Context) (Snapshot, error) {
+	i := s.calls
+	if i >= len(s.snaps) {
+		i = len(s.snaps) - 1
+	}
+	s.calls++
+	return s.snaps[i], nil
+}
+
+// TestStreamResyncOnNodeReset: a node restarting mid-campaign without
+// its checkpoint makes the merged counts regress; the stream must carry
+// that as a full resync frame, never as a negative delta, and a
+// subscriber's accumulated state must end exactly on the merged counts.
+func TestStreamResyncOnNodeReset(t *testing.T) {
+	steady := &seqSource{name: "steady", snaps: []Snapshot{
+		{Bits: 3, Counts: []int64{4, 1, 0}, N: 5},
+		{Bits: 3, Counts: []int64{6, 2, 1}, N: 9},
+		{Bits: 3, Counts: []int64{7, 2, 1}, N: 10},
+	}}
+	// Restarts after the first poll: cumulative state falls back to near
+	// zero, then grows again.
+	restarter := &seqSource{name: "restarter", snaps: []Snapshot{
+		{Bits: 3, Counts: []int64{10, 5, 5}, N: 20},
+		{Bits: 3, Counts: []int64{1, 0, 0}, N: 1},
+		{Bits: 3, Counts: []int64{3, 1, 0}, N: 4},
+	}}
+	f, err := New(3, []Source{steady, restarter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := f.Subscribe(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := f.Poll(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := f.Status()[1]; st.Resets != 1 {
+		t.Fatalf("restarter resets = %d, want 1", st.Resets)
+	}
+	f.Close()
+
+	acc, err := stream.NewAccumulator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []stream.Delta
+	for d := range sub.C() {
+		frames = append(frames, d)
+		if err := acc.Apply(d); err != nil {
+			t.Fatalf("apply frame %+v: %v", d, err)
+		}
+		// The regression interval must never surface as a negative delta.
+		if !d.Resync {
+			for j, inc := range d.Inc {
+				if inc < 0 {
+					t.Fatalf("negative delta increment %d on bit %d: %+v", inc, d.Bits[j], d)
+				}
+			}
+			if d.DN < 0 {
+				t.Fatalf("negative DN: %+v", d)
+			}
+		}
+	}
+	// initial resync, first-poll delta, reset resync, recovery delta.
+	if len(frames) != 4 {
+		t.Fatalf("got %d frames: %+v", len(frames), frames)
+	}
+	if !frames[2].Resync {
+		t.Fatalf("reset poll published %+v, want a resync frame", frames[2])
+	}
+	wantCounts, wantN := f.Counts()
+	gotCounts, gotN := acc.Counts()
+	if gotN != wantN {
+		t.Fatalf("subscriber n = %d, merged %d", gotN, wantN)
+	}
+	for i := range wantCounts {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatalf("subscriber counts[%d] = %d, merged %d", i, gotCounts[i], wantCounts[i])
+		}
+	}
+}
+
+// TestSubscribeMidCampaignSeedsState: the first frame a late subscriber
+// sees is a resync with the already-merged state, not zeros.
+func TestSubscribeMidCampaignSeedsState(t *testing.T) {
+	src := staticSource{snap: Snapshot{Bits: 2, Counts: []int64{3, 4}, N: 7}}
+	f, err := New(2, []Source{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Poll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := f.Subscribe(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := <-sub.C()
+	if !d.Resync || d.N != 7 || d.Counts[1] != 4 {
+		t.Fatalf("initial frame %+v, want resync of the merged state", d)
+	}
+	f.Close()
+	if _, err := f.Subscribe(1); err == nil {
+		t.Fatal("Subscribe after Close should fail")
 	}
 }

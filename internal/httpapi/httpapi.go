@@ -2,12 +2,16 @@
 // REST counterpart of the raw-TCP transport, for clients that cannot
 // speak gob (browsers, mobile SDKs). Endpoints:
 //
-//	POST /v1/report    {"words": [..], "bits": n}        one perturbed report
-//	POST /v1/batch     {"counts": [..], "n": k}          pre-summed batch
-//	GET  /v1/estimates                                    calibrated estimates
-//	GET  /v1/status                                       {"reports": k, "bits": m}
-//	GET  /v1/snapshot                                     {"counts": [..], "n": k, "bits": m}
-//	GET  /v1/stats                                        runtime metrics (server.Stats)
+//	POST /v1/report            {"words": [..], "bits": n}   one perturbed report
+//	POST /v1/batch             {"counts": [..], "n": k}     pre-summed batch
+//	GET  /v1/estimates         calibrated estimates; ?window=k restricts to the
+//	                           last k stream intervals (streaming handlers only)
+//	GET  /v1/estimates/stream  Server-Sent Events: one "estimate" event per
+//	                           published interval (streaming handlers only)
+//	GET  /v1/status            {"reports": k, "bits": m}
+//	GET  /v1/snapshot          {"counts": [..], "n": k, "bits": m}; ?format=packed
+//	                           returns the varpack payload instead of counts
+//	GET  /v1/stats             runtime metrics (server.Stats)
 //
 // As with the TCP transport, only perturbed data crosses the wire; the
 // server is untrusted with raw inputs by construction.
@@ -36,6 +40,7 @@ import (
 	"sync/atomic"
 
 	"idldp/internal/server"
+	"idldp/internal/varpack"
 )
 
 // Estimator calibrates aggregated counts; satisfied by closures over
@@ -57,6 +62,10 @@ type Handler struct {
 	mux      *http.ServeMux
 
 	closed atomic.Bool
+
+	// Live-estimates state (nil unless built with a streaming
+	// constructor; see stream.go).
+	stream *streamState
 
 	// Reused request-body buffers for the report fast path.
 	bodies sync.Pool // *reportBody
@@ -97,6 +106,7 @@ func NewSink(sink *server.Server, est Estimator) (*Handler, error) {
 	h.mux.HandleFunc("POST /v1/report", h.handleReport)
 	h.mux.HandleFunc("POST /v1/batch", h.handleBatch)
 	h.mux.HandleFunc("GET /v1/estimates", h.handleEstimates)
+	h.mux.HandleFunc("GET /v1/estimates/stream", h.handleStream)
 	h.mux.HandleFunc("GET /v1/status", h.handleStatus)
 	h.mux.HandleFunc("GET /v1/snapshot", h.handleSnapshot)
 	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
@@ -107,6 +117,9 @@ func NewSink(sink *server.Server, est Estimator) (*Handler, error) {
 // Ingestion requests after Close are answered with 503; status, snapshot
 // and estimates keep serving the drained final state.
 func (h *Handler) Close() error {
+	if h.stream != nil {
+		h.stream.flushOnce.Do(func() { close(h.stream.flushStop) })
+	}
 	if h.closed.Swap(true) {
 		return h.sink.Close()
 	}
@@ -218,6 +231,9 @@ func (h *Handler) flushAll() {
 }
 
 func (h *Handler) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	if h.windowedEstimates(w, r) {
+		return
+	}
 	counts, n := h.snapshot()
 	if n == 0 {
 		httpError(w, http.StatusConflict, "no reports collected yet")
@@ -238,6 +254,13 @@ func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	counts, n := h.snapshot()
+	// ?format=packed selects the varpack payload (base64 in JSON): the
+	// poll-every-interval fleet path. Absent or different, the plain
+	// counts array keeps old pollers working.
+	if r.URL.Query().Get("format") == "packed" {
+		writeJSON(w, map[string]any{"packed": varpack.Pack(counts), "n": n, "bits": h.bits})
+		return
+	}
 	writeJSON(w, map[string]any{"counts": counts, "n": n, "bits": h.bits})
 }
 

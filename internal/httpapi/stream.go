@@ -1,0 +1,293 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"idldp/internal/server"
+	"idldp/internal/stream"
+)
+
+// StreamConfig enables the live-estimates surface of the HTTP API:
+// GET /v1/estimates/stream (Server-Sent Events) and the window query
+// parameters of GET /v1/estimates. It rides the delta stream of the
+// ingestion runtime (server.WithStream), which the streaming
+// constructors enable automatically.
+type StreamConfig struct {
+	// Interval paces the runtime's delta publisher (<= 0 selects
+	// server.DefaultStreamInterval).
+	Interval time.Duration
+	// Window is the sliding-window capacity in intervals (<= 0 selects
+	// DefaultWindow).
+	Window int
+}
+
+// DefaultWindow retains one minute of one-second intervals.
+const DefaultWindow = 60
+
+// sseKeepAlive paces comment lines on an idle SSE stream so proxies and
+// clients can tell a quiet campaign from a dead connection.
+const sseKeepAlive = 15 * time.Second
+
+// streamState is the handler's live view of the delta stream: one
+// consumer goroutine folds frames into the cumulative accumulator and
+// the sliding window, then wakes every waiting SSE client. SSE clients
+// do not subscribe individually — they read the latest state on each
+// wake-up, so a slow client skips intermediate states instead of
+// buffering them (the HTTP-side analogue of drop-and-resync).
+type streamState struct {
+	win *stream.Window
+
+	mu     sync.Mutex
+	acc    *stream.Accumulator
+	seq    uint64
+	closed bool
+	notify chan struct{} // closed and replaced on every update
+
+	// flushStop ends the periodic batcher flush (see flushLoop).
+	flushStop chan struct{}
+	flushOnce sync.Once
+}
+
+// NewStreaming is New plus the live-estimates surface: the ingestion
+// runtime is built with server.WithStream and the handler serves
+// GET /v1/estimates/stream and windowed GET /v1/estimates queries.
+func NewStreaming(bits int, est Estimator, cfg StreamConfig, opts ...server.Option) (*Handler, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("httpapi: report length %d must be positive", bits)
+	}
+	opts = append(opts, server.WithStream(cfg.Interval))
+	sink, err := server.New(bits, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: %w", err)
+	}
+	return NewSinkStreaming(sink, est, cfg)
+}
+
+// NewSinkStreaming is NewSink plus the live-estimates surface. The sink
+// must have been built with server.WithStream; as with NewSink, the
+// handler takes ownership and Close closes it.
+func NewSinkStreaming(sink *server.Server, est Estimator, cfg StreamConfig) (*Handler, error) {
+	h, err := NewSink(sink, est)
+	if err != nil {
+		return nil, err
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	win, err := stream.NewWindow(sink.Bits(), window)
+	if err != nil {
+		sink.Close()
+		return nil, fmt.Errorf("httpapi: %w", err)
+	}
+	acc, err := stream.NewAccumulator(sink.Bits())
+	if err != nil {
+		sink.Close()
+		return nil, fmt.Errorf("httpapi: %w", err)
+	}
+	sub, err := sink.Subscribe(16)
+	if err != nil {
+		sink.Close()
+		return nil, fmt.Errorf("httpapi: %w", err)
+	}
+	h.stream = &streamState{win: win, acc: acc, notify: make(chan struct{}), flushStop: make(chan struct{})}
+	go h.consumeStream(sub)
+	// Without other readers, reports POSTed to /v1/report sit in the
+	// pooled batchers below the batch threshold and the runtime's
+	// publisher never sees them. Flush on the publish cadence so
+	// HTTP-ingested reports reach the live feed within ~two intervals.
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = server.DefaultStreamInterval
+	}
+	go h.flushLoop(interval)
+	return h, nil
+}
+
+// flushLoop pushes the pooled batchers' pending reports into the
+// runtime every interval until Close.
+func (h *Handler) flushLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if h.closed.Load() {
+				return
+			}
+			h.flushAll()
+		case <-h.stream.flushStop:
+			return
+		}
+	}
+}
+
+// consumeStream is the central subscriber: it keeps the handler's
+// cumulative and windowed state current and broadcasts each change.
+func (h *Handler) consumeStream(sub *stream.Sub) {
+	st := h.stream
+	for d := range sub.C() {
+		_ = st.win.Push(d)
+		st.mu.Lock()
+		// ErrOutOfSync cannot persist: the publisher's drop-and-resync
+		// contract guarantees a healing resync follows any gap.
+		_ = st.acc.Apply(d)
+		st.seq = d.Seq
+		close(st.notify)
+		st.notify = make(chan struct{})
+		st.mu.Unlock()
+	}
+	st.mu.Lock()
+	st.closed = true
+	close(st.notify)
+	st.mu.Unlock()
+}
+
+// view returns the current stream state: cumulative and windowed counts
+// plus the change notification channel for the *next* update.
+func (st *streamState) view() (seq uint64, counts []int64, n int64, wCounts []int64, wN int64, next chan struct{}, closed bool) {
+	st.mu.Lock()
+	seq = st.seq
+	counts, n = st.acc.Counts()
+	next = st.notify
+	closed = st.closed
+	st.mu.Unlock()
+	wCounts, wN = st.win.Counts()
+	return seq, counts, n, wCounts, wN, next, closed
+}
+
+// estimateEvent is one SSE data payload.
+type estimateEvent struct {
+	Seq uint64 `json:"seq"`
+	// N is the all-time report count, WindowN the count inside the
+	// sliding window.
+	N       int64 `json:"n"`
+	WindowN int64 `json:"window_n"`
+	// Estimates are the all-time calibrated estimates; WindowEstimates
+	// cover the sliding window (absent until the window has data).
+	Estimates       []float64 `json:"estimates"`
+	WindowEstimates []float64 `json:"window_estimates,omitempty"`
+	// Top1 is the index of the largest all-time estimate — the cheap
+	// "is the ranking stable" probe dashboards and smoke tests read.
+	Top1 int `json:"top1"`
+}
+
+// handleStream serves GET /v1/estimates/stream: a Server-Sent Events
+// feed with one "estimate" event per published interval. Events carry
+// the latest state at send time, so a slow reader sees fewer, fresher
+// events rather than a growing backlog.
+func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
+	if h.stream == nil {
+		httpError(w, http.StatusNotImplemented, "streaming is not enabled on this server")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush() // ship the headers now; the first event may be a while
+	keep := time.NewTicker(sseKeepAlive)
+	defer keep.Stop()
+	var lastSent uint64
+	hasSent := false
+	for {
+		seq, counts, n, wCounts, wN, next, closed := h.stream.view()
+		if n > 0 && (!hasSent || seq != lastSent) {
+			ev := estimateEvent{Seq: seq, N: n, WindowN: wN}
+			est, err := h.estimate(counts, int(n))
+			if err != nil {
+				fmt.Fprintf(w, "event: error\ndata: %s\n\n", jsonError(err))
+				fl.Flush()
+				return
+			}
+			ev.Estimates = est
+			ev.Top1 = argmax(est)
+			if wN > 0 {
+				if wEst, err := h.estimate(wCounts, int(wN)); err == nil {
+					ev.WindowEstimates = wEst
+				}
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: estimate\ndata: %s\n\n", data)
+			fl.Flush()
+			lastSent, hasSent = seq, true
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-next:
+		case <-keep.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func jsonError(err error) []byte {
+	data, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return data
+}
+
+// windowedEstimates answers GET /v1/estimates?window=k from the sliding
+// window (k intervals, capped at the configured capacity). It returns
+// ok=false when the request has no window parameter.
+func (h *Handler) windowedEstimates(w http.ResponseWriter, r *http.Request) bool {
+	raw := r.URL.Query().Get("window")
+	if raw == "" {
+		return false
+	}
+	if h.stream == nil {
+		httpError(w, http.StatusBadRequest, "windowed estimates need streaming enabled")
+		return true
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 {
+		httpError(w, http.StatusBadRequest, "window must be a positive interval count")
+		return true
+	}
+	counts, n, err := h.stream.win.LastCounts(k)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return true
+	}
+	if n <= 0 {
+		httpError(w, http.StatusConflict, "no reports inside the window")
+		return true
+	}
+	est, err := h.estimate(counts, int(n))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return true
+	}
+	writeJSON(w, map[string]any{
+		"estimates": est,
+		"reports":   n,
+		"window":    min(k, h.stream.win.Cap()),
+	})
+	return true
+}

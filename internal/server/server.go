@@ -34,6 +34,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,7 @@ import (
 	"idldp/internal/agg"
 	"idldp/internal/bitvec"
 	"idldp/internal/checkpoint"
+	"idldp/internal/stream"
 )
 
 // ErrClosed is returned by ingestion calls after Close.
@@ -57,15 +59,24 @@ const (
 	// DefaultCheckpointInterval paces the periodic checkpoint loop when
 	// WithCheckpoint is given a non-positive interval.
 	DefaultCheckpointInterval = time.Minute
+	// DefaultStreamInterval paces the delta publisher when WithStream is
+	// given a non-positive interval.
+	DefaultStreamInterval = time.Second
+	// DefaultRateTau is the EWMA time constant of the report-arrival-rate
+	// gauge: samples older than a few tau barely contribute.
+	DefaultRateTau = 10 * time.Second
 )
 
 type options struct {
-	shards       int
-	batchSize    int
-	queueDepth   int
-	ckptDir      string
-	ckptInterval time.Duration
-	ckptKeep     int
+	shards         int
+	batchSize      int
+	queueDepth     int
+	ckptDir        string
+	ckptInterval   time.Duration
+	ckptKeep       int
+	streaming      bool
+	streamInterval time.Duration
+	auditEvery     int
 }
 
 // Option tunes a Server.
@@ -99,6 +110,27 @@ func WithCheckpoint(dir string, interval time.Duration) Option {
 // WithCheckpointRetention keeps the newest k checkpoint frames on disk
 // (k <= 0 selects checkpoint.DefaultKeep).
 func WithCheckpointRetention(k int) Option { return func(o *options) { o.ckptKeep = k } }
+
+// WithStream turns the server into a delta publisher: every interval
+// (<= 0 selects DefaultStreamInterval) it snapshots the merged state and
+// publishes the sparse difference to Subscribe-rs as a stream.Delta, so
+// dashboards maintain calibrated estimates in O(changed bits) per
+// interval (see internal/stream). Slow subscribers are never allowed to
+// block ingestion: sends are non-blocking, and a subscriber that falls
+// behind is handed a full resync frame instead (drop-and-resync). Ticks
+// with no new reports publish nothing. Close publishes a final resync of
+// the drained state before subscriber channels close.
+func WithStream(interval time.Duration) Option {
+	return func(o *options) {
+		o.streaming = true
+		o.streamInterval = interval
+	}
+}
+
+// WithStreamAudit makes every k-th published delta frame carry the full
+// cumulative counts so subscribers can verify their accumulated state
+// bit for bit (k <= 0 keeps stream.DefaultAuditEvery).
+func WithStreamAudit(k int) Option { return func(o *options) { o.auditEvery = k } }
 
 // shardMsg is one frame on a shard queue: exactly one of a raw report, a
 // pre-summed batch (counts+n), or a snapshot marker.
@@ -143,6 +175,16 @@ type Server struct {
 	ckptSaves atomic.Int64
 	lastCkpt  atomic.Int64 // UnixNano of the newest frame, 0 = none
 
+	// Streaming (nil/zero without WithStream).
+	pub         *stream.Publisher
+	streamStop  chan struct{}
+	streamDone  chan struct{}
+	streamOnce  sync.Once
+	publishedAt int64 // reports counter at the last published tick
+
+	// Arrival-rate EWMA, fed by the stream ticker and by Stats reads.
+	rate rateGauge
+
 	mu     sync.RWMutex // guards closed against in-flight sends
 	closed bool
 	wg     sync.WaitGroup
@@ -171,6 +213,18 @@ func New(bits int, opts ...Option) (*Server, error) {
 		o.queueDepth = DefaultQueueDepth
 	}
 	s := &Server{bits: bits, batchSize: o.batchSize, shards: make([]*shard, o.shards), start: time.Now()}
+	s.rate.tau = DefaultRateTau.Seconds()
+	if o.streaming {
+		var popts []stream.PubOption
+		if o.auditEvery > 0 {
+			popts = append(popts, stream.WithAuditEvery(o.auditEvery))
+		}
+		pub, err := stream.NewPublisher(bits, popts...)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.pub = pub
+	}
 	if o.ckptDir != "" {
 		// Open the store before starting any worker so a bad directory
 		// fails fast with nothing to tear down.
@@ -193,6 +247,14 @@ func New(bits int, opts ...Option) (*Server, error) {
 		}
 		s.ckptStop, s.ckptDone = make(chan struct{}), make(chan struct{})
 		go s.checkpointLoop(interval)
+	}
+	if s.pub != nil {
+		interval := o.streamInterval
+		if interval <= 0 {
+			interval = DefaultStreamInterval
+		}
+		s.streamStop, s.streamDone = make(chan struct{}), make(chan struct{})
+		go s.streamLoop(interval)
 	}
 	return s, nil
 }
@@ -268,6 +330,93 @@ func (s *Server) CheckpointNow() (checkpoint.Snapshot, error) {
 func (s *Server) noteCheckpoint(snap checkpoint.Snapshot) {
 	s.ckptSaves.Add(1)
 	s.lastCkpt.Store(snap.Time.UnixNano())
+}
+
+// streamLoop drives the periodic delta publisher. Each tick observes
+// the arrival-rate gauge from the reports counter; when the counter has
+// not moved since the last published tick, the (shard-quiescing)
+// Snapshot is skipped entirely — the gauge is what lets an idle
+// campaign stream cost nothing, and the same observations feed the
+// adaptive-batching work (see Stats.ArrivalRate).
+func (s *Server) streamLoop(interval time.Duration) {
+	defer close(s.streamDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			total := s.reports.Load()
+			s.rate.observe(total, time.Now())
+			if total == s.publishedAt {
+				// Nothing new to diff, but a subscriber that overflowed
+				// during the last burst may have drained since — deliver
+				// its healing resync now rather than at the next burst.
+				s.pub.ServiceLagged()
+				continue
+			}
+			counts, n := s.Snapshot()
+			_ = s.pub.Publish(counts, n)
+			s.publishedAt = total
+		case <-s.streamStop:
+			return
+		}
+	}
+}
+
+// Subscribe registers a delta-stream consumer with the given channel
+// buffer; it errors unless the server was built with WithStream. The
+// first frame delivered is a resync carrying the stream's current
+// cumulative state, so consumers joining mid-campaign start exact. A
+// consumer that stops reading is dropped-and-resynced, never blocks
+// ingestion, and must Close its subscription when done.
+func (s *Server) Subscribe(buf int) (*stream.Sub, error) {
+	if s.pub == nil {
+		return nil, fmt.Errorf("server: Subscribe requires WithStream")
+	}
+	return s.pub.Subscribe(buf)
+}
+
+// stopStreamLoop halts the publisher ticker and waits for it to exit.
+// Like the checkpoint loop, it must run before Close takes the write
+// lock: a tick in flight holds a read lock inside Snapshot.
+func (s *Server) stopStreamLoop() {
+	if s.streamStop == nil {
+		return
+	}
+	s.streamOnce.Do(func() {
+		close(s.streamStop)
+		<-s.streamDone
+	})
+}
+
+// rateGauge is a time-weighted EWMA of the report arrival rate. Samples
+// arrive at irregular spacing (stream ticks and Stats reads), so the
+// smoothing weight is 1-exp(-dt/tau): a gap of several tau forgets the
+// old rate, back-to-back reads barely move it.
+type rateGauge struct {
+	mu    sync.Mutex
+	tau   float64 // seconds
+	init  bool
+	last  int64
+	lastT time.Time
+	rate  float64
+}
+
+func (g *rateGauge) observe(total int64, now time.Time) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.init {
+		g.init, g.last, g.lastT = true, total, now
+		return g.rate
+	}
+	dt := now.Sub(g.lastT).Seconds()
+	if dt <= 0 {
+		return g.rate
+	}
+	inst := float64(total-g.last) / dt
+	g.rate += (1 - math.Exp(-dt/g.tau)) * (inst - g.rate)
+	g.last, g.lastT = total, now
+	return g.rate
 }
 
 // stopCheckpointLoop halts the periodic saver and waits for it to exit.
@@ -433,19 +582,32 @@ type Stats struct {
 	// frame's timestamp (zero when none or checkpointing is disabled).
 	Checkpoints    int64     `json:"checkpoints"`
 	LastCheckpoint time.Time `json:"last_checkpoint"`
+	// ArrivalRate is the EWMA of the report arrival rate in reports/sec
+	// (time constant DefaultRateTau), observed by the stream ticker and
+	// by Stats reads — the sizing signal for adaptive batching and the
+	// stream publisher's idle-skip.
+	ArrivalRate float64 `json:"arrival_rate_ewma"`
+	// StreamSubscribers counts live delta-stream subscriptions (0 when
+	// WithStream is off).
+	StreamSubscribers int `json:"stream_subscribers"`
 }
 
 // Stats returns current runtime metrics. It is safe to call concurrently
 // with ingestion and after Close (queue depths read zero once drained).
 func (s *Server) Stats() Stats {
+	reports := s.reports.Load()
 	st := Stats{
 		Shards:      len(s.shards),
 		BatchSize:   s.batchSize,
-		Reports:     s.reports.Load(),
+		Reports:     reports,
 		Frames:      s.frames.Load(),
 		QueueDepth:  make([]int, len(s.shards)),
 		Uptime:      time.Since(s.start),
 		Checkpoints: s.ckptSaves.Load(),
+		ArrivalRate: s.rate.observe(reports, time.Now()),
+	}
+	if s.pub != nil {
+		st.StreamSubscribers = s.pub.Subscribers()
 	}
 	for i, sh := range s.shards {
 		st.QueueDepth[i] = len(sh.ch)
@@ -462,9 +624,10 @@ func (s *Server) Stats() Stats {
 // loses nothing. Producers must have flushed their Batchers; ingestion
 // calls racing with Close may return ErrClosed.
 func (s *Server) Close() error {
-	// Stop the periodic saver before taking the write lock — a tick in
+	// Stop the periodic loops before taking the write lock — a tick in
 	// flight holds a read lock inside Snapshot.
 	s.stopCheckpointLoop()
+	s.stopStreamLoop()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -482,6 +645,12 @@ func (s *Server) Close() error {
 		}
 	}
 	s.finalCounts, s.finalN = total.Counts(), total.N()
+	if s.pub != nil {
+		// Publish the drained final state so every subscriber ends on the
+		// authoritative answer, then close their channels.
+		_ = s.pub.Resync(append([]int64(nil), s.finalCounts...), s.finalN)
+		s.pub.Close()
+	}
 	if s.store != nil {
 		snap, err := s.store.Save(s.finalCounts, s.finalN)
 		if err != nil {

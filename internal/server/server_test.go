@@ -10,6 +10,7 @@ import (
 	"idldp/internal/bitvec"
 	"idldp/internal/estimate"
 	"idldp/internal/rng"
+	"idldp/internal/stream"
 )
 
 // randomReports draws n random m-bit reports from a fixed seed.
@@ -473,5 +474,165 @@ func TestStats(t *testing.T) {
 	}
 	if st.Checkpoints != 0 || !st.LastCheckpoint.IsZero() {
 		t.Fatalf("checkpoint stats on checkpoint-free server: %+v", st)
+	}
+}
+
+// TestStreamDeltasMatchSnapshots: with WithStream, a subscriber's
+// accumulated state converges to exactly the server's snapshot, and the
+// incremental Updater's estimates equal estimate.Calibrate bit for bit
+// while ingestion runs concurrently (run under -race).
+func TestStreamDeltasMatchSnapshots(t *testing.T) {
+	const m, producers, perProducer = 24, 4, 1200
+	s, err := New(m, WithShards(3), WithBatchSize(32),
+		WithStream(2*time.Millisecond), WithStreamAudit(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := s.Subscribe(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float64, m)
+	b := make([]float64, m)
+	for i := range a {
+		a[i], b[i] = 0.75, 0.25
+	}
+	upd, err := stream.NewUpdater(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := make(chan error, 1)
+	go func() {
+		for d := range sub.C() {
+			if err := upd.Apply(d); err != nil {
+				applied <- err
+				return
+			}
+		}
+		applied <- nil
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batcher := s.NewBatcher()
+			for _, v := range randomReports(perProducer, m, uint64(100+p)) {
+				if err := batcher.Add(v); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := batcher.Flush(); err != nil {
+				t.Error(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	wantCounts, wantN := s.Snapshot()
+	if wantN != producers*perProducer {
+		t.Fatalf("snapshot n = %d, want %d", wantN, producers*perProducer)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-applied; err != nil {
+		t.Fatalf("subscriber: %v", err)
+	}
+	gotCounts, gotN := upd.Counts()
+	if gotN != wantN {
+		t.Fatalf("streamed n = %d, snapshot %d", gotN, wantN)
+	}
+	for i := range wantCounts {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatalf("streamed counts[%d] = %d, snapshot %d", i, gotCounts[i], wantCounts[i])
+		}
+	}
+	want, err := estimate.Calibrate(wantCounts, int(wantN), a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := upd.Estimates()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("estimate %d: incremental %v != batch %v", i, got[i], want[i])
+		}
+	}
+	if st := upd.Stats(); st.AuditFailures != 0 {
+		t.Fatalf("audit failures: %+v", st)
+	}
+	if err := upd.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubscribeRequiresStream: Subscribe errors without WithStream.
+func TestSubscribeRequiresStream(t *testing.T) {
+	s, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Subscribe(1); err == nil {
+		t.Fatal("Subscribe without WithStream should fail")
+	}
+}
+
+// TestStreamIdleSkipsPublishes: ticks with no new reports publish no
+// frames beyond the initial resync.
+func TestStreamIdleSkipsPublishes(t *testing.T) {
+	s, err := New(4, WithStream(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := s.Subscribe(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sub.C() // initial resync
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case d := <-sub.C():
+		t.Fatalf("idle server published %+v", d)
+	default:
+	}
+	s.Close()
+	// Close still delivers the final resync before the channel closes.
+	var last stream.Delta
+	n := 0
+	for d := range sub.C() {
+		last, n = d, n+1
+	}
+	if n == 0 || !last.Resync || last.N != 0 {
+		t.Fatalf("got %d frames, last %+v; want a final zero-state resync", n, last)
+	}
+}
+
+// TestArrivalRateGauge: the EWMA rate is zero on an idle server and
+// positive (and sane) under load.
+func TestArrivalRateGauge(t *testing.T) {
+	s, err := New(8, WithBatchSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if r := s.Stats().ArrivalRate; r != 0 {
+		t.Fatalf("idle arrival rate = %v, want 0", r)
+	}
+	for _, v := range randomReports(500, 8, 7) {
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(5 * time.Millisecond)
+	r := s.Stats().ArrivalRate
+	if r <= 0 {
+		t.Fatalf("arrival rate after 500 reports = %v, want > 0", r)
+	}
+	// Rate decays toward zero once ingestion stops.
+	time.Sleep(10 * time.Millisecond)
+	if r2 := s.Stats().ArrivalRate; r2 >= r {
+		t.Fatalf("arrival rate did not decay: %v -> %v", r, r2)
 	}
 }

@@ -1,0 +1,85 @@
+package stream
+
+import (
+	"testing"
+
+	"idldp/internal/estimate"
+)
+
+// The acceptance bar for the streaming subsystem: at m = 1024, absorbing
+// one interval into the sliding window plus the incremental updater must
+// be at least ~5x cheaper than recomputing the calibration from scratch,
+// because the delta path touches only the changed bits (here 32 per
+// interval, a quiet dashboard tick) while estimate.Calibrate always
+// walks all m bits in float math.
+//
+//	go test -bench 'WindowedUpdate|FullRecalibration' -benchtime 1x ./internal/stream
+const (
+	benchBits    = 1024
+	benchChanged = 32
+)
+
+// benchDeltas pre-builds a cycle of sparse interval frames so the
+// benchmark loop measures only Push/Apply.
+func benchDeltas() []Delta {
+	const cycle = 64
+	ds := make([]Delta, cycle)
+	for k := range ds {
+		bits := make([]int, benchChanged)
+		inc := make([]int64, benchChanged)
+		for j := range bits {
+			bits[j] = (k*37 + j*31) % benchBits
+			inc[j] = int64(1 + j%3)
+		}
+		ds[k] = Delta{Seq: uint64(k + 1), Bits: bits, Inc: inc, DN: benchChanged}
+	}
+	return ds
+}
+
+// BenchmarkWindowedUpdate measures the per-interval cost of the
+// streaming path: one Window.Push (rolling sums + eviction) plus one
+// Updater.Apply (integer delta, no float work until queried).
+func BenchmarkWindowedUpdate(b *testing.B) {
+	a, bb := synthParams(benchBits)
+	w, err := NewWindow(benchBits, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := NewUpdater(a, bb, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := benchDeltas()
+	var n int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := ds[i%len(ds)]
+		n += d.DN
+		d.N = n
+		if err := w.Push(d); err != nil {
+			b.Fatal(err)
+		}
+		if err := u.Apply(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullRecalibration measures the baseline the streaming path
+// replaces: a from-scratch estimate.Calibrate over all m bits every
+// interval, the way a poll-the-snapshot dashboard would do it.
+func BenchmarkFullRecalibration(b *testing.B) {
+	a, bb := synthParams(benchBits)
+	counts := make([]int64, benchBits)
+	for i := range counts {
+		counts[i] = int64(i * 13 % 997)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := estimate.Calibrate(counts, 100000+i, a, bb, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,472 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"idldp/internal/estimate"
+	"idldp/internal/rng"
+)
+
+// synthParams returns plausible (a, b) mechanism parameters for m bits.
+func synthParams(m int) (a, b []float64) {
+	a, b = make([]float64, m), make([]float64, m)
+	for i := range a {
+		a[i] = 0.7 + 0.05*float64(i%3)
+		b[i] = 0.2 + 0.03*float64(i%4)
+	}
+	return a, b
+}
+
+// synthIntervals simulates a campaign as cumulative snapshots: every
+// interval, dn reports arrive and each arrival bumps a few random bits.
+func synthIntervals(t testing.TB, m, intervals int, seed uint64) (cums [][]int64, ns []int64) {
+	t.Helper()
+	r := rng.New(seed)
+	cur := make([]int64, m)
+	var n int64
+	for it := 0; it < intervals; it++ {
+		dn := int64(1 + r.IntN(50))
+		for u := int64(0); u < dn; u++ {
+			for k := 0; k < 1+r.IntN(4); k++ {
+				cur[r.IntN(m)]++
+			}
+		}
+		n += dn
+		cums = append(cums, append([]int64(nil), cur...))
+		ns = append(ns, n)
+	}
+	return cums, ns
+}
+
+func TestUpdaterMatchesCalibrateExactly(t *testing.T) {
+	const m, intervals = 64, 40
+	a, b := synthParams(m)
+	pub, err := NewPublisher(m, WithAuditEvery(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUpdater(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := pub.Subscribe(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cums, ns := synthIntervals(t, m, intervals, 11)
+	for it := range cums {
+		if err := pub.Publish(cums[it], ns[it]); err != nil {
+			t.Fatal(err)
+		}
+		// Drain and apply everything published so far.
+	drain:
+		for {
+			select {
+			case d := <-sub.C():
+				if err := u.Apply(d); err != nil {
+					t.Fatalf("apply interval %d: %v", it, err)
+				}
+			default:
+				break drain
+			}
+		}
+		want, err := estimate.Calibrate(cums[it], int(ns[it]), a, b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := u.Estimates()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("interval %d item %d: incremental %v != batch %v", it, i, got[i], want[i])
+			}
+		}
+		// The O(1) per-item path must agree bit for bit too.
+		for _, i := range []int{0, m / 2, m - 1} {
+			e, err := u.EstimateItem(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e != want[i] {
+				t.Fatalf("interval %d EstimateItem(%d) %v != %v", it, i, e, want[i])
+			}
+		}
+	}
+	st := u.Stats()
+	if st.Audits == 0 {
+		t.Fatalf("no audit frames ran over %d intervals (stats %+v)", intervals, st)
+	}
+	if st.AuditFailures != 0 {
+		t.Fatalf("audit failures: %+v", st)
+	}
+	if err := u.Audit(); err != nil {
+		t.Fatalf("explicit audit: %v", err)
+	}
+}
+
+func TestUpdaterDetectsMissedFrames(t *testing.T) {
+	a, b := synthParams(8)
+	u, err := NewUpdater(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame whose cumulative N contradicts the accumulated state.
+	if err := u.Apply(Delta{Seq: 1, Bits: []int{1}, Inc: []int64{3}, DN: 5, N: 5}); err != nil {
+		t.Fatal(err)
+	}
+	err = u.Apply(Delta{Seq: 3, Bits: []int{2}, Inc: []int64{1}, DN: 4, N: 12})
+	if !errors.Is(err, ErrOutOfSync) {
+		t.Fatalf("got %v, want ErrOutOfSync", err)
+	}
+	// A resync heals it exactly.
+	counts := []int64{0, 5, 2, 0, 0, 0, 0, 1}
+	if err := u.Apply(Delta{Seq: 4, Resync: true, Counts: counts, N: 12}); err != nil {
+		t.Fatal(err)
+	}
+	got, n := u.Counts()
+	if n != 12 {
+		t.Fatalf("n = %d after resync, want 12", n)
+	}
+	for i := range counts {
+		if got[i] != counts[i] {
+			t.Fatalf("counts[%d] = %d, want %d", i, got[i], counts[i])
+		}
+	}
+	// Audit frames catch count divergence even when N happens to agree.
+	bad := append([]int64(nil), counts...)
+	bad[3] = 99
+	err = u.Apply(Delta{Seq: 5, Audit: true, Counts: bad, N: 12})
+	if !errors.Is(err, ErrOutOfSync) {
+		t.Fatalf("got %v, want ErrOutOfSync on audit count mismatch", err)
+	}
+}
+
+func TestWindowFullSpanEqualsAllTime(t *testing.T) {
+	const m, intervals = 32, 25
+	a, b := synthParams(m)
+	pub, err := NewPublisher(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := pub.Subscribe(intervals + 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W = campaign length: the window must reproduce the all-time state.
+	w, err := NewWindow(m, intervals+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cums, ns := synthIntervals(t, m, intervals, 23)
+	for it := range cums {
+		if err := pub.Publish(cums[it], ns[it]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub.Close()
+	for d := range sub.C() {
+		if err := w.Push(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final, finalN := cums[intervals-1], ns[intervals-1]
+	counts, n := w.Counts()
+	if n != finalN {
+		t.Fatalf("windowed n = %d, all-time %d", n, finalN)
+	}
+	for i := range counts {
+		if counts[i] != final[i] {
+			t.Fatalf("windowed counts[%d] = %d, all-time %d", i, counts[i], final[i])
+		}
+	}
+	wEst, err := estimate.Calibrate(counts, int(n), a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allEst, err := estimate.Calibrate(final, int(finalN), a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wEst {
+		if wEst[i] != allEst[i] {
+			t.Fatalf("windowed estimate %d: %v != all-time %v", i, wEst[i], allEst[i])
+		}
+	}
+}
+
+func TestWindowSlidesAndRollsOver(t *testing.T) {
+	const m, intervals, span = 16, 12, 3
+	pub, err := NewPublisher(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := pub.Subscribe(intervals + 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWindow(m, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cums, ns := synthIntervals(t, m, intervals, 37)
+	for it := range cums {
+		if err := pub.Publish(cums[it], ns[it]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub.Close()
+	for d := range sub.C() {
+		if err := w.Push(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The window holds exactly the last `span` data intervals: cumulative
+	// difference between the final snapshot and the one span intervals
+	// earlier.
+	base, baseN := cums[intervals-1-span], ns[intervals-1-span]
+	counts, n := w.Counts()
+	if got, want := n, ns[intervals-1]-baseN; got != want {
+		t.Fatalf("sliding n = %d, want %d", got, want)
+	}
+	for i := range counts {
+		if want := cums[intervals-1][i] - base[i]; counts[i] != want {
+			t.Fatalf("sliding counts[%d] = %d, want %d", i, counts[i], want)
+		}
+	}
+	// LastCounts(1) must equal just the newest interval.
+	lc, ln, err := w.LastCounts(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ns[intervals-1] - ns[intervals-2]; ln != want {
+		t.Fatalf("LastCounts(1) n = %d, want %d", ln, want)
+	}
+	for i := range lc {
+		if want := cums[intervals-1][i] - cums[intervals-2][i]; lc[i] != want {
+			t.Fatalf("LastCounts(1)[%d] = %d, want %d", i, lc[i], want)
+		}
+	}
+	// Tumbling rollover: retained state clears, cumulative shadow stays.
+	w.Rollover()
+	counts, n = w.Counts()
+	if n != 0 || w.Len() != 0 {
+		t.Fatalf("after rollover n=%d len=%d, want 0/0", n, w.Len())
+	}
+	for i := range counts {
+		if counts[i] != 0 {
+			t.Fatalf("after rollover counts[%d] = %d", i, counts[i])
+		}
+	}
+	cc, cn := w.Cumulative()
+	if cn != ns[intervals-1] {
+		t.Fatalf("cumulative n lost by rollover: %d != %d", cn, ns[intervals-1])
+	}
+	for i := range cc {
+		if cc[i] != cums[intervals-1][i] {
+			t.Fatalf("cumulative counts lost by rollover at %d", i)
+		}
+	}
+}
+
+func TestDropAndResyncHealsSlowConsumer(t *testing.T) {
+	const m, intervals = 16, 30
+	pub, err := NewPublisher(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer of 1: almost every frame overflows while we don't read.
+	sub, err := pub.Subscribe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cums, ns := synthIntervals(t, m, intervals, 5)
+	for it := range cums {
+		if err := pub.Publish(cums[it], ns[it]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain what survived: stale frames then a resync.
+	acc, err := NewAccumulator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawResync := false
+drain:
+	for {
+		select {
+		case d := <-sub.C():
+			if d.Resync {
+				sawResync = true
+			}
+			_ = acc.Apply(d) // ErrOutOfSync before the healing resync is expected
+		default:
+			break drain
+		}
+	}
+	// One more publish now that there is room: the publisher owes us a
+	// resync if we were lagged; either way the final state must match.
+	extra := append([]int64(nil), cums[intervals-1]...)
+	extra[0] += 3
+	if err := pub.Publish(extra, ns[intervals-1]+3); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		select {
+		case d := <-sub.C():
+			if d.Resync {
+				sawResync = true
+			}
+			_ = acc.Apply(d)
+			continue
+		default:
+		}
+		break
+	}
+	if !sawResync {
+		t.Fatal("slow consumer never received a resync frame")
+	}
+	counts, n := acc.Counts()
+	if n != ns[intervals-1]+3 {
+		t.Fatalf("healed n = %d, want %d", n, ns[intervals-1]+3)
+	}
+	for i := range counts {
+		if counts[i] != extra[i] {
+			t.Fatalf("healed counts[%d] = %d, want %d", i, counts[i], extra[i])
+		}
+	}
+}
+
+func TestPublisherResyncOnRegression(t *testing.T) {
+	const m = 8
+	pub, err := NewPublisher(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := pub.Subscribe(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish([]int64{5, 0, 2, 0, 0, 0, 0, 0}, 6); err != nil {
+		t.Fatal(err)
+	}
+	// A merged-fleet regression: counts went backwards (node reset).
+	if err := pub.Publish([]int64{1, 0, 2, 0, 0, 0, 0, 0}, 2); err != nil {
+		t.Fatal(err)
+	}
+	pub.Close()
+	var frames []Delta
+	for d := range sub.C() {
+		frames = append(frames, d)
+	}
+	// initial resync, delta, regression resync
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames, want 3", len(frames))
+	}
+	if frames[1].Resync {
+		t.Fatal("first publish should be a delta")
+	}
+	if !frames[2].Resync {
+		t.Fatal("regression must publish a resync, not a negative delta")
+	}
+	if frames[2].N != 2 || frames[2].Counts[0] != 1 {
+		t.Fatalf("resync carries %v n=%d, want counts[0]=1 n=2", frames[2].Counts, frames[2].N)
+	}
+	acc, _ := NewAccumulator(m)
+	for _, d := range frames {
+		if err := acc.Apply(d); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	if n := acc.N(); n != 2 {
+		t.Fatalf("final n = %d, want 2", n)
+	}
+}
+
+func TestTrackerEmitsEnterLeaveEvents(t *testing.T) {
+	const m = 6
+	a, b := synthParams(m)
+	trk, err := NewTracker(a, b, 1, estimate.HeavyHitterConfig{Threshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: items 0 and 3 far above threshold, everything else at 0.
+	est := []float64{5000, 0, 0, 4000, 0, 0}
+	hh, events, err := trk.Update(est, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hh) != 2 || hh[0].Item != 0 || hh[1].Item != 3 {
+		t.Fatalf("heavy hitters %+v, want items 0 and 3", hh)
+	}
+	if len(events) != 2 || events[0].Kind != Enter || events[1].Kind != Enter {
+		t.Fatalf("events %+v, want two enters", events)
+	}
+	// Round 2: item 3 collapses, item 5 rises.
+	est = []float64{5200, 0, 0, 10, 0, 4500}
+	_, events, err = trk.Update(est, 12000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events %+v, want one enter + one leave", events)
+	}
+	if events[0].Kind != Enter || events[0].Item != 5 {
+		t.Fatalf("first event %+v, want enter(5)", events[0])
+	}
+	if events[1].Kind != Leave || events[1].Item != 3 {
+		t.Fatalf("second event %+v, want leave(3)", events[1])
+	}
+	// Round 3: no change, no events.
+	_, events, err = trk.Update(est, 12500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("steady state produced events %+v", events)
+	}
+	cur := trk.Current()
+	if len(cur) != 2 || cur[0].Item != 0 || cur[1].Item != 5 {
+		t.Fatalf("current set %+v, want items 0 and 5", cur)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewPublisher(0); err == nil {
+		t.Fatal("NewPublisher(0) should fail")
+	}
+	if _, err := NewWindow(4, 0); err == nil {
+		t.Fatal("NewWindow w=0 should fail")
+	}
+	if _, err := NewWindow(0, 4); err == nil {
+		t.Fatal("NewWindow bits=0 should fail")
+	}
+	if _, err := NewAccumulator(-1); err == nil {
+		t.Fatal("NewAccumulator(-1) should fail")
+	}
+	if _, err := NewUpdater([]float64{0.7}, []float64{0.7}, 1); err == nil {
+		t.Fatal("degenerate a==b should fail")
+	}
+	if _, err := NewUpdater([]float64{0.7}, []float64{0.2}, 0); err == nil {
+		t.Fatal("scale 0 should fail")
+	}
+	if _, err := NewUpdater([]float64{0.7}, []float64{0.2, 0.3}, 1); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+	if _, err := NewTracker([]float64{0.7}, []float64{0.2}, -1, estimate.HeavyHitterConfig{}); err == nil {
+		t.Fatal("negative scale tracker should fail")
+	}
+	u, err := NewUpdater([]float64{0.7, 0.8}, []float64{0.2, 0.2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.EstimateItem(9); err == nil {
+		t.Fatal("out-of-range EstimateItem should fail")
+	}
+	if err := u.Apply(Delta{Bits: []int{7}, Inc: []int64{1}}); err == nil {
+		t.Fatal("out-of-range bit should fail")
+	}
+	if math.IsNaN(estimate.CalibrateAt(1, 1, 0.7, 0.2, 1)) {
+		t.Fatal("CalibrateAt sanity")
+	}
+}

@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"idldp/internal/estimate"
+)
+
+// EventKind says whether an item entered or left the heavy-hitter set.
+type EventKind uint8
+
+const (
+	// Enter: the item's lower confidence bound cleared the threshold.
+	Enter EventKind = iota + 1
+	// Leave: it no longer does.
+	Leave
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Enter:
+		return "enter"
+	case Leave:
+		return "leave"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one heavy-hitter set transition.
+type Event struct {
+	Kind EventKind
+	Item int
+	// Estimate is the item's calibrated estimate at the update that
+	// caused the transition (for Leave: the estimate that fell short).
+	Estimate float64
+	// Seq is the stream sequence of the update, when the caller provides
+	// one.
+	Seq uint64
+}
+
+// Tracker maintains a live heavy-hitter set over a stream of estimate
+// updates, reusing estimate.HeavyHitters' confidence-bound rule: an item
+// is in the set while the lower bound of its estimate clears the
+// threshold. Update diffs the new set against the previous one and
+// returns the transitions, so a dashboard renders enter/leave events
+// instead of re-deriving them. A Tracker is safe for concurrent use.
+type Tracker struct {
+	a, b  []float64
+	scale float64
+	cfg   estimate.HeavyHitterConfig
+
+	mu   sync.Mutex
+	in   map[int]bool
+	last []estimate.HeavyHitter
+}
+
+// NewTracker returns a tracker using mechanism parameters a, b, the PS
+// scale (1 for single-item) and the identification config (threshold and
+// confidence z).
+func NewTracker(a, b []float64, scale float64, cfg estimate.HeavyHitterConfig) (*Tracker, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return nil, fmt.Errorf("stream: mismatched parameter lengths a=%d b=%d", len(a), len(b))
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("stream: scale %v must be positive", scale)
+	}
+	return &Tracker{a: a, b: b, scale: scale, cfg: cfg, in: make(map[int]bool)}, nil
+}
+
+// Update recomputes the heavy-hitter set on the given calibrated
+// estimates (est may cover only the first len(est) items of the domain,
+// as EstimateSet's trimmed output does) with n reports behind them, and
+// returns the current set plus the transitions since the previous
+// update, Enter events first, each kind ordered by item.
+func (t *Tracker) Update(est []float64, n int64, seq uint64) ([]estimate.HeavyHitter, []Event, error) {
+	if len(est) > len(t.a) {
+		return nil, nil, fmt.Errorf("stream: %d estimates for %d items", len(est), len(t.a))
+	}
+	hh, err := estimate.HeavyHitters(est, int(n), t.a[:len(est)], t.b[:len(est)], t.scale, t.cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := make(map[int]bool, len(hh))
+	var events []Event
+	for _, h := range hh {
+		now[h.Item] = true
+		if !t.in[h.Item] {
+			events = append(events, Event{Kind: Enter, Item: h.Item, Estimate: h.Estimate, Seq: seq})
+		}
+	}
+	for item := range t.in {
+		if !now[item] {
+			e := Event{Kind: Leave, Item: item, Seq: seq}
+			if item < len(est) {
+				e.Estimate = est[item]
+			}
+			events = append(events, e)
+		}
+	}
+	sort.Slice(events, func(x, y int) bool {
+		if events[x].Kind != events[y].Kind {
+			return events[x].Kind < events[y].Kind
+		}
+		return events[x].Item < events[y].Item
+	})
+	t.in = now
+	t.last = hh
+	return hh, events, nil
+}
+
+// Current returns the heavy-hitter set of the most recent update,
+// ordered by descending estimate.
+func (t *Tracker) Current() []estimate.HeavyHitter {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]estimate.HeavyHitter(nil), t.last...)
+}

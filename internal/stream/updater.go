@@ -1,0 +1,213 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"idldp/internal/estimate"
+)
+
+// Updater maintains calibrated frequency estimates incrementally from a
+// delta stream. The integer state (per-bit counts, n) is updated in
+// O(changed bits) per frame — exact, because integer sums are
+// order-independent — and estimates are materialized lazily through
+// estimate.CalibrateAt, the single expression estimate.Calibrate itself
+// uses. That structural sharing is what makes the incremental estimates
+// *equal* to a batch recalibration, not approximately equal: same
+// inputs, same float operations, same rounding.
+//
+//   - Apply(delta):      O(changed bits) integer work, no float math.
+//   - EstimateItem(i):   O(1), always exact at the current state.
+//   - Estimates():       O(m) only when the state changed since the last
+//     materialization; a dashboard polling between deltas pays a copy.
+//
+// Two audits guard the pipeline. Every frame carries the cumulative N
+// and every k-th frame the full cumulative counts, so Apply detects a
+// consumer that somehow missed a frame (ErrOutOfSync — healed by the
+// next resync). Independently, audit frames trigger a full
+// recalibration: the Updater recomputes estimates from scratch with
+// estimate.Calibrate and asserts bit-for-bit agreement with its own
+// query path, so any future drift between the two code paths is caught
+// in production, not just in tests.
+//
+// An Updater is safe for concurrent use.
+type Updater struct {
+	a, b  []float64
+	scale float64
+
+	mu  sync.Mutex
+	acc *Accumulator
+	gen uint64 // bumped on every state change
+
+	estGen uint64 // generation the cache was materialized at (0 = never)
+	est    []float64
+
+	applied, resyncs, audits, auditFails int64
+}
+
+// ErrAuditMismatch reports that a full recalibration disagreed with the
+// incremental estimates — a bug, never expected in operation.
+var ErrAuditMismatch = errors.New("stream: audit recalibration disagrees with incremental estimates")
+
+// NewUpdater returns an updater calibrating with per-bit mechanism
+// parameters a, b and PS scale (1 for single-item), starting from the
+// all-zero state. Subscribe before any reports arrive, or seed it with
+// the subscription's initial resync frame.
+func NewUpdater(a, b []float64, scale float64) (*Updater, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return nil, fmt.Errorf("stream: mismatched parameter lengths a=%d b=%d", len(a), len(b))
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("stream: scale %v must be positive", scale)
+	}
+	for i := range a {
+		if a[i] == b[i] {
+			return nil, fmt.Errorf("stream: a[%d] == b[%d] == %v, estimator undefined", i, i, a[i])
+		}
+	}
+	acc, err := NewAccumulator(len(a))
+	if err != nil {
+		return nil, err
+	}
+	return &Updater{a: a, b: b, scale: scale, acc: acc, gen: 1}, nil
+}
+
+// Bits returns the domain size m.
+func (u *Updater) Bits() int { return len(u.a) }
+
+// Apply folds one frame into the estimates: O(changed bits) for a
+// delta, O(m) for a resync. Audit frames additionally verify the
+// accumulated state against the authoritative counts and run the full
+// recalibration audit; ErrOutOfSync and ErrAuditMismatch report the two
+// failure modes. On ErrOutOfSync the Updater keeps running with its
+// (suspect) state — the next resync frame heals it exactly.
+func (u *Updater) Apply(d Delta) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if !d.Empty() {
+		u.gen++
+	}
+	u.applied++
+	if d.Resync {
+		u.resyncs++
+	}
+	if err := u.acc.Apply(d); err != nil {
+		return err
+	}
+	if d.Audit {
+		u.audits++
+		if err := u.auditLocked(); err != nil {
+			u.auditFails++
+			return err
+		}
+	}
+	return nil
+}
+
+// materializeLocked brings the estimate cache to the current generation.
+func (u *Updater) materializeLocked() {
+	if u.estGen == u.gen {
+		return
+	}
+	if u.est == nil {
+		u.est = make([]float64, len(u.a))
+	}
+	counts, n := u.acc.raw(), u.acc.n
+	for i := range u.est {
+		u.est[i] = estimate.CalibrateAt(counts[i], n, u.a[i], u.b[i], u.scale)
+	}
+	u.estGen = u.gen
+}
+
+// Estimates returns the calibrated estimates for all m items at the
+// current state — bit-for-bit what estimate.Calibrate returns on the
+// same snapshot. The slice is the caller's to keep.
+func (u *Updater) Estimates() []float64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.materializeLocked()
+	return append([]float64(nil), u.est...)
+}
+
+// EstimatesInto materializes into dst (len m), avoiding the copy
+// allocation; it returns the cumulative n alongside.
+func (u *Updater) EstimatesInto(dst []float64) (int64, error) {
+	if len(dst) != len(u.a) {
+		return 0, fmt.Errorf("stream: dst has %d entries for %d items", len(dst), len(u.a))
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.materializeLocked()
+	copy(dst, u.est)
+	return u.acc.n, nil
+}
+
+// EstimateItem returns the calibrated estimate of one item in O(1).
+func (u *Updater) EstimateItem(i int) (float64, error) {
+	if i < 0 || i >= len(u.a) {
+		return 0, fmt.Errorf("stream: item %d out of range [0,%d)", i, len(u.a))
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return estimate.CalibrateAt(u.acc.raw()[i], u.acc.n, u.a[i], u.b[i], u.scale), nil
+}
+
+// Counts returns a copy of the accumulated cumulative counts and n.
+func (u *Updater) Counts() ([]int64, int64) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.acc.Counts()
+}
+
+// N returns the cumulative report count.
+func (u *Updater) N() int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.acc.n
+}
+
+// Audit runs the full-recalibration audit immediately: recompute all
+// estimates from the accumulated state with estimate.Calibrate and
+// assert bit-for-bit agreement with the incremental query path.
+func (u *Updater) Audit() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.audits++
+	if err := u.auditLocked(); err != nil {
+		u.auditFails++
+		return err
+	}
+	return nil
+}
+
+func (u *Updater) auditLocked() error {
+	u.materializeLocked()
+	ref, err := estimate.Calibrate(u.acc.raw(), int(u.acc.n), u.a, u.b, u.scale)
+	if err != nil {
+		return fmt.Errorf("stream: audit recalibration: %w", err)
+	}
+	for i, r := range ref {
+		if r != u.est[i] {
+			return fmt.Errorf("%w: item %d incremental %v, batch %v", ErrAuditMismatch, i, u.est[i], r)
+		}
+	}
+	return nil
+}
+
+// UpdaterStats is a point-in-time view of an Updater's activity.
+type UpdaterStats struct {
+	// Applied counts frames folded in, Resyncs the subset that were full
+	// resyncs.
+	Applied, Resyncs int64
+	// Audits counts full-recalibration audits run and AuditFailures the
+	// ones that disagreed (always 0 unless something is broken).
+	Audits, AuditFailures int64
+}
+
+// Stats returns the activity counters.
+func (u *Updater) Stats() UpdaterStats {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return UpdaterStats{Applied: u.applied, Resyncs: u.resyncs, Audits: u.audits, AuditFailures: u.auditFails}
+}

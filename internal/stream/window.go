@@ -1,0 +1,233 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+)
+
+// frame is one interval retained by a Window, stored sparsely: bits[j]
+// changed by inc[j], and dn reports arrived.
+type frame struct {
+	bits []int
+	inc  []int64
+	dn   int64
+	seq  uint64
+}
+
+// Window is a ring buffer of the last W interval frames with rolling
+// per-bit sums, answering "counts over the past W intervals" in O(m)
+// copy time and absorbing each new interval in O(changed bits + evicted
+// bits) — no rescan of the retained frames. A Window whose capacity
+// covers the whole campaign reproduces the all-time counts exactly
+// (integer sums again), so windowed and all-time estimates are the same
+// code path, just different spans; Rollover clears the ring for
+// tumbling-window semantics.
+//
+// Resync frames carry cumulative state, not an interval, so the Window
+// keeps its own cumulative shadow and turns a resync into the implied
+// interval delta (new cumulative minus shadow). After a fleet node
+// reset that implied delta can contain negative increments; the rolling
+// sums stay exact and the entries age out of the window like any other
+// interval.
+//
+// A Window is safe for concurrent use.
+type Window struct {
+	mu   sync.Mutex
+	bits int
+	ring []frame
+	head int // index of the oldest frame
+	size int
+
+	sum []int64 // rolling per-bit sums over the retained frames
+	n   int64   // rolling report count over the retained frames
+
+	cum  *Accumulator // cumulative shadow, for resync diffing
+	last uint64       // seq of the newest pushed frame
+
+	pushed, rollovers int64
+}
+
+// NewWindow returns a window retaining the last w interval frames of an
+// m-bit domain.
+func NewWindow(bits, w int) (*Window, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("stream: report length %d must be positive", bits)
+	}
+	if w <= 0 {
+		return nil, fmt.Errorf("stream: window capacity %d must be positive", w)
+	}
+	cum, err := NewAccumulator(bits)
+	if err != nil {
+		return nil, err
+	}
+	return &Window{bits: bits, ring: make([]frame, w), sum: make([]int64, bits), cum: cum}, nil
+}
+
+// Bits returns the domain size m and Cap the retained interval count.
+func (w *Window) Bits() int { return w.bits }
+
+// Cap returns the window capacity in intervals.
+func (w *Window) Cap() int { return len(w.ring) }
+
+// Len returns how many intervals the window currently retains.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Push absorbs one frame as the newest interval, evicting the oldest
+// when the ring is full: O(changed bits + evicted bits). Empty frames
+// (heartbeats, audit-only) are not retained — they would age out real
+// intervals without adding information.
+func (w *Window) Push(d Delta) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var f frame
+	if d.Resync {
+		if len(d.Counts) != w.bits {
+			return fmt.Errorf("stream: resync has %d counts, window wants %d", len(d.Counts), w.bits)
+		}
+		// Turn cumulative state into the implied interval delta against
+		// the shadow, then adopt the new cumulative state.
+		shadow := w.cum.raw()
+		for i, c := range d.Counts {
+			if c != shadow[i] {
+				f.bits = append(f.bits, i)
+				f.inc = append(f.inc, c-shadow[i])
+			}
+		}
+		f.dn = d.N - w.cum.n
+		copy(shadow, d.Counts)
+		w.cum.n = d.N
+	} else {
+		if len(d.Bits) != len(d.Inc) {
+			return fmt.Errorf("stream: frame has %d bit indices for %d increments", len(d.Bits), len(d.Inc))
+		}
+		for j, i := range d.Bits {
+			if i < 0 || i >= w.bits {
+				return fmt.Errorf("stream: frame touches bit %d of %d", i, w.bits)
+			}
+			w.cum.raw()[i] += d.Inc[j]
+		}
+		w.cum.n += d.DN
+		// Frames are read-only and shared between subscribers; retain the
+		// slices directly.
+		f.bits, f.inc, f.dn = d.Bits, d.Inc, d.DN
+	}
+	f.seq = d.Seq
+	w.last = d.Seq
+	if len(f.bits) == 0 && f.dn == 0 {
+		return nil
+	}
+	if w.size == len(w.ring) {
+		w.evictLocked()
+	}
+	tail := (w.head + w.size) % len(w.ring)
+	w.ring[tail] = f
+	w.size++
+	for j, i := range f.bits {
+		w.sum[i] += f.inc[j]
+	}
+	w.n += f.dn
+	w.pushed++
+	return nil
+}
+
+// evictLocked drops the oldest frame from the ring and the rolling sums.
+func (w *Window) evictLocked() {
+	f := &w.ring[w.head]
+	for j, i := range f.bits {
+		w.sum[i] -= f.inc[j]
+	}
+	w.n -= f.dn
+	*f = frame{} // release the retained slices
+	w.head = (w.head + 1) % len(w.ring)
+	w.size--
+}
+
+// Counts returns the per-bit counts and report total over the retained
+// intervals. The slice is the caller's to keep.
+func (w *Window) Counts() ([]int64, int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]int64(nil), w.sum...), w.n
+}
+
+// CountsInto copies the windowed counts into dst (len m) and returns
+// the windowed report total — the zero-allocation variant for pollers.
+func (w *Window) CountsInto(dst []int64) (int64, error) {
+	if len(dst) != w.bits {
+		return 0, fmt.Errorf("stream: dst has %d entries for %d bits", len(dst), w.bits)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	copy(dst, w.sum)
+	return w.n, nil
+}
+
+// LastCounts sums only the newest k retained intervals (k >= Len means
+// the whole window). Unlike Counts it walks the frames — O(k · changed
+// bits) — so it suits one-off queries, not the per-interval hot path.
+func (w *Window) LastCounts(k int) ([]int64, int64, error) {
+	if k < 0 {
+		return nil, 0, fmt.Errorf("stream: negative interval count %d", k)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if k >= w.size {
+		return append([]int64(nil), w.sum...), w.n, nil
+	}
+	counts := make([]int64, w.bits)
+	var n int64
+	for j := w.size - k; j < w.size; j++ {
+		f := &w.ring[(w.head+j)%len(w.ring)]
+		for idx, i := range f.bits {
+			counts[i] += f.inc[idx]
+		}
+		n += f.dn
+	}
+	return counts, n, nil
+}
+
+// Cumulative returns the all-time cumulative counts and n the window has
+// observed (the shadow state resyncs diff against).
+func (w *Window) Cumulative() ([]int64, int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cum.Counts()
+}
+
+// Rollover clears the retained intervals — the tumbling-window boundary.
+// The cumulative shadow is kept, so subsequent resyncs still diff
+// correctly.
+func (w *Window) Rollover() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range w.ring {
+		w.ring[i] = frame{}
+	}
+	w.head, w.size, w.n = 0, 0, 0
+	clear(w.sum)
+	w.rollovers++
+}
+
+// WindowStats is a point-in-time view of a Window's activity.
+type WindowStats struct {
+	// Retained is the current interval count, Cap the ring capacity.
+	Retained, Cap int
+	// N is the report total over the retained intervals.
+	N int64
+	// Pushed counts non-empty frames absorbed; Rollovers counts tumbling
+	// resets.
+	Pushed, Rollovers int64
+	// LastSeq is the newest frame sequence observed.
+	LastSeq uint64
+}
+
+// Stats returns the activity counters.
+func (w *Window) Stats() WindowStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WindowStats{Retained: w.size, Cap: len(w.ring), N: w.n, Pushed: w.pushed, Rollovers: w.rollovers, LastSeq: w.last}
+}

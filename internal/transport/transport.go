@@ -10,7 +10,10 @@
 // clients aggregate locally and ship O(m) bytes total — or a snapshot
 // request, answered with a snapshot frame holding the server's current
 // merged counts; the fleet merger (internal/fleet) polls these to build
-// an exact cross-node aggregate.
+// an exact cross-node aggregate. Snapshot replies are varpack-compressed
+// when the requester advertises support (see Frame), cutting the
+// dominant fleet-poll payload several-fold; older peers transparently
+// keep the plain form.
 //
 // Ingestion runs on the sharded runtime of internal/server: each
 // connection handler owns a server.Batcher that folds single-report
@@ -32,6 +35,7 @@ import (
 	"idldp/internal/agg"
 	"idldp/internal/bitvec"
 	"idldp/internal/server"
+	"idldp/internal/varpack"
 )
 
 // FrameKind discriminates the payload of a Frame.
@@ -50,13 +54,24 @@ const (
 	FrameSnapshot FrameKind = 4
 )
 
-// Frame is the wire message.
+// Frame is the wire message. The two trailing fields negotiate the
+// compact snapshot encoding: a requester that understands
+// varpack-packed counts sets AcceptPacked on its snapshot request, and
+// the server then answers with Packed instead of Counts. gob ignores
+// struct fields the peer does not declare, so either side may be older:
+// an old server never sees AcceptPacked and replies with plain Counts,
+// an old client never sets it and is never sent Packed.
 type Frame struct {
 	Kind   FrameKind
 	Words  []uint64 // FrameReport: packed bit vector
 	Bits   int      // FrameReport: vector length; FrameSnapshot: domain size
 	Counts []int64  // FrameBatch / FrameSnapshot: per-bit counts
 	N      int64    // FrameBatch / FrameSnapshot: number of users summed
+
+	// AcceptPacked, on FrameSnapshotRequest, asks for a packed reply.
+	AcceptPacked bool
+	// Packed, on FrameSnapshot, is the varpack payload replacing Counts.
+	Packed []byte
 }
 
 // Server accepts report streams and aggregates them on the sharded
@@ -147,8 +162,8 @@ func (s *Server) handle(conn net.Conn) {
 		// Reset in place, keeping capacity. gob omits zero-valued fields
 		// on encode, so without this a field absent from the next frame
 		// would silently retain the previous frame's value.
-		f.Kind, f.Bits, f.N = 0, 0, 0
-		f.Words, f.Counts = f.Words[:0], f.Counts[:0]
+		f.Kind, f.Bits, f.N, f.AcceptPacked = 0, 0, 0, false
+		f.Words, f.Counts, f.Packed = f.Words[:0], f.Counts[:0], f.Packed[:0]
 		if err := dec.Decode(&f); err != nil {
 			return // EOF or malformed stream ends the connection
 		}
@@ -170,7 +185,13 @@ func (s *Server) handle(conn net.Conn) {
 			if enc == nil {
 				enc = gob.NewEncoder(conn)
 			}
-			if enc.Encode(Frame{Kind: FrameSnapshot, Counts: counts, N: n, Bits: s.bits}) != nil {
+			reply := Frame{Kind: FrameSnapshot, N: n, Bits: s.bits}
+			if f.AcceptPacked {
+				reply.Packed = varpack.Pack(counts)
+			} else {
+				reply.Counts = counts
+			}
+			if enc.Encode(reply) != nil {
 				return
 			}
 		default:
@@ -248,9 +269,12 @@ func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
 // Snapshot asks the server for its current merged state. The reply is
 // consistent with every frame this client has already sent (the server
-// flushes the connection's batcher before answering).
+// flushes the connection's batcher before answering). The request
+// advertises AcceptPacked, so a current server answers with the compact
+// varpack payload; a plain Counts reply from an older server decodes
+// the same.
 func (c *Client) Snapshot() (counts []int64, n int64, bits int, err error) {
-	if err := c.enc.Encode(Frame{Kind: FrameSnapshotRequest}); err != nil {
+	if err := c.enc.Encode(Frame{Kind: FrameSnapshotRequest, AcceptPacked: true}); err != nil {
 		return nil, 0, 0, fmt.Errorf("transport: %w", err)
 	}
 	var f Frame
@@ -259,6 +283,16 @@ func (c *Client) Snapshot() (counts []int64, n int64, bits int, err error) {
 	}
 	if f.Kind != FrameSnapshot {
 		return nil, 0, 0, fmt.Errorf("transport: unexpected frame kind %d in snapshot reply", f.Kind)
+	}
+	if len(f.Packed) > 0 {
+		counts, err := varpack.Unpack(f.Packed)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("transport: %w", err)
+		}
+		if len(counts) != f.Bits {
+			return nil, 0, 0, fmt.Errorf("transport: packed snapshot has %d counts for %d bits", len(counts), f.Bits)
+		}
+		return counts, f.N, f.Bits, nil
 	}
 	if f.Counts == nil {
 		f.Counts = make([]int64, f.Bits) // defensive: gob omits empty slices

@@ -15,6 +15,7 @@ import (
 	"idldp/internal/core"
 	"idldp/internal/rng"
 	"idldp/internal/server"
+	"idldp/internal/varpack"
 )
 
 func waitFor(t *testing.T, cond func() bool) {
@@ -390,5 +391,81 @@ func TestServeSinkRestoresDurableCollector(t *testing.T) {
 	}
 	if srv.Stats().Reports != 1 {
 		t.Fatalf("Stats.Reports = %d, want 1", srv.Stats().Reports)
+	}
+}
+
+// TestLegacySnapshotRequestGetsPlainCounts: a requester that does not
+// advertise AcceptPacked (an old peer) must receive the plain Counts
+// form — the compat contract of the packed encoding.
+func TestLegacySnapshotRequestGetsPlainCounts(t *testing.T) {
+	const m = 9
+	srv, err := Serve("127.0.0.1:0", m, server.WithBatchSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SendReport(bitvec.OneHot(m, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Speak the wire protocol by hand, like a pre-varpack client.
+	if err := c.enc.Encode(Frame{Kind: FrameSnapshotRequest}); err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	if err := c.dec.Decode(&f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameSnapshot {
+		t.Fatalf("reply kind %d", f.Kind)
+	}
+	if len(f.Packed) != 0 {
+		t.Fatal("legacy requester was sent a packed payload")
+	}
+	if len(f.Counts) != m || f.Counts[4] != 1 || f.N != 1 {
+		t.Fatalf("legacy reply counts=%v n=%d", f.Counts, f.N)
+	}
+}
+
+// TestPackedSnapshotMatchesPlain: the negotiated packed reply decodes to
+// exactly the plain snapshot, and its wire payload is several times
+// smaller for mostly-small counts.
+func TestPackedSnapshotMatchesPlain(t *testing.T) {
+	const m = 512
+	srv, err := Serve("127.0.0.1:0", m, server.WithBatchSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	counts := make([]int64, m)
+	for i := range counts {
+		counts[i] = int64(i % 7)
+	}
+	if err := srv.Runtime().AddCounts(append([]int64(nil), counts...), 40); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, n, bits, err := c.Snapshot() // advertises AcceptPacked
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 || bits != m {
+		t.Fatalf("n=%d bits=%d", n, bits)
+	}
+	for i := range counts {
+		if got[i] != counts[i] {
+			t.Fatalf("bit %d: packed %d, want %d", i, got[i], counts[i])
+		}
+	}
+	if packed, fixed := len(varpack.Pack(counts)), len(varpack.PackFixed(counts)); 4*packed > fixed {
+		t.Fatalf("packed snapshot %dB vs fixed %dB: less than 4x smaller", packed, fixed)
 	}
 }

@@ -1,0 +1,116 @@
+// Package varpack is the compact wire encoding for per-bit count
+// vectors. Snapshot payloads used to ship every count as a fixed 8-byte
+// little-endian integer, but counts are overwhelmingly small — interval
+// deltas especially, where most entries fit one byte — so the packed
+// form zigzag-varint-encodes them instead (>4x smaller on typical
+// deltas, >6x on sparse ones).
+//
+// A payload is self-describing:
+//
+//	version byte | uvarint count m | m encoded values
+//
+// Version 1 encodes values as zigzag varints (encoding/binary's signed
+// varint); version 0 is the legacy fixed 8-byte little-endian form, so a
+// peer that has the packed decoder can read frames from one that does
+// not, and the version byte leaves room to evolve the encoding again.
+// Negotiation is the transport's job: the gob-TCP snapshot request
+// carries an accept-packed flag and the HTTP snapshot endpoint a
+// ?format=packed query, so old peers keep receiving the plain form.
+package varpack
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encoding versions, the first payload byte.
+const (
+	// VersionFixed64 is the legacy form: 8 bytes little-endian per count.
+	VersionFixed64 = 0
+	// VersionVarint is the compact form: zigzag varint per count.
+	VersionVarint = 1
+)
+
+// Pack encodes counts in the compact varint form.
+func Pack(counts []int64) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+2*len(counts))
+	buf = append(buf, VersionVarint)
+	buf = binary.AppendUvarint(buf, uint64(len(counts)))
+	for _, c := range counts {
+		buf = binary.AppendVarint(buf, c)
+	}
+	return buf
+}
+
+// PackFixed encodes counts in the legacy fixed-width form — what a peer
+// without the varint decoder expects, and the baseline the compact form
+// is measured against.
+func PackFixed(counts []int64) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+8*len(counts))
+	buf = append(buf, VersionFixed64)
+	buf = binary.AppendUvarint(buf, uint64(len(counts)))
+	for _, c := range counts {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c))
+	}
+	return buf
+}
+
+// MaxCounts bounds the declared element count a payload may carry;
+// generous for any real domain, small enough that a corrupt header
+// cannot demand a huge allocation.
+const MaxCounts = 1 << 28
+
+// Unpack decodes a payload of either version.
+func Unpack(data []byte) ([]int64, error) {
+	counts, err := UnpackInto(data, nil)
+	return counts, err
+}
+
+// UnpackInto decodes into dst when its capacity suffices (allocating
+// otherwise), returning the decoded slice — the reuse hook for pollers
+// that decode snapshots every interval.
+func UnpackInto(data []byte, dst []int64) ([]int64, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("varpack: empty payload")
+	}
+	version, rest := data[0], data[1:]
+	m64, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return nil, fmt.Errorf("varpack: truncated element count")
+	}
+	if m64 > MaxCounts {
+		return nil, fmt.Errorf("varpack: %d elements exceeds the %d cap", m64, MaxCounts)
+	}
+	m := int(m64)
+	rest = rest[k:]
+	if cap(dst) >= m {
+		dst = dst[:m]
+	} else {
+		dst = make([]int64, m)
+	}
+	switch version {
+	case VersionVarint:
+		for i := range dst {
+			v, k := binary.Varint(rest)
+			if k <= 0 {
+				return nil, fmt.Errorf("varpack: truncated varint at element %d/%d", i, m)
+			}
+			dst[i] = v
+			rest = rest[k:]
+		}
+	case VersionFixed64:
+		if len(rest) < 8*m {
+			return nil, fmt.Errorf("varpack: fixed payload has %d bytes for %d elements", len(rest), m)
+		}
+		for i := range dst {
+			dst[i] = int64(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+		rest = rest[8*m:]
+	default:
+		return nil, fmt.Errorf("varpack: unsupported version %d", version)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("varpack: %d trailing bytes", len(rest))
+	}
+	return dst, nil
+}

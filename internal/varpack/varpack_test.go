@@ -1,0 +1,88 @@
+package varpack
+
+import (
+	"testing"
+
+	"idldp/internal/rng"
+)
+
+func roundTrip(t *testing.T, counts []int64) {
+	t.Helper()
+	for name, payload := range map[string][]byte{"varint": Pack(counts), "fixed": PackFixed(counts)} {
+		got, err := Unpack(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(counts) {
+			t.Fatalf("%s: %d elements, want %d", name, len(got), len(counts))
+		}
+		for i := range counts {
+			if got[i] != counts[i] {
+				t.Fatalf("%s: element %d = %d, want %d", name, i, got[i], counts[i])
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	roundTrip(t, nil)
+	roundTrip(t, []int64{0})
+	roundTrip(t, []int64{1, -1, 127, -128, 1 << 40, -(1 << 40), 9_223_372_036_854_775_807, -9_223_372_036_854_775_808})
+	r := rng.New(99)
+	big := make([]int64, 4096)
+	for i := range big {
+		big[i] = int64(r.IntN(1_000_000)) - 500_000
+	}
+	roundTrip(t, big)
+}
+
+func TestUnpackIntoReuses(t *testing.T) {
+	counts := []int64{5, 0, 12, 3}
+	buf := make([]int64, 0, 16)
+	got, err := UnpackInto(Pack(counts), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("UnpackInto allocated despite sufficient capacity")
+	}
+	for i := range counts {
+		if got[i] != counts[i] {
+			t.Fatalf("element %d = %d, want %d", i, got[i], counts[i])
+		}
+	}
+}
+
+// TestDeltaShrinks: the satellite's acceptance bar — mostly-small delta
+// counts must pack >4x smaller than the fixed 8-byte form.
+func TestDeltaShrinks(t *testing.T) {
+	r := rng.New(7)
+	delta := make([]int64, 1024)
+	for i := range delta {
+		// A typical interval delta: most bits moved by a handful.
+		if r.Bernoulli(0.8) {
+			delta[i] = int64(r.IntN(100))
+		}
+	}
+	packed, fixed := Pack(delta), PackFixed(delta)
+	if 4*len(packed) > len(fixed) {
+		t.Fatalf("packed delta is %d bytes vs fixed %d — less than 4x smaller", len(packed), len(fixed))
+	}
+}
+
+func TestRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            nil,
+		"no count":         {VersionVarint},
+		"bad version":      {42, 1, 0},
+		"truncated varint": append(Pack([]int64{1, 2, 3})[:4], 0x80),
+		"short fixed":      {VersionFixed64, 2, 1, 2, 3},
+		"huge count":       {VersionVarint, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"trailing":         append(Pack([]int64{1}), 9),
+	}
+	for name, payload := range cases {
+		if _, err := Unpack(payload); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

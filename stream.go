@@ -1,0 +1,198 @@
+package idldp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"idldp/internal/estimate"
+	"idldp/internal/stream"
+)
+
+// StreamConfig tunes a Server.Stream subscription.
+type StreamConfig struct {
+	// Window is the sliding-window capacity in publisher intervals
+	// (<= 0 selects DefaultStreamWindow). A window spanning the whole
+	// campaign reproduces the all-time estimates exactly.
+	Window int
+	// Buffer is the subscription channel depth (<= 0 selects 16). A
+	// consumer that falls further behind is dropped-and-resynced by the
+	// publisher — it never blocks ingestion and never diverges.
+	Buffer int
+	// HeavyHitterThreshold, when positive, enables live heavy-hitter
+	// tracking: updates carry the items whose estimate's lower
+	// confidence bound clears the threshold, plus enter/leave events.
+	HeavyHitterThreshold float64
+	// HeavyHitterZ is the confidence quantile (0 selects 1.96 ≈ 95%).
+	HeavyHitterZ float64
+}
+
+// DefaultStreamWindow retains 60 publisher intervals.
+const DefaultStreamWindow = 60
+
+// HeavyHitter is one live-identified frequent item.
+type HeavyHitter struct {
+	Item     int
+	Estimate float64
+	// Low and High bound the true count at the configured confidence.
+	Low, High float64
+}
+
+// StreamUpdate is one interval's view of the campaign.
+type StreamUpdate struct {
+	// Seq numbers the underlying stream frames; Resync marks a full
+	// state replacement (first update, or catch-up after falling
+	// behind).
+	Seq    uint64
+	Resync bool
+	// N is the all-time report count and Estimates the all-time
+	// calibrated estimates for the m items — bit-for-bit what
+	// Server.Estimates returns at the same state.
+	N         int64
+	Estimates []float64
+	// WindowN and WindowEstimates cover the sliding window (nil while
+	// the window is empty).
+	WindowN         int64
+	WindowEstimates []float64
+	// HeavyHitters is the current identified set, descending by
+	// estimate; Entered and Left are the items that crossed the
+	// threshold this update. All nil unless tracking is configured.
+	HeavyHitters  []HeavyHitter
+	Entered, Left []int
+}
+
+// ErrStreamClosed is returned by Stream.Next once the server shut the
+// stream down (after delivering the final drained state).
+var ErrStreamClosed = errors.New("idldp: stream closed")
+
+// Stream is a live subscription to a WithStream server: each Next folds
+// one published interval into incrementally-maintained estimates. The
+// incremental path is exact — a periodic audit asserts bit-for-bit
+// agreement with batch recalibration — and costs O(changed bits) per
+// interval instead of O(m). Close the Stream when done; Next is not
+// safe for concurrent use from multiple goroutines.
+type Stream struct {
+	sub   *stream.Sub
+	upd   *stream.Updater
+	win   *stream.Window
+	trk   *stream.Tracker
+	m     int
+	a, b  []float64
+	scale float64
+}
+
+// Stream subscribes to the server's interval deltas. The server must
+// have been built with WithStream; the first Next returns a resync
+// update carrying the current state.
+func (s *Server) Stream(cfg StreamConfig) (*Stream, error) {
+	if s.runtime == nil {
+		return nil, fmt.Errorf("idldp: Stream requires a WithStream server")
+	}
+	e := s.engine
+	a, b, scale := e.UE().A, e.UE().B, 1.0
+	if e.PaddingLength() > 0 {
+		a, b, scale = e.SetMech().UE.A, e.SetMech().UE.B, float64(e.PaddingLength())
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = DefaultStreamWindow
+	}
+	buffer := cfg.Buffer
+	if buffer <= 0 {
+		buffer = 16
+	}
+	upd, err := stream.NewUpdater(a, b, scale)
+	if err != nil {
+		return nil, fmt.Errorf("idldp: %w", err)
+	}
+	win, err := stream.NewWindow(s.bits, window)
+	if err != nil {
+		return nil, fmt.Errorf("idldp: %w", err)
+	}
+	st := &Stream{upd: upd, win: win, m: e.M(), a: a, b: b, scale: scale}
+	if cfg.HeavyHitterThreshold > 0 {
+		hhCfg := estimate.HeavyHitterConfig{Threshold: cfg.HeavyHitterThreshold, Z: cfg.HeavyHitterZ}
+		trk, err := stream.NewTracker(a, b, scale, hhCfg)
+		if err != nil {
+			return nil, fmt.Errorf("idldp: %w", err)
+		}
+		st.trk = trk
+	}
+	sub, err := s.runtime.Subscribe(buffer)
+	if err != nil {
+		return nil, fmt.Errorf("idldp: %w", err)
+	}
+	st.sub = sub
+	return st, nil
+}
+
+// Next blocks for the next published interval, folds it in, and returns
+// the updated view. It returns ErrStreamClosed after the server closes
+// (the final update before that carries the drained state) and ctx's
+// error if the context ends first. Intervals with no new reports
+// publish nothing, so an idle campaign blocks in Next without burning
+// cycles.
+func (st *Stream) Next(ctx context.Context) (StreamUpdate, error) {
+	select {
+	case <-ctx.Done():
+		return StreamUpdate{}, ctx.Err()
+	case d, ok := <-st.sub.C():
+		if !ok {
+			return StreamUpdate{}, ErrStreamClosed
+		}
+		if err := st.upd.Apply(d); err != nil && !errors.Is(err, stream.ErrOutOfSync) {
+			// ErrOutOfSync self-heals at the next resync; anything else
+			// (an audit mismatch) is a real failure.
+			return StreamUpdate{}, fmt.Errorf("idldp: %w", err)
+		}
+		if err := st.win.Push(d); err != nil {
+			return StreamUpdate{}, fmt.Errorf("idldp: %w", err)
+		}
+		return st.view(d)
+	}
+}
+
+// view assembles the update for the frame just applied.
+func (st *Stream) view(d stream.Delta) (StreamUpdate, error) {
+	up := StreamUpdate{Seq: d.Seq, Resync: d.Resync, N: st.upd.N()}
+	up.Estimates = st.upd.Estimates()[:st.m]
+	wCounts, wN := st.win.Counts()
+	if wN > 0 {
+		wEst, err := estimate.Calibrate(wCounts, int(wN), st.a, st.b, st.scale)
+		if err != nil {
+			return StreamUpdate{}, fmt.Errorf("idldp: %w", err)
+		}
+		up.WindowN, up.WindowEstimates = wN, wEst[:st.m]
+	}
+	if st.trk != nil {
+		hh, events, err := st.trk.Update(up.Estimates, up.N, d.Seq)
+		if err != nil {
+			return StreamUpdate{}, fmt.Errorf("idldp: %w", err)
+		}
+		up.HeavyHitters = make([]HeavyHitter, len(hh))
+		for i, h := range hh {
+			up.HeavyHitters[i] = HeavyHitter{Item: h.Item, Estimate: h.Estimate, Low: h.Low, High: h.High}
+		}
+		for _, ev := range events {
+			if ev.Kind == stream.Enter {
+				up.Entered = append(up.Entered, ev.Item)
+			} else {
+				up.Left = append(up.Left, ev.Item)
+			}
+		}
+	}
+	return up, nil
+}
+
+// Audit forces a full-recalibration audit of the incremental estimates
+// (also run automatically on the publisher's periodic audit frames). A
+// non-nil error means the incremental path diverged from batch
+// recalibration — never expected.
+func (st *Stream) Audit() error { return st.upd.Audit() }
+
+// Rollover clears the sliding window — tumbling-window semantics: the
+// next updates aggregate only intervals after this boundary.
+func (st *Stream) Rollover() { st.win.Rollover() }
+
+// Close unsubscribes. The server keeps running.
+func (st *Stream) Close() { st.sub.Close() }

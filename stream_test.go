@@ -1,0 +1,200 @@
+package idldp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestStreamMatchesEstimatesExactly: a Stream consumer's final view
+// equals Server.Estimates bit for bit, with the whole campaign inside
+// the window reproducing the all-time estimates, heavy-hitter tracking
+// firing on the dominant items, and the audit passing. Run under -race
+// with concurrent collectors.
+func TestStreamMatchesEstimatesExactly(t *testing.T) {
+	client, err := NewClient(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := client.NewServer(WithShards(3), WithBatchSize(16), WithStream(2*time.Millisecond))
+	defer srv.Close()
+	st, err := srv.Stream(StreamConfig{Window: 10_000, HeavyHitterThreshold: 100, Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Concurrent collectors: item 1 holds half the reports.
+	const collectors, perCollector = 4, 800
+	done := make(chan error, collectors)
+	for c := 0; c < collectors; c++ {
+		go func(c int) {
+			for u := 0; u < perCollector; u++ {
+				item := 4
+				switch u % 4 {
+				case 0, 1:
+					item = 1
+				case 2:
+					item = 2
+				}
+				r := client.ReportItem(item, uint64(c*perCollector+u))
+				if err := srv.Collect(r); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(c)
+	}
+	// Consume updates while ingestion runs (exercises the incremental
+	// path concurrently; -race watches the locking).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	type result struct {
+		last StreamUpdate
+		err  error
+	}
+	consumed := make(chan result, 1)
+	go func() {
+		var last StreamUpdate
+		for {
+			up, err := st.Next(ctx)
+			if errors.Is(err, ErrStreamClosed) {
+				consumed <- result{last: last}
+				return
+			}
+			if err != nil {
+				consumed <- result{err: err}
+				return
+			}
+			if up.N < last.N {
+				consumed <- result{err: errors.New("stream n regressed")}
+				return
+			}
+			last = up
+		}
+	}()
+	for c := 0; c < collectors; c++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := srv.Estimates() // flushes the producer batch
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil { // publishes the final drained state
+		t.Fatal(err)
+	}
+	res := <-consumed
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	// One more Next drains nothing: the stream is closed.
+	if _, err := st.Next(ctx); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("Next after close: %v, want ErrStreamClosed", err)
+	}
+	up := res.last
+	if up.N != int64(collectors*perCollector) {
+		t.Fatalf("streamed n = %d, want %d", up.N, collectors*perCollector)
+	}
+	for i := range want {
+		if up.Estimates[i] != want[i] {
+			t.Fatalf("estimate %d: streamed %v != batch %v", i, up.Estimates[i], want[i])
+		}
+	}
+	// Whole campaign inside the window: windowed == all-time bit for bit.
+	if up.WindowN != up.N {
+		t.Fatalf("window n = %d, all-time %d", up.WindowN, up.N)
+	}
+	for i := range want {
+		if up.WindowEstimates[i] != want[i] {
+			t.Fatalf("windowed estimate %d: %v != all-time %v", i, up.WindowEstimates[i], want[i])
+		}
+	}
+	// Item 1 holds half the reports — it must be tracked as a heavy
+	// hitter by now.
+	foundDominant := false
+	for _, hh := range up.HeavyHitters {
+		if hh.Item == 1 {
+			foundDominant = true
+			if hh.Low > hh.Estimate || hh.High < hh.Estimate {
+				t.Fatalf("confidence interval [%v, %v] excludes estimate %v", hh.Low, hh.High, hh.Estimate)
+			}
+		}
+	}
+	if !foundDominant {
+		t.Fatalf("dominant item 1 not tracked: %+v", up.HeavyHitters)
+	}
+	if err := st.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamRequiresStreamingServer: plain and non-streaming sharded
+// servers reject Stream.
+func TestStreamRequiresStreamingServer(t *testing.T) {
+	client, err := NewClient(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := client.NewServer()
+	if _, err := plain.Stream(StreamConfig{}); err == nil {
+		t.Fatal("plain server accepted Stream")
+	}
+	sharded := client.NewServer(WithShards(2))
+	defer sharded.Close()
+	if _, err := sharded.Stream(StreamConfig{}); err == nil {
+		t.Fatal("non-streaming sharded server accepted Stream")
+	}
+}
+
+// TestStreamRollover: Rollover clears the windowed view but not the
+// all-time one.
+func TestStreamRollover(t *testing.T) {
+	client, err := NewClient(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := client.NewServer(WithBatchSize(1), WithStream(time.Millisecond))
+	defer srv.Close()
+	st, err := srv.Stream(StreamConfig{Window: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for u := 0; u < 50; u++ {
+		if err := srv.Collect(client.ReportItem(u%5, uint64(u))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var up StreamUpdate
+	for up.N < 50 {
+		if up, err = st.Next(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if up.WindowN != 50 {
+		t.Fatalf("window n = %d, want 50", up.WindowN)
+	}
+	st.Rollover()
+	for u := 50; u < 60; u++ {
+		if err := srv.Collect(client.ReportItem(u%5, uint64(u))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for up.N < 60 {
+		if up, err = st.Next(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if up.WindowN != 10 {
+		t.Fatalf("post-rollover window n = %d, want 10 (only the new interval)", up.WindowN)
+	}
+	if up.N != 60 {
+		t.Fatalf("all-time n = %d, want 60", up.N)
+	}
+}
