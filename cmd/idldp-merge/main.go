@@ -1,12 +1,24 @@
-// Command idldp-merge is the fleet merger: it polls snapshot frames from
-// several idldp-server processes (gob-TCP) and/or httpapi nodes (HTTP)
-// and merges them into one global aggregate. Per-bit counts are
-// order-independent integer sums, so the merged estimates are bit-for-bit
-// identical to a single collector that ingested every report — scaling
-// out costs nothing statistically.
+// Command idldp-merge is the fleet merger. It builds one exact global
+// aggregate two ways, mixable in one process:
 //
-// Node specs: "tcp://host:port" or bare "host:port" for idldp-server,
-// "http://host:port" for an httpapi node.
+//   - Polling (-nodes): fetch snapshot frames from idldp-server
+//     processes (gob-TCP) and/or httpapi nodes (HTTP) on an interval —
+//     the PR 3 topology. With -fleet-token every snapshot request is
+//     HMAC-signed for nodes that gate their snapshot endpoints.
+//   - Push registration (-listen / -listen-http): run the fleet control
+//     plane (internal/registry) and let nodes announce themselves —
+//     register, heartbeat, push varpack-packed snapshot deltas — instead
+//     of being listed statically. Members that miss -evict-missed
+//     heartbeats are evicted (their last counts keep contributing) and
+//     must re-register with a full resync. -merger-dir checkpoints every
+//     member's state so a restarted merger resumes exactly.
+//
+// Per-bit counts are order-independent integer sums, so the merged
+// estimates are bit-for-bit identical to a single collector that
+// ingested every report — scaling out, and stacking mergers into tiers,
+// costs nothing statistically. With -upstream the merger announces its
+// own merged stream to a higher-tier merger exactly as if it were a
+// node; tiers compose indefinitely.
 //
 // With -stream every poll's merged delta is printed live as it is
 // published (a node restarting without its checkpoint shows up as a
@@ -18,6 +30,9 @@
 //
 //	idldp-merge -nodes tcp://127.0.0.1:7070,tcp://127.0.0.1:7071 [-once]
 //	            [-interval 2s] [-duration 0] [-stale 15s] [-stream] [-window 0]
+//	idldp-merge -listen 127.0.0.1:7090 [-listen-http 127.0.0.1:8090]
+//	            [-fleet-token TOKEN] [-heartbeat 5s] [-evict-missed 3]
+//	            [-merger-dir DIR] [-upstream tcp://HOST:PORT] [-name NAME]
 package main
 
 import (
@@ -26,6 +41,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,57 +53,140 @@ import (
 	"idldp/internal/budget"
 	"idldp/internal/core"
 	"idldp/internal/fleet"
+	"idldp/internal/httpapi"
+	"idldp/internal/registry"
 	"idldp/internal/stream"
+	"idldp/internal/transport"
 )
 
+// config carries every flag; run is the testable entry point.
+type config struct {
+	nodes     string
+	interval  time.Duration
+	duration  time.Duration
+	stale     time.Duration
+	once      bool
+	streamOut bool
+	window    int
+
+	listen             string
+	listenHTTP         string
+	fleetToken         string
+	heartbeat          time.Duration
+	evictMissed        int
+	mergerDir          string
+	mergerCkptInterval time.Duration
+	upstream           string
+	name               string
+}
+
 func main() {
-	var (
-		nodes     = flag.String("nodes", "", "comma-separated node specs (tcp://host:port or http://host:port)")
-		interval  = flag.Duration("interval", 2*time.Second, "poll interval")
-		once      = flag.Bool("once", false, "poll every node once, print the merged state, and exit")
-		duration  = flag.Duration("duration", 0, "stop after this long (0 = until signal)")
-		stale     = flag.Duration("stale", 15*time.Second, "report a node stale after this long without a successful poll")
-		streamOut = flag.Bool("stream", false, "print each merged update as it is published")
-		window    = flag.Int("window", 0, "also report estimates over the last k polls (0 = all-time only)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.nodes, "nodes", "", "comma-separated node specs to poll (tcp://host:port or http://host:port)")
+	flag.DurationVar(&cfg.interval, "interval", 2*time.Second, "poll/publish interval")
+	flag.BoolVar(&cfg.once, "once", false, "poll every node once, print the merged state, and exit")
+	flag.DurationVar(&cfg.duration, "duration", 0, "stop after this long (0 = until signal)")
+	flag.DurationVar(&cfg.stale, "stale", 15*time.Second, "report a polled node stale after this long without a successful poll")
+	flag.BoolVar(&cfg.streamOut, "stream", false, "print each merged update as it is published")
+	flag.IntVar(&cfg.window, "window", 0, "also report estimates over the last k polls (0 = all-time only)")
+	flag.StringVar(&cfg.listen, "listen", "", "gob-TCP control-plane listen address for push-registered nodes (empty = polling only)")
+	flag.StringVar(&cfg.listenHTTP, "listen-http", "", "HTTP control-plane listen address (empty = none)")
+	flag.StringVar(&cfg.fleetToken, "fleet-token", "", "shared fleet token authenticating registrations, pushes and snapshot reads")
+	flag.DurationVar(&cfg.heartbeat, "heartbeat", registry.DefaultHeartbeatEvery, "heartbeat cadence advertised to registering nodes")
+	flag.IntVar(&cfg.evictMissed, "evict-missed", registry.DefaultMissedHeartbeats, "missed heartbeats before a member is evicted")
+	flag.StringVar(&cfg.mergerDir, "merger-dir", "", "checkpoint directory for merger state (restart resumes exactly)")
+	flag.DurationVar(&cfg.mergerCkptInterval, "merger-checkpoint-interval", 10*time.Second, "time between merger-state checkpoints")
+	flag.StringVar(&cfg.upstream, "upstream", "", "higher-tier merger to announce this merger's stream to (tcp://host:port or http://host:port)")
+	flag.StringVar(&cfg.name, "name", "", "this merger's fleet-wide identity for -upstream (default: -listen address)")
 	flag.Parse()
-	if err := run(os.Stdout, *nodes, *interval, *duration, *stale, *once, *streamOut, *window); err != nil {
+	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-merge:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, nodes string, interval, duration, stale time.Duration, once, streamOut bool, window int) error {
-	if nodes == "" {
-		return fmt.Errorf("-nodes is required")
+func run(w io.Writer, cfg config) error {
+	if cfg.nodes == "" && cfg.listen == "" && cfg.listenHTTP == "" {
+		return fmt.Errorf("need -nodes to poll, or -listen/-listen-http to accept push registrations")
 	}
-	if window < 0 {
+	if cfg.window < 0 {
 		return fmt.Errorf("-window must be non-negative")
 	}
-	var sources []fleet.Source
-	for _, spec := range strings.Split(nodes, ",") {
-		src, err := fleet.ParseSource(strings.TrimSpace(spec))
-		if err != nil {
+	var auth *registry.Authenticator
+	if cfg.fleetToken != "" {
+		var err error
+		if auth, err = registry.NewAuthenticator(cfg.fleetToken); err != nil {
 			return err
 		}
-		sources = append(sources, src)
 	}
 	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
 	if err != nil {
 		return err
 	}
-	f, err := fleet.New(engine.M(), sources, fleet.WithStaleAfter(stale))
+
+	// Control plane: dynamic membership via push registration.
+	var reg *registry.Registry
+	if cfg.listen != "" || cfg.listenHTTP != "" {
+		ropts := []registry.Option{registry.WithHeartbeat(cfg.heartbeat, cfg.evictMissed)}
+		if auth != nil {
+			ropts = append(ropts, registry.WithAuth(auth))
+		}
+		if cfg.mergerDir != "" {
+			ropts = append(ropts, registry.WithCheckpoint(cfg.mergerDir, cfg.mergerCkptInterval))
+			var restored int
+			if reg, restored, err = registry.Restore(engine.M(), ropts...); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "merger state: restored %d members from %s\n", restored, cfg.mergerDir)
+		} else if reg, err = registry.New(engine.M(), ropts...); err != nil {
+			return err
+		}
+		defer reg.Close()
+		if cfg.listen != "" {
+			rs, err := transport.ServeRegistry(cfg.listen, reg)
+			if err != nil {
+				return err
+			}
+			defer rs.Close()
+			fmt.Fprintf(w, "control plane: accepting push registrations on tcp://%s\n", rs.Addr())
+		}
+		if cfg.listenHTTP != "" {
+			lis, err := net.Listen("tcp", cfg.listenHTTP)
+			if err != nil {
+				return err
+			}
+			defer lis.Close()
+			go func() { _ = http.Serve(lis, httpapi.NewRegistry(reg)) }()
+			fmt.Fprintf(w, "control plane: accepting push registrations on http://%s\n", lis.Addr())
+		}
+	}
+
+	var sources []fleet.Source
+	if cfg.nodes != "" {
+		for _, spec := range strings.Split(cfg.nodes, ",") {
+			src, err := fleet.ParseSourceAuth(strings.TrimSpace(spec), auth)
+			if err != nil {
+				return err
+			}
+			sources = append(sources, src)
+		}
+	}
+	fopts := []fleet.Option{fleet.WithStaleAfter(cfg.stale)}
+	if reg != nil {
+		fopts = append(fopts, fleet.WithRegistry(reg))
+	}
+	f, err := fleet.New(engine.M(), sources, fopts...)
 	if err != nil {
 		return err
 	}
 
-	// The merged delta stream drives both -stream output and -window
-	// bookkeeping.
+	// The merged delta stream drives -stream output, -window bookkeeping,
+	// and the -upstream announcer.
 	var win *stream.Window
 	var consumer sync.WaitGroup
-	if streamOut || window > 0 {
-		if window > 0 {
-			if win, err = stream.NewWindow(engine.M(), window); err != nil {
+	if cfg.streamOut || cfg.window > 0 {
+		if cfg.window > 0 {
+			if win, err = stream.NewWindow(engine.M(), cfg.window); err != nil {
 				return err
 			}
 		}
@@ -101,7 +201,7 @@ func run(w io.Writer, nodes string, interval, duration, stale time.Duration, onc
 				if win != nil {
 					_ = win.Push(d)
 				}
-				if streamOut {
+				if cfg.streamOut {
 					kind := "delta"
 					if d.Resync {
 						kind = "resync"
@@ -111,15 +211,45 @@ func run(w io.Writer, nodes string, interval, duration, stale time.Duration, onc
 			}
 		}()
 	}
+	var up *registry.Announcer
+	if cfg.upstream != "" {
+		name := cfg.name
+		if name == "" && cfg.listen != "" {
+			name = cfg.listen
+		}
+		if name == "" {
+			name = "merger"
+		}
+		if up, err = registry.Announce(registry.AnnounceConfig{
+			Name: name, Bits: engine.M(), Kind: "merger", Auth: auth,
+			Dial: transport.DialControlPlane(cfg.upstream), Subscribe: f.Subscribe,
+			OnError: func(err error) { fmt.Fprintln(os.Stderr, "upstream:", err) },
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "announcing merged stream to %s as %q\n", cfg.upstream, name)
+	}
+
 	finish := func() {
-		f.Close() // ends the consumer goroutine
+		f.Close() // ends the consumer goroutine and the upstream stream
+		if up != nil {
+			select {
+			case <-up.Done():
+			case <-time.After(10 * time.Second):
+				fmt.Fprintln(os.Stderr, "upstream: unreachable, final state not delivered")
+			}
+			up.Close()
+			st := up.Stats()
+			fmt.Fprintf(w, "upstream: %d registrations, %d pushes (%d resyncs), %d bytes pushed\n",
+				st.Registers, st.Pushes, st.Resyncs, st.BytesPushed)
+		}
 		consumer.Wait()
-		printState(w, f, engine)
-		printWindow(w, win, engine, window)
+		printState(w, f, reg, engine)
+		printWindow(w, win, engine, cfg.window)
 	}
 
 	ctx := context.Background()
-	if once {
+	if cfg.once {
 		pollErr := f.Poll(ctx)
 		if pollErr != nil {
 			fmt.Fprintln(os.Stderr, "poll:", pollErr)
@@ -137,10 +267,10 @@ func run(w io.Writer, nodes string, interval, duration, stale time.Duration, onc
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	if duration > 0 {
+	if cfg.duration > 0 {
 		go func() {
 			select {
-			case <-time.After(duration):
+			case <-time.After(cfg.duration):
 				cancel()
 			case <-runCtx.Done():
 			}
@@ -153,14 +283,15 @@ func run(w io.Writer, nodes string, interval, duration, stale time.Duration, onc
 		case <-runCtx.Done():
 		}
 	}()
-	f.Run(runCtx, interval, func(err error) { fmt.Fprintln(os.Stderr, "poll:", err) })
+	f.Run(runCtx, cfg.interval, func(err error) { fmt.Fprintln(os.Stderr, "poll:", err) })
 	finish()
 	return nil
 }
 
-// printState renders the per-node liveness table, the merged total, and
-// the calibrated fleet-wide estimates.
-func printState(w io.Writer, f *fleet.Fleet, engine *core.Engine) {
+// printState renders the per-node liveness table (polled sources and
+// push-registered members), the merged total, the control-plane
+// bandwidth accounting, and the calibrated fleet-wide estimates.
+func printState(w io.Writer, f *fleet.Fleet, reg *registry.Registry, engine *core.Engine) {
 	fmt.Fprintf(w, "%-28s %10s %8s %8s %8s  %s\n", "node", "n", "polls", "fails", "resets", "state")
 	for _, st := range f.Status() {
 		state := "ok"
@@ -177,6 +308,17 @@ func printState(w io.Writer, f *fleet.Fleet, engine *core.Engine) {
 	}
 	counts, n := f.Counts()
 	fmt.Fprintf(w, "merged n=%d across %d nodes\n", n, len(f.Status()))
+	if reg != nil {
+		var deltaBytes, pollBytes int64
+		for _, m := range reg.Status() {
+			deltaBytes += m.DeltaBytes
+			pollBytes += m.PollEquivBytes
+		}
+		if deltaBytes > 0 {
+			fmt.Fprintf(w, "delta-push: received %d bytes; full-snapshot polling equivalent %d bytes (%.1fx)\n",
+				deltaBytes, pollBytes, float64(pollBytes)/float64(deltaBytes))
+		}
+	}
 	if n == 0 {
 		return
 	}

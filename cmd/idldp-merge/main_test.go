@@ -5,14 +5,27 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"idldp/internal/budget"
 	"idldp/internal/core"
+	"idldp/internal/registry"
 	"idldp/internal/rng"
+	"idldp/internal/server"
 	"idldp/internal/transport"
 )
+
+// onceCfg is the baseline -once configuration tests tweak.
+func onceCfg(nodes string) config {
+	return config{
+		nodes:    nodes,
+		interval: time.Second,
+		stale:    time.Minute,
+		once:     true,
+	}
+}
 
 func TestRunOnceMergesTwoServers(t *testing.T) {
 	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
@@ -46,8 +59,10 @@ func TestRunOnceMergesTwoServers(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	specs := "tcp://" + addrs[0] + ", " + addrs[1]
-	if err := run(&out, specs, time.Second, 0, time.Minute, true, true, 4); err != nil {
+	cfg := onceCfg("tcp://" + addrs[0] + ", " + addrs[1])
+	cfg.streamOut = true
+	cfg.window = 4
+	if err := run(&out, cfg); err != nil {
 		t.Fatal(err)
 	}
 	want := fmt.Sprintf("merged n=%d across 2 nodes", perNode[0]+perNode[1])
@@ -59,14 +74,14 @@ func TestRunOnceMergesTwoServers(t *testing.T) {
 	}
 }
 
-func TestRunRequiresNodes(t *testing.T) {
-	if err := run(&bytes.Buffer{}, "", time.Second, 0, time.Minute, true, false, 0); err == nil {
-		t.Fatal("empty -nodes accepted")
+func TestRunRequiresMembership(t *testing.T) {
+	if err := run(&bytes.Buffer{}, onceCfg("")); err == nil {
+		t.Fatal("no -nodes and no -listen accepted")
 	}
 }
 
 func TestRunRejectsBadSpec(t *testing.T) {
-	if err := run(&bytes.Buffer{}, "gopher://nope", time.Second, 0, time.Minute, true, false, 0); err == nil {
+	if err := run(&bytes.Buffer{}, onceCfg("gopher://nope")); err == nil {
 		t.Fatal("bad node spec accepted")
 	}
 }
@@ -74,7 +89,7 @@ func TestRunRejectsBadSpec(t *testing.T) {
 func TestRunOnceDeadFleetExitsNonzero(t *testing.T) {
 	var out bytes.Buffer
 	// Nothing listens on this port; -once against a dead fleet must error.
-	if err := run(&out, "tcp://127.0.0.1:1", time.Second, 0, time.Minute, true, false, 0); err == nil {
+	if err := run(&out, onceCfg("tcp://127.0.0.1:1")); err == nil {
 		t.Fatalf("dead fleet reported success:\n%s", out.String())
 	}
 }
@@ -108,7 +123,10 @@ func TestRunOnceWindowAndStreamOutput(t *testing.T) {
 	c.Close()
 
 	var out bytes.Buffer
-	if err := run(&out, srv.Addr(), time.Second, 0, time.Minute, true, true, 3); err != nil {
+	cfg := onceCfg(srv.Addr())
+	cfg.streamOut = true
+	cfg.window = 3
+	if err := run(&out, cfg); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -121,4 +139,135 @@ func TestRunOnceWindowAndStreamOutput(t *testing.T) {
 			t.Fatalf("output missing %q:\n%s", want, got)
 		}
 	}
+}
+
+// syncBuffer lets the test read run()'s output while run is writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunListenAcceptsAnnouncingServer: a push-mode merger and an
+// announcing idldp-server runtime wired end to end through the CLI
+// configuration surface.
+func TestRunListenAcceptsAnnouncingServer(t *testing.T) {
+	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	var out syncBuffer
+	cfg := config{
+		interval:    50 * time.Millisecond,
+		duration:    2 * time.Second,
+		stale:       time.Minute,
+		listen:      "127.0.0.1:0",
+		fleetToken:  "merge-test-token",
+		heartbeat:   200 * time.Millisecond,
+		evictMissed: 3,
+	}
+	go func() { done <- run(&out, cfg) }()
+	// The merger prints its bound control-plane address; wait for it.
+	var listenAddr string
+	for deadline := time.Now().Add(5 * time.Second); listenAddr == ""; {
+		if time.Now().After(deadline) {
+			t.Fatalf("merger never printed its listen address:\n%s", out.String())
+		}
+		if _, rest, ok := strings.Cut(out.String(), "registrations on tcp://"); ok {
+			listenAddr = strings.TrimSpace(strings.SplitN(rest, "\n", 2)[0])
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// An announcing node: a streaming runtime + announcer, fed directly.
+	srv, err := startAnnouncingNode(engine, listenAddr, "merge-test-token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	for u := 0; u < 500; u++ {
+		if err := srv.sink.Add(engine.PerturbItem(u%engine.M(), r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("merger did not stop after its duration")
+	}
+	got := out.String()
+	for _, want := range []string{
+		"accepting push registrations",
+		"merged n=500 across 1 nodes",
+		"push://",
+		"delta-push: received",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// announcingNode bundles a streaming runtime and its announcer.
+type announcingNode struct {
+	sink *server.Server
+	ann  *registry.Announcer
+}
+
+// startAnnouncingNode builds a streaming ingestion runtime that pushes
+// its deltas to the merger's control plane at addr.
+func startAnnouncingNode(engine *core.Engine, addr, token string) (*announcingNode, error) {
+	auth, err := registry.NewAuthenticator(token)
+	if err != nil {
+		return nil, err
+	}
+	sink, err := server.New(engine.M(), server.WithShards(2), server.WithStream(20*time.Millisecond))
+	if err != nil {
+		return nil, err
+	}
+	ann, err := registry.Announce(registry.AnnounceConfig{
+		Name: "test-node", Bits: engine.M(), Kind: "node", Auth: auth,
+		Dial: func(ctx context.Context) (registry.Conn, error) {
+			return transport.DialRegistry(ctx, addr)
+		},
+		Subscribe: sink.Subscribe,
+		Backoff:   20 * time.Millisecond,
+	})
+	if err != nil {
+		sink.Close()
+		return nil, err
+	}
+	return &announcingNode{sink: sink, ann: ann}, nil
+}
+
+// close drains the node: the runtime's final resync is pushed before
+// the announcer exits.
+func (n *announcingNode) close() error {
+	err := n.sink.Close()
+	select {
+	case <-n.ann.Done():
+	case <-time.After(5 * time.Second):
+	}
+	n.ann.Close()
+	return err
 }

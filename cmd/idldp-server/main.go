@@ -17,11 +17,25 @@
 // runtime is shared — reports arriving over gob-TCP show up on the HTTP
 // stream within one interval.
 //
+// With -announce the server joins a fleet by pushing instead of being
+// polled: it registers with the merger at the given target
+// (tcp://host:port or http://host:port), heartbeats, and pushes
+// varpack-packed snapshot deltas every -stream-interval — reconnecting
+// with a full resync after any failure or restart. -fleet-token
+// authenticates every control-plane message (and gates this server's
+// own snapshot endpoints); -node-name sets the fleet-wide identity.
+//
+// With -adaptive-batch min,max the ingestion frame size follows the
+// observed arrival rate between the two bounds, shedding load once
+// saturated at max.
+//
 // Usage:
 //
 //	idldp-server [-addr 127.0.0.1:7070] [-duration 30s] [-shards 0] [-batch-size 256]
+//	             [-adaptive-batch MIN,MAX]
 //	             [-checkpoint-dir DIR] [-checkpoint-interval 10s]
 //	             [-stream 127.0.0.1:8080] [-stream-interval 1s] [-window 60]
+//	             [-announce tcp://HOST:PORT] [-fleet-token TOKEN] [-node-name NAME]
 package main
 
 import (
@@ -32,12 +46,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"idldp/internal/budget"
 	"idldp/internal/core"
 	"idldp/internal/httpapi"
+	"idldp/internal/registry"
 	"idldp/internal/server"
 	"idldp/internal/transport"
 )
@@ -48,27 +65,64 @@ func main() {
 		duration       = flag.Duration("duration", 0, "stop after this long (0 = until signal)")
 		shards         = flag.Int("shards", 0, "ingestion shard workers (0 = GOMAXPROCS)")
 		batchSize      = flag.Int("batch-size", 0, "reports per ingestion frame (0 = runtime default)")
+		adaptive       = flag.String("adaptive-batch", "", "MIN,MAX: size frames by arrival rate within these bounds (empty = fixed)")
 		ckptDir        = flag.String("checkpoint-dir", "", "durable checkpoint directory (empty = no durability)")
 		ckptInterval   = flag.Duration("checkpoint-interval", 10*time.Second, "time between periodic checkpoints")
 		streamAddr     = flag.String("stream", "", "HTTP listen address for live estimates + SSE (empty = no HTTP API)")
 		streamInterval = flag.Duration("stream-interval", time.Second, "time between published estimate intervals")
 		window         = flag.Int("window", 60, "sliding-window capacity in stream intervals")
+		announceTarget = flag.String("announce", "", "merger control-plane target to push to (tcp://host:port or http://host:port)")
+		fleetToken     = flag.String("fleet-token", "", "shared fleet token: signs announcements and gates snapshot reads")
+		nodeName       = flag.String("node-name", "", "fleet-wide node identity (default: the listen address)")
 	)
 	flag.Parse()
-	if err := run(*addr, *duration, *shards, *batchSize, *ckptDir, *ckptInterval, *streamAddr, *streamInterval, *window); err != nil {
+	if err := run(*addr, *duration, *shards, *batchSize, *adaptive, *ckptDir, *ckptInterval,
+		*streamAddr, *streamInterval, *window, *announceTarget, *fleetToken, *nodeName); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, duration time.Duration, shards, batchSize int, ckptDir string, ckptInterval time.Duration,
-	streamAddr string, streamInterval time.Duration, window int) error {
+// parseAdaptive parses the "MIN,MAX" bounds flag.
+func parseAdaptive(spec string) (min, max int, err error) {
+	parts := strings.SplitN(spec, ",", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-adaptive-batch wants MIN,MAX, got %q", spec)
+	}
+	if min, err = strconv.Atoi(strings.TrimSpace(parts[0])); err != nil {
+		return 0, 0, fmt.Errorf("-adaptive-batch: %w", err)
+	}
+	if max, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil {
+		return 0, 0, fmt.Errorf("-adaptive-batch: %w", err)
+	}
+	if min <= 0 || max < min {
+		return 0, 0, fmt.Errorf("-adaptive-batch: bounds %d,%d must satisfy 0 < MIN <= MAX", min, max)
+	}
+	return min, max, nil
+}
+
+func run(addr string, duration time.Duration, shards, batchSize int, adaptive, ckptDir string, ckptInterval time.Duration,
+	streamAddr string, streamInterval time.Duration, window int, announceTarget, fleetToken, nodeName string) error {
 	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
 	if err != nil {
 		return err
 	}
+	var auth *registry.Authenticator
+	if fleetToken != "" {
+		if auth, err = registry.NewAuthenticator(fleetToken); err != nil {
+			return err
+		}
+	}
 	opts := []server.Option{server.WithShards(shards), server.WithBatchSize(batchSize)}
-	if streamAddr != "" {
+	if adaptive != "" {
+		min, max, err := parseAdaptive(adaptive)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, server.WithAdaptiveBatch(min, max))
+	}
+	if streamAddr != "" || announceTarget != "" {
+		// Announcing rides the same delta stream the SSE feed uses.
 		opts = append(opts, server.WithStream(streamInterval))
 	}
 	var sink *server.Server
@@ -82,7 +136,11 @@ func run(addr string, duration time.Duration, shards, batchSize int, ckptDir str
 	if err != nil {
 		return err
 	}
-	srv, err := transport.ServeSink(addr, sink)
+	var serveOpts []transport.ServeOption
+	if auth != nil {
+		serveOpts = append(serveOpts, transport.WithSnapshotAuth(auth))
+	}
+	srv, err := transport.ServeSink(addr, sink, serveOpts...)
 	if err != nil {
 		return err
 	}
@@ -101,6 +159,9 @@ func run(addr string, duration time.Duration, shards, batchSize int, ckptDir str
 		if err != nil {
 			return err
 		}
+		if auth != nil {
+			h.RequireSnapshotAuth(auth)
+		}
 		handler = h
 		lis, err := net.Listen("tcp", streamAddr)
 		if err != nil {
@@ -110,6 +171,22 @@ func run(addr string, duration time.Duration, shards, batchSize int, ckptDir str
 		go func() { _ = http.Serve(lis, h) }()
 		fmt.Printf("streaming: HTTP API + SSE on http://%s (interval %v, window %d intervals)\n",
 			lis.Addr(), streamInterval, window)
+	}
+	var announcer *registry.Announcer
+	if announceTarget != "" {
+		name := nodeName
+		if name == "" {
+			name = srv.Addr()
+		}
+		announcer, err = registry.Announce(registry.AnnounceConfig{
+			Name: name, Bits: engine.M(), Kind: "node", Auth: auth,
+			Dial: transport.DialControlPlane(announceTarget), Subscribe: sink.Subscribe,
+			OnError: func(err error) { fmt.Fprintln(os.Stderr, "announce:", err) },
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("announcing to %s as %q (push registration + delta streaming)\n", announceTarget, name)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -131,6 +208,23 @@ func run(addr string, duration time.Duration, shards, batchSize int, ckptDir str
 		// transport below.
 		_ = handler.Close()
 	}
+	if announcer == nil {
+		// Nothing to drain; the transport's deferred Close handles the rest.
+	} else {
+		// Close the runtime now (handler.Close above already did when
+		// streaming over HTTP) so the final resync reaches the stream,
+		// then let the announcer deliver it before exiting.
+		_ = sink.Close()
+		select {
+		case <-announcer.Done():
+		case <-time.After(10 * time.Second):
+			fmt.Fprintln(os.Stderr, "announce: merger unreachable, final state not delivered")
+		}
+		announcer.Close()
+		st := announcer.Stats()
+		fmt.Printf("announce: %d registrations, %d pushes (%d resyncs), %d bytes pushed, %d failures\n",
+			st.Registers, st.Pushes, st.Resyncs, st.BytesPushed, st.Failures)
+	}
 	counts, n := srv.Snapshot()
 	if n == 0 {
 		fmt.Println("no reports received")
@@ -139,6 +233,9 @@ func run(addr string, duration time.Duration, shards, batchSize int, ckptDir str
 	st := srv.Stats()
 	fmt.Printf("runtime: %d reports in %d frames over %d shards (%d checkpoints, %.0f reports/s EWMA)\n",
 		st.Reports, st.Frames, st.Shards, st.Checkpoints, st.ArrivalRate)
+	if st.ShedReports > 0 {
+		fmt.Printf("runtime: shed %d reports in %d frames under saturation\n", st.ShedReports, st.ShedFrames)
+	}
 	est, err := engine.EstimateSingle(counts, int(n))
 	if err != nil {
 		return err

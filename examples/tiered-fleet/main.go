@@ -1,0 +1,352 @@
+// Tiered fleet: the full control plane in one process — four collector
+// nodes announce themselves (HMAC-token-authenticated push
+// registration) to two mid-tier mergers, which announce their merged
+// streams to one top-tier merger exactly as if they were nodes. No
+// static node lists, no polling: steady-state traffic is varpack-packed
+// snapshot deltas, O(changed bits) per interval.
+//
+// Mid-campaign the demo kills and restores one durable node (checkpoint
+// restore + re-register + full resync) and restarts one mid-tier merger
+// (checkpointed member state + nodes reconnecting on their own). The
+// top tier's final counts are still bit-for-bit identical to a single
+// flat collector that ingested every report — per-bit counts are
+// order-independent integer sums, and every failure mode funnels into
+// "new session, full cumulative resync first".
+//
+// Run: go run ./examples/tiered-fleet
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"idldp/internal/agg"
+	"idldp/internal/budget"
+	"idldp/internal/core"
+	"idldp/internal/dist"
+	"idldp/internal/registry"
+	"idldp/internal/rng"
+	"idldp/internal/server"
+	"idldp/internal/transport"
+)
+
+const (
+	nodesPerMid = 2
+	mids        = 2
+	usersPer    = 15000
+	fleetToken  = "tiered-demo-token"
+)
+
+func main() {
+	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	auth, err := registry.NewAuthenticator(fleetToken)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pop := dist.NewSampler(dist.PMF{0.02, 0.38, 0.30, 0.18, 0.12})
+
+	// Flat reference: one collector that sees every report.
+	reference := agg.New(engine.M())
+
+	// Top tier.
+	top, err := registry.New(engine.M(), registry.WithAuth(auth))
+	if err != nil {
+		log.Fatal(err)
+	}
+	topSrv, err := transport.ServeRegistry("127.0.0.1:0", top)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer topSrv.Close()
+	fmt.Printf("top-tier merger on tcp://%s\n", topSrv.Addr())
+
+	// Mid tier: two mergers, each announcing upstream. Merger 0 keeps a
+	// checkpointed member state so it can be restarted mid-campaign.
+	midDir, err := os.MkdirTemp("", "idldp-merger-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(midDir)
+	type midTier struct {
+		reg  *registry.Registry
+		srv  *transport.RegistryServer
+		up   *registry.Announcer
+		addr string
+	}
+	var tier []*midTier
+	for m := 0; m < mids; m++ {
+		opts := []registry.Option{registry.WithAuth(auth), registry.WithHeartbeat(300*time.Millisecond, 3)}
+		if m == 0 {
+			opts = append(opts, registry.WithCheckpoint(midDir, time.Hour))
+		}
+		reg, err := registry.New(engine.M(), opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := transport.ServeRegistry("127.0.0.1:0", reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mt := &midTier{reg: reg, srv: srv, addr: srv.Addr()}
+		mt.up = announceUpstream(mt.reg, fmt.Sprintf("mid-%d", m), topSrv.Addr(), auth, engine.M())
+		tier = append(tier, mt)
+		fmt.Printf("mid-tier merger %d on tcp://%s (announcing upstream)\n", m, mt.addr)
+	}
+
+	// Nodes: durable streaming collectors announcing to their mid tier.
+	nodeDir, err := os.MkdirTemp("", "idldp-node-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(nodeDir)
+	type nodeProc struct {
+		sink *server.Server
+		ann  *registry.Announcer
+		name string
+		mid  string
+	}
+	startNode := func(name, midAddr, ckpt string) *nodeProc {
+		opts := []server.Option{server.WithShards(2), server.WithStream(30 * time.Millisecond)}
+		if ckpt != "" {
+			opts = append(opts, server.WithCheckpoint(ckpt, 0))
+		}
+		sink, err := server.New(engine.M(), opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return &nodeProc{sink: sink, ann: announceNode(sink, name, midAddr, auth, engine.M()), name: name, mid: midAddr}
+	}
+	var nodes []*nodeProc
+	for m := 0; m < mids; m++ {
+		for k := 0; k < nodesPerMid; k++ {
+			name := fmt.Sprintf("node-%d", m*nodesPerMid+k)
+			ckpt := ""
+			if name == "node-0" {
+				ckpt = nodeDir // the node we will kill and restore
+			}
+			nodes = append(nodes, startNode(name, tier[m].addr, ckpt))
+			fmt.Printf("%s announced to mid-%d\n", name, m)
+		}
+	}
+
+	// Every restart below assumes a warmed-up fleet, so wait for all
+	// registrations to land before ingesting.
+	waitUntil("all nodes registered", func() bool {
+		for _, mt := range tier {
+			registered := 0
+			for _, m := range mt.reg.Status() {
+				if m.Registered {
+					registered++
+				}
+			}
+			if registered < nodesPerMid {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Phase 1: first half of the campaign on every node.
+	fmt.Printf("\n=== phase 1: %d users per node (first half) ===\n", usersPer/2)
+	for i, np := range nodes {
+		feed(engine, pop, reference, np.sink, uint64(100+i), 0, usersPer/2)
+	}
+	// Let the interval deltas propagate up both tiers before the
+	// restarts, so the mid-0 checkpoint below has real state to save.
+	waitUntil("phase-1 state at the mid tier", func() bool {
+		for _, mt := range tier {
+			if _, n := mt.reg.Counts(); n != int64(nodesPerMid*usersPer/2) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Kill node-0 after checkpointing (a planned handover would look the
+	// same; an unplanned crash just loses the tail since the last
+	// periodic frame).
+	if _, err := nodes[0].sink.CheckpointNow(); err != nil {
+		log.Fatal(err)
+	}
+	nodes[0].ann.Close() // the "process" dies: its runtime is abandoned
+	fmt.Println("node-0 checkpointed and killed mid-campaign")
+
+	// Restart mid-merger 0: checkpoint member state, tear the listener
+	// down, restore, and listen again on the same address. Its nodes
+	// reconnect and resync on their own; upstream it re-registers.
+	if err := tier[0].reg.CheckpointNow(); err != nil {
+		log.Fatal(err)
+	}
+	tier[0].up.Close()
+	tier[0].srv.Close()
+	tier[0].reg.Close()
+	restoredReg, restoredMembers, err := registry.Restore(engine.M(),
+		registry.WithAuth(auth), registry.WithHeartbeat(300*time.Millisecond, 3),
+		registry.WithCheckpoint(midDir, time.Hour))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv0, err := transport.ServeRegistry(tier[0].addr, restoredReg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tier[0].reg, tier[0].srv = restoredReg, srv0
+	tier[0].up = announceUpstream(restoredReg, "mid-0", topSrv.Addr(), auth, engine.M())
+	fmt.Printf("mid-0 restarted: restored %d member states, listening again on tcp://%s\n",
+		restoredMembers, tier[0].addr)
+
+	// Restore node-0 from its checkpoint; its announcer re-registers and
+	// resyncs the restored cumulative state.
+	restoredSink, restoredN, err := server.Restore(engine.M(),
+		server.WithShards(2), server.WithStream(30*time.Millisecond), server.WithCheckpoint(nodeDir, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes[0].sink = restoredSink
+	nodes[0].ann = announceNode(restoredSink, "node-0", nodes[0].mid, auth, engine.M())
+	fmt.Printf("node-0 restored with %d reports and re-announced\n\n", restoredN)
+
+	// Phase 2: second half everywhere. feed replays each node's RNG
+	// stream up to `from`, so node-0's restored half lines up bit for bit
+	// with its first life.
+	fmt.Printf("=== phase 2: %d users per node (second half) ===\n", usersPer/2)
+	for i, np := range nodes {
+		feed(engine, pop, reference, np.sink, uint64(100+i), usersPer/2, usersPer)
+	}
+
+	// Drain: close every node (final resync pushed), then wait for the
+	// tiers to converge on the flat reference.
+	for _, np := range nodes {
+		if err := np.sink.Close(); err != nil {
+			log.Fatal(err)
+		}
+		<-np.ann.Done()
+		np.ann.Close()
+	}
+	wantN := reference.N()
+	waitUntil("top tier to converge", func() bool {
+		_, n := top.Counts()
+		return n == wantN
+	})
+	for _, mt := range tier {
+		mt.up.Close()
+		mt.srv.Close()
+	}
+
+	counts, n := top.Counts()
+	exact := n == reference.N()
+	for i, c := range reference.Counts() {
+		exact = exact && counts[i] == c
+	}
+	fmt.Printf("\ntop-tier merge: n=%d, bit-for-bit identical to one flat collector: %v\n", n, exact)
+	if !exact {
+		os.Exit(1)
+	}
+
+	// Bandwidth accounting: what the pushes cost vs full snapshots at the
+	// same cadence. On this 5-bit toy domain the two are comparable by
+	// construction; at production domain sizes the sparse deltas win >4x
+	// (m=1024, <5% bits changing — internal/varpack asserts it).
+	var deltaBytes, pollBytes int64
+	for _, mt := range tier {
+		for _, m := range mt.reg.Status() {
+			deltaBytes += m.DeltaBytes
+			pollBytes += m.PollEquivBytes
+		}
+	}
+	fmt.Printf("node→merger traffic since the restarts: %d bytes pushed (full snapshots at the same cadence: %d bytes)\n",
+		deltaBytes, pollBytes)
+
+	est, err := engine.EstimateSingle(counts, int(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-12s %10s\n", "category", "estimated")
+	names := []string{"HIV", "flu", "headache", "stomachache", "toothache"}
+	for i, e := range est {
+		fmt.Printf("%-12s %10.0f\n", names[i], math.Max(e, 0))
+	}
+	for _, mt := range tier {
+		mt.reg.Close()
+	}
+	top.Close()
+}
+
+// waitUntil polls cond until it holds, dying loudly on timeout — fleet
+// propagation is asynchronous, so the demo synchronizes at the points a
+// real operator would (warm-up, pre-restart, drain).
+func waitUntil(what string, cond func() bool) {
+	deadline := time.Now().Add(20 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// announceNode starts a node's control-plane loop against a mid tier.
+func announceNode(sink *server.Server, name, midAddr string, auth *registry.Authenticator, bits int) *registry.Announcer {
+	ann, err := registry.Announce(registry.AnnounceConfig{
+		Name: name, Bits: bits, Kind: "node", Auth: auth,
+		Dial: func(ctx context.Context) (registry.Conn, error) {
+			return transport.DialRegistry(ctx, midAddr)
+		},
+		Subscribe: sink.Subscribe,
+		Backoff:   30 * time.Millisecond,
+		OnError:   func(err error) { fmt.Printf("[%s] announce error: %v\n", name, err) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ann
+}
+
+// announceUpstream pushes a merger's merged stream to the tier above.
+func announceUpstream(reg *registry.Registry, name, topAddr string, auth *registry.Authenticator, bits int) *registry.Announcer {
+	ann, err := registry.Announce(registry.AnnounceConfig{
+		Name: name, Bits: bits, Kind: "merger", Auth: auth,
+		Dial: func(ctx context.Context) (registry.Conn, error) {
+			return transport.DialRegistry(ctx, topAddr)
+		},
+		Subscribe: reg.Subscribe,
+		Backoff:   30 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ann
+}
+
+// feed streams users [from, to) into the runtime, mirroring every
+// report into the flat reference. Replaying users < from consumes the
+// same randomness so a restored node's second half lines up bit for bit
+// with its first life.
+func feed(engine *core.Engine, pop *dist.Sampler, reference *agg.Aggregator, s *server.Server, seed uint64, from, to int) {
+	b := s.NewBatcher()
+	r := rng.New(seed)
+	ur := rng.New(0)
+	buf := engine.NewReport()
+	for u := 0; u < to; u++ {
+		item := pop.Draw(r)
+		r.SplitNInto(u, ur)
+		if u < from {
+			continue
+		}
+		engine.PerturbItemInto(item, ur, buf)
+		reference.Add(buf)
+		if err := b.Add(buf); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

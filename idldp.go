@@ -59,8 +59,11 @@
 package idldp
 
 import (
+	"crypto/rand"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -68,8 +71,10 @@ import (
 	"idldp/internal/budget"
 	"idldp/internal/core"
 	"idldp/internal/opt"
+	"idldp/internal/registry"
 	"idldp/internal/rng"
 	"idldp/internal/server"
+	"idldp/internal/transport"
 )
 
 // Model selects the optimization program used to pick the perturbation
@@ -223,10 +228,15 @@ type serverOptions struct {
 	sharded        bool
 	shards         int
 	batchSize      int
+	adaptMin       int
+	adaptMax       int
 	ckptDir        string
 	ckptInterval   time.Duration
 	streaming      bool
 	streamInterval time.Duration
+	announceTarget string
+	announceToken  string
+	announceName   string
 }
 
 // WithShards runs the server on the sharded ingestion runtime with n
@@ -285,6 +295,39 @@ func WithStream(interval time.Duration) ServerOption {
 	}
 }
 
+// WithAdaptiveBatch sizes ingestion frames from the observed arrival
+// rate instead of a fixed batch size, clamped to [min, max], shedding
+// load once saturated at max (see server.WithAdaptiveBatch). It implies
+// WithShards(0) unless WithShards is also given.
+func WithAdaptiveBatch(min, max int) ServerOption {
+	return func(o *serverOptions) {
+		o.sharded = true
+		o.adaptMin, o.adaptMax = min, max
+	}
+}
+
+// WithAnnounce joins the fleet control plane: the server registers
+// itself with the merger at target ("tcp://host:port" or
+// "http://host:port"), heartbeats, and pushes its snapshot deltas —
+// authenticated with the fleet token when one is given. name is the
+// node's fleet-wide identity ("" derives one: stable from the
+// WithCheckpoint directory for durable nodes — a restart must reclaim
+// its member slot, not double-count its restored state under a fresh
+// one — and random for ephemeral nodes; names are member slots at the
+// merger, so they must never be shared between live nodes). It
+// implies WithShards(0) and WithStream with the runtime default
+// interval unless those options are also given. Close drains the
+// announcer so the merger ends with the node's final state.
+func WithAnnounce(target, token, name string) ServerOption {
+	return func(o *serverOptions) {
+		o.sharded = true
+		o.streaming = true
+		o.announceTarget = target
+		o.announceToken = token
+		o.announceName = name
+	}
+}
+
 // NewServer returns the server-side half sharing this client's solved
 // parameters. With no options it is a plain single-goroutine accumulator;
 // with WithShards or WithBatchSize it runs on the sharded ingestion
@@ -332,6 +375,9 @@ func (c *Client) newServer(opts []ServerOption) (*Server, int64, error) {
 		if o.streaming {
 			ropts = append(ropts, server.WithStream(o.streamInterval))
 		}
+		if o.adaptMax > 0 || o.adaptMin > 0 {
+			ropts = append(ropts, server.WithAdaptiveBatch(o.adaptMin, o.adaptMax))
+		}
 		var rt *server.Server
 		var restored int64
 		var err error
@@ -346,10 +392,67 @@ func (c *Client) newServer(opts []ServerOption) (*Server, int64, error) {
 		}
 		s.runtime = rt
 		s.batcher = rt.NewBatcher()
+		if o.announceTarget != "" {
+			ann, err := announce(rt, bits, o)
+			if err != nil {
+				rt.Close()
+				return nil, 0, fmt.Errorf("idldp: %w", err)
+			}
+			s.announcer = ann
+		}
 		return s, restored, nil
 	}
 	s.counts = make([]int64, bits)
 	return s, 0, nil
+}
+
+// announce starts the control-plane loop for a WithAnnounce server.
+func announce(rt *server.Server, bits int, o serverOptions) (*registry.Announcer, error) {
+	var auth *registry.Authenticator
+	if o.announceToken != "" {
+		var err error
+		if auth, err = registry.NewAuthenticator(o.announceToken); err != nil {
+			return nil, err
+		}
+	}
+	name := o.announceName
+	if name == "" {
+		// A name identifies one member: re-registering it replaces the
+		// session and resyncs replace its counts wholesale. Deriving the
+		// default from the target alone would make every default-named
+		// node collide on one member slot, so it must be unique — and for
+		// a durable node it must also be *stable across restarts*, or a
+		// restored collector would announce its checkpointed counts under
+		// a fresh name while the old member's identical counts kept
+		// contributing, double-counting the whole restored state. The
+		// checkpoint directory is exactly as stable and exclusive as the
+		// state itself, so derive the name from it; ephemeral nodes
+		// restart from zero and get a random one.
+		if o.ckptDir != "" {
+			host, err := os.Hostname()
+			if err != nil {
+				host = "host"
+			}
+			// Canonicalize: the same directory must derive the same name
+			// however it was spelled, and different directories must never
+			// collide on an equal relative spelling.
+			dir, err := filepath.Abs(o.ckptDir)
+			if err != nil {
+				dir = filepath.Clean(o.ckptDir)
+			}
+			name = fmt.Sprintf("node@%s:%s", host, dir)
+		} else {
+			var salt [6]byte
+			if _, err := rand.Read(salt[:]); err != nil {
+				return nil, fmt.Errorf("deriving node name: %w", err)
+			}
+			name = fmt.Sprintf("node-%x", salt)
+		}
+	}
+	return registry.Announce(registry.AnnounceConfig{
+		Name: name, Bits: bits, Kind: "node", Auth: auth,
+		Dial: transport.DialControlPlane(o.announceTarget), Subscribe: rt.Subscribe,
+	})
 }
 
 // Server aggregates reports and produces calibrated frequency estimates.
@@ -369,10 +472,12 @@ type Server struct {
 	counts []int64
 	n      int
 
-	// Sharded mode: feed the runtime through a batcher.
-	runtime *server.Server
-	batcher *server.Batcher
-	closed  bool
+	// Sharded mode: feed the runtime through a batcher. announcer is
+	// non-nil with WithAnnounce.
+	runtime   *server.Server
+	batcher   *server.Batcher
+	announcer *registry.Announcer
+	closed    bool
 }
 
 // Collect accumulates one report. The words are read in place — no
@@ -505,7 +610,9 @@ func (s *Server) Stats() ServerStats {
 
 // Close stops the shard workers of a sharded server after flushing the
 // pending batch; the runtime keeps serving its drained state to
-// Estimates and N. It is a no-op for a plain server.
+// Estimates and N. A WithAnnounce server first lets its announcer drain
+// (bounded), so the merger ends with the node's final state. It is a
+// no-op for a plain server.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -516,7 +623,18 @@ func (s *Server) Close() error {
 	if err := s.batcher.Flush(); err != nil {
 		return err
 	}
-	return s.runtime.Close()
+	err := s.runtime.Close()
+	if s.announcer != nil {
+		// The runtime close published a final resync and ended the
+		// stream; give the announcer a bounded window to deliver it (it
+		// may be mid-backoff against an unreachable merger).
+		select {
+		case <-s.announcer.Done():
+		case <-time.After(5 * time.Second):
+		}
+		s.announcer.Close()
+	}
+	return err
 }
 
 // Estimates returns the unbiased frequency estimates ĉ_i for all m items

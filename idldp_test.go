@@ -6,6 +6,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"idldp/internal/registry"
+	"idldp/internal/transport"
 )
 
 func toyConfig() Config {
@@ -403,5 +407,141 @@ func TestRestoreServerRequiresCheckpoint(t *testing.T) {
 	}
 	if _, _, err := client.RestoreServer(WithShards(2)); err == nil {
 		t.Fatal("RestoreServer without WithCheckpoint accepted")
+	}
+}
+
+// TestAnnouncingServerPushesToMerger: the facade's WithAnnounce wires a
+// collector into the fleet control plane — register, push deltas,
+// deliver the final state on Close.
+func TestAnnouncingServerPushesToMerger(t *testing.T) {
+	auth, err := registry.NewAuthenticator("facade-token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := registry.New(5, registry.WithAuth(auth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	rs, err := transport.ServeRegistry("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	client, err := NewClient(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := client.NewServer(
+		WithShards(2),
+		WithStream(20*time.Millisecond),
+		WithAdaptiveBatch(4, 256),
+		WithAnnounce("tcp://"+rs.Addr(), "facade-token", "facade-node"),
+	)
+	const users = 400
+	for u := 0; u < users; u++ {
+		if err := server.Collect(client.ReportItem(u%5, uint64(u))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := server.Estimates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	counts, n := reg.Counts()
+	if n != users {
+		t.Fatalf("merger n = %d, want %d", n, users)
+	}
+	sts := reg.Status()
+	if len(sts) != 1 || sts[0].Name != "facade-node" || sts[0].Kind != "node" {
+		t.Fatalf("merger members: %+v", sts)
+	}
+	// The merger's merged counts calibrate to exactly the node's own
+	// estimates — push streaming is lossless.
+	got, err := client.Engine().EstimateSingle(counts, int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merger estimate[%d] = %v, node's own %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDurableAnnouncerReclaimsItsMemberSlot: a durable announcing
+// server that restarts must re-register under the same derived name and
+// resync — never announce its restored counts as a second member, which
+// would double-count the whole checkpointed state at the merger.
+func TestDurableAnnouncerReclaimsItsMemberSlot(t *testing.T) {
+	auth, err := registry.NewAuthenticator("facade-token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := registry.New(5, registry.WithAuth(auth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	rs, err := transport.ServeRegistry("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	client, err := NewClient(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opts := []ServerOption{
+		WithShards(2),
+		WithStream(20 * time.Millisecond),
+		WithCheckpoint(dir, time.Hour),
+		WithAnnounce("tcp://"+rs.Addr(), "facade-token", ""),
+	}
+	first, _, err := client.RestoreServer(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 200; u++ {
+		if err := first.Collect(client.ReportItem(u%5, uint64(u))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := first.Close(); err != nil { // final checkpoint + final push
+		t.Fatal(err)
+	}
+
+	second, restored, err := client.RestoreServer(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 200 {
+		t.Fatalf("restored %d reports, want 200", restored)
+	}
+	for u := 200; u < 300; u++ {
+		if err := second.Collect(client.ReportItem(u%5, uint64(u))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := second.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sts := reg.Status()
+	if len(sts) != 1 {
+		t.Fatalf("restart created a second member slot: %+v", sts)
+	}
+	if sts[0].Registrations < 2 {
+		t.Fatalf("restart did not re-register the same member: %+v", sts[0])
+	}
+	if _, n := reg.Counts(); n != 300 {
+		t.Fatalf("merger n = %d, want 300 (restored state must not double-count)", n)
 	}
 }

@@ -9,11 +9,15 @@
 // A checkpoint is one self-describing binary frame:
 //
 //	magic "IDCK" | version u16 | reserved u16 | bits u32 |
-//	seq u64 | n u64 | unixNano u64 | counts bits×u64 | crc32c u32
+//	seq u64 | n u64 | unixNano u64 | counts | crc32c u32
 //
-// All integers are little-endian; counts and n are two's-complement
-// int64s on the wire. The trailing CRC-32 (Castagnoli) covers every
-// preceding byte, so torn or bit-rotted files are detected on load.
+// All integers are little-endian; n is a two's-complement int64 on the
+// wire. Version 2 frames carry the counts as a varpack varint payload —
+// counts are overwhelmingly small, so a v2 frame is several times
+// smaller on disk than the fixed 8-bytes-per-bit counts section of a
+// version 1 frame, which Load still decodes for read-back compatibility.
+// The trailing CRC-32 (Castagnoli) covers every preceding byte, so torn
+// or bit-rotted files are detected on load.
 //
 // Durability protocol: each Save writes the frame to a temporary file in
 // the same directory, syncs it, and renames it to ckpt-<seq>.idck — the
@@ -35,11 +39,17 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"idldp/internal/varpack"
 )
 
 const (
-	magic   = "IDCK"
-	version = 1
+	magic = "IDCK"
+	// versionFixed64 frames carry a fixed 8-byte-per-bit counts section;
+	// versionPacked frames carry a varpack varint payload instead. Save
+	// writes versionPacked, Load reads both.
+	versionFixed64 = 1
+	versionPacked  = 2
 
 	// headerSize is magic+version+reserved+bits+seq+n+unixNano.
 	headerSize = 4 + 2 + 2 + 4 + 8 + 8 + 8
@@ -202,26 +212,22 @@ func Load(path string) (Snapshot, error) {
 	return snap, nil
 }
 
-// encode renders snap as one frame.
+// encode renders snap as one versionPacked frame.
 func encode(snap Snapshot) []byte {
-	buf := make([]byte, headerSize+8*len(snap.Counts)+trailerSize)
+	packed := varpack.Pack(snap.Counts)
+	buf := make([]byte, headerSize, headerSize+len(packed)+trailerSize)
 	copy(buf, magic)
-	binary.LittleEndian.PutUint16(buf[4:], version)
+	binary.LittleEndian.PutUint16(buf[4:], versionPacked)
 	binary.LittleEndian.PutUint16(buf[6:], 0)
 	binary.LittleEndian.PutUint32(buf[8:], uint32(len(snap.Counts)))
 	binary.LittleEndian.PutUint64(buf[12:], snap.Seq)
 	binary.LittleEndian.PutUint64(buf[20:], uint64(snap.N))
 	binary.LittleEndian.PutUint64(buf[28:], uint64(snap.Time.UnixNano()))
-	off := headerSize
-	for _, c := range snap.Counts {
-		binary.LittleEndian.PutUint64(buf[off:], uint64(c))
-		off += 8
-	}
-	binary.LittleEndian.PutUint32(buf[off:], crc32.Checksum(buf[:off], castagnoli))
-	return buf
+	buf = append(buf, packed...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
 }
 
-// decode parses and validates one frame.
+// decode parses and validates one frame of either version.
 func decode(data []byte) (Snapshot, error) {
 	if len(data) < headerSize+trailerSize {
 		return Snapshot{}, fmt.Errorf("frame truncated at %d bytes", len(data))
@@ -229,30 +235,42 @@ func decode(data []byte) (Snapshot, error) {
 	if string(data[:4]) != magic {
 		return Snapshot{}, fmt.Errorf("bad magic %q", data[:4])
 	}
-	if v := binary.LittleEndian.Uint16(data[4:]); v != version {
+	v := binary.LittleEndian.Uint16(data[4:])
+	if v != versionFixed64 && v != versionPacked {
 		return Snapshot{}, fmt.Errorf("unsupported version %d", v)
 	}
 	bits := int(binary.LittleEndian.Uint32(data[8:]))
-	want := headerSize + 8*bits + trailerSize
-	if len(data) != want {
-		return Snapshot{}, fmt.Errorf("frame has %d bytes for %d bits, want %d", len(data), bits, want)
+	if v == versionFixed64 {
+		if want := headerSize + 8*bits + trailerSize; len(data) != want {
+			return Snapshot{}, fmt.Errorf("frame has %d bytes for %d bits, want %d", len(data), bits, want)
+		}
 	}
 	body := data[:len(data)-trailerSize]
 	if got, wantCRC := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(data[len(body):]); got != wantCRC {
 		return Snapshot{}, fmt.Errorf("crc mismatch: computed %08x, stored %08x", got, wantCRC)
 	}
 	snap := Snapshot{
-		Bits:   bits,
-		Counts: make([]int64, bits),
-		Seq:    binary.LittleEndian.Uint64(data[12:]),
-		N:      int64(binary.LittleEndian.Uint64(data[20:])),
-		Time:   time.Unix(0, int64(binary.LittleEndian.Uint64(data[28:]))),
+		Bits: bits,
+		Seq:  binary.LittleEndian.Uint64(data[12:]),
+		N:    int64(binary.LittleEndian.Uint64(data[20:])),
+		Time: time.Unix(0, int64(binary.LittleEndian.Uint64(data[28:]))),
 	}
-	off := headerSize
-	for i := range snap.Counts {
-		snap.Counts[i] = int64(binary.LittleEndian.Uint64(data[off:]))
-		off += 8
+	counts := body[headerSize:]
+	if v == versionFixed64 {
+		snap.Counts = make([]int64, bits)
+		for i := range snap.Counts {
+			snap.Counts[i] = int64(binary.LittleEndian.Uint64(counts[8*i:]))
+		}
+		return snap, nil
 	}
+	decoded, err := varpack.Unpack(counts)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("counts payload: %w", err)
+	}
+	if len(decoded) != bits {
+		return Snapshot{}, fmt.Errorf("counts payload has %d elements for %d bits", len(decoded), bits)
+	}
+	snap.Counts = decoded
 	return snap, nil
 }
 

@@ -1,6 +1,8 @@
 package checkpoint
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -164,6 +166,85 @@ func TestDecodeRejectsMalformedFrames(t *testing.T) {
 	}
 	if _, err := decode(good); err != nil {
 		t.Fatalf("control frame rejected: %v", err)
+	}
+}
+
+// encodeV1 renders a legacy version-1 frame (fixed 8 bytes per bit) the
+// way the pre-compression store wrote it, so the read-back compat test
+// exercises real v1 bytes rather than whatever encode currently emits.
+func encodeV1(snap Snapshot) []byte {
+	buf := make([]byte, headerSize+8*len(snap.Counts)+trailerSize)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint16(buf[4:], versionFixed64)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(snap.Counts)))
+	binary.LittleEndian.PutUint64(buf[12:], snap.Seq)
+	binary.LittleEndian.PutUint64(buf[20:], uint64(snap.N))
+	binary.LittleEndian.PutUint64(buf[28:], uint64(snap.Time.UnixNano()))
+	off := headerSize
+	for _, c := range snap.Counts {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(c))
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(buf[off:], crc32.Checksum(buf[:off], castagnoli))
+	return buf
+}
+
+// TestReadsLegacyV1Frames: a store upgraded under an existing checkpoint
+// directory must resume from frames the old code wrote.
+func TestReadsLegacyV1Frames(t *testing.T) {
+	dir := t.TempDir()
+	counts := []int64{7, 0, 123456, 3}
+	frame := encodeV1(Snapshot{Bits: len(counts), Counts: counts, N: 123463, Seq: 5})
+	if err := os.WriteFile(filepath.Join(dir, fileName(5)), frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok, err := Latest(dir)
+	if err != nil || !ok {
+		t.Fatalf("Latest on v1 frame: ok=%v err=%v", ok, err)
+	}
+	if snap.Seq != 5 || snap.N != 123463 {
+		t.Fatalf("v1 frame decoded as seq=%d n=%d", snap.Seq, snap.N)
+	}
+	for i, c := range counts {
+		if snap.Counts[i] != c {
+			t.Fatalf("v1 count %d = %d, want %d", i, snap.Counts[i], c)
+		}
+	}
+	// Sequence numbering must continue after the legacy frame, and the new
+	// v2 frame must round-trip alongside it.
+	st, err := NewStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := st.Save(counts, 123463)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Seq != 6 {
+		t.Fatalf("seq after v1 frame = %d, want 6", next.Seq)
+	}
+}
+
+// TestPackedFramesShrink: the on-disk compression satellite — typical
+// counts pack several times smaller than the legacy fixed-width form.
+func TestPackedFramesShrink(t *testing.T) {
+	counts := make([]int64, 1024)
+	for i := range counts {
+		counts[i] = int64(i * 37 % 100000)
+	}
+	snap := Snapshot{Bits: len(counts), Counts: counts, N: 1 << 20, Seq: 1}
+	v2, v1 := encode(snap), encodeV1(snap)
+	if 2*len(v2) > len(v1) {
+		t.Fatalf("packed frame %d bytes vs fixed %d — less than 2x smaller", len(v2), len(v1))
+	}
+	got, err := decode(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if got.Counts[i] != c {
+			t.Fatalf("count %d = %d, want %d", i, got.Counts[i], c)
+		}
 	}
 }
 

@@ -22,11 +22,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
+	"idldp/internal/registry"
 	"idldp/internal/stream"
 	"idldp/internal/transport"
 	"idldp/internal/varpack"
@@ -57,10 +60,18 @@ type Source interface {
 // a snapshot-request frame per fetch.
 type TCPSource struct {
 	addr string
+	auth *registry.Authenticator
 }
 
 // NewTCPSource returns a source for a transport server at addr.
 func NewTCPSource(addr string) *TCPSource { return &TCPSource{addr: addr} }
+
+// WithAuth makes every fetch sign its snapshot request with the fleet
+// token — what a transport.WithSnapshotAuth node demands.
+func (s *TCPSource) WithAuth(a *registry.Authenticator) *TCPSource {
+	s.auth = a
+	return s
+}
 
 // Name implements Source.
 func (s *TCPSource) Name() string { return "tcp://" + s.addr }
@@ -78,6 +89,7 @@ func (s *TCPSource) Fetch(ctx context.Context) (Snapshot, error) {
 			return Snapshot{}, err
 		}
 	}
+	c.SetAuth(s.auth)
 	counts, n, bits, err := c.Snapshot()
 	if err != nil {
 		return Snapshot{}, err
@@ -89,12 +101,20 @@ func (s *TCPSource) Fetch(ctx context.Context) (Snapshot, error) {
 type HTTPSource struct {
 	base   string
 	client *http.Client
+	auth   *registry.Authenticator
 }
 
 // NewHTTPSource returns a source for an httpapi handler served at base,
 // e.g. "http://10.0.0.7:8080".
 func NewHTTPSource(base string) *HTTPSource {
 	return &HTTPSource{base: strings.TrimRight(base, "/"), client: &http.Client{}}
+}
+
+// WithAuth makes every fetch carry the snapshot-auth headers — what a
+// RequireSnapshotAuth node demands.
+func (s *HTTPSource) WithAuth(a *registry.Authenticator) *HTTPSource {
+	s.auth = a
+	return s
 }
 
 // Name implements Source.
@@ -108,6 +128,7 @@ func (s *HTTPSource) Fetch(ctx context.Context) (Snapshot, error) {
 	if err != nil {
 		return Snapshot{}, err
 	}
+	registry.SignSnapshotHTTP(req, s.auth, "", time.Now())
 	resp, err := s.client.Do(req)
 	if err != nil {
 		return Snapshot{}, err
@@ -142,17 +163,24 @@ func (s *HTTPSource) Fetch(ctx context.Context) (Snapshot, error) {
 // become HTTPSources, "tcp://host:port" and bare "host:port" become
 // TCPSources.
 func ParseSource(spec string) (Source, error) {
+	return ParseSourceAuth(spec, nil)
+}
+
+// ParseSourceAuth is ParseSource for token-authenticated fleets: the
+// returned source signs every snapshot request (a nil authenticator
+// keeps them plain).
+func ParseSourceAuth(spec string, a *registry.Authenticator) (Source, error) {
 	switch {
 	case strings.HasPrefix(spec, "http://"), strings.HasPrefix(spec, "https://"):
-		return NewHTTPSource(spec), nil
+		return NewHTTPSource(spec).WithAuth(a), nil
 	case strings.HasPrefix(spec, "tcp://"):
-		return NewTCPSource(strings.TrimPrefix(spec, "tcp://")), nil
+		return NewTCPSource(strings.TrimPrefix(spec, "tcp://")).WithAuth(a), nil
 	case strings.Contains(spec, "://"):
 		return nil, fmt.Errorf("fleet: unsupported scheme in %q", spec)
 	case spec == "":
 		return nil, fmt.Errorf("fleet: empty node spec")
 	default:
-		return NewTCPSource(spec), nil
+		return NewTCPSource(spec).WithAuth(a), nil
 	}
 }
 
@@ -181,12 +209,19 @@ func WithPollTimeout(d time.Duration) Option { return func(f *Fleet) { f.pollTim
 // reported Stale (default DefaultStaleAfter).
 func WithStaleAfter(d time.Duration) Option { return func(f *Fleet) { f.staleAfter = d } }
 
+// WithRegistry attaches a fleet control plane (internal/registry):
+// push-registered members join the merge and the status view alongside
+// the polled sources — dynamic membership instead of (or mixed with)
+// the static node list. The fleet does not own the registry.
+func WithRegistry(reg *registry.Registry) Option { return func(f *Fleet) { f.reg = reg } }
+
 // Fleet merges snapshots from a set of collector nodes. All methods are
 // safe for concurrent use.
 type Fleet struct {
 	bits        int
 	pollTimeout time.Duration
 	staleAfter  time.Duration
+	reg         *registry.Registry
 
 	mu    sync.Mutex
 	nodes []*node
@@ -198,12 +233,11 @@ type Fleet struct {
 }
 
 // New returns a fleet merger for m-bit domains over the given sources.
+// An empty source list is allowed when WithRegistry supplies the
+// membership instead.
 func New(bits int, sources []Source, opts ...Option) (*Fleet, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("fleet: report length %d must be positive", bits)
-	}
-	if len(sources) == 0 {
-		return nil, fmt.Errorf("fleet: no sources")
 	}
 	f := &Fleet{bits: bits, pollTimeout: DefaultPollTimeout, staleAfter: DefaultStaleAfter}
 	for _, src := range sources {
@@ -211,6 +245,12 @@ func New(bits int, sources []Source, opts ...Option) (*Fleet, error) {
 	}
 	for _, opt := range opts {
 		opt(f)
+	}
+	if len(sources) == 0 && f.reg == nil {
+		return nil, fmt.Errorf("fleet: no sources")
+	}
+	if f.reg != nil && f.reg.Bits() != bits {
+		return nil, fmt.Errorf("fleet: registry has %d bits, fleet has %d", f.reg.Bits(), bits)
 	}
 	return f, nil
 }
@@ -220,7 +260,12 @@ func (f *Fleet) Bits() int { return f.bits }
 
 // Poll fetches every node once, concurrently, each fetch bounded by the
 // poll timeout. Nodes that fail keep their previous snapshot; the joined
-// error reports every failure but never hides the successes.
+// error reports every failure but never hides the successes — except
+// *transient* failures (refused or timed-out dials, dropped
+// connections) on nodes that have answered before: a node mid-restart
+// is an expected fleet condition, reported through Status as a failure
+// count and eventual staleness rather than as a poll error that would
+// alarm Estimates callers.
 func (f *Fleet) Poll(ctx context.Context) error {
 	f.mu.Lock()
 	nodes := append([]*node(nil), f.nodes...)
@@ -246,7 +291,9 @@ func (f *Fleet) Poll(ctx context.Context) error {
 			if err != nil {
 				nd.failures++
 				nd.lastErr = err
-				errs[i] = fmt.Errorf("fleet: node %s: %w", nd.src.Name(), err)
+				if !(nd.have && transientErr(err)) {
+					errs[i] = fmt.Errorf("fleet: node %s: %w", nd.src.Name(), err)
+				}
 				return
 			}
 			if nd.have && snap.N < nd.last.N {
@@ -268,6 +315,19 @@ func (f *Fleet) Poll(ctx context.Context) error {
 	wg.Wait()
 	f.publish()
 	return errors.Join(errs...)
+}
+
+// transientErr classifies fetch failures a restarting node produces:
+// network-level errors (refused, reset, dropped mid-stream) and
+// timeouts. Protocol-level failures (bits mismatch, auth refusal,
+// malformed payloads) stay loud.
+func transientErr(err error) bool {
+	var netErr net.Error
+	return errors.As(err, &netErr) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed)
 }
 
 // publish ships the post-poll merged state to stream subscribers, as a
@@ -344,13 +404,13 @@ func (f *Fleet) Close() {
 }
 
 // Counts returns the fleet-wide merged per-bit counts and user count:
-// the sum of every node's newest snapshot. Once all nodes have been
-// polled after ingestion quiesces, the result is bit-for-bit what a
-// single collector ingesting all reports would hold.
+// the sum of every polled node's newest snapshot plus every
+// push-registered member's accumulated state. Once the fleet quiesces,
+// the result is bit-for-bit what a single collector ingesting all
+// reports would hold.
 func (f *Fleet) Counts() (counts []int64, n int64) {
 	counts = make([]int64, f.bits)
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	for _, nd := range f.nodes {
 		if !nd.have {
 			continue
@@ -359,6 +419,14 @@ func (f *Fleet) Counts() (counts []int64, n int64) {
 			counts[i] += c
 		}
 		n += nd.last.N
+	}
+	f.mu.Unlock()
+	if f.reg != nil {
+		rc, rn := f.reg.Counts()
+		for i, c := range rc {
+			counts[i] += c
+		}
+		n += rn
 	}
 	return counts, n
 }
@@ -394,12 +462,14 @@ type NodeStatus struct {
 	Stale bool
 }
 
-// Status returns the per-node liveness view, in source order.
+// Status returns the per-node liveness view: polled sources in source
+// order, then push-registered members (names prefixed "push://", pushes
+// counted as polls, rejects as failures, re-registrations as resets,
+// eviction as staleness).
 func (f *Fleet) Status() []NodeStatus {
 	now := time.Now()
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	out := make([]NodeStatus, len(f.nodes))
+	out := make([]NodeStatus, len(f.nodes), len(f.nodes)+4)
 	for i, nd := range f.nodes {
 		st := NodeStatus{
 			Name:        nd.src.Name(),
@@ -415,6 +485,25 @@ func (f *Fleet) Status() []NodeStatus {
 			st.LastErr = nd.lastErr.Error()
 		}
 		out[i] = st
+	}
+	f.mu.Unlock()
+	if f.reg != nil {
+		for _, m := range f.reg.Status() {
+			resets := m.Registrations - 1
+			if resets < 0 {
+				resets = 0
+			}
+			out = append(out, NodeStatus{
+				Name:        "push://" + m.Name,
+				Have:        m.Pushes > 0 || m.N > 0,
+				N:           m.N,
+				LastSuccess: m.LastSeen,
+				Polls:       m.Pushes,
+				Failures:    m.Rejects,
+				Resets:      resets,
+				Stale:       m.Evicted,
+			})
+		}
 	}
 	return out
 }

@@ -15,10 +15,12 @@ import (
 	"idldp/internal/budget"
 	"idldp/internal/core"
 	"idldp/internal/httpapi"
+	"idldp/internal/registry"
 	"idldp/internal/rng"
 	"idldp/internal/server"
 	"idldp/internal/stream"
 	"idldp/internal/transport"
+	"idldp/internal/varpack"
 )
 
 // startNodes brings up nodeCount collector nodes, alternating gob-TCP
@@ -397,5 +399,122 @@ func TestSubscribeMidCampaignSeedsState(t *testing.T) {
 	f.Close()
 	if _, err := f.Subscribe(1); err == nil {
 		t.Fatal("Subscribe after Close should fail")
+	}
+}
+
+// TestMidRestartNodeGoesStaleNotError: a node that has answered before
+// and then refuses connections (mid-restart) must not surface a poll
+// error — it shows up as a failure count and eventual staleness, and
+// its last snapshot keeps contributing.
+func TestMidRestartNodeGoesStaleNotError(t *testing.T) {
+	srv, err := transport.Serve("127.0.0.1:0", 4, server.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	v := bitvec.New(4)
+	v.Set(1)
+	src := NewTCPSource(addr)
+	sendTo(t, src, v)
+
+	f, err := New(4, []Source{src}, WithStaleAfter(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Poll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the node: the next poll's dial is refused — a transient
+	// condition, not a poll error.
+	srv.Close()
+	if err := f.Poll(context.Background()); err != nil {
+		t.Fatalf("mid-restart dial error surfaced from Poll: %v", err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	st := f.Status()[0]
+	if st.Failures != 1 || st.LastErr == "" || !st.Stale {
+		t.Fatalf("mid-restart node status: %+v", st)
+	}
+	// The stale snapshot still answers.
+	counts, n := f.Counts()
+	if n != 1 || counts[1] != 1 {
+		t.Fatalf("stale snapshot lost: counts=%v n=%d", counts, n)
+	}
+	// Estimates still work from the stale state.
+	if _, err := f.Estimates(func(counts []int64, n int) ([]float64, error) {
+		return make([]float64, len(counts)), nil
+	}); err != nil {
+		t.Fatalf("Estimates surfaced the transient failure: %v", err)
+	}
+
+	// A node that has *never* answered stays a loud error.
+	dead, err := New(4, []Source{NewTCPSource(addr)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dead.Poll(context.Background()); err == nil {
+		t.Fatal("never-seen dead node reported no poll error")
+	}
+}
+
+// TestRegistryBackedMembership: push-registered members merge and
+// report liveness alongside polled sources.
+func TestRegistryBackedMembership(t *testing.T) {
+	auth, err := registry.NewAuthenticator("fleet-token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := registry.New(2, registry.WithAuth(auth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	polled := staticSource{snap: Snapshot{Bits: 2, Counts: []int64{1, 0}, N: 1}}
+	f, err := New(2, []Source{polled}, WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Poll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	req := registry.RegisterRequest{Name: "pusher", Bits: 2, Kind: "node"}
+	req.SignRegister(auth, time.Now())
+	grant, err := reg.Register(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := registry.Push{Name: "pusher", Session: grant.Session,
+		Frame: registry.PushFrame{Seq: 1, Resync: true, Packed: varpack.Pack([]int64{0, 5}), N: 5}}
+	p.SignPush(auth, time.Now())
+	if err := reg.Push(p); err != nil {
+		t.Fatal(err)
+	}
+
+	counts, n := f.Counts()
+	if n != 6 || counts[0] != 1 || counts[1] != 5 {
+		t.Fatalf("mixed merge: counts=%v n=%d", counts, n)
+	}
+	sts := f.Status()
+	if len(sts) != 2 {
+		t.Fatalf("status has %d entries, want 2", len(sts))
+	}
+	if sts[1].Name != "push://pusher" || sts[1].N != 5 || sts[1].Stale {
+		t.Fatalf("pushed member status: %+v", sts[1])
+	}
+
+	// Registry-only fleets need no sources at all.
+	only, err := New(2, nil, WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, n := only.Counts(); n != 5 {
+		t.Fatalf("registry-only fleet n = %d, want 5", n)
+	}
+	// But a fleet with neither is still rejected.
+	if _, err := New(2, nil); err == nil {
+		t.Fatal("fleet with no membership accepted")
 	}
 }

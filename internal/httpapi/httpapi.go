@@ -10,8 +10,13 @@
 //	                           published interval (streaming handlers only)
 //	GET  /v1/status            {"reports": k, "bits": m}
 //	GET  /v1/snapshot          {"counts": [..], "n": k, "bits": m}; ?format=packed
-//	                           returns the varpack payload instead of counts
+//	                           returns the varpack payload instead of counts;
+//	                           HMAC-gated after RequireSnapshotAuth
 //	GET  /v1/stats             runtime metrics (server.Stats)
+//
+// A merger additionally mounts the control-plane endpoints (see
+// registry.go): POST /v1/register, /v1/heartbeat, /v1/delta and
+// GET /v1/fleet.
 //
 // As with the TCP transport, only perturbed data crosses the wire; the
 // server is untrusted with raw inputs by construction.
@@ -38,7 +43,9 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"idldp/internal/registry"
 	"idldp/internal/server"
 	"idldp/internal/varpack"
 )
@@ -60,6 +67,7 @@ type Handler struct {
 	sink     *server.Server
 	estimate Estimator
 	mux      *http.ServeMux
+	snapAuth *registry.Authenticator
 
 	closed atomic.Bool
 
@@ -111,6 +119,31 @@ func NewSink(sink *server.Server, est Estimator) (*Handler, error) {
 	h.mux.HandleFunc("GET /v1/snapshot", h.handleSnapshot)
 	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
 	return h, nil
+}
+
+// RequireSnapshotAuth gates GET /v1/snapshot behind the fleet-token
+// HMAC (headers X-Idldp-Time and X-Idldp-Mac, optional X-Idldp-Node;
+// see SignSnapshotHeaders). Ingest endpoints stay open — they carry
+// only perturbed data. Call before the handler starts serving.
+func (h *Handler) RequireSnapshotAuth(a *registry.Authenticator) { h.snapAuth = a }
+
+// SignSnapshotHeaders stamps the snapshot-auth headers a
+// RequireSnapshotAuth handler demands onto an outgoing request
+// (delegates to registry.SignSnapshotHTTP).
+func SignSnapshotHeaders(req *http.Request, a *registry.Authenticator, node string, now time.Time) {
+	registry.SignSnapshotHTTP(req, a, node, now)
+}
+
+// verifySnapshotHeaders checks the auth headers against a (nil = open).
+func verifySnapshotHeaders(r *http.Request, a *registry.Authenticator) error {
+	if a == nil {
+		return nil
+	}
+	node, ts, mac, err := registry.SnapshotHTTPFields(r)
+	if err != nil {
+		return err
+	}
+	return a.Verify(mac, registry.KindSnapshot, node, 0, ts, nil, time.Now())
 }
 
 // Close flushes the pooled batchers and stops the ingestion runtime.
@@ -253,6 +286,10 @@ func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if err := verifySnapshotHeaders(r, h.snapAuth); err != nil {
+		httpError(w, http.StatusUnauthorized, err.Error())
+		return
+	}
 	counts, n := h.snapshot()
 	// ?format=packed selects the varpack payload (base64 in JSON): the
 	// poll-every-interval fleet path. Absent or different, the plain

@@ -1,0 +1,271 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"idldp/internal/stream"
+)
+
+// loopConn wires an announcer straight into a Registry, with a switch
+// that makes every call fail — the in-process stand-in for a dropped
+// connection.
+type loopConn struct {
+	reg  *Registry
+	down *atomic.Bool
+}
+
+var errDown = errors.New("connection down")
+
+func (c *loopConn) Register(_ context.Context, req RegisterRequest) (RegisterReply, error) {
+	if c.down.Load() {
+		return RegisterReply{}, errDown
+	}
+	return c.reg.Register(req)
+}
+
+func (c *loopConn) Heartbeat(_ context.Context, hb Heartbeat) error {
+	if c.down.Load() {
+		return errDown
+	}
+	return c.reg.HandleHeartbeat(hb)
+}
+
+func (c *loopConn) Push(_ context.Context, p Push) error {
+	if c.down.Load() {
+		return errDown
+	}
+	return c.reg.Push(p)
+}
+
+func (c *loopConn) Close() error { return nil }
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestAnnouncerPushesStream(t *testing.T) {
+	auth := mustAuth(t, "k")
+	reg, err := New(3, WithAuth(auth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	pub, err := stream.NewPublisher(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down atomic.Bool
+	a, err := Announce(AnnounceConfig{
+		Name: "n0", Bits: 3, Kind: "node", Auth: auth,
+		Dial:      func(context.Context) (Conn, error) { return &loopConn{reg: reg, down: &down}, nil },
+		Subscribe: pub.Subscribe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The fresh subscription's initial resync announces the zero state;
+	// then deltas flow as the node's aggregate grows.
+	if err := pub.Publish([]int64{1, 0, 2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first delta", func() bool { _, n := reg.Counts(); return n == 3 })
+	if err := pub.Publish([]int64{2, 0, 2}, 4); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "second delta", func() bool { _, n := reg.Counts(); return n == 4 })
+	counts, _ := reg.Counts()
+	if counts[0] != 2 || counts[1] != 0 || counts[2] != 2 {
+		t.Fatalf("registry counts = %v", counts)
+	}
+	st := reg.Status()[0]
+	if st.Kind != "node" || st.Resyncs < 1 || st.Pushes < 2 {
+		t.Fatalf("member status: %+v", st)
+	}
+
+	// Closing the source publishes nothing more; the announcer notices
+	// the closed stream and finishes on its own.
+	pub.Close()
+	select {
+	case <-a.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("announcer did not finish after its stream closed")
+	}
+	a.Close()
+}
+
+func TestAnnouncerReconnectsWithResync(t *testing.T) {
+	auth := mustAuth(t, "k")
+	reg, err := New(2, WithAuth(auth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	pub, err := stream.NewPublisher(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	var down atomic.Bool
+	a, err := Announce(AnnounceConfig{
+		Name: "n0", Bits: 2, Auth: auth,
+		Dial:      func(context.Context) (Conn, error) { return &loopConn{reg: reg, down: &down}, nil },
+		Subscribe: pub.Subscribe,
+		Backoff:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	if err := pub.Publish([]int64{1, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "initial state", func() bool { _, n := reg.Counts(); return n == 2 })
+
+	// Cut the connection; the next frame fails the session, the announcer
+	// reconnects, re-registers, and the new session's first frame is a
+	// full resync carrying everything missed.
+	down.Store(true)
+	if err := pub.Publish([]int64{2, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "failure observed", func() bool { return a.Stats().Failures > 0 })
+	if err := pub.Publish([]int64{2, 2}, 4); err != nil {
+		t.Fatal(err)
+	}
+	down.Store(false)
+	waitFor(t, "resynced state", func() bool { _, n := reg.Counts(); return n == 4 })
+	counts, _ := reg.Counts()
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("post-reconnect counts = %v", counts)
+	}
+	if st := reg.Status()[0]; st.Registrations < 2 || st.Resyncs < 2 {
+		t.Fatalf("expected a re-register + resync: %+v", st)
+	}
+}
+
+// TestTwoTierRegistries: a merger announces its merged stream to a
+// higher-tier merger exactly as if it were a node — the tiering
+// primitive, here with in-process conns (the transports get their own
+// end-to-end tests).
+func TestTwoTierRegistries(t *testing.T) {
+	auth := mustAuth(t, "k")
+	mid, err := New(2, WithAuth(auth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Close()
+	top, err := New(2, WithAuth(auth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer top.Close()
+
+	var down atomic.Bool
+	up, err := Announce(AnnounceConfig{
+		Name: "mid", Bits: 2, Kind: "merger", Auth: auth,
+		Dial:      func(context.Context) (Conn, error) { return &loopConn{reg: top, down: &down}, nil },
+		Subscribe: mid.Subscribe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+
+	now := time.Now()
+	ra := register(t, mid, auth, "a", now)
+	rb := register(t, mid, auth, "b", now)
+	if err := pushResync(t, mid, auth, "a", ra.Session, 1, []int64{1, 2}, 3, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := pushResync(t, mid, auth, "b", rb.Session, 1, []int64{4, 0}, 4, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := pushDelta(t, mid, auth, "a", ra.Session, 2, []int{1}, []int64{2}, 2, 5, now); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "top tier to converge", func() bool { _, n := top.Counts(); return n == 9 })
+	counts, _ := top.Counts()
+	midCounts, _ := mid.Counts()
+	for i := range counts {
+		if counts[i] != midCounts[i] {
+			t.Fatalf("top counts %v != mid counts %v", counts, midCounts)
+		}
+	}
+	if st := top.Status()[0]; st.Kind != "merger" {
+		t.Fatalf("top member: %+v", st)
+	}
+}
+
+// TestFinalStateSurvivesMergerOutage: the node's stream ends (campaign
+// over) while the merger is unreachable — frames published during the
+// outage, including the close-time final resync, must still land when
+// the merger returns. This is the tail-exactness guarantee of the
+// lifetime subscription + accumulator replay.
+func TestFinalStateSurvivesMergerOutage(t *testing.T) {
+	auth := mustAuth(t, "k")
+	reg, err := New(2, WithAuth(auth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	pub, err := stream.NewPublisher(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down atomic.Bool
+	a, err := Announce(AnnounceConfig{
+		Name: "n0", Bits: 2, Auth: auth,
+		Dial:      func(context.Context) (Conn, error) { return &loopConn{reg: reg, down: &down}, nil },
+		Subscribe: pub.Subscribe,
+		Backoff:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish([]int64{1, 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pre-outage state", func() bool { _, n := reg.Counts(); return n == 1 })
+
+	// Outage: the node keeps publishing, then its campaign ends with a
+	// final resync and the stream closes — all while the merger is down.
+	down.Store(true)
+	if err := pub.Publish([]int64{2, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "outage observed", func() bool { return a.Stats().Failures > 0 })
+	if err := pub.Resync([]int64{4, 3}, 7); err != nil {
+		t.Fatal(err)
+	}
+	pub.Close()
+
+	// Merger returns: the announcer must deliver the final state it
+	// accumulated during the outage, then finish on its own.
+	down.Store(false)
+	select {
+	case <-a.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("announcer did not finish after the merger returned")
+	}
+	a.Close()
+	counts, n := reg.Counts()
+	if n != 7 || counts[0] != 4 || counts[1] != 3 {
+		t.Fatalf("final state lost across the outage: counts=%v n=%d, want [4 3] 7", counts, n)
+	}
+}

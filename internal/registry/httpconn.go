@@ -1,0 +1,172 @@
+// HTTP transport for the control plane: the Conn implementation a node
+// uses to announce to a merger that exposes the httpapi registry
+// endpoints (POST /v1/register, /v1/heartbeat, /v1/delta). The JSON
+// bodies mirror the message structs; authentication rides in the body
+// (TimeNano + MAC), not in headers, so the MAC covers exactly the
+// semantic fields on both transports.
+package registry
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RegisterBody is the POST /v1/register JSON payload.
+type RegisterBody struct {
+	Name     string `json:"name"`
+	Bits     int    `json:"bits"`
+	Kind     string `json:"kind,omitempty"`
+	TimeNano int64  `json:"time_nano"`
+	MAC      []byte `json:"mac,omitempty"`
+}
+
+// RegisterReplyBody is the registration response payload.
+type RegisterReplyBody struct {
+	Session       uint64 `json:"session"`
+	HeartbeatNano int64  `json:"heartbeat_ns"`
+	Bits          int    `json:"bits"`
+}
+
+// HeartbeatBody is the POST /v1/heartbeat JSON payload.
+type HeartbeatBody struct {
+	Name     string `json:"name"`
+	Session  uint64 `json:"session"`
+	TimeNano int64  `json:"time_nano"`
+	MAC      []byte `json:"mac,omitempty"`
+}
+
+// PushBody is the POST /v1/delta JSON payload.
+type PushBody struct {
+	Name     string `json:"name"`
+	Session  uint64 `json:"session"`
+	TimeNano int64  `json:"time_nano"`
+	MAC      []byte `json:"mac,omitempty"`
+	Seq      uint64 `json:"seq"`
+	Resync   bool   `json:"resync,omitempty"`
+	Packed   []byte `json:"packed"`
+	DN       int64  `json:"dn"`
+	N        int64  `json:"n"`
+}
+
+// HTTPConn announces to a merger over HTTP/JSON.
+type HTTPConn struct {
+	base   string
+	client *http.Client
+}
+
+// DialHTTP returns a control-plane connection to a merger serving the
+// httpapi registry endpoints at base, e.g. "http://10.0.0.9:8090".
+func DialHTTP(base string) *HTTPConn {
+	return &HTTPConn{base: strings.TrimRight(base, "/"), client: &http.Client{}}
+}
+
+// post ships one JSON body and decodes the reply into out (when
+// non-nil), mapping error bodies back to control-plane sentinels.
+func (c *HTTPConn) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return Errs(e.Error)
+		}
+		return fmt.Errorf("registry: %s returned %s", path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Register implements Conn.
+func (c *HTTPConn) Register(ctx context.Context, req RegisterRequest) (RegisterReply, error) {
+	var reply RegisterReplyBody
+	err := c.post(ctx, "/v1/register", RegisterBody{
+		Name: req.Name, Bits: req.Bits, Kind: req.Kind, TimeNano: req.TimeNano, MAC: req.MAC,
+	}, &reply)
+	if err != nil {
+		return RegisterReply{}, err
+	}
+	return RegisterReply{
+		Session:        reply.Session,
+		HeartbeatEvery: time.Duration(reply.HeartbeatNano),
+		Bits:           reply.Bits,
+	}, nil
+}
+
+// Heartbeat implements Conn.
+func (c *HTTPConn) Heartbeat(ctx context.Context, hb Heartbeat) error {
+	return c.post(ctx, "/v1/heartbeat", HeartbeatBody{
+		Name: hb.Name, Session: hb.Session, TimeNano: hb.TimeNano, MAC: hb.MAC,
+	}, nil)
+}
+
+// Push implements Conn.
+func (c *HTTPConn) Push(ctx context.Context, p Push) error {
+	return c.post(ctx, "/v1/delta", PushBody{
+		Name: p.Name, Session: p.Session, TimeNano: p.TimeNano, MAC: p.MAC,
+		Seq: p.Frame.Seq, Resync: p.Frame.Resync, Packed: p.Frame.Packed,
+		DN: p.Frame.DN, N: p.Frame.N,
+	}, nil)
+}
+
+// Close implements Conn; HTTP connections are pooled by the client.
+func (c *HTTPConn) Close() error { return nil }
+
+// SnapshotHTTPFields extracts the snapshot-auth headers from an
+// inbound request. Absent headers yield zero values, which Verify
+// rejects whenever a token is configured — so an open endpoint accepts
+// plain requests and a gated one refuses them, through one parser.
+func SnapshotHTTPFields(r *http.Request) (node string, ts int64, mac []byte, err error) {
+	node = r.Header.Get("X-Idldp-Node")
+	tsHdr := r.Header.Get("X-Idldp-Time")
+	if tsHdr == "" {
+		return node, 0, nil, nil
+	}
+	ts, err = strconv.ParseInt(tsHdr, 10, 64)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("%w: malformed X-Idldp-Time", ErrAuth)
+	}
+	mac, err = hex.DecodeString(r.Header.Get("X-Idldp-Mac"))
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("%w: malformed X-Idldp-Mac", ErrAuth)
+	}
+	return node, ts, mac, nil
+}
+
+// SignSnapshotHTTP stamps the snapshot-auth headers (X-Idldp-Node,
+// X-Idldp-Time, X-Idldp-Mac) onto an outgoing snapshot request — the
+// client half of an HMAC-gated HTTP snapshot endpoint. A nil
+// authenticator leaves the request plain.
+func SignSnapshotHTTP(req *http.Request, a *Authenticator, node string, now time.Time) {
+	if a == nil {
+		return
+	}
+	ts := now.UnixNano()
+	if node != "" {
+		req.Header.Set("X-Idldp-Node", node)
+	}
+	req.Header.Set("X-Idldp-Time", strconv.FormatInt(ts, 10))
+	req.Header.Set("X-Idldp-Mac", hex.EncodeToString(a.Sign(KindSnapshot, node, 0, ts, nil)))
+}

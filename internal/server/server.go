@@ -65,12 +65,22 @@ const (
 	// DefaultRateTau is the EWMA time constant of the report-arrival-rate
 	// gauge: samples older than a few tau barely contribute.
 	DefaultRateTau = 10 * time.Second
+	// DefaultAdaptInterval paces the adaptive-batch retarget loop.
+	DefaultAdaptInterval = time.Second
+	// adaptFramesPerShard is the frame rate the adaptive sizer aims each
+	// shard at: batch = rate / (shards × this), clamped to [min, max].
+	// ~100 frames/s keeps the channel-send cost negligible while bounding
+	// producer-side staleness to ~10ms at any sustained rate.
+	adaptFramesPerShard = 100
 )
 
 type options struct {
 	shards         int
 	batchSize      int
 	queueDepth     int
+	adaptive       bool
+	adaptMin       int
+	adaptMax       int
 	ckptDir        string
 	ckptInterval   time.Duration
 	ckptKeep       int
@@ -93,6 +103,31 @@ func WithBatchSize(k int) Option { return func(o *options) { o.batchSize = k } }
 // WithQueueDepth sets the per-shard channel buffer, in frames. d <= 0
 // selects DefaultQueueDepth.
 func WithQueueDepth(d int) Option { return func(o *options) { o.queueDepth = d } }
+
+// WithAdaptiveBatch sizes Batcher frames from the observed arrival rate
+// instead of a fixed WithBatchSize: every DefaultAdaptInterval the EWMA
+// rate gauge retargets the batch to rate/(shards×~100 frames/s),
+// clamped to [min, max] (min <= 0 selects 1, max < min selects min). A
+// quiet campaign ships small, fresh frames; a flooded one amortizes the
+// channel send over ever-larger batches. When the observed rate pushes
+// the unclamped target past max — batching cannot amortize any further
+// — and every shard queue is still full, the runtime sheds the frame
+// instead of blocking the producer; dropped reports only shrink n (the
+// estimates stay unbiased), and Stats counts them so operators see the
+// overload. Below that point a full queue still blocks (backpressure),
+// so transient bursts never lose reports.
+func WithAdaptiveBatch(min, max int) Option {
+	return func(o *options) {
+		o.adaptive = true
+		if min <= 0 {
+			min = 1
+		}
+		if max < min {
+			max = min
+		}
+		o.adaptMin, o.adaptMax = min, max
+	}
+}
 
 // WithCheckpoint enables durable snapshots: every interval (<= 0 selects
 // DefaultCheckpointInterval) the merged per-shard counts are written
@@ -160,6 +195,21 @@ type Server struct {
 	shards    []*shard
 	next      atomic.Uint64 // round-robin shard cursor
 
+	// Adaptive batching (zero without WithAdaptiveBatch). shedArmed is
+	// set only when the *unclamped* rate-derived target reaches the max
+	// — i.e. the observed rate genuinely exceeds what max-sized batches
+	// can amortize — so a transient queue-full moment at modest load
+	// still gets blocking backpressure, never a silent drop.
+	adaptive           bool
+	adaptMin, adaptMax int
+	curBatch           atomic.Int64
+	shedArmed          atomic.Bool
+	adaptStop          chan struct{}
+	adaptDone          chan struct{}
+	adaptOnce          sync.Once
+	shedReports        atomic.Int64
+	shedFrames         atomic.Int64
+
 	start time.Time
 
 	// Runtime metrics (see Stats). reports counts restored reports too —
@@ -214,6 +264,18 @@ func New(bits int, opts ...Option) (*Server, error) {
 	}
 	s := &Server{bits: bits, batchSize: o.batchSize, shards: make([]*shard, o.shards), start: time.Now()}
 	s.rate.tau = DefaultRateTau.Seconds()
+	if o.adaptive {
+		s.adaptive, s.adaptMin, s.adaptMax = true, o.adaptMin, o.adaptMax
+		// Start from the configured batch size, clamped into range.
+		initial := int64(o.batchSize)
+		if initial < int64(o.adaptMin) {
+			initial = int64(o.adaptMin)
+		}
+		if initial > int64(o.adaptMax) {
+			initial = int64(o.adaptMax)
+		}
+		s.curBatch.Store(initial)
+	}
 	if o.streaming {
 		var popts []stream.PubOption
 		if o.auditEvery > 0 {
@@ -256,7 +318,62 @@ func New(bits int, opts ...Option) (*Server, error) {
 		s.streamStop, s.streamDone = make(chan struct{}), make(chan struct{})
 		go s.streamLoop(interval)
 	}
+	if s.adaptive {
+		s.adaptStop, s.adaptDone = make(chan struct{}), make(chan struct{})
+		go s.adaptLoop(DefaultAdaptInterval)
+	}
 	return s, nil
+}
+
+// adaptLoop periodically retargets the batch size from the rate gauge.
+func (s *Server) adaptLoop(interval time.Duration) {
+	defer close(s.adaptDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.retarget(s.rate.observe(s.reports.Load(), time.Now()))
+		case <-s.adaptStop:
+			return
+		}
+	}
+}
+
+// retarget maps an observed arrival rate onto the clamped batch target
+// and arms the saturation guard when the raw (unclamped) target is at
+// or past the ceiling.
+func (s *Server) retarget(rate float64) int64 {
+	raw := int64(rate / (float64(len(s.shards)) * adaptFramesPerShard))
+	s.shedArmed.Store(raw >= int64(s.adaptMax))
+	target := raw
+	if target < int64(s.adaptMin) {
+		target = int64(s.adaptMin)
+	}
+	if target > int64(s.adaptMax) {
+		target = int64(s.adaptMax)
+	}
+	s.curBatch.Store(target)
+	return target
+}
+
+// batchTarget is the current per-Batcher frame size.
+func (s *Server) batchTarget() int64 {
+	if s.adaptive {
+		return s.curBatch.Load()
+	}
+	return int64(s.batchSize)
+}
+
+// stopAdaptLoop halts the retarget ticker and waits for it to exit.
+func (s *Server) stopAdaptLoop() {
+	if s.adaptStop == nil {
+		return
+	}
+	s.adaptOnce.Do(func() {
+		close(s.adaptStop)
+		<-s.adaptDone
+	})
 }
 
 // Restore builds a Server that resumes from the newest valid checkpoint
@@ -501,7 +618,35 @@ func (s *Server) AddCounts(counts []int64, n int64) error {
 }
 
 // sendCounts ships one pre-validated batch frame and bumps the metrics.
+// With adaptive batching saturated (the observed rate pinned the target
+// past its maximum), placement turns non-blocking and a frame that fits
+// nowhere is shed (see WithAdaptiveBatch) — dropping reports keeps
+// estimates unbiased, only smaller-n; blocking would stall every
+// producer behind the overload.
 func (s *Server) sendCounts(counts []int64, n int64) error {
+	if s.adaptive && s.shedArmed.Load() {
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			return ErrClosed
+		}
+		start := s.next.Add(1)
+		for k := 0; k < len(s.shards); k++ {
+			sh := s.shards[(start+uint64(k))%uint64(len(s.shards))]
+			select {
+			case sh.ch <- shardMsg{counts: counts, n: n}:
+				s.mu.RUnlock()
+				s.reports.Add(n)
+				s.frames.Add(1)
+				return nil
+			default:
+			}
+		}
+		s.mu.RUnlock()
+		s.shedReports.Add(n)
+		s.shedFrames.Add(1)
+		return nil
+	}
 	if err := s.send(shardMsg{counts: counts, n: n}); err != nil {
 		return err
 	}
@@ -590,6 +735,14 @@ type Stats struct {
 	// StreamSubscribers counts live delta-stream subscriptions (0 when
 	// WithStream is off).
 	StreamSubscribers int `json:"stream_subscribers"`
+	// AdaptiveBatch is the current rate-driven batch target (0 when
+	// WithAdaptiveBatch is off; BatchSize then governs).
+	AdaptiveBatch int64 `json:"adaptive_batch"`
+	// ShedReports / ShedFrames count reports and frames dropped by the
+	// saturation guard — nonzero means the fleet is ingesting more than
+	// the workers can drain even at the maximum batch size.
+	ShedReports int64 `json:"shed_reports"`
+	ShedFrames  int64 `json:"shed_frames"`
 }
 
 // Stats returns current runtime metrics. It is safe to call concurrently
@@ -608,6 +761,11 @@ func (s *Server) Stats() Stats {
 	}
 	if s.pub != nil {
 		st.StreamSubscribers = s.pub.Subscribers()
+	}
+	if s.adaptive {
+		st.AdaptiveBatch = s.curBatch.Load()
+		st.ShedReports = s.shedReports.Load()
+		st.ShedFrames = s.shedFrames.Load()
 	}
 	for i, sh := range s.shards {
 		st.QueueDepth[i] = len(sh.ch)
@@ -628,6 +786,7 @@ func (s *Server) Close() error {
 	// flight holds a read lock inside Snapshot.
 	s.stopCheckpointLoop()
 	s.stopStreamLoop()
+	s.stopAdaptLoop()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -699,7 +858,7 @@ func (b *Batcher) Add(v *bitvec.Vector) error {
 	}
 	v.AccumulateInto(b.counts)
 	b.n++
-	if b.n >= int64(b.s.batchSize) {
+	if b.n >= b.s.batchTarget() {
 		return b.Flush()
 	}
 	return nil
@@ -716,7 +875,7 @@ func (b *Batcher) AddWords(words []uint64, bits int) error {
 		return fmt.Errorf("server: %w", err)
 	}
 	b.n++
-	if b.n >= int64(b.s.batchSize) {
+	if b.n >= b.s.batchTarget() {
 		return b.Flush()
 	}
 	return nil
@@ -731,7 +890,7 @@ func (b *Batcher) AddCounts(counts []int64, n int64) error {
 		b.counts[i] += c
 	}
 	b.n += n
-	if b.n >= int64(b.s.batchSize) {
+	if b.n >= b.s.batchTarget() {
 		return b.Flush()
 	}
 	return nil

@@ -636,3 +636,130 @@ func TestArrivalRateGauge(t *testing.T) {
 		t.Fatalf("arrival rate did not decay: %v -> %v", r, r2)
 	}
 }
+
+// TestAdaptiveRetargetClamps: the rate→batch mapping scales with load
+// and respects its clamp bounds.
+func TestAdaptiveRetargetClamps(t *testing.T) {
+	s, err := New(4, WithShards(2), WithAdaptiveBatch(8, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cases := []struct {
+		rate float64
+		want int64
+	}{
+		{0, 8},        // idle: floor — small frames, low latency
+		{1_000, 8},    // 1000/(2*100)=5 → clamped to min
+		{20_000, 100}, // 20000/200
+		{1e9, 512},    // flooded: ceiling
+	}
+	for _, c := range cases {
+		if got := s.retarget(c.rate); got != c.want {
+			t.Errorf("retarget(%.0f) = %d, want %d", c.rate, got, c.want)
+		}
+	}
+	if st := s.Stats(); st.AdaptiveBatch != 512 {
+		t.Fatalf("Stats.AdaptiveBatch = %d, want the last target 512", st.AdaptiveBatch)
+	}
+}
+
+// TestAdaptiveBatcherFlushesAtTarget: Batchers cut frames at the
+// current rate-driven target, not the static batch size.
+func TestAdaptiveBatcherFlushesAtTarget(t *testing.T) {
+	s, err := New(4, WithShards(1), WithAdaptiveBatch(4, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.curBatch.Store(4)
+	b := s.NewBatcher()
+	v := bitvec.New(4)
+	v.Set(0)
+	for i := 0; i < 3; i++ {
+		if err := b.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Pending() != 3 {
+		t.Fatalf("pending = %d before the target", b.Pending())
+	}
+	if err := b.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("pending = %d after reaching the target, want a flush", b.Pending())
+	}
+	// Raising the target makes the same batcher accumulate further.
+	s.curBatch.Store(64)
+	for i := 0; i < 10; i++ {
+		if err := b.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Pending() != 10 {
+		t.Fatalf("pending = %d with a raised target", b.Pending())
+	}
+}
+
+// TestShedOnSaturation: with the observed rate pinning the adaptive
+// target past max and every shard queue full behind a stuck worker, new
+// frames are shed — counted, not blocking — and ingestion resumes once
+// the worker drains.
+func TestShedOnSaturation(t *testing.T) {
+	s, err := New(2, WithShards(1), WithQueueDepth(1), WithAdaptiveBatch(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The guard arms only when the rate-derived target reaches max;
+	// until then a full queue blocks (backpressure, no loss).
+	if s.shedArmed.Load() {
+		t.Fatal("shed guard armed before any rate was observed")
+	}
+	s.retarget(1e9)
+	if !s.shedArmed.Load() {
+		t.Fatal("shed guard not armed by a saturating rate")
+	}
+	// Wedge the single worker on a snapshot reply nobody reads yet, and
+	// wait until it has actually dequeued the marker so the queue slot is
+	// free again.
+	gate := make(chan shardSnap)
+	s.shards[0].ch <- shardMsg{snap: gate}
+	for deadline := time.Now().Add(2 * time.Second); len(s.shards[0].ch) != 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never dequeued the wedge marker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Fill the queue behind it.
+	if err := s.AddCounts([]int64{1, 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Saturated: this frame must be shed, not block.
+	done := make(chan error, 1)
+	go func() { done <- s.AddCounts([]int64{0, 1}, 1) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("AddCounts blocked on a saturated runtime instead of shedding")
+	}
+	st := s.Stats()
+	if st.ShedReports != 1 || st.ShedFrames != 1 {
+		t.Fatalf("shed counters: %+v", st)
+	}
+	// Unwedge and verify the non-shed report survived.
+	<-gate
+	counts, n, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || counts[0] != 1 || counts[1] != 0 {
+		t.Fatalf("drained state counts=%v n=%d, want the first report only", counts, n)
+	}
+	if st := s.Stats(); st.Reports != 1 {
+		t.Fatalf("Reports = %d, shed reports must not count as ingested", st.Reports)
+	}
+}

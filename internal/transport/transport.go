@@ -34,6 +34,7 @@ import (
 
 	"idldp/internal/agg"
 	"idldp/internal/bitvec"
+	"idldp/internal/registry"
 	"idldp/internal/server"
 	"idldp/internal/varpack"
 )
@@ -52,34 +53,86 @@ const (
 	// FrameSnapshot is the server's reply: the merged per-bit counts, the
 	// user count, and the domain size.
 	FrameSnapshot FrameKind = 4
+
+	// Control-plane frames (the fleet registry protocol; see
+	// internal/registry and registry.go in this package):
+
+	// FrameRegister announces a node to a merger; answered with a
+	// FrameRegisterAck on the same connection.
+	FrameRegister FrameKind = 5
+	// FrameRegisterAck carries the session grant (or Err).
+	FrameRegisterAck FrameKind = 6
+	// FrameHeartbeat keeps a registration alive; answered with FrameAck.
+	FrameHeartbeat FrameKind = 7
+	// FrameDeltaPush ships one varpack-packed snapshot delta (or full
+	// resync) node→merger; answered with FrameAck.
+	FrameDeltaPush FrameKind = 8
+	// FrameAck acknowledges a control-plane frame; Err is empty on
+	// success. It is also the reply to a snapshot request that fails
+	// authentication.
+	FrameAck FrameKind = 9
 )
 
-// Frame is the wire message. The two trailing fields negotiate the
-// compact snapshot encoding: a requester that understands
-// varpack-packed counts sets AcceptPacked on its snapshot request, and
-// the server then answers with Packed instead of Counts. gob ignores
-// struct fields the peer does not declare, so either side may be older:
-// an old server never sees AcceptPacked and replies with plain Counts,
-// an old client never sets it and is never sent Packed.
+// Frame is the wire message. AcceptPacked/Packed negotiate the compact
+// snapshot encoding: a requester that understands varpack-packed counts
+// sets AcceptPacked on its snapshot request, and the server then answers
+// with Packed instead of Counts. gob ignores struct fields the peer does
+// not declare, so either side may be older: an old server never sees
+// AcceptPacked and replies with plain Counts, an old client never sets
+// it and is never sent Packed — and old peers never see the
+// control-plane fields at all.
 type Frame struct {
 	Kind   FrameKind
 	Words  []uint64 // FrameReport: packed bit vector
-	Bits   int      // FrameReport: vector length; FrameSnapshot: domain size
+	Bits   int      // FrameReport: vector length; FrameSnapshot/FrameRegister: domain size
 	Counts []int64  // FrameBatch / FrameSnapshot: per-bit counts
-	N      int64    // FrameBatch / FrameSnapshot: number of users summed
+	N      int64    // FrameBatch / FrameSnapshot: users summed; FrameDeltaPush: cumulative n
 
 	// AcceptPacked, on FrameSnapshotRequest, asks for a packed reply.
 	AcceptPacked bool
-	// Packed, on FrameSnapshot, is the varpack payload replacing Counts.
+	// Packed is the varpack payload: snapshot counts on FrameSnapshot,
+	// the delta (or resync counts) on FrameDeltaPush.
 	Packed []byte
+
+	// Auth envelope (control-plane frames, and FrameSnapshotRequest when
+	// the server requires snapshot auth): the sender's name, session,
+	// signing timestamp and HMAC (see registry.Authenticator).
+	Node     string
+	Session  uint64
+	TimeNano int64
+	MAC      []byte
+
+	// Role, on FrameRegister, is the informational member kind.
+	Role string
+	// HeartbeatNano, on FrameRegisterAck, is the advertised cadence.
+	HeartbeatNano int64
+	// Seq, Resync, DN describe a FrameDeltaPush (registry.PushFrame).
+	Seq    uint64
+	Resync bool
+	DN     int64
+	// Err, on FrameRegisterAck / FrameAck, is the wire form of the
+	// control-plane error ("" = success; registry.Errs maps it back).
+	Err string
+}
+
+// ServeOption tunes a transport Server.
+type ServeOption func(*Server)
+
+// WithSnapshotAuth requires every snapshot request to carry a valid
+// HMAC for the fleet token (see registry.Authenticator) — the
+// authenticated-snapshot half of fleet hardening. Ingest frames are
+// unaffected: they carry only perturbed data.
+func WithSnapshotAuth(a *registry.Authenticator) ServeOption {
+	return func(s *Server) { s.snapAuth = a }
 }
 
 // Server accepts report streams and aggregates them on the sharded
 // ingestion runtime.
 type Server struct {
-	lis  net.Listener
-	sink *server.Server
-	bits int
+	lis      net.Listener
+	sink     *server.Server
+	bits     int
+	snapAuth *registry.Authenticator
 
 	mu     sync.Mutex
 	closed bool
@@ -102,7 +155,7 @@ func Serve(addr string, bits int, opts ...server.Option) (*Server, error) {
 // runtimes constructed with server.Restore (durable collectors that
 // resume mid-campaign). The transport takes ownership of sink: Close
 // closes it, and a failed listen closes it immediately.
-func ServeSink(addr string, sink *server.Server) (*Server, error) {
+func ServeSink(addr string, sink *server.Server, opts ...ServeOption) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		sink.Close()
@@ -113,6 +166,9 @@ func ServeSink(addr string, sink *server.Server) (*Server, error) {
 		sink:  sink,
 		bits:  sink.Bits(),
 		conns: make(map[net.Conn]struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -163,7 +219,8 @@ func (s *Server) handle(conn net.Conn) {
 		// on encode, so without this a field absent from the next frame
 		// would silently retain the previous frame's value.
 		f.Kind, f.Bits, f.N, f.AcceptPacked = 0, 0, 0, false
-		f.Words, f.Counts, f.Packed = f.Words[:0], f.Counts[:0], f.Packed[:0]
+		f.Node, f.Session, f.TimeNano = "", 0, 0
+		f.Words, f.Counts, f.Packed, f.MAC = f.Words[:0], f.Counts[:0], f.Packed[:0], f.MAC[:0]
 		if err := dec.Decode(&f); err != nil {
 			return // EOF or malformed stream ends the connection
 		}
@@ -177,14 +234,22 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		case FrameSnapshotRequest:
+			if enc == nil {
+				enc = gob.NewEncoder(conn)
+			}
+			if err := s.snapAuth.Verify(f.MAC, registry.KindSnapshot, f.Node, 0, f.TimeNano, nil, time.Now()); err != nil {
+				// Refuse the read but keep the connection: its ingest
+				// frames carry only perturbed data and stay welcome.
+				if enc.Encode(Frame{Kind: FrameAck, Err: err.Error()}) != nil {
+					return
+				}
+				continue
+			}
 			// Flush first so the requester's own reports are included.
 			if batcher.Flush() != nil {
 				return
 			}
 			counts, n := s.sink.Snapshot()
-			if enc == nil {
-				enc = gob.NewEncoder(conn)
-			}
 			reply := Frame{Kind: FrameSnapshot, N: n, Bits: s.bits}
 			if f.AcceptPacked {
 				reply.Packed = varpack.Pack(counts)
@@ -251,6 +316,7 @@ type Client struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	auth *registry.Authenticator
 }
 
 // Dial connects to an aggregation server.
@@ -267,6 +333,10 @@ func Dial(ctx context.Context, addr string) (*Client, error) {
 // pollers use it to keep a dead node from blocking Snapshot forever.
 func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
+// SetAuth makes every subsequent Snapshot request carry the fleet-token
+// HMAC a WithSnapshotAuth server demands (nil keeps requests plain).
+func (c *Client) SetAuth(a *registry.Authenticator) { c.auth = a }
+
 // Snapshot asks the server for its current merged state. The reply is
 // consistent with every frame this client has already sent (the server
 // flushes the connection's batcher before answering). The request
@@ -274,12 +344,20 @@ func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 // varpack payload; a plain Counts reply from an older server decodes
 // the same.
 func (c *Client) Snapshot() (counts []int64, n int64, bits int, err error) {
-	if err := c.enc.Encode(Frame{Kind: FrameSnapshotRequest, AcceptPacked: true}); err != nil {
+	req := Frame{Kind: FrameSnapshotRequest, AcceptPacked: true}
+	if c.auth != nil {
+		req.TimeNano = time.Now().UnixNano()
+		req.MAC = c.auth.Sign(registry.KindSnapshot, "", 0, req.TimeNano, nil)
+	}
+	if err := c.enc.Encode(req); err != nil {
 		return nil, 0, 0, fmt.Errorf("transport: %w", err)
 	}
 	var f Frame
 	if err := c.dec.Decode(&f); err != nil {
 		return nil, 0, 0, fmt.Errorf("transport: %w", err)
+	}
+	if f.Kind == FrameAck {
+		return nil, 0, 0, fmt.Errorf("transport: snapshot refused: %w", registry.Errs(f.Err))
 	}
 	if f.Kind != FrameSnapshot {
 		return nil, 0, 0, fmt.Errorf("transport: unexpected frame kind %d in snapshot reply", f.Kind)

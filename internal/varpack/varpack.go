@@ -29,6 +29,9 @@ const (
 	VersionFixed64 = 0
 	// VersionVarint is the compact form: zigzag varint per count.
 	VersionVarint = 1
+	// VersionSparse is the delta form: gap-encoded changed-bit indices
+	// paired with varint increments — the node→merger push payload.
+	VersionSparse = 2
 )
 
 // Pack encodes counts in the compact varint form.
@@ -53,6 +56,110 @@ func PackFixed(counts []int64) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(c))
 	}
 	return buf
+}
+
+// PackedSize returns len(Pack(counts)) without building the payload —
+// the cheap way to account what a full-snapshot transfer would have
+// cost (the delta-push bandwidth bookkeeping in internal/registry).
+func PackedSize(counts []int64) int {
+	size := 1 + uvarintLen(uint64(len(counts)))
+	for _, c := range counts {
+		size += uvarintLen(zigzag(c))
+	}
+	return size
+}
+
+// ValueSize is the encoded size of one count in the varint form — the
+// O(1) building block for maintaining a PackedSize incrementally as
+// individual counts change (PackedSize = header + Σ ValueSize).
+func ValueSize(v int64) int { return uvarintLen(zigzag(v)) }
+
+// PackDelta encodes a sparse interval delta: the changed-bit indices
+// (strictly ascending, as stream.Publisher emits them) and their
+// increments. Indices travel gap-encoded — first index absolute, the
+// rest as the difference to the previous one — so a delta touching k of
+// m bits costs O(k) bytes regardless of m:
+//
+//	VersionSparse | uvarint k | k × (uvarint gap, varint inc)
+func PackDelta(bits []int, inc []int64) ([]byte, error) {
+	if len(bits) != len(inc) {
+		return nil, fmt.Errorf("varpack: %d bit indices for %d increments", len(bits), len(inc))
+	}
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+4*len(bits))
+	buf = append(buf, VersionSparse)
+	buf = binary.AppendUvarint(buf, uint64(len(bits)))
+	prev := -1
+	for j, i := range bits {
+		if i <= prev {
+			return nil, fmt.Errorf("varpack: bit indices not strictly ascending at %d (%d after %d)", j, i, prev)
+		}
+		buf = binary.AppendUvarint(buf, uint64(i-prev))
+		buf = binary.AppendVarint(buf, inc[j])
+		prev = i
+	}
+	return buf, nil
+}
+
+// UnpackDelta decodes a VersionSparse payload back into changed-bit
+// indices and increments.
+func UnpackDelta(data []byte) (bits []int, inc []int64, err error) {
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("varpack: empty payload")
+	}
+	if data[0] != VersionSparse {
+		return nil, nil, fmt.Errorf("varpack: payload version %d is not a sparse delta", data[0])
+	}
+	rest := data[1:]
+	k64, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("varpack: truncated element count")
+	}
+	if k64 > MaxCounts {
+		return nil, nil, fmt.Errorf("varpack: %d elements exceeds the %d cap", k64, MaxCounts)
+	}
+	k := int(k64)
+	rest = rest[n:]
+	bits = make([]int, k)
+	inc = make([]int64, k)
+	prev := -1
+	for j := 0; j < k; j++ {
+		gap, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("varpack: truncated gap at element %d/%d", j, k)
+		}
+		rest = rest[n:]
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("varpack: truncated increment at element %d/%d", j, k)
+		}
+		rest = rest[n:]
+		if gap == 0 || gap > MaxCounts || prev+int(gap) > MaxCounts {
+			return nil, nil, fmt.Errorf("varpack: bad index gap %d at element %d", gap, j)
+		}
+		prev += int(gap)
+		bits[j] = prev
+		inc[j] = v
+	}
+	if len(rest) != 0 {
+		return nil, nil, fmt.Errorf("varpack: %d trailing bytes", len(rest))
+	}
+	return bits, inc, nil
+}
+
+// zigzag maps a signed value to the unsigned form binary.AppendVarint
+// writes, so PackedSize can reuse uvarintLen.
+func zigzag(v int64) uint64 {
+	return uint64(v<<1) ^ uint64(v>>63)
+}
+
+// uvarintLen is the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // MaxCounts bounds the declared element count a payload may carry;
