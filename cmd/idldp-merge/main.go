@@ -11,7 +11,11 @@
 //     of being listed statically. Members that miss -evict-missed
 //     heartbeats are evicted (their last counts keep contributing) and
 //     must re-register with a full resync. -merger-dir checkpoints every
-//     member's state so a restarted merger resumes exactly.
+//     member's state so a restarted merger resumes exactly. The HTTP
+//     listener additionally serves the merged live read surface —
+//     GET /v1/estimates (cached, one calibration per poll no matter how
+//     many dashboards ask), the shared-payload SSE feed at
+//     /v1/estimates/stream, and /v1/readstats.
 //
 // Per-bit counts are order-independent integer sums, so the merged
 // estimates are bit-for-bit identical to a single collector that
@@ -124,8 +128,11 @@ func run(w io.Writer, cfg config) error {
 		return err
 	}
 
-	// Control plane: dynamic membership via push registration.
+	// Control plane: dynamic membership via push registration. The HTTP
+	// listener is bound here but served after the fleet exists, so the
+	// same port can mount the merged live-estimates surface.
 	var reg *registry.Registry
+	var httpLis net.Listener
 	if cfg.listen != "" || cfg.listenHTTP != "" {
 		ropts := []registry.Option{registry.WithHeartbeat(cfg.heartbeat, cfg.evictMissed)}
 		if auth != nil {
@@ -151,13 +158,10 @@ func run(w io.Writer, cfg config) error {
 			fmt.Fprintf(w, "control plane: accepting push registrations on tcp://%s\n", rs.Addr())
 		}
 		if cfg.listenHTTP != "" {
-			lis, err := net.Listen("tcp", cfg.listenHTTP)
-			if err != nil {
+			if httpLis, err = net.Listen("tcp", cfg.listenHTTP); err != nil {
 				return err
 			}
-			defer lis.Close()
-			go func() { _ = http.Serve(lis, httpapi.NewRegistry(reg)) }()
-			fmt.Fprintf(w, "control plane: accepting push registrations on http://%s\n", lis.Addr())
+			defer httpLis.Close()
 		}
 	}
 
@@ -178,6 +182,28 @@ func run(w io.Writer, cfg config) error {
 	f, err := fleet.New(engine.M(), sources, fopts...)
 	if err != nil {
 		return err
+	}
+
+	// HTTP surface: the merged live-estimates read path (cached — any
+	// number of fleet dashboards cost one calibration per poll) mounted
+	// over the control-plane endpoints.
+	if httpLis != nil {
+		liveSub, err := f.Subscribe(64)
+		if err != nil {
+			return err
+		}
+		live, err := httpapi.NewLive(liveSub, engine.M(), engine.EstimateSingle, cfg.window)
+		if err != nil {
+			return err
+		}
+		defer live.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/v1/estimates", live)
+		mux.Handle("/v1/estimates/stream", live)
+		mux.Handle("/v1/readstats", live)
+		mux.Handle("/", httpapi.NewRegistry(reg))
+		go func() { _ = http.Serve(httpLis, mux) }()
+		fmt.Fprintf(w, "control plane: accepting push registrations on http://%s (live estimates at /v1/estimates)\n", httpLis.Addr())
 	}
 
 	// The merged delta stream drives -stream output, -window bookkeeping,

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -270,4 +272,97 @@ func (n *announcingNode) close() error {
 	}
 	n.ann.Close()
 	return err
+}
+
+// TestRunListenHTTPServesLiveEstimates: the -listen-http port mounts
+// the cached merged read surface next to the control plane — live
+// estimates and read stats reflect push-registered members.
+func TestRunListenHTTPServesLiveEstimates(t *testing.T) {
+	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	var out syncBuffer
+	cfg := config{
+		interval:    50 * time.Millisecond,
+		duration:    3 * time.Second,
+		stale:       time.Minute,
+		listen:      "127.0.0.1:0",
+		listenHTTP:  "127.0.0.1:0",
+		fleetToken:  "merge-http-token",
+		heartbeat:   200 * time.Millisecond,
+		evictMissed: 3,
+	}
+	go func() { done <- run(&out, cfg) }()
+	addrOf := func(scheme string) string {
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			if time.Now().After(deadline) {
+				t.Fatalf("merger never printed its %s address:\n%s", scheme, out.String())
+			}
+			if _, rest, ok := strings.Cut(out.String(), "registrations on "+scheme+"://"); ok {
+				addr := strings.TrimSpace(strings.SplitN(rest, "\n", 2)[0])
+				if i := strings.IndexByte(addr, ' '); i > 0 {
+					addr = addr[:i]
+				}
+				return addr
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	tcpAddr, httpAddr := addrOf("tcp"), addrOf("http")
+
+	srv, err := startAnnouncingNode(engine, tcpAddr, "merge-http-token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	for u := 0; u < 300; u++ {
+		if err := srv.sink.Add(engine.PerturbItem(u%engine.M(), r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The merged live surface converges to the pushed reports within a
+	// few poll intervals.
+	var body string
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		resp, err := http.Get("http://" + httpAddr + "/v1/estimates")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Fatalf("live estimates returned %d: %s", resp.StatusCode, b)
+			}
+			body = string(b)
+			if strings.Contains(body, `"reports":300`) {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live estimates never reached n=300: %s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err := http.Get("http://" + httpAddr + "/v1/readstats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(b), `"calibrations"`) {
+		t.Fatalf("readstats: %d %s", resp.StatusCode, b)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("merger did not stop after its duration")
+	}
 }

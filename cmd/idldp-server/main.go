@@ -15,7 +15,11 @@
 // -stream-interval, and GET /v1/estimates?window=k answers over the last
 // k intervals of the -window-interval sliding window. The ingestion
 // runtime is shared — reports arriving over gob-TCP show up on the HTTP
-// stream within one interval.
+// stream within one interval. Estimates reads are served from a
+// generation-stamped cache refreshed once per interval (every SSE
+// client ships the same pre-marshaled payload), so dashboard read
+// traffic never recalibrates or contends with ingest; GET /v1/readstats
+// reports the cache and broadcast counters.
 //
 // With -announce the server joins a fleet by pushing instead of being
 // polled: it registers with the merger at the given target
@@ -169,7 +173,7 @@ func run(addr string, duration time.Duration, shards, batchSize int, adaptive, c
 		}
 		defer lis.Close()
 		go func() { _ = http.Serve(lis, h) }()
-		fmt.Printf("streaming: HTTP API + SSE on http://%s (interval %v, window %d intervals)\n",
+		fmt.Printf("streaming: HTTP API + SSE on http://%s (interval %v, window %d intervals, cached reads at /v1/estimates)\n",
 			lis.Addr(), streamInterval, window)
 	}
 	var announcer *registry.Announcer

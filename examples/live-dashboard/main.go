@@ -9,17 +9,31 @@
 // shifts, and the sliding window notices long before the all-time
 // ranking does.
 //
+// The same process also serves the scaled-out read path: the server's
+// LiveHandler is mounted on loopback HTTP and a fleet of concurrent
+// dashboard readers — SSE subscribers plus all-time and windowed GET
+// pollers — hammers it throughout the run. The closing /v1/readstats
+// line shows the point: hundreds of reads, a handful of calibrations,
+// because results are cached per stream generation and every SSE client
+// shares one pre-marshaled payload per interval.
+//
 // Run: go run ./examples/live-dashboard [-duration 3s]
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"net"
+	"net/http"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -67,6 +81,53 @@ func run(duration time.Duration) error {
 	// item 0 dominates the first half, item 9 the second.
 	ctx, cancel := context.WithTimeout(context.Background(), duration)
 	defer cancel()
+
+	// The read surface: the cached live handler on loopback, hammered by
+	// many concurrent dashboard readers for the whole campaign.
+	lh, err := srv.LiveHandler(10)
+	if err != nil {
+		return err
+	}
+	defer lh.(io.Closer).Close()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer lis.Close()
+	go func() { _ = http.Serve(lis, lh) }()
+	base := "http://" + lis.Addr().String()
+	var reads, events atomic.Int64
+	for i := 0; i < 24; i++ {
+		path := [...]string{"/v1/estimates", "/v1/estimates?window=10", "/v1/estimates?window=3"}[i%3]
+		go func() {
+			for ctx.Err() == nil {
+				resp, err := http.Get(base + path)
+				if err != nil {
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				reads.Add(1)
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		go func() {
+			req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/estimates/stream", nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				if strings.HasPrefix(sc.Text(), "event: estimate") {
+					events.Add(1)
+				}
+			}
+		}()
+	}
 	var sent atomic.Int64
 	shiftAt := time.Now().Add(duration / 2)
 	go func() {
@@ -120,6 +181,28 @@ func run(duration time.Duration) error {
 	stats := srv.Stats()
 	fmt.Printf("campaign done: %d reports sent, %d ingested, %.0f reports/s EWMA — audit passed (incremental == batch)\n",
 		sent.Load(), stats.Reports, stats.ArrivalRate)
+
+	// The read-path payoff: reads dwarf calibrations because every read
+	// of a generation after the first is a cache hit, and every SSE
+	// client shared one payload per interval.
+	resp, err := http.Get(base + "/v1/readstats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var rs struct {
+		Generation   uint64 `json:"generation"`
+		Calibrations int64  `json:"calibrations"`
+		Cache        struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		return err
+	}
+	fmt.Printf("read path: %d HTTP reads + %d shared SSE events over %d generations cost %d calibrations (cache: %d hits, %d misses)\n",
+		reads.Load(), events.Load(), rs.Generation, rs.Calibrations, rs.Cache.Hits, rs.Cache.Misses)
 	return nil
 }
 

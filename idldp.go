@@ -62,6 +62,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
@@ -70,6 +71,7 @@ import (
 	"idldp/internal/bitvec"
 	"idldp/internal/budget"
 	"idldp/internal/core"
+	"idldp/internal/httpapi"
 	"idldp/internal/opt"
 	"idldp/internal/registry"
 	"idldp/internal/rng"
@@ -651,4 +653,44 @@ func (s *Server) Estimates() ([]float64, error) {
 		return s.engine.EstimateSet(counts, n)
 	}
 	return s.engine.EstimateSingle(counts, n)
+}
+
+// LiveHandler returns a read-only HTTP surface over the server's delta
+// stream: GET /v1/estimates (with ?window=k), the shared-payload SSE
+// feed at /v1/estimates/stream, and /v1/readstats. Estimates are
+// calibrated once per published interval and served from a
+// generation-stamped cache, so any number of dashboard readers cost one
+// calibration per interval; staleness is bounded by the stream
+// interval. window is the sliding-window capacity in intervals (<= 0
+// selects the default of 60).
+//
+// Requires a sharded runtime with streaming enabled (WithStream). The
+// returned handler also implements io.Closer; closing it detaches from
+// the stream and hangs up connected SSE clients.
+func (s *Server) LiveHandler(window int) (http.Handler, error) {
+	s.mu.Lock()
+	rt, closed := s.runtime, s.closed
+	s.mu.Unlock()
+	if rt == nil {
+		return nil, fmt.Errorf("idldp: live handler needs a streaming runtime (WithStream)")
+	}
+	if closed {
+		return nil, fmt.Errorf("idldp: %w", server.ErrClosed)
+	}
+	sub, err := rt.Subscribe(16)
+	if err != nil {
+		return nil, fmt.Errorf("idldp: %w", err)
+	}
+	est := func(counts []int64, n int) ([]float64, error) {
+		if s.engine.PaddingLength() > 0 {
+			return s.engine.EstimateSet(counts, n)
+		}
+		return s.engine.EstimateSingle(counts, n)
+	}
+	lh, err := httpapi.NewLive(sub, s.bits, est, window)
+	if err != nil {
+		sub.Close()
+		return nil, fmt.Errorf("idldp: %w", err)
+	}
+	return lh, nil
 }

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"idldp/internal/readcache"
 	"idldp/internal/registry"
 	"idldp/internal/stream"
 	"idldp/internal/transport"
@@ -225,6 +226,10 @@ type Fleet struct {
 
 	mu    sync.Mutex
 	nodes []*node
+	// gen counts completed Polls — the merge generation. Estimates
+	// results are stamped with it and memoized until the next Poll.
+	gen   uint64
+	cache *readcache.Cache
 	// Streaming (nil until the first Subscribe): each Poll publishes the
 	// merged state as a delta; node resets force a full resync frame.
 	pub          *stream.Publisher
@@ -239,7 +244,7 @@ func New(bits int, sources []Source, opts ...Option) (*Fleet, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("fleet: report length %d must be positive", bits)
 	}
-	f := &Fleet{bits: bits, pollTimeout: DefaultPollTimeout, staleAfter: DefaultStaleAfter}
+	f := &Fleet{bits: bits, pollTimeout: DefaultPollTimeout, staleAfter: DefaultStaleAfter, cache: readcache.New()}
 	for _, src := range sources {
 		f.nodes = append(f.nodes, &node{src: src})
 	}
@@ -313,8 +318,22 @@ func (f *Fleet) Poll(ctx context.Context) error {
 		}(i, nd)
 	}
 	wg.Wait()
+	f.mu.Lock()
+	f.gen++
+	f.mu.Unlock()
 	f.publish()
 	return errors.Join(errs...)
+}
+
+// Generation returns how many Polls have completed — the merge
+// generation Estimates results are stamped with. Push-registered
+// members that deliver deltas between polls become visible to cached
+// estimates at the next Poll; staleness is bounded by the poll
+// interval, exactly like the node snapshots themselves.
+func (f *Fleet) Generation() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gen
 }
 
 // transientErr classifies fetch failures a restarting node produces:
@@ -431,13 +450,28 @@ func (f *Fleet) Counts() (counts []int64, n int64) {
 	return counts, n
 }
 
-// Estimates calibrates the merged counts with est.
+// Estimates calibrates the merged counts with est, memoized per merge
+// generation: dashboards polling a merger between fleet polls share one
+// calibration instead of recomputing identical results. The returned
+// slice is shared with later callers of the same generation — treat it
+// as read-only. The memo assumes one estimator per fleet (the
+// deployment shape); alternating estimators within a generation would
+// serve the first one's result.
 func (f *Fleet) Estimates(est Estimator) ([]float64, error) {
+	gen := f.Generation()
+	if v, ok := f.cache.Get(gen, readcache.Key{Kind: readcache.Cumulative}); ok {
+		return v.Estimates, nil
+	}
 	counts, n := f.Counts()
 	if n == 0 {
 		return nil, fmt.Errorf("fleet: no reports merged yet")
 	}
-	return est(counts, int(n))
+	out, err := est(counts, int(n))
+	if err != nil {
+		return nil, err
+	}
+	f.cache.Put(readcache.Key{Kind: readcache.Cumulative}, readcache.Value{Gen: gen, N: n, Estimates: out})
+	return out, nil
 }
 
 // NodeStatus is one node's liveness view.

@@ -518,3 +518,67 @@ func TestRegistryBackedMembership(t *testing.T) {
 		t.Fatal("fleet with no membership accepted")
 	}
 }
+
+// TestEstimatesMemoizedPerGeneration: Estimates calibrates once per
+// Poll generation and replays the stamped result until the next Poll —
+// the merger-side read cache.
+func TestEstimatesMemoizedPerGeneration(t *testing.T) {
+	src := staticSource{snap: Snapshot{Bits: 3, Counts: []int64{6, 2, 1}, N: 9}}
+	f, err := New(3, []Source{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	est := func(counts []int64, n int) ([]float64, error) {
+		calls++
+		out := make([]float64, len(counts))
+		for i, c := range counts {
+			out[i] = float64(c) / float64(n)
+		}
+		return out, nil
+	}
+	// Pre-poll: no reports, no generation, and nothing cached.
+	if g := f.Generation(); g != 0 {
+		t.Fatalf("generation %d before first poll", g)
+	}
+	if _, err := f.Estimates(est); err == nil {
+		t.Fatal("empty fleet produced estimates")
+	}
+	if err := f.Poll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if g := f.Generation(); g != 1 {
+		t.Fatalf("generation %d after first poll, want 1", g)
+	}
+	first, err := f.Estimates(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := f.Estimates(est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("memoized estimates diverged at %d", j)
+			}
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("estimator ran %d times within one generation, want 1", calls)
+	}
+	// A new poll is a new generation: exactly one recalibration.
+	if err := f.Poll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Estimates(est); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Estimates(est); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("estimator ran %d times across two generations, want 2", calls)
+	}
+}

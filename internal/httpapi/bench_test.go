@@ -1,0 +1,129 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"idldp/internal/server"
+)
+
+// discardWriter is the cheapest possible ResponseWriter, so the
+// benchmarks measure handler cost, not recorder bookkeeping.
+type discardWriter struct{ h http.Header }
+
+func (d *discardWriter) Header() http.Header {
+	if d.h == nil {
+		d.h = make(http.Header, 2)
+	}
+	return d.h
+}
+func (d *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardWriter) WriteHeader(int)             {}
+func (d *discardWriter) Flush()                      {}
+
+// benchReaders drives b.N requests through fn split across `readers`
+// concurrent goroutines — the many-dashboards shape.
+func benchReaders(b *testing.B, readers int, fn func()) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / readers
+	extra := b.N % readers
+	for r := 0; r < readers; r++ {
+		iters := per
+		if r < extra {
+			iters++
+		}
+		wg.Add(1)
+		go func(iters int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				fn()
+			}
+		}(iters)
+	}
+	wg.Wait()
+}
+
+// BenchmarkEstimatesRead compares the uncached read path (flush every
+// pooled batcher + snapshot + calibrate + marshal per request — the
+// non-streaming handler) against the generation-stamped cached path
+// (streaming handler: one pre-marshaled payload per publish interval),
+// at 1 and 64 concurrent readers over a 1024-bit domain.
+func BenchmarkEstimatesRead(b *testing.B) {
+	const bits = 1024
+	est := synthEstimator(bits)
+	counts := make([]int64, bits)
+	for i := range counts {
+		counts[i] = int64(1000 + i%97)
+	}
+
+	newUncached := func(b *testing.B) *Handler {
+		h, err := New(bits, est, server.WithShards(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { h.Close() })
+		if err := h.sink.AddCounts(append([]int64(nil), counts...), 100000); err != nil {
+			b.Fatal(err)
+		}
+		// Populate the batcher pool so per-read flushAll sweeps real
+		// batchers, as it would under live ingest.
+		for i := 0; i < 8; i++ {
+			h.putBatcher(h.getBatcher())
+		}
+		return h
+	}
+	newCached := func(b *testing.B) *Handler {
+		h, err := NewStreaming(bits, est, StreamConfig{Interval: time.Millisecond, Window: 16},
+			server.WithShards(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { h.Close() })
+		if err := h.sink.AddCounts(append([]int64(nil), counts...), 100000); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			h.stream.mu.Lock()
+			n := h.stream.n
+			h.stream.mu.Unlock()
+			if n == 100000 {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("stream never absorbed the preload")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return h
+	}
+
+	read := func(h *Handler) func() {
+		return func() {
+			w := &discardWriter{}
+			r := httptest.NewRequest(http.MethodGet, "/v1/estimates", nil)
+			h.ServeHTTP(w, r)
+		}
+	}
+	for _, bench := range []struct {
+		name    string
+		build   func(*testing.B) *Handler
+		readers int
+	}{
+		{"uncached/readers=1", newUncached, 1},
+		{"uncached/readers=64", newUncached, 64},
+		{"cached/readers=1", newCached, 1},
+		{"cached/readers=64", newCached, 64},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			h := bench.build(b)
+			benchReaders(b, bench.readers, read(h))
+		})
+	}
+}

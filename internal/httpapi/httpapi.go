@@ -8,6 +8,9 @@
 //	                           last k stream intervals (streaming handlers only)
 //	GET  /v1/estimates/stream  Server-Sent Events: one "estimate" event per
 //	                           published interval (streaming handlers only)
+//	GET  /v1/readstats         read-path cache/hub counters: generation,
+//	                           calibrations, hits/misses, SSE subscribers
+//	                           (streaming handlers only)
 //	GET  /v1/status            {"reports": k, "bits": m}
 //	GET  /v1/snapshot          {"counts": [..], "n": k, "bits": m}; ?format=packed
 //	                           returns the varpack payload instead of counts;
@@ -26,10 +29,14 @@
 // batchers shared across requests: each accepted report is decoded into a
 // pooled buffer and folded into a pooled Batcher via the word-level
 // zero-allocation path (Batcher.AddWords), never materializing a
-// bitvec.Vector. Reads (estimates, status, snapshot) flush every pooled
-// batcher first, so they stay consistent with all accepted reports.
-// Tune the runtime with server.Option values passed to New, and Close the
-// handler to stop the shard workers.
+// bitvec.Vector. Status and snapshot reads flush every pooled batcher
+// first, so they stay consistent with all accepted reports. Estimates
+// reads on streaming handlers instead serve a generation-stamped cache
+// refreshed once per published interval (see stream.go) — they never
+// take batcher locks, so heavy dashboard read traffic cannot serialize
+// against ingest, and their staleness is bounded by the publish
+// interval. Tune the runtime with server.Option values passed to New,
+// and Close the handler to stop the shard workers.
 //
 // The snapshot endpoint is the HTTP face of the fleet protocol: a merge
 // collector (internal/fleet) polls it from several nodes and sums the
@@ -73,7 +80,7 @@ type Handler struct {
 
 	// Live-estimates state (nil unless built with a streaming
 	// constructor; see stream.go).
-	stream *streamState
+	stream *liveState
 
 	// Reused request-body buffers for the report fast path.
 	bodies sync.Pool // *reportBody
@@ -115,6 +122,7 @@ func NewSink(sink *server.Server, est Estimator) (*Handler, error) {
 	h.mux.HandleFunc("POST /v1/batch", h.handleBatch)
 	h.mux.HandleFunc("GET /v1/estimates", h.handleEstimates)
 	h.mux.HandleFunc("GET /v1/estimates/stream", h.handleStream)
+	h.mux.HandleFunc("GET /v1/readstats", h.handleReadStats)
 	h.mux.HandleFunc("GET /v1/status", h.handleStatus)
 	h.mux.HandleFunc("GET /v1/snapshot", h.handleSnapshot)
 	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
@@ -263,13 +271,25 @@ func (h *Handler) flushAll() {
 	}
 }
 
+// handleEstimates answers GET /v1/estimates. Streaming handlers serve
+// the generation-stamped cached read path (see stream.go): no batcher
+// flush, no per-request calibration, staleness bounded by the publish
+// interval. Non-streaming handlers keep the flush-and-calibrate path —
+// their exactness contract has no stream to ride. Either way, an empty
+// campaign is not a conflict: zero reports answer 200 with no
+// estimates.
 func (h *Handler) handleEstimates(w http.ResponseWriter, r *http.Request) {
-	if h.windowedEstimates(w, r) {
+	if h.stream != nil {
+		h.stream.handleEstimates(w, r)
+		return
+	}
+	if r.URL.Query().Get("window") != "" {
+		httpError(w, http.StatusBadRequest, "windowed estimates need streaming enabled")
 		return
 	}
 	counts, n := h.snapshot()
 	if n == 0 {
-		httpError(w, http.StatusConflict, "no reports collected yet")
+		writeJSON(w, map[string]any{"estimates": []float64{}, "reports": 0})
 		return
 	}
 	est, err := h.estimate(counts, int(n))
@@ -278,6 +298,22 @@ func (h *Handler) handleEstimates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{"estimates": est, "reports": n})
+}
+
+func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
+	if h.stream == nil {
+		httpError(w, http.StatusNotImplemented, "streaming is not enabled on this server")
+		return
+	}
+	h.stream.serveSSE(w, r)
+}
+
+func (h *Handler) handleReadStats(w http.ResponseWriter, r *http.Request) {
+	if h.stream == nil {
+		httpError(w, http.StatusNotImplemented, "streaming is not enabled on this server")
+		return
+	}
+	writeJSON(w, h.stream.readStats())
 }
 
 func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {

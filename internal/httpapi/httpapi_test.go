@@ -138,6 +138,8 @@ func TestRejectsMalformedRequests(t *testing.T) {
 	}
 }
 
+// TestEstimatesBeforeReports: an empty campaign is not an error — the
+// estimates endpoint answers 200 with zero reports and no estimates.
 func TestEstimatesBeforeReports(t *testing.T) {
 	srv, _ := newServer(t)
 	resp, err := http.Get(srv.URL + "/v1/estimates")
@@ -145,8 +147,18 @@ func TestEstimatesBeforeReports(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("status %d want 409", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d want 200", resp.StatusCode)
+	}
+	var body struct {
+		Estimates []float64 `json:"estimates"`
+		Reports   int64     `json:"reports"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Reports != 0 || len(body.Estimates) != 0 {
+		t.Fatalf("empty campaign answered reports=%d estimates=%v", body.Reports, body.Estimates)
 	}
 }
 

@@ -3,11 +3,13 @@ package httpapi
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
+	"idldp/internal/readcache"
 	"idldp/internal/server"
 	"idldp/internal/stream"
 )
@@ -33,24 +35,53 @@ const DefaultWindow = 60
 // clients can tell a quiet campaign from a dead connection.
 const sseKeepAlive = 15 * time.Second
 
-// streamState is the handler's live view of the delta stream: one
-// consumer goroutine folds frames into the cumulative accumulator and
-// the sliding window, then wakes every waiting SSE client. SSE clients
-// do not subscribe individually — they read the latest state on each
-// wake-up, so a slow client skips intermediate states instead of
-// buffering them (the HTTP-side analogue of drop-and-resync).
-type streamState struct {
-	win *stream.Window
+// liveState is the handler's live view of the delta stream, and the
+// heart of the read-path scale-out: one consumer goroutine folds frames
+// into the sliding window (whose cumulative shadow doubles as the
+// all-time accumulator), calibrates ONCE per generation, pre-marshals
+// the response bodies, and stamps them into a generation-keyed cache.
+// Readers — GET /v1/estimates, windowed queries, and every SSE client —
+// then cost a mutex acquisition and a byte copy, not a calibration:
+// N dashboard readers share one calibration per publish interval.
+//
+// The stream seq is the data generation. A cached result computed at
+// seq g is bit-for-bit exact until the next frame arrives, so entries
+// are invalidated by generation comparison (readcache), never by TTL;
+// read staleness is bounded by the publish interval because the
+// periodic flushLoop keeps pooled reports moving — reads never call
+// flushAll, which would serialize the read path against ingest.
+type liveState struct {
+	win   *stream.Window
+	cache *readcache.Cache
+	hub   *readcache.Hub
+	est   Estimator
 
-	mu     sync.Mutex
-	acc    *stream.Accumulator
-	seq    uint64
-	closed bool
-	notify chan struct{} // closed and replaced on every update
+	mu      sync.Mutex
+	seq     uint64  // newest fully-processed generation
+	n       int64   // cumulative report count at seq
+	wN      int64   // full-window report count at seq
+	counts  []int64 // cumulative counts at seq (read-only once stored)
+	wCounts []int64 // full-window counts at seq (read-only once stored)
+	top1    int     // argmax of the cumulative estimates at seq
+	estErr  error   // last calibration failure, cleared on success
+	closed  bool
 
-	// flushStop ends the periodic batcher flush (see flushLoop).
+	calibrations int64 // Estimator invocations across all read surfaces
+
+	// flushStop ends the periodic batcher flush (see Handler.flushLoop);
+	// unused by LiveHandler, which has no ingest side.
 	flushStop chan struct{}
 	flushOnce sync.Once
+}
+
+func newLiveState(win *stream.Window, est Estimator) *liveState {
+	return &liveState{
+		win:       win,
+		cache:     readcache.New(),
+		hub:       readcache.NewHub(),
+		est:       est,
+		flushStop: make(chan struct{}),
+	}
 }
 
 // NewStreaming is New plus the live-estimates surface: the ingestion
@@ -85,18 +116,13 @@ func NewSinkStreaming(sink *server.Server, est Estimator, cfg StreamConfig) (*Ha
 		sink.Close()
 		return nil, fmt.Errorf("httpapi: %w", err)
 	}
-	acc, err := stream.NewAccumulator(sink.Bits())
-	if err != nil {
-		sink.Close()
-		return nil, fmt.Errorf("httpapi: %w", err)
-	}
 	sub, err := sink.Subscribe(16)
 	if err != nil {
 		sink.Close()
 		return nil, fmt.Errorf("httpapi: %w", err)
 	}
-	h.stream = &streamState{win: win, acc: acc, notify: make(chan struct{}), flushStop: make(chan struct{})}
-	go h.consumeStream(sub)
+	h.stream = newLiveState(win, est)
+	go h.stream.consume(sub)
 	// Without other readers, reports POSTed to /v1/report sit in the
 	// pooled batchers below the batch threshold and the runtime's
 	// publisher never sees them. Flush on the publish cadence so
@@ -127,38 +153,81 @@ func (h *Handler) flushLoop(interval time.Duration) {
 	}
 }
 
-// consumeStream is the central subscriber: it keeps the handler's
-// cumulative and windowed state current and broadcasts each change.
-func (h *Handler) consumeStream(sub *stream.Sub) {
-	st := h.stream
+// consume is the central subscriber: one goroutine per liveState that
+// absorbs each frame, snapshots the windowed and cumulative state in a
+// single critical section (Window.View — pairing them across separate
+// calls can tear, matching seq N's cumulative counts with seq N+1's
+// window), refreshes the cached read results, and broadcasts the
+// pre-marshaled SSE payload. All calibration for the generation happens
+// here, under ls.mu, before any reader can observe the new seq.
+func (ls *liveState) consume(sub *stream.Sub) {
 	for d := range sub.C() {
-		_ = st.win.Push(d)
-		st.mu.Lock()
+		ls.mu.Lock()
 		// ErrOutOfSync cannot persist: the publisher's drop-and-resync
 		// contract guarantees a healing resync follows any gap.
-		_ = st.acc.Apply(d)
-		st.seq = d.Seq
-		close(st.notify)
-		st.notify = make(chan struct{})
-		st.mu.Unlock()
+		_ = ls.win.Push(d)
+		wCounts, wN, counts, n, seq := ls.win.View()
+		ls.seq, ls.n, ls.wN = seq, n, wN
+		ls.counts, ls.wCounts = counts, wCounts
+		var chunk []byte
+		var fatal bool
+		if n > 0 {
+			chunk, fatal = ls.refreshLocked(seq, counts, n, wCounts, wN)
+		}
+		ls.mu.Unlock()
+		if chunk != nil {
+			ls.hub.Publish(seq, chunk, fatal)
+		}
 	}
-	st.mu.Lock()
-	st.closed = true
-	close(st.notify)
-	st.mu.Unlock()
+	ls.mu.Lock()
+	ls.closed = true
+	ls.mu.Unlock()
+	ls.hub.Close()
 }
 
-// view returns the current stream state: cumulative and windowed counts
-// plus the change notification channel for the *next* update.
-func (st *streamState) view() (seq uint64, counts []int64, n int64, wCounts []int64, wN int64, next chan struct{}, closed bool) {
-	st.mu.Lock()
-	seq = st.seq
-	counts, n = st.acc.Counts()
-	next = st.notify
-	closed = st.closed
-	st.mu.Unlock()
-	wCounts, wN = st.win.Counts()
-	return seq, counts, n, wCounts, wN, next, closed
+// refreshLocked recomputes every cached read result for a new
+// generation: the cumulative estimates (and their pre-marshaled
+// GET /v1/estimates body), the full-window estimates (the pre-marshaled
+// ?window=capacity body), the heavy-hitter probe, and the shared SSE
+// event chunk. Caller holds ls.mu.
+func (ls *liveState) refreshLocked(seq uint64, counts []int64, n int64, wCounts []int64, wN int64) (chunk []byte, fatal bool) {
+	est, err := ls.est(counts, int(n))
+	ls.calibrations++
+	if err != nil {
+		ls.estErr = err
+		return sseChunk("error", jsonError(err)), true
+	}
+	ls.estErr = nil
+	body, err := json.Marshal(map[string]any{"estimates": est, "reports": n})
+	if err != nil {
+		ls.estErr = err
+		return sseChunk("error", jsonError(err)), true
+	}
+	body = append(body, '\n')
+	ls.cache.Put(readcache.Key{Kind: readcache.Cumulative},
+		readcache.Value{Gen: seq, N: n, Estimates: est, Payload: body})
+	ev := estimateEvent{Seq: seq, N: n, WindowN: wN, Estimates: est, Top1: argmax(est)}
+	ls.top1 = ev.Top1
+	// The heavy-hitter set here is the argmax probe dashboards read from
+	// the event; analytics surfaces with larger sets reuse the same key.
+	ls.cache.Put(readcache.Key{Kind: readcache.HeavyHitters},
+		readcache.Value{Gen: seq, N: n, Estimates: []float64{float64(ev.Top1)}})
+	if wN > 0 {
+		wEst, werr := ls.est(wCounts, int(wN))
+		ls.calibrations++
+		if werr == nil {
+			ev.WindowEstimates = wEst
+			if wBody, merr := json.Marshal(map[string]any{"estimates": wEst, "reports": wN, "window": ls.win.Cap()}); merr == nil {
+				ls.cache.Put(readcache.Key{Kind: readcache.Windowed, K: ls.win.Cap()},
+					readcache.Value{Gen: seq, N: wN, Estimates: wEst, Payload: append(wBody, '\n')})
+			}
+		}
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return nil, false
+	}
+	return sseChunk("estimate", data), false
 }
 
 // estimateEvent is one SSE data payload.
@@ -177,52 +246,146 @@ type estimateEvent struct {
 	Top1 int `json:"top1"`
 }
 
-// handleStream serves GET /v1/estimates/stream: a Server-Sent Events
-// feed with one "estimate" event per published interval. Events carry
-// the latest state at send time, so a slow reader sees fewer, fresher
-// events rather than a growing backlog.
-func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
-	if h.stream == nil {
-		httpError(w, http.StatusNotImplemented, "streaming is not enabled on this server")
+// sseChunk frames one complete SSE event, ready to write verbatim. The
+// consume goroutine builds it once per generation; every client ships
+// the same bytes.
+func sseChunk(event string, data []byte) []byte {
+	b := make([]byte, 0, len(event)+len(data)+16)
+	b = append(b, "event: "...)
+	b = append(b, event...)
+	b = append(b, "\ndata: "...)
+	b = append(b, data...)
+	b = append(b, "\n\n"...)
+	return b
+}
+
+// handleEstimates answers GET /v1/estimates from the cached read path:
+// the plain query serves the pre-marshaled cumulative body, ?window=k
+// the windowed variant.
+func (ls *liveState) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		k, err := strconv.Atoi(raw)
+		if err != nil || k <= 0 {
+			httpError(w, http.StatusBadRequest, "window must be a positive interval count")
+			return
+		}
+		ls.serveWindowed(w, k)
 		return
 	}
-	fl, ok := w.(http.Flusher)
+	ls.serveCumulative(w)
+}
+
+// serveCumulative writes the current generation's pre-marshaled
+// estimates body — no flush, no calibration, no encode. An empty
+// campaign is not an error: it answers 200 with zero reports.
+func (ls *liveState) serveCumulative(w http.ResponseWriter) {
+	ls.mu.Lock()
+	gen, n, estErr := ls.seq, ls.n, ls.estErr
+	var v readcache.Value
+	var ok bool
+	if n > 0 {
+		v, ok = ls.cache.Get(gen, readcache.Key{Kind: readcache.Cumulative})
+	}
+	ls.mu.Unlock()
+	if n == 0 {
+		writeJSON(w, map[string]any{"estimates": []float64{}, "reports": 0})
+		return
+	}
 	if !ok {
-		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
+		// n > 0 without a cached body means the generation's calibration
+		// failed; estErr says why.
+		msg := "estimates unavailable"
+		if estErr != nil {
+			msg = estErr.Error()
+		}
+		httpError(w, http.StatusInternalServerError, msg)
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(v.Payload)
+}
+
+// serveWindowed answers ?window=k from the sliding window (k intervals,
+// capped at the configured capacity). The first reader of a (gen, k)
+// pair computes and caches under ls.mu — single-flight by lock
+// discipline — and every later reader of the generation writes the same
+// cached bytes.
+func (ls *liveState) serveWindowed(w http.ResponseWriter, k int) {
+	if c := ls.win.Cap(); k > c {
+		k = c
+	}
+	key := readcache.Key{Kind: readcache.Windowed, K: k}
+	ls.mu.Lock()
+	gen := ls.seq
+	v, ok := ls.cache.Get(gen, key)
+	if !ok {
+		counts, n, err := ls.win.LastCounts(k)
+		if err != nil {
+			ls.mu.Unlock()
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if n == 0 {
+			ls.mu.Unlock()
+			writeJSON(w, map[string]any{"estimates": []float64{}, "reports": 0, "window": k})
+			return
+		}
+		est, err := ls.est(counts, int(n))
+		ls.calibrations++
+		if err != nil {
+			ls.mu.Unlock()
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		body, err := json.Marshal(map[string]any{"estimates": est, "reports": n, "window": k})
+		if err != nil {
+			ls.mu.Unlock()
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		v = readcache.Value{Gen: gen, N: n, Estimates: est, Payload: append(body, '\n')}
+		ls.cache.Put(key, v)
+	}
+	ls.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(v.Payload)
+}
+
+// serveSSE serves GET /v1/estimates/stream: a Server-Sent Events feed
+// with one "estimate" event per published interval. Every client writes
+// the same hub-broadcast bytes, so a thousand dashboards cost one
+// calibration and one marshal per generation; a slow reader sees fewer,
+// fresher events rather than a growing backlog. Write and flush errors
+// end the loop — a dead client must not keep burning keepalives after
+// its connection is gone but before its context fires.
+func (ls *liveState) serveSSE(w http.ResponseWriter, r *http.Request) {
+	rc := http.NewResponseController(w)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	fl.Flush() // ship the headers now; the first event may be a while
+	if err := rc.Flush(); err != nil {
+		// The writer cannot stream (or the client is already gone).
+		return
+	}
+	ls.hub.Add()
+	defer ls.hub.Done()
 	keep := time.NewTicker(sseKeepAlive)
 	defer keep.Stop()
-	var lastSent uint64
-	hasSent := false
+	var seen uint64
+	sent := false
 	for {
-		seq, counts, n, wCounts, wN, next, closed := h.stream.view()
-		if n > 0 && (!hasSent || seq != lastSent) {
-			ev := estimateEvent{Seq: seq, N: n, WindowN: wN}
-			est, err := h.estimate(counts, int(n))
-			if err != nil {
-				fmt.Fprintf(w, "event: error\ndata: %s\n\n", jsonError(err))
-				fl.Flush()
+		seq, payload, fatal, closed, next := ls.hub.Latest()
+		if payload != nil && (!sent || seq != seen) {
+			if _, err := w.Write(payload); err != nil {
 				return
 			}
-			ev.Estimates = est
-			ev.Top1 = argmax(est)
-			if wN > 0 {
-				if wEst, err := h.estimate(wCounts, int(wN)); err == nil {
-					ev.WindowEstimates = wEst
-				}
-			}
-			data, err := json.Marshal(ev)
-			if err != nil {
+			if err := rc.Flush(); err != nil {
 				return
 			}
-			fmt.Fprintf(w, "event: estimate\ndata: %s\n\n", data)
-			fl.Flush()
-			lastSent, hasSent = seq, true
+			seen, sent = seq, true
+			if fatal {
+				return
+			}
 		}
 		if closed {
 			return
@@ -232,9 +395,32 @@ func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-next:
 		case <-keep.C:
-			fmt.Fprint(w, ": keepalive\n\n")
-			fl.Flush()
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
 		}
+	}
+}
+
+// readStats is the observability view of the cached read path, served
+// at GET /v1/readstats: how many calibrations the generation refreshes
+// have cost versus how many reads the cache absorbed.
+func (ls *liveState) readStats() map[string]any {
+	cs := ls.cache.Stats()
+	hs := ls.hub.Stats()
+	ls.mu.Lock()
+	gen, n, cal, top1 := ls.seq, ls.n, ls.calibrations, ls.top1
+	ls.mu.Unlock()
+	return map[string]any{
+		"generation":   gen,
+		"reports":      n,
+		"calibrations": cal,
+		"top1":         top1,
+		"cache":        map[string]any{"hits": cs.Hits, "misses": cs.Misses, "entries": cs.Entries},
+		"sse":          map[string]any{"subscribers": hs.Subscribers, "events": hs.Published},
 	}
 }
 
@@ -253,41 +439,57 @@ func jsonError(err error) []byte {
 	return data
 }
 
-// windowedEstimates answers GET /v1/estimates?window=k from the sliding
-// window (k intervals, capped at the configured capacity). It returns
-// ok=false when the request has no window parameter.
-func (h *Handler) windowedEstimates(w http.ResponseWriter, r *http.Request) bool {
-	raw := r.URL.Query().Get("window")
-	if raw == "" {
-		return false
+// LiveHandler is the standalone read-only face of a merged delta
+// stream: the same cached live-estimates surface a streaming Handler
+// serves, minus the ingest endpoints. idldp-merge mounts one over the
+// fleet's merged stream so fleet-wide dashboards scale exactly like
+// single-node ones. Endpoints:
+//
+//	GET /v1/estimates         cached fleet-wide estimates; ?window=k
+//	GET /v1/estimates/stream  shared-payload SSE feed
+//	GET /v1/readstats         read-path cache and hub counters
+type LiveHandler struct {
+	ls   *liveState
+	sub  *stream.Sub
+	mux  *http.ServeMux
+	once sync.Once
+}
+
+// NewLive builds a read-only live surface over any delta-stream
+// subscription (fleet.Subscribe, Publisher.Subscribe, …) for an m-bit
+// domain. window <= 0 selects DefaultWindow. The handler owns sub:
+// Close closes it, which stops the consumer.
+func NewLive(sub *stream.Sub, bits int, est Estimator, window int) (*LiveHandler, error) {
+	if sub == nil {
+		return nil, fmt.Errorf("httpapi: subscription is required")
 	}
-	if h.stream == nil {
-		httpError(w, http.StatusBadRequest, "windowed estimates need streaming enabled")
-		return true
+	if est == nil {
+		return nil, fmt.Errorf("httpapi: estimator is required")
 	}
-	k, err := strconv.Atoi(raw)
-	if err != nil || k <= 0 {
-		httpError(w, http.StatusBadRequest, "window must be a positive interval count")
-		return true
+	if window <= 0 {
+		window = DefaultWindow
 	}
-	counts, n, err := h.stream.win.LastCounts(k)
+	win, err := stream.NewWindow(bits, window)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return true
+		return nil, fmt.Errorf("httpapi: %w", err)
 	}
-	if n <= 0 {
-		httpError(w, http.StatusConflict, "no reports inside the window")
-		return true
-	}
-	est, err := h.estimate(counts, int(n))
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
-		return true
-	}
-	writeJSON(w, map[string]any{
-		"estimates": est,
-		"reports":   n,
-		"window":    min(k, h.stream.win.Cap()),
+	ls := newLiveState(win, est)
+	lh := &LiveHandler{ls: ls, sub: sub, mux: http.NewServeMux()}
+	lh.mux.HandleFunc("GET /v1/estimates", ls.handleEstimates)
+	lh.mux.HandleFunc("GET /v1/estimates/stream", ls.serveSSE)
+	lh.mux.HandleFunc("GET /v1/readstats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ls.readStats())
 	})
-	return true
+	go ls.consume(sub)
+	return lh, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (lh *LiveHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) { lh.mux.ServeHTTP(w, r) }
+
+// Close unsubscribes from the stream, stopping the consumer and closing
+// the SSE hub (connected clients are hung up).
+func (lh *LiveHandler) Close() error {
+	lh.once.Do(lh.sub.Close)
+	return nil
 }

@@ -275,7 +275,7 @@ func TestStreamSeesPooledReports(t *testing.T) {
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		h.stream.mu.Lock()
-		_, n := h.stream.acc.Counts()
+		n := h.stream.n
 		h.stream.mu.Unlock()
 		if n == 3 {
 			return

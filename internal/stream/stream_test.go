@@ -431,6 +431,49 @@ func TestTrackerEmitsEnterLeaveEvents(t *testing.T) {
 	}
 }
 
+// TestWindowViewIsConsistent: View must pair the windowed and cumulative
+// state of the same seq even while frames keep arriving concurrently —
+// the torn read that separate Counts/Cumulative calls allow.
+func TestWindowViewIsConsistent(t *testing.T) {
+	const m, span = 8, 4
+	w, err := NewWindow(m, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each frame adds exactly one report touching bit seq%m, so at seq s
+	// the cumulative n is s and the windowed n is min(s, span): any
+	// (wN, n, seq) triple off that line is a tear.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s := uint64(1); s <= 3000; s++ {
+			_ = w.Push(Delta{Seq: s, Bits: []int{int(s % m)}, Inc: []int64{1}, DN: 1, N: int64(s)})
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		wCounts, wN, counts, n, seq := w.View()
+		if n != int64(seq) {
+			t.Fatalf("cumulative n=%d at seq %d", n, seq)
+		}
+		want := int64(seq)
+		if want > span {
+			want = span
+		}
+		if wN != want {
+			t.Fatalf("window n=%d at seq %d, want %d", wN, seq, want)
+		}
+		var cSum, wSum int64
+		for i := range counts {
+			cSum += counts[i]
+			wSum += wCounts[i]
+		}
+		if cSum != n || wSum != wN {
+			t.Fatalf("seq %d: counts sum %d (n=%d), window sum %d (wN=%d)", seq, cSum, n, wSum, wN)
+		}
+	}
+	<-done
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := NewPublisher(0); err == nil {
 		t.Fatal("NewPublisher(0) should fail")

@@ -190,6 +190,21 @@ func (w *Window) LastCounts(k int) ([]int64, int64, error) {
 	return counts, n, nil
 }
 
+// View returns the windowed counts/total, the cumulative counts/total,
+// and the seq of the newest absorbed frame, all read in one critical
+// section. Counts and Cumulative each answer consistently on their own,
+// but a consumer pairing them across two calls can observe the window
+// of seq N+1 against the cumulative state of seq N (a torn read); View
+// is the generation-stamped snapshot dashboard surfaces must use. The
+// returned slices are the caller's to keep.
+func (w *Window) View() (wCounts []int64, wN int64, counts []int64, n int64, seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	wCounts = append([]int64(nil), w.sum...)
+	counts, n = w.cum.Counts()
+	return wCounts, w.n, counts, n, w.last
+}
+
 // Cumulative returns the all-time cumulative counts and n the window has
 // observed (the shadow state resyncs diff against).
 func (w *Window) Cumulative() ([]int64, int64) {
