@@ -1,0 +1,142 @@
+// load.go implements the saturation/load experiment: a flow-controlled
+// collection run (collect.StreamInto) against a sink that is pinned
+// saturated for a pressure window, so every run exercises the shed →
+// backoff → retry loop. The per-run shed/retry/backoff counters are the
+// artifact — the ROADMAP's load-harness saturation sweep consumes them —
+// and -json emits them machine-readably.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"idldp/internal/collect"
+	"idldp/internal/exp"
+	"idldp/internal/flow"
+	"idldp/internal/mech"
+	"idldp/internal/server"
+)
+
+// loadRun is one repetition's flow-control accounting.
+type loadRun struct {
+	Rep        int     `json:"rep"`
+	Users      int64   `json:"users"`
+	DurationMS float64 `json:"duration_ms"`
+
+	// Sender-side counters (merged flow.Stats across workers).
+	Attempts  int64   `json:"attempts"`
+	Retries   int64   `json:"retries"`
+	Sheds     int64   `json:"sheds"`
+	BackoffMS float64 `json:"backoff_ms"`
+
+	// Sink-side counters. ShedRejectFrames/Reports count pushbacks (the
+	// sender retried — no data loss); ShedReports counts silent drops and
+	// must stay 0 on the flow-controlled path.
+	ShedRejectFrames  int64 `json:"shed_reject_frames"`
+	ShedRejectReports int64 `json:"shed_reject_reports"`
+	ShedReports       int64 `json:"shed_reports"`
+}
+
+// loadResult is the full experiment artifact.
+type loadResult struct {
+	Scale      string    `json:"scale"`
+	Users      int       `json:"users"`
+	Bits       int       `json:"bits"`
+	Eps        float64   `json:"eps"`
+	Workers    int       `json:"workers"`
+	PressureMS int       `json:"pressure_ms"`
+	Seed       uint64    `json:"seed"`
+	Runs       []loadRun `json:"runs"`
+}
+
+// runLoad drives reps saturated collection runs and emits the counters
+// as a text table (and CSV via -csv), or as JSON when -json is set.
+func runLoad(em emitter, paper bool, reps int, seed uint64, jsonOut bool) error {
+	cfg := loadResult{Scale: "ci", Users: 20000, Bits: 64, Eps: 1, Workers: 4, PressureMS: 50, Seed: seed}
+	if paper {
+		cfg.Scale, cfg.Users, cfg.Bits, cfg.PressureMS = "paper", 1000000, 256, 250
+	}
+	u, err := mech.NewOUE(cfg.Eps, cfg.Bits)
+	if err != nil {
+		return err
+	}
+	items := make([]int, cfg.Users)
+	for i := range items {
+		items[i] = i % cfg.Bits
+	}
+	for rep := 0; rep < reps; rep++ {
+		r, err := loadOnce(items, cfg, u, seed+uint64(rep))
+		if err != nil {
+			return fmt.Errorf("rep %d: %w", rep, err)
+		}
+		r.Rep = rep
+		cfg.Runs = append(cfg.Runs, r)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cfg)
+	}
+	t := &exp.Table{
+		Title:  fmt.Sprintf("Load: %d users, %d bits, %dms saturated (flow-controlled, exactly-once)", cfg.Users, cfg.Bits, cfg.PressureMS),
+		Header: []string{"rep", "users", "ms", "attempts", "retries", "sheds", "backoff_ms", "rejects", "silent_drops"},
+	}
+	for _, r := range cfg.Runs {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r.Rep), fmt.Sprint(r.Users), fmt.Sprintf("%.1f", r.DurationMS),
+			fmt.Sprint(r.Attempts), fmt.Sprint(r.Retries), fmt.Sprint(r.Sheds),
+			fmt.Sprintf("%.1f", r.BackoffMS), fmt.Sprint(r.ShedRejectReports), fmt.Sprint(r.ShedReports),
+		})
+	}
+	return em.table("load", t)
+}
+
+// loadOnce runs one saturated collection and checks the exactly-once
+// invariant before reporting counters.
+func loadOnce(items []int, cfg loadResult, u *mech.UE, seed uint64) (loadRun, error) {
+	var out loadRun
+	sink, err := server.New(cfg.Bits, server.WithShards(cfg.Workers), server.WithBatchSize(64))
+	if err != nil {
+		return out, err
+	}
+	defer sink.Close()
+	sink.ForceSaturation(true)
+	type result struct {
+		st  flow.Stats
+		err error
+	}
+	done := make(chan result, 1)
+	start := time.Now()
+	go func() {
+		st, err := collect.StreamInto(context.Background(), items, cfg.Bits, u.PerturbItemInto, sink, collect.StreamOptions{
+			Options: collect.Options{Workers: cfg.Workers, Seed: seed},
+			Policy:  flow.Policy{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Attempts: 10000},
+		})
+		done <- result{st, err}
+	}()
+	time.Sleep(time.Duration(cfg.PressureMS) * time.Millisecond)
+	sink.ForceSaturation(false)
+	res := <-done
+	if res.err != nil {
+		return out, res.err
+	}
+	out.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	_, n := sink.Snapshot()
+	if n != int64(len(items)) {
+		return out, fmt.Errorf("exactly-once violated: sink holds %d reports, sent %d", n, len(items))
+	}
+	st := sink.Stats()
+	if st.ShedReports != 0 {
+		return out, fmt.Errorf("flow-controlled path silently dropped %d reports", st.ShedReports)
+	}
+	out.Users = n
+	out.Attempts, out.Retries, out.Sheds = res.st.Attempts, res.st.Retries, res.st.Sheds
+	out.BackoffMS = float64(res.st.Backoff) / float64(time.Millisecond)
+	out.ShedRejectFrames = st.ShedRejectFrames
+	out.ShedRejectReports = st.ShedRejectReports
+	out.ShedReports = st.ShedReports
+	return out, nil
+}

@@ -3,14 +3,19 @@
 //
 // Usage:
 //
-//	idldp-bench -exp table1|table2|fig3|fig4a|fig4b|fig5a|fig5b|ablations|all
-//	            [-scale ci|paper] [-reps N] [-seed S] [-csv dir]
+//	idldp-bench -exp table1|table2|fig3|fig4a|fig4b|fig5a|fig5b|ablations|load|all
+//	            [-scale ci|paper] [-reps N] [-seed S] [-csv dir] [-json]
 //
 // The ci scale (default) runs reduced domain/user counts that finish in
 // seconds; the paper scale matches the published n and m (minutes). The
 // output is one aligned text table per experiment, with the same rows and
 // series the paper reports; -csv additionally writes each artifact as a
 // CSV file for plotting.
+//
+// The load experiment is operational rather than statistical: it drives a
+// flow-controlled collection run against a saturated sink and records the
+// shed/retry/backoff counters per repetition. -json emits that artifact
+// as JSON for the saturation sweep harness.
 package main
 
 import (
@@ -26,14 +31,15 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("exp", "all", "experiment: table1, table2, fig3, fig4a, fig4b, fig5a, fig5b, ablations, or all")
-		scale  = flag.String("scale", "ci", "ci (fast, reduced sizes) or paper (published sizes)")
-		reps   = flag.Int("reps", 1, "collection repetitions to average per point")
-		seed   = flag.Uint64("seed", 1, "experiment seed")
-		csvDir = flag.String("csv", "", "also write each artifact as CSV into this directory")
+		which   = flag.String("exp", "all", "experiment: table1, table2, fig3, fig4a, fig4b, fig5a, fig5b, ablations, or all")
+		scale   = flag.String("scale", "ci", "ci (fast, reduced sizes) or paper (published sizes)")
+		reps    = flag.Int("reps", 1, "collection repetitions to average per point")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		csvDir  = flag.String("csv", "", "also write each artifact as CSV into this directory")
+		jsonOut = flag.Bool("json", false, "emit the load experiment's artifact as JSON on stdout")
 	)
 	flag.Parse()
-	if err := run(*which, *scale, *reps, *seed, *csvDir); err != nil {
+	if err := run(*which, *scale, *reps, *seed, *csvDir, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-bench:", err)
 		os.Exit(1)
 	}
@@ -72,13 +78,13 @@ func (e emitter) writeCSV(name string, write func(w io.Writer) error) error {
 	return write(f)
 }
 
-func run(which, scale string, reps int, seed uint64, csvDir string) error {
+func run(which, scale string, reps int, seed uint64, csvDir string, jsonOut bool) error {
 	paper := scale == "paper"
 	if !paper && scale != "ci" {
 		return fmt.Errorf("unknown scale %q", scale)
 	}
 	em := emitter{csvDir: csvDir}
-	experiments := []string{"table1", "table2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "ablations"}
+	experiments := []string{"table1", "table2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "ablations", "load"}
 	if which != "all" {
 		experiments = []string{which}
 	}
@@ -102,6 +108,8 @@ func run(which, scale string, reps int, seed uint64, csvDir string) error {
 			err = runFig5(em, "msnbc", paper, reps, seed)
 		case "ablations":
 			err = runAblations(em, seed)
+		case "load":
+			err = runLoad(em, paper, reps, seed, jsonOut)
 		default:
 			err = fmt.Errorf("unknown experiment %q", e)
 		}

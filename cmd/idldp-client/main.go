@@ -3,9 +3,15 @@
 // batch of perturbed reports is streamed to an idldp-server. Only
 // randomized data leaves the process.
 //
+// With -acked every frame demands an acknowledgement and honors the
+// server's flow control: a saturated or draining server answers with a
+// shed ack + Retry-After hint and the client backs off (full jitter) and
+// retries the same frame — delivery is delayed, never lost, and the
+// shed/retry/backoff counters are printed at exit.
+//
 // Usage:
 //
-//	idldp-client [-addr 127.0.0.1:7070] [-n 10000] [-seed 1] [-batch]
+//	idldp-client [-addr 127.0.0.1:7070] [-n 10000] [-seed 1] [-batch] [-acked]
 package main
 
 import (
@@ -16,9 +22,11 @@ import (
 	"time"
 
 	"idldp/internal/agg"
+	"idldp/internal/bitvec"
 	"idldp/internal/budget"
 	"idldp/internal/core"
 	"idldp/internal/dist"
+	"idldp/internal/flow"
 	"idldp/internal/rng"
 	"idldp/internal/transport"
 )
@@ -29,15 +37,16 @@ func main() {
 		n     = flag.Int("n", 10000, "number of simulated users")
 		seed  = flag.Uint64("seed", 1, "population seed")
 		batch = flag.Bool("batch", true, "aggregate locally and ship one batch frame")
+		acked = flag.Bool("acked", false, "demand per-frame acks; back off and retry when the server sheds")
 	)
 	flag.Parse()
-	if err := run(*addr, *n, *seed, *batch); err != nil {
+	if err := run(*addr, *n, *seed, *batch, *acked); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n int, seed uint64, batch bool) error {
+func run(addr string, n int, seed uint64, batch, acked bool) error {
 	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
 	if err != nil {
 		return err
@@ -49,6 +58,16 @@ func run(addr string, n int, seed uint64, batch bool) error {
 		return err
 	}
 	defer client.Close()
+	if acked {
+		client.SetRetryPolicy(flow.Default(), seed)
+	}
+	// sendReport/sendBatch select the fire-and-forget or acked path once.
+	sendReport := client.SendReport
+	sendBatch := client.SendBatch
+	if acked {
+		sendReport = func(v *bitvec.Vector) error { return client.SendReportAck(ctx, v) }
+		sendBatch = func(a *agg.Aggregator) error { return client.SendBatchAck(ctx, a) }
+	}
 
 	// Simulated truth: HIV rare, common ailments frequent.
 	pop := dist.NewSampler(dist.PMF{0.02, 0.38, 0.30, 0.18, 0.12})
@@ -65,18 +84,23 @@ func run(addr string, n int, seed uint64, batch bool) error {
 			engine.PerturbItemInto(pop.Draw(r), ur, buf)
 			local.Add(buf)
 		}
-		if err := client.SendBatch(local); err != nil {
+		if err := sendBatch(local); err != nil {
 			return err
 		}
 	} else {
 		for u := 0; u < n; u++ {
 			r.SplitNInto(u, ur)
 			engine.PerturbItemInto(pop.Draw(r), ur, buf)
-			if err := client.SendReport(buf); err != nil {
+			if err := sendReport(buf); err != nil {
 				return err
 			}
 		}
 	}
 	fmt.Printf("sent %d perturbed reports to %s\n", n, addr)
+	if acked {
+		st := client.FlowStats()
+		fmt.Printf("flow: %d attempts, %d retries, %d sheds, %v backing off\n",
+			st.Attempts, st.Retries, st.Sheds, st.Backoff.Round(time.Millisecond))
+	}
 	return nil
 }

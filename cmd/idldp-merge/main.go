@@ -15,7 +15,13 @@
 //     listener additionally serves the merged live read surface —
 //     GET /v1/estimates (cached, one calibration per poll no matter how
 //     many dashboards ask), the shared-payload SSE feed at
-//     /v1/estimates/stream, and /v1/readstats.
+//     /v1/estimates/stream, and /v1/readstats — plus the probes:
+//     GET /v1/healthz (process liveness, always 200) and GET /v1/readyz
+//     (503 until the first merge lands, and again once shutdown begins).
+//
+// Shutdown is a graceful drain: on SIGINT/SIGTERM readiness flips off
+// first, then the fleet closes, the final merged resync is pushed to
+// -upstream, and the merger checkpoints and exits.
 //
 // Per-bit counts are order-independent integer sums, so the merged
 // estimates are bit-for-bit identical to a single collector that
@@ -51,6 +57,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -184,6 +191,10 @@ func run(w io.Writer, cfg config) error {
 		return err
 	}
 
+	// draining flips one-way when shutdown starts; /v1/readyz turns 503
+	// before any listener stops answering.
+	var draining atomic.Bool
+
 	// HTTP surface: the merged live-estimates read path (cached — any
 	// number of fleet dashboards cost one calibration per poll) mounted
 	// over the control-plane endpoints.
@@ -201,6 +212,17 @@ func run(w io.Writer, cfg config) error {
 		mux.Handle("/v1/estimates", live)
 		mux.Handle("/v1/estimates/stream", live)
 		mux.Handle("/v1/readstats", live)
+		health := httpapi.NewHealth(func() (bool, string) {
+			switch {
+			case draining.Load():
+				return false, "draining"
+			case !f.Ready():
+				return false, "no-merge-yet"
+			}
+			return true, ""
+		})
+		mux.Handle("/v1/healthz", health)
+		mux.Handle("/v1/readyz", health)
 		mux.Handle("/", httpapi.NewRegistry(reg))
 		go func() { _ = http.Serve(httpLis, mux) }()
 		fmt.Fprintf(w, "control plane: accepting push registrations on http://%s (live estimates at /v1/estimates)\n", httpLis.Addr())
@@ -257,7 +279,8 @@ func run(w io.Writer, cfg config) error {
 	}
 
 	finish := func() {
-		f.Close() // ends the consumer goroutine and the upstream stream
+		draining.Store(true) // readyz answers 503 from here on
+		f.Close()            // ends the consumer goroutine and the upstream stream
 		if up != nil {
 			select {
 			case <-up.Done():
@@ -305,6 +328,9 @@ func run(w io.Writer, cfg config) error {
 	go func() {
 		select {
 		case <-stop:
+			// Flip readiness off before the poll loop unwinds so probes see
+			// the drain while the HTTP listener is still answering.
+			draining.Store(true)
 			cancel()
 		case <-runCtx.Done():
 		}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// readyzStatus polls /v1/readyz until it answers, returning the status.
+func readyzStatus(t *testing.T, base string) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/readyz")
+		if err == nil {
+			resp.Body.Close()
+			return resp.StatusCode
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("readyz never answered")
+	return 0
+}
+
+// TestRunDrainsOnSIGTERM exercises the graceful-drain sequence: after
+// SIGTERM the readyz probe must flip to 503 while the HTTP listener is
+// still answering (the drain grace), the process must exit cleanly, and
+// the final checkpoint frame must be on disk.
+func TestRunDrainsOnSIGTERM(t *testing.T) {
+	dir := t.TempDir()
+	const streamAddr = "127.0.0.1:18097"
+	base := "http://" + streamAddr
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", 0, 2, 64, "", dir, time.Hour,
+			streamAddr, 20*time.Millisecond, 8, "", "", "", 300*time.Millisecond)
+	}()
+	if code := readyzStatus(t, base); code != http.StatusOK {
+		t.Fatalf("readyz before drain = %d, want 200", code)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within the drain grace the listener still answers: readyz must say
+	// 503 and healthz must stay 200 before run returns.
+	sawNotReady := false
+	for i := 0; i < 200; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sawNotReady {
+				t.Fatal("run returned before readyz reported 503 — listener closed before readiness flipped")
+			}
+			if frames, _ := filepath.Glob(filepath.Join(dir, "*.idck")); len(frames) == 0 {
+				t.Fatal("no final checkpoint frame written by the drain")
+			}
+			return
+		default:
+		}
+		if !sawNotReady {
+			resp, err := http.Get(base + "/v1/readyz")
+			if err == nil {
+				code := resp.StatusCode
+				resp.Body.Close()
+				if code == http.StatusServiceUnavailable {
+					sawNotReady = true
+					if hr, err := http.Get(base + "/v1/healthz"); err != nil || hr.StatusCode != http.StatusOK {
+						t.Fatalf("healthz during drain: %v %v, want 200", err, statusOf(hr))
+					} else {
+						hr.Body.Close()
+					}
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("server did not exit after SIGTERM")
+}
+
+func statusOf(r *http.Response) string {
+	if r == nil {
+		return "(no response)"
+	}
+	return fmt.Sprint(r.StatusCode)
+}

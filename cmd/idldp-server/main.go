@@ -33,10 +33,20 @@
 // observed arrival rate between the two bounds, shedding load once
 // saturated at max.
 //
+// Shutdown is a graceful drain: on SIGINT/SIGTERM the server first flips
+// readiness off (GET /v1/readyz answers 503) and refuses new external
+// reports — HTTP ingest returns 429 + Retry-After, acked gob-TCP frames
+// get shed acks — while every listener keeps answering for -drain-grace
+// so load balancers and retrying clients observe the pushback instead of
+// a connection reset. It then flushes the batcher pools, writes the
+// final checkpoint frame, pushes the final resync upstream (when
+// announcing), and exits. GET /v1/healthz stays 200 throughout the
+// drain: the process is alive, just not accepting work.
+//
 // Usage:
 //
 //	idldp-server [-addr 127.0.0.1:7070] [-duration 30s] [-shards 0] [-batch-size 256]
-//	             [-adaptive-batch MIN,MAX]
+//	             [-adaptive-batch MIN,MAX] [-drain-grace 500ms]
 //	             [-checkpoint-dir DIR] [-checkpoint-interval 10s]
 //	             [-stream 127.0.0.1:8080] [-stream-interval 1s] [-window 60]
 //	             [-announce tcp://HOST:PORT] [-fleet-token TOKEN] [-node-name NAME]
@@ -78,10 +88,11 @@ func main() {
 		announceTarget = flag.String("announce", "", "merger control-plane target to push to (tcp://host:port or http://host:port)")
 		fleetToken     = flag.String("fleet-token", "", "shared fleet token: signs announcements and gates snapshot reads")
 		nodeName       = flag.String("node-name", "", "fleet-wide node identity (default: the listen address)")
+		drainGrace     = flag.Duration("drain-grace", 500*time.Millisecond, "how long to keep answering (with 429/shed pushback) after readiness flips off on shutdown")
 	)
 	flag.Parse()
 	if err := run(*addr, *duration, *shards, *batchSize, *adaptive, *ckptDir, *ckptInterval,
-		*streamAddr, *streamInterval, *window, *announceTarget, *fleetToken, *nodeName); err != nil {
+		*streamAddr, *streamInterval, *window, *announceTarget, *fleetToken, *nodeName, *drainGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-server:", err)
 		os.Exit(1)
 	}
@@ -106,7 +117,8 @@ func parseAdaptive(spec string) (min, max int, err error) {
 }
 
 func run(addr string, duration time.Duration, shards, batchSize int, adaptive, ckptDir string, ckptInterval time.Duration,
-	streamAddr string, streamInterval time.Duration, window int, announceTarget, fleetToken, nodeName string) error {
+	streamAddr string, streamInterval time.Duration, window int, announceTarget, fleetToken, nodeName string,
+	drainGrace time.Duration) error {
 	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
 	if err != nil {
 		return err
@@ -204,6 +216,19 @@ func run(addr string, duration time.Duration, shards, batchSize int, adaptive, c
 		<-stop
 	}
 
+	// Graceful drain, phase 1: flip readiness off and refuse new external
+	// reports BEFORE any listener stops. /v1/readyz answers 503, HTTP
+	// ingest answers 429 + Retry-After, acked gob-TCP frames get shed
+	// acks — but every socket still answers, so load balancers and
+	// retrying clients observe pushback instead of connection resets.
+	// Internal flushes (batcher pools, the final checkpoint) still land.
+	sink.BeginDrain()
+	fmt.Println("draining: readiness off, refusing new reports (429 / shed acks)")
+	if drainGrace > 0 {
+		time.Sleep(drainGrace)
+	}
+
+	// Phase 2: flush, checkpoint, resync, exit.
 	if handler != nil {
 		// Flush the HTTP handler's pooled batchers (and drain the shared
 		// runtime) before the final read, so reports POSTed over HTTP but

@@ -7,11 +7,15 @@
 //
 // Mid-campaign the demo kills and restores one durable node (checkpoint
 // restore + re-register + full resync) and restarts one mid-tier merger
-// (checkpointed member state + nodes reconnecting on their own). The
-// top tier's final counts are still bit-for-bit identical to a single
-// flat collector that ingested every report — per-bit counts are
-// order-independent integer sums, and every failure mode funnels into
-// "new session, full cumulative resync first".
+// (checkpointed member state + nodes reconnecting on their own). On top
+// of the scripted failures, every node->mid control-plane conn runs
+// through a deterministic fault injector (internal/faultinject): added
+// latency, mid-frame resets, corrupted frames, and forced errors fire
+// from a fixed seed throughout the campaign. The top tier's final
+// counts are still bit-for-bit identical to a single flat collector
+// that ingested every report — per-bit counts are order-independent
+// integer sums, and every failure mode funnels into "new session, full
+// cumulative resync first".
 //
 // Run: go run ./examples/tiered-fleet
 package main
@@ -21,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net"
 	"os"
 	"time"
 
@@ -28,6 +33,7 @@ import (
 	"idldp/internal/budget"
 	"idldp/internal/core"
 	"idldp/internal/dist"
+	"idldp/internal/faultinject"
 	"idldp/internal/registry"
 	"idldp/internal/rng"
 	"idldp/internal/server"
@@ -39,7 +45,19 @@ const (
 	mids        = 2
 	usersPer    = 15000
 	fleetToken  = "tiered-demo-token"
+	faultSeed   = 7 // fixed: the demo replays the same fault sequence every run
 )
+
+// chaos owns the demo-wide fault injector; nodeSite arms one site per
+// node dial so each node suffers an independent, reproducible sequence.
+var chaos = faultinject.New(faultSeed)
+
+func nodeSite(name string) *faultinject.Site {
+	return chaos.Site(name+"/dial", faultinject.Schedule{
+		Latency: 0.10, LatencyMin: time.Millisecond, LatencyMax: 4 * time.Millisecond,
+		Reset: 0.04, Corrupt: 0.04, Error: 0.04, Budget: 25,
+	})
+}
 
 func main() {
 	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
@@ -246,6 +264,9 @@ func main() {
 		exact = exact && counts[i] == c
 	}
 	fmt.Printf("\ntop-tier merge: n=%d, bit-for-bit identical to one flat collector: %v\n", n, exact)
+	fc := chaos.Counts()
+	fmt.Printf("fault injector (seed %d): survived %d latencies, %d resets, %d torn writes, %d corruptions, %d forced errors\n",
+		faultSeed, fc.Latencies, fc.Resets, fc.TornWrites, fc.Corruptions, fc.Errors)
 	if !exact {
 		os.Exit(1)
 	}
@@ -292,12 +313,21 @@ func waitUntil(what string, cond func() bool) {
 	}
 }
 
-// announceNode starts a node's control-plane loop against a mid tier.
+// announceNode starts a node's control-plane loop against a mid tier,
+// dialing through the node's fault-injection site: resets, corrupted
+// frames, and forced errors all funnel into reconnect + full resync, so
+// they cost retries but never exactness.
 func announceNode(sink *server.Server, name, midAddr string, auth *registry.Authenticator, bits int) *registry.Announcer {
+	site := nodeSite(name)
 	ann, err := registry.Announce(registry.AnnounceConfig{
 		Name: name, Bits: bits, Kind: "node", Auth: auth,
 		Dial: func(ctx context.Context) (registry.Conn, error) {
-			return transport.DialRegistry(ctx, midAddr)
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, "tcp", midAddr)
+			if err != nil {
+				return nil, err
+			}
+			return transport.NewRegistryConn(site.WrapConn(conn)), nil
 		},
 		Subscribe: sink.Subscribe,
 		Backoff:   30 * time.Millisecond,

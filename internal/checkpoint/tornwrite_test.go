@@ -1,0 +1,94 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"idldp/internal/faultinject"
+)
+
+// newestFrame returns the path of the newest .idck frame in dir.
+func newestFrame(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.idck"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no checkpoint frames in %s (err=%v)", dir, err)
+	}
+	sort.Strings(names) // zero-padded seq: lexicographic == numeric
+	return names[len(names)-1]
+}
+
+// saveTwo writes two frames with distinct states and returns the dir,
+// the older (good) state, and the newest frame's path.
+func saveTwo(t *testing.T) (dir string, goodCounts []int64, goodN int64, newest string) {
+	t.Helper()
+	dir = t.TempDir()
+	st, err := NewStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodCounts, goodN = []int64{5, 0, 3, 2}, 7
+	if _, err := st.Save(append([]int64(nil), goodCounts...), goodN); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save([]int64{9, 1, 4, 4}, 11); err != nil {
+		t.Fatal(err)
+	}
+	return dir, goodCounts, goodN, newestFrame(t, dir)
+}
+
+func assertFallsBack(t *testing.T, dir string, goodCounts []int64, goodN int64) {
+	t.Helper()
+	snap, ok, err := Latest(dir)
+	if err != nil || !ok {
+		t.Fatalf("Latest after mangling newest frame: ok=%v err=%v", ok, err)
+	}
+	if snap.N != goodN {
+		t.Fatalf("fell back to n=%d, want %d", snap.N, goodN)
+	}
+	for i, c := range goodCounts {
+		if snap.Counts[i] != c {
+			t.Fatalf("fallback counts[%d] = %d, want %d (not bit-exact)", i, snap.Counts[i], c)
+		}
+	}
+}
+
+func TestLatestFallsBackAfterTornTail(t *testing.T) {
+	// A crash mid-write leaves the newest frame missing its tail (the
+	// trailing CRC goes first). Latest must skip it and recover the
+	// previous frame bit-exactly.
+	dir, counts, n, newest := saveTwo(t)
+	if err := faultinject.TruncateTail(newest, 3); err != nil {
+		t.Fatal(err)
+	}
+	assertFallsBack(t, dir, counts, n)
+}
+
+func TestLatestFallsBackAfterCorruptByte(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		off  int64
+	}{
+		{"payload", 20}, // inside the counts region
+		{"crc", -1},     // last byte of the trailing checksum
+		{"header", 5},   // version/reserved region
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, counts, n, newest := saveTwo(t)
+			if err := faultinject.CorruptByte(newest, tc.off); err != nil {
+				t.Fatal(err)
+			}
+			assertFallsBack(t, dir, counts, n)
+		})
+	}
+}
+
+func TestLatestFallsBackAfterTruncationToNothing(t *testing.T) {
+	dir, counts, n, newest := saveTwo(t)
+	if err := os.Truncate(newest, 0); err != nil {
+		t.Fatal(err)
+	}
+	assertFallsBack(t, dir, counts, n)
+}

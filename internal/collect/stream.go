@@ -1,0 +1,112 @@
+package collect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"idldp/internal/bitvec"
+	"idldp/internal/flow"
+	"idldp/internal/rng"
+	"idldp/internal/server"
+)
+
+// StreamOptions tunes a flow-controlled streaming run.
+type StreamOptions struct {
+	Options
+	// Policy is the retry schedule for pushed-back flushes (zero value
+	// selects flow defaults).
+	Policy flow.Policy
+}
+
+// isPushback reports whether err is the sink's flow-control signal.
+func isPushback(err error) bool {
+	return errors.Is(err, server.ErrSaturated) || errors.Is(err, server.ErrDraining)
+}
+
+// StreamInto perturbs all single-item users and streams the reports
+// into an externally-owned sink with shed-aware flow control. Unlike
+// RunSingle — which owns a private sink that can always absorb its own
+// load — StreamInto targets a shared runtime that may be saturated or
+// draining: each worker feeds a reject-mode Batcher whose pushed-back
+// flushes are retried under the policy with full-jitter backoff, so an
+// overloaded sink delays the run instead of silently dropping reports.
+// Every report is delivered exactly once (a pushed-back batch stays
+// pending and only the flush is retried). The sink is NOT closed or
+// drained; the caller owns its lifecycle. Returns the merged
+// flow-control stats so harnesses can report sheds/retries/backoff.
+func StreamInto(ctx context.Context, items []int, bits int, perturb PerturbItemIntoFunc, sink *server.Server, o StreamOptions) (flow.Stats, error) {
+	var total flow.Stats
+	if bits <= 0 {
+		return total, fmt.Errorf("collect: report length %d must be positive", bits)
+	}
+	if sink.Bits() != bits {
+		return total, fmt.Errorf("collect: sink has %d bits, mechanism has %d", sink.Bits(), bits)
+	}
+	n := len(items)
+	if n == 0 {
+		return total, nil
+	}
+	workers := o.workers()
+	if workers > n {
+		workers = n
+	}
+	policy := o.Policy.WithDefaults()
+	root := rng.New(o.Seed)
+	errs := make([]error, workers)
+	stats := make([]flow.Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b := sink.NewRejectBatcher()
+			buf := bitvec.New(bits)
+			ur := rng.New(0)
+			// Jitter streams are split per worker so backoffs
+			// de-correlate while staying reproducible for a fixed seed.
+			jitter := flow.NewRand(o.Seed ^ (uint64(w+1) * 0x9e3779b97f4a7c15))
+			// retryFlush backs off and re-flushes after a pushback. The
+			// pending batch already holds every folded report, so ONLY the
+			// flush is retried — re-Adding would double-count.
+			retryFlush := func() error {
+				return flow.Do(ctx, policy, jitter, &stats[w], func(context.Context) (bool, error) {
+					err := b.Flush()
+					return isPushback(err), err
+				})
+			}
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			for u := lo; u < hi; u++ {
+				root.SplitNInto(u, ur)
+				perturb(items[u], ur, buf)
+				err := b.Add(buf)
+				if isPushback(err) {
+					err = retryFlush()
+				}
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if ctx.Err() != nil {
+					errs[w] = ctx.Err()
+					return
+				}
+			}
+			err := b.Flush()
+			if isPushback(err) {
+				err = retryFlush()
+			}
+			errs[w] = err
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		total.Merge(stats[w])
+		if errs[w] != nil {
+			return total, errs[w]
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,92 @@
+package collect
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"idldp/internal/bitvec"
+	"idldp/internal/flow"
+	"idldp/internal/rng"
+	"idldp/internal/server"
+)
+
+// passthrough encodes the item as a one-hot report — deterministic, so
+// delivery exactness shows up directly in the counts.
+func passthrough(item int, _ *rng.Source, out *bitvec.Vector) {
+	out.Zero()
+	out.Set(item)
+}
+
+func TestStreamIntoDeliversExactlyOnceUnderSaturation(t *testing.T) {
+	const bits = 8
+	const users = 400
+	items := make([]int, users)
+	for i := range items {
+		items[i] = i % bits
+	}
+	sink, err := server.New(bits, server.WithShards(2), server.WithBatchSize(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	sink.ForceSaturation(true)
+
+	done := make(chan struct{})
+	var st flow.Stats
+	var serr error
+	go func() {
+		defer close(done)
+		st, serr = StreamInto(context.Background(), items, bits, passthrough, sink, StreamOptions{
+			Options: Options{Workers: 3, Seed: 42},
+			Policy:  flow.Policy{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Attempts: 500},
+		})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	sink.ForceSaturation(false)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("StreamInto did not converge after pressure cleared")
+	}
+	if serr != nil {
+		t.Fatalf("StreamInto: %v", serr)
+	}
+	if st.Sheds == 0 {
+		t.Fatal("no sheds observed while the sink was saturated")
+	}
+
+	counts, n := sink.Snapshot()
+	if n != users {
+		t.Fatalf("n = %d, want %d — reports lost or duplicated across retries", n, users)
+	}
+	for b := 0; b < bits; b++ {
+		if counts[b] != users/bits {
+			t.Fatalf("counts[%d] = %d, want %d", b, counts[b], users/bits)
+		}
+	}
+	if shed := sink.Stats().ShedReports; shed != 0 {
+		t.Fatalf("silent ShedReports = %d on the flow-controlled path, want 0", shed)
+	}
+}
+
+func TestStreamIntoExhaustsUnderDrain(t *testing.T) {
+	const bits = 4
+	sink, err := server.New(bits, server.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	sink.BeginDrain()
+	items := []int{0, 1, 2, 3}
+	_, serr := StreamInto(context.Background(), items, bits, passthrough, sink, StreamOptions{
+		Options: Options{Workers: 1, Seed: 1},
+		Policy:  flow.Policy{Base: time.Millisecond, Max: 2 * time.Millisecond, Attempts: 3},
+	})
+	if serr == nil {
+		t.Fatal("StreamInto succeeded against a draining sink")
+	}
+	if _, n := sink.Snapshot(); n != 0 {
+		t.Fatalf("draining sink folded %d reports", n)
+	}
+}

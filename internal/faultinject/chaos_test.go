@@ -1,0 +1,282 @@
+package faultinject_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"idldp/internal/agg"
+	"idldp/internal/bitvec"
+	"idldp/internal/faultinject"
+	"idldp/internal/registry"
+	"idldp/internal/rng"
+	"idldp/internal/server"
+	"idldp/internal/transport"
+)
+
+// TestChaosTieredFleetBitExact is the chaos suite's centerpiece: the full
+// tiered topology (4 nodes -> 2 mid mergers -> 1 top merger) pushed
+// through a hostile control plane — every node->mid dial and the top
+// tier's accept path inject latency, mid-frame resets, corrupted frames,
+// and forced errors from a fixed seed — and the top tier's merged counts
+// must still be bit-for-bit identical to a flat collector that ingested
+// every report. The guarantees under test: HMAC rejection surfaces every
+// corrupted frame as a session error, and every new session starts with
+// a full cumulative resync, so no fault can double-count or lose a
+// report. Budgets bound the total faults so the run terminates.
+func TestChaosTieredFleetBitExact(t *testing.T) {
+	const (
+		bits        = 16
+		nodesPerMid = 2
+		mids        = 2
+		usersPer    = 400
+		seed        = 7 // fixed: CI replays this exact fault sequence
+	)
+	inj := faultinject.New(seed)
+	auth, err := registry.NewAuthenticator("chaos-token")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flat reference: one aggregator that sees every report.
+	reference := agg.New(bits)
+
+	// Top tier, accepting through a fault-injected listener.
+	top, err := registry.New(bits, registry.WithAuth(auth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer top.Close()
+	topLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topSite := inj.Site("top/accept", faultinject.Schedule{
+		Latency: 0.10, LatencyMin: time.Millisecond, LatencyMax: 3 * time.Millisecond,
+		Reset: 0.03, Corrupt: 0.03, Budget: 40,
+	})
+	topSrv := transport.ServeRegistryListener(topSite.WrapListener(topLis), top)
+	defer topSrv.Close()
+
+	// chaosDial wraps every outbound control-plane conn in a named site.
+	chaosDial := func(site *faultinject.Site, addr string) func(context.Context) (registry.Conn, error) {
+		return func(ctx context.Context) (registry.Conn, error) {
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return transport.NewRegistryConn(site.WrapConn(conn)), nil
+		}
+	}
+
+	// Mid tier: two mergers announcing upstream through faulty dials.
+	type midTier struct {
+		reg *registry.Registry
+		srv *transport.RegistryServer
+		up  *registry.Announcer
+	}
+	var tier []*midTier
+	for m := 0; m < mids; m++ {
+		reg, err := registry.New(bits, registry.WithAuth(auth), registry.WithHeartbeat(100*time.Millisecond, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := transport.ServeRegistry("127.0.0.1:0", reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		site := inj.Site(fmt.Sprintf("mid-%d/upstream", m), faultinject.Schedule{
+			Latency: 0.15, LatencyMin: time.Millisecond, LatencyMax: 3 * time.Millisecond,
+			Reset: 0.05, Corrupt: 0.05, Error: 0.05, Budget: 30,
+		})
+		up, err := registry.Announce(registry.AnnounceConfig{
+			Name: fmt.Sprintf("mid-%d", m), Bits: bits, Kind: "merger", Auth: auth,
+			Dial: chaosDial(site, topSrv.Addr()), Subscribe: reg.Subscribe,
+			Backoff: 5 * time.Millisecond, MaxBackoff: 40 * time.Millisecond,
+			BackoffSeed: uint64(1000 + m),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tier = append(tier, &midTier{reg: reg, srv: srv, up: up})
+	}
+	defer func() {
+		for _, mt := range tier {
+			mt.up.Close()
+			mt.srv.Close()
+			mt.reg.Close()
+		}
+	}()
+
+	// Nodes: streaming collectors announcing to their mid through the
+	// hottest fault sites on the board.
+	type nodeProc struct {
+		sink *server.Server
+		ann  *registry.Announcer
+	}
+	var nodes []*nodeProc
+	for m := 0; m < mids; m++ {
+		for k := 0; k < nodesPerMid; k++ {
+			i := m*nodesPerMid + k
+			sink, err := server.New(bits, server.WithShards(2), server.WithStream(15*time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			site := inj.Site(fmt.Sprintf("node-%d/dial", i), faultinject.Schedule{
+				Latency: 0.15, LatencyMin: time.Millisecond, LatencyMax: 4 * time.Millisecond,
+				Reset: 0.08, TornWrite: 0.04, Corrupt: 0.08, Error: 0.05, Budget: 35,
+			})
+			ann, err := registry.Announce(registry.AnnounceConfig{
+				Name: fmt.Sprintf("node-%d", i), Bits: bits, Kind: "node", Auth: auth,
+				Dial: chaosDial(site, tier[m].srv.Addr()), Subscribe: sink.Subscribe,
+				Backoff: 5 * time.Millisecond, MaxBackoff: 40 * time.Millisecond,
+				BackoffSeed: uint64(2000 + i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, &nodeProc{sink: sink, ann: ann})
+		}
+	}
+
+	// Feed every node while the faults fire: deterministic per-user
+	// reports mirrored into the flat reference.
+	for i, np := range nodes {
+		b := np.sink.NewBatcher()
+		buf := bitvec.New(bits)
+		r := rng.New(uint64(100 + i))
+		ur := rng.New(0)
+		for u := 0; u < usersPer; u++ {
+			r.SplitNInto(u, ur)
+			buf.Zero()
+			for bit := 0; bit < bits; bit++ {
+				if ur.Float64() < 0.3 {
+					buf.Set(bit)
+				}
+			}
+			reference.Add(buf)
+			if err := b.Add(buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Drain: close every node so its announcer pushes the final resync;
+	// remaining fault budget may kill sessions mid-drain, forcing yet
+	// more resyncs — all of which must land on the same exact state.
+	for i, np := range nodes {
+		if err := np.sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-np.ann.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatalf("node-%d final state never delivered through the chaos", i)
+		}
+		np.ann.Close()
+	}
+	wantN := reference.N()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, n := top.Counts(); n == wantN {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, n := top.Counts()
+			t.Fatalf("top tier stuck at n=%d, want %d", n, wantN)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	counts, n := top.Counts()
+	if n != wantN {
+		t.Fatalf("top-tier n = %d, want %d", n, wantN)
+	}
+	for i, c := range reference.Counts() {
+		if counts[i] != c {
+			t.Fatalf("counts[%d] = %d, want %d — tiered merge not bit-identical under faults", i, counts[i], c)
+		}
+	}
+
+	// The run must have been genuinely hostile, or this test proves
+	// nothing: assert the injector actually fired across fault classes.
+	fc := inj.Counts()
+	t.Logf("injected faults: %+v (total %d)", fc, fc.Total())
+	if fc.Total() == 0 {
+		t.Fatal("fault injector never fired — schedules too timid for this topology")
+	}
+	if fc.Resets+fc.Corruptions+fc.Errors+fc.TornWrites == 0 {
+		t.Fatal("only latency was injected — no structural faults exercised")
+	}
+}
+
+// TestChaosAnnouncerSurvivesForcedErrors pins the simplest chaos
+// contract on one link: a node whose every third dial round-trip fails
+// still converges to exact delivery, and the injected-error count shows
+// up in the site's ledger.
+func TestChaosAnnouncerSurvivesForcedErrors(t *testing.T) {
+	const bits = 8
+	inj := faultinject.New(11)
+	site := inj.Site("single/dial", faultinject.Schedule{Error: 0.3, Budget: 10})
+	reg, err := registry.New(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	srv, err := transport.ServeRegistry("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sink, err := server.New(bits, server.WithShards(1), server.WithStream(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := registry.Announce(registry.AnnounceConfig{
+		Name: "lonely", Bits: bits, Kind: "node",
+		Dial: func(ctx context.Context) (registry.Conn, error) {
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, "tcp", srv.Addr())
+			if err != nil {
+				return nil, err
+			}
+			return transport.NewRegistryConn(site.WrapConn(conn)), nil
+		},
+		Subscribe: sink.Subscribe,
+		Backoff:   2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond, BackoffSeed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ann.Close()
+
+	b := sink.NewBatcher()
+	v := bitvec.New(bits)
+	v.Set(2)
+	for i := 0; i < 50; i++ {
+		if err := b.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ann.Done():
+	case <-time.After(20 * time.Second):
+		t.Fatal("final state never delivered past the forced errors")
+	}
+	counts, n := reg.Counts()
+	if n != 50 || counts[2] != 50 {
+		t.Fatalf("merged state counts=%v n=%d, want counts[2]=50 n=50", counts, n)
+	}
+}

@@ -1,0 +1,344 @@
+// Package faultinject is a deterministic, seed-driven fault injector
+// for exercising the collector's bit-exactness claims under failure.
+// An Injector owns named Sites; each Site wraps net.Conns, listeners,
+// or HTTP handlers and injects faults — added latency, connection
+// resets mid-frame, partial (torn) writes, corrupted bytes, forced
+// errors — according to a per-site probability Schedule drawn from a
+// splitmix64 stream, so a fixed seed replays the exact same failure
+// sequence run after run (including under -race in CI).
+//
+// Sites keep budgets and counters: a Budget bounds how many faults a
+// site may inject (so chaos tests terminate), Disarm turns a site off
+// mid-run, and Counts reports what was actually injected so tests can
+// assert the run was genuinely hostile.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"idldp/internal/rng"
+)
+
+// ErrInjected marks every error produced by the injector, so tests and
+// retry loops can tell deliberate faults from real ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Schedule is a site's per-operation fault probabilities. Each wrapped
+// write (and, for Reset/Latency, read) rolls each class independently;
+// the first class that fires is injected. All zero means pass-through.
+type Schedule struct {
+	// Latency is the probability of delaying an op by a uniform draw
+	// from [LatencyMin, LatencyMax].
+	Latency                float64
+	LatencyMin, LatencyMax time.Duration
+	// Reset is the probability of closing the underlying conn and
+	// returning an injected error — a mid-frame connection reset.
+	Reset float64
+	// TornWrite is the probability of writing only a prefix of the
+	// buffer, then closing the conn — a partial frame on the wire.
+	TornWrite float64
+	// Corrupt is the probability of flipping one byte of the buffer
+	// before writing it in full — a corrupt frame that decodes or
+	// checksums wrong on the far side.
+	Corrupt float64
+	// Error is the probability of failing the op outright without
+	// touching the conn.
+	Error float64
+	// Budget caps the total faults this site injects; <= 0 means
+	// unlimited. Latency injections count against it too.
+	Budget int
+}
+
+// Counts reports what a site actually injected.
+type Counts struct {
+	Latencies, Resets, TornWrites, Corruptions, Errors int
+}
+
+// Total sums all injected faults.
+func (c Counts) Total() int {
+	return c.Latencies + c.Resets + c.TornWrites + c.Corruptions + c.Errors
+}
+
+// Injector owns a family of deterministic fault sites. Each site's
+// randomness is split from the injector seed by site name, so adding a
+// site never perturbs another site's fault sequence.
+type Injector struct {
+	seed  uint64
+	mu    sync.Mutex
+	sites map[string]*Site
+}
+
+// New returns an injector whose sites replay deterministically for the
+// seed.
+func New(seed uint64) *Injector {
+	return &Injector{seed: seed, sites: make(map[string]*Site)}
+}
+
+// Site creates (or re-arms) the named site with the schedule.
+func (in *Injector) Site(name string, sched Schedule) *Site {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s, ok := in.sites[name]
+	if !ok {
+		s = &Site{name: name, rng: rng.New(in.seed ^ hashName(name))}
+		in.sites[name] = s
+	}
+	s.mu.Lock()
+	s.sched = sched
+	s.armed = true
+	s.mu.Unlock()
+	return s
+}
+
+// Counts sums injected-fault counts across all sites.
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var total Counts
+	for _, s := range in.sites {
+		c := s.Counts()
+		total.Latencies += c.Latencies
+		total.Resets += c.Resets
+		total.TornWrites += c.TornWrites
+		total.Corruptions += c.Corruptions
+		total.Errors += c.Errors
+	}
+	return total
+}
+
+// hashName is FNV-1a, inlined to keep the package dependency-free.
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Site is one injection point — typically one logical link (e.g.
+// "node-0→mid-0") or one surface ("ingest-http").
+type Site struct {
+	name string
+
+	mu     sync.Mutex
+	sched  Schedule
+	rng    *rng.Source
+	armed  bool
+	counts Counts
+}
+
+// Disarm turns the site off; wrapped conns and handlers pass through
+// from then on. Used to bound chaos before asserting convergence.
+func (s *Site) Disarm() {
+	s.mu.Lock()
+	s.armed = false
+	s.mu.Unlock()
+}
+
+// Counts reports what this site injected so far.
+func (s *Site) Counts() Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts
+}
+
+// fault is one drawn injection decision.
+type fault struct {
+	kind  int // 0 none, 1 latency, 2 reset, 3 torn, 4 corrupt, 5 error
+	delay time.Duration
+	// tornAt / corruptAt are fractions of the buffer length.
+	tornAt, corruptAt float64
+}
+
+const (
+	fNone = iota
+	fLatency
+	fReset
+	fTorn
+	fCorrupt
+	fError
+)
+
+// draw rolls the schedule once. write selects the write-only classes
+// (torn writes and corruption need a buffer to mangle).
+func (s *Site) draw(write bool) fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.armed {
+		return fault{}
+	}
+	if s.sched.Budget > 0 && s.counts.Total() >= s.sched.Budget {
+		return fault{}
+	}
+	roll := func(p float64) bool { return p > 0 && s.rng.Float64() < p }
+	switch {
+	case roll(s.sched.Latency):
+		s.counts.Latencies++
+		span := s.sched.LatencyMax - s.sched.LatencyMin
+		d := s.sched.LatencyMin
+		if span > 0 {
+			d += time.Duration(s.rng.Float64() * float64(span))
+		}
+		return fault{kind: fLatency, delay: d}
+	case roll(s.sched.Reset):
+		s.counts.Resets++
+		return fault{kind: fReset}
+	case write && roll(s.sched.TornWrite):
+		s.counts.TornWrites++
+		return fault{kind: fTorn, tornAt: s.rng.Float64()}
+	case write && roll(s.sched.Corrupt):
+		s.counts.Corruptions++
+		return fault{kind: fCorrupt, corruptAt: s.rng.Float64()}
+	case roll(s.sched.Error):
+		s.counts.Errors++
+		return fault{kind: fError}
+	}
+	return fault{}
+}
+
+// errAt wraps ErrInjected with the site and fault class.
+func (s *Site) errAt(class string) error {
+	return fmt.Errorf("%w: %s at %s", ErrInjected, class, s.name)
+}
+
+// WrapConn interposes the site on a connection. Writes may be delayed,
+// torn, corrupted, reset, or failed; reads may be delayed or reset.
+func (s *Site) WrapConn(c net.Conn) net.Conn {
+	return &conn{Conn: c, site: s}
+}
+
+// WrapListener interposes the site on every accepted connection.
+func (s *Site) WrapListener(l net.Listener) net.Listener {
+	return &listener{Listener: l, site: s}
+}
+
+type listener struct {
+	net.Listener
+	site *Site
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.site.WrapConn(c), nil
+}
+
+type conn struct {
+	net.Conn
+	site *Site
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	switch f := c.site.draw(true); f.kind {
+	case fLatency:
+		time.Sleep(f.delay)
+	case fReset:
+		c.Conn.Close()
+		return 0, c.site.errAt("reset")
+	case fTorn:
+		n := int(f.tornAt * float64(len(b)))
+		if n >= len(b) && len(b) > 0 {
+			n = len(b) - 1
+		}
+		if n > 0 {
+			c.Conn.Write(b[:n])
+		}
+		c.Conn.Close()
+		return n, c.site.errAt("torn write")
+	case fCorrupt:
+		if len(b) > 0 {
+			mangled := make([]byte, len(b))
+			copy(mangled, b)
+			mangled[int(f.corruptAt*float64(len(b)))%len(b)] ^= 0xff
+			return c.Conn.Write(mangled)
+		}
+	case fError:
+		return 0, c.site.errAt("write error")
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	switch f := c.site.draw(false); f.kind {
+	case fLatency:
+		time.Sleep(f.delay)
+	case fReset:
+		c.Conn.Close()
+		return 0, c.site.errAt("reset")
+	case fError:
+		return 0, c.site.errAt("read error")
+	}
+	return c.Conn.Read(b)
+}
+
+// Middleware interposes the site on an HTTP handler: latency delays
+// the request, reset hijacks and severs the underlying connection,
+// everything else fails the request with 500 before the handler runs.
+func (s *Site) Middleware(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch f := s.draw(false); f.kind {
+		case fLatency:
+			time.Sleep(f.delay)
+		case fReset:
+			if hj, ok := w.(http.Hijacker); ok {
+				if c, _, err := hj.Hijack(); err == nil {
+					c.Close()
+					return
+				}
+			}
+			http.Error(w, s.errAt("reset").Error(), http.StatusInternalServerError)
+			return
+		case fError:
+			http.Error(w, s.errAt("handler error").Error(), http.StatusInternalServerError)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// TruncateTail chops the last n bytes off the file — a torn write that
+// lost the frame's tail (trailer CRC first).
+func TruncateTail(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := fi.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// CorruptByte XORs one byte of the file with 0xff. Negative offsets
+// count back from the end (-1 is the last byte).
+func CorruptByte(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if off < 0 {
+		fi, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		off += fi.Size()
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 0xff
+	_, err = f.WriteAt(b[:], off)
+	return err
+}

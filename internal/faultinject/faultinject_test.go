@@ -1,0 +1,200 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// pipePair returns a connected in-memory pair.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestDeterministicFaultSequence(t *testing.T) {
+	sched := Schedule{Reset: 0.3, TornWrite: 0.2, Corrupt: 0.1, Error: 0.1}
+	seq := func(seed uint64) []int {
+		s := New(seed).Site("link", sched)
+		kinds := make([]int, 0, 64)
+		for i := 0; i < 64; i++ {
+			kinds = append(kinds, s.draw(true).kind)
+		}
+		return kinds
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := seq(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestSiteIndependence(t *testing.T) {
+	// Drawing on one site must not perturb another site's sequence.
+	sched := Schedule{Reset: 0.5}
+	in1 := New(9)
+	s1 := in1.Site("a", sched)
+	ref := make([]int, 32)
+	for i := range ref {
+		ref[i] = s1.draw(true).kind
+	}
+	in2 := New(9)
+	sa, sb := in2.Site("a", sched), in2.Site("b", sched)
+	for i := range ref {
+		sb.draw(true) // interleave draws on the other site
+		if got := sa.draw(true).kind; got != ref[i] {
+			t.Fatalf("site a perturbed by site b at draw %d", i)
+		}
+	}
+}
+
+func TestBudgetBoundsInjection(t *testing.T) {
+	s := New(1).Site("x", Schedule{Error: 1, Budget: 5})
+	injected := 0
+	for i := 0; i < 100; i++ {
+		if s.draw(true).kind != fNone {
+			injected++
+		}
+	}
+	if injected != 5 {
+		t.Fatalf("injected %d faults, budget was 5", injected)
+	}
+	if got := s.Counts().Total(); got != 5 {
+		t.Fatalf("Counts().Total() = %d, want 5", got)
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	s := New(1).Site("x", Schedule{Error: 1})
+	if s.draw(true).kind == fNone {
+		t.Fatal("armed site with p=1 injected nothing")
+	}
+	s.Disarm()
+	for i := 0; i < 20; i++ {
+		if s.draw(true).kind != fNone {
+			t.Fatal("disarmed site injected a fault")
+		}
+	}
+}
+
+func TestWrapConnForcedError(t *testing.T) {
+	a, _ := pipePair(t)
+	s := New(1).Site("werr", Schedule{Error: 1, Budget: 1})
+	wc := s.WrapConn(a)
+	if _, err := wc.Write([]byte("hello")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+}
+
+func TestWrapConnTornWrite(t *testing.T) {
+	a, b := pipePair(t)
+	s := New(3).Site("torn", Schedule{TornWrite: 1, Budget: 1})
+	wc := s.WrapConn(a)
+	go func() {
+		wc.Write([]byte("0123456789"))
+	}()
+	buf := make([]byte, 16)
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _ := b.Read(buf)
+	if n >= 10 {
+		t.Fatalf("torn write delivered the full %d-byte buffer", n)
+	}
+	// After the tear the conn is closed: the peer sees EOF.
+	if _, err := b.Read(buf); err != io.EOF && err != io.ErrClosedPipe {
+		t.Fatalf("want EOF after torn write, got %v", err)
+	}
+	if got := s.Counts().TornWrites; got != 1 {
+		t.Fatalf("TornWrites = %d, want 1", got)
+	}
+}
+
+func TestWrapConnCorrupt(t *testing.T) {
+	a, b := pipePair(t)
+	s := New(5).Site("corrupt", Schedule{Corrupt: 1, Budget: 1})
+	wc := s.WrapConn(a)
+	msg := []byte("abcdefgh")
+	go wc.Write(msg)
+	buf := make([]byte, len(msg))
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	diff := 0
+	for i := range msg {
+		if buf[i] != msg[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt write changed %d bytes, want exactly 1", diff)
+	}
+	if string(msg) != "abcdefgh" {
+		t.Fatal("corruption mutated the caller's buffer")
+	}
+}
+
+func TestMiddlewareForcedError(t *testing.T) {
+	s := New(2).Site("http", Schedule{Error: 1, Budget: 1})
+	h := s.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil)) // budget spent
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status after budget = %d, want 200", rec.Code)
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frame.bin")
+	orig := []byte("0123456789abcdef")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateTail(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "0123456789ab" {
+		t.Fatalf("TruncateTail: got %q", got)
+	}
+	if err := CorruptByte(path, -1); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if got[len(got)-1] != 'b'^0xff {
+		t.Fatalf("CorruptByte(-1): last byte = %#x", got[len(got)-1])
+	}
+	if err := CorruptByte(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if got[0] != '0'^0xff {
+		t.Fatalf("CorruptByte(0): first byte = %#x", got[0])
+	}
+}

@@ -325,6 +325,18 @@ func (f *Fleet) Poll(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
+// Ready reports whether the merger has merged state to serve: at
+// least one Poll has completed and the merged stream has not been
+// closed. It is the readiness signal idldp-merge's readyz endpoint
+// surfaces — false before the first poll lands and false again once
+// shutdown begins (Close), so load balancers route around a merger
+// that cannot answer yet or is about to exit.
+func (f *Fleet) Ready() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gen > 0 && !f.closedStream
+}
+
 // Generation returns how many Polls have completed — the merge
 // generation Estimates results are stamped with. Push-registered
 // members that deliver deltas between polls become visible to cached

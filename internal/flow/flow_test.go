@@ -1,0 +1,133 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDelayFullJitterBounds(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	r := NewRand(1)
+	for attempt := 0; attempt < 12; attempt++ {
+		window := p.Base << attempt
+		if window > p.Max || window <= 0 {
+			window = p.Max
+		}
+		for i := 0; i < 200; i++ {
+			d := p.Delay(r, attempt)
+			if d < 0 || d >= window {
+				t.Fatalf("attempt %d: delay %v outside [0, %v)", attempt, d, window)
+			}
+		}
+	}
+}
+
+func TestDelayHonorsFloor(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Max: 4 * time.Millisecond, Floor: 3 * time.Millisecond}
+	r := NewRand(2)
+	for i := 0; i < 100; i++ {
+		if d := p.Delay(r, 0); d < p.Floor {
+			t.Fatalf("delay %v below floor %v", d, p.Floor)
+		}
+	}
+}
+
+func TestDelayDeterministicPerSeed(t *testing.T) {
+	p := Policy{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond}
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 50; i++ {
+		if da, db := p.Delay(a, i%6), p.Delay(b, i%6); da != db {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Max: 10 * time.Microsecond, Attempts: 8}
+	var st Stats
+	calls := 0
+	err := Do(context.Background(), p, NewRand(3), &st, func(ctx context.Context) (bool, error) {
+		calls++
+		if calls < 4 {
+			return true, errors.New("shed")
+		}
+		return false, nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	if st.Attempts != 4 || st.Retries != 3 || st.Sheds != 3 {
+		t.Fatalf("stats = %+v, want attempts=4 retries=3 sheds=3", st)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Max: time.Microsecond, Attempts: 3}
+	var st Stats
+	shed := errors.New("busy")
+	err := Do(context.Background(), p, NewRand(4), &st, func(ctx context.Context) (bool, error) {
+		return true, shed
+	})
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if !errors.Is(err, shed) {
+		t.Fatalf("err = %v, want wrapped last pushback", err)
+	}
+	if st.Attempts != 3 || st.Sheds != 3 {
+		t.Fatalf("stats = %+v, want attempts=3 sheds=3", st)
+	}
+}
+
+func TestDoPermanentErrorStops(t *testing.T) {
+	perm := errors.New("bad request")
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 5}, NewRand(5), nil, func(ctx context.Context) (bool, error) {
+		calls++
+		return false, perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want permanent error after 1 call", err, calls)
+	}
+}
+
+func TestDoContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Base: time.Hour, Max: time.Hour, Attempts: 5}
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, p, NewRand(6), nil, func(ctx context.Context) (bool, error) {
+			return true, errors.New("shed")
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancel")
+	}
+}
+
+func TestDoPerAttemptDeadline(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Max: time.Microsecond, Attempts: 2, PerAttempt: 5 * time.Millisecond}
+	start := time.Now()
+	err := Do(context.Background(), p, NewRand(8), nil, func(ctx context.Context) (bool, error) {
+		<-ctx.Done() // op respects its per-attempt deadline
+		return true, ctx.Err()
+	})
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("took %v; per-attempt deadline not applied", elapsed)
+	}
+}

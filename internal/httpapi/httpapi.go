@@ -16,6 +16,14 @@
 //	                           returns the varpack payload instead of counts;
 //	                           HMAC-gated after RequireSnapshotAuth
 //	GET  /v1/stats             runtime metrics (server.Stats)
+//	GET  /v1/healthz           liveness: 200 while the process serves HTTP
+//	GET  /v1/readyz            readiness: 200 while new reports are admitted,
+//	                           503 while draining, saturated, or closed
+//
+// Ingest endpoints are flow-controlled: a draining or saturated runtime
+// answers 429 Too Many Requests with a Retry-After hint instead of
+// silently dropping — the client still owns the report and re-sends
+// after backing off (see internal/flow).
 //
 // A merger additionally mounts the control-plane endpoints (see
 // registry.go): POST /v1/register, /v1/heartbeat, /v1/delta and
@@ -48,6 +56,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -126,8 +135,16 @@ func NewSink(sink *server.Server, est Estimator) (*Handler, error) {
 	h.mux.HandleFunc("GET /v1/status", h.handleStatus)
 	h.mux.HandleFunc("GET /v1/snapshot", h.handleSnapshot)
 	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
+	h.mux.HandleFunc("GET /v1/healthz", handleHealthz)
+	h.mux.HandleFunc("GET /v1/readyz", h.handleReadyz)
 	return h, nil
 }
+
+// BeginDrain flips the ingestion runtime into graceful-drain mode: new
+// reports are answered 429 with Retry-After (readyz goes 503) while
+// reads and the final flush keep working. First step of the SIGTERM
+// sequence; see server.BeginDrain.
+func (h *Handler) BeginDrain() { h.sink.BeginDrain() }
 
 // RequireSnapshotAuth gates GET /v1/snapshot behind the fleet-token
 // HMAC (headers X-Idldp-Time and X-Idldp-Mac, optional X-Idldp-Node;
@@ -190,6 +207,13 @@ func (h *Handler) handleReport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, server.ErrClosed.Error())
 		return
 	}
+	// Flow control: a draining or saturated runtime pushes back with 429
+	// + Retry-After instead of silently dropping — the client still owns
+	// the report and re-sends after backing off.
+	if err := h.sink.Admit(1); err != nil {
+		writeShed(w, err)
+		return
+	}
 	body := h.bodies.Get().(*reportBody)
 	defer h.bodies.Put(body)
 	// Reset in place, keeping the words capacity: json.Unmarshal reuses
@@ -225,7 +249,10 @@ func (h *Handler) getBatcher() *lockedBatcher {
 		h.free = h.free[:n-1]
 		return lb
 	}
-	lb := &lockedBatcher{b: h.sink.NewBatcher()}
+	// Blocking mode: an accepted (202) report must never be silently
+	// shed at a later flush — overload is refused up front with 429 by
+	// the Admit gate instead.
+	lb := &lockedBatcher{b: h.sink.NewBlockingBatcher()}
 	h.batchers = append(h.batchers, lb)
 	return lb
 }
@@ -241,9 +268,14 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := decodeJSON(w, r, &body); err != nil {
 		return
 	}
+	if err := h.sink.Admit(body.N); err != nil {
+		writeShed(w, err)
+		return
+	}
 	// The sink takes ownership of the counts slice, so the batch path
 	// cannot pool its body; batching clients amortize the cost anyway.
-	if err := h.sink.AddCounts(body.Counts, body.N); err != nil {
+	// Blocking placement: the batch was admitted, so it must land.
+	if err := h.sink.AddCountsBlocking(body.Counts, body.N); err != nil {
 		httpError(w, statusFor(err), err.Error())
 		return
 	}
@@ -341,6 +373,54 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, h.sink.Stats())
 }
 
+// handleHealthz is liveness: the process is up and serving HTTP. It
+// stays 200 during drain — a draining process is alive, just not ready.
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+// handleReadyz is readiness: 200 while the collector admits new
+// reports, 503 once it is draining, saturated, or closed — the signal
+// load balancers and orchestrators use to route traffic away BEFORE
+// the listener stops.
+func (h *Handler) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	reason := ""
+	switch {
+	case h.closed.Load():
+		reason = "closed"
+	case h.sink.Draining():
+		reason = "draining"
+	case h.sink.Saturated():
+		reason = "saturated"
+	}
+	if reason != "" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": reason})
+		return
+	}
+	writeJSON(w, map[string]any{"ready": true})
+}
+
+// NewHealth returns a standalone health surface — GET /v1/healthz
+// (liveness, always 200) and GET /v1/readyz (200 while ready reports
+// true, 503 with the reason otherwise) — for processes whose main
+// handler is not an ingest Handler, like the merger daemons.
+func NewHealth(ready func() (bool, string)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ok, reason := ready(); !ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": reason})
+			return
+		}
+		writeJSON(w, map[string]any{"ready": true})
+	})
+	return mux
+}
+
 // statusFor maps ingestion errors to HTTP statuses: a closed runtime is a
 // service condition, anything else a bad request.
 func statusFor(err error) int {
@@ -363,6 +443,29 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeShed answers a pushed-back ingest request: 429 Too Many
+// Requests with a Retry-After hint (whole seconds, minimum 1, per RFC
+// 9110) plus the precise hint in the body for clients that can do
+// better than second granularity.
+func writeShed(w http.ResponseWriter, err error) {
+	retry := server.DefaultRetryAfter
+	secs := int(retry / time.Second)
+	if retry%time.Second != 0 {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error":          err.Error(),
+		"shed":           true,
+		"retry_after_ms": retry.Milliseconds(),
+	})
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

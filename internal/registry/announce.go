@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"idldp/internal/flow"
 	"idldp/internal/stream"
 	"idldp/internal/varpack"
 )
@@ -59,9 +60,16 @@ type AnnounceConfig struct {
 	// Registry.Subscribe — the last is what stacks mergers into tiers).
 	// It is called once, at Announce time.
 	Subscribe func(buf int) (*stream.Sub, error)
-	// Backoff is the initial reconnect delay, doubling to MaxBackoff
-	// (non-positive selects the defaults).
+	// Backoff is the initial reconnect backoff window, doubling to
+	// MaxBackoff (non-positive selects the defaults). The actual delay
+	// is drawn with full jitter — uniform in [0, window) — so a fleet
+	// of announcers cut off by one merger restart reconnects spread
+	// across the window instead of in lockstep (see internal/flow).
 	Backoff, MaxBackoff time.Duration
+	// BackoffSeed seeds the jitter stream; 0 derives a per-announcer
+	// seed from the name and start time. Fix it for reproducible
+	// reconnect schedules in tests.
+	BackoffSeed uint64
 	// OpTimeout bounds each register/heartbeat/push round trip.
 	OpTimeout time.Duration
 	// OnError observes connection-level failures (may be nil).
@@ -194,7 +202,20 @@ func (a *Announcer) consume(d stream.Delta) {
 func (a *Announcer) run(ctx context.Context) {
 	defer close(a.done)
 	defer a.sub.Close()
-	backoff := a.cfg.Backoff
+	// Full-jitter reconnect: the window doubles per consecutive failed
+	// session (resetting on a clean one) and the delay is drawn
+	// uniformly inside it, de-correlating announcers that all lost the
+	// same merger at the same instant.
+	policy := flow.Policy{Base: a.cfg.Backoff, Max: a.cfg.MaxBackoff, Attempts: 1}
+	seed := a.cfg.BackoffSeed
+	if seed == 0 {
+		for i := 0; i < len(a.cfg.Name); i++ {
+			seed = seed*1099511628211 + uint64(a.cfg.Name[i])
+		}
+		seed ^= uint64(time.Now().UnixNano())
+	}
+	jitter := flow.NewRand(seed)
+	attempt := 0
 	for {
 		if ctx.Err() != nil {
 			return
@@ -204,14 +225,12 @@ func (a *Announcer) run(ctx context.Context) {
 			return
 		}
 		if clean {
-			backoff = a.cfg.Backoff
+			attempt = 0
 		}
-		if !a.drainFor(ctx, backoff) {
+		if !a.drainFor(ctx, policy.Delay(jitter, attempt)) {
 			return
 		}
-		if backoff *= 2; backoff > a.cfg.MaxBackoff {
-			backoff = a.cfg.MaxBackoff
-		}
+		attempt++
 	}
 }
 

@@ -3,6 +3,7 @@ package registry
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -267,5 +268,86 @@ func TestFinalStateSurvivesMergerOutage(t *testing.T) {
 	counts, n := reg.Counts()
 	if n != 7 || counts[0] != 4 || counts[1] != 3 {
 		t.Fatalf("final state lost across the outage: counts=%v n=%d, want [4 3] 7", counts, n)
+	}
+}
+
+// TestAnnouncerBackoffDecorrelates drives two announcers against a
+// permanently unreachable merger and compares their reconnect-attempt
+// spacing. Pure doubling would give both the identical gap sequence
+// (backoff, 2·backoff, …) — the lockstep that re-floods a restarted
+// merger. With full jitter the sequences must diverge.
+func TestAnnouncerBackoffDecorrelates(t *testing.T) {
+	type probe struct {
+		mu    sync.Mutex
+		times []time.Time
+	}
+	start := func(name string, seed uint64, p *probe) *Announcer {
+		pub, err := stream.NewPublisher(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(pub.Close)
+		a, err := Announce(AnnounceConfig{
+			Name: name, Bits: 2,
+			Dial: func(ctx context.Context) (Conn, error) {
+				p.mu.Lock()
+				p.times = append(p.times, time.Now())
+				p.mu.Unlock()
+				return nil, errDown
+			},
+			Subscribe:   pub.Subscribe,
+			Backoff:     10 * time.Millisecond,
+			MaxBackoff:  40 * time.Millisecond,
+			BackoffSeed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(a.Close)
+		return a
+	}
+	var pa, pb probe
+	start("node-a", 101, &pa)
+	start("node-b", 202, &pb)
+
+	const wantAttempts = 8
+	waitFor(t, "both announcers to retry repeatedly", func() bool {
+		pa.mu.Lock()
+		na := len(pa.times)
+		pa.mu.Unlock()
+		pb.mu.Lock()
+		nb := len(pb.times)
+		pb.mu.Unlock()
+		return na >= wantAttempts && nb >= wantAttempts
+	})
+
+	gaps := func(p *probe) []time.Duration {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		out := make([]time.Duration, 0, wantAttempts-1)
+		for i := 1; i < wantAttempts; i++ {
+			out = append(out, p.times[i].Sub(p.times[i-1]))
+		}
+		return out
+	}
+	ga, gb := gaps(&pa), gaps(&pb)
+	var diff time.Duration
+	for i := range ga {
+		d := ga[i] - gb[i]
+		if d < 0 {
+			d = -d
+		}
+		diff += d
+		// Every gap stays inside the (jittered, doubling) window plus
+		// scheduling slop.
+		if ga[i] > 200*time.Millisecond || gb[i] > 200*time.Millisecond {
+			t.Fatalf("gap %d outside the backoff cap: a=%v b=%v", i, ga[i], gb[i])
+		}
+	}
+	// Two full-jitter streams drawing from >=10ms windows diverge by
+	// far more than 5ms over 7 gaps; lockstep doubling would differ
+	// only by scheduling noise.
+	if diff < 5*time.Millisecond {
+		t.Fatalf("announcer backoff gaps nearly identical (total |diff| = %v): not jittered", diff)
 	}
 }

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"idldp/internal/bitvec"
+)
+
+func report(t *testing.T, bits int, set ...int) *bitvec.Vector {
+	t.Helper()
+	v := bitvec.New(bits)
+	for _, i := range set {
+		v.Set(i)
+	}
+	return v
+}
+
+func TestAdmitGates(t *testing.T) {
+	s, err := New(8, WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Admit(5); err != nil {
+		t.Fatalf("idle Admit: %v", err)
+	}
+	s.ForceSaturation(true)
+	if err := s.Admit(3); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("saturated Admit = %v, want ErrSaturated", err)
+	}
+	s.ForceSaturation(false)
+	s.BeginDrain()
+	if err := s.Admit(2); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining Admit = %v, want ErrDraining", err)
+	}
+	st := s.Stats()
+	if st.ShedRejectReports != 5 || st.ShedRejectFrames != 2 {
+		t.Fatalf("reject counters = %d/%d, want 5 reports / 2 frames", st.ShedRejectReports, st.ShedRejectFrames)
+	}
+	if !st.Draining {
+		t.Fatal("Stats.Draining = false after BeginDrain")
+	}
+}
+
+func TestRejectBatcherKeepsPendingOnPushback(t *testing.T) {
+	s, err := New(8, WithShards(1), WithBatchSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	b := s.NewRejectBatcher()
+	s.ForceSaturation(true)
+	if err := b.Add(report(t, 8, 1)); err != nil {
+		t.Fatalf("first Add (below target): %v", err)
+	}
+	// The second Add fills the batch; the auto-flush must push back and
+	// keep the pending counts.
+	if err := b.Add(report(t, 8, 2)); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("auto-flush = %v, want ErrSaturated", err)
+	}
+	if b.Pending() != 2 {
+		t.Fatalf("Pending = %d after pushback, want 2", b.Pending())
+	}
+	if err := b.Flush(); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("retried Flush under saturation = %v, want ErrSaturated", err)
+	}
+	s.ForceSaturation(false)
+	// Retry the flush only — never re-Add — and both reports land once.
+	if err := b.Flush(); err != nil {
+		t.Fatalf("Flush after pressure cleared: %v", err)
+	}
+	counts, n := s.Snapshot()
+	if n != 2 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("snapshot n=%d counts=%v, want n=2 with bits 1,2 each once", n, counts)
+	}
+}
+
+func TestBlockingBatcherIgnoresSaturationGuard(t *testing.T) {
+	// Adaptive server with the shed guard armed: the legacy batcher
+	// sheds, the blocking batcher must not.
+	s, err := New(8, WithShards(1), WithAdaptiveBatch(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.shedArmed.Store(true)
+	b := s.NewBlockingBatcher()
+	const total = 200
+	for i := 0; i < total; i++ {
+		if err := b.Add(report(t, 8, i%8)); err != nil {
+			t.Fatalf("Add %d: %v", i, err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, n := s.Snapshot(); n != total {
+		t.Fatalf("n = %d, want %d — blocking batcher shed reports", n, total)
+	}
+	if shed := s.Stats().ShedReports; shed != 0 {
+		t.Fatalf("ShedReports = %d, want 0 on the blocking path", shed)
+	}
+}
+
+func TestDrainStillAcceptsInternalFlushes(t *testing.T) {
+	s, err := New(8, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	b := s.NewBlockingBatcher()
+	for i := 0; i < 10; i++ {
+		if err := b.Add(report(t, 8, i%8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.BeginDrain()
+	if err := s.Admit(1); !errors.Is(err, ErrDraining) {
+		t.Fatal("Admit should refuse during drain")
+	}
+	// The already-admitted pending batch still lands during drain.
+	if err := b.Flush(); err != nil {
+		t.Fatalf("internal flush during drain: %v", err)
+	}
+	if _, n := s.Snapshot(); n != 10 {
+		t.Fatalf("n = %d, want 10", n)
+	}
+}

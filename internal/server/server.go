@@ -49,6 +49,24 @@ import (
 // ErrClosed is returned by ingestion calls after Close.
 var ErrClosed = errors.New("server: closed")
 
+// ErrSaturated is the pushback signal: the runtime is shedding (the
+// arrival rate pinned the adaptive batch target at its maximum and the
+// shard queues are full, or an operator forced saturation) and the
+// caller should back off and retry instead of re-sending blindly.
+var ErrSaturated = errors.New("server: saturated")
+
+// ErrDraining is the pushback signal during graceful shutdown: the
+// runtime no longer admits new external reports (in-flight internal
+// flushes still land) and the caller should fail over to another
+// collector or retry after the restart.
+var ErrDraining = errors.New("server: draining")
+
+// DefaultRetryAfter is the backoff hint a pushed-back sender is handed
+// (the Retry-After header on HTTP 429, the retry hint on shed acks):
+// roughly one adaptive-retarget interval, enough for pressure readings
+// to change.
+const DefaultRetryAfter = 250 * time.Millisecond
+
 // Default tuning: batches of 256 reports amortize the channel send to
 // noise while keeping worst-case staleness per producer small, and a
 // 4-deep queue per shard absorbs bursts without letting queues grow
@@ -209,6 +227,18 @@ type Server struct {
 	adaptOnce          sync.Once
 	shedReports        atomic.Int64
 	shedFrames         atomic.Int64
+
+	// Flow-control admission state. draining is flipped by BeginDrain
+	// (SIGTERM): external surfaces stop admitting new reports while
+	// internal flushes still land. forceSat pins the saturation signal
+	// on — an operator pushback switch and the deterministic handle the
+	// convergence tests use. shedReject* count reports refused with a
+	// pushback signal; unlike shedReports these are not data loss — the
+	// sender still holds the reports and retries.
+	draining          atomic.Bool
+	forceSat          atomic.Bool
+	shedRejectReports atomic.Int64
+	shedRejectFrames  atomic.Int64
 
 	start time.Time
 
@@ -577,6 +607,63 @@ func (s *Server) Shards() int { return len(s.shards) }
 // BatchSize returns the per-Batcher accumulation size.
 func (s *Server) BatchSize() int { return s.batchSize }
 
+// BeginDrain flips the runtime into graceful-drain mode: Admit refuses
+// every new external report with ErrDraining (a pushback the transport
+// and HTTP surfaces turn into a shed ack / 429), while the internal
+// blocking ingest path stays open so producer Batchers, restored
+// checkpoints, and in-flight frames still land before Close. Draining
+// is one-way; it is the first step of the SIGTERM sequence
+// (BeginDrain → flush batchers → Close → final checkpoint/resync).
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ForceSaturation pins (or unpins) the saturation signal regardless of
+// the observed rate — an operator pushback switch, and the
+// deterministic handle flow-control tests use instead of waiting for
+// the EWMA gauge.
+func (s *Server) ForceSaturation(on bool) { s.forceSat.Store(on) }
+
+// Saturated reports whether the runtime is pushing back on new load:
+// forced, or the adaptive sizer armed the shed guard (the unclamped
+// rate target is past the maximum batch size) with every shard queue
+// still full.
+func (s *Server) Saturated() bool {
+	if s.forceSat.Load() {
+		return true
+	}
+	if !s.adaptive || !s.shedArmed.Load() {
+		return false
+	}
+	for _, sh := range s.shards {
+		if len(sh.ch) < cap(sh.ch) {
+			return false
+		}
+	}
+	return true
+}
+
+// Admit is the external-surface admission gate: nil means the n
+// reports may be ingested; ErrDraining/ErrSaturated mean they were
+// refused with a pushback signal and counted in ShedRejectReports —
+// the caller still holds them and should signal the sender to back
+// off (shed ack flag, HTTP 429 + Retry-After) rather than drop them.
+func (s *Server) Admit(n int64) error {
+	var err error
+	switch {
+	case s.draining.Load():
+		err = ErrDraining
+	case s.Saturated():
+		err = ErrSaturated
+	default:
+		return nil
+	}
+	s.shedRejectReports.Add(n)
+	s.shedRejectFrames.Add(1)
+	return err
+}
+
 // send enqueues a frame on the next shard, blocking when its queue is
 // full (backpressure).
 func (s *Server) send(msg shardMsg) error {
@@ -617,6 +704,21 @@ func (s *Server) AddCounts(counts []int64, n int64) error {
 	return s.sendCounts(counts, n)
 }
 
+// AddCountsBlocking ingests a pre-summed batch with pure backpressure:
+// a full queue blocks, the saturation guard never sheds. The placement
+// for surfaces that already passed Admit — having accepted the batch,
+// dropping it silently would contradict the acceptance. The server
+// takes ownership of counts.
+func (s *Server) AddCountsBlocking(counts []int64, n int64) error {
+	if err := validateBatch(s.bits, counts, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	return s.sendCountsBlocking(counts, n)
+}
+
 // sendCounts ships one pre-validated batch frame and bumps the metrics.
 // With adaptive batching saturated (the observed rate pinned the target
 // past its maximum), placement turns non-blocking and a frame that fits
@@ -647,6 +749,20 @@ func (s *Server) sendCounts(counts []int64, n int64) error {
 		s.shedFrames.Add(1)
 		return nil
 	}
+	if err := s.send(shardMsg{counts: counts, n: n}); err != nil {
+		return err
+	}
+	s.reports.Add(n)
+	s.frames.Add(1)
+	return nil
+}
+
+// sendCountsBlocking ships one pre-validated batch frame with pure
+// backpressure — a full queue blocks, the saturation guard never sheds.
+// It is the placement path for acked ingest: once a frame has been
+// admitted (and will be acked), silently dropping it would break the
+// sender's exactly-once accounting.
+func (s *Server) sendCountsBlocking(counts []int64, n int64) error {
 	if err := s.send(shardMsg{counts: counts, n: n}); err != nil {
 		return err
 	}
@@ -743,6 +859,16 @@ type Stats struct {
 	// the workers can drain even at the maximum batch size.
 	ShedReports int64 `json:"shed_reports"`
 	ShedFrames  int64 `json:"shed_frames"`
+	// ShedRejectReports / ShedRejectFrames count reports and frames
+	// refused at the admission gate with a pushback signal (shed ack
+	// flag, HTTP 429). Unlike ShedReports these are not data loss: the
+	// sender still holds them and retries after backing off.
+	ShedRejectReports int64 `json:"shed_reject_reports"`
+	ShedRejectFrames  int64 `json:"shed_reject_frames"`
+	// Draining is true once BeginDrain ran (graceful shutdown in
+	// progress); Saturated mirrors the live pushback signal.
+	Draining  bool `json:"draining"`
+	Saturated bool `json:"saturated"`
 }
 
 // Stats returns current runtime metrics. It is safe to call concurrently
@@ -750,14 +876,18 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	reports := s.reports.Load()
 	st := Stats{
-		Shards:      len(s.shards),
-		BatchSize:   s.batchSize,
-		Reports:     reports,
-		Frames:      s.frames.Load(),
-		QueueDepth:  make([]int, len(s.shards)),
-		Uptime:      time.Since(s.start),
-		Checkpoints: s.ckptSaves.Load(),
-		ArrivalRate: s.rate.observe(reports, time.Now()),
+		Shards:            len(s.shards),
+		BatchSize:         s.batchSize,
+		Reports:           reports,
+		Frames:            s.frames.Load(),
+		QueueDepth:        make([]int, len(s.shards)),
+		Uptime:            time.Since(s.start),
+		Checkpoints:       s.ckptSaves.Load(),
+		ArrivalRate:       s.rate.observe(reports, time.Now()),
+		ShedRejectReports: s.shedRejectReports.Load(),
+		ShedRejectFrames:  s.shedRejectFrames.Load(),
+		Draining:          s.draining.Load(),
+		Saturated:         s.Saturated(),
 	}
 	if s.pub != nil {
 		st.StreamSubscribers = s.pub.Subscribers()
@@ -840,11 +970,49 @@ type Batcher struct {
 	s      *Server
 	counts []int64
 	n      int64
+	mode   batcherMode
 }
 
-// NewBatcher returns an empty batcher feeding s.
+// batcherMode selects what a full batch does when the runtime is
+// saturated.
+type batcherMode int
+
+const (
+	// batchShed is the legacy adaptive behavior: under saturation the
+	// frame is placed non-blocking and silently dropped if nowhere fits
+	// (counted in Stats.ShedReports).
+	batchShed batcherMode = iota
+	// batchBlock never sheds: a full queue blocks the producer. The mode
+	// for acked connections, where a report that was admitted must land.
+	batchBlock
+	// batchReject pushes back: Flush returns ErrSaturated/ErrDraining
+	// with the pending batch kept, so an in-process sender can back off
+	// and retry the flush.
+	batchReject
+)
+
+// NewBatcher returns an empty batcher feeding s with the legacy
+// shed-on-saturation placement.
 func (s *Server) NewBatcher() *Batcher {
 	return &Batcher{s: s, counts: make([]int64, s.bits)}
+}
+
+// NewBlockingBatcher returns a batcher that never sheds: saturated
+// queues block its flushes instead of dropping the frame. Acked ingest
+// paths use it — admission is decided before the fold (Admit), and an
+// admitted report must reach a shard.
+func (s *Server) NewBlockingBatcher() *Batcher {
+	return &Batcher{s: s, counts: make([]int64, s.bits), mode: batchBlock}
+}
+
+// NewRejectBatcher returns a batcher whose flushes push back instead of
+// shedding or blocking: when the runtime is draining or saturated,
+// Flush (and the auto-flush inside Add/AddWords/AddCounts) returns
+// ErrDraining/ErrSaturated with the pending batch KEPT. The report that
+// triggered the auto-flush is already folded into the pending counts —
+// on pushback, retry Flush only; re-Adding the report would double it.
+func (s *Server) NewRejectBatcher() *Batcher {
+	return &Batcher{s: s, counts: make([]int64, s.bits), mode: batchReject}
 }
 
 // Add accumulates one report, shipping a frame when the batch is full.
@@ -900,13 +1068,23 @@ func (b *Batcher) AddCounts(counts []int64, n int64) error {
 func (b *Batcher) Pending() int64 { return b.n }
 
 // Flush ships the pending batch, if any. Callers must Flush before the
-// server is Closed or Snapshot is expected to see their reports.
+// server is Closed or Snapshot is expected to see their reports. A
+// reject-mode flush that returns ErrSaturated/ErrDraining keeps the
+// pending batch for a later retry.
 func (b *Batcher) Flush() error {
 	if b.n == 0 {
 		return nil
 	}
+	if b.mode == batchReject {
+		if err := b.s.Admit(b.n); err != nil {
+			return err
+		}
+	}
 	counts, n := b.counts, b.n
 	b.counts = make([]int64, b.s.bits)
 	b.n = 0
-	return b.s.sendCounts(counts, n)
+	if b.mode == batchShed {
+		return b.s.sendCounts(counts, n)
+	}
+	return b.s.sendCountsBlocking(counts, n)
 }

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShedAccountingBalances pins the accounting invariant of the legacy
+// silent-shed path: whatever mix of frames lands and drops while the
+// runtime is saturated, accepted (Stats.Reports) + shed
+// (Stats.ShedReports) must equal exactly what was sent — a shed report
+// is counted, never silently vanished. The saturation is made
+// deterministic by wedging the single shard worker on an unread
+// snapshot reply and arming the adaptive shed guard directly.
+func TestShedAccountingBalances(t *testing.T) {
+	s, err := New(4, WithShards(1), WithQueueDepth(1), WithAdaptiveBatch(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.retarget(1e9) // rate pins the target past max: shed guard armed
+	if !s.shedArmed.Load() {
+		t.Fatal("shed guard not armed")
+	}
+
+	// Wedge the worker, then fill the one queue slot behind it.
+	gate := make(chan shardSnap)
+	s.shards[0].ch <- shardMsg{snap: gate}
+	for deadline := time.Now().Add(2 * time.Second); len(s.shards[0].ch) != 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never dequeued the wedge marker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const sent = 20
+	for i := 0; i < sent; i++ {
+		if err := s.AddCounts([]int64{1, 0, 0, 1}, 1); err != nil {
+			t.Fatal(err)
+		}
+		// Periodically unwedge-and-rewedge so some frames land and some
+		// shed — the invariant must hold for any interleaving.
+		if i == 9 {
+			<-gate
+			gate = make(chan shardSnap)
+			s.shards[0].ch <- shardMsg{snap: gate}
+			for deadline := time.Now().Add(2 * time.Second); len(s.shards[0].ch) != 0; {
+				if time.Now().After(deadline) {
+					t.Fatal("worker never dequeued the second wedge")
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	<-gate
+
+	st := s.Stats()
+	if st.Reports+st.ShedReports != sent {
+		t.Fatalf("accounting broken: accepted %d + shed %d != sent %d", st.Reports, st.ShedReports, sent)
+	}
+	if st.ShedReports == 0 {
+		t.Fatal("nothing was shed — the saturation never bit")
+	}
+	if st.Reports == 0 {
+		t.Fatal("everything was shed — the landed path never exercised")
+	}
+	counts, n, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != st.Reports {
+		t.Fatalf("drained n = %d, want accepted count %d", n, st.Reports)
+	}
+	if counts[0] != n || counts[3] != n || counts[1] != 0 {
+		t.Fatalf("drained counts %v inconsistent with %d identical reports", counts, n)
+	}
+}

@@ -52,10 +52,17 @@ func ServeRegistry(addr string, reg ControlPlane) (*RegistryServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
+	return ServeRegistryListener(lis, reg), nil
+}
+
+// ServeRegistryListener dispatches control-plane frames arriving on an
+// already-open listener — the hook for wrapping the accept path (fault
+// injection, custom sockets). Ownership of lis passes to the server.
+func ServeRegistryListener(lis net.Listener, reg ControlPlane) *RegistryServer {
 	s := &RegistryServer{lis: lis, reg: reg, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listening address.
@@ -194,7 +201,14 @@ func DialRegistry(ctx context.Context, addr string) (*RegistryConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	return &RegistryConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return NewRegistryConn(conn), nil
+}
+
+// NewRegistryConn speaks the control-plane protocol over an
+// already-established connection — the hook for interposing wrapped
+// conns (fault injection, tunnels) between announcer and merger.
+func NewRegistryConn(conn net.Conn) *RegistryConn {
+	return &RegistryConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 }
 
 // roundTrip sends one frame and decodes the reply, bounded by the

@@ -34,6 +34,7 @@ import (
 
 	"idldp/internal/agg"
 	"idldp/internal/bitvec"
+	"idldp/internal/flow"
 	"idldp/internal/registry"
 	"idldp/internal/server"
 	"idldp/internal/varpack"
@@ -102,6 +103,18 @@ type Frame struct {
 	TimeNano int64
 	MAC      []byte
 
+	// WantAck, on FrameReport/FrameBatch, asks the server to confirm the
+	// frame with a FrameAck — the flow-controlled ingest mode: the reply
+	// either accepts the frame or pushes back with Shed, and the sender
+	// must not re-send an accepted frame (acks gate re-send, giving
+	// exactly-once delivery without dedup).
+	WantAck bool
+	// Shed, on FrameAck, is the pushback signal: the server refused the
+	// frame (saturated or draining) and the sender still owns it —
+	// back off and retry. RetryAfterNano is the server's backoff hint.
+	Shed           bool
+	RetryAfterNano int64
+
 	// Role, on FrameRegister, is the informational member kind.
 	Role string
 	// HeartbeatNano, on FrameRegisterAck, is the advertised cadence.
@@ -161,6 +174,13 @@ func ServeSink(addr string, sink *server.Server, opts ...ServeOption) (*Server, 
 		sink.Close()
 		return nil, fmt.Errorf("transport: %w", err)
 	}
+	return ServeSinkListener(lis, sink, opts...), nil
+}
+
+// ServeSinkListener serves an ingestion runtime on an already-open
+// listener — the hook for wrapping the accept path (fault injection,
+// custom sockets). Ownership of lis and sink passes to the Server.
+func ServeSinkListener(lis net.Listener, sink *server.Server, opts ...ServeOption) *Server {
 	s := &Server{
 		lis:   lis,
 		sink:  sink,
@@ -172,8 +192,14 @@ func ServeSink(addr string, sink *server.Server, opts ...ServeOption) (*Server, 
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
+
+// BeginDrain flips the ingestion runtime into graceful-drain mode: new
+// acked frames are pushed back with the shed signal (un-acked legacy
+// streams keep landing until Close), so flow-controlled senders fail
+// over while in-flight batches finish. See server.BeginDrain.
+func (s *Server) BeginDrain() { s.sink.BeginDrain() }
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.lis.Addr().String() }
@@ -201,15 +227,30 @@ func (s *Server) acceptLoop() {
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	batcher := s.sink.NewBatcher()
+	// Acked frames go through a separate no-shed batcher: once the
+	// server acks a report, silently dropping it later would break the
+	// sender's exactly-once accounting, so acked placement may block but
+	// never sheds. Created lazily — legacy streams never pay for it.
+	var acked *server.Batcher
 	defer func() {
 		_ = batcher.Flush() // ship the partial batch of a finished stream
+		if acked != nil {
+			_ = acked.Flush()
+		}
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
 	dec := gob.NewDecoder(conn)
-	var enc *gob.Encoder // lazily created on the first snapshot request
+	var enc *gob.Encoder // lazily created on the first ack or snapshot request
+	ack := func(reply Frame) bool {
+		if enc == nil {
+			enc = gob.NewEncoder(conn)
+		}
+		reply.Kind = FrameAck
+		return enc.Encode(reply) == nil
+	}
 	// One Frame for the whole stream: gob reuses the slices' backing
 	// arrays once they have grown, so the steady-state decode path — and
 	// the AddWords ingest behind it — allocates nothing per report.
@@ -220,17 +261,76 @@ func (s *Server) handle(conn net.Conn) {
 		// would silently retain the previous frame's value.
 		f.Kind, f.Bits, f.N, f.AcceptPacked = 0, 0, 0, false
 		f.Node, f.Session, f.TimeNano = "", 0, 0
+		f.WantAck, f.Shed, f.RetryAfterNano = false, false, 0
 		f.Words, f.Counts, f.Packed, f.MAC = f.Words[:0], f.Counts[:0], f.Packed[:0], f.MAC[:0]
 		if err := dec.Decode(&f); err != nil {
 			return // EOF or malformed stream ends the connection
 		}
 		switch f.Kind {
 		case FrameReport:
-			if batcher.AddWords(f.Words, f.Bits) != nil {
+			if !f.WantAck {
+				if batcher.AddWords(f.Words, f.Bits) != nil {
+					return
+				}
+				continue
+			}
+			// Flow-controlled ingest: admit (or push back) BEFORE the
+			// fold, so an acked report is never silently shed after.
+			if err := s.sink.Admit(1); err != nil {
+				if !ack(Frame{Shed: true, RetryAfterNano: int64(server.DefaultRetryAfter)}) {
+					return
+				}
+				continue
+			}
+			if acked == nil {
+				acked = s.sink.NewBlockingBatcher()
+			}
+			// Fold and flush before acking: an ack promises the report is
+			// visible to a subsequent Snapshot and survives the connection
+			// dying right after. The flush may block on full queues —
+			// that's the backpressure an acked sender signed up for.
+			if err := acked.AddWords(f.Words, f.Bits); err == nil {
+				err = acked.Flush()
+				if err != nil {
+					return // runtime closed mid-flush; no ack, sender retries elsewhere
+				}
+			} else {
+				if !ack(Frame{Err: err.Error()}) {
+					return
+				}
+				continue
+			}
+			if !ack(Frame{}) {
 				return
 			}
 		case FrameBatch:
-			if batcher.AddCounts(f.Counts, f.N) != nil {
+			if !f.WantAck {
+				if batcher.AddCounts(f.Counts, f.N) != nil {
+					return
+				}
+				continue
+			}
+			if err := s.sink.Admit(f.N); err != nil {
+				if !ack(Frame{Shed: true, RetryAfterNano: int64(server.DefaultRetryAfter)}) {
+					return
+				}
+				continue
+			}
+			if acked == nil {
+				acked = s.sink.NewBlockingBatcher()
+			}
+			if err := acked.AddCounts(f.Counts, f.N); err == nil {
+				err = acked.Flush()
+				if err != nil {
+					return
+				}
+			} else {
+				if !ack(Frame{Err: err.Error()}) {
+					return
+				}
+				continue
+			}
+			if !ack(Frame{}) {
 				return
 			}
 		case FrameSnapshotRequest:
@@ -247,6 +347,9 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			// Flush first so the requester's own reports are included.
 			if batcher.Flush() != nil {
+				return
+			}
+			if acked != nil && acked.Flush() != nil {
 				return
 			}
 			counts, n := s.sink.Snapshot()
@@ -317,6 +420,12 @@ type Client struct {
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	auth *registry.Authenticator
+
+	// Flow control for the acked send paths (SetRetryPolicy; defaults
+	// lazily to flow.Default with a time-seeded Rand).
+	policy flow.Policy
+	rand   flow.Rand
+	fstats flow.Stats
 }
 
 // Dial connects to an aggregation server.
@@ -386,6 +495,78 @@ func (c *Client) SendReport(v *bitvec.Vector) error {
 // SendBatch ships a locally aggregated batch.
 func (c *Client) SendBatch(a *agg.Aggregator) error {
 	return c.enc.Encode(Frame{Kind: FrameBatch, Counts: a.Counts(), N: a.N()})
+}
+
+// SetRetryPolicy configures the acked send paths' flow control: the
+// backoff schedule and a deterministic jitter seed. Without it, acked
+// sends use flow defaults with a time-seeded jitter.
+func (c *Client) SetRetryPolicy(p flow.Policy, seed uint64) {
+	c.policy = p
+	c.rand = flow.NewRand(seed)
+}
+
+// FlowStats reports the acked send paths' flow-control activity:
+// attempts, sheds observed, retries, total backoff slept.
+func (c *Client) FlowStats() flow.Stats { return c.fstats }
+
+// SendReportAck ships one perturbed report flow-controlled: the server
+// either accepts it (ack) or pushes back (shed), in which case the
+// client backs off with full jitter — honoring the server's Retry-After
+// hint as a floor — and re-sends. The report is delivered exactly once:
+// an accepted frame is never re-sent, a shed frame was never folded.
+func (c *Client) SendReportAck(ctx context.Context, v *bitvec.Vector) error {
+	return c.sendAcked(ctx, Frame{Kind: FrameReport, Words: v.Words(), Bits: v.Len(), WantAck: true})
+}
+
+// SendBatchAck ships a locally aggregated batch flow-controlled; see
+// SendReportAck for the delivery contract.
+func (c *Client) SendBatchAck(ctx context.Context, a *agg.Aggregator) error {
+	return c.sendAcked(ctx, Frame{Kind: FrameBatch, Counts: a.Counts(), N: a.N(), WantAck: true})
+}
+
+// sendAcked is the shared acked-send retry loop. It speaks the shed
+// protocol directly (rather than through flow.Do) because the backoff
+// floor arrives at runtime in each shed ack's Retry-After hint.
+func (c *Client) sendAcked(ctx context.Context, f Frame) error {
+	p := c.policy.WithDefaults()
+	if c.rand == nil {
+		c.rand = flow.NewRand(uint64(time.Now().UnixNano()))
+	}
+	for attempt := 0; ; attempt++ {
+		c.fstats.Attempts++
+		if err := c.conn.SetDeadline(time.Now().Add(p.PerAttempt)); err != nil {
+			return fmt.Errorf("transport: %w", err)
+		}
+		if err := c.enc.Encode(&f); err != nil {
+			return fmt.Errorf("transport: %w", err)
+		}
+		var ack Frame
+		if err := c.dec.Decode(&ack); err != nil {
+			return fmt.Errorf("transport: %w", err)
+		}
+		if ack.Kind != FrameAck {
+			return fmt.Errorf("transport: unexpected frame kind %d in ingest ack", ack.Kind)
+		}
+		if ack.Err != "" {
+			return fmt.Errorf("transport: report refused: %s", ack.Err)
+		}
+		if !ack.Shed {
+			_ = c.conn.SetDeadline(time.Time{})
+			return nil
+		}
+		c.fstats.Sheds++
+		if attempt+1 >= p.Attempts {
+			return fmt.Errorf("transport: %w", flow.ErrExhausted)
+		}
+		hinted := p
+		hinted.Floor = time.Duration(ack.RetryAfterNano)
+		d := hinted.Delay(c.rand, attempt)
+		c.fstats.Backoff += d
+		if !flow.Sleep(ctx, d) {
+			return ctx.Err()
+		}
+		c.fstats.Retries++
+	}
 }
 
 // Close closes the connection. The server keeps everything already
