@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"idldp/internal/collect"
@@ -18,6 +19,7 @@ import (
 	"idldp/internal/flow"
 	"idldp/internal/mech"
 	"idldp/internal/server"
+	"idldp/internal/telemetry"
 )
 
 // loadRun is one repetition's flow-control accounting.
@@ -38,6 +40,13 @@ type loadRun struct {
 	ShedRejectFrames  int64 `json:"shed_reject_frames"`
 	ShedRejectReports int64 `json:"shed_reject_reports"`
 	ShedReports       int64 `json:"shed_reports"`
+
+	// Per-item perturbation latency percentiles from a telemetry
+	// histogram wired into the collection loop (log-linear buckets,
+	// <=6.25% relative error).
+	PerturbP50US  float64 `json:"perturb_p50_us"`
+	PerturbP99US  float64 `json:"perturb_p99_us"`
+	PerturbP999US float64 `json:"perturb_p999_us"`
 }
 
 // loadResult is the full experiment artifact.
@@ -49,13 +58,16 @@ type loadResult struct {
 	Workers    int       `json:"workers"`
 	PressureMS int       `json:"pressure_ms"`
 	Seed       uint64    `json:"seed"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
 	Runs       []loadRun `json:"runs"`
 }
 
 // runLoad drives reps saturated collection runs and emits the counters
 // as a text table (and CSV via -csv), or as JSON when -json is set.
 func runLoad(em emitter, paper bool, reps int, seed uint64, jsonOut bool) error {
-	cfg := loadResult{Scale: "ci", Users: 20000, Bits: 64, Eps: 1, Workers: 4, PressureMS: 50, Seed: seed}
+	cfg := loadResult{Scale: "ci", Users: 20000, Bits: 64, Eps: 1, Workers: 4, PressureMS: 50, Seed: seed,
+		GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	if paper {
 		cfg.Scale, cfg.Users, cfg.Bits, cfg.PressureMS = "paper", 1000000, 256, 250
 	}
@@ -109,11 +121,16 @@ func loadOnce(items []int, cfg loadResult, u *mech.UE, seed uint64) (loadRun, er
 		err error
 	}
 	done := make(chan result, 1)
+	// A throwaway registry gives the run a real histogram without touching
+	// any process-global state; the percentiles it accumulates are the
+	// client-side privatization cost under saturation.
+	hist := telemetry.NewRegistry("bench").Histogram("perturb", "per-item perturbation latency")
 	start := time.Now()
 	go func() {
 		st, err := collect.StreamInto(context.Background(), items, cfg.Bits, u.PerturbItemInto, sink, collect.StreamOptions{
-			Options: collect.Options{Workers: cfg.Workers, Seed: seed},
-			Policy:  flow.Policy{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Attempts: 10000},
+			Options:     collect.Options{Workers: cfg.Workers, Seed: seed},
+			Policy:      flow.Policy{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Attempts: 10000},
+			PerturbHist: hist,
 		})
 		done <- result{st, err}
 	}()
@@ -138,5 +155,7 @@ func loadOnce(items []int, cfg loadResult, u *mech.UE, seed uint64) (loadRun, er
 	out.ShedRejectFrames = st.ShedRejectFrames
 	out.ShedRejectReports = st.ShedRejectReports
 	out.ShedReports = st.ShedReports
+	us := func(q float64) float64 { return float64(hist.Quantile(q)) / float64(time.Microsecond) }
+	out.PerturbP50US, out.PerturbP99US, out.PerturbP999US = us(0.50), us(0.99), us(0.999)
 	return out, nil
 }

@@ -12,6 +12,12 @@
 // Usage:
 //
 //	idldp-client [-addr 127.0.0.1:7070] [-n 10000] [-seed 1] [-batch] [-acked]
+//	             [-log-level info] [-log-json]
+//
+// Every run mints a trace ID, stamps it on each outbound frame, and
+// logs it: the same ID surfaces in the server's structured logs and —
+// carried on the delta-push path — in the merger fleet status, so one
+// batch is followable end to end across tiers.
 package main
 
 import (
@@ -28,25 +34,29 @@ import (
 	"idldp/internal/dist"
 	"idldp/internal/flow"
 	"idldp/internal/rng"
+	"idldp/internal/telemetry"
 	"idldp/internal/transport"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7070", "server address")
-		n     = flag.Int("n", 10000, "number of simulated users")
-		seed  = flag.Uint64("seed", 1, "population seed")
-		batch = flag.Bool("batch", true, "aggregate locally and ship one batch frame")
-		acked = flag.Bool("acked", false, "demand per-frame acks; back off and retry when the server sheds")
+		addr     = flag.String("addr", "127.0.0.1:7070", "server address")
+		n        = flag.Int("n", 10000, "number of simulated users")
+		seed     = flag.Uint64("seed", 1, "population seed")
+		batch    = flag.Bool("batch", true, "aggregate locally and ship one batch frame")
+		acked    = flag.Bool("acked", false, "demand per-frame acks; back off and retry when the server sheds")
+		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
-	if err := run(*addr, *n, *seed, *batch, *acked); err != nil {
+	if err := run(*addr, *n, *seed, *batch, *acked, *logLevel, *logJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n int, seed uint64, batch, acked bool) error {
+func run(addr string, n int, seed uint64, batch, acked bool, logLevel string, logJSON bool) error {
+	logger := telemetry.NewLogger(os.Stderr, logLevel, logJSON, "idldp-client", "")
 	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
 	if err != nil {
 		return err
@@ -58,6 +68,11 @@ func run(addr string, n int, seed uint64, batch, acked bool) error {
 		return err
 	}
 	defer client.Close()
+	// The trace ID rides every frame of this run: the server notes it at
+	// ingest and it climbs the delta-push path tier by tier.
+	trace := telemetry.NewTraceID()
+	client.SetTrace(trace)
+	logger.Info("run start", "trace", trace, "addr", addr, "users", n, "batch", batch, "acked", acked)
 	if acked {
 		client.SetRetryPolicy(flow.Default(), seed)
 	}
@@ -97,10 +112,13 @@ func run(addr string, n int, seed uint64, batch, acked bool) error {
 		}
 	}
 	fmt.Printf("sent %d perturbed reports to %s\n", n, addr)
+	logger.Info("run done", "trace", trace, "reports", n)
 	if acked {
 		st := client.FlowStats()
 		fmt.Printf("flow: %d attempts, %d retries, %d sheds, %v backing off\n",
 			st.Attempts, st.Retries, st.Sheds, st.Backoff.Round(time.Millisecond))
+		logger.Info("flow", "trace", trace, "attempts", st.Attempts, "retries", st.Retries,
+			"sheds", st.Sheds, "backoff", st.Backoff)
 	}
 	return nil
 }

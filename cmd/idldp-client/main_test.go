@@ -13,7 +13,7 @@ func TestRunSendsBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := run(srv.Addr(), 500, 1, true, false); err != nil {
+	if err := run(srv.Addr(), 500, 1, true, false, "info", false); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -33,7 +33,7 @@ func TestRunStreamsReports(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := run(srv.Addr(), 50, 2, false, false); err != nil {
+	if err := run(srv.Addr(), 50, 2, false, false, "info", false); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -47,7 +47,7 @@ func TestRunStreamsReports(t *testing.T) {
 }
 
 func TestRunNoServer(t *testing.T) {
-	if err := run("127.0.0.1:1", 10, 1, true, false); err == nil {
+	if err := run("127.0.0.1:1", 10, 1, true, false, "info", false); err == nil {
 		t.Fatal("dial to dead address succeeded")
 	}
 }
@@ -58,7 +58,7 @@ func TestRunAckedBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := run(srv.Addr(), 200, 3, true, true); err != nil {
+	if err := run(srv.Addr(), 200, 3, true, true, "info", false); err != nil {
 		t.Fatal(err)
 	}
 	// The ack already promises snapshot visibility — no polling needed.

@@ -43,6 +43,13 @@
 //	idldp-merge -listen 127.0.0.1:7090 [-listen-http 127.0.0.1:8090]
 //	            [-fleet-token TOKEN] [-heartbeat 5s] [-evict-missed 3]
 //	            [-merger-dir DIR] [-upstream tcp://HOST:PORT] [-name NAME]
+//	            [-log-level info] [-log-json] [-pprof 127.0.0.1:6061]
+//
+// The -listen-http listener additionally serves GET /metrics: fleet
+// membership gauges, push/poll counters, delta/poll byte accounting,
+// checkpoint and calibration latency histograms as Prometheus text.
+// Structured logs go to stderr (-log-level, -log-json); -pprof serves
+// net/http/pprof on a dedicated listener, never the control plane.
 package main
 
 import (
@@ -50,9 +57,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -67,6 +76,7 @@ import (
 	"idldp/internal/httpapi"
 	"idldp/internal/registry"
 	"idldp/internal/stream"
+	"idldp/internal/telemetry"
 	"idldp/internal/transport"
 )
 
@@ -89,6 +99,10 @@ type config struct {
 	mergerCkptInterval time.Duration
 	upstream           string
 	name               string
+
+	logLevel  string
+	logJSON   bool
+	pprofAddr string
 }
 
 func main() {
@@ -109,6 +123,9 @@ func main() {
 	flag.DurationVar(&cfg.mergerCkptInterval, "merger-checkpoint-interval", 10*time.Second, "time between merger-state checkpoints")
 	flag.StringVar(&cfg.upstream, "upstream", "", "higher-tier merger to announce this merger's stream to (tcp://host:port or http://host:port)")
 	flag.StringVar(&cfg.name, "name", "", "this merger's fleet-wide identity for -upstream (default: -listen address)")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured log level: debug, info, warn, error")
+	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit structured logs as JSON instead of text")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty = off; never mounted on the control-plane listeners)")
 	flag.Parse()
 	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-merge:", err)
@@ -123,6 +140,8 @@ func run(w io.Writer, cfg config) error {
 	if cfg.window < 0 {
 		return fmt.Errorf("-window must be non-negative")
 	}
+	logger := telemetry.NewLogger(os.Stderr, cfg.logLevel, cfg.logJSON, "idldp-merge", cfg.name)
+	tel := telemetry.NewRegistry("idldp")
 	var auth *registry.Authenticator
 	if cfg.fleetToken != "" {
 		var err error
@@ -134,6 +153,13 @@ func run(w io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
+	if cfg.pprofAddr != "" {
+		stopPprof, err := servePprof(cfg.pprofAddr, logger)
+		if err != nil {
+			return err
+		}
+		defer stopPprof()
+	}
 
 	// Control plane: dynamic membership via push registration. The HTTP
 	// listener is bound here but served after the fleet exists, so the
@@ -141,7 +167,7 @@ func run(w io.Writer, cfg config) error {
 	var reg *registry.Registry
 	var httpLis net.Listener
 	if cfg.listen != "" || cfg.listenHTTP != "" {
-		ropts := []registry.Option{registry.WithHeartbeat(cfg.heartbeat, cfg.evictMissed)}
+		ropts := []registry.Option{registry.WithHeartbeat(cfg.heartbeat, cfg.evictMissed), registry.WithTelemetry(tel)}
 		if auth != nil {
 			ropts = append(ropts, registry.WithAuth(auth))
 		}
@@ -190,6 +216,9 @@ func run(w io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
+	f.RegisterMetrics(tel)
+	logger.Info("merger up", "bits", engine.M(), "poll_sources", len(sources),
+		"listen", cfg.listen, "listen_http", cfg.listenHTTP)
 
 	// draining flips one-way when shutdown starts; /v1/readyz turns 503
 	// before any listener stops answering.
@@ -223,6 +252,8 @@ func run(w io.Writer, cfg config) error {
 		})
 		mux.Handle("/v1/healthz", health)
 		mux.Handle("/v1/readyz", health)
+		live.SetTelemetry(tel)
+		mux.Handle("GET /metrics", tel.Handler())
 		mux.Handle("/", httpapi.NewRegistry(reg))
 		go func() { _ = http.Serve(httpLis, mux) }()
 		fmt.Fprintf(w, "control plane: accepting push registrations on http://%s (live estimates at /v1/estimates)\n", httpLis.Addr())
@@ -271,16 +302,23 @@ func run(w io.Writer, cfg config) error {
 		if up, err = registry.Announce(registry.AnnounceConfig{
 			Name: name, Bits: engine.M(), Kind: "merger", Auth: auth,
 			Dial: transport.DialControlPlane(cfg.upstream), Subscribe: f.Subscribe,
-			OnError: func(err error) { fmt.Fprintln(os.Stderr, "upstream:", err) },
+			Telemetry: tel,
+			OnError:   func(err error) { logger.Warn("upstream", "err", err) },
 		}); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "announcing merged stream to %s as %q\n", cfg.upstream, name)
+		logger.Info("announcing upstream", "target", cfg.upstream, "name", name)
 	}
 
 	finish := func() {
 		draining.Store(true) // readyz answers 503 from here on
-		f.Close()            // ends the consumer goroutine and the upstream stream
+		if reg != nil {
+			logger.Info("draining", "trace", reg.LastTrace())
+		} else {
+			logger.Info("draining")
+		}
+		f.Close() // ends the consumer goroutine and the upstream stream
 		if up != nil {
 			select {
 			case <-up.Done():
@@ -338,6 +376,25 @@ func run(w io.Writer, cfg config) error {
 	f.Run(runCtx, cfg.interval, func(err error) { fmt.Fprintln(os.Stderr, "poll:", err) })
 	finish()
 	return nil
+}
+
+// servePprof mounts the pprof surface on its own listener — a dedicated
+// mux, never the control-plane or read listeners, so profiling exposure
+// is an explicit operator decision.
+func servePprof(addr string, logger *slog.Logger) (func(), error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(lis, mux) }()
+	logger.Info("pprof enabled", "addr", lis.Addr().String())
+	return func() { _ = lis.Close() }, nil
 }
 
 // printState renders the per-node liveness table (polled sources and

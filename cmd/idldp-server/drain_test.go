@@ -36,8 +36,8 @@ func TestRunDrainsOnSIGTERM(t *testing.T) {
 	base := "http://" + streamAddr
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", 0, 2, 64, "", dir, time.Hour,
-			streamAddr, 20*time.Millisecond, 8, "", "", "", 300*time.Millisecond)
+		done <- run(config{addr: "127.0.0.1:0", shards: 2, batchSize: 64, ckptDir: dir, ckptInterval: time.Hour,
+			streamAddr: streamAddr, streamInterval: 20 * time.Millisecond, window: 8, drainGrace: 300 * time.Millisecond})
 	}()
 	if code := readyzStatus(t, base); code != http.StatusOK {
 		t.Fatalf("readyz before drain = %d, want 200", code)

@@ -50,14 +50,23 @@
 //	             [-checkpoint-dir DIR] [-checkpoint-interval 10s]
 //	             [-stream 127.0.0.1:8080] [-stream-interval 1s] [-window 60]
 //	             [-announce tcp://HOST:PORT] [-fleet-token TOKEN] [-node-name NAME]
+//	             [-log-level info] [-log-json] [-pprof 127.0.0.1:6060]
+//
+// The -stream HTTP listener additionally serves GET /metrics: the full
+// telemetry plane (ingest counters, per-stage latency histograms, flow
+// control, read cache, announcer) as Prometheus text. Structured logs
+// go to stderr (-log-level, -log-json); -pprof serves net/http/pprof on
+// a dedicated listener, never the ingest one.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -70,32 +79,75 @@ import (
 	"idldp/internal/httpapi"
 	"idldp/internal/registry"
 	"idldp/internal/server"
+	"idldp/internal/telemetry"
 	"idldp/internal/transport"
 )
 
+// config carries every flag into run, so tests drive the full daemon
+// lifecycle without positional-argument fragility.
+type config struct {
+	addr           string
+	duration       time.Duration
+	shards         int
+	batchSize      int
+	adaptive       string
+	ckptDir        string
+	ckptInterval   time.Duration
+	streamAddr     string
+	streamInterval time.Duration
+	window         int
+	announceTarget string
+	fleetToken     string
+	nodeName       string
+	drainGrace     time.Duration
+	logLevel       string
+	logJSON        bool
+	pprofAddr      string
+}
+
 func main() {
-	var (
-		addr           = flag.String("addr", "127.0.0.1:7070", "listen address")
-		duration       = flag.Duration("duration", 0, "stop after this long (0 = until signal)")
-		shards         = flag.Int("shards", 0, "ingestion shard workers (0 = GOMAXPROCS)")
-		batchSize      = flag.Int("batch-size", 0, "reports per ingestion frame (0 = runtime default)")
-		adaptive       = flag.String("adaptive-batch", "", "MIN,MAX: size frames by arrival rate within these bounds (empty = fixed)")
-		ckptDir        = flag.String("checkpoint-dir", "", "durable checkpoint directory (empty = no durability)")
-		ckptInterval   = flag.Duration("checkpoint-interval", 10*time.Second, "time between periodic checkpoints")
-		streamAddr     = flag.String("stream", "", "HTTP listen address for live estimates + SSE (empty = no HTTP API)")
-		streamInterval = flag.Duration("stream-interval", time.Second, "time between published estimate intervals")
-		window         = flag.Int("window", 60, "sliding-window capacity in stream intervals")
-		announceTarget = flag.String("announce", "", "merger control-plane target to push to (tcp://host:port or http://host:port)")
-		fleetToken     = flag.String("fleet-token", "", "shared fleet token: signs announcements and gates snapshot reads")
-		nodeName       = flag.String("node-name", "", "fleet-wide node identity (default: the listen address)")
-		drainGrace     = flag.Duration("drain-grace", 500*time.Millisecond, "how long to keep answering (with 429/shed pushback) after readiness flips off on shutdown")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7070", "listen address")
+	flag.DurationVar(&cfg.duration, "duration", 0, "stop after this long (0 = until signal)")
+	flag.IntVar(&cfg.shards, "shards", 0, "ingestion shard workers (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.batchSize, "batch-size", 0, "reports per ingestion frame (0 = runtime default)")
+	flag.StringVar(&cfg.adaptive, "adaptive-batch", "", "MIN,MAX: size frames by arrival rate within these bounds (empty = fixed)")
+	flag.StringVar(&cfg.ckptDir, "checkpoint-dir", "", "durable checkpoint directory (empty = no durability)")
+	flag.DurationVar(&cfg.ckptInterval, "checkpoint-interval", 10*time.Second, "time between periodic checkpoints")
+	flag.StringVar(&cfg.streamAddr, "stream", "", "HTTP listen address for live estimates + SSE + /metrics (empty = no HTTP API)")
+	flag.DurationVar(&cfg.streamInterval, "stream-interval", time.Second, "time between published estimate intervals")
+	flag.IntVar(&cfg.window, "window", 60, "sliding-window capacity in stream intervals")
+	flag.StringVar(&cfg.announceTarget, "announce", "", "merger control-plane target to push to (tcp://host:port or http://host:port)")
+	flag.StringVar(&cfg.fleetToken, "fleet-token", "", "shared fleet token: signs announcements and gates snapshot reads")
+	flag.StringVar(&cfg.nodeName, "node-name", "", "fleet-wide node identity (default: the listen address)")
+	flag.DurationVar(&cfg.drainGrace, "drain-grace", 500*time.Millisecond, "how long to keep answering (with 429/shed pushback) after readiness flips off on shutdown")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured log level: debug, info, warn, error")
+	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit structured logs as JSON instead of text")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty = off; never mounted on the ingest listener)")
 	flag.Parse()
-	if err := run(*addr, *duration, *shards, *batchSize, *adaptive, *ckptDir, *ckptInterval,
-		*streamAddr, *streamInterval, *window, *announceTarget, *fleetToken, *nodeName, *drainGrace); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-server:", err)
 		os.Exit(1)
 	}
+}
+
+// servePprof mounts the pprof surface on its own listener — a dedicated
+// mux, never the ingest or API listener, so profiling exposure is an
+// explicit operator decision.
+func servePprof(addr string, logger *slog.Logger) (func(), error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(lis, mux) }()
+	logger.Info("pprof enabled", "addr", lis.Addr().String())
+	return func() { _ = lis.Close() }, nil
 }
 
 // parseAdaptive parses the "MIN,MAX" bounds flag.
@@ -116,35 +168,35 @@ func parseAdaptive(spec string) (min, max int, err error) {
 	return min, max, nil
 }
 
-func run(addr string, duration time.Duration, shards, batchSize int, adaptive, ckptDir string, ckptInterval time.Duration,
-	streamAddr string, streamInterval time.Duration, window int, announceTarget, fleetToken, nodeName string,
-	drainGrace time.Duration) error {
+func run(cfg config) error {
+	logger := telemetry.NewLogger(os.Stderr, cfg.logLevel, cfg.logJSON, "idldp-server", cfg.nodeName)
+	tel := telemetry.NewRegistry("idldp")
 	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
 	if err != nil {
 		return err
 	}
 	var auth *registry.Authenticator
-	if fleetToken != "" {
-		if auth, err = registry.NewAuthenticator(fleetToken); err != nil {
+	if cfg.fleetToken != "" {
+		if auth, err = registry.NewAuthenticator(cfg.fleetToken); err != nil {
 			return err
 		}
 	}
-	opts := []server.Option{server.WithShards(shards), server.WithBatchSize(batchSize)}
-	if adaptive != "" {
-		min, max, err := parseAdaptive(adaptive)
+	opts := []server.Option{server.WithShards(cfg.shards), server.WithBatchSize(cfg.batchSize), server.WithTelemetry(tel)}
+	if cfg.adaptive != "" {
+		min, max, err := parseAdaptive(cfg.adaptive)
 		if err != nil {
 			return err
 		}
 		opts = append(opts, server.WithAdaptiveBatch(min, max))
 	}
-	if streamAddr != "" || announceTarget != "" {
+	if cfg.streamAddr != "" || cfg.announceTarget != "" {
 		// Announcing rides the same delta stream the SSE feed uses.
-		opts = append(opts, server.WithStream(streamInterval))
+		opts = append(opts, server.WithStream(cfg.streamInterval))
 	}
 	var sink *server.Server
 	var restored int64
-	if ckptDir != "" {
-		opts = append(opts, server.WithCheckpoint(ckptDir, ckptInterval))
+	if cfg.ckptDir != "" {
+		opts = append(opts, server.WithCheckpoint(cfg.ckptDir, cfg.ckptInterval))
 		sink, restored, err = server.Restore(engine.M(), opts...)
 	} else {
 		sink, err = server.New(engine.M(), opts...)
@@ -152,65 +204,79 @@ func run(addr string, duration time.Duration, shards, batchSize int, adaptive, c
 	if err != nil {
 		return err
 	}
+	if cfg.pprofAddr != "" {
+		stopPprof, err := servePprof(cfg.pprofAddr, logger)
+		if err != nil {
+			sink.Close()
+			return err
+		}
+		defer stopPprof()
+	}
 	var serveOpts []transport.ServeOption
 	if auth != nil {
 		serveOpts = append(serveOpts, transport.WithSnapshotAuth(auth))
 	}
-	srv, err := transport.ServeSink(addr, sink, serveOpts...)
+	srv, err := transport.ServeSink(cfg.addr, sink, serveOpts...)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	fmt.Printf("aggregating %d-bit reports on %s (toy health survey, eps = ln4/ln6)\n",
 		engine.M(), srv.Addr())
-	if ckptDir != "" {
+	logger.Info("listening", "addr", srv.Addr(), "bits", engine.M(), "shards", cfg.shards)
+	if cfg.ckptDir != "" {
 		fmt.Printf("durable: checkpointing to %s every %v (restored %d reports)\n",
-			ckptDir, ckptInterval, restored)
+			cfg.ckptDir, cfg.ckptInterval, restored)
+		logger.Info("durable", "dir", cfg.ckptDir, "interval", cfg.ckptInterval, "restored", restored)
 	}
 	var handler *httpapi.Handler
-	if streamAddr != "" {
+	if cfg.streamAddr != "" {
 		// The HTTP handler rides the same ingestion runtime.
 		h, err := httpapi.NewSinkStreaming(sink, engine.EstimateSingle,
-			httpapi.StreamConfig{Interval: streamInterval, Window: window})
+			httpapi.StreamConfig{Interval: cfg.streamInterval, Window: cfg.window})
 		if err != nil {
 			return err
 		}
 		if auth != nil {
 			h.RequireSnapshotAuth(auth)
 		}
+		h.SetTelemetry(tel)
 		handler = h
-		lis, err := net.Listen("tcp", streamAddr)
+		lis, err := net.Listen("tcp", cfg.streamAddr)
 		if err != nil {
 			return err
 		}
 		defer lis.Close()
 		go func() { _ = http.Serve(lis, h) }()
 		fmt.Printf("streaming: HTTP API + SSE on http://%s (interval %v, window %d intervals, cached reads at /v1/estimates)\n",
-			lis.Addr(), streamInterval, window)
+			lis.Addr(), cfg.streamInterval, cfg.window)
+		logger.Info("http api", "addr", lis.Addr().String(), "metrics", "/metrics")
 	}
 	var announcer *registry.Announcer
-	if announceTarget != "" {
-		name := nodeName
+	if cfg.announceTarget != "" {
+		name := cfg.nodeName
 		if name == "" {
 			name = srv.Addr()
 		}
 		announcer, err = registry.Announce(registry.AnnounceConfig{
 			Name: name, Bits: engine.M(), Kind: "node", Auth: auth,
-			Dial: transport.DialControlPlane(announceTarget), Subscribe: sink.Subscribe,
-			OnError: func(err error) { fmt.Fprintln(os.Stderr, "announce:", err) },
+			Dial: transport.DialControlPlane(cfg.announceTarget), Subscribe: sink.Subscribe,
+			Telemetry: tel,
+			OnError:   func(err error) { logger.Warn("announce", "err", err) },
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("announcing to %s as %q (push registration + delta streaming)\n", announceTarget, name)
+		fmt.Printf("announcing to %s as %q (push registration + delta streaming)\n", cfg.announceTarget, name)
+		logger.Info("announcing", "target", cfg.announceTarget, "name", name)
 	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
-	if duration > 0 {
+	if cfg.duration > 0 {
 		select {
 		case <-stop:
-		case <-time.After(duration):
+		case <-time.After(cfg.duration):
 		}
 	} else {
 		<-stop
@@ -224,8 +290,9 @@ func run(addr string, duration time.Duration, shards, batchSize int, adaptive, c
 	// Internal flushes (batcher pools, the final checkpoint) still land.
 	sink.BeginDrain()
 	fmt.Println("draining: readiness off, refusing new reports (429 / shed acks)")
-	if drainGrace > 0 {
-		time.Sleep(drainGrace)
+	logger.Info("draining", "grace", cfg.drainGrace, "trace", sink.LastTrace())
+	if cfg.drainGrace > 0 {
+		time.Sleep(cfg.drainGrace)
 	}
 
 	// Phase 2: flush, checkpoint, resync, exit.
@@ -253,6 +320,7 @@ func run(addr string, duration time.Duration, shards, batchSize int, adaptive, c
 		st := announcer.Stats()
 		fmt.Printf("announce: %d registrations, %d pushes (%d resyncs), %d bytes pushed, %d failures\n",
 			st.Registers, st.Pushes, st.Resyncs, st.BytesPushed, st.Failures)
+		logger.Info("announce done", "pushes", st.Pushes, "resyncs", st.Resyncs, "failures", st.Failures)
 	}
 	counts, n := srv.Snapshot()
 	if n == 0 {

@@ -9,7 +9,7 @@ import (
 func TestRunStopsAfterDuration(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", 100*time.Millisecond, 2, 64, "", "", 0, "", time.Second, 8, "", "", "", 10*time.Millisecond)
+		done <- run(config{addr: "127.0.0.1:0", duration: 100 * time.Millisecond, shards: 2, batchSize: 64, streamInterval: time.Second, window: 8, drainGrace: 10 * time.Millisecond})
 	}()
 	select {
 	case err := <-done:
@@ -22,13 +22,13 @@ func TestRunStopsAfterDuration(t *testing.T) {
 }
 
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.0.0.1:bad", time.Millisecond, 0, 0, "", "", 0, "", time.Second, 8, "", "", "", 10*time.Millisecond); err == nil {
+	if err := run(config{addr: "256.0.0.1:bad", duration: time.Millisecond, streamInterval: time.Second, window: 8, drainGrace: 10 * time.Millisecond}); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }
 
 func TestRunBadAdaptiveSpec(t *testing.T) {
-	if err := run("127.0.0.1:0", time.Millisecond, 0, 0, "nope", "", 0, "", time.Second, 8, "", "", "", 10*time.Millisecond); err == nil {
+	if err := run(config{addr: "127.0.0.1:0", duration: time.Millisecond, adaptive: "nope", streamInterval: time.Second, window: 8, drainGrace: 10 * time.Millisecond}); err == nil {
 		t.Fatal("malformed -adaptive-batch accepted")
 	}
 }
@@ -37,7 +37,7 @@ func TestRunDurableWritesCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", 100*time.Millisecond, 2, 64, "", dir, time.Hour, "", time.Second, 8, "", "", "", 10*time.Millisecond)
+		done <- run(config{addr: "127.0.0.1:0", duration: 100 * time.Millisecond, shards: 2, batchSize: 64, ckptDir: dir, ckptInterval: time.Hour, streamInterval: time.Second, window: 8, drainGrace: 10 * time.Millisecond})
 	}()
 	select {
 	case err := <-done:
@@ -60,7 +60,7 @@ func TestRunDurableWritesCheckpoint(t *testing.T) {
 func TestRunStreamingServesSSE(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", 300*time.Millisecond, 2, 8, "", "", 0, "127.0.0.1:0", 20*time.Millisecond, 8, "", "", "", 10*time.Millisecond)
+		done <- run(config{addr: "127.0.0.1:0", duration: 300 * time.Millisecond, shards: 2, batchSize: 8, streamAddr: "127.0.0.1:0", streamInterval: 20 * time.Millisecond, window: 8, drainGrace: 10 * time.Millisecond})
 	}()
 	select {
 	case err := <-done:

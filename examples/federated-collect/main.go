@@ -10,8 +10,8 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
 	"math"
+	"os"
 	"sync"
 	"time"
 
@@ -20,6 +20,7 @@ import (
 	"idldp/internal/core"
 	"idldp/internal/dist"
 	"idldp/internal/rng"
+	"idldp/internal/telemetry"
 	"idldp/internal/transport"
 )
 
@@ -29,13 +30,16 @@ const (
 )
 
 func main() {
+	logger := telemetry.NewLogger(os.Stderr, "info", false, "federated-collect", "")
 	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("engine", "err", err)
+		os.Exit(1)
 	}
 	srv, err := transport.Serve("127.0.0.1:0", engine.M())
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	}
 	defer srv.Close()
 	fmt.Printf("aggregation server on %s\n", srv.Addr())
@@ -52,7 +56,7 @@ func main() {
 			defer wg.Done()
 			client, err := transport.Dial(context.Background(), srv.Addr())
 			if err != nil {
-				log.Println("dial:", err)
+				logger.Error("dial", "population", p, "err", err)
 				return
 			}
 			defer client.Close()
@@ -69,7 +73,7 @@ func main() {
 				local.Add(buf)
 			}
 			if err := client.SendBatch(local); err != nil {
-				log.Println("send:", err)
+				logger.Error("send", "population", p, "err", err)
 				return
 			}
 			truthMu.Lock()
@@ -93,7 +97,8 @@ func main() {
 	ue := engine.UE()
 	est, err := srv.Estimate(ue.A, ue.B, 1)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("estimate", "err", err)
+		os.Exit(1)
 	}
 	fmt.Printf("\n%-12s %10s %10s %8s\n", "category", "true", "estimated", "error")
 	names := []string{"HIV", "flu", "headache", "stomachache", "toothache"}

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"idldp/internal/bitvec"
 	"idldp/internal/flow"
 	"idldp/internal/rng"
 	"idldp/internal/server"
+	"idldp/internal/telemetry"
 )
 
 // StreamOptions tunes a flow-controlled streaming run.
@@ -18,6 +20,11 @@ type StreamOptions struct {
 	// Policy is the retry schedule for pushed-back flushes (zero value
 	// selects flow defaults).
 	Policy flow.Policy
+	// PerturbHist, when non-nil, receives one observation per item with
+	// the time spent perturbing it — the client-side privatization cost,
+	// the first stage of the report lifecycle. Leaving it nil keeps the
+	// loop free of clock reads.
+	PerturbHist *telemetry.Histogram
 }
 
 // isPushback reports whether err is the sink's flow-control signal.
@@ -78,9 +85,16 @@ func StreamInto(ctx context.Context, items []int, bits int, perturb PerturbItemI
 			}
 			lo := w * n / workers
 			hi := (w + 1) * n / workers
+			timed := o.PerturbHist != nil
 			for u := lo; u < hi; u++ {
 				root.SplitNInto(u, ur)
-				perturb(items[u], ur, buf)
+				if timed {
+					start := time.Now()
+					perturb(items[u], ur, buf)
+					o.PerturbHist.ObserveSince(start)
+				} else {
+					perturb(items[u], ur, buf)
+				}
 				err := b.Add(buf)
 				if isPushback(err) {
 					err = retryFlush()

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"idldp/internal/rng"
+	"idldp/internal/telemetry"
 )
 
 // ErrInjected marks every error produced by the injector, so tests and
@@ -147,6 +148,23 @@ func (s *Site) Counts() Counts {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.counts
+}
+
+// RegisterMetrics exposes the injector's cross-site fault counters on
+// reg as scrape-time views, so a chaos run's hostility shows up on the
+// same /metrics page as the system it is attacking. Nil reg is a no-op.
+func (in *Injector) RegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	pick := func(get func(Counts) int) func() int64 {
+		return func() int64 { return int64(get(in.Counts())) }
+	}
+	reg.CounterFunc("fault_latencies", "Injected latency faults.", pick(func(c Counts) int { return c.Latencies }))
+	reg.CounterFunc("fault_resets", "Injected connection resets.", pick(func(c Counts) int { return c.Resets }))
+	reg.CounterFunc("fault_torn_writes", "Injected torn (partial) writes.", pick(func(c Counts) int { return c.TornWrites }))
+	reg.CounterFunc("fault_corruptions", "Injected byte corruptions.", pick(func(c Counts) int { return c.Corruptions }))
+	reg.CounterFunc("fault_errors", "Injected forced errors.", pick(func(c Counts) int { return c.Errors }))
 }
 
 // fault is one drawn injection decision.

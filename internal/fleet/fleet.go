@@ -32,6 +32,7 @@ import (
 	"idldp/internal/readcache"
 	"idldp/internal/registry"
 	"idldp/internal/stream"
+	"idldp/internal/telemetry"
 	"idldp/internal/transport"
 	"idldp/internal/varpack"
 )
@@ -335,6 +336,38 @@ func (f *Fleet) Ready() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.gen > 0 && !f.closedStream
+}
+
+// RegisterMetrics exposes the polling merger on reg as scrape-time
+// views: source count, merge generation, and fetch outcome counters.
+// Nil reg is a no-op. Registry-attached fleets get the push-side
+// metrics from registry.WithTelemetry on the same telemetry registry.
+func (f *Fleet) RegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	sum := func(pick func(*node) int64) func() int64 {
+		return func() int64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			var t int64
+			for _, nd := range f.nodes {
+				t += pick(nd)
+			}
+			return t
+		}
+	}
+	reg.GaugeFunc("poll_nodes", "Configured poll sources.", func() float64 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return float64(len(f.nodes))
+	})
+	reg.GaugeFunc("poll_generation", "Completed poll rounds (the merge generation).", func() float64 {
+		return float64(f.Generation())
+	})
+	reg.CounterFunc("poll_fetches", "Node snapshot fetch attempts.", sum(func(nd *node) int64 { return nd.polls }))
+	reg.CounterFunc("poll_failures", "Failed node fetches.", sum(func(nd *node) int64 { return nd.failures }))
+	reg.CounterFunc("poll_node_resets", "Cumulative-count regressions observed on restarted nodes.", sum(func(nd *node) int64 { return nd.resets }))
 }
 
 // Generation returns how many Polls have completed — the merge

@@ -63,6 +63,7 @@ import (
 
 	"idldp/internal/registry"
 	"idldp/internal/server"
+	"idldp/internal/telemetry"
 	"idldp/internal/varpack"
 )
 
@@ -146,6 +147,21 @@ func NewSink(sink *server.Server, est Estimator) (*Handler, error) {
 // sequence; see server.BeginDrain.
 func (h *Handler) BeginDrain() { h.sink.BeginDrain() }
 
+// SetTelemetry mounts the Prometheus exposition page at GET /metrics on
+// the handler's mux and registers the cached-read-path metric views
+// (streaming handlers only; nil reg is a no-op). The ingestion
+// runtime's own metrics appear when the sink was built with
+// server.WithTelemetry on the same registry. Call before serving.
+func (h *Handler) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	h.mux.Handle("GET /metrics", reg.Handler())
+	if h.stream != nil {
+		h.stream.registerMetrics(reg)
+	}
+}
+
 // RequireSnapshotAuth gates GET /v1/snapshot behind the fleet-token
 // HMAC (headers X-Idldp-Time and X-Idldp-Mac, optional X-Idldp-Node;
 // see SignSnapshotHeaders). Ingest endpoints stay open — they carry
@@ -214,6 +230,7 @@ func (h *Handler) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeShed(w, err)
 		return
 	}
+	h.sink.NoteTrace(telemetry.TraceFromRequest(r))
 	body := h.bodies.Get().(*reportBody)
 	defer h.bodies.Put(body)
 	// Reset in place, keeping the words capacity: json.Unmarshal reuses
@@ -272,6 +289,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeShed(w, err)
 		return
 	}
+	h.sink.NoteTrace(telemetry.TraceFromRequest(r))
 	// The sink takes ownership of the counts slice, so the batch path
 	// cannot pool its body; batching clients amortize the cost anyway.
 	// Blocking placement: the batch was admitted, so it must land.

@@ -4,15 +4,19 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"idldp/internal/budget"
 	"idldp/internal/core"
 	"idldp/internal/rng"
 	"idldp/internal/server"
+	"idldp/internal/telemetry"
 )
 
 func newServer(t *testing.T) (*httptest.Server, *core.Engine) {
@@ -323,5 +327,98 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if len(st.QueueDepth) != 2 {
 		t.Fatalf("queue depth: %+v", st)
+	}
+}
+
+// TestMetricsEndpointAndTraceHeader: mounting a telemetry registry on
+// the handler serves Prometheus text at GET /metrics with the ingest
+// counters live, and a valid X-Idldp-Trace header on a report is
+// absorbed as the sink's representative trace (an invalid one is not).
+func TestMetricsEndpointAndTraceHeader(t *testing.T) {
+	e, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.NewRegistry("idldp")
+	h, err := New(e.M(), e.EstimateSingle,
+		server.WithShards(2), server.WithBatchSize(4), server.WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetTelemetry(tel)
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { h.Close() })
+
+	v := e.PerturbItem(1, rng.New(7))
+	buf, err := json.Marshal(reportBody{Words: v.Words(), Bits: v.Len()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := telemetry.NewTraceID()
+	for _, hdr := range []string{trace, "not hex!"} {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/report", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(telemetry.TraceHeader, hdr)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("report status %d", resp.StatusCode)
+		}
+	}
+	if got := h.sink.LastTrace(); got != trace {
+		t.Fatalf("sink last trace = %q, want %q (invalid header must not overwrite)", got, trace)
+	}
+
+	scrape := func() string {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("metrics content type %q", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	// Reports buffer in pooled batchers until a read flushes them; the
+	// estimates call forces that flush, then the scrape is polled until
+	// the shard consumers fold the flushed frames in.
+	if resp, err := http.Get(srv.URL + "/v1/estimates"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var text string
+	for {
+		text = scrape()
+		if strings.Contains(text, "idldp_ingest_reports_total 2") || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"idldp_ingest_reports_total 2",
+		"idldp_ingest_frames_total",
+		"# TYPE idldp_ingest_queue_wait_seconds histogram",
+		"idldp_ingest_queue_wait_seconds_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q\nscrape:\n%s", want, text)
+		}
 	}
 }

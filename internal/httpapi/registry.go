@@ -104,6 +104,7 @@ func (h *RegistryHandler) handleDelta(w http.ResponseWriter, r *http.Request) {
 		Name: body.Name, Session: body.Session, TimeNano: body.TimeNano, MAC: body.MAC,
 		Frame: registry.PushFrame{
 			Seq: body.Seq, Resync: body.Resync, Packed: body.Packed, DN: body.DN, N: body.N,
+			Trace: body.Trace,
 		},
 	})
 	if err != nil {
@@ -145,6 +146,7 @@ type memberStatusBody struct {
 	Rejects        int64     `json:"rejects"`
 	DeltaBytes     int64     `json:"delta_bytes"`
 	PollEquivBytes int64     `json:"poll_equiv_bytes"`
+	LastTrace      string    `json:"last_trace,omitempty"`
 }
 
 func (h *RegistryHandler) handleFleet(w http.ResponseWriter, r *http.Request) {
@@ -157,6 +159,7 @@ func (h *RegistryHandler) handleFleet(w http.ResponseWriter, r *http.Request) {
 			LastSeen: st.LastSeen, Registrations: st.Registrations,
 			Pushes: st.Pushes, Resyncs: st.Resyncs, Rejects: st.Rejects,
 			DeltaBytes: st.DeltaBytes, PollEquivBytes: st.PollEquivBytes,
+			LastTrace: st.LastTrace,
 		}
 	}
 	writeJSON(w, map[string]any{"members": out, "bits": h.reg.Bits()})

@@ -12,6 +12,7 @@ import (
 	"idldp/internal/readcache"
 	"idldp/internal/server"
 	"idldp/internal/stream"
+	"idldp/internal/telemetry"
 )
 
 // StreamConfig enables the live-estimates surface of the HTTP API:
@@ -68,10 +69,40 @@ type liveState struct {
 
 	calibrations int64 // Estimator invocations across all read surfaces
 
+	// Per-stage latency histograms, set under mu by registerMetrics and
+	// nil-safe no-ops until then.
+	hCalib *telemetry.Histogram
+	hSSE   *telemetry.Histogram
+
 	// flushStop ends the periodic batcher flush (see Handler.flushLoop);
 	// unused by LiveHandler, which has no ingest side.
 	flushStop chan struct{}
 	flushOnce sync.Once
+}
+
+// registerMetrics exposes the cached read path on reg: calibration and
+// SSE fan-out latency histograms plus scrape-time views of the cache
+// and hub counters.
+func (ls *liveState) registerMetrics(reg *telemetry.Registry) {
+	hCalib := reg.Histogram("incremental_calibration", "Latency of one estimator calibration (per generation or windowed read).")
+	hSSE := reg.Histogram("sse_publish", "Latency of broadcasting one pre-marshaled event to the SSE hub.")
+	ls.mu.Lock()
+	ls.hCalib, ls.hSSE = hCalib, hSSE
+	ls.mu.Unlock()
+	reg.CounterFunc("readcache_hits", "Reads answered from a current-generation cache entry.",
+		func() int64 { return ls.cache.Stats().Hits })
+	reg.CounterFunc("readcache_misses", "Reads that found no current-generation cache entry.",
+		func() int64 { return ls.cache.Stats().Misses })
+	reg.GaugeFunc("readcache_entries", "Live read-cache entries.",
+		func() float64 { return float64(ls.cache.Stats().Entries) })
+	reg.GaugeFunc("sse_subscribers", "Attached SSE stream clients.",
+		func() float64 { return float64(ls.hub.Stats().Subscribers) })
+	reg.CounterFunc("sse_events", "Event payloads broadcast to SSE clients.",
+		func() int64 { return ls.hub.Stats().Published })
+	reg.GaugeFunc("read_generation", "Newest fully-processed stream generation.",
+		func() float64 { ls.mu.Lock(); defer ls.mu.Unlock(); return float64(ls.seq) })
+	reg.CounterFunc("calibrations", "Estimator invocations across all read surfaces.",
+		func() int64 { ls.mu.Lock(); defer ls.mu.Unlock(); return ls.calibrations })
 }
 
 func newLiveState(win *stream.Window, est Estimator) *liveState {
@@ -174,9 +205,12 @@ func (ls *liveState) consume(sub *stream.Sub) {
 		if n > 0 {
 			chunk, fatal = ls.refreshLocked(seq, counts, n, wCounts, wN)
 		}
+		hSSE := ls.hSSE
 		ls.mu.Unlock()
 		if chunk != nil {
+			start := time.Now()
 			ls.hub.Publish(seq, chunk, fatal)
+			hSSE.ObserveSince(start)
 		}
 	}
 	ls.mu.Lock()
@@ -191,7 +225,9 @@ func (ls *liveState) consume(sub *stream.Sub) {
 // ?window=capacity body), the heavy-hitter probe, and the shared SSE
 // event chunk. Caller holds ls.mu.
 func (ls *liveState) refreshLocked(seq uint64, counts []int64, n int64, wCounts []int64, wN int64) (chunk []byte, fatal bool) {
+	start := time.Now()
 	est, err := ls.est(counts, int(n))
+	ls.hCalib.ObserveSince(start)
 	ls.calibrations++
 	if err != nil {
 		ls.estErr = err
@@ -213,7 +249,9 @@ func (ls *liveState) refreshLocked(seq uint64, counts []int64, n int64, wCounts 
 	ls.cache.Put(readcache.Key{Kind: readcache.HeavyHitters},
 		readcache.Value{Gen: seq, N: n, Estimates: []float64{float64(ev.Top1)}})
 	if wN > 0 {
+		wStart := time.Now()
 		wEst, werr := ls.est(wCounts, int(wN))
+		ls.hCalib.ObserveSince(wStart)
 		ls.calibrations++
 		if werr == nil {
 			ev.WindowEstimates = wEst
@@ -330,7 +368,9 @@ func (ls *liveState) serveWindowed(w http.ResponseWriter, k int) {
 			writeJSON(w, map[string]any{"estimates": []float64{}, "reports": 0, "window": k})
 			return
 		}
+		start := time.Now()
 		est, err := ls.est(counts, int(n))
+		ls.hCalib.ObserveSince(start)
 		ls.calibrations++
 		if err != nil {
 			ls.mu.Unlock()
@@ -486,6 +526,14 @@ func NewLive(sub *stream.Sub, bits int, est Estimator, window int) (*LiveHandler
 
 // ServeHTTP implements http.Handler.
 func (lh *LiveHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) { lh.mux.ServeHTTP(w, r) }
+
+// SetTelemetry registers the read-path metric views on reg; the caller
+// mounts reg.Handler() wherever /metrics should live. Nil is a no-op.
+func (lh *LiveHandler) SetTelemetry(reg *telemetry.Registry) {
+	if reg != nil {
+		lh.ls.registerMetrics(reg)
+	}
+}
 
 // Close unsubscribes from the stream, stopping the consumer and closing
 // the SSE hub (connected clients are hung up).

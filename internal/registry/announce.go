@@ -24,6 +24,7 @@ import (
 
 	"idldp/internal/flow"
 	"idldp/internal/stream"
+	"idldp/internal/telemetry"
 	"idldp/internal/varpack"
 )
 
@@ -74,6 +75,10 @@ type AnnounceConfig struct {
 	OpTimeout time.Duration
 	// OnError observes connection-level failures (may be nil).
 	OnError func(error)
+	// Telemetry, when non-nil, registers a delta-push round-trip-time
+	// histogram (one observation per accepted push, including signing
+	// and the wire round trip).
+	Telemetry *telemetry.Registry
 }
 
 // AnnounceStats is a point-in-time view of an announcer's activity.
@@ -102,11 +107,15 @@ type Announcer struct {
 	failures  atomic.Int64
 	bytes     atomic.Int64
 
+	hPushRTT *telemetry.Histogram
+
 	// Stream state, touched only by the run goroutine: the lifetime
 	// subscription, the cumulative state of every frame consumed from
-	// it, and whether the stream has ended.
+	// it, the representative trace of the last traced frame, and whether
+	// the stream has ended.
 	sub       *stream.Sub
 	acc       *stream.Accumulator
+	lastTrace string
 	haveState bool
 	srcClosed bool
 
@@ -150,6 +159,7 @@ func Announce(cfg AnnounceConfig) (*Announcer, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	a := &Announcer{cfg: cfg, cancel: cancel, done: make(chan struct{}), sub: sub, acc: acc}
+	a.hPushRTT = cfg.Telemetry.Histogram("delta_push_rtt", "Round-trip time of one delta/resync push to the upstream merger.")
 	go a.run(ctx)
 	return a, nil
 }
@@ -196,6 +206,9 @@ func (a *Announcer) fail(err error) {
 // consume folds one frame into the local cumulative state.
 func (a *Announcer) consume(d stream.Delta) {
 	_ = a.acc.Apply(d) // out-of-sync heals at the next resync frame
+	if d.Trace != "" {
+		a.lastTrace = d.Trace
+	}
 	a.haveState = true
 }
 
@@ -299,10 +312,12 @@ func (a *Announcer) session(ctx context.Context) (clean, finished bool) {
 		outSeq++
 		f.Seq = outSeq
 		p := Push{Name: a.cfg.Name, Session: reply.Session, Frame: f}
-		p.SignPush(a.cfg.Auth, time.Now())
+		start := time.Now()
+		p.SignPush(a.cfg.Auth, start)
 		if err := a.op(ctx, func(octx context.Context) error { return conn.Push(octx, p) }); err != nil {
 			return err
 		}
+		a.hPushRTT.ObserveSince(start)
 		a.pushes.Add(1)
 		a.bytes.Add(int64(len(f.Packed)))
 		if f.Resync {
@@ -316,7 +331,7 @@ func (a *Announcer) session(ctx context.Context) (clean, finished bool) {
 	// whatever the previous session or an outage lost.
 	if a.haveState {
 		counts, n := a.acc.Counts()
-		if err := push(PushFrame{Resync: true, Packed: varpack.Pack(counts), N: n}); err != nil {
+		if err := push(PushFrame{Resync: true, Packed: varpack.Pack(counts), N: n, Trace: a.lastTrace}); err != nil {
 			a.fail(fmt.Errorf("registry: resync: %w", err))
 			return false, ctx.Err() != nil
 		}
@@ -380,14 +395,15 @@ func (a *Announcer) op(ctx context.Context, f func(context.Context) error) error
 
 // frameFromDelta converts one stream frame to the wire form: resyncs
 // carry the full packed counts, deltas the gap-encoded sparse pairs.
-// The caller assigns the session-local sequence number.
+// The representative trace rides along. The caller assigns the
+// session-local sequence number.
 func frameFromDelta(d stream.Delta) (PushFrame, error) {
 	if d.Resync {
-		return PushFrame{Resync: true, Packed: varpack.Pack(d.Counts), N: d.N}, nil
+		return PushFrame{Resync: true, Packed: varpack.Pack(d.Counts), N: d.N, Trace: d.Trace}, nil
 	}
 	packed, err := varpack.PackDelta(d.Bits, d.Inc)
 	if err != nil {
 		return PushFrame{}, fmt.Errorf("registry: frame seq %d: %w", d.Seq, err)
 	}
-	return PushFrame{Packed: packed, DN: d.DN, N: d.N}, nil
+	return PushFrame{Packed: packed, DN: d.DN, N: d.N, Trace: d.Trace}, nil
 }

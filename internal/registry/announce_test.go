@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"idldp/internal/stream"
+	"idldp/internal/telemetry"
 )
 
 // loopConn wires an announcer straight into a Registry, with a switch
@@ -349,5 +350,80 @@ func TestAnnouncerBackoffDecorrelates(t *testing.T) {
 	// only by scheduling noise.
 	if diff < 5*time.Millisecond {
 		t.Fatalf("announcer backoff gaps nearly identical (total |diff| = %v): not jittered", diff)
+	}
+}
+
+// TestTraceClimbsTiers: a trace ID minted at the leaf publisher must be
+// observable at the top of a two-tier merger stack — stamped on the
+// node's delta, noted per-member by the mid tier, re-stamped on the
+// mid tier's own upstream push, and noted again at the top. This is
+// the representative-trace propagation contract: aggregation destroys
+// per-report identity, so each hop carries the latest trace absorbed.
+func TestTraceClimbsTiers(t *testing.T) {
+	auth := mustAuth(t, "k")
+	mid, err := New(2, WithAuth(auth), WithTelemetry(telemetry.NewRegistry("idldp")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Close()
+	top, err := New(2, WithAuth(auth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer top.Close()
+
+	var down atomic.Bool
+	up, err := Announce(AnnounceConfig{
+		Name: "mid", Bits: 2, Kind: "merger", Auth: auth,
+		Dial:      func(context.Context) (Conn, error) { return &loopConn{reg: top, down: &down}, nil },
+		Subscribe: mid.Subscribe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+
+	pub, err := stream.NewPublisher(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	node, err := Announce(AnnounceConfig{
+		Name: "n0", Bits: 2, Kind: "node", Auth: auth,
+		Dial:      func(context.Context) (Conn, error) { return &loopConn{reg: mid, down: &down}, nil },
+		Subscribe: pub.Subscribe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	trace := telemetry.NewTraceID()
+	if err := pub.PublishT([]int64{1, 2}, 3, trace); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "trace at top tier", func() bool { return top.LastTrace() == trace })
+	if got := mid.LastTrace(); got != trace {
+		t.Fatalf("mid tier last trace = %q, want %q", got, trace)
+	}
+	// The per-member view attributes the trace to the member that carried it.
+	checks := []struct {
+		tier   string
+		reg    *Registry
+		member string
+	}{{"mid", mid, "n0"}, {"top", top, "mid"}}
+	for _, c := range checks {
+		found := false
+		for _, st := range c.reg.Status() {
+			if st.Name == c.member {
+				found = true
+				if st.LastTrace != trace {
+					t.Fatalf("%s member %s last trace = %q, want %q", c.tier, c.member, st.LastTrace, trace)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("member %s not in %s status", c.member, c.tier)
+		}
 	}
 }

@@ -53,6 +53,7 @@ type PushBody struct {
 	Packed   []byte `json:"packed"`
 	DN       int64  `json:"dn"`
 	N        int64  `json:"n"`
+	Trace    string `json:"trace,omitempty"`
 }
 
 // HTTPConn announces to a merger over HTTP/JSON.
@@ -127,7 +128,7 @@ func (c *HTTPConn) Push(ctx context.Context, p Push) error {
 	return c.post(ctx, "/v1/delta", PushBody{
 		Name: p.Name, Session: p.Session, TimeNano: p.TimeNano, MAC: p.MAC,
 		Seq: p.Frame.Seq, Resync: p.Frame.Resync, Packed: p.Frame.Packed,
-		DN: p.Frame.DN, N: p.Frame.N,
+		DN: p.Frame.DN, N: p.Frame.N, Trace: p.Frame.Trace,
 	}, nil)
 }
 

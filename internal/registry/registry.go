@@ -55,6 +55,7 @@ import (
 
 	"idldp/internal/checkpoint"
 	"idldp/internal/stream"
+	"idldp/internal/telemetry"
 	"idldp/internal/varpack"
 )
 
@@ -159,11 +160,17 @@ type PushFrame struct {
 	// cumulative report count after this frame (always set).
 	DN int64
 	N  int64
+	// Trace is the representative trace ID of the interval this frame
+	// summarizes (the last report batch folded into it), carried uphill
+	// so a trace minted at a node is observable at the top-tier merger.
+	// Empty when the sender has absorbed no traced work yet.
+	Trace string
 }
 
-// macPayload canonicalizes the frame fields under the MAC.
+// macPayload canonicalizes the frame fields under the MAC. The trace is
+// length-prefixed so the encoding stays injective.
 func (f *PushFrame) macPayload() []byte {
-	b := make([]byte, 0, len(f.Packed)+4*binary.MaxVarintLen64+1)
+	b := make([]byte, 0, len(f.Packed)+len(f.Trace)+5*binary.MaxVarintLen64+1)
 	b = binary.AppendUvarint(b, f.Seq)
 	if f.Resync {
 		b = append(b, 1)
@@ -172,6 +179,8 @@ func (f *PushFrame) macPayload() []byte {
 	}
 	b = binary.AppendVarint(b, f.DN)
 	b = binary.AppendVarint(b, f.N)
+	b = binary.AppendUvarint(b, uint64(len(f.Trace)))
+	b = append(b, f.Trace...)
 	return append(b, f.Packed...)
 }
 
@@ -209,6 +218,10 @@ type member struct {
 	pushes        int64
 	resyncs       int64
 	rejects       int64
+
+	// lastTrace is the representative trace carried on the member's most
+	// recent accepted push (empty until a traced frame arrives).
+	lastTrace string
 
 	// Bandwidth accounting: bytes actually pushed vs what full-snapshot
 	// polling at the same cadence would have transferred. packedSize is
@@ -252,6 +265,14 @@ func WithCheckpoint(dir string, interval time.Duration) Option {
 	}
 }
 
+// WithTelemetry registers the registry's fleet metrics — membership
+// gauges, control-plane event counters, delta/poll byte accounting and
+// a checkpoint-write latency histogram — on reg. All views read live
+// state at scrape time; nil reg is a no-op.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(r *Registry) { r.tel = reg }
+}
+
 // Registry is the merger-side control plane. All methods are safe for
 // concurrent use.
 type Registry struct {
@@ -262,6 +283,12 @@ type Registry struct {
 	ckptDir        string
 	ckptInterval   time.Duration
 	now            func() time.Time // test hook
+
+	tel   *telemetry.Registry
+	hCkpt *telemetry.Histogram
+	// trace is the representative trace across all members: the trace of
+	// the most recently accepted traced push, readable without r.mu.
+	trace telemetry.TraceNote
 
 	mu      sync.Mutex
 	closed  bool
@@ -298,6 +325,9 @@ func New(bits int, opts ...Option) (*Registry, error) {
 	}
 	for _, opt := range opts {
 		opt(r)
+	}
+	if r.tel != nil {
+		r.registerMetrics(r.tel)
 	}
 	if r.ckptDir != "" {
 		if err := os.MkdirAll(r.ckptDir, 0o755); err != nil {
@@ -368,6 +398,58 @@ func Restore(bits int, opts ...Option) (*Registry, int, error) {
 }
 
 const memberDirPrefix = "member-"
+
+// registerMetrics exposes the fleet view on tel. Gauges and counters
+// are scrape-time closures over the live membership — the registry
+// keeps exactly one copy of each statistic.
+func (r *Registry) registerMetrics(tel *telemetry.Registry) {
+	r.hCkpt = tel.Histogram("fleet_checkpoint_write", "Latency of one registry checkpoint pass over all dirty members.")
+	sum := func(pick func(*member) int64) func() int64 {
+		return func() int64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			var t int64
+			for _, m := range r.members {
+				t += pick(m)
+			}
+			return t
+		}
+	}
+	tel.GaugeFunc("fleet_members", "Members known to the registry (live or evicted).", func() float64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return float64(len(r.members))
+	})
+	tel.GaugeFunc("fleet_members_live", "Members holding a live, unevicted session.", func() float64 {
+		now := r.now()
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		live := 0
+		for _, m := range r.members {
+			if !r.evictedLocked(m, now) {
+				live++
+			}
+		}
+		return float64(live)
+	})
+	tel.GaugeFunc("fleet_merged_reports", "Merged cumulative report count across all members.", func() float64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return float64(r.mergedN)
+	})
+	tel.CounterFunc("fleet_registrations", "Accepted member registrations.", sum(func(m *member) int64 { return m.registrations }))
+	tel.CounterFunc("fleet_pushes", "Accepted delta/resync pushes.", sum(func(m *member) int64 { return m.pushes }))
+	tel.CounterFunc("fleet_resyncs", "Accepted full-state resync frames.", sum(func(m *member) int64 { return m.resyncs }))
+	tel.CounterFunc("fleet_rejects", "Rejected control-plane messages (bad session, replay, malformed frame).", sum(func(m *member) int64 { return m.rejects }))
+	tel.CounterFunc("fleet_delta_bytes", "Payload bytes actually pushed by members.", sum(func(m *member) int64 { return m.deltaBytes }))
+	tel.CounterFunc("fleet_poll_equiv_bytes", "Payload bytes full-snapshot polling would have transferred.", sum(func(m *member) int64 { return m.pollEquivBytes }))
+}
+
+// LastTrace returns the representative trace ID of the most recently
+// accepted traced push, or "" if none arrived yet. This is the top-tier
+// observability hook: a trace minted at a leaf node surfaces here after
+// riding ingest → fold → delta push → (tiers of) merge.
+func (r *Registry) LastTrace() string { return r.trace.Last() }
 
 // Bits returns the domain size m.
 func (r *Registry) Bits() int { return r.bits }
@@ -493,14 +575,20 @@ func (r *Registry) Push(p Push) error {
 	m.dirty = true
 	m.deltaBytes += int64(len(p.Frame.Packed))
 	m.pollEquivBytes += int64(m.packedSize)
+	if p.Frame.Trace != "" {
+		m.lastTrace = p.Frame.Trace
+	}
 	if r.pub != nil {
 		// Published under r.mu so frames leave in state order; the
 		// publisher handles a regression (a member resyncing lower after a
-		// checkpointless restart) by emitting a resync frame itself.
+		// checkpointless restart) by emitting a resync frame itself. The
+		// pushed trace rides the republished frame so it keeps climbing
+		// tiers.
 		merged, n := r.mergedLocked()
-		_ = r.pub.Publish(merged, n)
+		_ = r.pub.PublishT(merged, n, p.Frame.Trace)
 	}
 	r.mu.Unlock()
+	r.trace.Note(p.Frame.Trace)
 	return nil
 }
 
@@ -636,6 +724,9 @@ type MemberStatus struct {
 	// DeltaBytes is what the member actually pushed; PollEquivBytes what
 	// full-snapshot polling at the same cadence would have transferred.
 	DeltaBytes, PollEquivBytes int64
+	// LastTrace is the representative trace on the member's most recent
+	// accepted push ("" until one arrives).
+	LastTrace string
 }
 
 // Status returns the per-member view, sorted by name.
@@ -659,6 +750,7 @@ func (r *Registry) Status() []MemberStatus {
 			Rejects:        m.rejects,
 			DeltaBytes:     m.deltaBytes,
 			PollEquivBytes: m.pollEquivBytes,
+			LastTrace:      m.lastTrace,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -690,6 +782,9 @@ func (r *Registry) CheckpointNow() error {
 	}
 	r.ckptRun.Lock()
 	defer r.ckptRun.Unlock()
+	if r.hCkpt != nil {
+		defer r.hCkpt.ObserveSince(time.Now())
+	}
 	r.mu.Lock()
 	type save struct {
 		m      *member

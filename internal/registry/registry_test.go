@@ -395,3 +395,38 @@ func TestBitsMismatchRejected(t *testing.T) {
 		t.Fatal("bits mismatch accepted")
 	}
 }
+
+// TestTraceTamperRejected: the trace ID is MAC-covered on push frames —
+// an attacker who flips the trace on a validly signed frame (to forge
+// attribution or poison the propagated trace) must be rejected, and a
+// frame signed WITH a trace must not verify with the trace stripped.
+func TestTraceTamperRejected(t *testing.T) {
+	auth := mustAuth(t, "k")
+	r, err := New(2, WithAuth(auth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	now := time.Now()
+	reply := register(t, r, auth, "a", now)
+
+	p := Push{Name: "a", Session: reply.Session,
+		Frame: PushFrame{Seq: 1, Resync: true, Packed: varpack.Pack([]int64{1, 1}), N: 2, Trace: "aaaaaaaaaaaaaaaa"}}
+	p.SignPush(auth, now)
+	tampered := p
+	tampered.Frame.Trace = "bbbbbbbbbbbbbbbb"
+	if err := r.Push(tampered); !errors.Is(err, ErrAuth) {
+		t.Fatalf("tampered trace accepted: %v", err)
+	}
+	stripped := p
+	stripped.Frame.Trace = ""
+	if err := r.Push(stripped); !errors.Is(err, ErrAuth) {
+		t.Fatalf("stripped trace accepted: %v", err)
+	}
+	if err := r.Push(p); err != nil {
+		t.Fatalf("untampered frame rejected: %v", err)
+	}
+	if got := r.Status()[0].LastTrace; got != "aaaaaaaaaaaaaaaa" {
+		t.Fatalf("member last trace = %q", got)
+	}
+}

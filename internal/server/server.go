@@ -44,6 +44,7 @@ import (
 	"idldp/internal/bitvec"
 	"idldp/internal/checkpoint"
 	"idldp/internal/stream"
+	"idldp/internal/telemetry"
 )
 
 // ErrClosed is returned by ingestion calls after Close.
@@ -105,6 +106,7 @@ type options struct {
 	streaming      bool
 	streamInterval time.Duration
 	auditEvery     int
+	tel            *telemetry.Registry
 }
 
 // Option tunes a Server.
@@ -184,6 +186,15 @@ func WithStream(interval time.Duration) Option {
 // cumulative counts so subscribers can verify their accumulated state
 // bit for bit (k <= 0 keeps stream.DefaultAuditEvery).
 func WithStreamAudit(k int) Option { return func(o *options) { o.auditEvery = k } }
+
+// WithTelemetry wires the runtime into a metrics registry: the ingest,
+// shed, checkpoint, and stream counters register as live views (the
+// Stats JSON shape is untouched — /metrics becomes the superset), and
+// the per-stage latency histograms (ingest queue wait, shard fold,
+// checkpoint write) start recording. One runtime per registry: the
+// views are closures over this server's counters. nil is a valid no-op,
+// so call sites can thread an optional registry without branching.
+func WithTelemetry(reg *telemetry.Registry) Option { return func(o *options) { o.tel = reg } }
 
 // shardMsg is one frame on a shard queue: exactly one of a raw report, a
 // pre-summed batch (counts+n), or a snapshot marker.
@@ -265,6 +276,16 @@ type Server struct {
 	// Arrival-rate EWMA, fed by the stream ticker and by Stats reads.
 	rate rateGauge
 
+	// Telemetry (all nil without WithTelemetry — the histograms' nil
+	// receivers make every Observe a no-op). trace is the
+	// representative-trace note: external surfaces call NoteTrace with
+	// the trace ID of each batch they fold in, and the stream loop
+	// stamps the latest one onto every published delta.
+	trace      telemetry.TraceNote
+	hQueueWait *telemetry.Histogram
+	hFold      *telemetry.Histogram
+	hCkpt      *telemetry.Histogram
+
 	mu     sync.RWMutex // guards closed against in-flight sends
 	closed bool
 	wg     sync.WaitGroup
@@ -326,6 +347,9 @@ func New(bits int, opts ...Option) (*Server, error) {
 		}
 		s.store = st
 	}
+	if o.tel != nil {
+		s.registerMetrics(o.tel)
+	}
 	for i := range s.shards {
 		sh := &shard{ch: make(chan shardMsg, o.queueDepth), a: agg.New(bits)}
 		s.shards[i] = sh
@@ -354,6 +378,69 @@ func New(bits int, opts ...Option) (*Server, error) {
 	}
 	return s, nil
 }
+
+// registerMetrics re-plumbs the runtime's stat surface as registry
+// views and creates the stage histograms. The existing atomics stay the
+// storage; /metrics reads them through closures at scrape time.
+func (s *Server) registerMetrics(reg *telemetry.Registry) {
+	s.hQueueWait = reg.Histogram("ingest_queue_wait",
+		"Time an ingest frame waits for a shard queue slot (backpressure).")
+	s.hFold = reg.Histogram("shard_fold",
+		"Time a shard worker spends folding one frame into its aggregator.")
+	s.hCkpt = reg.Histogram("checkpoint_write",
+		"Time to snapshot the runtime and persist one checkpoint frame.")
+	reg.CounterFunc("ingest_reports", "Reports accepted for ingestion (restored checkpoints included).",
+		s.reports.Load)
+	reg.CounterFunc("ingest_frames", "Frames the accepted reports were shipped in.",
+		s.frames.Load)
+	reg.CounterFunc("shed_reports", "Reports silently dropped by the saturation guard (data loss).",
+		s.shedReports.Load)
+	reg.CounterFunc("shed_frames", "Frames silently dropped by the saturation guard.",
+		s.shedFrames.Load)
+	reg.CounterFunc("shed_reject_reports", "Reports refused at the admission gate with a pushback signal (sender retries).",
+		s.shedRejectReports.Load)
+	reg.CounterFunc("shed_reject_frames", "Frames refused at the admission gate with a pushback signal.",
+		s.shedRejectFrames.Load)
+	reg.CounterFunc("checkpoints", "Checkpoint frames written.", s.ckptSaves.Load)
+	reg.GaugeFunc("arrival_rate_ewma", "EWMA of the report arrival rate in reports/s.",
+		func() float64 { return s.rate.observe(s.reports.Load(), time.Now()) })
+	reg.GaugeFunc("batch_target", "Current per-producer frame size (adaptive or fixed).",
+		func() float64 { return float64(s.batchTarget()) })
+	reg.GaugeFunc("queue_depth", "Frames waiting across all shard queues.",
+		func() float64 {
+			var d int
+			for _, sh := range s.shards {
+				d += len(sh.ch)
+			}
+			return float64(d)
+		})
+	reg.GaugeFunc("stream_subscribers", "Live delta-stream subscriptions.",
+		func() float64 {
+			if s.pub == nil {
+				return 0
+			}
+			return float64(s.pub.Subscribers())
+		})
+	reg.GaugeFunc("draining", "1 once graceful drain began, else 0.",
+		func() float64 { return boolGauge(s.draining.Load()) })
+	reg.GaugeFunc("saturated", "1 while the runtime pushes back on new load, else 0.",
+		func() float64 { return boolGauge(s.Saturated()) })
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// NoteTrace records the trace context of a batch an external surface
+// folded in; the latest one stamps the next published delta and the
+// structured logs along the way (see internal/telemetry).
+func (s *Server) NoteTrace(id string) { s.trace.Note(id) }
+
+// LastTrace returns the most recent trace context absorbed, or "".
+func (s *Server) LastTrace() string { return s.trace.Last() }
 
 // adaptLoop periodically retargets the batch size from the rate gauge.
 func (s *Server) adaptLoop(interval time.Duration) {
@@ -465,11 +552,13 @@ func (s *Server) CheckpointNow() (checkpoint.Snapshot, error) {
 	if s.store == nil {
 		return checkpoint.Snapshot{}, fmt.Errorf("server: no checkpoint store configured")
 	}
+	start := time.Now()
 	counts, n := s.Snapshot()
 	snap, err := s.store.Save(counts, n)
 	if err != nil {
 		return checkpoint.Snapshot{}, err
 	}
+	s.hCkpt.ObserveSince(start)
 	s.noteCheckpoint(snap)
 	return snap, nil
 }
@@ -502,7 +591,7 @@ func (s *Server) streamLoop(interval time.Duration) {
 				continue
 			}
 			counts, n := s.Snapshot()
-			_ = s.pub.Publish(counts, n)
+			_ = s.pub.PublishT(counts, n, s.trace.Last())
 			s.publishedAt = total
 		case <-s.streamStop:
 			return
@@ -583,17 +672,24 @@ func (s *Server) stopCheckpointLoop() {
 // touches it, which is what keeps ingestion lock-free.
 func (s *Server) worker(sh *shard) {
 	defer s.wg.Done()
+	timed := s.hFold != nil // set before workers start, constant after
 	for msg := range sh.ch {
-		switch {
-		case msg.snap != nil:
+		if msg.snap != nil {
 			msg.snap <- shardSnap{counts: sh.a.Counts(), n: sh.a.N()}
-		case msg.report != nil:
+			continue
+		}
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
+		if msg.report != nil {
 			sh.a.Add(msg.report)
-		default:
+		} else if err := sh.a.AddCounts(msg.counts, msg.n); err != nil {
 			// Validated by the producer; an error here is a programming bug.
-			if err := sh.a.AddCounts(msg.counts, msg.n); err != nil {
-				panic(err)
-			}
+			panic(err)
+		}
+		if timed {
+			s.hFold.ObserveSince(start)
 		}
 	}
 }
@@ -673,6 +769,12 @@ func (s *Server) send(msg shardMsg) error {
 		return ErrClosed
 	}
 	sh := s.shards[s.next.Add(1)%uint64(len(s.shards))]
+	if s.hQueueWait != nil {
+		start := time.Now()
+		sh.ch <- msg
+		s.hQueueWait.ObserveSince(start)
+		return nil
+	}
 	sh.ch <- msg
 	return nil
 }
@@ -937,14 +1039,17 @@ func (s *Server) Close() error {
 	if s.pub != nil {
 		// Publish the drained final state so every subscriber ends on the
 		// authoritative answer, then close their channels.
+		s.pub.SetTrace(s.trace.Last())
 		_ = s.pub.Resync(append([]int64(nil), s.finalCounts...), s.finalN)
 		s.pub.Close()
 	}
 	if s.store != nil {
+		start := time.Now()
 		snap, err := s.store.Save(s.finalCounts, s.finalN)
 		if err != nil {
 			return err
 		}
+		s.hCkpt.ObserveSince(start)
 		s.noteCheckpoint(snap)
 	}
 	return nil

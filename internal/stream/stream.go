@@ -64,6 +64,13 @@ type Delta struct {
 	// Counts is the full cumulative state, set on Resync and Audit
 	// frames. Read-only, like the rest of the frame.
 	Counts []int64
+
+	// Trace is the representative trace ID of the interval: the latest
+	// trace context the producer absorbed before publishing this frame
+	// (see internal/telemetry). Empty when the producer saw no traced
+	// ingest. Consumers propagate it on whatever they publish next, so
+	// one batch's ID is followable across merger tiers.
+	Trace string
 }
 
 // Empty reports whether the frame carries no change and no state —
@@ -93,13 +100,14 @@ type Publisher struct {
 	bits       int
 	auditEvery int
 
-	mu     sync.Mutex
-	closed bool
-	seq    uint64
-	sinceA int // frames since the last audit frame
-	prev   []int64
-	prevN  int64
-	subs   map[*Sub]struct{}
+	mu        sync.Mutex
+	closed    bool
+	seq       uint64
+	sinceA    int // frames since the last audit frame
+	prev      []int64
+	prevN     int64
+	lastTrace string // representative trace stamped onto outbound frames
+	subs      map[*Sub]struct{}
 }
 
 // NewPublisher returns a publisher for m-bit cumulative snapshots,
@@ -171,7 +179,7 @@ func (p *Publisher) Subscribe(buf int) (*Sub, error) {
 // state. prev is replaced wholesale on each publish, never mutated in
 // place, so sharing the slice with consumers is safe.
 func (p *Publisher) resyncFrameLocked() Delta {
-	return Delta{Seq: p.seq, Time: time.Now(), Resync: true, Counts: p.prev, N: p.prevN}
+	return Delta{Seq: p.seq, Time: time.Now(), Resync: true, Counts: p.prev, N: p.prevN, Trace: p.lastTrace}
 }
 
 // Publish diffs the cumulative snapshot (counts, n) against the previous
@@ -183,10 +191,22 @@ func (p *Publisher) resyncFrameLocked() Delta {
 // represented as a delta and is published as a resync instead — the
 // fleet hits this when a node restarts without restoring its checkpoint.
 func (p *Publisher) Publish(counts []int64, n int64) error {
+	return p.PublishT(counts, n, "")
+}
+
+// PublishT is Publish carrying the producer's representative trace
+// context: the latest trace ID absorbed since the previous interval
+// (empty keeps the prior one — an untraced interval never erases the
+// context a consumer is following). The trace rides every outbound
+// frame, including resyncs.
+func (p *Publisher) PublishT(counts []int64, n int64, trace string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return errors.New("stream: publisher closed")
+	}
+	if trace != "" {
+		p.lastTrace = trace
 	}
 	if len(counts) != p.bits {
 		return fmt.Errorf("stream: snapshot has %d counts, publisher wants %d", len(counts), p.bits)
@@ -217,7 +237,7 @@ func (p *Publisher) Publish(counts []int64, n int64) error {
 	}
 	p.prev, p.prevN = counts, n
 	p.seq++
-	d := Delta{Seq: p.seq, Time: time.Now(), Bits: bits, Inc: inc, DN: dn, N: n}
+	d := Delta{Seq: p.seq, Time: time.Now(), Bits: bits, Inc: inc, DN: dn, N: n, Trace: p.lastTrace}
 	p.sinceA++
 	if p.auditEvery > 0 && p.sinceA >= p.auditEvery {
 		p.sinceA = 0
@@ -226,6 +246,19 @@ func (p *Publisher) Publish(counts []int64, n int64) error {
 	}
 	p.fanOutLocked(d)
 	return nil
+}
+
+// SetTrace records the representative trace context to stamp onto
+// subsequent frames without publishing anything — producers that go
+// straight to a final Resync (the server's drain path) use it so the
+// last trace they absorbed still reaches consumers.
+func (p *Publisher) SetTrace(trace string) {
+	if trace == "" {
+		return
+	}
+	p.mu.Lock()
+	p.lastTrace = trace
+	p.mu.Unlock()
 }
 
 // Resync force-publishes the full cumulative state to every subscriber,

@@ -1,0 +1,374 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSample is one parsed exposition sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// parseProm is a strict text-format 0.0.4 parser for the conformance
+// tests: it validates line shapes, names, label syntax and escaping as
+// it goes, failing the test on anything malformed.
+func parseProm(t *testing.T, page string) []promSample {
+	t.Helper()
+	var out []promSample
+	for ln, line := range strings.Split(page, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if !nameRe.MatchString(parts[0]) {
+				t.Fatalf("line %d: invalid family name %q", ln+1, parts[0])
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		rest := line
+		name := rest
+		labels := map[string]string{}
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			name = rest[:i]
+			end := strings.Index(rest, "} ")
+			if end < 0 {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			for _, kv := range splitLabels(t, ln+1, rest[i+1:end]) {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok || !labelRe.MatchString(k) {
+					t.Fatalf("line %d: bad label %q", ln+1, kv)
+				}
+				if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("line %d: unquoted label value %q", ln+1, v)
+				}
+				if _, dup := labels[k]; dup {
+					t.Fatalf("line %d: duplicate label %q", ln+1, k)
+				}
+				labels[k] = unescapeLabel(t, ln+1, v[1:len(v)-1])
+			}
+			rest = rest[end+1:]
+		} else if j := strings.IndexByte(rest, ' '); j >= 0 {
+			name = rest[:j]
+			rest = rest[j:]
+		}
+		if !nameRe.MatchString(name) {
+			t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+		}
+		valStr := strings.TrimSpace(rest)
+		var value float64
+		switch valStr {
+		case "+Inf":
+			value = math.Inf(1)
+		case "-Inf":
+			value = math.Inf(-1)
+		case "NaN":
+		default:
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad sample value %q: %v", ln+1, valStr, err)
+			}
+			value = v
+		}
+		out = append(out, promSample{name: name, labels: labels, value: value})
+	}
+	return out
+}
+
+// splitLabels splits a label body on top-level commas, honoring quoted
+// values with escapes.
+func splitLabels(t *testing.T, ln int, body string) []string {
+	t.Helper()
+	var parts []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case c == '\\' && inQuote:
+			if i+1 >= len(body) {
+				t.Fatalf("line %d: dangling escape", ln)
+			}
+			cur.WriteByte(c)
+			cur.WriteByte(body[i+1])
+			i++
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		t.Fatalf("line %d: unterminated quote in label body %q", ln, body)
+	}
+	if cur.Len() > 0 {
+		parts = append(parts, cur.String())
+	}
+	return parts
+}
+
+func unescapeLabel(t *testing.T, ln int, v string) string {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] != '\\' {
+			if v[i] == '"' || v[i] == '\n' {
+				t.Fatalf("line %d: unescaped %q in label value", ln, v[i])
+			}
+			b.WriteByte(v[i])
+			continue
+		}
+		i++
+		if i >= len(v) {
+			t.Fatalf("line %d: dangling escape in label value", ln)
+		}
+		switch v[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			t.Fatalf("line %d: invalid escape \\%c in label value", ln, v[i])
+		}
+	}
+	return b.String()
+}
+
+// TestExpositionConformance renders a registry holding every metric
+// kind and checks the format rules: no duplicate series, exactly one
+// HELP/TYPE per family appearing before its samples, counters carry
+// _total, histogram children carry only the allowed suffixes, and
+// label values round-trip through escaping.
+func TestExpositionConformance(t *testing.T) {
+	reg := NewRegistry("idldp")
+	reg.Counter("reports", "ingested reports").Add(42)
+	reg.Counter("frames_total", "ingested frames").Add(7) // suffix not doubled
+	reg.Gauge("batch_size", "current adaptive frame size").Set(256)
+	reg.CounterFunc("shed_reports", "silently dropped reports", func() int64 { return 3 })
+	reg.GaugeFunc("arrival_rate", "EWMA reports/s", func() float64 { return 123.5 })
+	reg.Counter("by_mode", "per-mode sheds", Label{Name: "mode", Value: `we"ird\va` + "\n" + `lue`}).Inc()
+	reg.Counter("by_mode", "per-mode sheds", Label{Name: "mode", Value: "plain"}).Add(2)
+	h := reg.Histogram("fold", "shard fold latency")
+	h.Observe(3 * time.Millisecond)
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("content type %q is not exposition text 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(body)
+
+	samples := parseProm(t, page)
+
+	// No duplicate series: name + full label set is unique.
+	seen := map[string]bool{}
+	for _, s := range samples {
+		key := s.name
+		for k, v := range s.labels {
+			key += "," + k + "=" + v
+		}
+		// Map iteration order differs; canonicalize by re-parsing keys.
+		if seen[canonKey(s)] {
+			t.Fatalf("duplicate series %s %v", s.name, s.labels)
+		}
+		seen[canonKey(s)] = true
+		_ = key
+	}
+
+	// HELP/TYPE discipline: each family announced exactly once, before
+	// any of its samples.
+	helpSeen := map[string]int{}
+	typeSeen := map[string]int{}
+	samplesSeen := map[string]bool{}
+	for _, line := range strings.Split(page, "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			fam := strings.SplitN(line[len("# HELP "):], " ", 2)[0]
+			helpSeen[fam]++
+			if samplesSeen[fam] {
+				t.Fatalf("HELP for %s after its samples", fam)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			fam := strings.SplitN(line[len("# TYPE "):], " ", 2)[0]
+			typeSeen[fam]++
+			if samplesSeen[fam] {
+				t.Fatalf("TYPE for %s after its samples", fam)
+			}
+		case line != "":
+			name := line
+			if i := strings.IndexAny(name, "{ "); i >= 0 {
+				name = name[:i]
+			}
+			samplesSeen[familyOf(name)] = true
+		}
+	}
+	for fam, n := range helpSeen {
+		if n != 1 || typeSeen[fam] != 1 {
+			t.Fatalf("family %s: %d HELP, %d TYPE lines (want 1 each)", fam, n, typeSeen[fam])
+		}
+	}
+
+	// Suffix rules: counter samples end in _total; histogram children
+	// are exactly _bucket/_sum/_count on the _seconds base name.
+	for _, s := range samples {
+		switch {
+		case strings.HasPrefix(s.name, "idldp_fold_seconds"):
+			suffix := strings.TrimPrefix(s.name, "idldp_fold_seconds")
+			switch suffix {
+			case "_bucket":
+				if s.labels["le"] == "" {
+					t.Fatalf("_bucket sample without le label: %v", s)
+				}
+			case "_sum", "_count":
+			default:
+				t.Fatalf("unexpected histogram child %q", s.name)
+			}
+		case s.name == "idldp_batch_size" || s.name == "idldp_arrival_rate":
+			// gauges: no suffix requirement
+		default:
+			if !strings.HasSuffix(s.name, "_total") {
+				t.Fatalf("counter series %q missing _total suffix", s.name)
+			}
+		}
+	}
+
+	// Escaping round-trip: the weird label value survived.
+	want := `we"ird\va` + "\n" + `lue`
+	if got := findSample(t, samples, "idldp_by_mode_total", "mode", want); got != 1 {
+		t.Fatalf("escaped-label series value = %g, want 1", got)
+	}
+	if got := findSample(t, samples, "idldp_by_mode_total", "mode", "plain"); got != 2 {
+		t.Fatalf("plain-label series value = %g, want 2", got)
+	}
+	// Counter registered with explicit suffix didn't get it doubled.
+	if strings.Contains(page, "_total_total") {
+		t.Fatal("_total suffix doubled")
+	}
+}
+
+// canonKey renders a sample identity with sorted labels.
+func canonKey(s promSample) string {
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		keys = append(keys, k)
+	}
+	// insertion sort — tiny maps
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := s.name
+	for _, k := range keys {
+		out += "\x00" + k + "\x01" + s.labels[k]
+	}
+	return out
+}
+
+// familyOf strips histogram child suffixes to the family name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) && strings.Contains(name, "_seconds") {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// TestRegistryIdempotentAndNil: re-registering a series returns the
+// original metric; mismatched kinds panic; a nil registry hands out
+// functional no-op metrics.
+func TestRegistryIdempotentAndNil(t *testing.T) {
+	reg := NewRegistry("test")
+	a := reg.Counter("dup", "first")
+	b := reg.Counter("dup", "second")
+	if a != b {
+		t.Fatal("duplicate counter registration created a second series")
+	}
+	a.Add(5)
+	if b.Value() != 5 {
+		t.Fatal("re-registered counter does not share state")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("kind mismatch did not panic")
+			}
+		}()
+		reg.Gauge("dup_total", "same series, different kind")
+	}()
+
+	var nilReg *Registry
+	nilReg.Counter("x", "no-op").Inc()
+	nilReg.Gauge("y", "no-op").Set(1)
+	nilReg.Histogram("z", "no-op").Observe(time.Second)
+	nilReg.CounterFunc("f", "no-op", func() int64 { return 0 })
+	nilReg.GaugeFunc("g", "no-op", func() float64 { return 0 })
+	if err := nilReg.WriteProm(&stringsWriter{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceIDs: minting, validation, and the representative-trace note.
+func TestTraceIDs(t *testing.T) {
+	id := NewTraceID()
+	if !ValidTraceID(id) || len(id) != 16 {
+		t.Fatalf("minted trace ID %q is invalid", id)
+	}
+	if NewTraceID() == id {
+		t.Fatal("trace IDs repeat")
+	}
+	for _, bad := range []string{"", "xyz!", strings.Repeat("a", 65), "abc\n"} {
+		if ValidTraceID(bad) {
+			t.Fatalf("ValidTraceID accepted %q", bad)
+		}
+	}
+	var note TraceNote
+	if note.Last() != "" {
+		t.Fatal("fresh note not empty")
+	}
+	note.Note("not hex!") // ignored
+	note.Note(id)
+	note.Note("") // empty never erases
+	if note.Last() != id {
+		t.Fatalf("note = %q, want %q", note.Last(), id)
+	}
+	var nilNote *TraceNote
+	nilNote.Note(id)
+	if nilNote.Last() != "" {
+		t.Fatal("nil note must read empty")
+	}
+}

@@ -1,0 +1,229 @@
+// Log-linear latency histograms (HDR-lite): the nanosecond axis is cut
+// into power-of-two octaves, each split into 16 linear sub-buckets, so
+// every recorded duration lands in a bucket whose width is at most
+// 1/16 = 6.25% of its lower bound. Observe is one bits.Len64, two
+// shifts and three atomic adds — no locks, no allocation — which is
+// what lets every stage of the report lifecycle carry a histogram
+// without showing up in the profiles it exists to explain.
+package telemetry
+
+import (
+	"bufio"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	histSubBits  = 4                // 16 linear sub-buckets per octave
+	histSubCount = 1 << histSubBits // values < 16ns are bucketed exactly
+	// histBuckets covers every uint64 nanosecond value: octave 0 holds
+	// the exact small values, then one 16-slot octave per leading-bit
+	// position up to 2^63.
+	histBuckets = (64 - histSubBits + 1) * histSubCount
+
+	// Exposition boundaries: cumulative counts are published at
+	// le = 2^e nanoseconds for e in [histExpoMin, histExpoMax] —
+	// ~1µs to ~69s — plus +Inf. The fine buckets stay internal; 28
+	// boundaries is plenty for dashboards while quantiles are computed
+	// from the full-resolution buckets.
+	histExpoMin = 10
+	histExpoMax = 36
+)
+
+// Histogram is a lock-free log-linear duration histogram. A nil
+// *Histogram is a no-op, so instrumented code needs no telemetry-off
+// branches.
+type Histogram struct {
+	series
+	count   uint64
+	sumNano int64
+	buckets [histBuckets]uint64
+}
+
+// Histogram registers (or returns the existing) histogram. The name
+// should describe one lifecycle stage and must end in _seconds (the
+// exposition unit); the suffix is appended when missing.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	full := r.fullName(name)
+	if len(full) < len("_seconds") || full[len(full)-len("_seconds"):] != "_seconds" {
+		full += "_seconds"
+	}
+	h := &Histogram{series: series{name: full, labels: canonLabels(labels), help: help}}
+	return r.register(h).(*Histogram)
+}
+
+// bucketIndex maps a nanosecond value onto its fine bucket.
+func bucketIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := uint(bits.Len64(v)) - 1 // 2^exp <= v < 2^(exp+1), exp >= histSubBits
+	sub := (v >> (exp - histSubBits)) & (histSubCount - 1)
+	return int((exp-histSubBits+1)<<histSubBits) + int(sub)
+}
+
+// bucketBounds returns a fine bucket's [lower, lower+width) range in
+// nanoseconds.
+func bucketBounds(i int) (lower, width uint64) {
+	if i < histSubCount {
+		return uint64(i), 1
+	}
+	octave := uint(i) >> histSubBits
+	sub := uint64(i) & (histSubCount - 1)
+	width = 1 << (octave - 1)
+	return (histSubCount + sub) << (octave - 1), width
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+// This is the hot path: 0 allocs/op, safe from any goroutine.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	atomic.AddUint64(&h.buckets[bucketIndex(uint64(d))], 1)
+	atomic.AddUint64(&h.count, 1)
+	atomic.AddInt64(&h.sumNano, int64(d))
+}
+
+// ObserveSince records the elapsed time since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&h.count)
+}
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(atomic.LoadInt64(&h.sumNano))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the recorded
+// distribution, interpolated within the owning bucket — so the result
+// is within one bucket width (≤ 6.25% relative) of the exact order
+// statistic. Returns 0 when nothing has been observed. Concurrent
+// Observes race benignly: the snapshot is per-bucket atomic, not
+// globally consistent, which shifts the rank by at most the in-flight
+// observations.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	var counts [histBuckets]uint64
+	var total float64
+	for i := range h.buckets {
+		c := atomic.LoadUint64(&h.buckets[i])
+		counts[i] = c
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * total // observations that must be ≤ the answer
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if cum+fc >= rank {
+			lo, w := bucketBounds(i)
+			frac := (rank - cum) / fc
+			return time.Duration(float64(lo) + float64(w)*frac)
+		}
+		cum += fc
+	}
+	// Numerically unreachable; answer with the top occupied bound.
+	for i := histBuckets - 1; i >= 0; i-- {
+		if counts[i] != 0 {
+			lo, w := bucketBounds(i)
+			return time.Duration(lo + w)
+		}
+	}
+	return 0
+}
+
+func (h *Histogram) famType() string { return "histogram" }
+
+// write renders the cumulative _bucket series at the power-of-two
+// exposition boundaries, then _sum and _count. le values are seconds.
+func (h *Histogram) write(w *bufio.Writer) {
+	var counts [histBuckets]uint64
+	for i := range h.buckets {
+		counts[i] = atomic.LoadUint64(&h.buckets[i])
+	}
+	// Cumulative count below each boundary. 2^e ns is the lower bound
+	// of fine bucket (e-histSubBits+1)<<histSubBits, so every earlier
+	// bucket is strictly below the boundary.
+	writeBucket := func(le string, cum uint64) {
+		w.WriteString(h.name)
+		w.WriteString("_bucket")
+		if h.labels == "" {
+			w.WriteString(`{le="`)
+		} else {
+			// Splice le into the existing label set.
+			w.WriteString(h.labels[:len(h.labels)-1])
+			w.WriteString(`,le="`)
+		}
+		w.WriteString(le)
+		w.WriteString("\"} ")
+		w.WriteString(strconv.FormatUint(cum, 10))
+		w.WriteByte('\n')
+	}
+	var cum uint64
+	next := 0
+	for e := histExpoMin; e <= histExpoMax; e++ {
+		limit := (e - histSubBits + 1) << histSubBits
+		for ; next < limit; next++ {
+			cum += counts[next]
+		}
+		writeBucket(formatFloat(float64(uint64(1)<<e)/1e9), cum)
+	}
+	// Total comes from the same snapshot as the boundaries so the
+	// cumulative series stays monotone under concurrent Observes.
+	total := cum
+	for ; next < histBuckets; next++ {
+		total += counts[next]
+	}
+	writeBucket("+Inf", total)
+	w.WriteString(h.name)
+	w.WriteString("_sum")
+	w.WriteString(h.labels)
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(float64(atomic.LoadInt64(&h.sumNano)) / 1e9))
+	w.WriteByte('\n')
+	w.WriteString(h.name)
+	w.WriteString("_count")
+	w.WriteString(h.labels)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(total, 10))
+	w.WriteByte('\n')
+}

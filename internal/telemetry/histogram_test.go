@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexContiguous: every nanosecond value maps into a bucket
+// whose bounds contain it, and bucket indexes are contiguous and
+// monotone across octave boundaries.
+func TestBucketIndexContiguous(t *testing.T) {
+	vals := []uint64{0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 1023, 1024, 1025}
+	for e := 4; e < 63; e++ {
+		vals = append(vals, uint64(1)<<e-1, uint64(1)<<e, uint64(1)<<e+1)
+	}
+	prev := -1
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, i)
+		}
+		if i < prev {
+			t.Fatalf("value %d: bucket %d below previous %d — not monotone", v, i, prev)
+		}
+		prev = i
+		lo, w := bucketBounds(i)
+		if v < lo || v >= lo+w {
+			t.Fatalf("value %d: bucket %d bounds [%d,%d) do not contain it", v, i, lo, lo+w)
+		}
+	}
+}
+
+// TestHistogramQuantileVsOracle: quantiles computed from the log-linear
+// buckets stay within one bucket width (6.25% relative) of the exact
+// order statistic over several distributions, including ones that pile
+// mass right on bucket boundaries.
+func TestHistogramQuantileVsOracle(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) time.Duration{
+		"uniform": func(r *rand.Rand) time.Duration {
+			return time.Duration(r.Int63n(int64(10 * time.Millisecond)))
+		},
+		"lognormalish": func(r *rand.Rand) time.Duration {
+			return time.Duration(math.Exp(12+2*r.NormFloat64())) * time.Nanosecond
+		},
+		"boundaries": func(r *rand.Rand) time.Duration {
+			// Exact powers of two and their neighbors: every value sits
+			// on or next to a bucket edge.
+			e := 4 + r.Intn(30)
+			return time.Duration(uint64(1)<<e + uint64(r.Intn(3)) - 1)
+		},
+		"tiny": func(r *rand.Rand) time.Duration {
+			return time.Duration(r.Int63n(40)) // exercises the exact sub-16ns buckets
+		},
+	}
+	for name, draw := range distributions {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			reg := NewRegistry("test")
+			h := reg.Histogram("oracle_"+name, "quantile oracle input")
+			const n = 20000
+			samples := make([]time.Duration, n)
+			for i := range samples {
+				samples[i] = draw(r)
+				h.Observe(samples[i])
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+				got := h.Quantile(q)
+				rank := int(math.Ceil(q * n))
+				if rank < 1 {
+					rank = 1
+				}
+				want := samples[rank-1]
+				// One bucket of relative error from quantization plus one
+				// rank of discretization; small values get an absolute floor.
+				tol := 0.0651 * float64(want)
+				if tol < 2 {
+					tol = 2
+				}
+				if diff := math.Abs(float64(got - want)); diff > tol {
+					t.Errorf("q=%g: got %v want %v (diff %v > tol %v)", q, got, want, time.Duration(diff), time.Duration(tol))
+				}
+			}
+			if h.Count() != n {
+				t.Errorf("count = %d, want %d", h.Count(), n)
+			}
+		})
+	}
+}
+
+// TestHistogramEmptyAndNil: the zero and nil cases answer without
+// panicking.
+func TestHistogramEmptyAndNil(t *testing.T) {
+	reg := NewRegistry("test")
+	h := reg.Histogram("empty", "no observations")
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	nilH.ObserveSince(time.Now())
+	if nilH.Quantile(0.99) != 0 || nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Error("nil histogram must read as zero")
+	}
+	h.Observe(-time.Second) // clamps, not panics
+	if h.Count() != 1 {
+		t.Errorf("negative observation not recorded: count=%d", h.Count())
+	}
+}
+
+// TestHistogramConcurrentObserveScrape is the -race stress: many
+// writers hammering Observe while readers scrape the exposition page
+// and compute quantiles.
+func TestHistogramConcurrentObserveScrape(t *testing.T) {
+	reg := NewRegistry("race")
+	h := reg.Histogram("stress", "concurrent observe vs scrape")
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(r.Int63n(int64(time.Second))))
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sink discardWriter
+				if err := reg.WriteProm(&sink); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = h.Quantile(0.99)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got, want := h.Count(), uint64(writers*perWriter); got != want {
+		t.Fatalf("lost observations: count=%d want %d", got, want)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestObserveZeroAllocs: the hot path must not allocate — this is the
+// benchmark-asserted acceptance criterion, checked in the test suite
+// too so plain `go test` catches a regression.
+func TestObserveZeroAllocs(t *testing.T) {
+	reg := NewRegistry("alloc")
+	h := reg.Histogram("hot", "allocation check")
+	c := reg.Counter("hits", "allocation check")
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(123456 * time.Nanosecond)
+		c.Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe+Inc allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	reg := NewRegistry("bench")
+	h := reg.Histogram("observe", "hot path")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * 37 * time.Nanosecond)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.Observe(time.Microsecond) }); n != 0 {
+		b.Fatalf("Observe allocates %v/op, want 0", n)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	reg := NewRegistry("bench")
+	h := reg.Histogram("observe_parallel", "hot path, contended")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Duration(0)
+		for pb.Next() {
+			d += 37 * time.Nanosecond
+			h.Observe(d)
+		}
+	})
+}
+
+// TestHistogramExpositionCumulative: the published _bucket series is
+// cumulative, monotone, ends at +Inf == _count, and respects the
+// boundary semantics (a value below a boundary is counted there).
+func TestHistogramExpositionCumulative(t *testing.T) {
+	reg := NewRegistry("test")
+	h := reg.Histogram("expo", "exposition check")
+	h.Observe(500 * time.Nanosecond) // below the first published boundary
+	h.Observe(100 * time.Microsecond)
+	h.Observe(100 * time.Millisecond)
+	h.Observe(200 * time.Second) // beyond the last boundary: only +Inf
+	var buf stringsWriter
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	series := parseProm(t, page)
+	var prev float64 = -1
+	var bucketCount int
+	for _, s := range series {
+		if s.name != "test_expo_seconds_bucket" {
+			continue
+		}
+		bucketCount++
+		if s.value < prev {
+			t.Fatalf("bucket series not cumulative: le=%s value %g < previous %g", s.labels["le"], s.value, prev)
+		}
+		prev = s.value
+	}
+	if bucketCount < 10 {
+		t.Fatalf("only %d bucket boundaries published", bucketCount)
+	}
+	if got := findSample(t, series, "test_expo_seconds_bucket", "le", "+Inf"); got != 4 {
+		t.Fatalf("+Inf bucket = %g, want 4", got)
+	}
+	if got := findSample(t, series, "test_expo_seconds_count", "", ""); got != 4 {
+		t.Fatalf("_count = %g, want 4", got)
+	}
+	wantSum := (500*time.Nanosecond + 100*time.Microsecond + 100*time.Millisecond + 200*time.Second).Seconds()
+	if got := findSample(t, series, "test_expo_seconds_sum", "", ""); math.Abs(got-wantSum) > 1e-9 {
+		t.Fatalf("_sum = %g, want %g", got, wantSum)
+	}
+}
+
+type stringsWriter struct{ b []byte }
+
+func (w *stringsWriter) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+func (w *stringsWriter) String() string              { return string(w.b) }
+
+func findSample(t *testing.T, series []promSample, name, labelKey, labelVal string) float64 {
+	t.Helper()
+	for _, s := range series {
+		if s.name != name {
+			continue
+		}
+		if labelKey == "" || s.labels[labelKey] == labelVal {
+			return s.value
+		}
+	}
+	t.Fatalf("no sample %s{%s=%q}", name, labelKey, labelVal)
+	return 0
+}

@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value onto a slog level. Unknown
+// strings select Info — a misspelled flag must not silence a daemon.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// NewLogger builds a process logger for the telemetry plane: levelled,
+// text or JSON, stamped with the component name and (when non-empty)
+// the fleet-wide node identity, so every line across a fleet's mixed
+// stderr carries enough context to be attributed. Trace IDs are
+// per-event: pass them as "trace" attrs at the call site.
+func NewLogger(w io.Writer, level string, jsonOut bool, component, node string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: ParseLevel(level)}
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	l := slog.New(h).With("component", component)
+	if node != "" {
+		l = l.With("node", node)
+	}
+	return l
+}

@@ -1,0 +1,420 @@
+// Package telemetry is the repository's single metrics plane: atomic
+// counters, gauges, and log-linear latency histograms behind a named
+// Registry, exposed in Prometheus text format (version 0.0.4) at
+// GET /metrics. It is zero-dependency (stdlib only) by design — the
+// collection system instruments itself, it does not link a monitoring
+// SDK.
+//
+// The hot path is Observe/Add/Inc: lock-free atomic adds with no
+// allocation, safe from any number of goroutines. The cold path is the
+// scrape: WriteProm snapshots every metric under the registry lock and
+// renders one exposition page. Existing JSON stat surfaces
+// (server.Stats, /v1/readstats, …) keep their shapes; they register
+// *Func views here so /metrics is the superset.
+//
+// All metric constructors are idempotent per (name, labels) series: a
+// second registration with the same identity returns the first metric,
+// so wiring the same component twice cannot produce duplicate series —
+// a mismatched kind for an existing name panics, because that is a
+// programming error the exposition format cannot express.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant name=value pair attached to a series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// metric is anything the registry can render into the exposition page.
+type metric interface {
+	// ident returns the series identity (full name + canonical labels).
+	ident() string
+	// famName returns the metric family name (shared by series that
+	// differ only in labels).
+	famName() string
+	// famType returns the Prometheus TYPE keyword.
+	famType() string
+	// famHelp returns the HELP line text.
+	famHelp() string
+	// write renders the sample lines (no HELP/TYPE headers).
+	write(w *bufio.Writer)
+}
+
+// Registry names and owns a set of metrics. The zero value is NOT
+// usable; construct with NewRegistry. A nil *Registry is a valid no-op
+// sink: every constructor on it returns nil, and the nil metrics'
+// methods are no-ops — so instrumented code needs no "is telemetry on"
+// branches.
+type Registry struct {
+	ns string
+
+	mu      sync.Mutex
+	order   []metric // registration order, grouped per family at render
+	byIdent map[string]metric
+}
+
+// NewRegistry returns a registry whose metric names are prefixed with
+// namespace + "_". The namespace must be a valid metric-name prefix.
+func NewRegistry(namespace string) *Registry {
+	if !validName(namespace) {
+		panic(fmt.Sprintf("telemetry: invalid namespace %q", namespace))
+	}
+	return &Registry{ns: namespace, byIdent: make(map[string]metric)}
+}
+
+// register interns m by identity: the first registration wins and
+// later ones return it (after a kind check).
+func (r *Registry) register(m metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byIdent[m.ident()]; ok {
+		if prev.famType() != m.famType() {
+			panic(fmt.Sprintf("telemetry: series %s re-registered as %s (was %s)",
+				m.ident(), m.famType(), prev.famType()))
+		}
+		return prev
+	}
+	r.byIdent[m.ident()] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// fullName joins the namespace and name, validating the result.
+func (r *Registry) fullName(name string) string {
+	full := r.ns + "_" + name
+	if !validName(full) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", full))
+	}
+	return full
+}
+
+// validName reports whether s matches the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]* and
+// is not a reserved (__-prefixed) name.
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// canonLabels sorts and renders labels as {a="x",b="y"} with exposition
+// escaping, or "" when there are none.
+func canonLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if !validLabelName(l.Name) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", l.Name))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format label-value escapes:
+// backslash, double-quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies the HELP-line escapes (backslash and newline).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// series is the shared identity of one exposition series.
+type series struct {
+	name   string // family name (namespace_name, suffixed per kind)
+	labels string // canonical rendered label set ("" when unlabeled)
+	help   string
+}
+
+func (s *series) ident() string   { return s.name + s.labels }
+func (s *series) famName() string { return s.name }
+func (s *series) famHelp() string { return s.help }
+
+// Counter is a monotonically increasing atomic counter. Its exposition
+// name always carries the _total suffix. A nil *Counter is a no-op.
+type Counter struct {
+	series
+	v int64
+}
+
+// Counter registers (or returns the existing) counter. The _total
+// suffix is appended when name does not already end in it.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	full := r.fullName(name)
+	if !strings.HasSuffix(full, "_total") {
+		full += "_total"
+	}
+	c := &Counter{series: series{name: full, labels: canonLabels(labels), help: help}}
+	return r.register(c).(*Counter)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	atomic.AddInt64(&c.v, n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+func (c *Counter) famType() string { return "counter" }
+
+func (c *Counter) write(w *bufio.Writer) {
+	w.WriteString(c.name)
+	w.WriteString(c.labels)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatInt(c.Value(), 10))
+	w.WriteByte('\n')
+}
+
+// Gauge is an atomic value that can go up and down. A nil *Gauge is a
+// no-op.
+type Gauge struct {
+	series
+	bits uint64 // float64 bits
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{series: series{name: r.fullName(name), labels: canonLabels(labels), help: help}}
+	return r.register(g).(*Gauge)
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreUint64(&g.bits, math.Float64bits(v))
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&g.bits))
+}
+
+func (g *Gauge) famType() string { return "gauge" }
+
+func (g *Gauge) write(w *bufio.Writer) {
+	w.WriteString(g.name)
+	w.WriteString(g.labels)
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(g.Value()))
+	w.WriteByte('\n')
+}
+
+// funcMetric renders a callback's value at scrape time — the view
+// mechanism that re-plumbs existing stat structs without moving their
+// storage.
+type funcMetric struct {
+	series
+	typ string
+	fn  func() float64
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// every scrape. The _total suffix is appended when missing. The
+// callback must be safe to call from any goroutine.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	full := r.fullName(name)
+	if !strings.HasSuffix(full, "_total") {
+		full += "_total"
+	}
+	r.register(&funcMetric{
+		series: series{name: full, labels: canonLabels(labels), help: help},
+		typ:    "counter",
+		fn:     func() float64 { return float64(fn()) },
+	})
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at
+// every scrape. The callback must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(&funcMetric{
+		series: series{name: r.fullName(name), labels: canonLabels(labels), help: help},
+		typ:    "gauge",
+		fn:     fn,
+	})
+}
+
+func (f *funcMetric) famType() string { return f.typ }
+
+func (f *funcMetric) write(w *bufio.Writer) {
+	w.WriteString(f.name)
+	w.WriteString(f.labels)
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(f.fn()))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders the full exposition page: families in registration
+// order, one HELP and one TYPE line per family, then every series of
+// that family.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	// Group series into families preserving first-seen order.
+	type family struct {
+		name, typ, help string
+		members         []metric
+	}
+	var fams []*family
+	byName := make(map[string]*family)
+	for _, m := range r.order {
+		f, ok := byName[m.famName()]
+		if !ok {
+			f = &family{name: m.famName(), typ: m.famType(), help: m.famHelp()}
+			byName[f.name] = f
+			fams = append(fams, f)
+		}
+		f.members = append(f.members, m)
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, m := range f.members {
+			m.write(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns the GET /metrics endpoint for this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = r.WriteProm(w)
+	})
+}

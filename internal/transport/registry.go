@@ -125,7 +125,7 @@ func (s *RegistryServer) handle(conn net.Conn) {
 		case FrameDeltaPush:
 			err := s.reg.Push(registry.Push{
 				Name: f.Node, Session: f.Session, TimeNano: f.TimeNano, MAC: f.MAC,
-				Frame: registry.PushFrame{Seq: f.Seq, Resync: f.Resync, Packed: f.Packed, DN: f.DN, N: f.N},
+				Frame: registry.PushFrame{Seq: f.Seq, Resync: f.Resync, Packed: f.Packed, DN: f.DN, N: f.N, Trace: f.Trace},
 			})
 			reply = ackFrame(err)
 		case FrameSnapshotRequest:
@@ -267,6 +267,7 @@ func (c *RegistryConn) Push(ctx context.Context, p registry.Push) error {
 	return c.ack(ctx, Frame{
 		Kind: FrameDeltaPush, Node: p.Name, Session: p.Session, TimeNano: p.TimeNano, MAC: p.MAC,
 		Seq: p.Frame.Seq, Resync: p.Frame.Resync, Packed: p.Frame.Packed, DN: p.Frame.DN, N: p.Frame.N,
+		Trace: p.Frame.Trace,
 	})
 }
 

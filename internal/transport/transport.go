@@ -37,6 +37,7 @@ import (
 	"idldp/internal/flow"
 	"idldp/internal/registry"
 	"idldp/internal/server"
+	"idldp/internal/telemetry"
 	"idldp/internal/varpack"
 )
 
@@ -126,6 +127,14 @@ type Frame struct {
 	// Err, on FrameRegisterAck / FrameAck, is the wire form of the
 	// control-plane error ("" = success; registry.Errs maps it back).
 	Err string
+
+	// Trace, on FrameReport/FrameBatch/FrameDeltaPush, is the trace
+	// context of the report batch this frame carries (or, on a delta
+	// push, the representative trace of the interval). It follows one
+	// batch from the client edge through ingest, fold, delta publish
+	// and every merger tier (see internal/telemetry). Old peers simply
+	// never see the field.
+	Trace string
 }
 
 // ServeOption tunes a transport Server.
@@ -260,11 +269,16 @@ func (s *Server) handle(conn net.Conn) {
 		// on encode, so without this a field absent from the next frame
 		// would silently retain the previous frame's value.
 		f.Kind, f.Bits, f.N, f.AcceptPacked = 0, 0, 0, false
-		f.Node, f.Session, f.TimeNano = "", 0, 0
+		f.Node, f.Session, f.TimeNano, f.Trace = "", 0, 0, ""
 		f.WantAck, f.Shed, f.RetryAfterNano = false, false, 0
 		f.Words, f.Counts, f.Packed, f.MAC = f.Words[:0], f.Counts[:0], f.Packed[:0], f.MAC[:0]
 		if err := dec.Decode(&f); err != nil {
 			return // EOF or malformed stream ends the connection
+		}
+		if f.Trace != "" && (f.Kind == FrameReport || f.Kind == FrameBatch) {
+			// Representative trace: the latest traced batch stamps the
+			// deltas this runtime publishes next.
+			s.sink.NoteTrace(f.Trace)
 		}
 		switch f.Kind {
 		case FrameReport:
@@ -426,6 +440,11 @@ type Client struct {
 	policy flow.Policy
 	rand   flow.Rand
 	fstats flow.Stats
+
+	// Trace context stamped onto outgoing ingest frames (SetTrace) and
+	// the backoff-sleep histogram (SetTelemetry); both optional.
+	trace    string
+	hBackoff *telemetry.Histogram
 }
 
 // Dial connects to an aggregation server.
@@ -445,6 +464,19 @@ func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 // SetAuth makes every subsequent Snapshot request carry the fleet-token
 // HMAC a WithSnapshotAuth server demands (nil keeps requests plain).
 func (c *Client) SetAuth(a *registry.Authenticator) { c.auth = a }
+
+// SetTrace stamps the given trace ID onto every subsequent ingest frame
+// ("" stops stamping). Mint one per report batch with
+// telemetry.NewTraceID so the batch is followable across tiers.
+func (c *Client) SetTrace(id string) { c.trace = id }
+
+// SetTelemetry wires the client's flow control into a metrics registry:
+// each backoff sleep on the acked send path records into the
+// retry_backoff histogram. nil registry is a no-op.
+func (c *Client) SetTelemetry(reg *telemetry.Registry) {
+	c.hBackoff = reg.Histogram("retry_backoff",
+		"Time an acked sender sleeps between a shed pushback and its retry.")
+}
 
 // Snapshot asks the server for its current merged state. The reply is
 // consistent with every frame this client has already sent (the server
@@ -489,12 +521,12 @@ func (c *Client) Snapshot() (counts []int64, n int64, bits int, err error) {
 
 // SendReport ships one perturbed report.
 func (c *Client) SendReport(v *bitvec.Vector) error {
-	return c.enc.Encode(Frame{Kind: FrameReport, Words: v.Words(), Bits: v.Len()})
+	return c.enc.Encode(Frame{Kind: FrameReport, Words: v.Words(), Bits: v.Len(), Trace: c.trace})
 }
 
 // SendBatch ships a locally aggregated batch.
 func (c *Client) SendBatch(a *agg.Aggregator) error {
-	return c.enc.Encode(Frame{Kind: FrameBatch, Counts: a.Counts(), N: a.N()})
+	return c.enc.Encode(Frame{Kind: FrameBatch, Counts: a.Counts(), N: a.N(), Trace: c.trace})
 }
 
 // SetRetryPolicy configures the acked send paths' flow control: the
@@ -515,13 +547,13 @@ func (c *Client) FlowStats() flow.Stats { return c.fstats }
 // hint as a floor — and re-sends. The report is delivered exactly once:
 // an accepted frame is never re-sent, a shed frame was never folded.
 func (c *Client) SendReportAck(ctx context.Context, v *bitvec.Vector) error {
-	return c.sendAcked(ctx, Frame{Kind: FrameReport, Words: v.Words(), Bits: v.Len(), WantAck: true})
+	return c.sendAcked(ctx, Frame{Kind: FrameReport, Words: v.Words(), Bits: v.Len(), WantAck: true, Trace: c.trace})
 }
 
 // SendBatchAck ships a locally aggregated batch flow-controlled; see
 // SendReportAck for the delivery contract.
 func (c *Client) SendBatchAck(ctx context.Context, a *agg.Aggregator) error {
-	return c.sendAcked(ctx, Frame{Kind: FrameBatch, Counts: a.Counts(), N: a.N(), WantAck: true})
+	return c.sendAcked(ctx, Frame{Kind: FrameBatch, Counts: a.Counts(), N: a.N(), WantAck: true, Trace: c.trace})
 }
 
 // sendAcked is the shared acked-send retry loop. It speaks the shed
@@ -562,6 +594,7 @@ func (c *Client) sendAcked(ctx context.Context, f Frame) error {
 		hinted.Floor = time.Duration(ack.RetryAfterNano)
 		d := hinted.Delay(c.rand, attempt)
 		c.fstats.Backoff += d
+		c.hBackoff.Observe(d)
 		if !flow.Sleep(ctx, d) {
 			return ctx.Err()
 		}
