@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	idldp-bench -exp table1|table2|fig3|fig4a|fig4b|fig5a|fig5b|ablations|load|all
-//	            [-scale ci|paper] [-reps N] [-seed S] [-csv dir] [-json]
+//	idldp-bench -exp table1|table2|fig3|fig4a|fig4b|fig5a|fig5b|ablations|load|sweep|all
+//	            [-scale ci|paper] [-reps N] [-seed S] [-csv dir] [-json] [-out file]
 //
 // The ci scale (default) runs reduced domain/user counts that finish in
 // seconds; the paper scale matches the published n and m (minutes). The
@@ -12,10 +12,16 @@
 // series the paper reports; -csv additionally writes each artifact as a
 // CSV file for plotting.
 //
-// The load experiment is operational rather than statistical: it drives a
+// Two experiments are operational rather than statistical. load drives a
 // flow-controlled collection run against a saturated sink and records the
-// shed/retry/backoff counters per repetition. -json emits that artifact
-// as JSON for the saturation sweep harness.
+// shed/retry/backoff counters per repetition; -json emits that artifact
+// as JSON. sweep (not part of all) is the saturation sweep: an open-loop
+// load generator steps offered load through fractions of calibrated
+// capacity against an in-process tiered fleet with federated telemetry,
+// emits one JSON line per step to stdout, and writes the full artifact —
+// per-stage p50/p99/p999, throughput per core, availability, SLO burn
+// verdicts, and the federation bit-exactness bit — to -out
+// (BENCH_PR9.json). At paper scale it simulates >= 1.05M clients.
 package main
 
 import (
@@ -37,9 +43,10 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "experiment seed")
 		csvDir  = flag.String("csv", "", "also write each artifact as CSV into this directory")
 		jsonOut = flag.Bool("json", false, "emit the load experiment's artifact as JSON on stdout")
+		outPath = flag.String("out", "BENCH_PR9.json", "sweep artifact path")
 	)
 	flag.Parse()
-	if err := run(*which, *scale, *reps, *seed, *csvDir, *jsonOut); err != nil {
+	if err := run(*which, *scale, *reps, *seed, *csvDir, *jsonOut, *outPath); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-bench:", err)
 		os.Exit(1)
 	}
@@ -78,7 +85,7 @@ func (e emitter) writeCSV(name string, write func(w io.Writer) error) error {
 	return write(f)
 }
 
-func run(which, scale string, reps int, seed uint64, csvDir string, jsonOut bool) error {
+func run(which, scale string, reps int, seed uint64, csvDir string, jsonOut bool, outPath string) error {
 	paper := scale == "paper"
 	if !paper && scale != "ci" {
 		return fmt.Errorf("unknown scale %q", scale)
@@ -110,6 +117,8 @@ func run(which, scale string, reps int, seed uint64, csvDir string, jsonOut bool
 			err = runAblations(em, seed)
 		case "load":
 			err = runLoad(em, paper, reps, seed, jsonOut)
+		case "sweep":
+			err = runSweep(paper, seed, outPath)
 		default:
 			err = fmt.Errorf("unknown experiment %q", e)
 		}

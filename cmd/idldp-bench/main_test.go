@@ -3,25 +3,25 @@ package main
 import "testing"
 
 func TestRunLoad(t *testing.T) {
-	if err := run("load", "ci", 1, 1, "", true); err != nil {
+	if err := run("load", "ci", 1, 1, "", true, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTables(t *testing.T) {
-	if err := run("table1", "ci", 1, 1, "", false); err != nil {
+	if err := run("table1", "ci", 1, 1, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("table2", "ci", 1, 1, "", false); err != nil {
+	if err := run("table2", "ci", 1, 1, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("fig99", "ci", 1, 1, "", false); err == nil {
+	if err := run("fig99", "ci", 1, 1, "", false, ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("table1", "huge", 1, 1, "", false); err == nil {
+	if err := run("table1", "huge", 1, 1, "", false, ""); err == nil {
 		t.Error("unknown scale accepted")
 	}
 }

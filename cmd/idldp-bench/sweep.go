@@ -1,0 +1,673 @@
+// sweep.go implements the saturation sweep: a load generator simulating
+// a fleet-scale client population (10^6+ at paper scale) against an
+// in-process tiered collection fleet — leaves with their own telemetry
+// registries announcing to mergers over real TCP control-plane conns,
+// heartbeats carrying packed snapshots, the top merger folding the
+// fleet-wide view.
+//
+// The generator is open-loop with bounded in-flight concurrency: client
+// frames arrive on a fixed schedule derived from the offered rate
+// (arrivals never slow down because the fleet lagged — the lag shows up
+// as sojourn latency, free of coordinated omission), a fixed worker
+// pool bounds the in-flight frames, and pushbacks are retried with
+// shed-aware full-jitter backoff via internal/flow. Offered load steps
+// through fractions of a calibrated capacity; the final step pulses
+// forced saturation through a faultinject site so the availability SLO
+// burns. Each step records per-stage p50/p99/p999 (client perturb,
+// frame sojourn, fleet ingest queue wait, fleet shard fold — the last
+// two from exact Snapshot.Sub deltas of the offline-merged leaf
+// registries), throughput per core, shed/availability counters, and
+// multi-window SLO verdicts; one JSON line per completed step goes to
+// stdout and the full artifact to -out (BENCH_PR9.json). At quiesce the
+// sweep checks the PR's acceptance bit: the top merger's federated fold
+// must be byte-for-byte equal to offline-merging the leaf snapshots.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idldp/internal/bitvec"
+	"idldp/internal/faultinject"
+	"idldp/internal/flow"
+	"idldp/internal/mech"
+	"idldp/internal/registry"
+	"idldp/internal/rng"
+	"idldp/internal/server"
+	"idldp/internal/slo"
+	"idldp/internal/telemetry"
+	"idldp/internal/transport"
+)
+
+// isPushback reports whether err is a sink's flow-control signal.
+func isPushback(err error) bool {
+	return errors.Is(err, server.ErrSaturated) || errors.Is(err, server.ErrDraining)
+}
+
+// sweepQuantiles is one stage's latency triple in microseconds.
+type sweepQuantiles struct {
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+	Count  uint64  `json:"count"`
+}
+
+// sweepSLO is one objective's per-step verdict (burn rates by window).
+type sweepSLO struct {
+	Name      string  `json:"name"`
+	Kind      string  `json:"kind"`
+	BurnFast  float64 `json:"burn_fast"`
+	BurnMid   float64 `json:"burn_mid"`
+	BurnSlow  float64 `json:"burn_slow"`
+	FastAlert bool    `json:"fast_alert"`
+	SlowAlert bool    `json:"slow_alert"`
+	Healthy   bool    `json:"healthy"`
+}
+
+// sweepStep is one load step's record.
+type sweepStep struct {
+	Event    string  `json:"event"` // "sweep_step" on the stdout stream
+	Step     int     `json:"step"`
+	Label    string  `json:"label"`
+	Fraction float64 `json:"fraction"` // of calibrated capacity; 0 = unpaced
+
+	OfferedPerSec float64 `json:"offered_per_sec"`
+	Clients       int64   `json:"clients"`
+	DurationMS    float64 `json:"duration_ms"`
+
+	AcceptedReports   int64   `json:"accepted_reports"`
+	ShedRejectReports int64   `json:"shed_reject_reports"`
+	ShedReports       int64   `json:"shed_reports"`
+	LostReports       int64   `json:"lost_reports"` // retry budget exhausted
+	Availability      float64 `json:"availability"`
+
+	ReportsPerSec        float64 `json:"reports_per_sec"`
+	ReportsPerSecPerCore float64 `json:"reports_per_sec_per_core"`
+
+	Retries          int64   `json:"retries"`
+	Sheds            int64   `json:"sheds"`
+	BackoffMS        float64 `json:"backoff_ms"`
+	SaturationPulses int64   `json:"saturation_pulses"`
+
+	Stages map[string]sweepQuantiles `json:"stages"`
+	SLO    []sweepSLO                `json:"slo"`
+}
+
+// sweepResult is the BENCH_PR9.json artifact.
+type sweepResult struct {
+	Scale      string  `json:"scale"`
+	Bits       int     `json:"bits"`
+	Eps        float64 `json:"eps"`
+	Leaves     int     `json:"leaves"`
+	Mids       int     `json:"mids"`
+	Workers    int     `json:"workers"`
+	FrameSize  int     `json:"frame_size"`
+	Seed       uint64  `json:"seed"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+
+	CapacityPerSec float64 `json:"capacity_per_sec"`
+	StepSeconds    float64 `json:"step_seconds"`
+	TotalClients   int64   `json:"total_clients"`
+
+	FederationExact   bool  `json:"federation_exact"`
+	FleetReportsTotal int64 `json:"fleet_reports_total"`
+
+	Steps []sweepStep `json:"steps"`
+}
+
+// sweepFleet is the in-process tiered collection fleet under test.
+type sweepFleet struct {
+	leaves   []*sweepLeaf
+	leafTels []*telemetry.Registry
+	top      *registry.Registry
+	closers  []func() // reverse order
+}
+
+type sweepLeaf struct {
+	tel  *telemetry.Registry
+	sink *server.Server
+}
+
+func (f *sweepFleet) close() {
+	for i := len(f.closers) - 1; i >= 0; i-- {
+		f.closers[i]()
+	}
+}
+
+// buildSweepFleet wires leaves → (mids at paper scale) → top over real
+// TCP registry conns, heartbeats carrying packed telemetry snapshots.
+func buildSweepFleet(bits, nLeaves, nMids, frame int) (*sweepFleet, error) {
+	auth, err := registry.NewAuthenticator("bench-sweep")
+	if err != nil {
+		return nil, err
+	}
+	f := &sweepFleet{}
+	fail := func(err error) (*sweepFleet, error) {
+		f.close()
+		return nil, err
+	}
+	newMerger := func() (*registry.Registry, string, error) {
+		reg, err := registry.New(bits, registry.WithAuth(auth),
+			registry.WithHeartbeat(200*time.Millisecond, 25))
+		if err != nil {
+			return nil, "", err
+		}
+		srv, err := transport.ServeRegistry("127.0.0.1:0", reg)
+		if err != nil {
+			reg.Close()
+			return nil, "", err
+		}
+		f.closers = append(f.closers, func() { srv.Close(); reg.Close() })
+		return reg, srv.Addr(), nil
+	}
+	dialTo := func(addr string) func(context.Context) (registry.Conn, error) {
+		return func(ctx context.Context) (registry.Conn, error) {
+			return transport.DialRegistry(ctx, addr)
+		}
+	}
+
+	top, topAddr, err := newMerger()
+	if err != nil {
+		return fail(err)
+	}
+	f.top = top
+
+	// Parent addresses the leaves announce to: the mids at paper scale,
+	// the top directly at ci scale. Each mid folds its own federation
+	// into the heartbeat it sends upstream.
+	parents := []string{topAddr}
+	if nMids > 0 {
+		parents = parents[:0]
+		for m := 0; m < nMids; m++ {
+			mid, midAddr, err := newMerger()
+			if err != nil {
+				return fail(err)
+			}
+			up, err := registry.Announce(registry.AnnounceConfig{
+				Name: fmt.Sprintf("sweep-mid-%d", m), Bits: bits, Kind: "merger", Auth: auth,
+				Dial: dialTo(topAddr), Subscribe: mid.Subscribe,
+				SnapshotTelemetry: func() *telemetry.Snapshot {
+					return mid.Federation().Merged()
+				},
+				Backoff: 10 * time.Millisecond,
+			})
+			if err != nil {
+				return fail(err)
+			}
+			f.closers = append(f.closers, up.Close)
+			parents = append(parents, midAddr)
+		}
+	}
+
+	for i := 0; i < nLeaves; i++ {
+		tel := telemetry.NewRegistry("idldp")
+		sink, err := server.New(bits, server.WithShards(1), server.WithBatchSize(frame),
+			server.WithQueueDepth(256), server.WithStream(100*time.Millisecond),
+			server.WithTelemetry(tel))
+		if err != nil {
+			return fail(err)
+		}
+		f.closers = append(f.closers, func() { sink.Close() })
+		ann, err := registry.Announce(registry.AnnounceConfig{
+			Name: fmt.Sprintf("sweep-leaf-%d", i), Bits: bits, Kind: "node", Auth: auth,
+			Dial: dialTo(parents[i%len(parents)]), Subscribe: sink.Subscribe,
+			SnapshotTelemetry: tel.Snapshot,
+			Backoff:           10 * time.Millisecond,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		f.closers = append(f.closers, ann.Close)
+		f.leaves = append(f.leaves, &sweepLeaf{tel: tel, sink: sink})
+		f.leafTels = append(f.leafTels, tel)
+	}
+	return f, nil
+}
+
+// offlineMerge is the ground truth the federation must reproduce: the
+// exact merge of every leaf's own snapshot.
+func (f *sweepFleet) offlineMerge() *telemetry.Snapshot {
+	s := &telemetry.Snapshot{}
+	for _, tel := range f.leafTels {
+		s.Merge(tel.Snapshot())
+	}
+	return s
+}
+
+// sinkStats sums the leaves' shed accounting.
+func (f *sweepFleet) sinkStats() (reports, rejects, sheds int64) {
+	for _, l := range f.leaves {
+		st := l.sink.Stats()
+		reports += st.Reports
+		rejects += st.ShedRejectReports
+		sheds += st.ShedReports
+	}
+	return
+}
+
+// sweepGen is the load generator's per-run state.
+type sweepGen struct {
+	fleet   *sweepFleet
+	perturb func(int, *rng.Source, *bitvec.Vector)
+	bits    int
+	frame   int
+	workers int
+	seed    uint64
+
+	tel         *telemetry.Registry
+	perturbHist *telemetry.Histogram
+	sojournHist *telemetry.Histogram
+
+	nextUser atomic.Int64 // global client ids across steps
+	lost     atomic.Int64
+
+	statsMu sync.Mutex
+	stats   flow.Stats // merged across workers and steps
+}
+
+// flowTotals reads the cumulative sender-side flow counters.
+func (g *sweepGen) flowTotals() flow.Stats {
+	g.statsMu.Lock()
+	defer g.statsMu.Unlock()
+	return g.stats
+}
+
+// runStep offers `clients` reports at `rate` reports/s (rate <= 0 runs
+// unpaced — the closed-loop calibration burst) and returns the wall
+// time. Workers pull frame indices from a shared counter, sleep until
+// each frame's scheduled arrival, perturb its reports, and flush with
+// shed-aware retry; a frame whose retry budget exhausts is counted lost
+// and abandoned (the generator gives up on those clients).
+func (g *sweepGen) runStep(rate float64, clients int64) time.Duration {
+	frames := (clients + int64(g.frame) - 1) / int64(g.frame)
+	var frameEvery time.Duration
+	if rate > 0 {
+		frameEvery = time.Duration(float64(g.frame) / rate * float64(time.Second))
+	}
+	policy := flow.Policy{Base: 2 * time.Millisecond, Max: 40 * time.Millisecond,
+		Attempts: 6, PerAttempt: time.Second}
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < g.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			leaf := g.fleet.leaves[w%len(g.fleet.leaves)]
+			b := leaf.sink.NewRejectBatcher()
+			buf := bitvec.New(g.bits)
+			root := rng.New(g.seed)
+			ur := rng.New(0)
+			jitter := flow.NewRand(g.seed ^ (uint64(w+1) * 0x9e3779b97f4a7c15))
+			var st flow.Stats
+			defer func() { g.mergeStats(st) }()
+			for {
+				k := next.Add(1) - 1
+				if k >= frames {
+					return
+				}
+				sched := start
+				if frameEvery > 0 {
+					sched = start.Add(time.Duration(k) * frameEvery)
+					if d := time.Until(sched); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				n := int64(g.frame)
+				if rem := clients - k*int64(g.frame); rem < n {
+					n = rem
+				}
+				flushErr := error(nil)
+				for i := int64(0); i < n; i++ {
+					u := g.nextUser.Add(1) - 1
+					root.SplitNInto(int(u), ur)
+					ps := time.Now()
+					g.perturb(int(u%int64(g.bits)), ur, buf)
+					g.perturbHist.ObserveSince(ps)
+					if err := b.Add(buf); err != nil {
+						flushErr = err
+						break
+					}
+				}
+				if flushErr == nil {
+					flushErr = b.Flush()
+				}
+				if isPushback(flushErr) {
+					flushErr = flow.Do(context.Background(), policy, jitter, &st,
+						func(context.Context) (bool, error) {
+							err := b.Flush()
+							return isPushback(err), err
+						})
+				}
+				if flushErr != nil {
+					// Retry budget exhausted (or the sink died): these
+					// clients' reports are lost to the generator. Abandon
+					// the pending batch so the next frame starts clean.
+					g.lost.Add(b.Pending())
+					b = leaf.sink.NewRejectBatcher()
+				}
+				g.sojournHist.ObserveSince(sched)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// mergeStats folds one worker's flow stats into the generator total.
+func (g *sweepGen) mergeStats(st flow.Stats) {
+	g.statsMu.Lock()
+	g.stats.Merge(st)
+	g.statsMu.Unlock()
+}
+
+// quantilesOf extracts the p50/p99/p999 triple from a delta SnapHist.
+func quantilesOf(h *telemetry.SnapHist) sweepQuantiles {
+	if h == nil {
+		return sweepQuantiles{}
+	}
+	us := func(q float64) float64 {
+		return float64(h.Quantile(q)) / float64(time.Microsecond)
+	}
+	return sweepQuantiles{P50US: us(0.50), P99US: us(0.99), P999US: us(0.999), Count: h.Count}
+}
+
+// runSweep drives the saturation sweep and writes BENCH_PR9.json.
+func runSweep(paper bool, seed uint64, outPath string) error {
+	res := sweepResult{
+		Scale: "ci", Bits: 64, Eps: 1, Leaves: 2, Mids: 0,
+		FrameSize: 64, Seed: seed,
+		GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	calClients, stepDur, minClients := int64(6000), 700*time.Millisecond, int64(0)
+	if paper {
+		res.Scale, res.Bits, res.Leaves, res.Mids = "paper", 256, 4, 2
+		calClients, stepDur, minClients = 60000, 2*time.Second, 1_050_000
+	}
+	res.Workers = 2 * res.Leaves
+	u, err := mech.NewOUE(res.Eps, res.Bits)
+	if err != nil {
+		return err
+	}
+	fleet, err := buildSweepFleet(res.Bits, res.Leaves, res.Mids, res.FrameSize)
+	if err != nil {
+		return err
+	}
+	defer fleet.close()
+
+	gen := &sweepGen{
+		fleet: fleet, perturb: u.PerturbItemInto, bits: res.Bits,
+		frame: res.FrameSize, workers: res.Workers, seed: seed,
+		tel: telemetry.NewRegistry("bench"),
+	}
+	gen.perturbHist = gen.tel.Histogram("perturb",
+		"Per-client privatization (perturbation) latency.")
+	gen.sojournHist = gen.tel.Histogram("frame_sojourn",
+		"Open-loop frame sojourn: scheduled arrival to accepted flush.")
+
+	// The SLO engine watches the fleet like an operator would: e2e
+	// latency from the generator's sojourn histogram, availability from
+	// the leaves' accept/shed counters plus generator-side losses.
+	// Windows scale with the step so per-step verdicts are meaningful:
+	// fast = one step, mid = two, slow = four.
+	sloEng, err := slo.New([]slo.Objective{
+		{Name: "sweep-e2e-latency", Kind: slo.Latency, Target: 0.99,
+			Description: "99% of frames accepted within 100ms of scheduled arrival",
+			Hist:        gen.sojournHist, Threshold: 100 * time.Millisecond},
+		{Name: "sweep-availability", Kind: slo.Availability, Target: 0.999,
+			Description: "99.9% of offered reports accepted (not shed, not rejected, not lost)",
+			Good:        func() int64 { r, _, _ := fleet.sinkStats(); return r },
+			Bad: func() int64 {
+				_, rejects, sheds := fleet.sinkStats()
+				return rejects + sheds + gen.lost.Load()
+			}},
+	}, slo.Config{
+		Interval: stepDur / 8,
+		Windows:  slo.Windows{Fast: stepDur, Mid: 2 * stepDur, Slow: 4 * stepDur},
+		Now:      time.Now,
+	})
+	if err != nil {
+		return err
+	}
+	defer sloEng.Close()
+	tickStop := make(chan struct{})
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
+	go func() {
+		defer tickWG.Done()
+		t := time.NewTicker(stepDur / 8)
+		defer t.Stop()
+		for {
+			select {
+			case <-tickStop:
+				return
+			case <-t.C:
+				sloEng.Tick()
+			}
+		}
+	}()
+	defer func() { close(tickStop); tickWG.Wait() }()
+
+	// The chaos site: during the final step it pulses forced saturation
+	// into the leaves, deterministically per seed.
+	// Error 1.0 fires every tick until the budget runs out, so the pulse
+	// train is deterministic: ~half the chaos step spends saturated, in
+	// pulses longer than the retry policy's backoff horizon so flushes
+	// caught early in a pulse exhaust their attempts — enough truly lost
+	// reports (not just refused-then-retried flushes) that the
+	// availability burn clears the multi-window alert gate
+	// (fast AND mid >= 14.4) with margin instead of straddling it.
+	inj := faultinject.New(seed)
+	satSite := inj.Site("sweep/force-saturation", faultinject.Schedule{Error: 1.0, Budget: 12})
+
+	enc := json.NewEncoder(os.Stdout) // one line per step (no indent)
+
+	type stepPlan struct {
+		label    string
+		fraction float64 // of capacity; 0 = unpaced calibration
+		chaos    bool
+	}
+	plan := []stepPlan{
+		{label: "calibrate", fraction: 0},
+		{label: "0.25c", fraction: 0.25},
+		{label: "0.50c", fraction: 0.50},
+		{label: "0.75c", fraction: 0.75},
+		{label: "0.90c", fraction: 0.90},
+		{label: "1.00c", fraction: 1.00},
+		{label: "1.20c", fraction: 1.20},
+		{label: "0.75c+chaos", fraction: 0.75, chaos: true},
+	}
+	// Clients per paced step come from the calibrated capacity; if the
+	// paper floor demands more, stretch the step duration.
+	var capacity float64
+
+	prevFleet := fleet.offlineMerge()
+	prevGen := gen.tel.Snapshot()
+	var prevLost int64
+	var prevStats flow.Stats
+
+	for i, p := range plan {
+		var rate float64
+		clients := calClients
+		dur := stepDur
+		if p.fraction > 0 {
+			rate = p.fraction * capacity
+			clients = int64(rate * dur.Seconds())
+			if clients < int64(res.FrameSize) {
+				clients = int64(res.FrameSize)
+			}
+		}
+
+		var chaosStop chan struct{}
+		var chaosWG sync.WaitGroup
+		var pulses atomic.Int64
+		if p.chaos {
+			chaosStop = make(chan struct{})
+			chaosWG.Add(1)
+			go func() {
+				defer chaosWG.Done()
+				t := time.NewTicker(dur / 8)
+				defer t.Stop()
+				for {
+					select {
+					case <-chaosStop:
+						return
+					case <-t.C:
+						if satSite.Fire() != nil {
+							pulses.Add(1)
+							for _, l := range fleet.leaves {
+								l.sink.ForceSaturation(true)
+							}
+							time.Sleep(dur / 8)
+							for _, l := range fleet.leaves {
+								l.sink.ForceSaturation(false)
+							}
+						}
+					}
+				}
+			}()
+		}
+
+		elapsed := gen.runStep(rate, clients)
+
+		if p.chaos {
+			close(chaosStop)
+			chaosWG.Wait()
+			for _, l := range fleet.leaves {
+				l.sink.ForceSaturation(false)
+			}
+		}
+		sloEng.Tick()
+
+		// Exact per-step deltas from the offline-merged leaf registries
+		// and the generator's own registry.
+		curFleet := fleet.offlineMerge()
+		fleetDelta := curFleet.Clone().Sub(prevFleet)
+		curGen := gen.tel.Snapshot()
+		genDelta := curGen.Clone().Sub(prevGen)
+		prevFleet, prevGen = curFleet, curGen
+
+		step := sweepStep{
+			Event: "sweep_step", Step: i, Label: p.label, Fraction: p.fraction,
+			OfferedPerSec: rate, Clients: clients,
+			DurationMS:       float64(elapsed) / float64(time.Millisecond),
+			SaturationPulses: pulses.Load(),
+			Stages: map[string]sweepQuantiles{
+				"perturb":           quantilesOf(genDelta.Hist("perturb_seconds")),
+				"frame_sojourn":     quantilesOf(genDelta.Hist("frame_sojourn_seconds")),
+				"ingest_queue_wait": quantilesOf(fleetDelta.Hist("ingest_queue_wait_seconds")),
+				"shard_fold":        quantilesOf(fleetDelta.Hist("shard_fold_seconds")),
+			},
+		}
+		step.AcceptedReports = fleetDelta.Counter("ingest_reports_total")
+		step.ShedRejectReports = fleetDelta.Counter("shed_reject_reports_total")
+		step.ShedReports = fleetDelta.Counter("shed_reports_total")
+		lost := gen.lost.Load()
+		step.LostReports = lost - prevLost
+		prevLost = lost
+		if offered := step.AcceptedReports + step.ShedReports + step.LostReports; offered > 0 {
+			step.Availability = float64(step.AcceptedReports) / float64(offered)
+		}
+		sec := elapsed.Seconds()
+		if sec > 0 {
+			step.ReportsPerSec = float64(step.AcceptedReports) / sec
+			step.ReportsPerSecPerCore = step.ReportsPerSec / float64(res.GOMAXPROCS)
+		}
+		cur := gen.flowTotals()
+		step.Retries = cur.Retries - prevStats.Retries
+		step.Sheds = cur.Sheds - prevStats.Sheds
+		step.BackoffMS = float64(cur.Backoff-prevStats.Backoff) / float64(time.Millisecond)
+		prevStats = cur
+
+		for _, v := range sloEng.Report().Objectives {
+			s := sweepSLO{Name: v.Name, Kind: string(v.Kind),
+				FastAlert: v.FastAlert, SlowAlert: v.SlowAlert, Healthy: v.Healthy}
+			for _, w := range v.Windows {
+				switch w.Window {
+				case "fast":
+					s.BurnFast = w.BurnRate
+				case "mid":
+					s.BurnMid = w.BurnRate
+				case "slow":
+					s.BurnSlow = w.BurnRate
+				}
+			}
+			step.SLO = append(step.SLO, s)
+		}
+
+		if err := enc.Encode(step); err != nil {
+			return err
+		}
+		res.Steps = append(res.Steps, step)
+
+		if p.fraction == 0 {
+			// Capacity = the unpaced burst's accepted throughput. If the
+			// paper floor demands more clients than the planned paced
+			// steps would offer, stretch the step duration.
+			capacity = step.ReportsPerSec
+			if capacity <= 0 {
+				return fmt.Errorf("sweep: calibration measured zero throughput")
+			}
+			res.CapacityPerSec = capacity
+			if minClients > 0 {
+				var fracSum float64
+				for _, q := range plan[1:] {
+					fracSum += q.fraction
+				}
+				if need := float64(minClients-clients) / (fracSum * capacity); need > stepDur.Seconds() {
+					stepDur = time.Duration(need * float64(time.Second))
+				}
+			}
+			res.StepSeconds = stepDur.Seconds()
+		}
+	}
+
+	res.TotalClients = gen.nextUser.Load()
+	if minClients > 0 && res.TotalClients < minClients {
+		return fmt.Errorf("sweep: simulated %d clients, floor is %d", res.TotalClients, minClients)
+	}
+
+	// Quiesce and check the acceptance bit: the top merger's federated
+	// fold must converge to byte-for-byte equality with the offline
+	// merge of the leaf snapshots. The offline side is recomputed per
+	// poll because shard workers observe fold latency asynchronously for
+	// a short tail after the last flush returns.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		offline := fleet.offlineMerge()
+		got := fleet.top.Federation().Merged().Cumulative().Pack()
+		if bytes.Equal(got, offline.Cumulative().Pack()) {
+			res.FederationExact = true
+			res.FleetReportsTotal = offline.Counter("ingest_reports_total")
+			break
+		}
+		res.FleetReportsTotal = offline.Counter("ingest_reports_total")
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d clients, capacity %.0f/s, federation_exact=%v\n",
+		res.TotalClients, res.CapacityPerSec, res.FederationExact)
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc = json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

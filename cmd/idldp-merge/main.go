@@ -47,7 +47,15 @@
 //
 // The -listen-http listener additionally serves GET /metrics: fleet
 // membership gauges, push/poll counters, delta/poll byte accounting,
-// checkpoint and calibration latency histograms as Prometheus text.
+// checkpoint and calibration latency histograms as Prometheus text —
+// plus the fleet-federated telemetry plane. Every member heartbeat
+// carries a packed telemetry snapshot (MAC-covered); the merger folds
+// them exactly and exposes idldp_fleet_* series aggregated, per tier,
+// and per member, alongside idldp_fleet_member_up / heartbeat-age
+// liveness gauges. GET /v1/slo answers the multi-window burn-rate SLO
+// report (-slo-windows, -slo-interval); the burn gauges ride /metrics.
+// With -upstream the heartbeats this merger sends fold its own
+// telemetry with its members' — tiers federate indefinitely.
 // Structured logs go to stderr (-log-level, -log-json); -pprof serves
 // net/http/pprof on a dedicated listener, never the control plane.
 package main
@@ -75,6 +83,7 @@ import (
 	"idldp/internal/fleet"
 	"idldp/internal/httpapi"
 	"idldp/internal/registry"
+	"idldp/internal/slo"
 	"idldp/internal/stream"
 	"idldp/internal/telemetry"
 	"idldp/internal/transport"
@@ -100,9 +109,11 @@ type config struct {
 	upstream           string
 	name               string
 
-	logLevel  string
-	logJSON   bool
-	pprofAddr string
+	logLevel    string
+	logJSON     bool
+	pprofAddr   string
+	sloWindows  string
+	sloInterval time.Duration
 }
 
 func main() {
@@ -126,6 +137,8 @@ func main() {
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured log level: debug, info, warn, error")
 	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit structured logs as JSON instead of text")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty = off; never mounted on the control-plane listeners)")
+	flag.StringVar(&cfg.sloWindows, "slo-windows", "5m,1h,6h", "burn-rate windows FAST,MID,SLOW for the SLO engine")
+	flag.DurationVar(&cfg.sloInterval, "slo-interval", 10*time.Second, "SLO sampling cadence")
 	flag.Parse()
 	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-merge:", err)
@@ -220,6 +233,54 @@ func run(w io.Writer, cfg config) error {
 	logger.Info("merger up", "bits", engine.M(), "poll_sources", len(sources),
 		"listen", cfg.listen, "listen_http", cfg.listenHTTP)
 
+	// The merger's own SLO catalog: checkpoint write latency, and
+	// control-plane availability (accepted pushes vs rejected messages).
+	// Both read counters the registry already keeps; with no push control
+	// plane they stay empty and the objectives report healthy.
+	sloWin, err := slo.ParseWindows(cfg.sloWindows)
+	if err != nil {
+		return err
+	}
+	sloEng, err := slo.New([]slo.Objective{
+		{
+			Name:        "merge-checkpoint-latency",
+			Description: "99% of merger checkpoint passes complete under 250ms",
+			Kind:        slo.Latency, Target: 0.99,
+			Hist:      tel.Histogram("fleet_checkpoint_write", "Latency of one registry checkpoint pass over all dirty members."),
+			Threshold: 250 * time.Millisecond,
+		},
+		{
+			Name:        "control-plane-availability",
+			Description: "99.9% of control-plane messages accepted (not rejected)",
+			Kind:        slo.Availability, Target: 0.999,
+			Good: func() int64 {
+				if reg == nil {
+					return 0
+				}
+				var n int64
+				for _, m := range reg.Status() {
+					n += m.Pushes
+				}
+				return n
+			},
+			Bad: func() int64 {
+				if reg == nil {
+					return 0
+				}
+				var n int64
+				for _, m := range reg.Status() {
+					n += m.Rejects
+				}
+				return n
+			},
+		},
+	}, slo.Config{Interval: cfg.sloInterval, Windows: sloWin})
+	if err != nil {
+		return err
+	}
+	defer sloEng.Close()
+	sloEng.RegisterMetrics(tel)
+
 	// draining flips one-way when shutdown starts; /v1/readyz turns 503
 	// before any listener stops answering.
 	var draining atomic.Bool
@@ -253,7 +314,11 @@ func run(w io.Writer, cfg config) error {
 		mux.Handle("/v1/healthz", health)
 		mux.Handle("/v1/readyz", health)
 		live.SetTelemetry(tel)
-		mux.Handle("GET /metrics", tel.Handler())
+		// One scrape surface: the merger's own series, the fleet-federated
+		// fold of every member's heartbeat snapshot, and the membership
+		// liveness gauges.
+		mux.Handle("GET /metrics", telemetry.HandlerFor(tel, reg.Federation(), reg))
+		mux.Handle("GET /v1/slo", sloEng.Handler())
 		mux.Handle("/", httpapi.NewRegistry(reg))
 		go func() { _ = http.Serve(httpLis, mux) }()
 		fmt.Fprintf(w, "control plane: accepting push registrations on http://%s (live estimates at /v1/estimates)\n", httpLis.Addr())
@@ -303,7 +368,16 @@ func run(w io.Writer, cfg config) error {
 			Name: name, Bits: engine.M(), Kind: "merger", Auth: auth,
 			Dial: transport.DialControlPlane(cfg.upstream), Subscribe: f.Subscribe,
 			Telemetry: tel,
-			OnError:   func(err error) { logger.Warn("upstream", "err", err) },
+			// A mid-tier merger's heartbeat telemetry is its own snapshot
+			// folded with its members' — the parent sees the whole subtree.
+			SnapshotTelemetry: func() *telemetry.Snapshot {
+				s := tel.Snapshot()
+				if reg != nil {
+					s.Merge(reg.Federation().Merged())
+				}
+				return s
+			},
+			OnError: func(err error) { logger.Warn("upstream", "err", err) },
 		}); err != nil {
 			return err
 		}

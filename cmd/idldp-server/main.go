@@ -54,7 +54,11 @@
 //
 // The -stream HTTP listener additionally serves GET /metrics: the full
 // telemetry plane (ingest counters, per-stage latency histograms, flow
-// control, read cache, announcer) as Prometheus text. Structured logs
+// control, read cache, announcer) as Prometheus text, plus the SLO
+// engine's burn-rate gauges; GET /v1/slo answers the multi-window
+// burn-rate report as JSON (-slo-windows, -slo-interval). When
+// announcing, each heartbeat carries a packed telemetry snapshot so the
+// merger can serve fleet-federated series. Structured logs
 // go to stderr (-log-level, -log-json); -pprof serves net/http/pprof on
 // a dedicated listener, never the ingest one.
 package main
@@ -79,6 +83,7 @@ import (
 	"idldp/internal/httpapi"
 	"idldp/internal/registry"
 	"idldp/internal/server"
+	"idldp/internal/slo"
 	"idldp/internal/telemetry"
 	"idldp/internal/transport"
 )
@@ -103,6 +108,8 @@ type config struct {
 	logLevel       string
 	logJSON        bool
 	pprofAddr      string
+	sloWindows     string
+	sloInterval    time.Duration
 }
 
 func main() {
@@ -124,6 +131,8 @@ func main() {
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured log level: debug, info, warn, error")
 	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit structured logs as JSON instead of text")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty = off; never mounted on the ingest listener)")
+	flag.StringVar(&cfg.sloWindows, "slo-windows", "5m,1h,6h", "burn-rate windows FAST,MID,SLOW for the SLO engine")
+	flag.DurationVar(&cfg.sloInterval, "slo-interval", 10*time.Second, "SLO sampling cadence")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "idldp-server:", err)
@@ -212,6 +221,39 @@ func run(cfg config) error {
 		}
 		defer stopPprof()
 	}
+	// The SLO engine watches the stage histograms and shed counters the
+	// runtime already maintains; its burn-rate gauges land on the same
+	// /metrics the histograms do.
+	sloWin, err := slo.ParseWindows(cfg.sloWindows)
+	if err != nil {
+		sink.Close()
+		return err
+	}
+	sloEng, err := slo.New([]slo.Objective{
+		{
+			Name:        "ingest-latency",
+			Description: "99% of ingest frames wait under 100ms for a shard slot",
+			Kind:        slo.Latency, Target: 0.99,
+			Hist:      tel.Histogram("ingest_queue_wait", "Time an ingest frame waits for a shard queue slot (backpressure)."),
+			Threshold: 100 * time.Millisecond,
+		},
+		{
+			Name:        "ingest-availability",
+			Description: "99.9% of offered reports accepted (not shed, not 429)",
+			Kind:        slo.Availability, Target: 0.999,
+			Good: func() int64 { return sink.Stats().Reports },
+			Bad: func() int64 {
+				st := sink.Stats()
+				return st.ShedReports + st.ShedRejectReports
+			},
+		},
+	}, slo.Config{Interval: cfg.sloInterval, Windows: sloWin})
+	if err != nil {
+		sink.Close()
+		return err
+	}
+	defer sloEng.Close()
+	sloEng.RegisterMetrics(tel)
 	var serveOpts []transport.ServeOption
 	if auth != nil {
 		serveOpts = append(serveOpts, transport.WithSnapshotAuth(auth))
@@ -241,6 +283,7 @@ func run(cfg config) error {
 			h.RequireSnapshotAuth(auth)
 		}
 		h.SetTelemetry(tel)
+		h.SetSLO(sloEng.Handler())
 		handler = h
 		lis, err := net.Listen("tcp", cfg.streamAddr)
 		if err != nil {
@@ -261,8 +304,9 @@ func run(cfg config) error {
 		announcer, err = registry.Announce(registry.AnnounceConfig{
 			Name: name, Bits: engine.M(), Kind: "node", Auth: auth,
 			Dial: transport.DialControlPlane(cfg.announceTarget), Subscribe: sink.Subscribe,
-			Telemetry: tel,
-			OnError:   func(err error) { logger.Warn("announce", "err", err) },
+			Telemetry:         tel,
+			SnapshotTelemetry: tel.Snapshot,
+			OnError:           func(err error) { logger.Warn("announce", "err", err) },
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,242 @@
+package faultinject_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"idldp/internal/faultinject"
+	"idldp/internal/registry"
+	"idldp/internal/server"
+	"idldp/internal/telemetry"
+	"idldp/internal/transport"
+)
+
+// TestChaosFederatedTelemetryMonotoneExact runs telemetry federation
+// through a hostile tiered topology: two leaves announce to a mid
+// merger, the mid folds its subtree upstream to a top merger, and every
+// control-plane link injects resets, torn writes, and corrupted frames
+// — each of which can hit a heartbeat mid-snapshot. One leaf restarts
+// with fresh (regressed) counters partway through. The contract under
+// -race: the top tier's fleet-wide report counter never moves
+// backwards at any observed instant, and at quiesce it equals the
+// exact number of reports ingested across every leaf incarnation — no
+// torn heartbeat half-applies, no restart double-counts.
+func TestChaosFederatedTelemetryMonotoneExact(t *testing.T) {
+	const (
+		bits = 8
+		seed = 13
+	)
+	inj := faultinject.New(seed)
+	auth, err := registry.NewAuthenticator("chaos-fed")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	top, err := registry.New(bits, registry.WithAuth(auth), registry.WithHeartbeat(40*time.Millisecond, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer top.Close()
+	topLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topSite := inj.Site("fed-top/accept", faultinject.Schedule{
+		Reset: 0.04, Corrupt: 0.04, Budget: 25,
+	})
+	topSrv := transport.ServeRegistryListener(topSite.WrapListener(topLis), top)
+	defer topSrv.Close()
+
+	chaosDial := func(site *faultinject.Site, addr string) func(context.Context) (registry.Conn, error) {
+		return func(ctx context.Context) (registry.Conn, error) {
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return transport.NewRegistryConn(site.WrapConn(conn)), nil
+		}
+	}
+
+	mid, err := registry.New(bits, registry.WithAuth(auth), registry.WithHeartbeat(30*time.Millisecond, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Close()
+	midSrv, err := transport.ServeRegistry("127.0.0.1:0", mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer midSrv.Close()
+	midTel := telemetry.NewRegistry("idldp")
+	midSite := inj.Site("fed-mid/upstream", faultinject.Schedule{
+		Reset: 0.05, TornWrite: 0.05, Corrupt: 0.05, Budget: 30,
+	})
+	up, err := registry.Announce(registry.AnnounceConfig{
+		Name: "fed-mid", Bits: bits, Kind: "merger", Auth: auth,
+		Dial: chaosDial(midSite, topSrv.Addr()), Subscribe: mid.Subscribe,
+		SnapshotTelemetry: func() *telemetry.Snapshot {
+			return midTel.Snapshot().Merge(mid.Federation().Merged())
+		},
+		Backoff: 5 * time.Millisecond, MaxBackoff: 40 * time.Millisecond,
+		BackoffSeed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+
+	// startLeaf spins up one leaf incarnation: its own telemetry, a
+	// streaming sink, and an announcer heartbeating snapshots to mid
+	// through a per-leaf fault site.
+	type leaf struct {
+		tel  *telemetry.Registry
+		sink *server.Server
+		ann  *registry.Announcer
+	}
+	startLeaf := func(name string, backoffSeed uint64) *leaf {
+		tel := telemetry.NewRegistry("idldp")
+		sink, err := server.New(bits, server.WithShards(2), server.WithStream(10*time.Millisecond),
+			server.WithTelemetry(tel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		site := inj.Site(name+"/dial", faultinject.Schedule{
+			Reset: 0.06, TornWrite: 0.05, Corrupt: 0.06, Budget: 30,
+		})
+		ann, err := registry.Announce(registry.AnnounceConfig{
+			Name: name, Bits: bits, Kind: "node", Auth: auth,
+			Dial: chaosDial(site, midSrv.Addr()), Subscribe: sink.Subscribe,
+			SnapshotTelemetry: tel.Snapshot,
+			Backoff:           5 * time.Millisecond, MaxBackoff: 40 * time.Millisecond,
+			BackoffSeed: backoffSeed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &leaf{tel: tel, sink: sink, ann: ann}
+	}
+	feed := func(l *leaf, reports int) {
+		for fed := 0; fed < reports; {
+			chunk := 25
+			if reports-fed < chunk {
+				chunk = reports - fed
+			}
+			// Fresh slice per call: the sink hands counts to a shard
+			// worker asynchronously and owns them from then on.
+			counts := make([]int64, bits)
+			for i := range counts {
+				counts[i] = int64(chunk % (i + 2))
+			}
+			if err := l.sink.AddCounts(counts, int64(chunk)); err != nil {
+				t.Fatal(err)
+			}
+			fed += chunk
+			time.Sleep(4 * time.Millisecond) // let heartbeats interleave
+		}
+	}
+	// waitFleet blocks until the registry's federated report counter for
+	// the named member reaches want — i.e. the member's final heartbeat
+	// landed. Counters that die with an incarnation before being
+	// heartbeated are lost by design, so exactness tests must quiesce a
+	// member before killing it.
+	waitFleet := func(reg *registry.Registry, member string, want int64) {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if reg.Federation().Member(member).Counter("ingest_reports_total") == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("member %s never reached %d federated reports", member, want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Monotonicity watcher: sample the top tier's fleet counter as fast
+	// as the race detector allows; any decrease is a federation bug
+	// (torn heartbeat half-applied, or a restart double-retired).
+	var stopWatch atomic.Bool
+	var regressed atomic.Bool
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	go func() {
+		defer watcher.Done()
+		var last int64
+		for !stopWatch.Load() {
+			cur := top.Federation().Merged().Counter("ingest_reports_total")
+			if cur < last {
+				regressed.Store(true)
+				return
+			}
+			last = cur
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	leafA := startLeaf("fed-leaf-a", 201)
+	leafB := startLeaf("fed-leaf-b", 202)
+	feed(leafA, 300)
+	feed(leafB, 250)
+
+	// Quiesce leaf B's first incarnation — its final heartbeat must land
+	// so the retire captures all 250 reports — then restart it: the
+	// incarnation dies (announcer and sink close), and a fresh process
+	// re-registers under the same name with zeroed telemetry. The
+	// federation must retire the old incarnation, not double-count.
+	waitFleet(mid, "fed-leaf-b", 250)
+	leafB.ann.Close()
+	if err := leafB.sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	leafB = startLeaf("fed-leaf-b", 203)
+	feed(leafB, 200)
+
+	const wantReports = 300 + 250 + 200
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if top.Federation().Merged().Counter("ingest_reports_total") == wantReports {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("top fleet counter stuck at %d, want %d (mid sees %d)",
+				top.Federation().Merged().Counter("ingest_reports_total"), wantReports,
+				mid.Federation().Merged().Counter("ingest_reports_total"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stopWatch.Store(true)
+	watcher.Wait()
+	if regressed.Load() {
+		t.Fatal("fleet-wide counter moved backwards during the chaos run")
+	}
+
+	// The restart must be visible in the mid tier's member meta, and the
+	// mid's fold must agree with the top's view (same subtree).
+	var restarts int
+	for _, m := range mid.Federation().Members() {
+		restarts += m.Restarts
+	}
+	if restarts == 0 {
+		t.Fatal("leaf restart never detected by the mid federation")
+	}
+	if midN := mid.Federation().Merged().Counter("ingest_reports_total"); midN != wantReports {
+		t.Fatalf("mid fleet counter %d, want %d", midN, wantReports)
+	}
+
+	// Prove the run was hostile: structural faults must have fired.
+	fc := inj.Counts()
+	t.Logf("injected faults: %+v (total %d)", fc, fc.Total())
+	if fc.Resets+fc.TornWrites+fc.Corruptions == 0 {
+		t.Fatal("no structural faults injected — schedules too timid")
+	}
+
+	leafA.ann.Close()
+	leafA.sink.Close()
+	leafB.ann.Close()
+	leafB.sink.Close()
+}

@@ -323,6 +323,24 @@ func (s *Site) Middleware(h http.Handler) http.Handler {
 	})
 }
 
+// Fire rolls the site's schedule once for a purely in-process decision
+// — no conn to sever, no buffer to mangle. Latency sleeps; reset and
+// error classes return an injected error; torn/corrupt classes cannot
+// fire. Returns nil when the schedule passes. Load harnesses use this
+// to pulse faults (forced saturation, dropped work) into components
+// they drive directly rather than over a wrapped link.
+func (s *Site) Fire() error {
+	switch f := s.draw(false); f.kind {
+	case fLatency:
+		time.Sleep(f.delay)
+	case fReset:
+		return s.errAt("reset")
+	case fError:
+		return s.errAt("forced fault")
+	}
+	return nil
+}
+
 // TruncateTail chops the last n bytes off the file — a torn write that
 // lost the frame's tail (trailer CRC first).
 func TruncateTail(path string, n int64) error {

@@ -264,6 +264,17 @@ func New(bits int, sources []Source, opts ...Option) (*Fleet, error) {
 // Bits returns the domain size m.
 func (f *Fleet) Bits() int { return f.bits }
 
+// Federation returns the attached registry's telemetry federation (the
+// fold of member snapshots carried on heartbeats), or nil for a
+// poll-only fleet. Poll-mode nodes are scraped directly by Prometheus;
+// only push-registered members federate telemetry through heartbeats.
+func (f *Fleet) Federation() *telemetry.Federation {
+	if f.reg == nil {
+		return nil
+	}
+	return f.reg.Federation()
+}
+
 // Poll fetches every node once, concurrently, each fetch bounded by the
 // poll timeout. Nodes that fail keep their previous snapshot; the joined
 // error reports every failure but never hides the successes — except

@@ -1,0 +1,100 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"idldp/internal/registry"
+	"idldp/internal/server"
+	"idldp/internal/telemetry"
+)
+
+// TestHeartbeatTelemetryOverHTTP mirrors the TCP federation test on the
+// JSON control plane: the packed snapshot rides the heartbeat body, the
+// merger federates it, and the combined /metrics surface (own registry
+// + federation + membership gauges) renders the fleet series.
+func TestHeartbeatTelemetryOverHTTP(t *testing.T) {
+	auth := newAuth(t, "fleet-token")
+	reg, err := registry.New(6, registry.WithAuth(auth), registry.WithHeartbeat(40*time.Millisecond, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	srv := httptest.NewServer(NewRegistry(reg))
+	defer srv.Close()
+
+	tel := telemetry.NewRegistry("idldp")
+	sink, err := server.New(6, server.WithStream(10*time.Millisecond), server.WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	a, err := registry.Announce(registry.AnnounceConfig{
+		Name: "http-node", Bits: 6, Kind: "node", Auth: auth,
+		Dial: func(context.Context) (registry.Conn, error) {
+			return registry.DialHTTP(srv.URL), nil
+		},
+		Subscribe:         sink.Subscribe,
+		SnapshotTelemetry: tel.Snapshot,
+		Backoff:           5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	if err := sink.AddCounts([]int64{1, 2, 3, 0, 0, 1}, 7); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if reg.Federation().Merged().Counter("ingest_reports_total") == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federated counter stuck at %d, want 7",
+				reg.Federation().Merged().Counter("ingest_reports_total"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	got := reg.Federation().Member("http-node").Cumulative().Pack()
+	want := tel.Snapshot().Cumulative().Pack()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("federated member snapshot != node snapshot after HTTP round trip")
+	}
+
+	// The merger daemon mounts telemetry.HandlerFor(tel, federation,
+	// registry) as one scrape surface; assert the composition here.
+	mergerTel := telemetry.NewRegistry("idldp")
+	mergerTel.Counter("own_counter", "merger-local series").Add(3)
+	metrics := httptest.NewServer(telemetry.HandlerFor(mergerTel, reg.Federation(), reg))
+	defer metrics.Close()
+	resp, err := http.Get(metrics.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(body)
+	for _, wantLine := range []string{
+		"idldp_own_counter_total 3",
+		`idldp_fleet_ingest_reports_total{node="http-node",tier="node"} 7`,
+		"idldp_fleet_ingest_reports_total 7",
+		`idldp_fleet_member_up{node="http-node",tier="node"} 1`,
+		`idldp_fleet_member_heartbeat_age_seconds{node="http-node",tier="node"}`,
+	} {
+		if !strings.Contains(page, wantLine) {
+			t.Fatalf("combined /metrics missing %q:\n%s", wantLine, page)
+		}
+	}
+}

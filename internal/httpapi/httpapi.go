@@ -162,6 +162,16 @@ func (h *Handler) SetTelemetry(reg *telemetry.Registry) {
 	}
 }
 
+// SetSLO mounts an SLO report endpoint (slo.Engine.Handler) at
+// GET /v1/slo on the handler's mux. Call before serving; nil is a
+// no-op.
+func (h *Handler) SetSLO(report http.Handler) {
+	if report == nil {
+		return
+	}
+	h.mux.Handle("GET /v1/slo", report)
+}
+
 // RequireSnapshotAuth gates GET /v1/snapshot behind the fleet-token
 // HMAC (headers X-Idldp-Time and X-Idldp-Mac, optional X-Idldp-Node;
 // see SignSnapshotHeaders). Ingest endpoints stay open — they carry

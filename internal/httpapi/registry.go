@@ -87,6 +87,7 @@ func (h *RegistryHandler) handleHeartbeat(w http.ResponseWriter, r *http.Request
 	}
 	err := h.reg.HandleHeartbeat(registry.Heartbeat{
 		Name: body.Name, Session: body.Session, TimeNano: body.TimeNano, MAC: body.MAC,
+		Telemetry: body.Telemetry,
 	})
 	if err != nil {
 		httpError(w, controlStatus(err), err.Error())

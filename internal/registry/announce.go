@@ -79,6 +79,14 @@ type AnnounceConfig struct {
 	// histogram (one observation per accepted push, including signing
 	// and the wire round trip).
 	Telemetry *telemetry.Registry
+	// SnapshotTelemetry, when non-nil, is called before each heartbeat
+	// and its packed result rides the heartbeat under the MAC, so the
+	// upstream merger can federate this process's metrics into its
+	// fleet-wide /metrics. A leaf passes its registry's Snapshot method;
+	// a mid-tier merger passes a closure folding its own snapshot with
+	// its Federation().Merged(), which is how telemetry composes up
+	// tiers. Must be safe to call from the announcer goroutine.
+	SnapshotTelemetry func() *telemetry.Snapshot
 }
 
 // AnnounceStats is a point-in-time view of an announcer's activity.
@@ -356,6 +364,11 @@ func (a *Announcer) session(ctx context.Context) (clean, finished bool) {
 			return clean, true
 		case <-hb.C:
 			b := Heartbeat{Name: a.cfg.Name, Session: reply.Session}
+			if a.cfg.SnapshotTelemetry != nil {
+				if s := a.cfg.SnapshotTelemetry(); s != nil {
+					b.Telemetry = s.Pack()
+				}
+			}
 			b.SignHeartbeat(a.cfg.Auth, time.Now())
 			if err := a.op(ctx, func(octx context.Context) error { return conn.Heartbeat(octx, b) }); err != nil {
 				a.fail(fmt.Errorf("registry: heartbeat: %w", err))

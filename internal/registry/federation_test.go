@@ -1,0 +1,232 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"idldp/internal/stream"
+	"idldp/internal/telemetry"
+)
+
+// nodeTelemetry builds a leaf's telemetry registry with a counter and a
+// histogram holding k observations.
+func nodeTelemetry(k int) *telemetry.Registry {
+	tel := telemetry.NewRegistry("idldp")
+	c := tel.Counter("ingest_reports", "x")
+	h := tel.Histogram("ingest_queue_wait", "x")
+	for i := 0; i < k; i++ {
+		c.Add(1)
+		h.Observe(time.Duration(i+1) * time.Microsecond)
+	}
+	return tel
+}
+
+// TestHeartbeatFederatesTelemetry drives two announcers into one merger
+// registry over in-process conns and asserts the federation's fold is
+// bit-exact equal to offline-merging the members' own snapshots — the
+// PR's acceptance criterion, minus the wire (the transports get their
+// own end-to-end test).
+func TestHeartbeatFederatesTelemetry(t *testing.T) {
+	auth := mustAuth(t, "k")
+	reg, err := New(2, WithAuth(auth), WithHeartbeat(40*time.Millisecond, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	var down atomic.Bool
+	tels := []*telemetry.Registry{nodeTelemetry(17), nodeTelemetry(400)}
+	var anns []*Announcer
+	var pubs []*stream.Publisher
+	for i, tel := range tels {
+		pub, err := stream.NewPublisher(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubs = append(pubs, pub)
+		tel := tel
+		a, err := Announce(AnnounceConfig{
+			Name: []string{"n0", "n1"}[i], Bits: 2, Kind: "node", Auth: auth,
+			Dial:              func(context.Context) (Conn, error) { return &loopConn{reg: reg, down: &down}, nil },
+			Subscribe:         pub.Subscribe,
+			SnapshotTelemetry: tel.Snapshot,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		anns = append(anns, a)
+	}
+	defer func() {
+		for i := range anns {
+			pubs[i].Close()
+			anns[i].Close()
+		}
+	}()
+
+	waitFor(t, "both members federated", func() bool {
+		return len(reg.Federation().Members()) == 2 &&
+			reg.Federation().Merged().Counter("ingest_reports_total") == 417
+	})
+
+	offline := tels[0].Snapshot().Merge(tels[1].Snapshot())
+	got := reg.Federation().Merged().Cumulative().Pack()
+	want := offline.Cumulative().Pack()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("federated fold != offline merge of member snapshots\ngot  %x\nwant %x", got, want)
+	}
+
+	// The same fold rendered on the merger's /metrics surface: the fleet
+	// histogram's +Inf bucket carries every member observation.
+	var page bytes.Buffer
+	if err := reg.Federation().WriteProm(&page); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page.String(), `idldp_fleet_ingest_queue_wait_seconds_bucket{le="+Inf"} 417`) {
+		t.Fatalf("fleet histogram missing from exposition:\n%s", page.String())
+	}
+	if !strings.Contains(page.String(), `idldp_fleet_ingest_queue_wait_seconds_bucket{node="n1",tier="node",le="+Inf"} 400`) {
+		t.Fatalf("per-member fleet histogram missing:\n%s", page.String())
+	}
+}
+
+// TestRegistryMemberGauges pins satellite liveness series: member_up
+// flips to 0 once the session lapses, heartbeat age tracks the clock.
+func TestRegistryMemberGauges(t *testing.T) {
+	auth := mustAuth(t, "k")
+	clk := newClock()
+	reg, err := New(2, WithAuth(auth), WithHeartbeat(50*time.Millisecond, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	reg.now = clk.now
+
+	register(t, reg, auth, "a", clk.now())
+	scrape := func() string {
+		var buf bytes.Buffer
+		if err := reg.WriteProm(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if page := scrape(); !strings.Contains(page, `idldp_fleet_member_up{node="a",tier="node"} 1`) {
+		t.Fatalf("fresh member not up:\n%s", page)
+	}
+	clk.advance(time.Second) // two 50ms heartbeats missed long ago
+	page := scrape()
+	if !strings.Contains(page, `idldp_fleet_member_up{node="a",tier="node"} 0`) {
+		t.Fatalf("lapsed member still up:\n%s", page)
+	}
+	if !strings.Contains(page, `idldp_fleet_member_heartbeat_age_seconds{node="a",tier="node"} 1`) {
+		t.Fatalf("heartbeat age wrong:\n%s", page)
+	}
+}
+
+// TestHeartbeatTelemetryTamperRejected: the MAC covers the packed
+// snapshot, so a bit flipped in flight voids the whole heartbeat — and
+// an authentic but malformed snapshot counts as a reject without
+// touching liveness or the federation.
+func TestHeartbeatTelemetryTamperRejected(t *testing.T) {
+	auth := mustAuth(t, "k")
+	reg, err := New(2, WithAuth(auth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	now := time.Now()
+	reply := register(t, reg, auth, "n0", now)
+
+	// Tampered: sign over real telemetry, then corrupt one byte.
+	hb := Heartbeat{Name: "n0", Session: reply.Session, Telemetry: nodeTelemetry(5).Snapshot().Pack()}
+	hb.SignHeartbeat(auth, now)
+	hb.Telemetry[len(hb.Telemetry)/2] ^= 0xff
+	if err := reg.HandleHeartbeat(hb); err == nil {
+		t.Fatal("tampered heartbeat accepted")
+	}
+	if len(reg.Federation().Members()) != 0 {
+		t.Fatal("tampered snapshot reached the federation")
+	}
+
+	// Authentic garbage: signed, but not a snapshot. Heartbeat stands
+	// (liveness refreshed), snapshot is counted as a reject.
+	hb = Heartbeat{Name: "n0", Session: reply.Session, Telemetry: []byte{0xde, 0xad}}
+	hb.SignHeartbeat(auth, now.Add(time.Second))
+	if err := reg.HandleHeartbeat(hb); err != nil {
+		t.Fatalf("authentic heartbeat with bad snapshot failed: %v", err)
+	}
+	if len(reg.Federation().Members()) != 0 {
+		t.Fatal("malformed snapshot reached the federation")
+	}
+	if st := reg.Status()[0]; st.Rejects != 1 {
+		t.Fatalf("malformed snapshot not counted: %+v", st)
+	}
+
+	// A plain heartbeat (no telemetry) still works as before.
+	hb = Heartbeat{Name: "n0", Session: reply.Session}
+	hb.SignHeartbeat(auth, now.Add(2*time.Second))
+	if err := reg.HandleHeartbeat(hb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMidTierFoldsSubtree: a mid-tier merger's SnapshotTelemetry folds
+// its own telemetry with its members' — the composition rule that lets
+// fleet series climb tiers.
+func TestMidTierFoldsSubtree(t *testing.T) {
+	auth := mustAuth(t, "k")
+	top, err := New(2, WithAuth(auth), WithHeartbeat(40*time.Millisecond, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer top.Close()
+	mid, err := New(2, WithAuth(auth), WithHeartbeat(40*time.Millisecond, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Close()
+
+	var down atomic.Bool
+	midTel := nodeTelemetry(3)
+	up, err := Announce(AnnounceConfig{
+		Name: "mid", Bits: 2, Kind: "merger", Auth: auth,
+		Dial:      func(context.Context) (Conn, error) { return &loopConn{reg: top, down: &down}, nil },
+		Subscribe: mid.Subscribe,
+		SnapshotTelemetry: func() *telemetry.Snapshot {
+			return midTel.Snapshot().Merge(mid.Federation().Merged())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+
+	leafTel := nodeTelemetry(39)
+	leafPub, err := stream.NewPublisher(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leafPub.Close()
+	leaf, err := Announce(AnnounceConfig{
+		Name: "leaf", Bits: 2, Kind: "node", Auth: auth,
+		Dial:              func(context.Context) (Conn, error) { return &loopConn{reg: mid, down: &down}, nil },
+		Subscribe:         leafPub.Subscribe,
+		SnapshotTelemetry: leafTel.Snapshot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Close()
+
+	// The top tier's fleet view converges on mid's own 3 observations
+	// plus the leaf's 39.
+	waitFor(t, "subtree fold at top", func() bool {
+		return top.Federation().Merged().Counter("ingest_reports_total") == 42
+	})
+	if got := top.Federation().MergedTier("merger").Counter("ingest_reports_total"); got != 42 {
+		t.Fatalf("top sees tier=merger total %d, want 42", got)
+	}
+}

@@ -34,12 +34,15 @@ type RegisterReplyBody struct {
 	Bits          int    `json:"bits"`
 }
 
-// HeartbeatBody is the POST /v1/heartbeat JSON payload.
+// HeartbeatBody is the POST /v1/heartbeat JSON payload. Telemetry is
+// an optional packed telemetry snapshot (telemetry.Snapshot.Pack),
+// covered by the MAC.
 type HeartbeatBody struct {
-	Name     string `json:"name"`
-	Session  uint64 `json:"session"`
-	TimeNano int64  `json:"time_nano"`
-	MAC      []byte `json:"mac,omitempty"`
+	Name      string `json:"name"`
+	Session   uint64 `json:"session"`
+	TimeNano  int64  `json:"time_nano"`
+	MAC       []byte `json:"mac,omitempty"`
+	Telemetry []byte `json:"telemetry,omitempty"`
 }
 
 // PushBody is the POST /v1/delta JSON payload.
@@ -120,6 +123,7 @@ func (c *HTTPConn) Register(ctx context.Context, req RegisterRequest) (RegisterR
 func (c *HTTPConn) Heartbeat(ctx context.Context, hb Heartbeat) error {
 	return c.post(ctx, "/v1/heartbeat", HeartbeatBody{
 		Name: hb.Name, Session: hb.Session, TimeNano: hb.TimeNano, MAC: hb.MAC,
+		Telemetry: hb.Telemetry,
 	}, nil)
 }
 

@@ -41,14 +41,18 @@
 package registry
 
 import (
+	"bufio"
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -131,18 +135,24 @@ type RegisterReply struct {
 	Bits int
 }
 
-// Heartbeat keeps a session alive.
+// Heartbeat keeps a session alive. It optionally carries a packed
+// telemetry snapshot (telemetry.Snapshot.Pack) so the merger can
+// federate the member's metrics; the snapshot bytes ride under the MAC
+// like every other payload, so a torn or tampered snapshot rejects
+// wholesale instead of partially applying.
 type Heartbeat struct {
-	Name     string
-	Session  uint64
-	TimeNano int64
-	MAC      []byte
+	Name      string
+	Session   uint64
+	TimeNano  int64
+	MAC       []byte
+	Telemetry []byte
 }
 
-// SignHeartbeat fills the heartbeat's auth envelope.
+// SignHeartbeat fills the heartbeat's auth envelope, covering the
+// telemetry snapshot bytes.
 func (h *Heartbeat) SignHeartbeat(a *Authenticator, now time.Time) {
 	h.TimeNano = now.UnixNano()
-	h.MAC = a.Sign(KindHeartbeat, h.Name, h.Session, h.TimeNano, nil)
+	h.MAC = a.Sign(KindHeartbeat, h.Name, h.Session, h.TimeNano, h.Telemetry)
 }
 
 // PushFrame is one node→merger stream frame: a sparse delta of the
@@ -285,6 +295,7 @@ type Registry struct {
 	now            func() time.Time // test hook
 
 	tel   *telemetry.Registry
+	fed   *telemetry.Federation
 	hCkpt *telemetry.Histogram
 	// trace is the representative trace across all members: the trace of
 	// the most recently accepted traced push, readable without r.mu.
@@ -326,6 +337,11 @@ func New(bits int, opts ...Option) (*Registry, error) {
 	for _, opt := range opts {
 		opt(r)
 	}
+	ns := "idldp"
+	if r.tel != nil {
+		ns = r.tel.Namespace()
+	}
+	r.fed = telemetry.NewFederation(ns)
 	if r.tel != nil {
 		r.registerMetrics(r.tel)
 	}
@@ -445,6 +461,70 @@ func (r *Registry) registerMetrics(tel *telemetry.Registry) {
 	tel.CounterFunc("fleet_poll_equiv_bytes", "Payload bytes full-snapshot polling would have transferred.", sum(func(m *member) int64 { return m.pollEquivBytes }))
 }
 
+// Federation returns the fold of member telemetry snapshots carried on
+// heartbeats. Compose it into the merger's /metrics handler with
+// telemetry.HandlerFor to expose fleet-wide series.
+func (r *Registry) Federation() *telemetry.Federation { return r.fed }
+
+// WriteProm renders per-member liveness as exposition text —
+// <ns>_fleet_member_up{node,tier} (1 while the session is live, 0 once
+// evicted or never registered) and
+// <ns>_fleet_member_heartbeat_age_seconds — so member staleness is
+// scrapeable, not just visible in /v1/fleet JSON. Registry implements
+// telemetry.PromWriter; mount it alongside the process registry and
+// the Federation via telemetry.HandlerFor.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	ns := "idldp"
+	if r.tel != nil {
+		ns = r.tel.Namespace()
+	}
+	type row struct {
+		node, kind string
+		up         int
+		age        float64
+	}
+	now := r.now()
+	r.mu.Lock()
+	rows := make([]row, 0, len(r.members))
+	for name, m := range r.members {
+		up := 0
+		if !r.evictedLocked(m, now) {
+			up = 1
+		}
+		age := math.Inf(1) // never heartbeated (restored member)
+		if !m.lastSeen.IsZero() {
+			age = now.Sub(m.lastSeen).Seconds()
+		}
+		rows = append(rows, row{node: name, kind: m.kind, up: up, age: age})
+	}
+	r.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].node < rows[j].node })
+
+	bw := bufio.NewWriter(w)
+	upName := ns + "_fleet_member_up"
+	fmt.Fprintf(bw, "# HELP %s 1 while the member holds a live, unevicted session.\n", upName)
+	fmt.Fprintf(bw, "# TYPE %s gauge\n", upName)
+	for _, x := range rows {
+		fmt.Fprintf(bw, "%s{node=\"%s\",tier=\"%s\"} %d\n", upName,
+			telemetry.EscapeLabelValue(x.node), telemetry.EscapeLabelValue(x.kind), x.up)
+	}
+	ageName := ns + "_fleet_member_heartbeat_age_seconds"
+	fmt.Fprintf(bw, "# HELP %s seconds since the member's last accepted heartbeat or push (+Inf before the first).\n", ageName)
+	fmt.Fprintf(bw, "# TYPE %s gauge\n", ageName)
+	for _, x := range rows {
+		v := "+Inf"
+		if !math.IsInf(x.age, 1) {
+			v = strconv.FormatFloat(x.age, 'g', -1, 64)
+		}
+		fmt.Fprintf(bw, "%s{node=\"%s\",tier=\"%s\"} %s\n", ageName,
+			telemetry.EscapeLabelValue(x.node), telemetry.EscapeLabelValue(x.kind), v)
+	}
+	return bw.Flush()
+}
+
 // LastTrace returns the representative trace ID of the most recently
 // accepted traced push, or "" if none arrived yet. This is the top-tier
 // observability hook: a trace minted at a leaf node surfaces here after
@@ -526,22 +606,41 @@ func (r *Registry) authMemberLocked(name string, session uint64, now time.Time) 
 	return m, nil
 }
 
-// HandleHeartbeat refreshes a session's liveness.
+// HandleHeartbeat refreshes a session's liveness and folds any
+// attached telemetry snapshot into the federation.
 func (r *Registry) HandleHeartbeat(hb Heartbeat) error {
 	now := r.now()
-	if err := r.auth.Verify(hb.MAC, KindHeartbeat, hb.Name, hb.Session, hb.TimeNano, nil, now); err != nil {
+	if err := r.auth.Verify(hb.MAC, KindHeartbeat, hb.Name, hb.Session, hb.TimeNano, hb.Telemetry, now); err != nil {
 		return err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return fmt.Errorf("registry: closed")
 	}
 	m, err := r.authMemberLocked(hb.Name, hb.Session, now)
 	if err != nil {
+		r.mu.Unlock()
 		return err
 	}
 	m.lastSeen = now
+	kind := m.kind
+	if len(hb.Telemetry) == 0 {
+		r.mu.Unlock()
+		return nil
+	}
+	snap, err := telemetry.UnpackSnapshot(hb.Telemetry)
+	if err != nil {
+		// The heartbeat itself was authentic, so liveness stands; a
+		// malformed snapshot (version skew) is counted, not fatal.
+		m.rejects++
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Unlock()
+	// Federation has its own lock; fold outside r.mu so a slow merge
+	// never stalls the control plane.
+	r.fed.Update(hb.Name, kind, hb.TimeNano, snap)
 	return nil
 }
 

@@ -1,0 +1,456 @@
+// Package slo evaluates service-level objectives over the telemetry
+// plane: declarative objectives (latency targets over stage
+// histograms, availability ratios over shed/429 counters) scored with
+// multi-window error-budget burn rates, the way large fleets alarm on
+// SLOs rather than raw thresholds.
+//
+// The engine samples each objective's cumulative good/bad counters on
+// a fixed cadence and keeps a ring of samples spanning the slowest
+// window. The burn rate over a window is
+//
+//	burn = (bad/total over the window) / (1 - target)
+//
+// so burn 1.0 consumes exactly the error budget over that window, and
+// burn 14.4 on a 30-day budget exhausts it in ~2 days. Alerts follow
+// the classic multi-window, multi-burn-rate recipe: a fast page when
+// both the fast (5m) and mid (1h) windows burn ≥ 14.4×, a slow ticket
+// when both the slow (6h) and mid windows burn ≥ 6×. Requiring the
+// short AND the long window keeps one latency spike from paging while
+// still resetting quickly once the problem stops.
+//
+// Serve Report as GET /v1/slo (Handler) and register burn-rate gauges
+// on the process telemetry registry (RegisterMetrics) so alerts are
+// scrapeable next to the histograms they are computed from.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"idldp/internal/telemetry"
+)
+
+// Kind discriminates objective types.
+type Kind string
+
+const (
+	// Latency objectives promise that a Target fraction of observations
+	// in Hist complete within Threshold.
+	Latency Kind = "latency"
+	// Availability objectives promise that a Target fraction of events
+	// are Good (not shed, not rejected).
+	Availability Kind = "availability"
+)
+
+// Objective is one declarative service-level objective over existing
+// telemetry. All counter sources must be cumulative and monotone; the
+// engine differences them per window.
+type Objective struct {
+	// Name identifies the objective in reports, gauges and alerts.
+	Name string
+	// Description is shown in the /v1/slo report.
+	Description string
+	Kind        Kind
+	// Target is the promised good fraction in (0,1), e.g. 0.99. The
+	// error budget is 1 - Target.
+	Target float64
+
+	// Hist and Threshold define a latency objective: an observation is
+	// bad when it exceeds Threshold. A nil Hist (telemetry disabled)
+	// yields a permanently healthy objective.
+	Hist      *telemetry.Histogram
+	Threshold time.Duration
+
+	// Good and Bad define an availability objective: cumulative event
+	// counts (e.g. accepted reports vs shed/429 pushbacks).
+	Good func() int64
+	Bad  func() int64
+}
+
+// counts reads the objective's cumulative (total, bad) pair.
+func (o *Objective) counts() (total, bad int64) {
+	switch o.Kind {
+	case Latency:
+		below, all := o.Hist.CountBelow(o.Threshold)
+		return int64(all), int64(all - below)
+	case Availability:
+		var g, b int64
+		if o.Good != nil {
+			g = o.Good()
+		}
+		if o.Bad != nil {
+			b = o.Bad()
+		}
+		return g + b, b
+	}
+	return 0, 0
+}
+
+// Windows are the three evaluation horizons.
+type Windows struct {
+	Fast, Mid, Slow time.Duration
+}
+
+// DefaultWindows is the classic 5m/1h/6h multi-window set.
+var DefaultWindows = Windows{Fast: 5 * time.Minute, Mid: time.Hour, Slow: 6 * time.Hour}
+
+// Config tunes an Engine.
+type Config struct {
+	// Interval is the sampling cadence (default 10s).
+	Interval time.Duration
+	// Windows are the evaluation horizons (default DefaultWindows).
+	// They must be ascending: Fast < Mid < Slow.
+	Windows Windows
+	// FastBurn and SlowBurn are the alert thresholds (defaults 14.4
+	// and 6 — the 30-day-budget page/ticket pair).
+	FastBurn, SlowBurn float64
+	// Now is the clock (tests). Setting it also disables the sampling
+	// goroutine: the caller drives Tick explicitly.
+	Now func() time.Time
+}
+
+// sample is one reading of an objective's cumulative counters.
+type sample struct {
+	at         time.Time
+	total, bad int64
+}
+
+type objState struct {
+	o      Objective
+	budget float64 // 1 - target
+
+	mu   sync.Mutex
+	ring []sample
+}
+
+// Engine samples objectives and evaluates burn rates. Construct with
+// New; Close stops the sampling goroutine.
+type Engine struct {
+	objs     []*objState
+	interval time.Duration
+	windows  Windows
+	fastBurn float64
+	slowBurn float64
+	now      func() time.Time
+	manual   bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New validates the objectives and starts sampling (unless cfg.Now is
+// set, which selects manual Tick-driven operation for tests and
+// harnesses).
+func New(objectives []Objective, cfg Config) (*Engine, error) {
+	if len(objectives) == 0 {
+		return nil, fmt.Errorf("slo: no objectives")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	if cfg.Windows == (Windows{}) {
+		cfg.Windows = DefaultWindows
+	}
+	if cfg.Windows.Fast <= 0 || cfg.Windows.Mid <= cfg.Windows.Fast || cfg.Windows.Slow <= cfg.Windows.Mid {
+		return nil, fmt.Errorf("slo: windows must ascend fast < mid < slow, got %v", cfg.Windows)
+	}
+	if cfg.FastBurn <= 0 {
+		cfg.FastBurn = 14.4
+	}
+	if cfg.SlowBurn <= 0 {
+		cfg.SlowBurn = 6
+	}
+	e := &Engine{
+		interval: cfg.Interval,
+		windows:  cfg.Windows,
+		fastBurn: cfg.FastBurn,
+		slowBurn: cfg.SlowBurn,
+		now:      cfg.Now,
+		manual:   cfg.Now != nil,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	seen := map[string]bool{}
+	for _, o := range objectives {
+		if o.Name == "" {
+			return nil, fmt.Errorf("slo: objective needs a name")
+		}
+		if seen[o.Name] {
+			return nil, fmt.Errorf("slo: duplicate objective %q", o.Name)
+		}
+		seen[o.Name] = true
+		if o.Target <= 0 || o.Target >= 1 {
+			return nil, fmt.Errorf("slo: objective %q target %v outside (0,1)", o.Name, o.Target)
+		}
+		switch o.Kind {
+		case Latency:
+			if o.Threshold <= 0 {
+				return nil, fmt.Errorf("slo: latency objective %q needs a positive threshold", o.Name)
+			}
+		case Availability:
+			if o.Good == nil && o.Bad == nil {
+				return nil, fmt.Errorf("slo: availability objective %q needs Good or Bad counters", o.Name)
+			}
+		default:
+			return nil, fmt.Errorf("slo: objective %q has unknown kind %q", o.Name, o.Kind)
+		}
+		e.objs = append(e.objs, &objState{o: o, budget: 1 - o.Target})
+	}
+	e.Tick() // seed the rings so the first report has a baseline
+	if !e.manual {
+		go e.loop()
+	} else {
+		close(e.done)
+	}
+	return e, nil
+}
+
+// Close stops the sampling goroutine (idempotent).
+func (e *Engine) Close() {
+	e.stopOnce.Do(func() { close(e.stop) })
+	<-e.done
+}
+
+func (e *Engine) loop() {
+	defer close(e.done)
+	t := time.NewTicker(e.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-t.C:
+			e.Tick()
+		}
+	}
+}
+
+// Tick takes one sample of every objective. The sampling goroutine
+// calls it on the configured cadence; manual-clock engines call it
+// directly.
+func (e *Engine) Tick() {
+	now := e.now()
+	keep := e.windows.Slow + 2*e.interval
+	for _, st := range e.objs {
+		total, bad := st.o.counts()
+		st.mu.Lock()
+		st.ring = append(st.ring, sample{at: now, total: total, bad: bad})
+		// Prune, but always keep one sample at or beyond the slow
+		// horizon so the slow window can difference against it.
+		for len(st.ring) >= 2 && now.Sub(st.ring[1].at) >= keep {
+			st.ring = st.ring[1:]
+		}
+		st.mu.Unlock()
+	}
+}
+
+// WindowVerdict is one objective × window evaluation.
+type WindowVerdict struct {
+	// Window is the horizon role: "fast", "mid" or "slow".
+	Window  string  `json:"window"`
+	Seconds float64 `json:"seconds"`
+	// Total and Bad are the event deltas over the window.
+	Total int64 `json:"total"`
+	Bad   int64 `json:"bad"`
+	// BadRatio is Bad/Total (0 when idle); BurnRate is BadRatio divided
+	// by the error budget.
+	BadRatio float64 `json:"bad_ratio"`
+	BurnRate float64 `json:"burn_rate"`
+	// Covered reports whether the ring spans the full window yet.
+	Covered bool `json:"covered"`
+}
+
+// Verdict is one objective's evaluation.
+type Verdict struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description,omitempty"`
+	Kind        Kind    `json:"kind"`
+	Target      float64 `json:"target"`
+	// ThresholdMS is set for latency objectives.
+	ThresholdMS float64         `json:"threshold_ms,omitempty"`
+	Windows     []WindowVerdict `json:"windows"`
+	// FastAlert: fast AND mid windows burn ≥ the fast threshold (page).
+	// SlowAlert: slow AND mid windows burn ≥ the slow threshold
+	// (ticket). Healthy is neither.
+	FastAlert bool `json:"fast_alert"`
+	SlowAlert bool `json:"slow_alert"`
+	Healthy   bool `json:"healthy"`
+}
+
+// Report is the full GET /v1/slo payload.
+type Report struct {
+	At         time.Time `json:"at"`
+	IntervalMS float64   `json:"interval_ms"`
+	FastBurn   float64   `json:"fast_burn_threshold"`
+	SlowBurn   float64   `json:"slow_burn_threshold"`
+	Objectives []Verdict `json:"objectives"`
+}
+
+// evalWindow differences the ring over one horizon ending at the
+// newest sample.
+func (st *objState) evalWindow(role string, w time.Duration, budget float64) WindowVerdict {
+	v := WindowVerdict{Window: role, Seconds: w.Seconds()}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.ring) == 0 {
+		return v
+	}
+	cur := st.ring[len(st.ring)-1]
+	cutoff := cur.at.Add(-w)
+	base := st.ring[0]
+	// Newest sample at or before the cutoff — linear scan from the old
+	// end; rings are short (slow window / interval entries).
+	for _, s := range st.ring {
+		if s.at.After(cutoff) {
+			break
+		}
+		base = s
+	}
+	v.Covered = !base.at.After(cutoff)
+	v.Total = cur.total - base.total
+	v.Bad = cur.bad - base.bad
+	if v.Total < 0 || v.Bad < 0 { // source counter reset mid-flight
+		v.Total, v.Bad = 0, 0
+	}
+	if v.Total > 0 {
+		v.BadRatio = float64(v.Bad) / float64(v.Total)
+		v.BurnRate = v.BadRatio / budget
+	}
+	return v
+}
+
+func (st *objState) verdict(e *Engine) Verdict {
+	fast := st.evalWindow("fast", e.windows.Fast, st.budget)
+	mid := st.evalWindow("mid", e.windows.Mid, st.budget)
+	slow := st.evalWindow("slow", e.windows.Slow, st.budget)
+	v := Verdict{
+		Name:        st.o.Name,
+		Description: st.o.Description,
+		Kind:        st.o.Kind,
+		Target:      st.o.Target,
+		Windows:     []WindowVerdict{fast, mid, slow},
+		FastAlert:   fast.BurnRate >= e.fastBurn && mid.BurnRate >= e.fastBurn,
+		SlowAlert:   slow.BurnRate >= e.slowBurn && mid.BurnRate >= e.slowBurn,
+	}
+	if st.o.Kind == Latency {
+		v.ThresholdMS = float64(st.o.Threshold) / float64(time.Millisecond)
+	}
+	v.Healthy = !v.FastAlert && !v.SlowAlert
+	return v
+}
+
+// Report evaluates every objective against the current rings.
+func (e *Engine) Report() Report {
+	r := Report{
+		At:         e.now(),
+		IntervalMS: float64(e.interval) / float64(time.Millisecond),
+		FastBurn:   e.fastBurn,
+		SlowBurn:   e.slowBurn,
+	}
+	for _, st := range e.objs {
+		r.Objectives = append(r.Objectives, st.verdict(e))
+	}
+	return r
+}
+
+// Handler serves the report as JSON — mount as GET /v1/slo.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if req.Method == http.MethodHead {
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(e.Report())
+	})
+}
+
+// RegisterMetrics exposes the engine on tel:
+//
+//	<ns>_slo_burn_rate{objective,window}  current burn per horizon
+//	<ns>_slo_alerting{objective,severity} 1 while the alert condition holds
+//	<ns>_slo_healthy{objective}           1 while no alert holds
+//
+// All gauges are scrape-time views over the sample rings. Nil tel is a
+// no-op.
+func (e *Engine) RegisterMetrics(tel *telemetry.Registry) {
+	if tel == nil {
+		return
+	}
+	for _, st := range e.objs {
+		st := st
+		for _, win := range []struct {
+			role string
+			d    time.Duration
+		}{{"fast", e.windows.Fast}, {"mid", e.windows.Mid}, {"slow", e.windows.Slow}} {
+			win := win
+			tel.GaugeFunc("slo_burn_rate", "Error-budget burn rate over one evaluation window.",
+				func() float64 { return st.evalWindow(win.role, win.d, st.budget).BurnRate },
+				telemetry.Label{Name: "objective", Value: st.o.Name},
+				telemetry.Label{Name: "window", Value: win.role})
+		}
+		tel.GaugeFunc("slo_alerting", "1 while the fast (page) burn-rate condition holds.",
+			func() float64 {
+				if st.verdict(e).FastAlert {
+					return 1
+				}
+				return 0
+			},
+			telemetry.Label{Name: "objective", Value: st.o.Name},
+			telemetry.Label{Name: "severity", Value: "fast"})
+		tel.GaugeFunc("slo_alerting", "1 while the slow (ticket) burn-rate condition holds.",
+			func() float64 {
+				if st.verdict(e).SlowAlert {
+					return 1
+				}
+				return 0
+			},
+			telemetry.Label{Name: "objective", Value: st.o.Name},
+			telemetry.Label{Name: "severity", Value: "slow"})
+		tel.GaugeFunc("slo_healthy", "1 while no burn-rate alert condition holds.",
+			func() float64 {
+				if st.verdict(e).Healthy {
+					return 1
+				}
+				return 0
+			},
+			telemetry.Label{Name: "objective", Value: st.o.Name})
+	}
+}
+
+// ParseWindows parses a "5m,1h,6h" flag value into Windows. The empty
+// string means the default windows, so callers that build a config
+// programmatically (tests, embedding) need not spell them out.
+func ParseWindows(s string) (Windows, error) {
+	var w Windows
+	if s == "" {
+		return DefaultWindows, nil
+	}
+	fields := strings.Split(s, ",")
+	if len(fields) != 3 {
+		return w, fmt.Errorf("slo: windows %q: want fast,mid,slow", s)
+	}
+	out := [3]time.Duration{}
+	for i, f := range fields {
+		d, err := time.ParseDuration(strings.TrimSpace(f))
+		if err != nil {
+			return w, fmt.Errorf("slo: windows %q: %w", s, err)
+		}
+		out[i] = d
+	}
+	return Windows{Fast: out[0], Mid: out[1], Slow: out[2]}, nil
+}

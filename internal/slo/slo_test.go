@@ -1,0 +1,268 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"idldp/internal/telemetry"
+)
+
+// manualEngine builds a Tick-driven engine around a settable clock and
+// a pair of atomic counters standing in for an availability source.
+func manualEngine(t *testing.T, target float64) (*Engine, *time.Time, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	var good, bad atomic.Int64
+	eng, err := New([]Objective{{
+		Name: "avail", Kind: Availability, Target: target,
+		Good: good.Load, Bad: bad.Load,
+	}}, Config{
+		Interval: 10 * time.Second,
+		Windows:  Windows{Fast: time.Minute, Mid: 5 * time.Minute, Slow: 30 * time.Minute},
+		Now:      func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	return eng, &now, &good, &bad
+}
+
+// advance steps the clock and takes one sample per interval.
+func advance(eng *Engine, now *time.Time, d time.Duration) {
+	for stepped := time.Duration(0); stepped < d; stepped += eng.interval {
+		*now = now.Add(eng.interval)
+		eng.Tick()
+	}
+}
+
+func TestEngineHealthyUnderBudget(t *testing.T) {
+	eng, now, good, bad := manualEngine(t, 0.999)
+	// 0.01% bad: a tenth of the 0.1% budget — burn rate 0.1, healthy.
+	for i := 0; i < 60; i++ {
+		good.Add(9999)
+		bad.Add(1)
+		advance(eng, now, eng.interval)
+	}
+	r := eng.Report()
+	v := r.Objectives[0]
+	if !v.Healthy || v.FastAlert || v.SlowAlert {
+		t.Fatalf("should be healthy: %+v", v)
+	}
+	fast := v.Windows[0]
+	if fast.BurnRate < 0.05 || fast.BurnRate > 0.2 {
+		t.Fatalf("burn rate %v, want ~0.1", fast.BurnRate)
+	}
+	if !fast.Covered {
+		t.Fatal("fast window should be covered after a minute of samples")
+	}
+}
+
+func TestEngineFastBurnPages(t *testing.T) {
+	eng, now, good, bad := manualEngine(t, 0.999)
+	// Warm up healthy so mid has a baseline.
+	for i := 0; i < 12; i++ {
+		good.Add(1000)
+		advance(eng, now, eng.interval)
+	}
+	// Saturate: 10% bad = 100x budget, far over the 14.4 page threshold
+	// in both the fast and mid windows.
+	for i := 0; i < 30; i++ {
+		good.Add(900)
+		bad.Add(100)
+		advance(eng, now, eng.interval)
+	}
+	v := eng.Report().Objectives[0]
+	if !v.FastAlert {
+		t.Fatalf("fast burn should page: %+v", v)
+	}
+	if v.Healthy {
+		t.Fatal("alerting objective reported healthy")
+	}
+}
+
+func TestEngineIdleIsHealthy(t *testing.T) {
+	eng, now, _, _ := manualEngine(t, 0.999)
+	advance(eng, now, 10*time.Minute)
+	v := eng.Report().Objectives[0]
+	if !v.Healthy {
+		t.Fatalf("idle service should be healthy: %+v", v)
+	}
+	if v.Windows[0].Total != 0 || v.Windows[0].BurnRate != 0 {
+		t.Fatalf("idle window not zero: %+v", v.Windows[0])
+	}
+}
+
+func TestEngineSourceResetZeroes(t *testing.T) {
+	eng, now, good, bad := manualEngine(t, 0.999)
+	good.Add(100000)
+	bad.Add(50000)
+	advance(eng, now, eng.interval)
+	// The source restarts: cumulative counts fall. Once the high-water
+	// sample becomes the window base, the delta is negative and must
+	// clamp to zero, not alert on garbage.
+	good.Store(10)
+	bad.Store(0)
+	advance(eng, now, eng.windows.Fast+eng.interval)
+	v := eng.Report().Objectives[0]
+	fast := v.Windows[0]
+	if fast.Total != 0 || fast.Bad != 0 {
+		t.Fatalf("reset delta not clamped: %+v", fast)
+	}
+}
+
+func TestLatencyObjectiveCountsTail(t *testing.T) {
+	tel := telemetry.NewRegistry("t")
+	h := tel.Histogram("stage", "x")
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	eng, err := New([]Objective{{
+		Name: "lat", Kind: Latency, Target: 0.9,
+		Hist: h, Threshold: 100 * time.Millisecond,
+	}}, Config{
+		Interval: time.Second,
+		Windows:  Windows{Fast: 10 * time.Second, Mid: time.Minute, Slow: 5 * time.Minute},
+		Now:      func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// Half the observations blow the threshold: bad ratio 0.5 against a
+	// 0.1 budget = burn 5.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+		h.Observe(time.Second)
+	}
+	now = now.Add(time.Second)
+	eng.Tick()
+	v := eng.Report().Objectives[0]
+	if v.ThresholdMS != 100 {
+		t.Fatalf("threshold_ms = %v", v.ThresholdMS)
+	}
+	fast := v.Windows[0]
+	if fast.Total != 200 || fast.Bad != 100 {
+		t.Fatalf("latency window deltas: %+v", fast)
+	}
+	if fast.BurnRate < 4.5 || fast.BurnRate > 5.5 {
+		t.Fatalf("burn rate %v, want ~5", fast.BurnRate)
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	eng, now, good, _ := manualEngine(t, 0.99)
+	good.Add(100)
+	advance(eng, now, eng.interval)
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var r Report
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Objectives) != 1 || r.Objectives[0].Name != "avail" {
+		t.Fatalf("report: %+v", r)
+	}
+	if len(r.Objectives[0].Windows) != 3 {
+		t.Fatalf("want 3 windows: %+v", r.Objectives[0].Windows)
+	}
+	post, err := srv.Client().Post(srv.URL, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST got %d, want 405", post.StatusCode)
+	}
+}
+
+func TestRegisterMetricsGauges(t *testing.T) {
+	eng, now, good, bad := manualEngine(t, 0.999)
+	tel := telemetry.NewRegistry("t")
+	eng.RegisterMetrics(tel)
+	for i := 0; i < 12; i++ {
+		good.Add(1000)
+		advance(eng, now, eng.interval)
+	}
+	for i := 0; i < 30; i++ {
+		bad.Add(1000)
+		advance(eng, now, eng.interval)
+	}
+	rec := httptest.NewRecorder()
+	tel.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	page := rec.Body.String()
+	for _, want := range []string{
+		`t_slo_burn_rate{objective="avail",window="fast"}`,
+		`t_slo_burn_rate{objective="avail",window="mid"}`,
+		`t_slo_burn_rate{objective="avail",window="slow"}`,
+		`t_slo_alerting{objective="avail",severity="fast"} 1`,
+		`t_slo_healthy{objective="avail"} 0`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("missing %q in:\n%s", want, page)
+		}
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	ok := Objective{Name: "x", Kind: Availability, Target: 0.9, Good: func() int64 { return 0 }}
+	cases := []struct {
+		name string
+		objs []Objective
+		cfg  Config
+	}{
+		{"empty", nil, Config{}},
+		{"no name", []Objective{{Kind: Availability, Target: 0.9, Good: func() int64 { return 0 }}}, Config{}},
+		{"dup", []Objective{ok, ok}, Config{}},
+		{"target", []Objective{{Name: "x", Kind: Availability, Target: 1.5, Good: func() int64 { return 0 }}}, Config{}},
+		{"latency no threshold", []Objective{{Name: "x", Kind: Latency, Target: 0.9}}, Config{}},
+		{"avail no counters", []Objective{{Name: "x", Kind: Availability, Target: 0.9}}, Config{}},
+		{"bad kind", []Objective{{Name: "x", Kind: "nope", Target: 0.9}}, Config{}},
+		{"windows order", []Objective{ok}, Config{Windows: Windows{Fast: time.Hour, Mid: time.Minute, Slow: time.Second}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.objs, c.cfg); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	w, err := ParseWindows("5m, 1h ,6h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Fast != 5*time.Minute || w.Mid != time.Hour || w.Slow != 6*time.Hour {
+		t.Fatalf("parsed %+v", w)
+	}
+	if w, err := ParseWindows(""); err != nil || w != DefaultWindows {
+		t.Fatalf("empty windows: got %+v, %v; want defaults", w, err)
+	}
+	for _, bad := range []string{"5m", "5m,1h", "5m,1h,6h,1d", "x,1h,6h"} {
+		if _, err := ParseWindows(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func TestGoroutineModeClosesCleanly(t *testing.T) {
+	eng, err := New([]Objective{{
+		Name: "x", Kind: Availability, Target: 0.9, Good: func() int64 { return 1 },
+	}}, Config{Interval: time.Millisecond, Windows: Windows{Fast: time.Second, Mid: 2 * time.Second, Slow: 3 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	eng.Close()
+	eng.Close() // idempotent
+}

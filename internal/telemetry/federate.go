@@ -1,0 +1,370 @@
+// Telemetry federation: a merger-side fold of member snapshots into
+// fleet-wide series. Members attach packed snapshots to their registry
+// heartbeats (MAC-covered); the merger feeds each into a Federation,
+// which keeps per-member state and renders <ns>_fleet_* series on the
+// merger's /metrics — the whole fleet behind one scrape point.
+//
+// Cumulative series must stay monotone even when a member restarts and
+// its counters reset to zero. The Federation handles this the way
+// Prometheus rate() handles counter resets, but exactly: when a new
+// snapshot regresses any cumulative series, the member's previous
+// incarnation is folded into a retired base, and the member's
+// contribution becomes retired + latest. No sample is counted twice
+// (the regressed snapshot is a fresh incarnation, not a re-send), and
+// nothing is lost.
+//
+// A torn or corrupt heartbeat cannot partially apply: the snapshot is
+// MAC-verified and structurally validated before Update, so federation
+// state only ever moves by whole, self-consistent snapshots.
+//
+// Known limitation: a restarted *mid-tier merger* re-announces the
+// fold of its still-running members as a fresh incarnation, so the
+// tier above retires a base that includes live member counts — those
+// members' pre-restart observations are then counted once in the
+// retired base and again as the mid re-accumulates them. Leaf restarts
+// (the common case) are exact; mid restarts overcount by at most the
+// subtree's pre-restart totals until operators restart the parent too.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// FedMember describes one member's federation state.
+type FedMember struct {
+	Node     string
+	Tier     string
+	Restarts int       // regressions detected (member incarnations - 1)
+	SentNano int64     // sender clock of the newest accepted snapshot
+	Received time.Time // local receipt time of that snapshot
+}
+
+type fedMember struct {
+	tier     string
+	latest   *Snapshot
+	retired  *Snapshot // fold of pre-restart incarnations, nil when none
+	sentNano int64
+	received time.Time
+	restarts int
+}
+
+// Federation folds member telemetry snapshots into fleet-wide series.
+// A nil *Federation is a valid no-op. Safe for concurrent use.
+type Federation struct {
+	ns string
+
+	mu      sync.Mutex
+	members map[string]*fedMember
+}
+
+// NewFederation returns an empty federation rendering fleet series
+// under namespace + "_fleet_".
+func NewFederation(namespace string) *Federation {
+	if !validName(namespace) {
+		panic(fmt.Sprintf("telemetry: invalid namespace %q", namespace))
+	}
+	return &Federation{ns: namespace, members: make(map[string]*fedMember)}
+}
+
+// Update folds a member's snapshot in. sentNano is the sender's clock
+// from the (MAC-covered) heartbeat; snapshots that do not advance it
+// are dropped, so a delayed or replayed heartbeat cannot roll a member
+// backwards. Returns false when dropped as stale.
+func (f *Federation) Update(node, tier string, sentNano int64, snap *Snapshot) bool {
+	if f == nil || snap == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.members[node]
+	if !ok {
+		m = &fedMember{tier: tier}
+		f.members[node] = m
+	}
+	if ok && sentNano <= m.sentNano {
+		return false
+	}
+	m.tier = tier
+	if m.latest != nil && snapRegressed(m.latest, snap) {
+		// Fresh incarnation: retire the old one so fleet series stay
+		// monotone and the new counts don't double with the old.
+		if m.retired == nil {
+			m.retired = &Snapshot{}
+		}
+		m.retired.Merge(m.latest.Cumulative())
+		m.restarts++
+	}
+	m.latest = snap
+	m.sentNano = sentNano
+	m.received = time.Now()
+	return true
+}
+
+// snapRegressed reports whether any cumulative series in prev is
+// missing from next or moved backwards — the member restarted (or is
+// a different process under the same name).
+func snapRegressed(prev, next *Snapshot) bool {
+	j := 0
+	for i := range prev.Metrics {
+		p := &prev.Metrics[i]
+		if p.Kind == SnapGauge {
+			continue
+		}
+		for j < len(next.Metrics) && next.Metrics[j].key() < p.key() {
+			j++
+		}
+		if j >= len(next.Metrics) || next.Metrics[j].key() != p.key() || next.Metrics[j].Kind != p.Kind {
+			return true
+		}
+		n := &next.Metrics[j]
+		switch p.Kind {
+		case SnapCounter:
+			if n.Counter < p.Counter {
+				return true
+			}
+		case SnapHistogram:
+			if histRegressed(p.Hist, n.Hist) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// histRegressed reports whether any bucket (or the count/sum) moved
+// backwards.
+func histRegressed(prev, next *SnapHist) bool {
+	if prev == nil {
+		return false
+	}
+	if next == nil {
+		return prev.Count > 0
+	}
+	if next.Count < prev.Count || next.SumNano < prev.SumNano {
+		return true
+	}
+	j := 0
+	for i, ix := range prev.Idx {
+		for j < len(next.Idx) && next.Idx[j] < ix {
+			j++
+		}
+		if j >= len(next.Idx) || next.Idx[j] != ix || next.Vals[j] < prev.Vals[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// memberTotal is the member's full contribution: retired + latest.
+func (m *fedMember) total() *Snapshot {
+	out := &Snapshot{}
+	out.Merge(m.retired)
+	out.Merge(m.latest)
+	return out
+}
+
+// Members lists federation members sorted by node name.
+func (f *Federation) Members() []FedMember {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FedMember, 0, len(f.members))
+	for node, m := range f.members {
+		out = append(out, FedMember{Node: node, Tier: m.tier, Restarts: m.restarts,
+			SentNano: m.sentNano, Received: m.received})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Member returns one member's total contribution (retired + latest),
+// or an empty snapshot when unknown.
+func (f *Federation) Member(node string) *Snapshot {
+	if f == nil {
+		return &Snapshot{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.members[node]; ok {
+		return m.total()
+	}
+	return &Snapshot{}
+}
+
+// Merged folds every member (in sorted node order, so the result is
+// deterministic) into one fleet-wide snapshot. With no member
+// restarts, this is bit-exact equal to offline-merging the members'
+// latest snapshots.
+func (f *Federation) Merged() *Snapshot {
+	return f.mergedWhere(func(*fedMember) bool { return true })
+}
+
+// MergedTier folds only the members of one tier.
+func (f *Federation) MergedTier(tier string) *Snapshot {
+	return f.mergedWhere(func(m *fedMember) bool { return m.tier == tier })
+}
+
+func (f *Federation) mergedWhere(keep func(*fedMember) bool) *Snapshot {
+	out := &Snapshot{}
+	if f == nil {
+		return out
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	nodes := make([]string, 0, len(f.members))
+	for node, m := range f.members {
+		if keep(m) {
+			nodes = append(nodes, node)
+		}
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		m := f.members[node]
+		out.Merge(m.retired)
+		out.Merge(m.latest)
+	}
+	return out
+}
+
+// spliceLabels appends extra (rendered "a=\"b\",c=\"d\"" pairs) onto a
+// canonical label string.
+func spliceLabels(labels, extra string) string {
+	if extra == "" {
+		return labels
+	}
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WriteProm renders the federation as exposition text: for every
+// federated family <ns>_fleet_<name>, the fleet-wide fold (no node or
+// tier label), one series per tier (tier="..."), and one per member
+// (node="...",tier="..."). Meta gauges follow: per-member restart
+// detections and snapshot age.
+func (f *Federation) WriteProm(w io.Writer) error {
+	if f == nil {
+		return nil
+	}
+	type memberRow struct {
+		node, tier string
+		extra      string
+		snap       *Snapshot
+	}
+	f.mu.Lock()
+	nodes := make([]string, 0, len(f.members))
+	for node := range f.members {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+	rows := make([]memberRow, 0, len(nodes))
+	tierSet := make(map[string]bool)
+	type memberMeta struct {
+		node, tier string
+		restarts   int
+		age        float64
+	}
+	metas := make([]memberMeta, 0, len(nodes))
+	now := time.Now()
+	for _, node := range nodes {
+		m := f.members[node]
+		extra := `node="` + escapeLabel(node) + `",tier="` + escapeLabel(m.tier) + `"`
+		rows = append(rows, memberRow{node: node, tier: m.tier, extra: extra, snap: m.total()})
+		tierSet[m.tier] = true
+		metas = append(metas, memberMeta{node: node, tier: m.tier, restarts: m.restarts,
+			age: now.Sub(m.received).Seconds()})
+	}
+	f.mu.Unlock()
+
+	tiers := make([]string, 0, len(tierSet))
+	for t := range tierSet {
+		tiers = append(tiers, t)
+	}
+	sort.Strings(tiers)
+	tierSnaps := make([]*Snapshot, len(tiers))
+	agg := &Snapshot{}
+	for i, t := range tiers {
+		ts := &Snapshot{}
+		for _, r := range rows {
+			if r.tier == t {
+				ts.Merge(r.snap)
+			}
+		}
+		tierSnaps[i] = ts
+	}
+	// The aggregate folds members in sorted node order (not tier order)
+	// so it matches Merged() and an offline merge byte-for-byte.
+	for _, r := range rows {
+		agg.Merge(r.snap)
+	}
+
+	bw := bufio.NewWriter(w)
+	writeSample := func(name, labels string, m *SnapMetric) {
+		switch m.Kind {
+		case SnapCounter:
+			bw.WriteString(name)
+			bw.WriteString(labels)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(m.Counter, 10))
+			bw.WriteByte('\n')
+		case SnapGauge:
+			bw.WriteString(name)
+			bw.WriteString(labels)
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(m.Gauge))
+			bw.WriteByte('\n')
+		case SnapHistogram:
+			expoHist(bw, name, labels, m.Hist.dense(), m.Hist.SumNano)
+		}
+	}
+	for i := 0; i < len(agg.Metrics); {
+		famEnd := i
+		for famEnd < len(agg.Metrics) && agg.Metrics[famEnd].Name == agg.Metrics[i].Name {
+			famEnd++
+		}
+		fleetName := f.ns + "_fleet_" + agg.Metrics[i].Name
+		typ := agg.Metrics[i].Kind.String()
+		fmt.Fprintf(bw, "# HELP %s fleet-federated %s (merged member telemetry)\n", fleetName, agg.Metrics[i].Name)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fleetName, typ)
+		for ; i < famEnd; i++ {
+			m := &agg.Metrics[i]
+			writeSample(fleetName, m.Labels, m)
+			for ti, t := range tiers {
+				if tm := tierSnaps[ti].find(m.Name, m.Labels); tm != nil {
+					writeSample(fleetName, spliceLabels(m.Labels, `tier="`+escapeLabel(t)+`"`), tm)
+				}
+			}
+			for _, r := range rows {
+				if rm := r.snap.find(m.Name, m.Labels); rm != nil {
+					writeSample(fleetName, spliceLabels(m.Labels, r.extra), rm)
+				}
+			}
+		}
+	}
+	if len(metas) > 0 {
+		restarts := f.ns + "_fleet_member_restarts"
+		fmt.Fprintf(bw, "# HELP %s counter regressions detected in this member's telemetry (incarnations - 1)\n", restarts)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", restarts)
+		for _, mm := range metas {
+			fmt.Fprintf(bw, "%s{node=\"%s\",tier=\"%s\"} %d\n", restarts,
+				escapeLabel(mm.node), escapeLabel(mm.tier), mm.restarts)
+		}
+		age := f.ns + "_fleet_member_snapshot_age_seconds"
+		fmt.Fprintf(bw, "# HELP %s seconds since this member's last telemetry snapshot arrived\n", age)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", age)
+		for _, mm := range metas {
+			fmt.Fprintf(bw, "%s{node=\"%s\",tier=\"%s\"} %s\n", age,
+				escapeLabel(mm.node), escapeLabel(mm.tier), formatFloat(mm.age))
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// memberReg builds a registry with the standard test series observed k
+// times, standing in for one node's telemetry.
+func memberReg(k int) *Registry {
+	reg := NewRegistry("idldp")
+	c := reg.Counter("reports_total", "x")
+	h := reg.Histogram("lat", "x")
+	for i := 0; i < k; i++ {
+		c.Add(1)
+		h.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	return reg
+}
+
+// TestFederationMergedIsBitExact is the PR's acceptance criterion at
+// unit level: the federation fold of heartbeat-delivered snapshots must
+// pack byte-for-byte equal to an offline merge of the same snapshots.
+func TestFederationMergedIsBitExact(t *testing.T) {
+	f := NewFederation("idldp")
+	offline := &Snapshot{}
+	for i, k := range []int{3, 11, 0, 250} {
+		s := memberReg(k).Snapshot()
+		node := "node-" + string(rune('a'+i))
+		if !f.Update(node, "node", int64(i+1), s) {
+			t.Fatalf("update %s dropped", node)
+		}
+		offline.Merge(s)
+	}
+	if got, want := f.Merged().Pack(), offline.Pack(); !bytes.Equal(got, want) {
+		t.Fatalf("federated fold != offline merge\ngot  %x\nwant %x", got, want)
+	}
+	if f.Merged().Counter("reports_total") != 264 {
+		t.Fatalf("fleet counter = %d, want 264", f.Merged().Counter("reports_total"))
+	}
+}
+
+// TestFederationStaleHeartbeatDropped: a replayed or delayed heartbeat
+// (sender clock not advancing) must not roll a member backwards.
+func TestFederationStaleHeartbeatDropped(t *testing.T) {
+	f := NewFederation("idldp")
+	if !f.Update("n1", "node", 100, memberReg(10).Snapshot()) {
+		t.Fatal("first update dropped")
+	}
+	if f.Update("n1", "node", 100, memberReg(3).Snapshot()) {
+		t.Fatal("same-clock replay accepted")
+	}
+	if f.Update("n1", "node", 99, memberReg(3).Snapshot()) {
+		t.Fatal("older replay accepted")
+	}
+	if f.Merged().Counter("reports_total") != 10 {
+		t.Fatalf("replay corrupted state: %d", f.Merged().Counter("reports_total"))
+	}
+}
+
+// TestFederationRestartRetiresIncarnation: a member restarting with
+// fresh counters must neither double-count nor lose its pre-restart
+// observations, and every fleet series stays monotone across the
+// transition.
+func TestFederationRestartRetiresIncarnation(t *testing.T) {
+	f := NewFederation("idldp")
+	f.Update("n1", "node", 1, memberReg(100).Snapshot())
+	before := f.Merged()
+
+	// Fresh process: counters restart from zero, lower than before.
+	f.Update("n1", "node", 2, memberReg(7).Snapshot())
+	after := f.Merged()
+	if got := after.Counter("reports_total"); got != 107 {
+		t.Fatalf("post-restart fleet counter = %d, want 100+7", got)
+	}
+	if got := after.Hist("lat_seconds").Count; got != 107 {
+		t.Fatalf("post-restart fleet hist count = %d, want 107", got)
+	}
+	if after.Counter("reports_total") < before.Counter("reports_total") {
+		t.Fatal("fleet counter went backwards across a restart")
+	}
+	ms := f.Members()
+	if len(ms) != 1 || ms[0].Restarts != 1 {
+		t.Fatalf("restart not detected: %+v", ms)
+	}
+
+	// The member keeps growing in its new incarnation: retired base must
+	// be folded exactly once.
+	f.Update("n1", "node", 3, memberReg(9).Snapshot())
+	if got := f.Merged().Counter("reports_total"); got != 109 {
+		t.Fatalf("fleet counter after growth = %d, want 109", got)
+	}
+}
+
+// TestFederationTiers checks the per-tier fold partitions the fleet.
+func TestFederationTiers(t *testing.T) {
+	f := NewFederation("idldp")
+	f.Update("leaf-1", "node", 1, memberReg(5).Snapshot())
+	f.Update("leaf-2", "node", 1, memberReg(6).Snapshot())
+	f.Update("mid-1", "merger", 1, memberReg(20).Snapshot())
+	if got := f.MergedTier("node").Counter("reports_total"); got != 11 {
+		t.Fatalf("node tier = %d, want 11", got)
+	}
+	if got := f.MergedTier("merger").Counter("reports_total"); got != 20 {
+		t.Fatalf("merger tier = %d, want 20", got)
+	}
+	if got := f.Merged().Counter("reports_total"); got != 31 {
+		t.Fatalf("all tiers = %d, want 31", got)
+	}
+	if got := f.MergedTier("nope").Counter("reports_total"); got != 0 {
+		t.Fatalf("unknown tier = %d, want 0", got)
+	}
+}
+
+// TestFederationWriteProm parses the federation's exposition page with
+// the strict conformance parser and checks the aggregate, tier, member
+// and meta series are all present with the fleet prefix.
+func TestFederationWriteProm(t *testing.T) {
+	f := NewFederation("idldp")
+	f.Update("leaf-1", "node", 1, memberReg(5).Snapshot())
+	f.Update(`we"ird\leaf`, "node", 1, memberReg(2).Snapshot())
+	f.Update("mid-1", "merger", 1, memberReg(10).Snapshot())
+	var buf bytes.Buffer
+	if err := f.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	samples := parseProm(t, page)
+	want := map[string]float64{}
+	for _, s := range samples {
+		switch s.name {
+		case "idldp_fleet_reports_total":
+			key := s.labels["node"] + "/" + s.labels["tier"]
+			want[key] = s.value
+		}
+	}
+	checks := map[string]float64{
+		"/":                17, // aggregate: no node, no tier label
+		"/node":            7,
+		"/merger":          10,
+		"leaf-1/node":      5,
+		`we"ird\leaf/node`: 2,
+		"mid-1/merger":     10,
+	}
+	for k, v := range checks {
+		if want[k] != v {
+			t.Fatalf("fleet series %q = %v, want %v\npage:\n%s", k, want[k], v, page)
+		}
+	}
+	for _, meta := range []string{"idldp_fleet_member_restarts", "idldp_fleet_member_snapshot_age_seconds"} {
+		if !strings.Contains(page, meta) {
+			t.Fatalf("missing meta series %s", meta)
+		}
+	}
+	// Histogram families federate too: the member's buckets appear under
+	// the fleet prefix with a cumulative +Inf sample per labeling.
+	if !strings.Contains(page, `idldp_fleet_lat_seconds_bucket{le="+Inf"} 17`) {
+		t.Fatalf("missing aggregate fleet histogram:\n%s", page)
+	}
+}
+
+// TestFederationNilIsNoop: nil receivers are valid everywhere (a leaf
+// registry has no federation).
+func TestFederationNilIsNoop(t *testing.T) {
+	var f *Federation
+	if f.Update("n", "t", 1, &Snapshot{}) {
+		t.Fatal("nil federation accepted an update")
+	}
+	if got := f.Merged(); len(got.Metrics) != 0 {
+		t.Fatal("nil federation not empty")
+	}
+	if err := f.WriteProm(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Members() != nil {
+		t.Fatal("nil federation has members")
+	}
+}

@@ -171,6 +171,29 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return 0
 }
 
+// CountBelow returns the number of observations at or below d (to
+// within one fine-bucket width, ≤6.25% relative — the bucket holding d
+// counts in full) together with the total, read from one bucket pass
+// so the pair is consistent. The SLO engine derives latency-objective
+// bad counts from this: bad = total - below.
+func (h *Histogram) CountBelow(d time.Duration) (below, total uint64) {
+	if h == nil {
+		return 0, 0
+	}
+	if d < 0 {
+		d = 0
+	}
+	limit := bucketIndex(uint64(d))
+	for i := range h.buckets {
+		c := atomic.LoadUint64(&h.buckets[i])
+		total += c
+		if i <= limit {
+			below += c
+		}
+	}
+	return below, total
+}
+
 func (h *Histogram) famType() string { return "histogram" }
 
 // write renders the cumulative _bucket series at the power-of-two
@@ -180,17 +203,25 @@ func (h *Histogram) write(w *bufio.Writer) {
 	for i := range h.buckets {
 		counts[i] = atomic.LoadUint64(&h.buckets[i])
 	}
+	expoHist(w, h.name, h.labels, &counts, atomic.LoadInt64(&h.sumNano))
+}
+
+// expoHist renders one histogram series — cumulative _bucket lines at
+// the power-of-two exposition boundaries, then _sum and _count — from
+// a dense fine-bucket array. Shared by live histograms and federated
+// snapshot rendering so both produce byte-identical exposition text.
+func expoHist(w *bufio.Writer, name, labels string, counts *[histBuckets]uint64, sumNano int64) {
 	// Cumulative count below each boundary. 2^e ns is the lower bound
 	// of fine bucket (e-histSubBits+1)<<histSubBits, so every earlier
 	// bucket is strictly below the boundary.
 	writeBucket := func(le string, cum uint64) {
-		w.WriteString(h.name)
+		w.WriteString(name)
 		w.WriteString("_bucket")
-		if h.labels == "" {
+		if labels == "" {
 			w.WriteString(`{le="`)
 		} else {
 			// Splice le into the existing label set.
-			w.WriteString(h.labels[:len(h.labels)-1])
+			w.WriteString(labels[:len(labels)-1])
 			w.WriteString(`,le="`)
 		}
 		w.WriteString(le)
@@ -214,15 +245,15 @@ func (h *Histogram) write(w *bufio.Writer) {
 		total += counts[next]
 	}
 	writeBucket("+Inf", total)
-	w.WriteString(h.name)
+	w.WriteString(name)
 	w.WriteString("_sum")
-	w.WriteString(h.labels)
+	w.WriteString(labels)
 	w.WriteByte(' ')
-	w.WriteString(formatFloat(float64(atomic.LoadInt64(&h.sumNano)) / 1e9))
+	w.WriteString(formatFloat(float64(sumNano) / 1e9))
 	w.WriteByte('\n')
-	w.WriteString(h.name)
+	w.WriteString(name)
 	w.WriteString("_count")
-	w.WriteString(h.labels)
+	w.WriteString(labels)
 	w.WriteByte(' ')
 	w.WriteString(strconv.FormatUint(total, 10))
 	w.WriteByte('\n')

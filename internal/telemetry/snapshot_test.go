@@ -1,0 +1,282 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// snapRNG is a tiny deterministic splitmix64 so the property tests are
+// reproducible without seeding math/rand.
+type snapRNG uint64
+
+func (r *snapRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TestSnapshotHistMergeEqualsUnionStream is the federation identity the
+// whole PR rests on: merging K independently-observed histograms is
+// bit-exact equal to one histogram that observed the union stream.
+// The value mix deliberately hits octave boundaries (exact powers of
+// two), the sub-16ns identity buckets, zero, and leaves some member
+// histograms empty or sparse.
+func TestSnapshotHistMergeEqualsUnionStream(t *testing.T) {
+	const members = 7
+	rng := snapRNG(42)
+
+	union := NewRegistry("u")
+	uh := union.Histogram("stage", "union oracle")
+	var snaps []*Snapshot
+	for k := 0; k < members; k++ {
+		reg := NewRegistry("u")
+		h := reg.Histogram("stage", "member stream")
+		n := int(rng.next() % 200)
+		if k == 3 {
+			n = 0 // one member never observed anything
+		}
+		if k == 5 {
+			n = 1 // one member is maximally sparse
+		}
+		for i := 0; i < n; i++ {
+			var d time.Duration
+			switch rng.next() % 5 {
+			case 0:
+				d = time.Duration(1) << (rng.next() % 40) // octave boundary
+			case 1:
+				d = time.Duration(rng.next() % 16) // identity buckets
+			case 2:
+				d = 0
+			default:
+				d = time.Duration(rng.next() % uint64(10*time.Second))
+			}
+			h.Observe(d)
+			uh.Observe(d)
+		}
+		snaps = append(snaps, reg.Snapshot())
+	}
+
+	merged := &Snapshot{}
+	for _, s := range snaps {
+		merged.Merge(s)
+	}
+	want, got := union.Snapshot().Pack(), merged.Pack()
+	if !bytes.Equal(want, got) {
+		t.Fatalf("merged member snapshots != union-stream snapshot\nwant %x\ngot  %x", want, got)
+	}
+
+	// Merge order must not matter (integer addition commutes).
+	reversed := &Snapshot{}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		reversed.Merge(snaps[i])
+	}
+	if !bytes.Equal(want, reversed.Pack()) {
+		t.Fatal("merge is order-dependent")
+	}
+}
+
+// TestSnapshotMergeDoesNotAliasInputs guards the repeated-fold case: a
+// federation merges the same member snapshot into many outputs.
+func TestSnapshotMergeDoesNotAliasInputs(t *testing.T) {
+	reg := NewRegistry("t")
+	reg.Histogram("h", "x").Observe(time.Millisecond)
+	member := reg.Snapshot()
+	before := member.Pack()
+	a, b := &Snapshot{}, &Snapshot{}
+	a.Merge(member)
+	a.Merge(member) // doubles a, must not touch member
+	b.Merge(member)
+	if !bytes.Equal(member.Pack(), before) {
+		t.Fatal("Merge mutated its input snapshot")
+	}
+	if b.Hist("h_seconds").Count != 1 || a.Hist("h_seconds").Count != 2 {
+		t.Fatalf("fold counts wrong: a=%d b=%d", a.Hist("h_seconds").Count, b.Hist("h_seconds").Count)
+	}
+}
+
+// TestSnapshotPackRoundTrip packs a registry with every metric kind and
+// checks Unpack(Pack(s)) is structurally identical and re-packs to the
+// same bytes.
+func TestSnapshotPackRoundTrip(t *testing.T) {
+	reg := NewRegistry("rt")
+	reg.Counter("reports_total", "x").Add(12345)
+	reg.Gauge("depth", "x").Set(-2.5)
+	reg.Gauge("nan_free", "x").Set(math.Pi)
+	reg.CounterFunc("fn_total", "x", func() int64 { return 7 })
+	reg.Counter("labeled_total", "x", Label{"shard", "3"}, Label{"weird", `a"b\c`}).Add(1)
+	h := reg.Histogram("lat", "x")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	reg.Histogram("empty", "never observed")
+
+	s := reg.Snapshot()
+	packed := s.Pack()
+	back, err := UnpackSnapshot(packed)
+	if err != nil {
+		t.Fatalf("unpack: %v", err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("roundtrip mismatch:\nin  %+v\nout %+v", s, back)
+	}
+	if !bytes.Equal(packed, back.Pack()) {
+		t.Fatal("re-pack differs from original bytes")
+	}
+	if s.Counter("reports_total") != 12345 || s.Counter("fn_total") != 7 {
+		t.Fatalf("counter accessor: %d / %d", s.Counter("reports_total"), s.Counter("fn_total"))
+	}
+	if s.Gauge("depth") != -2.5 {
+		t.Fatalf("gauge accessor: %v", s.Gauge("depth"))
+	}
+	if got := s.Hist("lat_seconds"); got == nil || got.Count != 100 {
+		t.Fatalf("hist accessor: %+v", got)
+	}
+	if got := s.Hist("empty_seconds"); got == nil || got.Count != 0 {
+		t.Fatalf("empty hist should be present with zero count: %+v", got)
+	}
+}
+
+// TestUnpackSnapshotRejectsMalformed fuzzes the structural validators:
+// every truncation of a valid payload errors, as do version, ordering,
+// count-mismatch and trailing-garbage corruptions. Nothing may panic.
+func TestUnpackSnapshotRejectsMalformed(t *testing.T) {
+	reg := NewRegistry("m")
+	reg.Counter("c_total", "x").Add(5)
+	reg.Histogram("h", "x").Observe(3 * time.Millisecond)
+	valid := reg.Snapshot().Pack()
+	if _, err := UnpackSnapshot(valid); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := UnpackSnapshot(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(valid))
+		}
+	}
+	if _, err := UnpackSnapshot(append(append([]byte(nil), valid...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	bad := append([]byte(nil), valid...)
+	bad[0] = snapshotVersion + 1
+	if _, err := UnpackSnapshot(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// Out-of-order metrics: pack two counters swapped by hand.
+	s := &Snapshot{Metrics: []SnapMetric{
+		{Kind: SnapCounter, Name: "b_total", Counter: 1},
+		{Kind: SnapCounter, Name: "a_total", Counter: 1},
+	}}
+	if _, err := UnpackSnapshot(s.Pack()); err == nil {
+		t.Fatal("non-canonical order accepted")
+	}
+	// Histogram whose declared count disagrees with its bucket sum.
+	s = &Snapshot{Metrics: []SnapMetric{
+		{Kind: SnapHistogram, Name: "h_seconds", Hist: &SnapHist{Count: 99, Idx: []uint32{4}, Vals: []uint64{1}}},
+	}}
+	if _, err := UnpackSnapshot(s.Pack()); err == nil {
+		t.Fatal("count/bucket-sum mismatch accepted")
+	}
+}
+
+// TestSnapshotMergeAndSub covers the scalar kinds and the interval
+// delta used by the load sweep.
+func TestSnapshotMergeAndSub(t *testing.T) {
+	a := &Snapshot{Metrics: []SnapMetric{
+		{Kind: SnapCounter, Name: "c_total", Counter: 10},
+		{Kind: SnapGauge, Name: "g", Gauge: 1.5},
+		{Kind: SnapCounter, Name: "only_a_total", Counter: 3},
+	}}
+	b := &Snapshot{Metrics: []SnapMetric{
+		{Kind: SnapCounter, Name: "c_total", Counter: 32},
+		{Kind: SnapGauge, Name: "g", Gauge: 2.5},
+		{Kind: SnapCounter, Name: "only_b_total", Counter: 4},
+	}}
+	m := a.Clone().Merge(b)
+	if m.Counter("c_total") != 42 || m.Gauge("g") != 4 ||
+		m.Counter("only_a_total") != 3 || m.Counter("only_b_total") != 4 {
+		t.Fatalf("merge wrong: %+v", m)
+	}
+
+	reg := NewRegistry("d")
+	c := reg.Counter("n_total", "x")
+	h := reg.Histogram("lat", "x")
+	c.Add(5)
+	h.Observe(time.Millisecond)
+	prev := reg.Snapshot()
+	c.Add(7)
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+	delta := reg.Snapshot().Sub(prev)
+	if delta.Counter("n_total") != 7 {
+		t.Fatalf("counter delta = %d, want 7", delta.Counter("n_total"))
+	}
+	if dh := delta.Hist("lat_seconds"); dh.Count != 2 {
+		t.Fatalf("hist delta count = %d, want 2", dh.Count)
+	}
+	// Sub against a later snapshot clamps at zero rather than going
+	// negative (source reset).
+	clamped := prev.Clone().Sub(reg.Snapshot())
+	if clamped.Counter("n_total") != 0 {
+		t.Fatalf("clamped delta = %d, want 0", clamped.Counter("n_total"))
+	}
+}
+
+// TestSnapHistQuantileMatchesHistogram pins SnapHist.Quantile to the
+// live Histogram.Quantile it mirrors.
+func TestSnapHistQuantileMatchesHistogram(t *testing.T) {
+	reg := NewRegistry("q")
+	h := reg.Histogram("lat", "x")
+	rng := snapRNG(7)
+	for i := 0; i < 5000; i++ {
+		h.Observe(time.Duration(rng.next() % uint64(2*time.Second)))
+	}
+	sh := reg.Snapshot().Hist("lat_seconds")
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if live, snap := h.Quantile(q), sh.Quantile(q); live != snap {
+			t.Fatalf("q=%v: live %v != snapshot %v", q, live, snap)
+		}
+	}
+	if (&SnapHist{}).Quantile(0.5) != 0 {
+		t.Fatal("empty SnapHist quantile should be 0")
+	}
+}
+
+// TestSnapshotNamespaceStripped checks names are portable across
+// registry prefixes: the same series captured under two namespaces
+// packs identically.
+func TestSnapshotNamespaceStripped(t *testing.T) {
+	mk := func(ns string) *Snapshot {
+		reg := NewRegistry(ns)
+		reg.Counter("reports_total", "x").Add(9)
+		reg.Histogram("lat", "x").Observe(time.Millisecond)
+		return reg.Snapshot()
+	}
+	if !bytes.Equal(mk("idldp").Pack(), mk("bench").Pack()) {
+		t.Fatal("snapshot depends on registry namespace")
+	}
+}
+
+func BenchmarkSnapshotPack(b *testing.B) {
+	reg := NewRegistry("b")
+	for i := 0; i < 8; i++ {
+		reg.Counter(fmt.Sprintf("c%d_total", i), "x").Add(int64(i) * 1000)
+		h := reg.Histogram(fmt.Sprintf("h%d", i), "x")
+		rng := snapRNG(uint64(i))
+		for j := 0; j < 1000; j++ {
+			h.Observe(time.Duration(rng.next() % uint64(time.Second)))
+		}
+	}
+	s := reg.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.Pack()) == 0 {
+			b.Fatal("empty pack")
+		}
+	}
+}

@@ -403,8 +403,35 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	return bw.Flush()
 }
 
+// Namespace returns the registry's metric-name prefix ("" for nil).
+func (r *Registry) Namespace() string {
+	if r == nil {
+		return ""
+	}
+	return r.ns
+}
+
+// EscapeLabelValue applies exposition-format label-value escaping —
+// exported so packages rendering ad-hoc series (fleet member gauges)
+// escape identically to registry-owned metrics.
+func EscapeLabelValue(v string) string { return escapeLabel(v) }
+
+// PromWriter is anything that can render an exposition-text section:
+// a Registry, a Federation, or an ad-hoc gauge source.
+type PromWriter interface {
+	WriteProm(io.Writer) error
+}
+
 // Handler returns the GET /metrics endpoint for this registry.
 func (r *Registry) Handler() http.Handler {
+	return HandlerFor(r)
+}
+
+// HandlerFor returns a GET /metrics endpoint that concatenates the
+// exposition pages of several writers — how a merger serves its own
+// process metrics, the fleet federation, and member liveness gauges
+// from one scrape point. Nil writers are skipped.
+func HandlerFor(parts ...PromWriter) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
 			w.Header().Set("Allow", "GET, HEAD")
@@ -415,6 +442,11 @@ func (r *Registry) Handler() http.Handler {
 		if req.Method == http.MethodHead {
 			return
 		}
-		_ = r.WriteProm(w)
+		for _, p := range parts {
+			if p == nil {
+				continue
+			}
+			_ = p.WriteProm(w)
+		}
 	})
 }

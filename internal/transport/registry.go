@@ -120,6 +120,7 @@ func (s *RegistryServer) handle(conn net.Conn) {
 		case FrameHeartbeat:
 			err := s.reg.HandleHeartbeat(registry.Heartbeat{
 				Name: f.Node, Session: f.Session, TimeNano: f.TimeNano, MAC: f.MAC,
+				Telemetry: f.Packed,
 			})
 			reply = ackFrame(err)
 		case FrameDeltaPush:
@@ -259,6 +260,7 @@ func (c *RegistryConn) Register(ctx context.Context, req registry.RegisterReques
 func (c *RegistryConn) Heartbeat(ctx context.Context, hb registry.Heartbeat) error {
 	return c.ack(ctx, Frame{
 		Kind: FrameHeartbeat, Node: hb.Name, Session: hb.Session, TimeNano: hb.TimeNano, MAC: hb.MAC,
+		Packed: hb.Telemetry,
 	})
 }
 

@@ -92,8 +92,10 @@ type Frame struct {
 
 	// AcceptPacked, on FrameSnapshotRequest, asks for a packed reply.
 	AcceptPacked bool
-	// Packed is the varpack payload: snapshot counts on FrameSnapshot,
-	// the delta (or resync counts) on FrameDeltaPush.
+	// Packed is the frame's packed payload: varpack snapshot counts on
+	// FrameSnapshot, the delta (or resync counts) on FrameDeltaPush, and
+	// an optional packed telemetry snapshot (telemetry.Snapshot.Pack,
+	// MAC-covered) on FrameHeartbeat.
 	Packed []byte
 
 	// Auth envelope (control-plane frames, and FrameSnapshotRequest when
