@@ -19,6 +19,13 @@
 //     GET /v1/healthz (process liveness, always 200) and GET /v1/readyz
 //     (503 until the first merge lands, and again once shutdown begins).
 //
+// With -history-dir (alongside -listen-http) the merged stream is
+// time-travel capable: every merged interval and a telemetry snapshot
+// are spilled to a durable segment log, the live window replays from it
+// on restart, and the HTTP surface answers GET /v1/estimates?at/from/to
+// and GET /v1/metrics/history over the merged fleet stream — 410 Gone
+// past the retention horizon.
+//
 // Shutdown is a graceful drain: on SIGINT/SIGTERM readiness flips off
 // first, then the fleet closes, the final merged resync is pushed to
 // -upstream, and the merger checkpoints and exits.
@@ -43,6 +50,7 @@
 //	idldp-merge -listen 127.0.0.1:7090 [-listen-http 127.0.0.1:8090]
 //	            [-fleet-token TOKEN] [-heartbeat 5s] [-evict-missed 3]
 //	            [-merger-dir DIR] [-upstream tcp://HOST:PORT] [-name NAME]
+//	            [-history-dir DIR] [-history-keep 8] [-history-seg 512]
 //	            [-log-level info] [-log-json] [-pprof 127.0.0.1:6061]
 //
 // The -listen-http listener additionally serves GET /metrics: fleet
@@ -81,6 +89,7 @@ import (
 	"idldp/internal/budget"
 	"idldp/internal/core"
 	"idldp/internal/fleet"
+	"idldp/internal/history"
 	"idldp/internal/httpapi"
 	"idldp/internal/registry"
 	"idldp/internal/slo"
@@ -108,6 +117,9 @@ type config struct {
 	mergerCkptInterval time.Duration
 	upstream           string
 	name               string
+	historyDir         string
+	historyKeep        int
+	historySeg         int
 
 	logLevel    string
 	logJSON     bool
@@ -134,6 +146,9 @@ func main() {
 	flag.DurationVar(&cfg.mergerCkptInterval, "merger-checkpoint-interval", 10*time.Second, "time between merger-state checkpoints")
 	flag.StringVar(&cfg.upstream, "upstream", "", "higher-tier merger to announce this merger's stream to (tcp://host:port or http://host:port)")
 	flag.StringVar(&cfg.name, "name", "", "this merger's fleet-wide identity for -upstream (default: -listen address)")
+	flag.StringVar(&cfg.historyDir, "history-dir", "", "time-travel history log for the merged stream: enables /v1/estimates?at/from/to and /v1/metrics/history (requires -listen-http)")
+	flag.IntVar(&cfg.historyKeep, "history-keep", 0, "history segments to retain (0 = default)")
+	flag.IntVar(&cfg.historySeg, "history-seg", 0, "records per history segment before rotation (0 = default)")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured log level: debug, info, warn, error")
 	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit structured logs as JSON instead of text")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty = off; never mounted on the control-plane listeners)")
@@ -155,6 +170,7 @@ func run(w io.Writer, cfg config) error {
 	}
 	logger := telemetry.NewLogger(os.Stderr, cfg.logLevel, cfg.logJSON, "idldp-merge", cfg.name)
 	tel := telemetry.NewRegistry("idldp")
+	tel.RegisterBuildInfo(time.Now())
 	var auth *registry.Authenticator
 	if cfg.fleetToken != "" {
 		var err error
@@ -221,9 +237,25 @@ func run(w io.Writer, cfg config) error {
 			sources = append(sources, src)
 		}
 	}
+	var hist *history.Store
+	if cfg.historyDir != "" {
+		if cfg.listenHTTP == "" {
+			return fmt.Errorf("-history-dir requires -listen-http: the history log rides the merged live surface")
+		}
+		if hist, err = history.Open(cfg.historyDir, engine.M(),
+			history.Config{KeepSegments: cfg.historyKeep, SegmentRecords: cfg.historySeg}); err != nil {
+			return err
+		}
+		defer hist.Close()
+	}
 	fopts := []fleet.Option{fleet.WithStaleAfter(cfg.stale)}
 	if reg != nil {
 		fopts = append(fopts, fleet.WithRegistry(reg))
+	}
+	if hist != nil {
+		// Continue the merged stream's numbering past the log so the
+		// durable generations never regress across a merger restart.
+		fopts = append(fopts, fleet.WithStreamStartSeq(hist.LastSeq()))
 	}
 	f, err := fleet.New(engine.M(), sources, fopts...)
 	if err != nil {
@@ -293,7 +325,7 @@ func run(w io.Writer, cfg config) error {
 		if err != nil {
 			return err
 		}
-		live, err := httpapi.NewLive(liveSub, engine.M(), engine.EstimateSingle, cfg.window)
+		live, err := httpapi.NewLiveWithHistory(liveSub, engine.M(), engine.EstimateSingle, cfg.window, hist)
 		if err != nil {
 			return err
 		}
@@ -302,6 +334,12 @@ func run(w io.Writer, cfg config) error {
 		mux.Handle("/v1/estimates", live)
 		mux.Handle("/v1/estimates/stream", live)
 		mux.Handle("/v1/readstats", live)
+		mux.Handle("/v1/metrics/history", live)
+		if hist != nil {
+			fmt.Fprintf(w, "history: merged-stream interval + telemetry log in %s (resumed at generation %d)\n",
+				cfg.historyDir, hist.LastSeq())
+			logger.Info("history", "dir", cfg.historyDir, "generation", hist.LastSeq())
+		}
 		health := httpapi.NewHealth(func() (bool, string) {
 			switch {
 			case draining.Load():

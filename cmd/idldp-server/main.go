@@ -29,6 +29,16 @@
 // authenticates every control-plane message (and gates this server's
 // own snapshot endpoints); -node-name sets the fleet-wide identity.
 //
+// With -history-dir (alongside -stream) the read path is time-travel
+// capable: every closed stream interval and a telemetry snapshot per
+// interval are appended to a CRC-framed segment log, the sliding window
+// is replayed bit-exactly from the log on restart, and the HTTP API
+// answers GET /v1/estimates?at=<seq|time> and ?from=..&to=.. with the
+// byte-identical payloads the live endpoint served at those
+// generations (410 Gone past the -history-keep retention horizon).
+// GET /v1/metrics/history replays the telemetry journal with counters
+// healed monotone across restarts.
+//
 // With -adaptive-batch min,max the ingestion frame size follows the
 // observed arrival rate between the two bounds, shedding load once
 // saturated at max.
@@ -49,6 +59,7 @@
 //	             [-adaptive-batch MIN,MAX] [-drain-grace 500ms]
 //	             [-checkpoint-dir DIR] [-checkpoint-interval 10s]
 //	             [-stream 127.0.0.1:8080] [-stream-interval 1s] [-window 60]
+//	             [-history-dir DIR] [-history-keep 8] [-history-seg 512]
 //	             [-announce tcp://HOST:PORT] [-fleet-token TOKEN] [-node-name NAME]
 //	             [-log-level info] [-log-json] [-pprof 127.0.0.1:6060]
 //
@@ -80,6 +91,7 @@ import (
 
 	"idldp/internal/budget"
 	"idldp/internal/core"
+	"idldp/internal/history"
 	"idldp/internal/httpapi"
 	"idldp/internal/registry"
 	"idldp/internal/server"
@@ -101,6 +113,9 @@ type config struct {
 	streamAddr     string
 	streamInterval time.Duration
 	window         int
+	historyDir     string
+	historyKeep    int
+	historySeg     int
 	announceTarget string
 	fleetToken     string
 	nodeName       string
@@ -124,6 +139,9 @@ func main() {
 	flag.StringVar(&cfg.streamAddr, "stream", "", "HTTP listen address for live estimates + SSE + /metrics (empty = no HTTP API)")
 	flag.DurationVar(&cfg.streamInterval, "stream-interval", time.Second, "time between published estimate intervals")
 	flag.IntVar(&cfg.window, "window", 60, "sliding-window capacity in stream intervals")
+	flag.StringVar(&cfg.historyDir, "history-dir", "", "time-travel history log directory: persists closed intervals + telemetry snapshots, enables /v1/estimates?at/from/to (requires -stream)")
+	flag.IntVar(&cfg.historyKeep, "history-keep", 0, "history segments to retain (0 = default)")
+	flag.IntVar(&cfg.historySeg, "history-seg", 0, "records per history segment before rotation (0 = default)")
 	flag.StringVar(&cfg.announceTarget, "announce", "", "merger control-plane target to push to (tcp://host:port or http://host:port)")
 	flag.StringVar(&cfg.fleetToken, "fleet-token", "", "shared fleet token: signs announcements and gates snapshot reads")
 	flag.StringVar(&cfg.nodeName, "node-name", "", "fleet-wide node identity (default: the listen address)")
@@ -180,6 +198,7 @@ func parseAdaptive(spec string) (min, max int, err error) {
 func run(cfg config) error {
 	logger := telemetry.NewLogger(os.Stderr, cfg.logLevel, cfg.logJSON, "idldp-server", cfg.nodeName)
 	tel := telemetry.NewRegistry("idldp")
+	tel.RegisterBuildInfo(time.Now())
 	engine, err := core.New(core.Config{Budgets: budget.ToyExample(), Seed: 1})
 	if err != nil {
 		return err
@@ -201,6 +220,22 @@ func run(cfg config) error {
 	if cfg.streamAddr != "" || cfg.announceTarget != "" {
 		// Announcing rides the same delta stream the SSE feed uses.
 		opts = append(opts, server.WithStream(cfg.streamInterval))
+	}
+	var hist *history.Store
+	if cfg.historyDir != "" {
+		if cfg.streamAddr == "" {
+			return fmt.Errorf("-history-dir requires -stream: the history log rides the HTTP stream consumer")
+		}
+		hist, err = history.Open(cfg.historyDir, engine.M(),
+			history.Config{KeepSegments: cfg.historyKeep, SegmentRecords: cfg.historySeg})
+		if err != nil {
+			return err
+		}
+		defer hist.Close()
+		// Resume the publisher from the log's newest state so generations
+		// never regress across a restart and the first resync any consumer
+		// sees folds into an empty implied delta.
+		opts = append(opts, server.WithStreamResume(hist.State()))
 	}
 	var sink *server.Server
 	var restored int64
@@ -275,9 +310,15 @@ func run(cfg config) error {
 	if cfg.streamAddr != "" {
 		// The HTTP handler rides the same ingestion runtime.
 		h, err := httpapi.NewSinkStreaming(sink, engine.EstimateSingle,
-			httpapi.StreamConfig{Interval: cfg.streamInterval, Window: cfg.window})
+			httpapi.StreamConfig{Interval: cfg.streamInterval, Window: cfg.window, History: hist})
 		if err != nil {
 			return err
+		}
+		if hist != nil {
+			_, _, lastSeq := hist.State()
+			fmt.Printf("history: interval + telemetry log in %s (resumed at generation %d, time travel at /v1/estimates?at and /v1/metrics/history)\n",
+				cfg.historyDir, lastSeq)
+			logger.Info("history", "dir", cfg.historyDir, "generation", lastSeq)
 		}
 		if auth != nil {
 			h.RequireSnapshotAuth(auth)

@@ -17,6 +17,12 @@
 // because results are cached per stream generation and every SSE client
 // shares one pre-marshaled payload per interval.
 //
+// The collector also keeps a history log (WithHistory): every closed
+// interval is spilled to disk, so after the campaign the same HTTP
+// surface answers time-travel queries — /v1/estimates?at=g replays the
+// estimates exactly as they were published at generation g, and
+// ?from&to sums any past span like a sliding window over the log.
+//
 // Run: go run ./examples/live-dashboard [-duration 3s]
 package main
 
@@ -32,6 +38,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -62,10 +69,16 @@ func run(duration time.Duration) error {
 	if err != nil {
 		return err
 	}
+	histDir, err := os.MkdirTemp("", "idldp-history-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(histDir)
 	srv := client.NewServer(
 		idldp.WithShards(0),
 		idldp.WithBatchSize(64),
 		idldp.WithStream(100*time.Millisecond),
+		idldp.WithHistory(histDir),
 	)
 	defer srv.Close()
 	st, err := srv.Stream(idldp.StreamConfig{
@@ -203,6 +216,27 @@ func run(duration time.Duration) error {
 	}
 	fmt.Printf("read path: %d HTTP reads + %d shared SSE events over %d generations cost %d calibrations (cache: %d hits, %d misses)\n",
 		reads.Load(), events.Load(), rs.Generation, rs.Calibrations, rs.Cache.Hits, rs.Cache.Misses)
+
+	// Time travel: the history log answers "what did the dashboard show
+	// back then" — the mid-campaign estimates, before the hot item
+	// shifted, replayed from disk through the same endpoint.
+	if rs.Generation > 2 {
+		mid := rs.Generation / 2
+		resp, err := http.Get(fmt.Sprintf("%s/v1/estimates?at=%d", base, mid))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var then struct {
+			Estimates []float64 `json:"estimates"`
+			Reports   int64     `json:"reports"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&then); err != nil {
+			return err
+		}
+		fmt.Printf("time travel: at generation %s (asked %d) the campaign had n=%d and top items %v\n",
+			resp.Header.Get("X-Idldp-Generation"), mid, then.Reports, top3(then.Estimates))
+	}
 	return nil
 }
 

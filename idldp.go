@@ -71,6 +71,7 @@ import (
 	"idldp/internal/bitvec"
 	"idldp/internal/budget"
 	"idldp/internal/core"
+	"idldp/internal/history"
 	"idldp/internal/httpapi"
 	"idldp/internal/opt"
 	"idldp/internal/registry"
@@ -236,6 +237,7 @@ type serverOptions struct {
 	ckptInterval   time.Duration
 	streaming      bool
 	streamInterval time.Duration
+	historyDir     string
 	announceTarget string
 	announceToken  string
 	announceName   string
@@ -294,6 +296,28 @@ func WithStream(interval time.Duration) ServerOption {
 		o.sharded = true
 		o.streaming = true
 		o.streamInterval = interval
+	}
+}
+
+// WithHistory keeps a durable, retention-managed log of the server's
+// closed stream intervals under dir, giving LiveHandler a time-travel
+// surface: GET /v1/estimates?at=g answers exactly as the live endpoint
+// did at generation g, ?from&to sums a past span, and
+// /v1/metrics/history replays journaled telemetry. On restart the
+// publisher resumes from the logged state, so generations never regress
+// and the recovered window is bit-identical to one that never stopped.
+// It implies WithStream with the runtime default interval unless
+// WithStream is also given.
+//
+// The log rides the LiveHandler consumer — intervals are journaled
+// while a LiveHandler is attached, mirroring how the daemons gate
+// -history-dir on their live HTTP surface. Close the Server to flush
+// and close the log.
+func WithHistory(dir string) ServerOption {
+	return func(o *serverOptions) {
+		o.sharded = true
+		o.streaming = true
+		o.historyDir = dir
 	}
 }
 
@@ -380,6 +404,17 @@ func (c *Client) newServer(opts []ServerOption) (*Server, int64, error) {
 		if o.adaptMax > 0 || o.adaptMin > 0 {
 			ropts = append(ropts, server.WithAdaptiveBatch(o.adaptMin, o.adaptMax))
 		}
+		if o.historyDir != "" {
+			hist, err := history.Open(o.historyDir, bits, history.Config{})
+			if err != nil {
+				return nil, 0, fmt.Errorf("idldp: %w", err)
+			}
+			s.history = hist
+			// Resume numbering and state from the log so generations
+			// never regress across restarts and the first interval's
+			// delta is diffed against the logged cumulative state.
+			ropts = append(ropts, server.WithStreamResume(hist.State()))
+		}
 		var rt *server.Server
 		var restored int64
 		var err error
@@ -390,6 +425,9 @@ func (c *Client) newServer(opts []ServerOption) (*Server, int64, error) {
 			rt, err = server.New(bits, ropts...)
 		}
 		if err != nil {
+			if s.history != nil {
+				s.history.Close()
+			}
 			return nil, 0, fmt.Errorf("idldp: %w", err)
 		}
 		s.runtime = rt
@@ -475,10 +513,11 @@ type Server struct {
 	n      int
 
 	// Sharded mode: feed the runtime through a batcher. announcer is
-	// non-nil with WithAnnounce.
+	// non-nil with WithAnnounce, history with WithHistory.
 	runtime   *server.Server
 	batcher   *server.Batcher
 	announcer *registry.Announcer
+	history   *history.Store
 	closed    bool
 }
 
@@ -636,6 +675,14 @@ func (s *Server) Close() error {
 		}
 		s.announcer.Close()
 	}
+	if s.history != nil {
+		// The runtime close ended the stream, so no further intervals
+		// can reach the log; an in-flight spill racing this close is
+		// refused by the store, never torn.
+		if cerr := s.history.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -664,9 +711,16 @@ func (s *Server) Estimates() ([]float64, error) {
 // interval. window is the sliding-window capacity in intervals (<= 0
 // selects the default of 60).
 //
+// With WithHistory the handler additionally journals every closed
+// interval, replays the logged tail into its window at construction (a
+// restarted server recovers the ring bit-exactly) and answers the
+// time-travel queries GET /v1/estimates?at / ?from&to and
+// GET /v1/metrics/history from the log.
+//
 // Requires a sharded runtime with streaming enabled (WithStream). The
 // returned handler also implements io.Closer; closing it detaches from
-// the stream and hangs up connected SSE clients.
+// the stream and hangs up connected SSE clients (the history log stays
+// open — it belongs to the Server and closes with it).
 func (s *Server) LiveHandler(window int) (http.Handler, error) {
 	s.mu.Lock()
 	rt, closed := s.runtime, s.closed
@@ -687,7 +741,7 @@ func (s *Server) LiveHandler(window int) (http.Handler, error) {
 		}
 		return s.engine.EstimateSingle(counts, n)
 	}
-	lh, err := httpapi.NewLive(sub, s.bits, est, window)
+	lh, err := httpapi.NewLiveWithHistory(sub, s.bits, est, window, s.history)
 	if err != nil {
 		sub.Close()
 		return nil, fmt.Errorf("idldp: %w", err)

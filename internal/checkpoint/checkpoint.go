@@ -283,6 +283,15 @@ func fileName(seq uint64) string {
 // listSeqs returns the sequence numbers of all frame files in dir,
 // ascending. Stray files (temporaries, foreign names) are ignored.
 func listSeqs(dir string) ([]uint64, error) {
+	return ListSeqs(dir, prefix, suffix)
+}
+
+// ListSeqs returns the ascending sequence numbers of every
+// "<prefix><seq><suffix>" file in dir — the shared discovery half of
+// the zero-padded sequence-file naming scheme this package and the
+// history segment log use. Stray files (temporaries, foreign names)
+// are ignored.
+func ListSeqs(dir, prefix, suffix string) ([]uint64, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err

@@ -217,6 +217,13 @@ func WithStaleAfter(d time.Duration) Option { return func(f *Fleet) { f.staleAft
 // the static node list. The fleet does not own the registry.
 func WithRegistry(reg *registry.Registry) Option { return func(f *Fleet) { f.reg = reg } }
 
+// WithStreamStartSeq resumes the merged delta stream's generation
+// numbering after seq — the restart hook for mergers that persist
+// interval history by generation (internal/history). The merged state
+// itself is re-seeded by the first Resync; only the numbering needs to
+// survive, so a durable log never observes its generations regress.
+func WithStreamStartSeq(seq uint64) Option { return func(f *Fleet) { f.startSeq = seq } }
+
 // Fleet merges snapshots from a set of collector nodes. All methods are
 // safe for concurrent use.
 type Fleet struct {
@@ -234,6 +241,7 @@ type Fleet struct {
 	// Streaming (nil until the first Subscribe): each Poll publishes the
 	// merged state as a delta; node resets force a full resync frame.
 	pub          *stream.Publisher
+	startSeq     uint64
 	needResync   bool
 	closedStream bool
 }
@@ -446,7 +454,7 @@ func (f *Fleet) Subscribe(buf int) (*stream.Sub, error) {
 	}
 	created := false
 	if f.pub == nil {
-		pub, err := stream.NewPublisher(f.bits)
+		pub, err := stream.NewPublisher(f.bits, stream.WithResume(nil, 0, f.startSeq))
 		if err != nil {
 			f.mu.Unlock()
 			return nil, fmt.Errorf("fleet: %w", err)

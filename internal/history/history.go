@@ -1,0 +1,950 @@
+// Package history is the time-travel store of the streaming plane: an
+// append-only, CRC-checked segment log of closed stream intervals and
+// periodic telemetry snapshots, with retention management and range
+// queries over both.
+//
+// The invariant it rides is the same one checkpoints, the fleet merge
+// and the delta stream are built on: ID-LDP per-bit counts are
+// order-independent integer sums, so a cumulative state plus the sparse
+// interval deltas that followed it reconstructs any intermediate
+// generation *exactly* — replayed answers are bit-for-bit what the live
+// window published at that generation, never an approximation.
+//
+// Layout: the store writes numbered segment files (seg-<index>.idhl),
+// each beginning with a base record that carries the full cumulative
+// counts as of the segment boundary, followed by interval records (the
+// varpack sparse delta of one stream generation) and telemetry records
+// (packed telemetry.Snapshot frames) in append order. Every record is a
+// self-describing binary frame in the idiom of internal/checkpoint:
+//
+//	magic "IDHR" | version u16 | kind u16 | seq u64 | unixNano u64 |
+//	n i64 | dn i64 | payloadLen u32 | payload | crc32c u32
+//
+// All integers are little-endian; the trailing CRC-32 (Castagnoli)
+// covers every preceding byte of the record. A torn or bit-rotted tail
+// is detected on load and skipped — never silently mis-summed — and
+// because each segment opens with a base, a later segment re-anchors
+// the chain: load verifies that every segment's base equals the state
+// reconstructed from its predecessor and discards everything older than
+// the first mismatch.
+//
+// Retention keeps the newest KeepSegments segments (plus an optional
+// MaxAge horizon), pruning whole segments only, so the oldest retained
+// generation is always reconstructable. Queries that reach past the
+// oldest base fail with ErrTruncated (the HTTP layer answers 410);
+// in-flight replays pin the store (Acquire) so GC never deletes a
+// segment still covered by an open query.
+package history
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"idldp/internal/checkpoint"
+	"idldp/internal/stream"
+	"idldp/internal/varpack"
+)
+
+const (
+	recMagic   = "IDHR"
+	recVersion = 1
+
+	kindBase      uint16 = 1
+	kindDelta     uint16 = 2
+	kindTelemetry uint16 = 3
+
+	// recHeaderSize is magic+version+kind+seq+unixNano+n+dn+payloadLen.
+	recHeaderSize  = 4 + 2 + 2 + 8 + 8 + 8 + 8 + 4
+	recTrailerSize = 4
+
+	segPrefix = "seg-"
+	segSuffix = ".idhl"
+
+	// maxPayload bounds a declared payload length so a corrupt header
+	// cannot demand a huge allocation.
+	maxPayload = 64 << 20
+
+	// DefaultKeepSegments is the retention depth when Config.KeepSegments
+	// is not positive.
+	DefaultKeepSegments = 8
+	// DefaultSegmentRecords is the per-segment record cap when
+	// Config.SegmentRecords is not positive.
+	DefaultSegmentRecords = 512
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTruncated reports that a query reaches past the retention horizon:
+// the intervals it needs have been pruned. Matched with errors.Is.
+var ErrTruncated = errors.New("history truncated")
+
+// TruncatedError carries the oldest still-reconstructable generation
+// alongside ErrTruncated.
+type TruncatedError struct {
+	// Oldest is the oldest generation the store can still answer for.
+	Oldest uint64
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("history truncated: oldest retained generation is %d", e.Oldest)
+}
+
+// Is makes errors.Is(err, ErrTruncated) work.
+func (e *TruncatedError) Is(target error) bool { return target == ErrTruncated }
+
+// Config tunes a Store. The zero value selects every default.
+type Config struct {
+	// KeepSegments is how many segments retention keeps (<= 0 selects
+	// DefaultKeepSegments).
+	KeepSegments int
+	// SegmentRecords caps how many interval+telemetry records a segment
+	// holds before the log rotates (<= 0 selects DefaultSegmentRecords).
+	SegmentRecords int
+	// MaxAge, when positive, additionally prunes segments whose newest
+	// record is older than now-MaxAge (the newest segment always stays).
+	MaxAge time.Duration
+	// NoSync skips the per-append fsync. Appends stay ordered and
+	// CRC-framed, so a crash loses at most the unsynced tail — tests and
+	// throwaway campaigns use it; durable deployments keep the sync.
+	NoSync bool
+}
+
+// record is one decoded log record held in memory. Interval records
+// keep the sparse delta; telemetry records keep the packed snapshot.
+// Records are immutable once appended.
+type record struct {
+	kind    uint16
+	seq     uint64
+	time    int64 // UnixNano
+	n       int64 // cumulative report count after the record (deltas)
+	dn      int64
+	bits    []int
+	inc     []int64
+	payload []byte // telemetry snapshot bytes (kindTelemetry only)
+}
+
+// segment is one log file: a base (full cumulative state at the
+// segment boundary) plus the records appended after it.
+type segment struct {
+	index   uint64
+	path    string
+	baseSeq uint64
+	baseN   int64
+	base    []int64
+	recs    []record
+	bytes   int64
+
+	// lastSeq/lastN/final are the cumulative state after the newest
+	// interval record — what the next segment's base must equal.
+	lastSeq uint64
+	lastN   int64
+	final   []int64
+}
+
+// Store is the durable interval + telemetry log for one m-bit domain.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	bits int
+	cfg  Config
+
+	mu   sync.Mutex
+	segs []*segment
+	cur  *os.File // open handle of the newest segment, nil until an append
+
+	// shadow is the cumulative state after the newest appended interval
+	// record — the diff base resyncs are folded against, mirroring
+	// stream.Window's shadow accumulator.
+	shadow  []int64
+	shadowN int64
+	lastSeq uint64
+
+	pins         int
+	prunePending bool
+
+	appends    int64
+	telAppends int64
+	queries    int64
+	dropped    int64
+
+	closed bool
+}
+
+// Open loads (creating if needed) the history log in dir for an m-bit
+// domain. Existing segments are replay-validated: torn tails are
+// skipped, and segments older than a chain break are discarded. New
+// appends always start a fresh segment, so a damaged tail file is
+// sealed off rather than extended.
+func Open(dir string, bits int, cfg Config) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("history: empty directory")
+	}
+	if bits <= 0 {
+		return nil, fmt.Errorf("history: report length %d must be positive", bits)
+	}
+	if cfg.KeepSegments <= 0 {
+		cfg.KeepSegments = DefaultKeepSegments
+	}
+	if cfg.SegmentRecords <= 0 {
+		cfg.SegmentRecords = DefaultSegmentRecords
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("history: %w", err)
+	}
+	idxs, err := checkpoint.ListSeqs(dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, fmt.Errorf("history: %w", err)
+	}
+	s := &Store{dir: dir, bits: bits, cfg: cfg, shadow: make([]int64, bits)}
+	for _, idx := range idxs {
+		sg, torn := loadSegment(filepath.Join(dir, segFileName(idx)), idx, bits)
+		if torn {
+			s.dropped++
+		}
+		if sg == nil {
+			// Unreadable segment: the chain through it is broken, so
+			// anything older cannot be verified against newer state.
+			s.segs = s.segs[:0]
+			continue
+		}
+		if len(s.segs) > 0 {
+			prev := s.segs[len(s.segs)-1]
+			// baseSeq may exceed prev.lastSeq (empty generations advance
+			// seq without a record); the state equality is what guards
+			// against mis-summing across a torn tail.
+			if sg.baseSeq < prev.lastSeq || sg.baseN != prev.lastN || !equalCounts(sg.base, prev.final) {
+				// prev lost tail records this segment's base already
+				// includes; keeping both would mis-sum the gap. The newer
+				// base is authoritative — restart the chain at it.
+				s.dropped++
+				s.segs = s.segs[:0]
+			}
+		}
+		s.segs = append(s.segs, sg)
+	}
+	if n := len(s.segs); n > 0 {
+		last := s.segs[n-1]
+		copy(s.shadow, last.final)
+		s.shadowN = last.lastN
+		s.lastSeq = last.lastSeq
+	}
+	return s, nil
+}
+
+// Dir returns the log directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Bits returns the domain size m.
+func (s *Store) Bits() int { return s.bits }
+
+// LastSeq returns the newest generation the store has absorbed — the
+// value a resumed publisher should continue after.
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// State returns a copy of the cumulative counts, report total and
+// generation after the newest appended interval — the seed for
+// stream.WithResume so a restarted publisher continues the numbering
+// the log expects.
+func (s *Store) State() (counts []int64, n int64, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.shadow...), s.shadowN, s.lastSeq
+}
+
+// Append absorbs one stream frame as the newest interval record.
+// Resync frames are folded into the implied interval delta against the
+// store's shadow (exactly as stream.Window does), so the log always
+// holds intervals; empty frames advance the generation without writing
+// a record. Frames whose seq does not advance are refused — the caller
+// must resume the publisher from State() after a restart.
+func (s *Store) Append(d stream.Delta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("history: store closed")
+	}
+	if d.Seq <= s.lastSeq {
+		s.dropped++
+		return fmt.Errorf("history: frame seq %d does not advance past %d", d.Seq, s.lastSeq)
+	}
+	var bits []int
+	var inc []int64
+	var dn int64
+	if d.Resync {
+		if len(d.Counts) != s.bits {
+			return fmt.Errorf("history: resync has %d counts, store wants %d", len(d.Counts), s.bits)
+		}
+		for i, c := range d.Counts {
+			if c != s.shadow[i] {
+				bits = append(bits, i)
+				inc = append(inc, c-s.shadow[i])
+			}
+		}
+		dn = d.N - s.shadowN
+	} else {
+		if len(d.Bits) != len(d.Inc) {
+			return fmt.Errorf("history: frame has %d bit indices for %d increments", len(d.Bits), len(d.Inc))
+		}
+		for _, i := range d.Bits {
+			if i < 0 || i >= s.bits {
+				return fmt.Errorf("history: frame touches bit %d of %d", i, s.bits)
+			}
+		}
+		bits, inc, dn = d.Bits, d.Inc, d.DN
+	}
+	if len(bits) == 0 && dn == 0 {
+		s.lastSeq = d.Seq
+		return nil
+	}
+	payload, err := varpack.PackDelta(bits, inc)
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	at := d.Time
+	if at.IsZero() {
+		at = time.Now()
+	}
+	rec := record{
+		kind: kindDelta,
+		seq:  d.Seq,
+		time: at.UnixNano(),
+		n:    s.shadowN + dn,
+		dn:   dn,
+		bits: bits,
+		inc:  inc,
+	}
+	if err := s.appendRecordLocked(rec, payload); err != nil {
+		return err
+	}
+	for j, i := range bits {
+		s.shadow[i] += inc[j]
+	}
+	s.shadowN += dn
+	s.lastSeq = d.Seq
+	s.appends++
+	sg := s.segs[len(s.segs)-1]
+	sg.lastSeq, sg.lastN = d.Seq, rec.n
+	copy(sg.final, s.shadow)
+	return nil
+}
+
+// AppendTelemetry journals one packed telemetry.Snapshot at the given
+// generation. The payload is opaque to the store; callers pass
+// Registry.Snapshot().Pack() and unpack on read-back.
+func (s *Store) AppendTelemetry(seq uint64, at time.Time, packed []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("history: store closed")
+	}
+	if at.IsZero() {
+		at = time.Now()
+	}
+	rec := record{
+		kind:    kindTelemetry,
+		seq:     seq,
+		time:    at.UnixNano(),
+		payload: append([]byte(nil), packed...),
+	}
+	if err := s.appendRecordLocked(rec, rec.payload); err != nil {
+		return err
+	}
+	s.telAppends++
+	return nil
+}
+
+// appendRecordLocked rotates to a fresh segment when needed, writes the
+// framed record, and mirrors it in memory. Caller holds s.mu.
+func (s *Store) appendRecordLocked(rec record, payload []byte) error {
+	if s.cur == nil || len(s.segs) == 0 || len(s.segs[len(s.segs)-1].recs) >= s.cfg.SegmentRecords {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	frame := encodeRecord(rec.kind, rec.seq, rec.time, rec.n, rec.dn, payload)
+	if _, err := s.cur.Write(frame); err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	if !s.cfg.NoSync {
+		if err := s.cur.Sync(); err != nil {
+			return fmt.Errorf("history: %w", err)
+		}
+	}
+	sg := s.segs[len(s.segs)-1]
+	sg.recs = append(sg.recs, rec)
+	sg.bytes += int64(len(frame))
+	return nil
+}
+
+// rotateLocked seals the open segment and starts the next one with a
+// base record of the current cumulative state, then prunes.
+func (s *Store) rotateLocked() error {
+	if s.cur != nil {
+		_ = s.cur.Sync()
+		_ = s.cur.Close()
+		s.cur = nil
+	}
+	var index uint64 = 1
+	if n := len(s.segs); n > 0 {
+		index = s.segs[n-1].index + 1
+	}
+	path := filepath.Join(s.dir, segFileName(index))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	base := encodeRecord(kindBase, s.lastSeq, time.Now().UnixNano(), s.shadowN, 0, varpack.Pack(s.shadow))
+	if _, err := f.Write(base); err == nil && !s.cfg.NoSync {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("history: %w", err)
+	}
+	s.cur = f
+	s.segs = append(s.segs, &segment{
+		index:   index,
+		path:    path,
+		baseSeq: s.lastSeq,
+		baseN:   s.shadowN,
+		base:    append([]int64(nil), s.shadow...),
+		bytes:   int64(len(base)),
+		lastSeq: s.lastSeq,
+		lastN:   s.shadowN,
+		final:   append([]int64(nil), s.shadow...),
+	})
+	s.pruneLocked()
+	return nil
+}
+
+// pruneLocked drops whole segments beyond the retention depth (and age
+// horizon), oldest first. Deferred while a replay pin is held so GC
+// never deletes a segment an open query still covers.
+func (s *Store) pruneLocked() {
+	if s.pins > 0 {
+		s.prunePending = true
+		return
+	}
+	drop := func() {
+		sg := s.segs[0]
+		os.Remove(sg.path)
+		s.segs = s.segs[1:]
+	}
+	for len(s.segs) > s.cfg.KeepSegments {
+		drop()
+	}
+	if s.cfg.MaxAge > 0 {
+		horizon := time.Now().Add(-s.cfg.MaxAge).UnixNano()
+		for len(s.segs) > 1 {
+			sg := s.segs[0]
+			newest := int64(0)
+			for i := len(sg.recs) - 1; i >= 0; i-- {
+				newest = sg.recs[i].time
+				break
+			}
+			if newest >= horizon {
+				break
+			}
+			drop()
+		}
+	}
+}
+
+// Acquire pins the store against pruning and returns the release. An
+// open query that walks records outside the store lock (Replay,
+// ReplayRange) holds a pin so the segment files it covers survive
+// until it finishes; release runs any deferred prune.
+func (s *Store) Acquire() (release func()) {
+	s.mu.Lock()
+	s.pins++
+	s.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.pins--
+			if s.pins == 0 && s.prunePending {
+				s.prunePending = false
+				s.pruneLocked()
+			}
+			s.mu.Unlock()
+		})
+	}
+}
+
+// OldestSeq returns the oldest generation the store can still answer
+// for (0 on an empty store).
+func (s *Store) OldestSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.oldestLocked()
+}
+
+func (s *Store) oldestLocked() uint64 {
+	if len(s.segs) == 0 {
+		return 0
+	}
+	return s.segs[0].baseSeq
+}
+
+// CumulativeAt reconstructs the cumulative counts and report total as
+// of generation at (clamping down to the newest recorded generation
+// <= at), returning the generation actually answered. Generations
+// older than the oldest retained base fail with ErrTruncated.
+func (s *Store) CumulativeAt(at uint64) (counts []int64, n int64, seq uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	if len(s.segs) == 0 {
+		return make([]int64, s.bits), 0, 0, nil
+	}
+	oldest := s.oldestLocked()
+	if at < oldest {
+		return nil, 0, 0, &TruncatedError{Oldest: oldest}
+	}
+	// Newest segment whose base is at or before the target.
+	sg := s.segs[0]
+	for _, cand := range s.segs[1:] {
+		if cand.baseSeq > at {
+			break
+		}
+		sg = cand
+	}
+	counts = append([]int64(nil), sg.base...)
+	n, seq = sg.baseN, sg.baseSeq
+	for _, r := range sg.recs {
+		if r.kind != kindDelta || r.seq > at {
+			continue
+		}
+		for j, i := range r.bits {
+			counts[i] += r.inc[j]
+		}
+		n, seq = r.n, r.seq
+	}
+	return counts, n, seq, nil
+}
+
+// Range sums the interval records with from < seq <= to — the counts
+// and report total of exactly that span, the historical analogue of a
+// live sliding window. A from below the retention horizon clamps up to
+// it (clamped reports that); a range entirely past retention fails
+// with ErrTruncated. first and last are the actual generations summed
+// (0 when the span holds no records).
+func (s *Store) Range(from, to uint64) (counts []int64, dn int64, first, last uint64, clamped bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	counts = make([]int64, s.bits)
+	if len(s.segs) == 0 {
+		return counts, 0, 0, 0, false, nil
+	}
+	oldest := s.oldestLocked()
+	if to <= oldest && oldest > 0 {
+		return nil, 0, 0, 0, false, &TruncatedError{Oldest: oldest}
+	}
+	if from < oldest {
+		from, clamped = oldest, true
+	}
+	for _, sg := range s.segs {
+		if sg.lastSeq <= from {
+			continue
+		}
+		for _, r := range sg.recs {
+			if r.kind != kindDelta || r.seq <= from || r.seq > to {
+				continue
+			}
+			for j, i := range r.bits {
+				counts[i] += r.inc[j]
+			}
+			dn += r.dn
+			if first == 0 {
+				first = r.seq
+			}
+			last = r.seq
+		}
+	}
+	return counts, dn, first, last, clamped, nil
+}
+
+// TelemetryRecord is one journaled snapshot read back from the log.
+type TelemetryRecord struct {
+	// Seq is the stream generation current when the snapshot was taken.
+	Seq  uint64
+	Time time.Time
+	// Payload is the packed telemetry.Snapshot (telemetry.UnpackSnapshot
+	// decodes it). Read-only.
+	Payload []byte
+}
+
+// Telemetry returns the journaled snapshots with from <= seq <= to in
+// append order. A range entirely past retention fails with
+// ErrTruncated.
+func (s *Store) Telemetry(from, to uint64) ([]TelemetryRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	if len(s.segs) == 0 {
+		return nil, nil
+	}
+	if oldest := s.oldestLocked(); to < oldest {
+		return nil, &TruncatedError{Oldest: oldest}
+	}
+	var out []TelemetryRecord
+	for _, sg := range s.segs {
+		for _, r := range sg.recs {
+			if r.kind != kindTelemetry || r.seq < from || r.seq > to {
+				continue
+			}
+			out = append(out, TelemetryRecord{Seq: r.seq, Time: time.Unix(0, r.time), Payload: r.payload})
+		}
+	}
+	return out, nil
+}
+
+// SeqAtTime resolves a wall-clock instant to the newest recorded
+// generation at or before it; ok is false when every record is newer.
+func (s *Store) SeqAtTime(t time.Time) (seq uint64, ok bool) {
+	nano := t.UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		sg := s.segs[i]
+		for j := len(sg.recs) - 1; j >= 0; j-- {
+			r := sg.recs[j]
+			if r.kind == kindDelta && r.time <= nano {
+				return r.seq, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Replay streams the retained history as stream.Delta frames — one
+// resync carrying the oldest base, then every interval record in order
+// — so a restarted consumer rebuilds its stream.Window ring exactly as
+// the live feed would have. The store is pinned for the duration.
+func (s *Store) Replay(fn func(stream.Delta) error) error {
+	release := s.Acquire()
+	defer release()
+	s.mu.Lock()
+	if len(s.segs) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	base := s.segs[0]
+	resync := stream.Delta{
+		Seq:    base.baseSeq,
+		Time:   time.Unix(0, 0),
+		Resync: true,
+		Counts: append([]int64(nil), base.base...),
+		N:      base.baseN,
+	}
+	var recs []record
+	for _, sg := range s.segs {
+		for _, r := range sg.recs {
+			if r.kind == kindDelta {
+				recs = append(recs, r)
+			}
+		}
+	}
+	s.mu.Unlock()
+	if err := fn(resync); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		d := stream.Delta{Seq: r.seq, Time: time.Unix(0, r.time), Bits: r.bits, Inc: r.inc, DN: r.dn, N: r.n}
+		if err := fn(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayRange walks the cumulative state generation by generation over
+// from < seq <= to, invoking fn with the counts and total after each
+// recorded interval — the SSE backfill path. counts is reused between
+// calls; fn must not retain it. The store is pinned for the duration.
+// A from below retention fails with ErrTruncated (callers fall back to
+// a plain resync).
+func (s *Store) ReplayRange(from, to uint64, fn func(seq uint64, at time.Time, counts []int64, n int64) error) error {
+	release := s.Acquire()
+	defer release()
+	s.mu.Lock()
+	if len(s.segs) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if oldest := s.oldestLocked(); from < oldest {
+		s.mu.Unlock()
+		return &TruncatedError{Oldest: oldest}
+	}
+	counts, n, _, err := s.cumulativeAtLocked(from)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	var recs []record
+	for _, sg := range s.segs {
+		for _, r := range sg.recs {
+			if r.kind == kindDelta && r.seq > from && r.seq <= to {
+				recs = append(recs, r)
+			}
+		}
+	}
+	s.queries++
+	s.mu.Unlock()
+	for _, r := range recs {
+		for j, i := range r.bits {
+			counts[i] += r.inc[j]
+		}
+		n = r.n
+		if err := fn(r.seq, time.Unix(0, r.time), counts, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cumulativeAtLocked is CumulativeAt without locking or query
+// accounting; caller holds s.mu and has checked retention.
+func (s *Store) cumulativeAtLocked(at uint64) (counts []int64, n int64, seq uint64, err error) {
+	sg := s.segs[0]
+	for _, cand := range s.segs[1:] {
+		if cand.baseSeq > at {
+			break
+		}
+		sg = cand
+	}
+	counts = append([]int64(nil), sg.base...)
+	n, seq = sg.baseN, sg.baseSeq
+	for _, r := range sg.recs {
+		if r.kind != kindDelta || r.seq > at {
+			continue
+		}
+		for j, i := range r.bits {
+			counts[i] += r.inc[j]
+		}
+		n, seq = r.n, r.seq
+	}
+	return counts, n, seq, nil
+}
+
+// Stats is a point-in-time view of the store.
+type Stats struct {
+	// Segments is the retained segment count, Bytes their on-disk size.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// Records is the retained interval-record count, TelemetryRecords
+	// the retained snapshot count.
+	Records          int64 `json:"records"`
+	TelemetryRecords int64 `json:"telemetry_records"`
+	// OldestSeq is the oldest reconstructable generation, NewestSeq the
+	// newest absorbed one.
+	OldestSeq uint64 `json:"oldest_seq"`
+	NewestSeq uint64 `json:"newest_seq"`
+	// Appends and TelemetryAppends count records written this process;
+	// Queries counts range/at/replay reads served from the store;
+	// Dropped counts refused frames and discarded corrupt tails.
+	Appends          int64 `json:"appends"`
+	TelemetryAppends int64 `json:"telemetry_appends"`
+	Queries          int64 `json:"replay_hits"`
+	Dropped          int64 `json:"dropped"`
+}
+
+// Stats returns the current counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Segments:         len(s.segs),
+		OldestSeq:        s.oldestLocked(),
+		NewestSeq:        s.lastSeq,
+		Appends:          s.appends,
+		TelemetryAppends: s.telAppends,
+		Queries:          s.queries,
+		Dropped:          s.dropped,
+	}
+	for _, sg := range s.segs {
+		st.Bytes += sg.bytes
+		for _, r := range sg.recs {
+			if r.kind == kindDelta {
+				st.Records++
+			} else if r.kind == kindTelemetry {
+				st.TelemetryRecords++
+			}
+		}
+	}
+	return st
+}
+
+// Close seals the open segment. Further appends fail; queries keep
+// answering from memory.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.cur != nil {
+		_ = s.cur.Sync()
+		err := s.cur.Close()
+		s.cur = nil
+		return err
+	}
+	return nil
+}
+
+// encodeRecord renders one framed record.
+func encodeRecord(kind uint16, seq uint64, unixNano int64, n, dn int64, payload []byte) []byte {
+	buf := make([]byte, recHeaderSize, recHeaderSize+len(payload)+recTrailerSize)
+	copy(buf, recMagic)
+	binary.LittleEndian.PutUint16(buf[4:], recVersion)
+	binary.LittleEndian.PutUint16(buf[6:], kind)
+	binary.LittleEndian.PutUint64(buf[8:], seq)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(unixNano))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(n))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(dn))
+	binary.LittleEndian.PutUint32(buf[40:], uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// decodeRecord parses one record at the head of data, returning the
+// bytes consumed. Any framing or CRC failure is an error — the caller
+// treats the rest of the file as a torn tail.
+func decodeRecord(data []byte) (record, int, error) {
+	if len(data) < recHeaderSize+recTrailerSize {
+		return record{}, 0, fmt.Errorf("record truncated at %d bytes", len(data))
+	}
+	if string(data[:4]) != recMagic {
+		return record{}, 0, fmt.Errorf("bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != recVersion {
+		return record{}, 0, fmt.Errorf("unsupported version %d", v)
+	}
+	plen := int(binary.LittleEndian.Uint32(data[40:]))
+	if plen > maxPayload {
+		return record{}, 0, fmt.Errorf("payload length %d exceeds cap", plen)
+	}
+	total := recHeaderSize + plen + recTrailerSize
+	if len(data) < total {
+		return record{}, 0, fmt.Errorf("record truncated: %d of %d bytes", len(data), total)
+	}
+	body := data[:total-recTrailerSize]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(data[total-recTrailerSize:]); got != want {
+		return record{}, 0, fmt.Errorf("crc mismatch: computed %08x, stored %08x", got, want)
+	}
+	r := record{
+		kind: binary.LittleEndian.Uint16(data[6:]),
+		seq:  binary.LittleEndian.Uint64(data[8:]),
+		time: int64(binary.LittleEndian.Uint64(data[16:])),
+		n:    int64(binary.LittleEndian.Uint64(data[24:])),
+		dn:   int64(binary.LittleEndian.Uint64(data[32:])),
+	}
+	// Copy the payload out so retained records do not pin the whole
+	// file buffer.
+	r.payload = append([]byte(nil), body[recHeaderSize:]...)
+	return r, total, nil
+}
+
+// loadSegment reads and validates one segment file. A torn or corrupt
+// tail truncates the segment at the last valid record (torn reports
+// that); a segment whose base record is unusable returns nil.
+func loadSegment(path string, index uint64, bits int) (sg *segment, torn bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, true
+	}
+	off := 0
+	for off < len(data) {
+		r, consumed, err := decodeRecord(data[off:])
+		if err != nil {
+			torn = true
+			break
+		}
+		if sg == nil {
+			if r.kind != kindBase {
+				return nil, true
+			}
+			base, err := varpack.Unpack(r.payload)
+			if err != nil || len(base) != bits {
+				return nil, true
+			}
+			sg = &segment{
+				index:   index,
+				path:    path,
+				baseSeq: r.seq,
+				baseN:   r.n,
+				base:    base,
+				bytes:   int64(consumed),
+				lastSeq: r.seq,
+				lastN:   r.n,
+				final:   append([]int64(nil), base...),
+			}
+			off += consumed
+			continue
+		}
+		switch r.kind {
+		case kindDelta:
+			b, inc, err := varpack.UnpackDelta(r.payload)
+			if err != nil {
+				return sg, true
+			}
+			bad := false
+			for _, i := range b {
+				if i < 0 || i >= bits {
+					bad = true
+					break
+				}
+			}
+			if bad || r.seq <= sg.lastSeq || sg.lastN+r.dn != r.n {
+				// A frame that contradicts the running state is corrupt
+				// even if its CRC passed; stop here rather than mis-sum.
+				return sg, true
+			}
+			r.bits, r.inc, r.payload = b, inc, nil
+			for j, i := range b {
+				sg.final[i] += inc[j]
+			}
+			sg.lastSeq, sg.lastN = r.seq, r.n
+		case kindTelemetry:
+			// Opaque payload; kept as read.
+		default:
+			return sg, true
+		}
+		sg.recs = append(sg.recs, r)
+		sg.bytes += int64(consumed)
+		off += consumed
+	}
+	return sg, torn
+}
+
+func equalCounts(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// segFileName renders the canonical segment name for index;
+// zero-padding keeps lexical and numeric order aligned.
+func segFileName(index uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, index, segSuffix)
+}

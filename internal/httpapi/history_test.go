@@ -1,0 +1,535 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"idldp/internal/estimate"
+	"idldp/internal/history"
+	"idldp/internal/stream"
+	"idldp/internal/telemetry"
+)
+
+// histHarness drives a LiveHandler over a hand-fed publisher backed by
+// a history log — generations are deterministic (no tickers), so byte
+// comparisons between live and time-travel answers are exact.
+type histHarness struct {
+	t    *testing.T
+	bits int
+	pub  *stream.Publisher
+	hist *history.Store
+	lh   *LiveHandler
+	ts   *httptest.Server
+}
+
+func uniformEstimator(bits int) Estimator {
+	a, b := make([]float64, bits), make([]float64, bits)
+	for i := range a {
+		a[i], b[i] = 0.75, 0.25
+	}
+	return func(counts []int64, n int) ([]float64, error) {
+		return estimate.Calibrate(counts, n, a, b, 1)
+	}
+}
+
+func newHistHarness(t *testing.T, dir string, bits, window int, cfg history.Config) *histHarness {
+	t.Helper()
+	cfg.NoSync = true
+	hist, err := history.Open(dir, bits, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, n, seq := hist.State()
+	pub, err := stream.NewPublisher(bits, stream.WithResume(counts, n, seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := pub.Subscribe(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh, err := NewLiveWithHistory(sub, bits, uniformEstimator(bits), window, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &histHarness{t: t, bits: bits, pub: pub, hist: hist, lh: lh, ts: httptest.NewServer(lh)}
+	t.Cleanup(h.close)
+	return h
+}
+
+func (h *histHarness) close() {
+	h.ts.Close()
+	h.lh.Close()
+	h.pub.Close()
+	h.hist.Close()
+}
+
+// waitGen polls /v1/readstats until the consumer has absorbed gen.
+func (h *histHarness) waitGen(gen uint64) {
+	h.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var rs struct {
+			Generation uint64 `json:"generation"`
+		}
+		resp, err := h.ts.Client().Get(h.ts.URL + "/v1/readstats")
+		if err == nil {
+			_ = json.NewDecoder(resp.Body).Decode(&rs)
+			resp.Body.Close()
+			if rs.Generation >= gen {
+				return
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	h.t.Fatalf("generation never reached %d", gen)
+}
+
+func (h *histHarness) get(path string) (int, http.Header, []byte) {
+	h.t.Helper()
+	resp, err := h.ts.Client().Get(h.ts.URL + path)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// publish3 drives three deterministic generations (seq 2..4; seq 1 is
+// the subscription's initial resync) and waits for the consumer.
+func (h *histHarness) publish3() {
+	h.t.Helper()
+	for _, st := range []struct {
+		counts []int64
+		n      int64
+	}{
+		{[]int64{4, 1, 0, 2, 0, 1}, 8},
+		{[]int64{6, 3, 1, 2, 1, 1}, 14},
+		{[]int64{9, 4, 1, 3, 2, 1}, 20},
+	} {
+		if err := h.pub.Publish(st.counts, st.n); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	h.waitGen(4)
+}
+
+func TestHistoryAtByteIdenticalToLive(t *testing.T) {
+	h := newHistHarness(t, t.TempDir(), 6, 16, history.Config{})
+	h.publish3()
+
+	code, _, live := h.get("/v1/estimates")
+	if code != 200 {
+		t.Fatalf("live estimates returned %d", code)
+	}
+	code, hdr, at := h.get("/v1/estimates?at=4")
+	if code != 200 {
+		t.Fatalf("?at=4 returned %d: %s", code, at)
+	}
+	if g := hdr.Get("X-Idldp-Generation"); g != "4" {
+		t.Fatalf("X-Idldp-Generation = %q, want 4", g)
+	}
+	if !bytes.Equal(at, live) {
+		t.Fatalf("?at=4 body differs from live:\n at: %s\nlive: %s", at, live)
+	}
+
+	// A future generation clamps down to the newest recorded one.
+	code, hdr, at = h.get("/v1/estimates?at=999999")
+	if code != 200 || hdr.Get("X-Idldp-Generation") != "4" || !bytes.Equal(at, live) {
+		t.Fatalf("?at=999999: code=%d gen=%q equal=%v", code, hdr.Get("X-Idldp-Generation"), bytes.Equal(at, live))
+	}
+
+	// A wall-clock instant resolves through the same path.
+	stamp := url.QueryEscape(time.Now().Add(time.Hour).UTC().Format(time.RFC3339))
+	code, hdr, at = h.get("/v1/estimates?at=" + stamp)
+	if code != 200 || hdr.Get("X-Idldp-Generation") != "4" || !bytes.Equal(at, live) {
+		t.Fatalf("?at=<time>: code=%d gen=%q equal=%v", code, hdr.Get("X-Idldp-Generation"), bytes.Equal(at, live))
+	}
+
+	// An earlier generation answers that generation's state, not the
+	// current one.
+	code, hdr, at = h.get("/v1/estimates?at=3")
+	if code != 200 || hdr.Get("X-Idldp-Generation") != "3" {
+		t.Fatalf("?at=3: code=%d gen=%q", code, hdr.Get("X-Idldp-Generation"))
+	}
+	var mid struct {
+		Reports int64 `json:"reports"`
+	}
+	if err := json.Unmarshal(at, &mid); err != nil || mid.Reports != 14 {
+		t.Fatalf("?at=3 reports = %d (err %v), want 14", mid.Reports, err)
+	}
+
+	// Bad inputs surface as 400s.
+	if code, _, _ = h.get("/v1/estimates?at=bogus"); code != 400 {
+		t.Fatalf("?at=bogus returned %d", code)
+	}
+	if code, _, _ = h.get("/v1/estimates?from=5&to=2"); code != 400 {
+		t.Fatalf("inverted range returned %d", code)
+	}
+}
+
+func TestHistoryRangeByteIdenticalToWindowed(t *testing.T) {
+	h := newHistHarness(t, t.TempDir(), 6, 16, history.Config{})
+	h.publish3()
+
+	code, _, windowed := h.get("/v1/estimates?window=2")
+	if code != 200 {
+		t.Fatalf("?window=2 returned %d", code)
+	}
+	code, hdr, ranged := h.get("/v1/estimates?from=2&to=4")
+	if code != 200 {
+		t.Fatalf("range returned %d: %s", code, ranged)
+	}
+	if !bytes.Equal(ranged, windowed) {
+		t.Fatalf("range body differs from windowed:\nrange: %s\n wind: %s", ranged, windowed)
+	}
+	if hdr.Get("X-Idldp-Clamped") != "false" || hdr.Get("X-Idldp-From") != "2" || hdr.Get("X-Idldp-To") != "4" {
+		t.Fatalf("range headers = %v", hdr)
+	}
+
+	// /v1/readstats exposes the log's counters.
+	var rs struct {
+		History *history.Stats `json:"history"`
+	}
+	_, _, body := h.get("/v1/readstats")
+	if err := json.Unmarshal(body, &rs); err != nil || rs.History == nil {
+		t.Fatalf("readstats missing history block: %s (err %v)", body, err)
+	}
+	if rs.History.Segments < 1 || rs.History.NewestSeq != 4 || rs.History.Queries == 0 {
+		t.Fatalf("history stats = %+v", rs.History)
+	}
+}
+
+func TestHistoryRestartBitExact(t *testing.T) {
+	dir := t.TempDir()
+	h := newHistHarness(t, dir, 6, 16, history.Config{})
+	h.publish3()
+	_, _, live := h.get("/v1/estimates")
+	_, _, at4 := h.get("/v1/estimates?at=4")
+	h.close()
+
+	// A restarted surface must answer both live and time-travel queries
+	// byte-identically: the window replays from the log and the resumed
+	// publisher's initial resync (seq 5) folds into an empty delta.
+	h2 := newHistHarness(t, dir, 6, 16, history.Config{})
+	h2.waitGen(5)
+	if code, _, got := h2.get("/v1/estimates"); code != 200 || !bytes.Equal(got, live) {
+		t.Fatalf("restarted live answer differs (code %d):\n got: %s\nwant: %s", code, got, live)
+	}
+	code, hdr, got := h2.get("/v1/estimates?at=4")
+	if code != 200 || hdr.Get("X-Idldp-Generation") != "4" || !bytes.Equal(got, at4) {
+		t.Fatalf("restarted ?at=4 differs (code %d, gen %q):\n got: %s\nwant: %s",
+			code, hdr.Get("X-Idldp-Generation"), got, at4)
+	}
+
+	// The campaign continues where it left off — cumulative counts keep
+	// growing from the resumed state, and history keeps absorbing.
+	if err := h2.pub.Publish([]int64{9, 6, 2, 3, 2, 2}, 25); err != nil {
+		t.Fatal(err)
+	}
+	h2.waitGen(6)
+	if _, _, again := h2.get("/v1/estimates?at=4"); !bytes.Equal(again, at4) {
+		t.Fatal("?at=4 changed after new intervals were appended")
+	}
+	var after struct {
+		Reports int64 `json:"reports"`
+	}
+	_, _, body := h2.get("/v1/estimates")
+	if err := json.Unmarshal(body, &after); err != nil || after.Reports != 25 {
+		t.Fatalf("post-restart live reports = %d (err %v), want 25", after.Reports, err)
+	}
+}
+
+func TestHistoryTruncated410AndClamp(t *testing.T) {
+	h := newHistHarness(t, t.TempDir(), 6, 16, history.Config{KeepSegments: 1, SegmentRecords: 2})
+	counts := make([]int64, 6)
+	var n int64
+	for seq := 0; seq < 10; seq++ {
+		counts[seq%6]++
+		n += 2
+		if err := h.pub.Publish(counts, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.waitGen(11) // resync + 10 deltas
+	oldest := h.hist.OldestSeq()
+	if oldest <= 1 {
+		t.Fatalf("retention kept everything (oldest %d)", oldest)
+	}
+
+	// A query entirely past retention is 410 Gone with the oldest
+	// answerable generation in the payload.
+	code, _, body := h.get("/v1/estimates?at=1")
+	if code != http.StatusGone {
+		t.Fatalf("?at=1 returned %d: %s", code, body)
+	}
+	var gone struct {
+		Error     string `json:"error"`
+		OldestSeq uint64 `json:"oldest_seq"`
+		Truncated bool   `json:"truncated"`
+	}
+	if err := json.Unmarshal(body, &gone); err != nil {
+		t.Fatalf("410 body %s: %v", body, err)
+	}
+	if gone.Error != "history truncated" || !gone.Truncated || gone.OldestSeq != oldest {
+		t.Fatalf("410 payload = %+v, want oldest %d", gone, oldest)
+	}
+	if code, _, _ = h.get("/v1/estimates?from=0&to=" + strconv.FormatUint(oldest, 10)); code != http.StatusGone {
+		t.Fatalf("fully-expired range returned %d", code)
+	}
+
+	// A range reaching below the horizon clamps up to it and says so.
+	code, hdr, _ := h.get("/v1/estimates?from=0&to=11")
+	if code != 200 {
+		t.Fatalf("clamped range returned %d", code)
+	}
+	if hdr.Get("X-Idldp-Clamped") != "true" || hdr.Get("X-Idldp-From") != strconv.FormatUint(oldest, 10) {
+		t.Fatalf("clamp headers: clamped=%q from=%q, want true/%d",
+			hdr.Get("X-Idldp-Clamped"), hdr.Get("X-Idldp-From"), oldest)
+	}
+}
+
+// readSSEEvents reads SSE frames until count events (or EOF), returning
+// their ids and decoded payloads.
+func readSSEEvents(t *testing.T, r io.Reader, count int) ([]uint64, []estimateEvent) {
+	t.Helper()
+	sc := bufio.NewScanner(r)
+	var ids []uint64
+	var evs []estimateEvent
+	var id uint64
+	for len(evs) < count && sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			v, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+			if err != nil {
+				t.Fatalf("bad id line %q: %v", line, err)
+			}
+			id = v
+		case strings.HasPrefix(line, "data: "):
+			var ev estimateEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad event %q: %v", line, err)
+			}
+			ids = append(ids, id)
+			evs = append(evs, ev)
+		}
+	}
+	return ids, evs
+}
+
+func TestSSEResumeBackfillsFromHistory(t *testing.T) {
+	h := newHistHarness(t, t.TempDir(), 6, 16, history.Config{})
+	h.publish3()
+
+	req, err := http.NewRequest("GET", h.ts.URL+"/v1/estimates/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "2")
+	resp, err := h.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// The client said it last absorbed generation 2, so generations 3
+	// and 4 backfill immediately — no new publish needed.
+	ids, evs := readSSEEvents(t, resp.Body, 2)
+	if len(evs) != 2 || ids[0] != 3 || ids[1] != 4 {
+		t.Fatalf("backfill ids = %v (%d events), want [3 4]", ids, len(evs))
+	}
+	if evs[0].N != 14 || evs[1].N != 20 {
+		t.Fatalf("backfill n = %d, %d; want 14, 20", evs[0].N, evs[1].N)
+	}
+
+	// The final backfilled state matches the live answer exactly.
+	var live struct {
+		Estimates []float64 `json:"estimates"`
+	}
+	_, _, body := h.get("/v1/estimates")
+	if err := json.Unmarshal(body, &live); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs[1].Estimates) != len(live.Estimates) {
+		t.Fatalf("backfill estimates length %d vs live %d", len(evs[1].Estimates), len(live.Estimates))
+	}
+	for i := range live.Estimates {
+		if evs[1].Estimates[i] != live.Estimates[i] {
+			t.Fatalf("backfill estimate[%d] = %v, live %v", i, evs[1].Estimates[i], live.Estimates[i])
+		}
+	}
+}
+
+func TestSSEResumePastRetentionFallsBackToLive(t *testing.T) {
+	h := newHistHarness(t, t.TempDir(), 6, 16, history.Config{KeepSegments: 1, SegmentRecords: 2})
+	counts := make([]int64, 6)
+	var n int64
+	for seq := 0; seq < 10; seq++ {
+		counts[seq%6]++
+		n += 2
+		if err := h.pub.Publish(counts, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.waitGen(11)
+
+	req, _ := http.NewRequest("GET", h.ts.URL+"/v1/estimates/stream", nil)
+	req.Header.Set("Last-Event-ID", "1") // pruned long ago
+	resp, err := h.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Backfill is impossible; the live feed's cached latest event (which
+	// carries full state) arrives instead of an error.
+	ids, evs := readSSEEvents(t, resp.Body, 1)
+	if len(evs) != 1 || ids[0] != 11 {
+		t.Fatalf("fallback event id = %v, want [11]", ids)
+	}
+	if evs[0].N != n {
+		t.Fatalf("fallback n = %d, want %d", evs[0].N, n)
+	}
+}
+
+func TestMetricsHistoryMonotoneAcrossRestartWithBurn(t *testing.T) {
+	dir := t.TempDir()
+	run := func(h *histHarness, rounds int, base []int64, baseN int64) ([]int64, int64) {
+		reg := telemetry.NewRegistry("idldp")
+		good := reg.Counter("requests_good", "Good requests.")
+		bad := reg.Counter("requests_bad", "Bad requests.")
+		h.lh.SetTelemetry(reg)
+		counts := append([]int64(nil), base...)
+		n := baseN
+		for i := 0; i < rounds; i++ {
+			good.Add(8)
+			bad.Inc()
+			counts[i%6] += 2
+			n += 3
+			if err := h.pub.Publish(counts, n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return counts, n
+	}
+
+	h := newHistHarness(t, dir, 6, 16, history.Config{})
+	counts, n := run(h, 3, make([]int64, 6), 0)
+	h.waitGen(4)
+	h.close()
+
+	// Restart with a FRESH registry: every counter resets to zero, which
+	// the reset-healing offsets must absorb.
+	h2 := newHistHarness(t, dir, 6, 16, history.Config{})
+	_, _ = run(h2, 2, counts, n)
+	h2.waitGen(7)
+
+	code, _, body := h2.get("/v1/metrics/history?good=requests_good_total&bad=requests_bad_total&target=0.99")
+	if code != 200 {
+		t.Fatalf("metrics history returned %d: %s", code, body)
+	}
+	var out struct {
+		Entries []struct {
+			Seq      uint64           `json:"seq"`
+			Counters map[string]int64 `json:"counters"`
+			Burn     float64          `json:"burn"`
+		} `json:"entries"`
+		Count   int `json:"count"`
+		Skipped int `json:"skipped"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("metrics history body: %v", err)
+	}
+	if out.Skipped != 0 || out.Count < 5 {
+		t.Fatalf("count=%d skipped=%d, want >= 5 journaled entries", out.Count, out.Skipped)
+	}
+	var lastGood, lastSeq int64 = -1, -1
+	for _, e := range out.Entries {
+		if int64(e.Seq) <= lastSeq {
+			t.Fatalf("entry seq %d not increasing past %d", e.Seq, lastSeq)
+		}
+		lastSeq = int64(e.Seq)
+		g := e.Counters["requests_good_total"]
+		if g < lastGood {
+			t.Fatalf("requests_good regressed %d -> %d at seq %d (reset not healed)", lastGood, g, e.Seq)
+		}
+		lastGood = g
+		if e.Burn < 0 {
+			t.Fatalf("burn %v negative at seq %d", e.Burn, e.Seq)
+		}
+	}
+	// 3 pre-restart rounds + 2 post-restart rounds, 8 good each, healed
+	// into one monotone series.
+	if lastGood != 40 {
+		t.Fatalf("final healed requests_good = %d, want 40", lastGood)
+	}
+
+	if code, _, _ := h2.get("/v1/metrics/history?bad=requests_bad_total&target=2"); code != 400 {
+		t.Fatalf("target=2 returned %d, want 400", code)
+	}
+}
+
+// TestSinkStreamingSpillsHistory exercises the full ingest runtime path
+// (NewStreaming + StreamConfig.History): HTTP-batched reports reach the
+// log and the time-travel endpoints answer.
+func TestSinkStreamingSpillsHistory(t *testing.T) {
+	const bits = 6
+	dir := t.TempDir()
+	hist, err := history.Open(dir, bits, history.Config{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hist.Close()
+	a, b := make([]float64, bits), make([]float64, bits)
+	for i := range a {
+		a[i], b[i] = 0.75, 0.25
+	}
+	est := func(counts []int64, n int) ([]float64, error) {
+		return estimate.Calibrate(counts, n, a, b, 1)
+	}
+	h, err := NewStreaming(bits, est, StreamConfig{Interval: 2 * time.Millisecond, Window: 8, History: hist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	postBatch(t, ts, []int64{4, 1, 0, 2, 0, 1}, 8)
+	deadline := time.Now().Add(5 * time.Second)
+	for hist.Stats().Records == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never reached the history log")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	gen := hist.LastSeq()
+	resp, err := ts.Client().Get(ts.URL + "/v1/estimates?at=" + strconv.FormatUint(gen, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("?at=%d returned %d", gen, resp.StatusCode)
+	}
+	var got struct {
+		Reports int64 `json:"reports"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil || got.Reports != 8 {
+		t.Fatalf("?at=%d reports = %d (err %v), want 8", gen, got.Reports, err)
+	}
+}

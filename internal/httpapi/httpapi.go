@@ -5,9 +5,16 @@
 //	POST /v1/report            {"words": [..], "bits": n}   one perturbed report
 //	POST /v1/batch             {"counts": [..], "n": k}     pre-summed batch
 //	GET  /v1/estimates         calibrated estimates; ?window=k restricts to the
-//	                           last k stream intervals (streaming handlers only)
+//	                           last k stream intervals (streaming handlers only);
+//	                           ?at=<seq|time> and ?from=..&to=.. answer from the
+//	                           history log, 410 past retention (history-enabled
+//	                           handlers only)
 //	GET  /v1/estimates/stream  Server-Sent Events: one "estimate" event per
-//	                           published interval (streaming handlers only)
+//	                           published interval (streaming handlers only);
+//	                           Last-Event-ID resumes via a history backfill
+//	GET  /v1/metrics/history   journaled telemetry snapshots over a generation
+//	                           range, counters healed monotone across restarts
+//	                           (history-enabled handlers only)
 //	GET  /v1/readstats         read-path cache/hub counters: generation,
 //	                           calibrations, hits/misses, SSE subscribers
 //	                           (streaming handlers only)
@@ -133,6 +140,7 @@ func NewSink(sink *server.Server, est Estimator) (*Handler, error) {
 	h.mux.HandleFunc("GET /v1/estimates", h.handleEstimates)
 	h.mux.HandleFunc("GET /v1/estimates/stream", h.handleStream)
 	h.mux.HandleFunc("GET /v1/readstats", h.handleReadStats)
+	h.mux.HandleFunc("GET /v1/metrics/history", h.handleMetricsHistory)
 	h.mux.HandleFunc("GET /v1/status", h.handleStatus)
 	h.mux.HandleFunc("GET /v1/snapshot", h.handleSnapshot)
 	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
@@ -374,6 +382,14 @@ func (h *Handler) handleReadStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, h.stream.readStats())
+}
+
+func (h *Handler) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	if h.stream == nil || h.stream.hist == nil {
+		httpError(w, http.StatusNotImplemented, "history is not enabled on this server")
+		return
+	}
+	h.stream.serveMetricsHistory(w, r)
 }
 
 func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"idldp/internal/history"
 	"idldp/internal/readcache"
 	"idldp/internal/server"
 	"idldp/internal/stream"
@@ -27,6 +28,15 @@ type StreamConfig struct {
 	// Window is the sliding-window capacity in intervals (<= 0 selects
 	// DefaultWindow).
 	Window int
+	// History, when set, makes the read path durable: every consumed
+	// frame is spilled to the interval log (and a telemetry snapshot is
+	// journaled alongside it once a registry is attached), the window is
+	// replayed from the log at construction so the ring recovers
+	// bit-exactly across restarts, and GET /v1/estimates grows the
+	// at/from/to time-travel parameters plus GET /v1/metrics/history.
+	// The handler does not own the store; the caller Closes it after the
+	// handler.
+	History *history.Store
 }
 
 // DefaultWindow retains one minute of one-second intervals.
@@ -56,6 +66,11 @@ type liveState struct {
 	cache *readcache.Cache
 	hub   *readcache.Hub
 	est   Estimator
+	// hist, when non-nil, is the durable interval + telemetry log the
+	// consumer spills every frame into and the time-travel endpoints
+	// read from (see history.go). Set before consume starts, immutable
+	// after.
+	hist *history.Store
 
 	mu      sync.Mutex
 	seq     uint64  // newest fully-processed generation
@@ -74,6 +89,11 @@ type liveState struct {
 	hCalib *telemetry.Histogram
 	hSSE   *telemetry.Histogram
 
+	// telReg is the registry whose snapshots the consumer journals into
+	// hist, one per consumed generation — set under mu by
+	// registerMetrics; nil (no journaling) until then.
+	telReg *telemetry.Registry
+
 	// flushStop ends the periodic batcher flush (see Handler.flushLoop);
 	// unused by LiveHandler, which has no ingest side.
 	flushStop chan struct{}
@@ -88,6 +108,7 @@ func (ls *liveState) registerMetrics(reg *telemetry.Registry) {
 	hSSE := reg.Histogram("sse_publish", "Latency of broadcasting one pre-marshaled event to the SSE hub.")
 	ls.mu.Lock()
 	ls.hCalib, ls.hSSE = hCalib, hSSE
+	ls.telReg = reg
 	ls.mu.Unlock()
 	reg.CounterFunc("readcache_hits", "Reads answered from a current-generation cache entry.",
 		func() int64 { return ls.cache.Stats().Hits })
@@ -103,6 +124,16 @@ func (ls *liveState) registerMetrics(reg *telemetry.Registry) {
 		func() float64 { ls.mu.Lock(); defer ls.mu.Unlock(); return float64(ls.seq) })
 	reg.CounterFunc("calibrations", "Estimator invocations across all read surfaces.",
 		func() int64 { ls.mu.Lock(); defer ls.mu.Unlock(); return ls.calibrations })
+	if ls.hist != nil {
+		reg.GaugeFunc("history_segments", "Retained history log segments.",
+			func() float64 { return float64(ls.hist.Stats().Segments) })
+		reg.GaugeFunc("history_bytes", "On-disk bytes of the retained history log.",
+			func() float64 { return float64(ls.hist.Stats().Bytes) })
+		reg.GaugeFunc("history_oldest_generation", "Oldest generation the history log can still answer for.",
+			func() float64 { return float64(ls.hist.Stats().OldestSeq) })
+		reg.CounterFunc("history_replay_hits", "Range, at and replay queries served from the history log.",
+			func() int64 { return ls.hist.Stats().Queries })
+	}
 }
 
 func newLiveState(win *stream.Window, est Estimator) *liveState {
@@ -147,12 +178,25 @@ func NewSinkStreaming(sink *server.Server, est Estimator, cfg StreamConfig) (*Ha
 		sink.Close()
 		return nil, fmt.Errorf("httpapi: %w", err)
 	}
+	// Replay the retained history into the window BEFORE subscribing, so
+	// the ring holds the pre-restart intervals bit-exactly and the live
+	// feed appends after them (the sink's publisher must have been
+	// resumed from the same store — server.WithStreamResume — so the
+	// subscription's initial resync equals the replayed state and folds
+	// into an empty implied delta).
+	if cfg.History != nil {
+		if err := cfg.History.Replay(func(d stream.Delta) error { return win.Push(d) }); err != nil {
+			sink.Close()
+			return nil, fmt.Errorf("httpapi: history replay: %w", err)
+		}
+	}
 	sub, err := sink.Subscribe(16)
 	if err != nil {
 		sink.Close()
 		return nil, fmt.Errorf("httpapi: %w", err)
 	}
 	h.stream = newLiveState(win, est)
+	h.stream.hist = cfg.History
 	go h.stream.consume(sub)
 	// Without other readers, reports POSTed to /v1/report sit in the
 	// pooled batchers below the batch threshold and the runtime's
@@ -193,6 +237,14 @@ func (h *Handler) flushLoop(interval time.Duration) {
 // here, under ls.mu, before any reader can observe the new seq.
 func (ls *liveState) consume(sub *stream.Sub) {
 	for d := range sub.C() {
+		// Spill the frame to the durable log BEFORE the window absorbs
+		// it: once a reader can observe generation d.Seq live, the
+		// time-travel answer for at=d.Seq already exists. Non-advancing
+		// frames (the initial resync of a resumed stream) are refused by
+		// the store — by design, they carry nothing the log lacks.
+		if ls.hist != nil {
+			_ = ls.hist.Append(d)
+		}
 		ls.mu.Lock()
 		// ErrOutOfSync cannot persist: the publisher's drop-and-resync
 		// contract guarantees a healing resync follows any gap.
@@ -206,11 +258,17 @@ func (ls *liveState) consume(sub *stream.Sub) {
 			chunk, fatal = ls.refreshLocked(seq, counts, n, wCounts, wN)
 		}
 		hSSE := ls.hSSE
+		telReg := ls.telReg
 		ls.mu.Unlock()
 		if chunk != nil {
 			start := time.Now()
 			ls.hub.Publish(seq, chunk, fatal)
 			hSSE.ObserveSince(start)
+		}
+		// Journal a telemetry snapshot on the same cadence as the
+		// interval spill, stamped with the generation it was current at.
+		if ls.hist != nil && telReg != nil {
+			_ = ls.hist.AppendTelemetry(seq, d.Time, telReg.Snapshot().Pack())
 		}
 	}
 	ls.mu.Lock()
@@ -231,13 +289,13 @@ func (ls *liveState) refreshLocked(seq uint64, counts []int64, n int64, wCounts 
 	ls.calibrations++
 	if err != nil {
 		ls.estErr = err
-		return sseChunk("error", jsonError(err)), true
+		return sseChunk("error", seq, jsonError(err)), true
 	}
 	ls.estErr = nil
 	body, err := json.Marshal(map[string]any{"estimates": est, "reports": n})
 	if err != nil {
 		ls.estErr = err
-		return sseChunk("error", jsonError(err)), true
+		return sseChunk("error", seq, jsonError(err)), true
 	}
 	body = append(body, '\n')
 	ls.cache.Put(readcache.Key{Kind: readcache.Cumulative},
@@ -265,7 +323,7 @@ func (ls *liveState) refreshLocked(seq uint64, counts []int64, n int64, wCounts 
 	if err != nil {
 		return nil, false
 	}
-	return sseChunk("estimate", data), false
+	return sseChunk("estimate", seq, data), false
 }
 
 // estimateEvent is one SSE data payload.
@@ -286,9 +344,17 @@ type estimateEvent struct {
 
 // sseChunk frames one complete SSE event, ready to write verbatim. The
 // consume goroutine builds it once per generation; every client ships
-// the same bytes.
-func sseChunk(event string, data []byte) []byte {
-	b := make([]byte, 0, len(event)+len(data)+16)
+// the same bytes. id > 0 stamps the generation as the SSE event id, so
+// a reconnecting client's Last-Event-ID names the exact frame it last
+// absorbed and the handler can backfill from history instead of
+// resyncing.
+func sseChunk(event string, id uint64, data []byte) []byte {
+	b := make([]byte, 0, len(event)+len(data)+40)
+	if id > 0 {
+		b = append(b, "id: "...)
+		b = strconv.AppendUint(b, id, 10)
+		b = append(b, '\n')
+	}
 	b = append(b, "event: "...)
 	b = append(b, event...)
 	b = append(b, "\ndata: "...)
@@ -299,9 +365,23 @@ func sseChunk(event string, data []byte) []byte {
 
 // handleEstimates answers GET /v1/estimates from the cached read path:
 // the plain query serves the pre-marshaled cumulative body, ?window=k
-// the windowed variant.
+// the windowed variant, and ?at / ?from&to the time-travel variants
+// reconstructed from the history log (see history.go).
 func (ls *liveState) handleEstimates(w http.ResponseWriter, r *http.Request) {
-	if raw := r.URL.Query().Get("window"); raw != "" {
+	q := r.URL.Query()
+	if q.Get("at") != "" || q.Get("from") != "" || q.Get("to") != "" {
+		if ls.hist == nil {
+			httpError(w, http.StatusNotImplemented, "history is not enabled on this server")
+			return
+		}
+		if at := q.Get("at"); at != "" {
+			ls.serveHistoryAt(w, at)
+			return
+		}
+		ls.serveHistoryRange(w, q.Get("from"), q.Get("to"))
+		return
+	}
+	if raw := q.Get("window"); raw != "" {
 		k, err := strconv.Atoi(raw)
 		if err != nil || k <= 0 {
 			httpError(w, http.StatusBadRequest, "window must be a positive interval count")
@@ -413,6 +493,18 @@ func (ls *liveState) serveSSE(w http.ResponseWriter, r *http.Request) {
 	defer keep.Stop()
 	var seen uint64
 	sent := false
+	// A reconnecting client names the last generation it absorbed
+	// (Last-Event-ID header, or ?last_event_id for clients that cannot
+	// set headers). When history retains the gap, replay it as ordinary
+	// estimate events so the client resumes without a visible reset;
+	// when it does not (or history is off), fall through to the live
+	// feed — every estimate event carries full state, so the next one
+	// is itself the resync.
+	if last, ok := ls.sseBackfill(w, rc, r); ok {
+		seen, sent = last, true
+	} else if last == sseBackfillFailed {
+		return
+	}
 	for {
 		seq, payload, fatal, closed, next := ls.hub.Latest()
 		if payload != nil && (!sent || seq != seen) {
@@ -454,7 +546,7 @@ func (ls *liveState) readStats() map[string]any {
 	ls.mu.Lock()
 	gen, n, cal, top1 := ls.seq, ls.n, ls.calibrations, ls.top1
 	ls.mu.Unlock()
-	return map[string]any{
+	out := map[string]any{
 		"generation":   gen,
 		"reports":      n,
 		"calibrations": cal,
@@ -462,6 +554,10 @@ func (ls *liveState) readStats() map[string]any {
 		"cache":        map[string]any{"hits": cs.Hits, "misses": cs.Misses, "entries": cs.Entries},
 		"sse":          map[string]any{"subscribers": hs.Subscribers, "events": hs.Published},
 	}
+	if ls.hist != nil {
+		out["history"] = ls.hist.Stats()
+	}
+	return out
 }
 
 func argmax(xs []float64) int {
@@ -500,6 +596,18 @@ type LiveHandler struct {
 // domain. window <= 0 selects DefaultWindow. The handler owns sub:
 // Close closes it, which stops the consumer.
 func NewLive(sub *stream.Sub, bits int, est Estimator, window int) (*LiveHandler, error) {
+	return NewLiveWithHistory(sub, bits, est, window, nil)
+}
+
+// NewLiveWithHistory is NewLive plus the time-travel surface: frames
+// are spilled into hist, the window is replayed from it at construction
+// so the ring survives restarts, and the mux additionally answers
+// GET /v1/estimates?at/from/to and GET /v1/metrics/history. The stream
+// feeding sub must have been resumed past hist.LastSeq() (see
+// stream.WithResume / fleet.WithStreamStartSeq) so the log's
+// generations never regress. nil hist is plain NewLive. The handler
+// does not own hist; the caller Closes it after the handler.
+func NewLiveWithHistory(sub *stream.Sub, bits int, est Estimator, window int, hist *history.Store) (*LiveHandler, error) {
 	if sub == nil {
 		return nil, fmt.Errorf("httpapi: subscription is required")
 	}
@@ -513,12 +621,25 @@ func NewLive(sub *stream.Sub, bits int, est Estimator, window int) (*LiveHandler
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: %w", err)
 	}
+	if hist != nil {
+		if err := hist.Replay(func(d stream.Delta) error { return win.Push(d) }); err != nil {
+			return nil, fmt.Errorf("httpapi: history replay: %w", err)
+		}
+	}
 	ls := newLiveState(win, est)
+	ls.hist = hist
 	lh := &LiveHandler{ls: ls, sub: sub, mux: http.NewServeMux()}
 	lh.mux.HandleFunc("GET /v1/estimates", ls.handleEstimates)
 	lh.mux.HandleFunc("GET /v1/estimates/stream", ls.serveSSE)
 	lh.mux.HandleFunc("GET /v1/readstats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ls.readStats())
+	})
+	lh.mux.HandleFunc("GET /v1/metrics/history", func(w http.ResponseWriter, r *http.Request) {
+		if ls.hist == nil {
+			httpError(w, http.StatusNotImplemented, "history is not enabled on this server")
+			return
+		}
+		ls.serveMetricsHistory(w, r)
 	})
 	go ls.consume(sub)
 	return lh, nil

@@ -35,6 +35,11 @@ const (
 	Windowed
 	// HeavyHitters is the identified heavy-hitter set.
 	HeavyHitters
+	// History is a time-travel answer reconstructed from the interval
+	// log at generation K (see internal/history). Historical results
+	// are immutable, so callers Get them with gen == K: the entry stays
+	// a hit forever while it remains the one History answer cached.
+	History
 )
 
 // Key identifies one cached result. Within a generation each key has at

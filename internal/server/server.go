@@ -106,6 +106,10 @@ type options struct {
 	streaming      bool
 	streamInterval time.Duration
 	auditEvery     int
+	resumeCounts   []int64
+	resumeN        int64
+	resumeSeq      uint64
+	resume         bool
 	tel            *telemetry.Registry
 }
 
@@ -186,6 +190,21 @@ func WithStream(interval time.Duration) Option {
 // cumulative counts so subscribers can verify their accumulated state
 // bit for bit (k <= 0 keeps stream.DefaultAuditEvery).
 func WithStreamAudit(k int) Option { return func(o *options) { o.auditEvery = k } }
+
+// WithStreamResume seeds the delta publisher with a prior cumulative
+// state and sequence number (see stream.WithResume) — the restart hook
+// for servers whose interval history is persisted by generation
+// (internal/history): a restored server keeps numbering its frames
+// where the log left off, and its first resync carries the restored
+// state instead of a spurious zero. Requires WithStream.
+func WithStreamResume(counts []int64, n int64, seq uint64) Option {
+	return func(o *options) {
+		o.resume = true
+		o.resumeCounts = counts
+		o.resumeN = n
+		o.resumeSeq = seq
+	}
+}
 
 // WithTelemetry wires the runtime into a metrics registry: the ingest,
 // shed, checkpoint, and stream counters register as live views (the
@@ -331,6 +350,9 @@ func New(bits int, opts ...Option) (*Server, error) {
 		var popts []stream.PubOption
 		if o.auditEvery > 0 {
 			popts = append(popts, stream.WithAuditEvery(o.auditEvery))
+		}
+		if o.resume {
+			popts = append(popts, stream.WithResume(o.resumeCounts, o.resumeN, o.resumeSeq))
 		}
 		pub, err := stream.NewPublisher(bits, popts...)
 		if err != nil {

@@ -432,6 +432,18 @@ func (e *Engine) RegisterMetrics(tel *telemetry.Registry) {
 	}
 }
 
+// Burn computes the error-budget burn rate of one window from its
+// event delta: (bad/total) / (1 - target). Zero totals and degenerate
+// targets burn 0. Exported so replay surfaces (the telemetry journal's
+// /v1/metrics/history) recompute historical burn rates with exactly
+// the arithmetic the live engine alarms on.
+func Burn(total, bad int64, target float64) float64 {
+	if total <= 0 || bad <= 0 || target <= 0 || target >= 1 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - target)
+}
+
 // ParseWindows parses a "5m,1h,6h" flag value into Windows. The empty
 // string means the default windows, so callers that build a config
 // programmatically (tests, embedding) need not spell them out.

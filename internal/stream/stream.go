@@ -91,6 +91,25 @@ type PubOption func(*Publisher)
 // audit frames; the default is DefaultAuditEvery).
 func WithAuditEvery(k int) PubOption { return func(p *Publisher) { p.auditEvery = k } }
 
+// WithResume seeds the publisher with a prior cumulative state and
+// sequence number instead of the all-zero origin — the restart hook
+// for producers whose consumers persist history keyed by generation
+// (internal/history). The first frame any subscriber sees is then a
+// resync of the resumed state at seq+1, and subsequent deltas continue
+// the old numbering, so a durable log never observes its generations
+// regress. counts may be nil to resume only the numbering (the merged
+// fleet stream, whose state is re-seeded by its first Resync); a
+// non-nil counts is copied and must match the publisher's bit length.
+func WithResume(counts []int64, n int64, seq uint64) PubOption {
+	return func(p *Publisher) {
+		if counts != nil {
+			p.resumeCounts = append([]int64(nil), counts...)
+			p.resumeN = n
+		}
+		p.seq = seq
+	}
+}
+
 // Publisher diffs consecutive cumulative snapshots into Delta frames and
 // fans them out. All methods are safe for concurrent use; Publish calls
 // are serialized internally, and the sequence of frames any single
@@ -108,6 +127,10 @@ type Publisher struct {
 	prevN     int64
 	lastTrace string // representative trace stamped onto outbound frames
 	subs      map[*Sub]struct{}
+
+	// Resume seed (WithResume), validated and applied by NewPublisher.
+	resumeCounts []int64
+	resumeN      int64
 }
 
 // NewPublisher returns a publisher for m-bit cumulative snapshots,
@@ -124,6 +147,13 @@ func NewPublisher(bits int, opts ...PubOption) (*Publisher, error) {
 	}
 	for _, opt := range opts {
 		opt(p)
+	}
+	if p.resumeCounts != nil {
+		if len(p.resumeCounts) != bits {
+			return nil, fmt.Errorf("stream: resume state has %d counts, publisher wants %d", len(p.resumeCounts), bits)
+		}
+		p.prev, p.prevN = p.resumeCounts, p.resumeN
+		p.resumeCounts = nil
 	}
 	return p, nil
 }

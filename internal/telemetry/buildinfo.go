@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// RegisterBuildInfo registers the conventional process-metadata series:
+// <ns>_build_info{version,go_version} with constant value 1 (the labels
+// carry the information, Prometheus-style), and
+// <ns>_process_start_time_seconds so dashboards and the telemetry
+// journal can distinguish a counter reset (restart) from a plateau.
+// startTime is the process start; call once at daemon boot. Idempotent
+// like every constructor, and a no-op on a nil registry.
+func (r *Registry) RegisterBuildInfo(startTime time.Time) {
+	if r == nil {
+		return
+	}
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	r.Gauge("build_info",
+		"Build metadata; value is constant 1, the labels carry the information.",
+		Label{Name: "version", Value: version},
+		Label{Name: "go_version", Value: runtime.Version()},
+	).Set(1)
+	start := float64(startTime.UnixNano()) / 1e9
+	r.GaugeFunc("process_start_time_seconds",
+		"Unix time the process started, in seconds.",
+		func() float64 { return start })
+}

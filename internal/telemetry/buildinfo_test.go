@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry("idldp")
+	start := time.Unix(1_700_000_000, 0)
+	reg.RegisterBuildInfo(start)
+
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body := rr.Body.String()
+
+	if !strings.Contains(body, `idldp_build_info{`) {
+		t.Fatalf("scrape missing build_info:\n%s", body)
+	}
+	if !strings.Contains(body, `go_version="`+runtime.Version()+`"`) {
+		t.Fatalf("build_info missing go_version label:\n%s", body)
+	}
+	if !strings.Contains(body, `version="`) {
+		t.Fatalf("build_info missing version label:\n%s", body)
+	}
+	if !strings.Contains(body, "idldp_process_start_time_seconds 1.7e+09") {
+		t.Fatalf("scrape missing process start time:\n%s", body)
+	}
+
+	// Idempotent at daemon boot: a second call must not panic or
+	// duplicate the family.
+	reg.RegisterBuildInfo(start)
+	var nilReg *Registry
+	nilReg.RegisterBuildInfo(start) // no-op
+}
